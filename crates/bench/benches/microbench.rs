@@ -1,0 +1,147 @@
+//! Criterion micro-benchmarks for the substrates underpinning the §5.2
+//! scalability claims: expression simplification, constraint solving,
+//! concrete interpretation, symbolic stepping, and copy-on-write forking.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use ddt_expr::{Expr, SymId};
+use ddt_isa::asm::{assemble, ExportMap};
+use ddt_solver::Solver;
+use ddt_symvm::interp::NullEnv;
+use ddt_symvm::{step, SymCounter, SymState};
+use ddt_vm::{StepEvent, Vm};
+
+fn bench_expr(c: &mut Criterion) {
+    c.bench_function("expr/build_and_simplify_chain", |b| {
+        b.iter(|| {
+            let x = Expr::sym(SymId(0), 32);
+            let mut e = x.clone();
+            for i in 1..32u64 {
+                e = e.add(&Expr::constant(i, 32)).and(&Expr::constant(0xffff_ffff, 32));
+            }
+            black_box(e.size())
+        })
+    });
+    c.bench_function("expr/eval_deep", |b| {
+        let x = Expr::sym(SymId(0), 32);
+        let mut e = x.clone();
+        for i in 1..64u64 {
+            e = e.mul(&Expr::constant(i | 1, 32)).xor(&x);
+        }
+        let mut asg = ddt_expr::Assignment::new();
+        asg.set(SymId(0), 0x1234_5678);
+        b.iter(|| black_box(e.eval(&asg)))
+    });
+}
+
+fn bench_solver(c: &mut Criterion) {
+    c.bench_function("solver/feasibility_linear", |b| {
+        let x = Expr::sym(SymId(0), 32);
+        let cs = vec![
+            x.add(&Expr::constant(7, 32)).ult(&Expr::constant(100, 32)),
+            Expr::constant(5, 32).ult(&x),
+        ];
+        b.iter(|| {
+            let mut s = Solver::new();
+            black_box(s.is_feasible(&cs))
+        })
+    });
+    c.bench_function("solver/multiplication_inversion", |b| {
+        let x = Expr::sym(SymId(0), 16);
+        let cs = vec![x.mul(&Expr::constant(7, 16)).eq(&Expr::constant(91, 16))];
+        b.iter(|| {
+            let mut s = Solver::new();
+            black_box(s.is_feasible(&cs))
+        })
+    });
+}
+
+fn bench_vm(c: &mut Criterion) {
+    let src = "
+        DriverEntry:
+            mov r0, 0
+            mov r1, 0
+        loop:
+            add r0, r0, 1
+            add r1, r1, r0
+            and r1, r1, 0xffff
+            bltu r0, 10000, loop
+            ret";
+    let a = assemble(src, &ExportMap::new()).expect("asm");
+    c.bench_function("vm/concrete_interpreter_40k_insns", |b| {
+        b.iter(|| {
+            let mut vm = Vm::new();
+            vm.load_image(&a.image);
+            vm.mem.map(0x7000_0000, 0x10_0000);
+            vm.cpu.set(ddt_isa::Reg::SP, 0x7010_0000);
+            vm.cpu.set(ddt_isa::Reg::LR, ddt_isa::RETURN_TRAP);
+            vm.cpu.pc = a.image.entry;
+            assert_eq!(vm.run(100_000), StepEvent::ReturnToKernel);
+            black_box(vm.insns_retired)
+        })
+    });
+}
+
+fn sym_state_for(a: &ddt_isa::asm::Assembled) -> SymState {
+    let mut st = SymState::new(SymCounter::new());
+    let img = &a.image;
+    st.mem.map(img.load_base, img.image_end() - img.load_base);
+    st.mem.seed_bytes(img.load_base, &img.text);
+    st.mem.map(0x7000_0000, 0x10_0000);
+    st.cpu.set_u32(ddt_isa::Reg::SP, 0x7010_0000);
+    st.cpu.set_u32(ddt_isa::Reg::LR, ddt_isa::RETURN_TRAP);
+    st.cpu.pc = img.entry;
+    st
+}
+
+fn bench_symvm(c: &mut Criterion) {
+    let src = "
+        DriverEntry:
+            mov r0, 0
+            mov r1, 0
+        loop:
+            add r0, r0, 1
+            add r1, r1, r0
+            bltu r0, 500, loop
+            ret";
+    let a = assemble(src, &ExportMap::new()).expect("asm");
+    c.bench_function("symvm/concrete_program_2k_steps", |b| {
+        b.iter(|| {
+            let mut st = sym_state_for(&a);
+            let mut solver = Solver::new();
+            let mut env = NullEnv;
+            loop {
+                match step(&mut st, &mut env, &mut solver) {
+                    ddt_symvm::SymStep::Continue => continue,
+                    _ => break,
+                }
+            }
+            black_box(st.insns_retired)
+        })
+    });
+    c.bench_function("symvm/cow_fork_with_dirty_pages", |b| {
+        let mut st = sym_state_for(&a);
+        for i in 0..256u32 {
+            st.mem.write(0x7000_0000 + 4 * i, 4, &Expr::constant(i as u64, 32));
+        }
+        b.iter(|| {
+            let child = st.fork();
+            black_box(child.generation)
+        })
+    });
+}
+
+fn bench_asm(c: &mut Criterion) {
+    let spec = ddt_drivers::driver_by_name("rtl8029").expect("bundled");
+    c.bench_function("asm/assemble_rtl8029", |b| {
+        b.iter(|| black_box(spec.build().image.text.len()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_expr, bench_solver, bench_vm, bench_symvm, bench_asm
+}
+criterion_main!(benches);

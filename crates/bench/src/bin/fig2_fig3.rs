@@ -1,0 +1,103 @@
+//! Regenerates **Figure 2** (relative basic-block coverage over time) and
+//! **Figure 3** (absolute covered basic blocks over time) for the same
+//! representative driver subset the paper plots: RTL8029, Intel Pro/100,
+//! and Intel 82801AA AC97.
+//!
+//! Emits both an ASCII rendering and a CSV series (`--csv` for CSV only).
+
+use ddt_core::Report;
+
+const SUBSET: [&str; 3] = ["rtl8029", "pro100", "ac97"];
+
+fn sample_at(report: &Report, t_ms: u64) -> usize {
+    report
+        .coverage_timeline
+        .iter()
+        .take_while(|(ms, _)| *ms <= t_ms)
+        .last()
+        .map(|&(_, n)| n)
+        .unwrap_or(0)
+}
+
+fn main() {
+    let csv_only = std::env::args().any(|a| a == "--csv");
+    let mut reports = Vec::new();
+    for name in SUBSET {
+        let spec = ddt_drivers::driver_by_name(name).expect("bundled driver");
+        let report = ddt_bench::run_ddt(&spec);
+        reports.push(report);
+    }
+    let end_ms = reports
+        .iter()
+        .filter_map(|r| r.coverage_timeline.last().map(|&(ms, _)| ms))
+        .max()
+        .unwrap_or(0)
+        .max(1000);
+
+    // CSV: time series usable for external plotting.
+    println!("# Figures 2 and 3: coverage over time");
+    println!("time_ms,driver,covered_blocks,total_blocks,relative");
+    let steps = 24;
+    for r in &reports {
+        for i in 0..=steps {
+            let t = end_ms * i / steps;
+            let n = sample_at(r, t);
+            println!(
+                "{t},{},{n},{},{:.4}",
+                r.driver,
+                r.total_blocks,
+                n as f64 / r.total_blocks as f64
+            );
+        }
+    }
+    if csv_only {
+        return;
+    }
+
+    // ASCII rendering of both figures.
+    for (title, relative) in [
+        ("Figure 2: Relative coverage with time", true),
+        ("Figure 3: Absolute coverage with time", false),
+    ] {
+        println!();
+        println!("{title}");
+        for r in &reports {
+            let finals = sample_at(r, end_ms);
+            println!(
+                "  {} (total {} blocks, final {} = {:.0}%)",
+                r.driver,
+                r.total_blocks,
+                finals,
+                100.0 * finals as f64 / r.total_blocks as f64
+            );
+            let width = 60usize;
+            let mut line = String::from("  |");
+            for i in 0..width {
+                let t = end_ms * i as u64 / width as u64;
+                let n = sample_at(r, t);
+                let frac = if relative {
+                    n as f64 / r.total_blocks as f64
+                } else {
+                    let maxn = reports.iter().map(|x| x.covered_blocks).max().unwrap_or(1);
+                    n as f64 / maxn as f64
+                };
+                line.push(match (frac * 4.0) as u32 {
+                    0 => ' ',
+                    1 => '.',
+                    2 => ':',
+                    3 => '|',
+                    _ => '#',
+                });
+            }
+            line.push('|');
+            println!("{line}");
+        }
+        println!("   0 ms {:>55} ms", end_ms);
+    }
+    println!();
+    println!(
+        "The flat plateaus between rises correspond to exploration within one \
+         entry point; each new entry-point invocation triggers a coverage step \
+         (§5.2)."
+    );
+}

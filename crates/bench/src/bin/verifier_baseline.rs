@@ -1,0 +1,47 @@
+//! Regenerates the **§5.1 Driver Verifier baseline**: "We tried to find
+//! these bugs with the Microsoft Driver Verifier running the driver
+//! concretely, but did not find any of them."
+
+use ddt_core::DriverUnderTest;
+use ddt_sdv::run_verifier;
+
+fn main() {
+    println!("Driver Verifier concrete baseline (paper §5.1)");
+    println!();
+    println!(
+        "{:<10} {:>16} {:>10} {:>12}   (DDT finds)",
+        "Driver", "Outcome", "Insns", "Bugs found"
+    );
+    ddt_bench::rule(70);
+    let mut verifier_total = 0usize;
+    for spec in ddt_drivers::drivers() {
+        let dut = DriverUnderTest::from_spec(&spec);
+        let v = run_verifier(&dut);
+        let outcome = match &v.outcome {
+            ddt_core::replay::ConcreteOutcome::Completed => "completed",
+            ddt_core::replay::ConcreteOutcome::Faulted { .. } => "FAULTED",
+            ddt_core::replay::ConcreteOutcome::Crashed(_) => "CRASHED",
+            ddt_core::replay::ConcreteOutcome::InitFailureLeak { .. } => "LEAKED",
+            ddt_core::replay::ConcreteOutcome::Hung => "HUNG",
+        };
+        println!(
+            "{:<10} {:>16} {:>10} {:>12}   {}",
+            spec.name,
+            outcome,
+            v.insns,
+            v.bugs_found.len(),
+            spec.expected_bugs
+        );
+        for b in &v.bugs_found {
+            println!("    !! {b}");
+        }
+        verifier_total += v.bugs_found.len();
+    }
+    ddt_bench::rule(70);
+    println!(
+        "Concrete verifier found {verifier_total} of the 14 Table 2 bugs (paper: 0). \
+         Every seeded bug needs symbolic hardware values, an interrupt at a precise \
+         boundary, a forced allocation failure, or a hostile registry value — none \
+         of which a concrete run against well-behaved hardware produces."
+    );
+}

@@ -1,0 +1,56 @@
+//! Experiment harness: regenerates every table and figure of the paper's
+//! evaluation (§5). One binary per artifact — see DESIGN.md §5 for the
+//! experiment index and EXPERIMENTS.md for paper-vs-measured results.
+//!
+//! | Artifact | Binary |
+//! |---|---|
+//! | Table 1 (driver characteristics) | `table1` |
+//! | Table 2 (previously unknown bugs) | `table2` |
+//! | Figures 2 and 3 (coverage vs. time) | `fig2_fig3` |
+//! | §5.1 SDV comparison | `sdv_comparison` |
+//! | §5.1 annotations ablation | `annotations_ablation` |
+//! | §5.1 Driver Verifier baseline | `verifier_baseline` |
+//! | §5.2 resource statistics | `scalability` |
+
+use ddt_core::{Ddt, DdtConfig, DriverUnderTest, Report};
+use ddt_drivers::DriverSpec;
+
+/// Runs DDT with the default configuration on a bundled driver.
+pub fn run_ddt(spec: &DriverSpec) -> Report {
+    run_ddt_with(spec, DdtConfig::default())
+}
+
+/// Runs DDT with a custom configuration on a bundled driver.
+pub fn run_ddt_with(spec: &DriverSpec, config: DdtConfig) -> Report {
+    let dut = DriverUnderTest::from_spec(spec);
+    Ddt::new(config).test(&dut)
+}
+
+/// Prints a horizontal rule sized for the report tables.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+/// Formats a byte count like the paper's Table 1 ("168 KB").
+pub fn human_kb(bytes: usize) -> String {
+    format!("{:.1} KB", bytes as f64 / 1024.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn human_kb_formats() {
+        assert_eq!(human_kb(2048), "2.0 KB");
+        assert_eq!(human_kb(1536), "1.5 KB");
+    }
+
+    #[test]
+    fn run_ddt_smoke() {
+        // The clean driver finishes quickly with no bugs: harness sanity.
+        let report = run_ddt(&ddt_drivers::clean_driver());
+        assert!(report.bugs.is_empty());
+        assert!(report.covered_blocks > 0);
+    }
+}

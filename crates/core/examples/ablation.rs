@@ -1,0 +1,15 @@
+//! Quick check of the annotations ablation (§5.1).
+fn main() {
+    let mut cfg = ddt_core::DdtConfig::default();
+    cfg.annotations = ddt_core::Annotations::disabled();
+    let ddt = ddt_core::Ddt::new(cfg);
+    let mut total = 0;
+    for spec in ddt_drivers::drivers() {
+        let dut = ddt_core::DriverUnderTest::from_spec(&spec);
+        let report = ddt.test(&dut);
+        println!("=== {} : {} bugs, {:.0}% coverage", report.driver, report.bugs.len(), 100.0*report.relative_coverage());
+        for b in &report.bugs { println!("  [{}] {}", b.class, b.description); }
+        total += report.bugs.len();
+    }
+    println!("TOTAL {total}");
+}

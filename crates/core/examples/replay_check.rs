@@ -1,0 +1,14 @@
+//! Replays every found bug concretely and reports reproduction.
+fn main() {
+    for spec in ddt_drivers::drivers() {
+        let dut = ddt_core::DriverUnderTest::from_spec(&spec);
+        let report = ddt_core::Ddt::default().test(&dut);
+        for bug in &report.bugs {
+            let outcome = ddt_core::replay_bug(&dut, bug);
+            let ok = matches!(outcome, ddt_core::ReplayOutcome::Reproduced { .. });
+            println!("{} [{}] {} -> {}", spec.name, bug.class, if ok {"REPRODUCED"} else {"NOT-REPRODUCED"},
+                     match &outcome { ddt_core::ReplayOutcome::Reproduced{observed} => observed.clone(),
+                                      ddt_core::ReplayOutcome::NotReproduced{observed} => observed.clone() });
+        }
+    }
+}

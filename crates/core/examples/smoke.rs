@@ -1,0 +1,18 @@
+//! Developer smoke-runner: `smoke <driver>` prints a one-screen report.
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "clean".into());
+    let spec = if which == "clean" {
+        ddt_drivers::clean_driver()
+    } else {
+        ddt_drivers::driver_by_name(&which).expect("driver")
+    };
+    let dut = ddt_core::DriverUnderTest::from_spec(&spec);
+    let t0 = std::time::Instant::now();
+    let report = ddt_core::Ddt::default().test(&dut);
+    println!("=== {} ({:?}) ===", report.driver, t0.elapsed());
+    println!("coverage: {}/{} blocks ({:.0}%)", report.covered_blocks, report.total_blocks, 100.0*report.relative_coverage());
+    println!("stats: {:?}", report.stats);
+    for b in &report.bugs {
+        println!("BUG [{}] pc={:#x} entry={} intr={:?}\n    {}", b.class, b.pc, b.entry, b.interrupted_entry, b.description);
+    }
+}

@@ -1,0 +1,631 @@
+//! Dynamic bug checkers and failure classification (§3.1).
+//!
+//! DDT has two checker families: VM-level checks (memory access
+//! verification, implemented in [`crate::hardware`]) and guest-OS-level
+//! checks that watch the kernel's event stream like Driver Verifier does
+//! (§3.1.2). This module turns terminal conditions and kernel events into
+//! classified [`PendingBug`]s:
+//!
+//! - CPU faults and kernel crashes, classified by context (a fault inside
+//!   an injected interrupt handler is a race condition; a fault on a path
+//!   with a forced allocation failure is an error-path crash) and by the
+//!   provenance of the symbols the failure depends on (§3.6: an address
+//!   poisoned by a registry parameter is memory corruption; by an
+//!   entry-point argument, a bad-parameter crash),
+//! - resource leaks at entry-point return,
+//! - spinlock usage rules: wrong release variant, non-LIFO release order,
+//!   locks held at return.
+
+use ddt_kernel::{CrashInfo, KernelEvent, ResourceKind};
+use ddt_symvm::interp::{AccessViolation, SymFault};
+use ddt_symvm::{SymOrigin, TraceEvent};
+
+use crate::machine::Machine;
+use crate::report::{BugClass, Decision};
+
+/// A classified bug before trace/model attachment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PendingBug {
+    /// Classification.
+    pub class: BugClass,
+    /// Human description (the Table 2 "Description" column).
+    pub description: String,
+    /// Driver pc the bug is attributed to.
+    pub pc: u32,
+    /// Dedup key (stable across exploration order).
+    pub key: String,
+    /// Model to record instead of solving the (possibly already further
+    /// constrained) path condition — used by memory-checker violations,
+    /// whose paths continue inside the aimed buffer after flagging.
+    pub model: Option<ddt_expr::Assignment>,
+}
+
+/// The driver pc a fault is attributed to: for fetch faults (wild jumps)
+/// the last successfully executed instruction, otherwise the faulting pc.
+fn fault_site(m: &Machine, fault_pc: u32, is_fetch: bool) -> u32 {
+    if !is_fetch {
+        return fault_pc;
+    }
+    m.st
+        .trace
+        .events()
+        .iter()
+        .rev()
+        .find_map(|e| match e {
+            TraceEvent::Exec { pc } => Some(*pc),
+            _ => None,
+        })
+        .unwrap_or(fault_pc)
+}
+
+fn race_context(m: &Machine) -> Option<String> {
+    m.in_nested_frame().then(|| m.interrupted_entry().unwrap_or_default())
+}
+
+/// Classifies a memory-checker violation (§3.6 provenance analysis).
+pub fn classify_violation(m: &Machine, v: &AccessViolation) -> PendingBug {
+    if v.syms.is_empty() {
+        // The offending address is concrete: classify like a plain bad
+        // pointer (NULL dereference on an error path, etc.).
+        let forced_alloc = m
+            .decisions
+            .iter()
+            .any(|d| matches!(d, Decision::ForceAllocFail { .. }));
+        let what = if v.witness < 0x1000 {
+            format!("NULL pointer dereference ({:#x})", v.witness)
+        } else {
+            format!("access to invalid address {:#x}", v.witness)
+        };
+        let (class, desc) = match race_context(m) {
+            Some(at) => (
+                BugClass::RaceCondition,
+                format!("{what} in {} when an interrupt arrives during {at}", m.running()),
+            ),
+            None if forced_alloc => (
+                BugClass::SegFault,
+                format!("{what} in {} on an allocation-failure handling path", m.running()),
+            ),
+            None => (BugClass::SegFault, format!("{what} in {}", m.running())),
+        };
+        return PendingBug {
+            class,
+            description: desc,
+            pc: v.pc,
+            key: format!("viol:{:x}:{}:{}", v.pc, m.current_entry(), m.running()),
+            model: v.model.clone(),
+        };
+    }
+    let mut origins: Vec<&SymOrigin> =
+        v.syms.iter().filter_map(|id| m.st.symbols.get(*id)).map(|i| &i.origin).collect();
+    origins.sort_by_key(|o| match o {
+        SymOrigin::Registry { .. } => 0,
+        SymOrigin::EntryArg { .. } => 1,
+        SymOrigin::HardwareRead { .. } | SymOrigin::PortRead { .. } => 2,
+        _ => 3,
+    });
+    let (class, source) = match origins.first() {
+        Some(SymOrigin::Registry { name }) => (
+            BugClass::MemoryCorruption,
+            format!("unchecked registry parameter {name:?} used in an address"),
+        ),
+        Some(SymOrigin::EntryArg { entry, .. }) => (
+            BugClass::SegFault,
+            format!("unvalidated {entry} argument used in an address"),
+        ),
+        Some(SymOrigin::HardwareRead { addr }) => (
+            BugClass::SegFault,
+            format!("hardware register value ({addr:#x}) used in an address unchecked"),
+        ),
+        Some(SymOrigin::PortRead { port }) => (
+            BugClass::SegFault,
+            format!("hardware port value ({port:#x}) used in an address unchecked"),
+        ),
+        _ => (BugClass::MemoryCorruption, "out-of-bounds access".to_string()),
+    };
+    let (class, racy) = match race_context(m) {
+        Some(at) => (BugClass::RaceCondition, format!(" (in interrupt during {at})")),
+        None => (class, String::new()),
+    };
+    PendingBug {
+        class,
+        description: format!(
+            "{} in {}: {}{racy}",
+            kind_noun(v.kind),
+            m.running(),
+            source
+        ),
+        pc: v.pc,
+        key: format!("viol:{:x}:{}:{}", v.pc, m.current_entry(), m.running()),
+        model: v.model.clone(),
+    }
+}
+
+fn kind_noun(kind: ddt_isa::AccessKind) -> &'static str {
+    match kind {
+        ddt_isa::AccessKind::Read => "out-of-bounds read",
+        ddt_isa::AccessKind::Write => "out-of-bounds write",
+        ddt_isa::AccessKind::Fetch => "wild instruction fetch",
+    }
+}
+
+/// Classifies a CPU fault terminal. Returns `None` for infeasible paths
+/// (dead, not buggy).
+pub fn classify_fault(m: &Machine, fault: &SymFault) -> Option<PendingBug> {
+    let forced_alloc = m
+        .decisions
+        .iter()
+        .any(|d| matches!(d, Decision::ForceAllocFail { .. }));
+    let bug = match fault {
+        SymFault::Infeasible => return None,
+        SymFault::AccessViolation(v) => classify_violation(m, v),
+        SymFault::BadAccess { pc, addr, kind } => {
+            let is_fetch = matches!(kind, ddt_isa::AccessKind::Fetch);
+            let site = fault_site(m, *pc, is_fetch);
+            let what = if *addr < 0x1000 {
+                format!("NULL pointer dereference ({addr:#x})")
+            } else if is_fetch {
+                format!("jump to invalid code at {addr:#x}")
+            } else {
+                format!("access to invalid address {addr:#x}")
+            };
+            let (class, desc) = match race_context(m) {
+                Some(at) => (
+                    BugClass::RaceCondition,
+                    format!("{what} in {} when an interrupt arrives during {at}", m.running()),
+                ),
+                None if forced_alloc => (
+                    BugClass::SegFault,
+                    format!("{what} in {} on an allocation-failure handling path", m.running()),
+                ),
+                None => (BugClass::SegFault, format!("{what} in {}", m.running())),
+            };
+            PendingBug {
+                class,
+                description: desc,
+                pc: site,
+                key: format!("fault:{site:x}:{}:{}", m.running(), m.current_entry()),
+                model: None,
+            }
+        }
+        SymFault::IllegalInsn { pc } => {
+            let site = fault_site(m, *pc, true);
+            let (class, ctx) = match race_context(m) {
+                Some(at) => (BugClass::RaceCondition, format!(" (interrupt during {at})")),
+                None => (BugClass::SegFault, String::new()),
+            };
+            PendingBug {
+                class,
+                description: format!("execution of invalid code in {}{ctx}", m.running()),
+                pc: site,
+                key: format!("ill:{site:x}:{}", m.current_entry()),
+                model: None,
+            }
+        }
+        SymFault::Misaligned { pc, addr } => PendingBug {
+            class: BugClass::SegFault,
+            description: format!("misaligned access to {addr:#x} in {}", m.running()),
+            pc: *pc,
+            key: format!("mis:{pc:x}"),
+            model: None,
+        },
+        SymFault::DivByZero { pc } => PendingBug {
+            class: BugClass::SegFault,
+            description: format!("division by zero in {}", m.running()),
+            pc: *pc,
+            key: format!("div:{pc:x}"),
+            model: None,
+        },
+    };
+    Some(bug)
+}
+
+/// Classifies a kernel crash (BSOD interception, §3.1.2).
+///
+/// Kernel crashes are deterministic properties of the handler code path
+/// that issued the bad call, so they dedup on (code, handler, call site):
+/// the same API-misuse crash reachable from several interrupt windows is
+/// one bug. (Memory faults keep the interrupted entry in their key — their
+/// root cause is the interrupted state, as in the two Ensoniq races.)
+pub fn classify_crash(m: &Machine, crash: &CrashInfo) -> PendingBug {
+    // The call site: the last driver instruction executed.
+    let site = fault_site(m, m.st.cpu.pc, true);
+    let deadlockish = crash.message.contains("deadlock");
+    let key = format!("crash:{}:{}:{site:x}", crash.code, m.running());
+    match race_context(m) {
+        Some(at) => PendingBug {
+            class: BugClass::RaceCondition,
+            description: format!(
+                "{} when an interrupt arrives during {at}",
+                crash.message
+            ),
+            pc: site,
+            key,
+            model: None,
+        },
+        None => PendingBug {
+            class: if deadlockish { BugClass::KernelHang } else { BugClass::KernelCrash },
+            description: format!("kernel crash in {}: {}", m.running(), crash.message),
+            pc: site,
+            key,
+            model: None,
+        },
+    }
+}
+
+/// Scans kernel events appended since the last scan for API-usage bugs
+/// (symbolic-to-concrete annotation rules, §3.4.1).
+pub fn scan_kernel_events(m: &mut Machine) -> Vec<PendingBug> {
+    let events = &m.kernel.state.events;
+    let mut bugs = Vec::new();
+    // Reconstruct the lock LIFO stack over the whole path so order
+    // violations are detected even across scan boundaries.
+    let mut lock_stack: Vec<u32> = Vec::new();
+    for (i, ev) in events.iter().enumerate() {
+        let fresh = i >= m.events_scanned;
+        match ev {
+            KernelEvent::SpinAcquire { lock, .. } => lock_stack.push(*lock),
+            KernelEvent::SpinRelease { lock, variant_mismatch, .. } => {
+                if fresh && *variant_mismatch {
+                    bugs.push(PendingBug {
+                        class: BugClass::KernelCrash,
+                        description: format!(
+                            "wrong spinlock release variant in {} (NdisReleaseSpinLock after \
+                             NdisDprAcquireSpinLock corrupts the IRQL)",
+                            m.running()
+                        ),
+                        pc: m.st.cpu.pc,
+                        key: format!("lockvariant:{lock:x}:{}", m.running()),
+                        model: None,
+                    });
+                }
+                if let Some(pos) = lock_stack.iter().rposition(|l| l == lock) {
+                    if fresh && pos != lock_stack.len() - 1 {
+                        bugs.push(PendingBug {
+                            class: BugClass::KernelHang,
+                            description: format!(
+                                "spinlocks released out of LIFO order in {}",
+                                m.running()
+                            ),
+                            pc: m.st.cpu.pc,
+                            key: format!("lockorder:{lock:x}:{}", m.running()),
+                            model: None,
+                        });
+                    }
+                    lock_stack.remove(pos);
+                }
+            }
+            _ => {}
+        }
+    }
+    m.events_scanned = events.len();
+    bugs
+}
+
+/// Examines a budget-killed path for the infinite-loop signature (§3.1.1,
+/// the VM-level infinite-loop detection): the tail of the trace cycles
+/// through at most two distinct instructions' blocks with no kernel calls
+/// and no hardware reads — a pure computation loop that can never exit.
+///
+/// Polling loops (which read hardware each iteration) are *not* flagged:
+/// with symbolic hardware they fork an exit path every iteration, and
+/// whether endless polling is a defect is hardware-model-dependent (§6.1).
+pub fn check_infinite_loop(m: &Machine, window: usize) -> Option<PendingBug> {
+    let events = m.st.trace.events();
+    if events.len() < window {
+        return None;
+    }
+    let tail = &events[events.len() - window..];
+    let mut pcs = std::collections::BTreeSet::new();
+    for ev in tail {
+        match ev {
+            TraceEvent::Exec { pc } => {
+                pcs.insert(*pc);
+            }
+            TraceEvent::KernelCall { .. }
+            | TraceEvent::HardwareRead { .. }
+            | TraceEvent::EntryInvoke { .. } => return None,
+            _ => {}
+        }
+    }
+    // A tight cycle: few distinct instructions, repeating.
+    if pcs.is_empty() || pcs.len() > 8 {
+        return None;
+    }
+    let pc = *pcs.iter().next().expect("non-empty");
+    Some(PendingBug {
+        class: BugClass::KernelHang,
+        description: format!(
+            "infinite loop in {}: {} instruction(s) repeating with no exit condition",
+            m.running(),
+            pcs.len()
+        ),
+        pc,
+        key: format!("loop:{pc:x}:{}", m.running()),
+        model: None,
+    })
+}
+
+/// Leak and lock checks when an invocation returns to the kernel.
+///
+/// `is_initialize_failure` applies the paper's rule that a failed
+/// initialization must have released everything it acquired.
+pub fn on_invocation_return(
+    m: &mut Machine,
+    returned: &str,
+    status: u32,
+    held_at_entry: &[u32],
+) -> Vec<PendingBug> {
+    let mut bugs = Vec::new();
+    // Locks acquired by this invocation must not be held across the return
+    // to the kernel (locks held by interrupted code are not its fault, and
+    // a leak already reported at the inner frame is not re-reported when
+    // the outer frames unwind through it).
+    let held_now: Vec<u32> = m.held_locks();
+    for lock in held_now {
+        if !held_at_entry.contains(&lock) && m.reported_held_locks.insert(lock) {
+            bugs.push(PendingBug {
+                class: BugClass::KernelHang,
+                description: format!(
+                    "{returned} returns with spinlock {lock:#x} still held"
+                ),
+                pc: m.st.cpu.pc,
+                key: format!("heldlock:{lock:x}:{returned}"),
+                model: None,
+            });
+        }
+    }
+    let s = &m.kernel.state;
+    // Open configuration handles must not outlive the entry point.
+    let open_cfg = s.live_resources(ResourceKind::ConfigHandle);
+    if open_cfg > 0 && matches!(returned, "Initialize" | "DriverEntry") {
+        bugs.push(PendingBug {
+            class: BugClass::ResourceLeak,
+            description: format!(
+                "driver does not call NdisCloseConfiguration before returning from \
+                 {returned}{}",
+                if status != 0 { " when initialization fails" } else { "" }
+            ),
+            pc: m.st.cpu.pc,
+            key: format!("cfgleak:{returned}"),
+            model: None,
+        });
+    }
+    // A failed Initialize must free everything it allocated (§5.1: "when
+    // memory allocation fails, the drivers do not release all the resources
+    // that were already allocated").
+    if returned == "Initialize" && status != 0 {
+        let pool = s.live_resources(ResourceKind::PoolMemory);
+        if pool > 0 {
+            bugs.push(PendingBug {
+                class: BugClass::MemoryLeak,
+                description: format!(
+                    "driver leaks {pool} pool allocation(s) when initialization fails"
+                ),
+                pc: m.st.cpu.pc,
+                key: "memleak:Initialize".to_string(),
+                model: None,
+            });
+        }
+        let packets = s.live_resources(ResourceKind::Packet);
+        let buffers = s.live_resources(ResourceKind::Buffer);
+        let pools = s.live_resources(ResourceKind::Pool);
+        if packets + buffers + pools > 0 {
+            bugs.push(PendingBug {
+                class: BugClass::ResourceLeak,
+                description: format!(
+                    "driver leaks packets/buffers on failed initialization \
+                     ({packets} packets, {buffers} buffers, {pools} pools)"
+                ),
+                pc: m.st.cpu.pc,
+                key: "rsrcleak:Initialize".to_string(),
+                model: None,
+            });
+        }
+        let dma = s.live_resources(ResourceKind::DmaChannel);
+        if dma > 0 {
+            bugs.push(PendingBug {
+                class: BugClass::ResourceLeak,
+                description: format!("driver leaks {dma} DMA channel(s) on failed initialization"),
+                pc: m.st.cpu.pc,
+                key: "dmaleak:Initialize".to_string(),
+                model: None,
+            });
+        }
+    }
+    bugs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddt_kernel::state::SpinLockState;
+    use ddt_kernel::Kernel;
+    use ddt_symvm::{SymCounter, SymState};
+
+    fn machine() -> Machine {
+        let mut m = Machine::new(SymState::new(SymCounter::new()), Kernel::new());
+        m.frames.push(crate::machine::Frame::Entry {
+            name: "Initialize".into(),
+            held_at_entry: vec![],
+        });
+        m
+    }
+
+    #[test]
+    fn infeasible_is_not_a_bug() {
+        let m = machine();
+        assert!(classify_fault(&m, &SymFault::Infeasible).is_none());
+    }
+
+    #[test]
+    fn null_deref_in_isr_is_a_race() {
+        let mut m = machine();
+        m.frames.push(crate::machine::Frame::Isr {
+            saved: m.save_ctx(),
+            at_entry: "Initialize".into(),
+            held_at_entry: vec![],
+        });
+        let f = SymFault::BadAccess { pc: 0x40_0100, addr: 4, kind: ddt_isa::AccessKind::Read };
+        let bug = classify_fault(&m, &f).unwrap();
+        assert_eq!(bug.class, BugClass::RaceCondition);
+        assert!(bug.description.contains("interrupt arrives during Initialize"));
+    }
+
+    #[test]
+    fn null_deref_on_alloc_failure_path_is_segfault() {
+        let mut m = machine();
+        m.decisions.push(Decision::ForceAllocFail { kernel_call: 2 });
+        let f = SymFault::BadAccess { pc: 0x40_0200, addr: 8, kind: ddt_isa::AccessKind::Write };
+        let bug = classify_fault(&m, &f).unwrap();
+        assert_eq!(bug.class, BugClass::SegFault);
+        assert!(bug.description.contains("allocation-failure"));
+    }
+
+    #[test]
+    fn registry_poisoned_address_is_memory_corruption() {
+        let mut m = machine();
+        let sym = m.st.new_symbol(
+            "registry:MaximumMulticastList",
+            SymOrigin::Registry { name: "MaximumMulticastList".into() },
+            32,
+        );
+        let id = match sym.node() {
+            ddt_expr::ExprNode::Sym { id, .. } => *id,
+            _ => unreachable!(),
+        };
+        let v = AccessViolation {
+            pc: 0x40_0300,
+            witness: 0x9999_0000,
+            kind: ddt_isa::AccessKind::Write,
+            size: 4,
+            reason: "escapes".into(),
+            syms: vec![id],
+            model: None,
+        };
+        let bug = classify_violation(&m, &v);
+        assert_eq!(bug.class, BugClass::MemoryCorruption);
+        assert!(bug.description.contains("MaximumMulticastList"));
+    }
+
+    #[test]
+    fn wild_fetch_attributed_to_last_executed_insn() {
+        let mut m = machine();
+        m.st.trace.push(TraceEvent::Exec { pc: 0x40_0500 });
+        let f = SymFault::BadAccess {
+            pc: 0x6978_614d,
+            addr: 0x6978_614d,
+            kind: ddt_isa::AccessKind::Fetch,
+        };
+        let bug = classify_fault(&m, &f).unwrap();
+        assert_eq!(bug.pc, 0x40_0500, "attributed to the jump, not the junk target");
+    }
+
+    #[test]
+    fn crash_in_nested_frame_is_race() {
+        let mut m = machine();
+        m.frames.push(crate::machine::Frame::Isr {
+            saved: m.save_ctx(),
+            at_entry: "Initialize".into(),
+            held_at_entry: vec![],
+        });
+        let crash = CrashInfo { code: 0xc7, message: "NdisMSetTimer on uninitialized timer".into() };
+        let bug = classify_crash(&m, &crash);
+        assert_eq!(bug.class, BugClass::RaceCondition);
+    }
+
+    #[test]
+    fn deadlock_crash_is_kernel_hang() {
+        let m = machine();
+        let crash = CrashInfo { code: 0x81, message: "deadlock: spinlock held".into() };
+        assert_eq!(classify_crash(&m, &crash).class, BugClass::KernelHang);
+    }
+
+    #[test]
+    fn variant_mismatch_event_reported_once() {
+        let mut m = machine();
+        m.kernel.state.events.push(KernelEvent::SpinAcquire { lock: 0x40_1000, dpr: true });
+        m.kernel.state.events.push(KernelEvent::SpinRelease {
+            lock: 0x40_1000,
+            dpr: false,
+            variant_mismatch: true,
+        });
+        let bugs = scan_kernel_events(&mut m);
+        assert_eq!(bugs.len(), 1);
+        assert_eq!(bugs[0].class, BugClass::KernelCrash);
+        // Second scan over the same events reports nothing new.
+        assert!(scan_kernel_events(&mut m).is_empty());
+    }
+
+    #[test]
+    fn out_of_order_release_detected() {
+        let mut m = machine();
+        let ev = &mut m.kernel.state.events;
+        ev.push(KernelEvent::SpinAcquire { lock: 0xa, dpr: true });
+        ev.push(KernelEvent::SpinAcquire { lock: 0xb, dpr: true });
+        ev.push(KernelEvent::SpinRelease { lock: 0xa, dpr: true, variant_mismatch: false });
+        ev.push(KernelEvent::SpinRelease { lock: 0xb, dpr: true, variant_mismatch: false });
+        let bugs = scan_kernel_events(&mut m);
+        assert_eq!(bugs.len(), 1);
+        assert_eq!(bugs[0].class, BugClass::KernelHang);
+        assert!(bugs[0].description.contains("LIFO"));
+    }
+
+    #[test]
+    fn lifo_release_is_clean() {
+        let mut m = machine();
+        let ev = &mut m.kernel.state.events;
+        ev.push(KernelEvent::SpinAcquire { lock: 0xa, dpr: true });
+        ev.push(KernelEvent::SpinAcquire { lock: 0xb, dpr: true });
+        ev.push(KernelEvent::SpinRelease { lock: 0xb, dpr: true, variant_mismatch: false });
+        ev.push(KernelEvent::SpinRelease { lock: 0xa, dpr: true, variant_mismatch: false });
+        assert!(scan_kernel_events(&mut m).is_empty());
+    }
+
+    #[test]
+    fn failed_initialize_leaks_are_reported_by_kind() {
+        let mut m = machine();
+        let s = &mut m.kernel.state;
+        s.pool.insert(
+            0x0100_0000,
+            ddt_kernel::state::PoolAlloc { addr: 0x0100_0000, size: 64, tag: 0, paged: false },
+        );
+        s.packets.insert(0x0100_0100, 0xb00c_0000);
+        s.packet_pools.insert(0xb00c_0000, 2);
+        let bugs = on_invocation_return(&mut m, "Initialize", 0xC000_0001, &[]);
+        let classes: Vec<BugClass> = bugs.iter().map(|b| b.class).collect();
+        assert!(classes.contains(&BugClass::MemoryLeak));
+        assert!(classes.contains(&BugClass::ResourceLeak));
+        assert_eq!(bugs.len(), 2);
+    }
+
+    #[test]
+    fn successful_initialize_with_resources_is_clean() {
+        let mut m = machine();
+        m.kernel.state.pool.insert(
+            0x0100_0000,
+            ddt_kernel::state::PoolAlloc { addr: 0x0100_0000, size: 64, tag: 0, paged: false },
+        );
+        assert!(on_invocation_return(&mut m, "Initialize", 0, &[]).is_empty());
+    }
+
+    #[test]
+    fn open_config_at_return_is_a_leak() {
+        let mut m = machine();
+        m.kernel.state.config_handles.insert(0xc0f0_0000, true);
+        let bugs = on_invocation_return(&mut m, "Initialize", 0xC000_0001, &[]);
+        assert_eq!(bugs.len(), 1);
+        assert_eq!(bugs[0].class, BugClass::ResourceLeak);
+        assert!(bugs[0].description.contains("NdisCloseConfiguration"));
+    }
+
+    #[test]
+    fn held_lock_at_return_is_a_hang() {
+        let mut m = machine();
+        let mut l = SpinLockState::new();
+        l.held = true;
+        m.kernel.state.spinlocks.insert(0x40_1000, l);
+        let bugs = on_invocation_return(&mut m, "HandleInterrupt", 0, &[]);
+        assert_eq!(bugs.len(), 1);
+        assert_eq!(bugs[0].class, BugClass::KernelHang);
+    }
+}

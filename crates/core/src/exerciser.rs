@@ -1,0 +1,844 @@
+//! The driver exerciser: DDT's main exploration loop (§3.2, §4.3).
+//!
+//! The exerciser loads the driver binary into the kernel (fake PnP), drives
+//! its entry points with the concrete workload generator, and symbolically
+//! executes the driver from each invocation:
+//!
+//! - branches on symbolic values fork (handled by `ddt-symvm`),
+//! - kernel calls cross into native kernel code through [`SymHost`],
+//!   concretizing on demand; annotation hooks run around each call,
+//! - symbolic interrupts are injected at kernel/driver boundary crossings
+//!   once an ISR is registered (§3.3) — each injection is a fork,
+//! - allocation calls fork a failed alternative (the NULL-alternative
+//!   concrete-to-symbolic hint),
+//! - state selection follows the EXE-style minimum-block-hit heuristic
+//!   (§4.3) via [`Coverage::priority`].
+//!
+//! Paths end at faults (classified into bugs), kernel crashes, failed
+//! initialization (after leak checks — the paper's termination criterion),
+//! or workload exhaustion.
+
+use std::collections::HashMap;
+
+use ddt_expr::Expr;
+use ddt_isa::image::DxeImage;
+use ddt_isa::{analysis, Reg};
+use ddt_kernel::loader::{DeviceDescriptor, LoadPlan, StackLayout};
+use ddt_kernel::state::DEVICE_MMIO_BASE;
+use ddt_kernel::{EntryInvocation, ExecContext, Irql, Kernel};
+use ddt_solver::Solver;
+use ddt_symvm::{
+    step, //
+    SymCounter,
+    SymOrigin,
+    SymState,
+    SymStep,
+    TraceEvent,
+};
+
+use crate::annotations::{apply_resource_grants, post_kernel_call, Annotations};
+use crate::checkers::{
+    classify_crash, //
+    classify_fault,
+    classify_violation,
+    on_invocation_return,
+    scan_kernel_events,
+    PendingBug,
+};
+use crate::coverage::Coverage;
+use crate::hardware::DdtEnv;
+use crate::machine::{Frame, Machine, SymHost};
+use crate::report::{Bug, Decision, ExploreStats, Report};
+use ddt_drivers::workload::{WorkloadOp, OID_BASE};
+use ddt_drivers::DriverClass;
+
+/// Configuration for one DDT run.
+#[derive(Clone, Debug)]
+pub struct DdtConfig {
+    /// Annotation set (§3.4.1); disable for the ablation.
+    pub annotations: Annotations,
+    /// VM-level memory access verification (§3.1.1).
+    pub check_memory: bool,
+    /// Symbolic interrupts injected per path (§3.3).
+    pub interrupt_budget: u32,
+    /// Worklist cap; new forks beyond this are dropped (memory bound,
+    /// §6.1's 4 GB analog).
+    pub max_states: usize,
+    /// Total instruction budget for the exploration.
+    pub max_total_insns: u64,
+    /// Per-invocation instruction budget (kills polling-loop paths).
+    pub max_invocation_insns: u64,
+    /// Wall-clock budget in milliseconds.
+    pub time_budget_ms: u64,
+}
+
+impl Default for DdtConfig {
+    fn default() -> Self {
+        DdtConfig {
+            annotations: Annotations::defaults(),
+            check_memory: true,
+            interrupt_budget: 1,
+            max_states: 4096,
+            max_total_insns: 3_000_000,
+            max_invocation_insns: 20_000,
+            time_budget_ms: 120_000,
+        }
+    }
+}
+
+/// What the exerciser needs to know about the driver under test. Only the
+/// binary image is driver-specific knowledge — no source, no internals.
+#[derive(Clone, Debug)]
+pub struct DriverUnderTest {
+    /// The closed-source binary.
+    pub image: DxeImage,
+    /// NIC or audio (selects workload/entry conventions).
+    pub class: DriverClass,
+    /// Registry parameters present on the machine.
+    pub registry: Vec<(String, u32)>,
+    /// The fake PnP descriptor (§4.2).
+    pub descriptor: DeviceDescriptor,
+    /// Entry-point invocation sequence (Device Path Exerciser analog).
+    pub workload: Vec<WorkloadOp>,
+}
+
+impl DriverUnderTest {
+    /// Builds the test input from a bundled driver spec.
+    pub fn from_spec(spec: &ddt_drivers::DriverSpec) -> DriverUnderTest {
+        let built = spec.build();
+        DriverUnderTest {
+            image: built.image,
+            class: spec.class,
+            registry: spec.registry.iter().map(|&(k, v)| (k.to_string(), v)).collect(),
+            descriptor: spec.descriptor.clone(),
+            workload: ddt_drivers::workload::workload_for(spec.class),
+        }
+    }
+}
+
+/// The DDT tool.
+#[derive(Default)]
+pub struct Ddt {
+    /// Run configuration.
+    pub config: DdtConfig,
+}
+
+
+/// Steps per scheduling quantum.
+const QUANTUM: u64 = 256;
+
+enum PathEnd {
+    Completed,
+    Faulted,
+    Infeasible,
+    BudgetKilled,
+}
+
+impl Ddt {
+    /// Creates DDT with a configuration.
+    pub fn new(config: DdtConfig) -> Ddt {
+        Ddt { config }
+    }
+
+    /// Tests one driver binary and produces the bug report (§2).
+    pub fn test(&self, dut: &DriverUnderTest) -> Report {
+        let mut solver = Solver::new();
+        let analysis = analysis::analyze(&dut.image);
+        let mut coverage = Coverage::new(analysis);
+        let stack = StackLayout::default();
+        let mut env = DdtEnv::new(
+            DEVICE_MMIO_BASE,
+            dut.descriptor.mmio_len,
+            stack.base,
+            stack.initial_sp(),
+        );
+        env.check_memory = self.config.check_memory;
+
+        let mut stats = ExploreStats::default();
+        let mut bugs: HashMap<String, Bug> = HashMap::new();
+        let mut next_id: u64 = 1;
+
+        // Root machine: image + stack mapped, kernel configured, DriverEntry
+        // invoked (the PnP load of §4.2).
+        let root = self.make_root(dut, &stack);
+        let sym_counter = root.st.counter.clone();
+        let mut worklist: Vec<Machine> = vec![root];
+        stats.paths_started = 1;
+
+        while !worklist.is_empty() {
+            if stats.insns > self.config.max_total_insns
+                || coverage.elapsed_ms() > self.config.time_budget_ms
+            {
+                break;
+            }
+            // EXE-style heuristic: pick the state whose next block is the
+            // least executed (§4.3). For large worklists the scan samples a
+            // deterministic stride — an O(1)-ish approximation that keeps
+            // the cold-block bias without a full O(n) pass per quantum.
+            const SCAN_LIMIT: usize = 64;
+            let best = if worklist.len() <= SCAN_LIMIT {
+                worklist
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, m)| coverage.priority(m.st.cpu.pc))
+                    .map(|(i, _)| i)
+                    .expect("worklist non-empty")
+            } else {
+                let stride = worklist.len() / SCAN_LIMIT;
+                (0..SCAN_LIMIT)
+                    .map(|k| (k * stride) % worklist.len())
+                    .min_by_key(|&i| coverage.priority(worklist[i].st.cpu.pc))
+                    .expect("worklist non-empty")
+            };
+            let mut m = worklist.swap_remove(best);
+            let mut exec_pcs = Vec::with_capacity(QUANTUM as usize);
+            let survived = self.run_quantum(
+                dut,
+                &mut m,
+                &mut env,
+                &mut solver,
+                &mut worklist,
+                &mut next_id,
+                &mut stats,
+                &mut bugs,
+                &mut exec_pcs,
+            );
+            for pc in exec_pcs {
+                coverage.on_exec(pc);
+            }
+            if survived {
+                worklist.push(m);
+            }
+            stats.peak_states = stats.peak_states.max(worklist.len() + 1);
+        }
+
+        stats.wall_ms = coverage.elapsed_ms();
+        stats.solver_queries = solver.stats().queries;
+        stats.solver_fast_hits = solver.stats().fast_path_hits;
+        stats.solver_full = solver.stats().full_solves;
+        stats.symbols = sym_counter.allocated();
+        let mut bug_list: Vec<Bug> = bugs.into_values().collect();
+        bug_list.sort_by_key(|a| (a.entry.clone(), a.pc));
+        Report {
+            driver: dut.image.name.clone(),
+            bugs: bug_list,
+            total_blocks: coverage.total_blocks(),
+            covered_blocks: coverage.covered_blocks(),
+            coverage_timeline: coverage.timeline().to_vec(),
+            stats,
+        }
+    }
+
+    /// Builds the root machine (public to the crate for the parallel
+    /// explorer).
+    pub(crate) fn make_root_machine(&self, dut: &DriverUnderTest) -> Machine {
+        self.make_root(dut, &StackLayout::default())
+    }
+
+    /// Runs one scheduling quantum of a machine: up to [`QUANTUM`] symbolic
+    /// steps with full kernel-call / return / fork handling. Forked states
+    /// are appended to `worklist`; executed pcs are appended to `exec_pcs`
+    /// for coverage accounting. Returns whether the machine is still alive
+    /// (and should be rescheduled).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn run_quantum(
+        &self,
+        dut: &DriverUnderTest,
+        m: &mut Machine,
+        env: &mut DdtEnv,
+        solver: &mut Solver,
+        worklist: &mut Vec<Machine>,
+        next_id: &mut u64,
+        stats: &mut ExploreStats,
+        bugs: &mut HashMap<String, Bug>,
+        exec_pcs: &mut Vec<u32>,
+    ) -> bool {
+        let mut end: Option<PathEnd> = None;
+        for _ in 0..QUANTUM {
+            exec_pcs.push(m.st.cpu.pc);
+            let outcome = step(&mut m.st, env, solver);
+            stats.insns += 1;
+            m.steps_in_entry += 1;
+            // Multi-way address resolution parks alternatives on the
+            // state; adopt them as full machines.
+            for alt in std::mem::take(&mut m.st.pending_forks) {
+                if worklist.len() < self.config.max_states {
+                    let child = m.adopt(alt, *next_id);
+                    *next_id += 1;
+                    stats.paths_started += 1;
+                    worklist.push(child);
+                }
+            }
+            // Survivable memory-checker violations: report, continue.
+            for v in env.drain_violations() {
+                let pending = classify_violation(m, &v);
+                self.record_bug(bugs, m, pending, solver, dut);
+            }
+            match outcome {
+                SymStep::Continue => {
+                    if m.steps_in_entry > self.config.max_invocation_insns {
+                        if let Some(pending) = crate::checkers::check_infinite_loop(m, 64) {
+                            self.record_bug(bugs, m, pending, solver, dut);
+                        }
+                        end = Some(PathEnd::BudgetKilled);
+                        break;
+                    }
+                }
+                SymStep::Forked { other } => {
+                    if worklist.len() < self.config.max_states {
+                        let child = m.adopt(*other, *next_id);
+                        *next_id += 1;
+                        stats.paths_started += 1;
+                        worklist.push(child);
+                    }
+                }
+                SymStep::KernelCall { export_id } => {
+                    match self.handle_kernel_call(
+                        m, export_id, solver, worklist, next_id, stats, bugs, dut,
+                    ) {
+                        Ok(()) => {}
+                        Err(pending) => {
+                            self.record_bug(bugs, m, pending, solver, dut);
+                            end = Some(PathEnd::Faulted);
+                            break;
+                        }
+                    }
+                }
+                SymStep::ReturnToKernel => {
+                    match self.handle_return(m, solver, worklist, next_id, stats, bugs, dut) {
+                        ReturnFlow::Continue => {}
+                        ReturnFlow::PathDone => {
+                            end = Some(PathEnd::Completed);
+                            break;
+                        }
+                    }
+                }
+                SymStep::Halted => {
+                    end = Some(PathEnd::Completed);
+                    break;
+                }
+                SymStep::Fault(f) => {
+                    let classified = classify_fault(m, &f);
+                    match classified {
+                        Some(pending) => {
+                            self.record_bug(bugs, m, pending, solver, dut);
+                            end = Some(PathEnd::Faulted);
+                        }
+                        None => end = Some(PathEnd::Infeasible),
+                    }
+                    break;
+                }
+            }
+        }
+        stats.max_cow_depth = stats.max_cow_depth.max(m.st.mem.chain_depth());
+        match end {
+            None => true, // Quantum expired; reschedule.
+            Some(PathEnd::Completed) => {
+                stats.paths_completed += 1;
+                false
+            }
+            Some(PathEnd::Faulted) => {
+                stats.paths_faulted += 1;
+                false
+            }
+            Some(PathEnd::Infeasible) => {
+                stats.paths_infeasible += 1;
+                false
+            }
+            Some(PathEnd::BudgetKilled) => {
+                stats.paths_budget_killed += 1;
+                false
+            }
+        }
+    }
+
+    fn make_root(&self, dut: &DriverUnderTest, stack: &StackLayout) -> Machine {
+        let mut st = SymState::new(SymCounter::new());
+        let plan = LoadPlan::new(dut.image.clone());
+        for (start, len) in plan.regions() {
+            st.mem.map(start, len);
+        }
+        st.mem.seed_bytes(dut.image.load_base, &dut.image.text);
+        st.mem.seed_bytes(dut.image.data_base(), &dut.image.data);
+        st.grants.grant(
+            dut.image.load_base,
+            dut.image.image_end() - dut.image.load_base,
+            "driver image",
+        );
+        let _ = stack; // Stack access is granted dynamically (above sp).
+        let mut kernel = Kernel::new();
+        for (k, v) in &dut.registry {
+            kernel.state.registry.insert(k.clone(), *v);
+        }
+        kernel.state.device = dut.descriptor.clone();
+        let mut m = Machine::new(st, kernel);
+        m.interrupt_budget = self.config.interrupt_budget;
+        let entry = plan.driver_entry();
+        m.frames.push(Frame::Entry { name: entry.name.clone(), held_at_entry: vec![] });
+        m.apply_invocation(&entry, false);
+        m.st.trace.push(TraceEvent::EntryInvoke { name: entry.name, addr: entry.addr });
+        m
+    }
+
+    /// Converts a pending bug into a full report entry (trace + solved
+    /// inputs + decision schedule, §3.5) and dedups it.
+    fn record_bug(
+        &self,
+        bugs: &mut HashMap<String, Bug>,
+        m: &Machine,
+        pending: PendingBug,
+        solver: &mut Solver,
+        dut: &DriverUnderTest,
+    ) {
+        if bugs.contains_key(&pending.key) {
+            return;
+        }
+        let inputs = match pending.model.clone() {
+            Some(model) => model,
+            None => match m.st.last_model.clone() {
+                // The cached model satisfies the path condition by invariant.
+                Some(model) => model,
+                None => match solver.check(&m.st.constraints) {
+                    ddt_solver::SatResult::Sat(model) => model,
+                    ddt_solver::SatResult::Unsat => return, // Dead path; not a bug.
+                },
+            },
+        };
+        let bug = Bug {
+            driver: dut.image.name.clone(),
+            class: pending.class,
+            description: pending.description,
+            pc: pending.pc,
+            entry: m.current_entry().to_string(),
+            interrupted_entry: m.interrupted_entry(),
+            trace: m.st.trace.events(),
+            inputs,
+            decisions: m.decisions.clone(),
+            key: pending.key.clone(),
+        };
+        bugs.insert(pending.key, bug);
+    }
+
+    /// One kernel API call: annotations around a native kernel invocation,
+    /// plus symbolic-interrupt injection at the boundary (§3.3).
+    #[allow(clippy::too_many_arguments)]
+    fn handle_kernel_call(
+        &self,
+        m: &mut Machine,
+        export: u16,
+        solver: &mut Solver,
+        worklist: &mut Vec<Machine>,
+        next_id: &mut u64,
+        stats: &mut ExploreStats,
+        bugs: &mut HashMap<String, Bug>,
+        dut: &DriverUnderTest,
+    ) -> Result<(), PendingBug> {
+        // Concrete-to-symbolic hint: fork the failed-allocation alternative.
+        if self.config.annotations.wants_failure_fork(export)
+            && !m.decisions.iter().any(|d| matches!(d, Decision::ForceAllocFail { .. }))
+            && worklist.len() < self.config.max_states
+        {
+            let mut fail = m.fork(*next_id);
+            *next_id += 1;
+            fail.kernel.state.force_alloc_failures = 1;
+            fail.decisions.push(Decision::ForceAllocFail { kernel_call: m.kernel_calls });
+            stats.paths_started += 1;
+            worklist.push(fail);
+        }
+        let name = ddt_kernel::export_name(export).unwrap_or("?").to_string();
+        m.st.trace.push(TraceEvent::KernelCall { export_id: export, name });
+        m.kernel_calls += 1;
+        let events_before = m.kernel.state.events.len();
+        let ret_to = {
+            let lr = m.st.cpu.get(Reg::LR);
+            lr.as_const().map(|v| v as u32)
+        };
+        // Concretization backtracking (§3.2): if an argument register is
+        // symbolic, snapshot the pre-call state so the call can be repeated
+        // with a different feasible concrete value. One backtrack per path
+        // keeps the fan-out linear.
+        let may_backtrack = !m
+            .decisions
+            .iter()
+            .any(|d| matches!(d, Decision::ConcretizationBacktrack { .. }))
+            && (0..4).any(|i| !m.st.cpu.regs[i].is_const())
+            && worklist.len() < self.config.max_states;
+        let arg_exprs: [Expr; 4] = std::array::from_fn(|i| m.st.cpu.regs[i].clone());
+        let snapshot = if may_backtrack { Some(m.fork(u64::MAX)) } else { None };
+        let mut host = SymHost::new(&mut m.st, solver);
+        let call_result = m.kernel.invoke(export, &mut host);
+        let args = host.args_seen;
+        if let Some(mut snap) = snapshot {
+            // For the first argument the kernel actually concretized,
+            // re-enable the other feasible values on a fork that re-issues
+            // the call from the snapshot.
+            for i in 0..4 {
+                let (Some(v), e) = (args[i], &arg_exprs[i]) else { continue };
+                if e.is_const() {
+                    continue;
+                }
+                let exclude = e.ne(&Expr::constant(v as u64, 32));
+                let mut cs = snap.st.constraints.clone();
+                cs.push(exclude.clone());
+                if let ddt_solver::SatResult::Sat(model) = solver.check(&cs) {
+                    snap.id = *next_id;
+                    *next_id += 1;
+                    snap.st.add_constraint(exclude);
+                    snap.st.set_model(model);
+                    snap.decisions.push(Decision::ConcretizationBacktrack {
+                        kernel_call: m.kernel_calls - 1,
+                    });
+                    stats.paths_started += 1;
+                    worklist.push(snap);
+                }
+                break;
+            }
+        }
+        if let Err(crash) = call_result {
+            return Err(classify_crash(m, &crash));
+        }
+        post_kernel_call(&self.config.annotations, &mut m.st, &m.kernel, solver, export, &args);
+        let new_events = m.kernel.state.events[events_before..].to_vec();
+        apply_resource_grants(&mut m.st, &new_events);
+        for pending in scan_kernel_events(m) {
+            self.record_bug(bugs, m, pending, solver, dut);
+        }
+        // Resume the driver at the saved link register.
+        let ret = m.st.cpu.get(Reg(0)).as_const().unwrap_or(0) as u32;
+        m.st.trace.push(TraceEvent::KernelReturn { export_id: export, ret });
+        match ret_to {
+            Some(pc) => m.st.cpu.pc = pc,
+            None => {
+                // A symbolic return address would mean stack corruption.
+                return Err(PendingBug {
+                    class: crate::report::BugClass::SegFault,
+                    description: "symbolic return address after kernel call".into(),
+                    pc: m.st.cpu.pc,
+                    key: format!("symlr:{}", m.kernel_calls),
+                    model: None,
+                });
+            }
+        }
+        // Boundary crossing: symbolic interrupt injection point.
+        m.boundaries += 1;
+        self.maybe_inject_interrupt(m, worklist, next_id, stats);
+        Ok(())
+    }
+
+    /// Forks a state in which the device interrupt fires right now.
+    fn maybe_inject_interrupt(
+        &self,
+        m: &mut Machine,
+        worklist: &mut Vec<Machine>,
+        next_id: &mut u64,
+        stats: &mut ExploreStats,
+    ) {
+        if m.interrupt_budget == 0 || m.in_nested_frame() {
+            return;
+        }
+        if worklist.len() >= self.config.max_states {
+            return;
+        }
+        let Some(table) = m.kernel.state.miniport.clone() else { return };
+        if m.kernel.state.interrupt.is_none() || table.isr == 0 {
+            return;
+        }
+        let mut fork = m.fork(*next_id);
+        *next_id += 1;
+        fork.interrupt_budget -= 1;
+        fork.decisions.push(Decision::InjectInterrupt { boundary: m.boundaries });
+        let at_entry = fork.running().to_string();
+        let line = fork.kernel.state.interrupt.as_ref().map(|i| i.line).unwrap_or(0);
+        fork.st.trace.push(TraceEvent::Interrupt { line, at_pc: fork.st.cpu.pc });
+        let saved = fork.save_ctx();
+        let held_at_entry = fork.held_locks();
+        fork.frames.push(Frame::Isr { saved, at_entry, held_at_entry });
+        fork.kernel.state.context = ExecContext::Isr;
+        fork.kernel.state.irql = Irql::Device;
+        let inv = EntryInvocation::new("Isr", table.isr, [0, 0, 0, 0]);
+        fork.apply_invocation(&inv, true);
+        fork.st.trace.push(TraceEvent::EntryInvoke { name: "Isr".into(), addr: table.isr });
+        stats.paths_started += 1;
+        worklist.push(fork);
+    }
+
+    /// Handles a return to the kernel: frame pops, checkers, next workload
+    /// operation.
+    #[allow(clippy::too_many_arguments)]
+    fn handle_return(
+        &self,
+        m: &mut Machine,
+        solver: &mut Solver,
+        worklist: &mut Vec<Machine>,
+        next_id: &mut u64,
+        stats: &mut ExploreStats,
+        bugs: &mut HashMap<String, Bug>,
+        dut: &DriverUnderTest,
+    ) -> ReturnFlow {
+        let ret_e = m.st.cpu.get(Reg(0));
+        let status = match ret_e.as_const() {
+            Some(v) => v as u32,
+            None => {
+                let v = m
+                    .st
+                    .model_eval(&ret_e)
+                    .or_else(|| solver.concretize(&m.st.constraints, &ret_e))
+                    .unwrap_or(0) as u32;
+                m.st.record_concretization(ret_e, v);
+                v
+            }
+        };
+        if m.frames.is_empty() {
+            return ReturnFlow::PathDone;
+        }
+        // Run the return checkers *before* popping so bug reports carry the
+        // correct entry attribution.
+        let returned = m.frames.last().expect("checked").running().to_string();
+        let held_at_entry = m.frames.last().expect("checked").held_at_entry().to_vec();
+        for pending in on_invocation_return(m, &returned, status, &held_at_entry) {
+            self.record_bug(bugs, m, pending, solver, dut);
+        }
+        let frame = m.frames.pop().expect("checked");
+        match frame {
+            Frame::Entry { name, .. } => {
+                if name == "Initialize" && status != 0 {
+                    // Paper: "DDT terminates paths based on user-configurable
+                    // criteria (e.g., if the entry point returns with a
+                    // failure)".
+                    return ReturnFlow::PathDone;
+                }
+                if name == "DriverEntry" && m.kernel.state.miniport.is_none() {
+                    return ReturnFlow::PathDone;
+                }
+                self.schedule_next_op(m, &dut.workload, worklist, next_id, stats)
+            }
+            Frame::Isr { saved, at_entry, .. } => {
+                let table = m.kernel.state.miniport.clone().unwrap_or_default();
+                // A DPC only runs once the interrupted IRQL drops below
+                // DISPATCH; if the interrupt preempted dispatch-level code
+                // (e.g. a spinlocked section), Windows defers the DPC. We
+                // model the deferral by dropping it (the non-deferred
+                // interleaving is explored from other boundaries).
+                if status != 0 && table.handle_interrupt != 0 && saved.irql < Irql::Dispatch {
+                    // The ISR recognized the interrupt: run the DPC.
+                    let held_at_entry = m.held_locks();
+                    m.frames.push(Frame::Dpc { saved, at_entry, held_at_entry });
+                    m.kernel.state.context = ExecContext::Dpc;
+                    m.kernel.state.irql = Irql::Dispatch;
+                    let inv =
+                        EntryInvocation::new("HandleInterrupt", table.handle_interrupt, [0; 4]);
+                    m.apply_invocation(&inv, true);
+                    m.st.trace.push(TraceEvent::EntryInvoke {
+                        name: "HandleInterrupt".into(),
+                        addr: table.handle_interrupt,
+                    });
+                } else {
+                    m.restore_ctx(&saved);
+                }
+                ReturnFlow::Continue
+            }
+            Frame::Dpc { saved, .. } | Frame::Timer { saved, .. } => {
+                m.restore_ctx(&saved);
+                ReturnFlow::Continue
+            }
+        }
+    }
+
+    /// Sets up the next workload operation (Device Path Exerciser analog)
+    /// with the entry-argument annotations of §3.4.1.
+    fn schedule_next_op(
+        &self,
+        m: &mut Machine,
+        workload: &[WorkloadOp],
+        worklist: &mut Vec<Machine>,
+        next_id: &mut u64,
+        stats: &mut ExploreStats,
+    ) -> ReturnFlow {
+        // Boundary between entry points: another injection point.
+        m.boundaries += 1;
+        self.maybe_inject_interrupt(m, worklist, next_id, stats);
+        loop {
+            let Some(op) = workload.get(m.workload_pos).cloned() else {
+                return ReturnFlow::PathDone;
+            };
+            m.workload_pos += 1;
+            let handle = m.kernel.state.adapter_handle;
+            let table = m.kernel.state.miniport.clone().unwrap_or_default();
+            m.kernel.state.context = ExecContext::Passive;
+            m.kernel.state.irql = Irql::Passive;
+            let ann = &self.config.annotations;
+            let inv = match &op {
+                WorkloadOp::Initialize => {
+                    EntryInvocation::new("Initialize", table.initialize, [handle, 0, 0, 0])
+                }
+                WorkloadOp::Send { len, fill } => {
+                    if table.send == 0 {
+                        continue;
+                    }
+                    let data = m.alloc_scratch((*len).max(4), "packet data");
+                    for i in 0..*len {
+                        m.st.mem.write_byte(data + i, Expr::constant(*fill as u64, 8));
+                    }
+                    let desc = m.alloc_scratch(16, "packet descriptor");
+                    m.st.mem.write(desc, 4, &Expr::constant(data as u64, 32));
+                    if ann.enabled && ann.entry_args_symbolic && *len > 0 {
+                        // Symbolic payload; symbolic length constrained not
+                        // to exceed the concrete original (§7 soundness).
+                        for i in 0..(*len).min(16) {
+                            let b = m.st.new_symbol(
+                                format!("packet[{i}]"),
+                                SymOrigin::EntryArg { entry: "Send".into(), index: i as usize },
+                                8,
+                            );
+                            m.st.mem.write_byte(data + i, b);
+                        }
+                        let slen = m.st.new_symbol(
+                            "packet_len",
+                            SymOrigin::EntryArg { entry: "Send".into(), index: 1 },
+                            32,
+                        );
+                        m.st.add_constraint(Expr::constant(1, 32).ule(&slen));
+                        m.st.add_constraint(slen.ule(&Expr::constant(*len as u64, 32)));
+                        m.st.mem.write(desc + 4, 4, &slen);
+                    } else {
+                        m.st.mem.write(desc + 4, 4, &Expr::constant(*len as u64, 32));
+                    }
+                    EntryInvocation::new("Send", table.send, [handle, desc, 0, 0])
+                }
+                WorkloadOp::Query { oid, len } => {
+                    if table.query_information == 0 {
+                        continue;
+                    }
+                    let buf = m.alloc_scratch(*len, "oid buffer");
+                    let mut inv = EntryInvocation::new(
+                        "QueryInformation",
+                        table.query_information,
+                        [handle, *oid, buf, *len],
+                    );
+                    inv.name = "QueryInformation".into();
+                    inv
+                }
+                WorkloadOp::Set { oid, len, value } => {
+                    if table.set_information == 0 {
+                        continue;
+                    }
+                    let buf = m.alloc_scratch(*len, "oid buffer");
+                    m.st.mem.write(buf, 4, &Expr::constant(*value as u64, 32));
+                    EntryInvocation::new(
+                        "SetInformation",
+                        table.set_information,
+                        [handle, *oid, buf, *len],
+                    )
+                }
+                WorkloadOp::FireTimers => {
+                    // Advance virtual time, then deliver one due timer.
+                    m.kernel.state.now_us += 200_000;
+                    let now_ms = m.kernel.state.now_us / 1000;
+                    let due: Option<(u32, u32, u32)> = m
+                        .kernel
+                        .state
+                        .timers
+                        .iter()
+                        .filter(|(_, t)| t.initialized && t.due.is_some_and(|d| d <= now_ms))
+                        .map(|(&a, t)| (a, t.callback, t.context))
+                        .next();
+                    match due {
+                        None => continue,
+                        Some((timer, callback, context)) => {
+                            if let Some(t) = m.kernel.state.timers.get_mut(&timer) {
+                                t.due = None;
+                            }
+                            if callback == 0 {
+                                continue;
+                            }
+                            // Timers run at dispatch level, like DPCs.
+                            m.workload_pos -= 1; // Re-run to drain others.
+                            let saved = m.save_ctx();
+                            let at_entry = "TimerCallback".to_string();
+                            let held_at_entry = m.held_locks();
+                            m.frames.push(Frame::Timer { saved, at_entry, held_at_entry });
+                            m.kernel.state.context = ExecContext::Dpc;
+                            m.kernel.state.irql = Irql::Dispatch;
+                            let inv = EntryInvocation::new(
+                                "TimerCallback",
+                                callback,
+                                [context, 0, 0, 0],
+                            );
+                            m.apply_invocation(&inv, false);
+                            m.st.trace.push(TraceEvent::EntryInvoke {
+                                name: "TimerCallback".into(),
+                                addr: callback,
+                            });
+                            return ReturnFlow::Continue;
+                        }
+                    }
+                }
+                WorkloadOp::Reset => {
+                    if table.reset == 0 {
+                        continue;
+                    }
+                    EntryInvocation::new("Reset", table.reset, [handle, 0, 0, 0])
+                }
+                WorkloadOp::CheckForHang => {
+                    if table.check_for_hang == 0 {
+                        continue;
+                    }
+                    EntryInvocation::new("CheckForHang", table.check_for_hang, [handle, 0, 0, 0])
+                }
+                WorkloadOp::Aux => {
+                    if table.aux == 0 {
+                        continue;
+                    }
+                    EntryInvocation::new("Aux", table.aux, [handle, 0, 0, 0])
+                }
+                WorkloadOp::Halt => {
+                    if table.halt == 0 {
+                        continue;
+                    }
+                    EntryInvocation::new("Halt", table.halt, [handle, 0, 0, 0])
+                }
+            };
+            m.frames.push(Frame::Entry { name: inv.name.clone(), held_at_entry: m.held_locks() });
+            m.apply_invocation(&inv, false);
+            m.st.trace.push(TraceEvent::EntryInvoke { name: inv.name.clone(), addr: inv.addr });
+            // Entry-argument annotation: symbolic OID within the window.
+            if self.config.annotations.enabled
+                && self.config.annotations.entry_args_symbolic
+                && matches!(op, WorkloadOp::Query { .. } | WorkloadOp::Set { .. })
+            {
+                let entry = inv.name.clone();
+                let oid_sym = m.st.new_symbol(
+                    format!("{entry}:oid"),
+                    SymOrigin::EntryArg { entry, index: 1 },
+                    32,
+                );
+                let window = self.config.annotations.oid_window.max(1);
+                let base = if matches!(m_class_of(&op), DriverClass::Audio) { 0 } else { OID_BASE };
+                m.st.add_constraint(
+                    Expr::constant(base as u64, 32).ule(&oid_sym),
+                );
+                m.st.add_constraint(
+                    oid_sym.ult(&Expr::constant(base as u64 + window as u64, 32)),
+                );
+                m.st.cpu.set(Reg(1), oid_sym);
+            }
+            return ReturnFlow::Continue;
+        }
+    }
+
+}
+
+/// Crude class recovery from the op shape (audio uses property ids near 0).
+fn m_class_of(op: &WorkloadOp) -> DriverClass {
+    match op {
+        WorkloadOp::Query { oid, .. } | WorkloadOp::Set { oid, .. } if *oid < 0x100 => {
+            DriverClass::Audio
+        }
+        _ => DriverClass::Net,
+    }
+}
+
+enum ReturnFlow {
+    Continue,
+    PathDone,
+}

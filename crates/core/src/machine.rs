@@ -1,0 +1,488 @@
+//! The DDT execution state: symbolic machine + kernel snapshot + schedule.
+//!
+//! "Each execution state consists conceptually of a complete system
+//! snapshot" (§4.1.2): forking a [`Machine`] forks the symbolic CPU/memory
+//! (chained COW), the kernel state (pools, locks, timers, registry), the
+//! invocation stack, and the decision schedule.
+
+use ddt_expr::Expr;
+use ddt_isa::Reg;
+use ddt_kernel::{
+    EntryInvocation, //
+    ExecContext,
+    Host,
+    HostError,
+    Irql,
+    Kernel,
+};
+use ddt_solver::Solver;
+use ddt_symvm::{SymOrigin, SymState};
+
+use crate::report::Decision;
+
+/// Saved CPU + kernel execution context for nested invocations (interrupt
+/// and timer delivery).
+#[derive(Clone, Debug)]
+pub struct SavedCtx {
+    /// Register file at the preemption point.
+    pub regs: [Expr; 16],
+    /// Program counter to resume at.
+    pub pc: u32,
+    /// IRQL to restore.
+    pub irql: Irql,
+    /// Execution context to restore.
+    pub context: ExecContext,
+}
+
+/// One entry on the invocation stack.
+#[derive(Clone, Debug)]
+pub enum Frame {
+    /// A top-level workload entry-point invocation.
+    Entry {
+        /// Entry point name.
+        name: String,
+        /// Locks held when the invocation started (a correct invocation
+        /// must not return holding any *additional* lock).
+        held_at_entry: Vec<u32>,
+    },
+    /// An injected interrupt: the ISR is running.
+    Isr {
+        /// Context to restore when the interrupt completes.
+        saved: SavedCtx,
+        /// The entry point that was interrupted.
+        at_entry: String,
+        /// Locks held at injection time (held by the interrupted code, not
+        /// by the handler).
+        held_at_entry: Vec<u32>,
+    },
+    /// The interrupt DPC (HandleInterrupt) is running.
+    Dpc {
+        /// Context to restore afterwards.
+        saved: SavedCtx,
+        /// The entry point that was interrupted.
+        at_entry: String,
+        /// Locks held when the DPC started.
+        held_at_entry: Vec<u32>,
+    },
+    /// A fired timer callback is running.
+    Timer {
+        /// Context to restore afterwards.
+        saved: SavedCtx,
+        /// The entry point name at firing time.
+        at_entry: String,
+        /// Locks held when the callback started.
+        held_at_entry: Vec<u32>,
+    },
+}
+
+impl Frame {
+    /// Display name of the code this frame runs.
+    pub fn running(&self) -> &str {
+        match self {
+            Frame::Entry { name, .. } => name,
+            Frame::Isr { .. } => "Isr",
+            Frame::Dpc { .. } => "HandleInterrupt",
+            Frame::Timer { .. } => "TimerCallback",
+        }
+    }
+
+    /// Locks that were already held when this frame started running.
+    pub fn held_at_entry(&self) -> &[u32] {
+        match self {
+            Frame::Entry { held_at_entry, .. }
+            | Frame::Isr { held_at_entry, .. }
+            | Frame::Dpc { held_at_entry, .. }
+            | Frame::Timer { held_at_entry, .. } => held_at_entry,
+        }
+    }
+
+    /// The interrupted entry, for nested frames.
+    pub fn interrupted(&self) -> Option<&str> {
+        match self {
+            Frame::Entry { .. } => None,
+            Frame::Isr { at_entry, .. }
+            | Frame::Dpc { at_entry, .. }
+            | Frame::Timer { at_entry, .. } => Some(at_entry),
+        }
+    }
+}
+
+/// Base address of the exerciser's scratch window (packets, OID buffers).
+pub const SCRATCH_BASE: u32 = 0x0300_0000;
+/// Size of the scratch window.
+pub const SCRATCH_SIZE: u32 = 0x10_0000;
+
+/// One DDT execution state.
+#[derive(Clone, Debug)]
+pub struct Machine {
+    /// Symbolic machine state.
+    pub st: SymState,
+    /// Kernel snapshot.
+    pub kernel: Kernel,
+    /// Invocation stack (bottom = current workload entry).
+    pub frames: Vec<Frame>,
+    /// Next workload operation index.
+    pub workload_pos: usize,
+    /// Remaining symbolic-interrupt injections allowed on this path.
+    pub interrupt_budget: u32,
+    /// Kernel calls made on this path (decision indexing).
+    pub kernel_calls: u64,
+    /// Kernel/driver boundary crossings on this path (decision indexing).
+    pub boundaries: u64,
+    /// Scheduling decisions taken on this path (for replay).
+    pub decisions: Vec<Decision>,
+    /// Kernel events already scanned by the checkers.
+    pub events_scanned: usize,
+    /// Bump cursor inside the scratch window.
+    pub scratch_cursor: u32,
+    /// Instructions executed since the current entry invocation started.
+    pub steps_in_entry: u64,
+    /// Locks already reported as held-at-return on this path (collateral
+    /// suppression as outer frames unwind).
+    pub reported_held_locks: std::collections::BTreeSet<u32>,
+    /// Unique id (diagnostics).
+    pub id: u64,
+}
+
+impl Machine {
+    /// Creates the root machine around a fresh symbolic state and kernel.
+    pub fn new(st: SymState, kernel: Kernel) -> Machine {
+        Machine {
+            st,
+            kernel,
+            frames: Vec::new(),
+            workload_pos: 0,
+            interrupt_budget: 1,
+            kernel_calls: 0,
+            boundaries: 0,
+            decisions: Vec::new(),
+            events_scanned: 0,
+            scratch_cursor: SCRATCH_BASE,
+            steps_in_entry: 0,
+            reported_held_locks: std::collections::BTreeSet::new(),
+            id: 0,
+        }
+    }
+
+    /// Forks the machine (cheap: COW memory/trace, small clones elsewhere).
+    pub fn fork(&mut self, new_id: u64) -> Machine {
+        Machine {
+            st: self.st.fork(),
+            kernel: self.kernel.clone(),
+            frames: self.frames.clone(),
+            workload_pos: self.workload_pos,
+            interrupt_budget: self.interrupt_budget,
+            kernel_calls: self.kernel_calls,
+            boundaries: self.boundaries,
+            decisions: self.decisions.clone(),
+            events_scanned: self.events_scanned,
+            scratch_cursor: self.scratch_cursor,
+            steps_in_entry: self.steps_in_entry,
+            reported_held_locks: self.reported_held_locks.clone(),
+            id: new_id,
+        }
+    }
+
+    /// Wraps a forked [`SymState`] produced by the interpreter into a full
+    /// machine (used when `symvm` forks at a branch).
+    pub fn adopt(&self, st: SymState, new_id: u64) -> Machine {
+        Machine {
+            st,
+            kernel: self.kernel.clone(),
+            frames: self.frames.clone(),
+            workload_pos: self.workload_pos,
+            interrupt_budget: self.interrupt_budget,
+            kernel_calls: self.kernel_calls,
+            boundaries: self.boundaries,
+            decisions: self.decisions.clone(),
+            events_scanned: self.events_scanned,
+            scratch_cursor: self.scratch_cursor,
+            steps_in_entry: self.steps_in_entry,
+            reported_held_locks: self.reported_held_locks.clone(),
+            id: new_id,
+        }
+    }
+
+    /// Name of the code currently running ("Initialize", "Isr", ...).
+    pub fn running(&self) -> &str {
+        self.frames.last().map(Frame::running).unwrap_or("<none>")
+    }
+
+    /// The workload entry at the bottom of the stack.
+    pub fn current_entry(&self) -> &str {
+        self.frames.first().map(Frame::running).unwrap_or("<none>")
+    }
+
+    /// The entry interrupted by the innermost nested frame, if any.
+    pub fn interrupted_entry(&self) -> Option<String> {
+        self.frames.last().and_then(Frame::interrupted).map(str::to_string)
+    }
+
+    /// True if the machine is inside an injected ISR/DPC/timer frame.
+    pub fn in_nested_frame(&self) -> bool {
+        self.frames.len() > 1
+    }
+
+    /// Allocates scratch guest memory (mapped and granted to the driver as
+    /// a buffer passed in by the kernel).
+    pub fn alloc_scratch(&mut self, len: u32, label: &str) -> u32 {
+        let addr = self.scratch_cursor.next_multiple_of(8);
+        self.scratch_cursor = addr + len;
+        assert!(
+            self.scratch_cursor <= SCRATCH_BASE + SCRATCH_SIZE,
+            "scratch window exhausted"
+        );
+        self.st.mem.map(addr, len);
+        self.st.grants.grant(addr, len, label);
+        addr
+    }
+
+    /// Captures the current CPU + kernel context for a nested invocation.
+    pub fn save_ctx(&self) -> SavedCtx {
+        SavedCtx {
+            regs: self.st.cpu.regs.clone(),
+            pc: self.st.cpu.pc,
+            irql: self.kernel.state.irql,
+            context: self.kernel.state.context,
+        }
+    }
+
+    /// Addresses of spinlocks currently held (frame snapshots).
+    pub fn held_locks(&self) -> Vec<u32> {
+        self.kernel
+            .state
+            .spinlocks
+            .iter()
+            .filter(|(_, l)| l.held)
+            .map(|(&a, _)| a)
+            .collect()
+    }
+
+    /// Restores a saved context (interrupt/timer return).
+    pub fn restore_ctx(&mut self, ctx: &SavedCtx) {
+        self.st.cpu.regs = ctx.regs.clone();
+        self.st.cpu.pc = ctx.pc;
+        self.kernel.state.irql = ctx.irql;
+        self.kernel.state.context = ctx.context;
+    }
+
+    /// Applies an entry invocation: registers, stack, link, pc.
+    pub fn apply_invocation(&mut self, inv: &EntryInvocation, keep_sp: bool) {
+        let sp_before = self.st.cpu.get(Reg::SP);
+        for (reg, v) in inv.reg_values() {
+            self.st.cpu.set_u32(reg, v);
+        }
+        if keep_sp {
+            // Nested invocations (ISR/DPC) run on the interrupted stack.
+            self.st.cpu.set(Reg::SP, sp_before);
+        }
+        self.st.cpu.pc = inv.addr;
+        self.steps_in_entry = 0;
+    }
+}
+
+/// [`Host`] implementation over symbolic state: the kernel's window into
+/// the (possibly symbolic) machine, with on-demand concretization (§3.2).
+pub struct SymHost<'a> {
+    /// The machine state the kernel manipulates.
+    pub st: &'a mut SymState,
+    /// Solver used for concretization.
+    pub solver: &'a mut Solver,
+    /// Arguments read so far (cached to concretize at most once).
+    pub args_seen: [Option<u32>; 4],
+}
+
+impl<'a> SymHost<'a> {
+    /// Creates a host over the state.
+    pub fn new(st: &'a mut SymState, solver: &'a mut Solver) -> SymHost<'a> {
+        SymHost { st, solver, args_seen: [None; 4] }
+    }
+
+    fn concretize_expr(&mut self, e: &Expr) -> u32 {
+        if let Some(c) = e.as_const() {
+            return c as u32;
+        }
+        // Model reuse: evaluating the cached model yields a witness value
+        // consistent with the path condition without a solver call.
+        let v = match self.st.model_eval(e) {
+            Some(v) => v as u32,
+            None => match self.solver.check(&self.st.constraints) {
+                ddt_solver::SatResult::Sat(m) => {
+                    let v = e.eval(&m) as u32;
+                    self.st.set_model(m);
+                    v
+                }
+                ddt_solver::SatResult::Unsat => {
+                    unreachable!("live path must have satisfiable constraints")
+                }
+            },
+        };
+        self.st.record_concretization(e.clone(), v);
+        v
+    }
+}
+
+impl Host for SymHost<'_> {
+    fn arg(&mut self, idx: usize) -> u32 {
+        if let Some(v) = self.args_seen[idx] {
+            return v;
+        }
+        let e = self.st.cpu.get(Reg(idx as u8));
+        let v = self.concretize_expr(&e);
+        self.args_seen[idx] = Some(v);
+        v
+    }
+
+    fn set_ret(&mut self, v: u32) {
+        self.st.cpu.set_u32(Reg(0), v);
+    }
+
+    fn mem_read(&mut self, addr: u32, size: u8) -> Result<u32, HostError> {
+        if !self.st.mem.is_range_mapped(addr, size as u32) {
+            return Err(HostError { addr });
+        }
+        let e = self.st.mem.read(addr, size);
+        match e.as_const() {
+            Some(c) => Ok(c as u32),
+            None => {
+                // Concrete (kernel) code reading symbolic memory: the
+                // location is concretized and the constraint recorded
+                // (§4.1.1). The concrete value is written back so later
+                // reads see the same value.
+                let v = self.concretize_expr(&e);
+                self.st.mem.write(addr, size, &Expr::constant(v as u64, 8 * size as u32));
+                Ok(v)
+            }
+        }
+    }
+
+    fn mem_write(&mut self, addr: u32, size: u8, v: u32) -> Result<(), HostError> {
+        if !self.st.mem.is_range_mapped(addr, size as u32) {
+            return Err(HostError { addr });
+        }
+        self.st.mem.write(addr, size, &Expr::constant(v as u64, 8 * size as u32));
+        Ok(())
+    }
+
+    fn map_region(&mut self, start: u32, len: u32) {
+        self.st.mem.map(start, len);
+    }
+
+    fn unmap_region(&mut self, start: u32, len: u32) {
+        self.st.mem.unmap(start, len);
+    }
+
+    fn make_symbolic(&mut self, addr: u32, len: u32, label: &str) {
+        for i in 0..len {
+            let sym = self.st.new_symbol(
+                format!("{label}[{i}]"),
+                SymOrigin::Annotation { api: label.to_string() },
+                8,
+            );
+            self.st.mem.write_byte(addr + i, sym);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddt_symvm::SymCounter;
+
+    fn machine() -> Machine {
+        Machine::new(SymState::new(SymCounter::new()), Kernel::new())
+    }
+
+    #[test]
+    fn fork_isolates_kernel_and_schedule() {
+        let mut a = machine();
+        a.kernel.state.registry.insert("X".into(), 1);
+        let mut b = a.fork(1);
+        b.kernel.state.registry.insert("X".into(), 2);
+        b.decisions.push(Decision::InjectInterrupt { boundary: 0 });
+        assert_eq!(a.kernel.state.registry["X"], 1);
+        assert!(a.decisions.is_empty());
+        assert_eq!(b.kernel.state.registry["X"], 2);
+    }
+
+    #[test]
+    fn scratch_allocations_map_and_grant() {
+        let mut m = machine();
+        let a = m.alloc_scratch(64, "packet data");
+        let b = m.alloc_scratch(16, "oid buffer");
+        assert!(a >= SCRATCH_BASE);
+        assert!(b >= a + 64);
+        assert!(m.st.mem.is_range_mapped(a, 64));
+        assert!(m.st.grants.contains_range(a, 64));
+        assert_eq!(m.st.grants.label_of(a), Some("packet data"));
+    }
+
+    #[test]
+    fn save_restore_roundtrip() {
+        let mut m = machine();
+        m.st.cpu.set_u32(Reg(5), 77);
+        m.st.cpu.pc = 0x1234;
+        m.kernel.state.irql = Irql::Dispatch;
+        let saved = m.save_ctx();
+        m.st.cpu.set_u32(Reg(5), 0);
+        m.st.cpu.pc = 0;
+        m.kernel.state.irql = Irql::Device;
+        m.restore_ctx(&saved);
+        assert_eq!(m.st.cpu.get(Reg(5)).as_const(), Some(77));
+        assert_eq!(m.st.cpu.pc, 0x1234);
+        assert_eq!(m.kernel.state.irql, Irql::Dispatch);
+    }
+
+    #[test]
+    fn symhost_concretizes_args_once() {
+        let mut st = SymState::new(SymCounter::new());
+        let x = st.new_symbol("a0", SymOrigin::Other, 32);
+        st.add_constraint(x.ult(&Expr::constant(10, 32)));
+        st.cpu.set(Reg(0), x);
+        let mut solver = Solver::new();
+        let mut host = SymHost::new(&mut st, &mut solver);
+        let v1 = host.arg(0);
+        let v2 = host.arg(0);
+        assert_eq!(v1, v2);
+        assert!(v1 < 10);
+        assert_eq!(host.st.concretizations.len(), 1, "one concretization only");
+    }
+
+    #[test]
+    fn symhost_concretizes_symbolic_memory_consistently() {
+        let mut st = SymState::new(SymCounter::new());
+        st.mem.map(0x1000, 0x100);
+        let x = st.new_symbol("cell", SymOrigin::Other, 32);
+        st.add_constraint(x.eq(&Expr::constant(42, 32)));
+        st.mem.write(0x1000, 4, &x);
+        let mut solver = Solver::new();
+        let mut host = SymHost::new(&mut st, &mut solver);
+        assert_eq!(host.mem_read(0x1000, 4), Ok(42));
+        // The write-back makes the location concrete for the driver too.
+        assert_eq!(st.mem.read(0x1000, 4).as_const(), Some(42));
+    }
+
+    #[test]
+    fn symhost_faults_on_unmapped() {
+        let mut st = SymState::new(SymCounter::new());
+        let mut solver = Solver::new();
+        let mut host = SymHost::new(&mut st, &mut solver);
+        assert_eq!(host.mem_read(0x5000, 4), Err(HostError { addr: 0x5000 }));
+    }
+
+    #[test]
+    fn frame_names() {
+        let saved = SavedCtx {
+            regs: std::array::from_fn(|_| Expr::constant(0, 32)),
+            pc: 0,
+            irql: Irql::Passive,
+            context: ExecContext::Passive,
+        };
+        let f = Frame::Isr { saved, at_entry: "Initialize".into(), held_at_entry: vec![] };
+        assert_eq!(f.running(), "Isr");
+        assert_eq!(f.interrupted(), Some("Initialize"));
+        let e = Frame::Entry { name: "Send".into(), held_at_entry: vec![] };
+        assert_eq!(e.running(), "Send");
+        assert_eq!(e.interrupted(), None);
+    }
+}

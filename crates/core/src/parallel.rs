@@ -1,0 +1,195 @@
+//! Parallel symbolic exploration (the §6.1 extension).
+//!
+//! "We are exploring ways to mitigate this problem by running symbolic
+//! execution in parallel (Cloud9)" — this module is that extension: the
+//! worklist becomes a shared lock-free queue, and worker threads (each with
+//! its own solver and symbolic-hardware environment) pull states, run a
+//! quantum, and push forks back. Execution states are self-contained
+//! snapshots (§4.1.2), which is exactly what makes them cheap to ship
+//! between workers.
+//!
+//! Differences from the serial explorer, both deliberate:
+//!
+//! - state selection is FIFO per worker rather than the global min-hit
+//!   heuristic (a distributed searcher trades heuristic fidelity for
+//!   throughput, as Cloud9 does); coverage is still tracked, in batches;
+//! - bug deduplication merges per-worker maps at the end — keys are stable
+//!   across exploration order, so the final set matches the serial run.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crossbeam::queue::SegQueue;
+use ddt_isa::analysis;
+use ddt_kernel::loader::StackLayout;
+use ddt_kernel::state::DEVICE_MMIO_BASE;
+use ddt_solver::Solver;
+
+use crate::coverage::Coverage;
+use crate::exerciser::{Ddt, DriverUnderTest};
+use crate::hardware::DdtEnv;
+use crate::machine::Machine;
+use crate::report::{Bug, ExploreStats, Report};
+
+/// Ids reserved per quantum (a quantum forks far fewer states than this).
+const QUANTUM_ID_BLOCK: u64 = 1 << 12;
+
+/// Runs the exploration across `workers` threads.
+///
+/// Produces the same bug set as [`Ddt::test`] (dedup keys are stable), with
+/// merged statistics. `workers == 1` degenerates to a serial FIFO run.
+pub fn test_parallel(ddt: &Ddt, dut: &DriverUnderTest, workers: usize) -> Report {
+    let workers = workers.max(1);
+    let analysis = analysis::analyze(&dut.image);
+    let coverage = Mutex::new(Coverage::new(analysis));
+    let queue: SegQueue<Machine> = SegQueue::new();
+    let in_flight = AtomicUsize::new(0);
+    let total_insns = AtomicU64::new(0);
+    let next_id = AtomicU64::new(1);
+    let stack = StackLayout::default();
+
+    let root = ddt.make_root_machine(dut);
+    queue.push(root);
+
+    let merged: Mutex<HashMap<String, Bug>> = Mutex::new(HashMap::new());
+    let all_stats: Mutex<Vec<ExploreStats>> = Mutex::new(Vec::new());
+    let started = std::time::Instant::now();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut solver = Solver::new();
+                let mut env = DdtEnv::new(
+                    DEVICE_MMIO_BASE,
+                    dut.descriptor.mmio_len,
+                    stack.base,
+                    stack.initial_sp(),
+                );
+                env.check_memory = ddt.config.check_memory;
+                let mut stats = ExploreStats::default();
+                let mut bugs: HashMap<String, Bug> = HashMap::new();
+                let mut idle_spins = 0u32;
+                loop {
+                    if total_insns.load(Ordering::Relaxed) > ddt.config.max_total_insns
+                        || started.elapsed().as_millis() as u64 > ddt.config.time_budget_ms
+                    {
+                        break;
+                    }
+                    let Some(mut m) = queue.pop() else {
+                        if in_flight.load(Ordering::Acquire) == 0 {
+                            break; // Global quiescence: no work anywhere.
+                        }
+                        idle_spins += 1;
+                        if idle_spins > 1000 {
+                            std::thread::yield_now();
+                        }
+                        continue;
+                    };
+                    idle_spins = 0;
+                    in_flight.fetch_add(1, Ordering::AcqRel);
+                    let mut local_forks: Vec<Machine> = Vec::new();
+                    // Reserve a block of ids for this quantum (ids are
+                    // diagnostics; uniqueness suffices).
+                    let mut local_id = next_id.fetch_add(QUANTUM_ID_BLOCK, Ordering::Relaxed);
+                    let mut exec_pcs: Vec<u32> = Vec::with_capacity(256);
+                    let survived = ddt.run_quantum(
+                        dut,
+                        &mut m,
+                        &mut env,
+                        &mut solver,
+                        &mut local_forks,
+                        &mut local_id,
+                        &mut stats,
+                        &mut bugs,
+                        &mut exec_pcs,
+                    );
+                    total_insns.fetch_add(exec_pcs.len() as u64, Ordering::Relaxed);
+                    {
+                        let mut cov = coverage.lock().expect("coverage lock");
+                        for pc in exec_pcs {
+                            cov.on_exec(pc);
+                        }
+                    }
+                    stats.peak_states = stats.peak_states.max(queue.len() + 1);
+                    for fork in local_forks {
+                        queue.push(fork);
+                    }
+                    if survived {
+                        queue.push(m);
+                    }
+                    in_flight.fetch_sub(1, Ordering::AcqRel);
+                }
+                stats.solver_queries = solver.stats().queries;
+                stats.solver_fast_hits = solver.stats().fast_path_hits;
+                stats.solver_full = solver.stats().full_solves;
+                merged.lock().expect("bug lock").extend(bugs);
+                all_stats.lock().expect("stats lock").push(stats);
+            });
+        }
+    });
+
+    let coverage = coverage.into_inner().expect("coverage lock");
+    let mut stats = ExploreStats::default();
+    for s in all_stats.into_inner().expect("stats lock") {
+        stats.paths_started += s.paths_started;
+        stats.paths_completed += s.paths_completed;
+        stats.paths_faulted += s.paths_faulted;
+        stats.paths_infeasible += s.paths_infeasible;
+        stats.paths_budget_killed += s.paths_budget_killed;
+        stats.insns += s.insns;
+        stats.peak_states = stats.peak_states.max(s.peak_states);
+        stats.solver_queries += s.solver_queries;
+        stats.solver_fast_hits += s.solver_fast_hits;
+        stats.solver_full += s.solver_full;
+        stats.max_cow_depth = stats.max_cow_depth.max(s.max_cow_depth);
+    }
+    stats.paths_started += 1; // The root.
+    stats.wall_ms = started.elapsed().as_millis() as u64;
+    let mut bug_list: Vec<Bug> = merged.into_inner().expect("bug lock").into_values().collect();
+    bug_list.sort_by_key(|a| (a.entry.clone(), a.pc));
+    Report {
+        driver: dut.image.name.clone(),
+        bugs: bug_list,
+        total_blocks: coverage.total_blocks(),
+        covered_blocks: coverage.covered_blocks(),
+        coverage_timeline: coverage.timeline().to_vec(),
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exerciser::DriverUnderTest;
+
+    #[test]
+    fn parallel_matches_serial_on_pcnet() {
+        let spec = ddt_drivers::driver_by_name("pcnet").expect("bundled");
+        let dut = DriverUnderTest::from_spec(&spec);
+        let ddt = Ddt::default();
+        let serial = ddt.test(&dut);
+        let parallel = test_parallel(&ddt, &dut, 4);
+        let mut sk: Vec<&str> = serial.bugs.iter().map(|b| b.key.as_str()).collect();
+        let mut pk: Vec<&str> = parallel.bugs.iter().map(|b| b.key.as_str()).collect();
+        sk.sort_unstable();
+        pk.sort_unstable();
+        assert_eq!(sk, pk, "parallel exploration finds the same bugs");
+    }
+
+    #[test]
+    fn parallel_clean_driver_stays_clean() {
+        let dut = DriverUnderTest::from_spec(&ddt_drivers::clean_driver());
+        let report = test_parallel(&Ddt::default(), &dut, 4);
+        assert!(report.bugs.is_empty());
+        assert!(report.relative_coverage() > 0.9);
+    }
+
+    #[test]
+    fn single_worker_degenerates_gracefully() {
+        let spec = ddt_drivers::driver_by_name("ensoniq").expect("bundled");
+        let dut = DriverUnderTest::from_spec(&spec);
+        let report = test_parallel(&Ddt::default(), &dut, 1);
+        assert_eq!(report.bugs.len(), 4);
+    }
+}

@@ -1,0 +1,217 @@
+//! Bug reports and the per-driver test report (§3.5).
+//!
+//! "DDT takes as input a binary device driver and outputs a report of found
+//! bugs, along with execution traces for each bug." A [`Bug`] carries the
+//! classification, the human explanation, the full execution trace, the
+//! concrete inputs solved from the path condition, and the decision
+//! schedule (interrupt injections, forced allocation failures) needed to
+//! replay it.
+
+use ddt_expr::Assignment;
+use ddt_symvm::TraceEvent;
+use serde::{Deserialize, Serialize};
+
+/// Bug classification, following the "Bug Type" column of Table 2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum BugClass {
+    /// A non-memory resource was not released (config handles, packets...).
+    ResourceLeak,
+    /// Pool memory was not freed.
+    MemoryLeak,
+    /// A write/read past the bounds of an owned buffer.
+    MemoryCorruption,
+    /// A crash from a bad pointer (NULL deref, wild jump, unexpected OID).
+    SegFault,
+    /// A crash or corruption that needs a particular interrupt timing.
+    RaceCondition,
+    /// The kernel bug-checked (API misuse: wrong IRQL, bad handles...).
+    KernelCrash,
+    /// The kernel would hang (deadlock, lock held at return, non-LIFO).
+    KernelHang,
+}
+
+impl std::fmt::Display for BugClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            BugClass::ResourceLeak => "Resource leak",
+            BugClass::MemoryLeak => "Memory leak",
+            BugClass::MemoryCorruption => "Memory corruption",
+            BugClass::SegFault => "Segmentation fault",
+            BugClass::RaceCondition => "Race condition",
+            BugClass::KernelCrash => "Kernel crash",
+            BugClass::KernelHang => "Kernel hang",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One scheduling decision DDT made on the buggy path; replay re-applies
+/// these deterministically (§3.5).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Decision {
+    /// A symbolic interrupt was delivered at boundary crossing `boundary`.
+    InjectInterrupt {
+        /// Boundary-crossing index (counted per path).
+        boundary: u64,
+    },
+    /// Kernel allocation call number `kernel_call` was forced to fail (the
+    /// concrete-to-symbolic "NULL alternative" annotation fork).
+    ForceAllocFail {
+        /// Kernel-call index (counted per path).
+        kernel_call: u64,
+    },
+    /// DDT backtracked a concretization at kernel call `kernel_call` and
+    /// re-issued it with a different feasible argument value (§3.2). The
+    /// excluded/selected values are captured by the path constraints, so
+    /// replay needs no special handling beyond the solved inputs.
+    ConcretizationBacktrack {
+        /// Kernel-call index (counted per path).
+        kernel_call: u64,
+    },
+}
+
+/// A found bug with everything needed to understand and replay it.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Bug {
+    /// Driver under test.
+    pub driver: String,
+    /// Classification (Table 2 "Bug Type").
+    pub class: BugClass,
+    /// One-line description (Table 2 "Description").
+    pub description: String,
+    /// Driver instruction the failure is attributed to.
+    pub pc: u32,
+    /// The entry point whose invocation exposed the bug.
+    pub entry: String,
+    /// If the bug fired inside an injected interrupt handler: the entry
+    /// point that was interrupted.
+    pub interrupted_entry: Option<String>,
+    /// Full execution trace of the failing path.
+    pub trace: Vec<TraceEvent>,
+    /// Concrete inputs (registry values, hardware reads, entry arguments)
+    /// that drive the driver down this path, solved from the constraints.
+    pub inputs: Assignment,
+    /// Scheduling decisions to re-apply during replay.
+    pub decisions: Vec<Decision>,
+    /// Dedup key (stable across path enumeration order).
+    pub key: String,
+}
+
+impl Bug {
+    /// Renders the Table 2 style row: driver, type, description.
+    pub fn table_row(&self) -> String {
+        format!("{:<10} {:<18} {}", self.driver, self.class.to_string(), self.description)
+    }
+}
+
+/// Exploration statistics (the §5.2 scalability numbers).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ExploreStats {
+    /// Total paths started.
+    pub paths_started: u64,
+    /// Paths run to completion (workload exhausted).
+    pub paths_completed: u64,
+    /// Paths ended by a fault or crash.
+    pub paths_faulted: u64,
+    /// Paths killed as infeasible.
+    pub paths_infeasible: u64,
+    /// Paths killed by the per-path budget.
+    pub paths_budget_killed: u64,
+    /// Total instructions executed symbolically.
+    pub insns: u64,
+    /// Peak simultaneous states in the worklist.
+    pub peak_states: usize,
+    /// Symbols created.
+    pub symbols: u32,
+    /// Solver queries issued.
+    pub solver_queries: u64,
+    /// Queries answered by the solver's cheap-model fast path.
+    pub solver_fast_hits: u64,
+    /// Queries requiring full bit-blasting and CDCL search.
+    pub solver_full: u64,
+    /// Exploration wall-clock milliseconds.
+    pub wall_ms: u64,
+    /// Maximum copy-on-write memory chain depth observed.
+    pub max_cow_depth: usize,
+}
+
+/// One coverage sample: (milliseconds since start, covered basic blocks).
+pub type CoverageSample = (u64, usize);
+
+/// The full report for one driver.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Report {
+    /// Driver name.
+    pub driver: String,
+    /// All distinct bugs found.
+    pub bugs: Vec<Bug>,
+    /// Basic blocks in the driver (denominator for relative coverage).
+    pub total_blocks: usize,
+    /// Blocks covered by the end of the run.
+    pub covered_blocks: usize,
+    /// Coverage growth over time (Figures 2 and 3).
+    pub coverage_timeline: Vec<CoverageSample>,
+    /// Exploration statistics.
+    pub stats: ExploreStats,
+}
+
+impl Report {
+    /// Relative coverage at the end of the run (0..=1).
+    pub fn relative_coverage(&self) -> f64 {
+        if self.total_blocks == 0 {
+            0.0
+        } else {
+            self.covered_blocks as f64 / self.total_blocks as f64
+        }
+    }
+
+    /// Bugs of a given class.
+    pub fn bugs_of(&self, class: BugClass) -> Vec<&Bug> {
+        self.bugs.iter().filter(|b| b.class == class).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_display_matches_table2_vocabulary() {
+        assert_eq!(BugClass::ResourceLeak.to_string(), "Resource leak");
+        assert_eq!(BugClass::RaceCondition.to_string(), "Race condition");
+        assert_eq!(BugClass::SegFault.to_string(), "Segmentation fault");
+    }
+
+    #[test]
+    fn report_relative_coverage() {
+        let r = Report {
+            driver: "x".into(),
+            bugs: vec![],
+            total_blocks: 50,
+            covered_blocks: 40,
+            coverage_timeline: vec![],
+            stats: ExploreStats::default(),
+        };
+        assert!((r.relative_coverage() - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bug_serializes() {
+        let b = Bug {
+            driver: "rtl8029".into(),
+            class: BugClass::RaceCondition,
+            description: "test".into(),
+            pc: 0x40_0000,
+            entry: "Initialize".into(),
+            interrupted_entry: Some("Initialize".into()),
+            trace: vec![],
+            inputs: Assignment::new(),
+            decisions: vec![Decision::InjectInterrupt { boundary: 3 }],
+            key: "k".into(),
+        };
+        let s = serde_json::to_string(&b).unwrap();
+        let back: Bug = serde_json::from_str(&s).unwrap();
+        assert_eq!(back.key, "k");
+        assert_eq!(back.class, BugClass::RaceCondition);
+    }
+}

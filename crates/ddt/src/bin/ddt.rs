@@ -1,0 +1,278 @@
+//! The `ddt` command-line tool.
+//!
+//! ```text
+//! ddt test <driver.dxe | bundled-name> [--audio] [--registry K=V]...
+//!          [--no-annotations] [--no-memcheck] [--workers N] [--json FILE]
+//!          [--replay]
+//! ddt asm <source.s> -o <driver.dxe>
+//! ddt disas <driver.dxe>
+//! ddt info <driver.dxe | bundled-name>
+//! ddt export <bundled-name> -o <driver.dxe>
+//! ddt list
+//! ```
+//!
+//! `test` is the paper's consumer scenario (§1): point the tool at a binary
+//! driver and get a verdict before loading it.
+
+use std::process::ExitCode;
+
+use ddt::drivers::workload::workload_for;
+use ddt::drivers::DriverClass;
+use ddt::isa::image::DxeImage;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  ddt test <driver.dxe|name> [--audio] [--registry K=V]... \
+         [--no-annotations] [--no-memcheck] [--workers N] [--json FILE] [--replay]\n  \
+         ddt asm <src.s> -o <out.dxe>\n  ddt disas <driver.dxe>\n  \
+         ddt info <driver.dxe|name>\n  ddt export <name> -o <out.dxe>\n  ddt list"
+    );
+    ExitCode::from(2)
+}
+
+fn load_image(arg: &str) -> Result<DxeImage, String> {
+    if let Some(spec) = ddt::drivers::driver_by_name(arg) {
+        return Ok(spec.build().image);
+    }
+    if arg == "clean_nic" {
+        return Ok(ddt::drivers::clean_driver().build().image);
+    }
+    let bytes = std::fs::read(arg).map_err(|e| format!("cannot read {arg}: {e}"))?;
+    DxeImage::from_bytes(&bytes).map_err(|e| format!("{arg}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().map(String::as_str) else { return usage() };
+    match cmd {
+        "list" => {
+            println!("bundled drivers:");
+            for d in ddt::drivers::drivers() {
+                println!(
+                    "  {:<10} {:?}  vendor {:04x}:{:04x}  ({} seeded bugs)",
+                    d.name, d.class, d.descriptor.vendor_id, d.descriptor.device_id,
+                    d.expected_bugs
+                );
+            }
+            println!("  {:<10} Net   (correct reference driver)", "clean_nic");
+            ExitCode::SUCCESS
+        }
+        "asm" => {
+            let (Some(src), Some(out)) = (args.get(1), flag_value(&args, "-o")) else {
+                return usage();
+            };
+            let text = match std::fs::read_to_string(src) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot read {src}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match ddt::isa::asm::assemble(&text, &ddt::kernel::export_map()) {
+                Ok(a) => {
+                    if let Err(e) = std::fs::write(&out, a.image.to_bytes()) {
+                        eprintln!("cannot write {out}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    println!(
+                        "assembled {} -> {} ({} bytes, entry {:#x})",
+                        src,
+                        out,
+                        a.image.file_size(),
+                        a.image.entry
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("{src}:{e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "disas" => {
+            let Some(path) = args.get(1) else { return usage() };
+            match load_image(path) {
+                Ok(img) => {
+                    println!("; {} — load base {:#x}, entry {:#x}", img.name, img.load_base, img.entry);
+                    for (pc, line) in ddt::isa::dis::disassemble(&img.text, img.load_base) {
+                        let marker = if pc == img.entry { " <entry>" } else { "" };
+                        println!("{pc:#010x}:  {line}{marker}");
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "info" => {
+            let Some(path) = args.get(1) else { return usage() };
+            match load_image(path) {
+                Ok(img) => {
+                    let c = ddt::isa::analysis::census(&img);
+                    println!("driver:           {}", c.name);
+                    println!("binary file:      {} bytes", c.file_size);
+                    println!("code segment:     {} bytes", c.code_size);
+                    println!("functions:        {}", c.functions);
+                    println!("kernel imports:   {}", c.kernel_functions);
+                    println!("basic blocks:     {}", c.basic_blocks);
+                    for imp in &img.imports {
+                        println!("  import {:<3} {}", imp.export_id, imp.name);
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "export" => {
+            let (Some(name), Some(out)) = (args.get(1), flag_value(&args, "-o")) else {
+                return usage();
+            };
+            match load_image(name) {
+                Ok(img) => {
+                    if let Err(e) = std::fs::write(&out, img.to_bytes()) {
+                        eprintln!("cannot write {out}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    println!("wrote {} ({} bytes)", out, img.file_size());
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "test" => {
+            let Some(target) = args.get(1) else { return usage() };
+            let image = match load_image(target) {
+                Ok(i) => i,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            // Bundled drivers bring their registry/descriptor defaults.
+            let bundled = ddt::drivers::driver_by_name(target);
+            let class = if args.iter().any(|a| a == "--audio")
+                || bundled.as_ref().is_some_and(|b| b.class == DriverClass::Audio)
+            {
+                DriverClass::Audio
+            } else {
+                DriverClass::Net
+            };
+            let mut registry: Vec<(String, u32)> = bundled
+                .as_ref()
+                .map(|b| b.registry.iter().map(|&(k, v)| (k.to_string(), v)).collect())
+                .unwrap_or_default();
+            for kv in flag_values(&args, "--registry") {
+                match kv.split_once('=') {
+                    Some((k, v)) => {
+                        let parsed = if let Some(hex) = v.strip_prefix("0x") {
+                            u32::from_str_radix(hex, 16)
+                        } else {
+                            v.parse()
+                        };
+                        match parsed {
+                            Ok(n) => registry.push((k.to_string(), n)),
+                            Err(_) => {
+                                eprintln!("bad --registry value {kv:?}");
+                                return ExitCode::from(2);
+                            }
+                        }
+                    }
+                    None => {
+                        eprintln!("--registry expects K=V, got {kv:?}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            let descriptor = bundled.map(|b| b.descriptor).unwrap_or_default();
+            let dut = ddt::DriverUnderTest {
+                image,
+                class,
+                registry,
+                descriptor,
+                workload: workload_for(class),
+            };
+            let mut config = ddt::DdtConfig::default();
+            if args.iter().any(|a| a == "--no-annotations") {
+                config.annotations = ddt::Annotations::disabled();
+            }
+            if args.iter().any(|a| a == "--no-memcheck") {
+                config.check_memory = false;
+            }
+            let tool = ddt::Ddt::new(config);
+            let started = std::time::Instant::now();
+            let report = match flag_value(&args, "--workers") {
+                Some(n) => {
+                    let workers: usize = n.parse().unwrap_or(1);
+                    ddt::test_parallel(&tool, &dut, workers)
+                }
+                None => tool.test(&dut),
+            };
+            println!(
+                "tested '{}': {} paths, {}/{} blocks ({:.0}%), {:.2?}",
+                report.driver,
+                report.stats.paths_started,
+                report.covered_blocks,
+                report.total_blocks,
+                100.0 * report.relative_coverage(),
+                started.elapsed()
+            );
+            for bug in &report.bugs {
+                println!("  [{}] {}", bug.class, bug.description);
+                if args.iter().any(|a| a == "--replay") {
+                    match ddt::replay_bug(&dut, bug) {
+                        ddt::ReplayOutcome::Reproduced { observed } => {
+                            println!("      replayed: {observed}");
+                        }
+                        ddt::ReplayOutcome::NotReproduced { observed } => {
+                            println!("      REPLAY FAILED: {observed}");
+                        }
+                    }
+                }
+            }
+            if let Some(path) = flag_value(&args, "--json") {
+                match serde_json::to_vec_pretty(&report) {
+                    Ok(j) => {
+                        if let Err(e) = std::fs::write(&path, j) {
+                            eprintln!("cannot write {path}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                        println!("report written to {path}");
+                    }
+                    Err(e) => eprintln!("serialization failed: {e}"),
+                }
+            }
+            if report.bugs.is_empty() {
+                println!("verdict: no defects found");
+                ExitCode::SUCCESS
+            } else {
+                println!("verdict: {} defect(s) — do not load this driver", report.bugs.len());
+                ExitCode::FAILURE
+            }
+        }
+        _ => usage(),
+    }
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn flag_values(args: &[String], flag: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for (i, a) in args.iter().enumerate() {
+        if a == flag {
+            if let Some(v) = args.get(i + 1) {
+                out.push(v.clone());
+            }
+        }
+    }
+    out
+}

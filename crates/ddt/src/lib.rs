@@ -1,0 +1,89 @@
+//! DDT: testing closed-source binary device drivers — the facade crate.
+//!
+//! Re-exports the whole system under one roof. A reproduction of
+//! *"Testing Closed-Source Binary Device Drivers with DDT"* (Kuznetsov,
+//! Chipounov, Candea — USENIX ATC 2010); see the repository README and
+//! DESIGN.md for architecture and EXPERIMENTS.md for the paper-vs-measured
+//! record.
+//!
+//! # Quick start
+//!
+//! ```
+//! // Pick a driver binary (here: a bundled synthetic NIC driver) and
+//! // let DDT exercise it. No source, no hardware.
+//! let spec = ddt::drivers::driver_by_name("pcnet").unwrap();
+//! let dut = ddt::DriverUnderTest::from_spec(&spec);
+//! let report = ddt::Ddt::default().test(&dut);
+//! assert_eq!(report.bugs.len(), 2); // Table 2: both PCNet leaks.
+//! ```
+//!
+//! # Layer map
+//!
+//! | Module | Crate | Role |
+//! |---|---|---|
+//! | [`expr`], [`solver`] | `ddt-expr`, `ddt-solver` | symbolic expressions + decision procedure |
+//! | [`isa`], [`vm`] | `ddt-isa`, `ddt-vm` | DDT-32 ISA, assembler, concrete VM |
+//! | [`symvm`] | `ddt-symvm` | symbolic interpreter, COW forking |
+//! | [`kernel`] | `ddt-kernel` | the mini-OS with NDIS/WDM-flavored APIs |
+//! | [`drivers`] | `ddt-drivers` | the closed-source driver binaries under test |
+//! | [`core`] (re-exported at the root) | `ddt-core` | DDT itself |
+//! | [`sdv`] | `ddt-sdv` | SDV-lite and Driver-Verifier baselines |
+
+pub use ddt_core::{
+    replay_bug, //
+    test_parallel,
+    Annotations,
+    Bug,
+    BugClass,
+    Ddt,
+    DdtConfig,
+    DriverUnderTest,
+    ExploreStats,
+    Report,
+    ReplayOutcome,
+};
+
+/// Symbolic expressions (re-export of `ddt-expr`).
+pub mod expr {
+    pub use ddt_expr::*;
+}
+
+/// Constraint solver (re-export of `ddt-solver`).
+pub mod solver {
+    pub use ddt_solver::*;
+}
+
+/// The DDT-32 ISA, assembler, and binary format (re-export of `ddt-isa`).
+pub mod isa {
+    pub use ddt_isa::*;
+}
+
+/// The concrete virtual machine (re-export of `ddt-vm`).
+pub mod vm {
+    pub use ddt_vm::*;
+}
+
+/// The symbolic execution engine (re-export of `ddt-symvm`).
+pub mod symvm {
+    pub use ddt_symvm::*;
+}
+
+/// The mini-OS kernel (re-export of `ddt-kernel`).
+pub mod kernel {
+    pub use ddt_kernel::*;
+}
+
+/// Bundled driver binaries and workloads (re-export of `ddt-drivers`).
+pub mod drivers {
+    pub use ddt_drivers::*;
+}
+
+/// DDT internals (re-export of `ddt-core`).
+pub mod core {
+    pub use ddt_core::*;
+}
+
+/// Comparison baselines (re-export of `ddt-sdv`).
+pub mod sdv {
+    pub use ddt_sdv::*;
+}

@@ -1,0 +1,281 @@
+; Intel 82801AA AC'97 audio controller driver (synthetic analog).
+;
+; Seeded defect (Table 2 row 14):
+;   14. during playback teardown, StopDma clears the stream descriptor
+;       pointer *before* stopping the engine and clearing the playing
+;       flag; the wait for the engine is a kernel call, so an interrupt
+;       arriving in that window makes the ISR dereference the cleared
+;       stream pointer — BSOD during playback.
+;
+; Initialization is fully correct (contrast with the Ensoniq driver):
+; allocation failures are handled properly and the interrupt object
+; status is checked.
+
+.name ac97
+.equ TAG,          0x41433937       ; 'AC97'
+.equ SUCCESS,      0
+.equ FAILURE,      0xC0000001
+.equ PORT_GLOB,    0x10             ; global status
+.equ PORT_CTRL,    0x11
+.equ PORT_CIV,     0x12             ; current index value
+.equ PORT_PICB,    0x13             ; position in current buffer
+.equ PORT_NAMBAR,  0x14             ; mixer register window
+.equ BUF_IRQ,      1
+.equ IRQ_LINE,     7
+
+.text
+DriverEntry:
+    push lr
+    lea  r0, adapter_table
+    call @PcRegisterAdapter
+    mov  r0, SUCCESS
+    pop  lr
+    ret
+
+; --------------------------------------------------------------------------
+; Initialize(r0 = adapter handle) -> status: correct throughout.
+Initialize:
+    push r4, r5, lr
+    lea  r1, adapter
+    stw  [r1], r0
+
+    mov  r0, 0
+    mov  r1, 512
+    mov  r2, TAG
+    call @ExAllocatePoolWithTag
+    beq  r0, 0, init_fail_plain     ; correct failure handling
+    lea  r1, ext
+    stw  [r1], r0
+
+    lea  r0, scratch
+    lea  r1, adapter
+    ldw  r1, [r1]
+    mov  r2, IRQ_LINE
+    call @PcNewInterruptSync
+    bne  r0, 0, init_fail_free_ext  ; status checked: correct
+    lea  r1, scratch
+    ldw  r5, [r1]
+    lea  r1, sync_obj
+    stw  [r1], r5
+
+    lea  r0, adapter
+    ldw  r0, [r0]
+    lea  r1, name_out
+    call @PcRegisterSubdevice
+
+    lea  r0, scratch
+    lea  r1, adapter
+    ldw  r1, [r1]
+    mov  r2, 8192
+    call @PcNewDmaChannel
+    bne  r0, 0, init_fail_free_ext
+    lea  r1, scratch
+    ldw  r5, [r1]
+    lea  r1, dma_buf
+    stw  [r1], r5
+
+    ; Cold reset of the codec through the mixer window.
+    mov  r1, 2
+    out  PORT_CTRL, r1
+    in   r1, PORT_GLOB
+    and  r1, r1, 0x100              ; codec ready?
+    bne  r1, 0, codec_ready
+    ; Give it one more chance after a settle delay.
+    mov  r0, 50
+    call @KeStallExecutionProcessor
+    in   r1, PORT_GLOB
+    and  r1, r1, 0x100
+    beq  r1, 0, init_fail_free_all
+codec_ready:
+    lea  r1, ready
+    mov  r2, 1
+    stw  [r1], r2
+    mov  r0, SUCCESS
+    pop  lr, r5, r4
+    ret
+
+init_fail_free_all:
+    lea  r0, dma_buf
+    ldw  r0, [r0]
+    call @PcFreeDmaChannel
+init_fail_free_ext:
+    lea  r0, ext
+    ldw  r0, [r0]
+    mov  r1, TAG
+    call @ExFreePoolWithTag
+init_fail_plain:
+    mov  r0, FAILURE
+    pop  lr, r5, r4
+    ret
+
+; --------------------------------------------------------------------------
+; Send(r0 = handle, r1 = unused) = Play: publish the stream and start.
+Play:
+    push lr
+    lea  r2, ready
+    ldw  r2, [r2]
+    beq  r2, 0, play_fail
+    ; The stream descriptor lives in the extension.
+    lea  r1, ext
+    ldw  r1, [r1]
+    lea  r2, stream
+    stw  [r2], r1                   ; publish stream descriptor
+    lea  r2, playing
+    mov  r3, 1
+    stw  [r2], r3
+    out  PORT_CTRL, r3              ; run
+    mov  r0, SUCCESS
+    pop  lr
+    ret
+play_fail:
+    mov  r0, FAILURE
+    pop  lr
+    ret
+
+; --------------------------------------------------------------------------
+; QueryInformation(r0=handle, r1=prop, r2=buf, r3=len): playback position.
+QueryInformation:
+    push lr
+    bne  r1, 0, qp_bad
+    bltu r3, 8, qp_bad
+    in   r1, PORT_CIV
+    and  r1, r1, 31                 ; index is masked: correct
+    stw  [r2], r1
+    in   r1, PORT_PICB
+    stw  [r2+4], r1
+    mov  r0, SUCCESS
+    pop  lr
+    ret
+qp_bad:
+    mov  r0, FAILURE
+    pop  lr
+    ret
+
+; --------------------------------------------------------------------------
+; SetInformation(r0=handle, r1=prop, r2=buf, r3=len): mixer volume.
+SetInformation:
+    push lr
+    bne  r1, 1, sv_bad
+    bltu r3, 4, sv_bad
+    ldw  r1, [r2]
+    and  r1, r1, 0x3f3f             ; both channels masked: correct
+    out  PORT_NAMBAR, r1
+    mov  r0, SUCCESS
+    pop  lr
+    ret
+sv_bad:
+    mov  r0, FAILURE
+    pop  lr
+    ret
+
+; --------------------------------------------------------------------------
+; Isr(r0 = ctx): dereferences the stream descriptor when the hardware
+; reports a buffer-complete interrupt while the engine is running.
+Isr:
+    push lr
+    in   r1, PORT_GLOB
+    and  r2, r1, BUF_IRQ
+    beq  r2, 0, isr_no
+    out  PORT_GLOB, r2              ; acknowledge
+    lea  r1, playing
+    ldw  r1, [r1]
+    beq  r1, 0, isr_no
+    lea  r1, stream
+    ldw  r1, [r1]
+    ldw  r2, [r1+16]                ; defect 14: stream may be NULL here
+    add  r2, r2, 1
+    stw  [r1+16], r2                ; bump the completed-buffer count
+    mov  r0, 1
+    pop  lr
+    ret
+isr_no:
+    mov  r0, 0
+    pop  lr
+    ret
+
+; --------------------------------------------------------------------------
+HandleInterrupt:
+    push lr
+    in   r1, PORT_CIV
+    and  r1, r1, 31
+    lea  r2, civ_shadow
+    stw  [r2], r1
+    mov  r0, 0
+    pop  lr
+    ret
+
+; --------------------------------------------------------------------------
+; Aux = StopDma(r0 = handle). Defect 14: the stream pointer is cleared
+; first, the engine stop waits in the kernel, and only then does the
+; playing flag go down — leaving a window where the ISR sees
+; playing == 1 with stream == NULL.
+StopDma:
+    push lr
+    lea  r1, stream
+    mov  r2, 0
+    stw  [r1], r2                   ; cleared too early
+    mov  r0, 10
+    call @KeStallExecutionProcessor ; engine drain; interrupts still live
+    lea  r1, playing
+    mov  r2, 0
+    stw  [r1], r2                   ; cleared too late
+    out  PORT_CTRL, r2
+    mov  r0, SUCCESS
+    pop  lr
+    ret
+
+Reset:
+    push lr
+    mov  r1, 2
+    out  PORT_CTRL, r1
+    mov  r0, SUCCESS
+    pop  lr
+    ret
+
+; --------------------------------------------------------------------------
+; Halt(r0 = handle): correct teardown.
+Halt:
+    push lr
+    ; Stop interrupt delivery before tearing anything down (correct order).
+    lea  r0, sync_obj
+    ldw  r0, [r0]
+    call @PcDisconnectInterrupt
+    lea  r0, dma_buf
+    ldw  r0, [r0]
+    beq  r0, 0, halt_no_dma
+    call @PcFreeDmaChannel
+halt_no_dma:
+    lea  r0, ext
+    ldw  r0, [r0]
+    beq  r0, 0, halt_no_ext
+    mov  r1, TAG
+    call @ExFreePoolWithTag
+halt_no_ext:
+    lea  r1, ready
+    mov  r2, 0
+    stw  [r1], r2
+    mov  r0, SUCCESS
+    pop  lr
+    ret
+
+CheckForHang:
+    mov  r0, 0
+    ret
+
+.data
+adapter_table:
+    .word Initialize, Play, QueryInformation, SetInformation
+    .word Isr, HandleInterrupt, Reset, Halt, CheckForHang, StopDma
+name_out:
+    .asciz "PCM Out"
+
+.bss
+adapter:    .space 4
+ext:        .space 4
+sync_obj:   .space 4
+dma_buf:    .space 4
+stream:     .space 4
+playing:    .space 4
+ready:      .space 4
+civ_shadow: .space 4
+scratch:    .space 32

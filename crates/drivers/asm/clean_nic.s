@@ -1,0 +1,249 @@
+; A fully correct NDIS miniport driver.
+;
+; Used to validate that DDT reports zero false positives (the paper reports
+; none across the whole evaluation, §5.1), and as the base template for the
+; SDV-comparison variants.
+
+.name clean_nic
+.equ TAG,          0x434c4e31       ; 'CLN1'
+.equ NDIS_SUCCESS, 0
+.equ NDIS_FAILURE, 0xC0000001
+.equ NDIS_NOTSUP,  0xC00000BB
+.equ OID_BASE,     0x00010100
+.equ PORT_STATUS,  0x10
+.equ PORT_IACK,    0x11
+.equ PORT_TX,      0x14
+.equ IRQ_LINE,     4
+
+.text
+DriverEntry:
+    push lr
+    lea  r0, miniport_table
+    call @NdisMRegisterMiniport
+    mov  r0, NDIS_SUCCESS
+    pop  lr
+    ret
+
+; --------------------------------------------------------------------------
+Initialize:
+    push r4, r5, lr
+    lea  r1, adapter
+    stw  [r1], r0
+
+    lea  r0, scratch
+    lea  r1, scratch+4
+    call @NdisOpenConfiguration
+    lea  r1, scratch+4
+    ldw  r5, [r1]
+    lea  r1, cfg_handle
+    stw  [r1], r5
+
+    ; Read an optional parameter, range-checked before use.
+    lea  r0, scratch
+    lea  r1, scratch+8
+    mov  r2, r5
+    lea  r3, name_depth
+    call @NdisReadConfiguration
+    bne  r0, 0, depth_default
+    lea  r1, scratch+12
+    ldw  r4, [r1]
+    bltu r4, 33, depth_store        ; clamp to the table size: correct
+depth_default:
+    mov  r4, 8
+depth_store:
+    lea  r1, ring_depth
+    stw  [r1], r4
+
+    ; Always close the configuration, on every path from here on.
+    lea  r0, cfg_handle
+    ldw  r0, [r0]
+    call @NdisCloseConfiguration
+
+    lea  r0, scratch
+    mov  r1, 256
+    mov  r2, TAG
+    call @NdisAllocateMemoryWithTag
+    bne  r0, 0, init_fail
+    lea  r1, scratch
+    ldw  r5, [r1]
+    lea  r1, ring_block
+    stw  [r1], r5
+
+    ; Write the terminator inside bounds (contrast with rtl8029).
+    lea  r1, ring_depth
+    ldw  r2, [r1]
+    shl  r2, r2, 2
+    add  r2, r5, r2
+    mov  r3, 0
+    stw  [r2], r3
+
+    lea  r0, timer
+    lea  r1, adapter
+    ldw  r1, [r1]
+    lea  r2, TimerFn
+    mov  r3, 0
+    call @NdisMInitializeTimer
+    lea  r0, intr_obj
+    lea  r1, adapter
+    ldw  r1, [r1]
+    mov  r2, IRQ_LINE
+    mov  r3, 0
+    call @NdisMRegisterInterrupt
+
+    lea  r1, ready
+    mov  r2, 1
+    stw  [r1], r2
+    mov  r0, NDIS_SUCCESS
+    pop  lr, r5, r4
+    ret
+
+init_fail:
+    ; Nothing outstanding: the configuration was closed above.
+    mov  r0, NDIS_FAILURE
+    pop  lr, r5, r4
+    ret
+
+; --------------------------------------------------------------------------
+Send:
+    push lr
+    lea  r2, ready
+    ldw  r2, [r2]
+    beq  r2, 0, send_fail
+    ldw  r2, [r1]
+    ldw  r3, [r1+4]
+    bgeu r3, 1515, send_fail
+    beq  r3, 0, send_fail
+    ldb  r2, [r2]
+    out  PORT_TX, r3
+    lea  r0, adapter
+    ldw  r0, [r0]
+    mov  r2, 0
+    call @NdisMSendComplete
+    mov  r0, NDIS_SUCCESS
+    pop  lr
+    ret
+send_fail:
+    mov  r0, NDIS_FAILURE
+    pop  lr
+    ret
+
+; --------------------------------------------------------------------------
+QueryInformation:
+    push lr
+    sub  r1, r1, OID_BASE
+    bgeu r1, 2, q_bad
+    bltu r3, 4, q_bad
+    beq  r1, 1, q_depth
+    mov  r1, 100000000
+    stw  [r2], r1
+    mov  r0, NDIS_SUCCESS
+    pop  lr
+    ret
+q_depth:
+    lea  r1, ring_depth
+    ldw  r1, [r1]
+    stw  [r2], r1
+    mov  r0, NDIS_SUCCESS
+    pop  lr
+    ret
+q_bad:
+    mov  r0, NDIS_NOTSUP
+    pop  lr
+    ret
+
+SetInformation:
+    push lr
+    sub  r1, r1, OID_BASE
+    bne  r1, 0, s_bad
+    bltu r3, 4, s_bad
+    ldw  r1, [r2]
+    lea  r2, rx_filter
+    stw  [r2], r1
+    mov  r0, NDIS_SUCCESS
+    pop  lr
+    ret
+s_bad:
+    mov  r0, NDIS_NOTSUP
+    pop  lr
+    ret
+
+; --------------------------------------------------------------------------
+Isr:
+    push lr
+    in   r1, PORT_STATUS
+    and  r2, r1, 1
+    beq  r2, 0, isr_no
+    out  PORT_IACK, r1
+    ; The timer is always initialized before interrupts are registered.
+    lea  r0, timer
+    mov  r1, 5
+    call @NdisMSetTimer
+    mov  r0, 1
+    pop  lr
+    ret
+isr_no:
+    mov  r0, 0
+    pop  lr
+    ret
+
+HandleInterrupt:
+    push lr
+    in   r1, PORT_STATUS
+    mov  r0, 0
+    pop  lr
+    ret
+
+TimerFn:
+    push lr
+    in   r1, PORT_STATUS
+    mov  r0, 0
+    pop  lr
+    ret
+
+Reset:
+    push lr
+    mov  r1, 1
+    out  PORT_IACK, r1
+    mov  r0, NDIS_SUCCESS
+    pop  lr
+    ret
+
+Halt:
+    push lr
+    lea  r0, intr_obj
+    call @NdisMDeregisterInterrupt
+    lea  r0, ring_block
+    ldw  r0, [r0]
+    beq  r0, 0, halt_done
+    mov  r1, 256
+    mov  r2, 0
+    call @NdisFreeMemory
+halt_done:
+    lea  r1, ready
+    mov  r2, 0
+    stw  [r1], r2
+    mov  r0, NDIS_SUCCESS
+    pop  lr
+    ret
+
+CheckForHang:
+    mov  r0, 0
+    ret
+
+.data
+miniport_table:
+    .word Initialize, Send, QueryInformation, SetInformation
+    .word Isr, HandleInterrupt, Reset, Halt, CheckForHang, 0
+name_depth:
+    .asciz "RingDepth"
+
+.bss
+adapter:    .space 4
+cfg_handle: .space 4
+ring_block: .space 4
+ring_depth: .space 4
+ready:      .space 4
+rx_filter:  .space 4
+timer:      .space 16
+intr_obj:   .space 16
+scratch:    .space 32

@@ -1,0 +1,294 @@
+; Ensoniq AudioPCI (ES1370) sound driver (synthetic analog).
+;
+; Seeded defects (Table 2 rows 8-11):
+;    8. when ExAllocatePoolWithTag returns NULL, the error-handling path
+;       itself stores through the NULL pointer (the check exists, the
+;       error path is broken)
+;    9. the PcNewInterruptSync status is ignored; the (NULL) sync object
+;       is dereferenced immediately afterwards
+;   10. the ISR is live before the DMA buffer pointer is published:
+;       an interrupt during initialization dereferences NULL
+;   11. Play clears the DMA buffer pointer while reprogramming the DMA
+;       engine and waits with the ISR live: an interrupt while playing
+;       dereferences NULL
+;
+; The ISR trusts the hardware status register rather than driver state,
+; which is what turns the two windows (init, playback) into crashes.
+
+.name ensoniq
+.equ TAG,          0x45533137       ; 'ES17'
+.equ SUCCESS,      0
+.equ FAILURE,      0xC0000001
+.equ PORT_STATUS,  0x10
+.equ PORT_CTRL,    0x11
+.equ PORT_DMA_A,   0x12             ; DMA base register
+.equ PORT_VOL,     0x13
+.equ PLAY_IRQ,     1                ; status bit: playback frame done
+.equ IRQ_LINE,     6
+
+.text
+DriverEntry:
+    push lr
+    lea  r0, adapter_table
+    call @PcRegisterAdapter
+    mov  r0, SUCCESS
+    pop  lr
+    ret
+
+; --------------------------------------------------------------------------
+; Initialize(r0 = adapter handle) -> status
+Initialize:
+    push r4, r5, lr
+    lea  r1, adapter
+    stw  [r1], r0
+
+    ; Device extension from non-paged pool.
+    mov  r0, 0                      ; NonPagedPool
+    mov  r1, 256
+    mov  r2, TAG
+    call @ExAllocatePoolWithTag
+    bne  r0, 0, ext_ok
+    ; Error-handling path: record the failure in the extension... which is
+    ; exactly the NULL pointer we just failed to obtain. Defect 8.
+    mov  r1, FAILURE
+    stw  [r0+8], r1
+    mov  r0, FAILURE
+    pop  lr, r5, r4
+    ret
+ext_ok:
+    lea  r1, ext
+    stw  [r1], r0
+
+    ; Interrupt sync object. The status is ignored: defect 9. From here
+    ; the ISR is live while the DMA pointer is still NULL: defect 10.
+    lea  r0, scratch
+    lea  r1, adapter
+    ldw  r1, [r1]
+    mov  r2, IRQ_LINE
+    call @PcNewInterruptSync
+    lea  r1, scratch
+    ldw  r5, [r1]                   ; r5 = sync object (NULL on failure)
+    lea  r1, sync_obj
+    stw  [r1], r5
+    ldw  r2, [r5+4]                 ; defect 9: unchecked dereference
+    lea  r1, sync_rev
+    stw  [r1], r2
+
+    ; Wave-out subdevice.
+    lea  r0, adapter
+    ldw  r0, [r0]
+    lea  r1, name_wave
+    call @PcRegisterSubdevice
+
+    ; DMA buffer; published only at the end of initialization.
+    lea  r0, scratch
+    lea  r1, adapter
+    ldw  r1, [r1]
+    mov  r2, 4096
+    call @PcNewDmaChannel
+    bne  r0, 0, init_fail_dma
+    lea  r1, scratch
+    ldw  r5, [r1]
+    out  PORT_DMA_A, r5             ; program the engine
+    lea  r1, dma_buf
+    stw  [r1], r5                   ; <-- end of the defect-10 window
+
+    lea  r1, ready
+    mov  r2, 1
+    stw  [r1], r2
+    mov  r0, SUCCESS
+    pop  lr, r5, r4
+    ret
+
+init_fail_dma:
+    ; Correct cleanup for this path.
+    lea  r0, ext
+    ldw  r0, [r0]
+    mov  r1, TAG
+    call @ExFreePoolWithTag
+    mov  r0, FAILURE
+    pop  lr, r5, r4
+    ret
+
+; --------------------------------------------------------------------------
+; Send(r0 = handle, r1 = unused) = Play: start or restart playback.
+Play:
+    push r4, lr
+    lea  r2, ready
+    ldw  r2, [r2]
+    beq  r2, 0, play_fail
+    ; Reprogram the DMA engine. The pointer is parked at NULL while the
+    ; engine is being re-written: defect 11 window.
+    lea  r1, dma_buf
+    ldw  r4, [r1]
+    mov  r2, 0
+    stw  [r1], r2                   ; dma_buf = NULL
+    out  PORT_DMA_A, r4
+    mov  r0, 5
+    call @KeStallExecutionProcessor ; hardware settle; ISR can fire here
+    lea  r1, dma_buf
+    stw  [r1], r4                   ; republish
+    lea  r1, playing
+    mov  r2, 1
+    stw  [r1], r2
+    mov  r2, 1
+    out  PORT_CTRL, r2              ; start
+    mov  r0, SUCCESS
+    pop  lr, r4
+    ret
+play_fail:
+    mov  r0, FAILURE
+    pop  lr, r4
+    ret
+
+; --------------------------------------------------------------------------
+; QueryInformation(r0=handle, r1=prop, r2=buf, r3=len): position property.
+QueryInformation:
+    push lr
+    bne  r1, 0, qp_bad
+    bltu r3, 4, qp_bad
+    in   r1, PORT_STATUS
+    shr  r1, r1, 8                  ; frame counter field
+    stw  [r2], r1
+    mov  r0, SUCCESS
+    pop  lr
+    ret
+qp_bad:
+    mov  r0, FAILURE
+    pop  lr
+    ret
+
+; --------------------------------------------------------------------------
+; SetInformation(r0=handle, r1=prop, r2=buf, r3=len) = SetFormat/SetVolume.
+SetInformation:
+    push lr
+    bltu r3, 4, sp_bad
+    beq  r1, 0, sp_rate
+    bne  r1, 1, sp_bad
+    ; Volume: clamped correctly.
+    ldw  r1, [r2]
+    bltu r1, 256, sp_vol_ok
+    mov  r1, 255
+sp_vol_ok:
+    out  PORT_VOL, r1
+    mov  r0, SUCCESS
+    pop  lr
+    ret
+sp_rate:
+    ldw  r1, [r2]
+    bltu r1, 8000, sp_bad
+    bgeu r1, 48001, sp_bad
+    lea  r2, rate
+    stw  [r2], r1
+    mov  r0, SUCCESS
+    pop  lr
+    ret
+sp_bad:
+    mov  r0, FAILURE
+    pop  lr
+    ret
+
+; --------------------------------------------------------------------------
+; Isr(r0 = ctx): trusts the hardware status register. Defects 10 and 11
+; manifest here as NULL dereferences of dma_buf.
+Isr:
+    push lr
+    in   r1, PORT_STATUS
+    and  r2, r1, PLAY_IRQ
+    beq  r2, 0, isr_no
+    out  PORT_CTRL, r2              ; acknowledge the frame interrupt
+    lea  r1, dma_buf
+    ldw  r1, [r1]
+    ldw  r2, [r1]                   ; fetch the next frame pointer
+    lea  r3, cur_frame
+    stw  [r3], r2
+    mov  r0, 1
+    pop  lr
+    ret
+isr_no:
+    mov  r0, 0
+    pop  lr
+    ret
+
+; --------------------------------------------------------------------------
+; HandleInterrupt(r0 = ctx): the DPC; advances the ring tail.
+HandleInterrupt:
+    push lr
+    lea  r1, cur_frame
+    ldw  r1, [r1]
+    and  r1, r1, 0xfff
+    lea  r2, tail
+    stw  [r2], r1
+    mov  r0, 0
+    pop  lr
+    ret
+
+; --------------------------------------------------------------------------
+; Aux = StopDma(r0 = handle): correct ordering (flag first, then pointer).
+StopDma:
+    push lr
+    lea  r1, playing
+    mov  r2, 0
+    stw  [r1], r2
+    out  PORT_CTRL, r2
+    mov  r0, SUCCESS
+    pop  lr
+    ret
+
+Reset:
+    push lr
+    mov  r1, 0x80
+    out  PORT_CTRL, r1
+    mov  r0, SUCCESS
+    pop  lr
+    ret
+
+; --------------------------------------------------------------------------
+; Halt(r0 = handle): correct teardown.
+Halt:
+    push lr
+    ; Stop interrupt delivery before tearing anything down (correct order).
+    lea  r0, sync_obj
+    ldw  r0, [r0]
+    call @PcDisconnectInterrupt
+    lea  r0, dma_buf
+    ldw  r0, [r0]
+    beq  r0, 0, halt_no_dma
+    call @PcFreeDmaChannel
+halt_no_dma:
+    lea  r0, ext
+    ldw  r0, [r0]
+    beq  r0, 0, halt_no_ext
+    mov  r1, TAG
+    call @ExFreePoolWithTag
+halt_no_ext:
+    lea  r1, ready
+    mov  r2, 0
+    stw  [r1], r2
+    mov  r0, SUCCESS
+    pop  lr
+    ret
+
+CheckForHang:
+    mov  r0, 0
+    ret
+
+.data
+adapter_table:
+    .word Initialize, Play, QueryInformation, SetInformation
+    .word Isr, HandleInterrupt, Reset, Halt, CheckForHang, StopDma
+name_wave:
+    .asciz "Wave"
+
+.bss
+adapter:   .space 4
+ext:       .space 4
+sync_obj:  .space 4
+sync_rev:  .space 4
+dma_buf:   .space 4
+playing:   .space 4
+ready:     .space 4
+rate:      .space 4
+cur_frame: .space 4
+tail:      .space 4
+scratch:   .space 32

@@ -1,0 +1,339 @@
+; AMD PCNet NIC driver (synthetic analog).
+;
+; Seeded defects (Table 2 rows 6-7):
+;   6. memory allocated with NdisAllocateMemoryWithTag is not freed when a
+;      later allocation fails during initialization
+;   7. packets and buffers (and their pools) are not freed on the same
+;      failed-initialization path
+;
+; The teardown path (Halt) is correct, so the leaks only manifest on the
+; failure path that DDT reaches by forking the allocation-failure
+; alternative (concrete-to-symbolic annotation on the allocator).
+
+.name pcnet
+.equ TAG,          0x50434e54       ; 'PCNT'
+.equ NDIS_SUCCESS, 0
+.equ NDIS_FAILURE, 0xC0000001
+.equ OID_BASE,     0x00010100
+.equ PORT_CSR0,    0x10
+.equ PORT_IACK,    0x11
+.equ PORT_TX,      0x14
+.equ IRQ_LINE,     10
+.equ RX_RING,      2                ; rx descriptors
+
+.text
+DriverEntry:
+    push lr
+    lea  r0, miniport_table
+    call @NdisMRegisterMiniport
+    mov  r0, NDIS_SUCCESS
+    pop  lr
+    ret
+
+; --------------------------------------------------------------------------
+; Initialize(r0 = adapter handle) -> status
+Initialize:
+    push r4, r5, r6, lr
+    lea  r1, adapter
+    stw  [r1], r0
+
+    ; Adapter block (allocation A).
+    lea  r0, scratch
+    mov  r1, 64
+    mov  r2, TAG
+    call @NdisAllocateMemoryWithTag
+    bne  r0, 0, init_fail_plain     ; Nothing allocated yet: plain failure.
+    lea  r1, scratch
+    ldw  r5, [r1]
+    lea  r1, adapter_block
+    stw  [r1], r5
+
+    ; Packet pool + buffer pool + rx ring descriptors.
+    lea  r0, scratch
+    lea  r1, scratch+4
+    mov  r2, RX_RING
+    mov  r3, 0
+    call @NdisAllocatePacketPool
+    lea  r1, scratch+4
+    ldw  r5, [r1]
+    lea  r1, pkt_pool
+    stw  [r1], r5
+
+    lea  r0, scratch
+    lea  r1, scratch+4
+    mov  r2, RX_RING
+    call @NdisAllocateBufferPool
+    lea  r1, scratch+4
+    ldw  r5, [r1]
+    lea  r1, buf_pool
+    stw  [r1], r5
+
+    ; Two rx packets, each with one buffer over the rx area.
+    mov  r6, 0
+ring_loop:
+    lea  r0, scratch
+    lea  r1, scratch+4
+    lea  r2, pkt_pool
+    ldw  r2, [r2]
+    call @NdisAllocatePacket
+    lea  r1, scratch+4
+    ldw  r4, [r1]
+    lea  r1, rx_pkts
+    shl  r5, r6, 2
+    add  r1, r1, r5
+    stw  [r1], r4
+
+    lea  r0, scratch+8
+    lea  r1, buf_pool
+    ldw  r1, [r1]
+    lea  r2, rx_area
+    mov  r3, 256
+    call @NdisAllocateBuffer
+    lea  r1, scratch+8
+    ldw  r4, [r1]
+    lea  r1, rx_bufs
+    shl  r5, r6, 2
+    add  r1, r1, r5
+    stw  [r1], r4
+
+    add  r6, r6, 1
+    bltu r6, RX_RING, ring_loop
+
+    ; DMA shadow area (allocation B). On failure everything allocated so
+    ; far is leaked: defects 6 and 7.
+    lea  r0, scratch
+    mov  r1, 512
+    mov  r2, TAG
+    call @NdisAllocateMemoryWithTag
+    bne  r0, 0, init_fail_leak      ; <-- the buggy path
+    lea  r1, scratch
+    ldw  r5, [r1]
+    lea  r1, dma_block
+    stw  [r1], r5
+
+    ; Interrupt + timer, in the correct order.
+    lea  r0, timer
+    lea  r1, adapter
+    ldw  r1, [r1]
+    lea  r2, TimerFn
+    mov  r3, 0
+    call @NdisMInitializeTimer
+    lea  r0, intr_obj
+    lea  r1, adapter
+    ldw  r1, [r1]
+    mov  r2, IRQ_LINE
+    mov  r3, 0
+    call @NdisMRegisterInterrupt
+
+    lea  r1, ready
+    mov  r2, 1
+    stw  [r1], r2
+    mov  r0, NDIS_SUCCESS
+    pop  lr, r6, r5, r4
+    ret
+
+init_fail_leak:
+    ; Defects 6 and 7: returns failure without freeing the adapter block,
+    ; the rx packets/buffers, or the pools.
+    mov  r0, NDIS_FAILURE
+    pop  lr, r6, r5, r4
+    ret
+
+init_fail_plain:
+    mov  r0, NDIS_FAILURE
+    pop  lr, r6, r5, r4
+    ret
+
+; --------------------------------------------------------------------------
+; Send(r0 = handle, r1 = packet) -> status
+Send:
+    push lr
+    lea  r2, ready
+    ldw  r2, [r2]
+    beq  r2, 0, send_fail
+    ldw  r2, [r1]                   ; data va
+    ldw  r3, [r1+4]                 ; length
+    bgeu r3, 1515, send_fail
+    ldb  r2, [r2]
+    out  PORT_TX, r3
+    lea  r0, adapter
+    ldw  r0, [r0]
+    mov  r2, 0
+    call @NdisMSendComplete
+    mov  r0, NDIS_SUCCESS
+    pop  lr
+    ret
+send_fail:
+    mov  r0, NDIS_FAILURE
+    pop  lr
+    ret
+
+; --------------------------------------------------------------------------
+; QueryInformation(r0=handle, r1=oid, r2=buf, r3=len): bounds-checked.
+QueryInformation:
+    push lr
+    sub  r1, r1, OID_BASE
+    bgeu r1, 2, qi_bad
+    bltu r3, 4, qi_bad
+    beq  r1, 0, qi_speed
+    in   r1, PORT_CSR0              ; OID 1: device status register
+    stw  [r2], r1
+    mov  r0, NDIS_SUCCESS
+    pop  lr
+    ret
+qi_speed:
+    mov  r1, 100000000
+    stw  [r2], r1
+    mov  r0, NDIS_SUCCESS
+    pop  lr
+    ret
+qi_bad:
+    mov  r0, 0xC00000BB             ; NDIS_STATUS_NOT_SUPPORTED
+    pop  lr
+    ret
+
+; --------------------------------------------------------------------------
+; SetInformation(r0=handle, r1=oid, r2=buf, r3=len): bounds-checked.
+SetInformation:
+    push lr
+    sub  r1, r1, OID_BASE
+    bne  r1, 0, si_bad
+    bltu r3, 4, si_bad
+    ldw  r1, [r2]
+    lea  r2, rx_filter
+    stw  [r2], r1
+    mov  r0, NDIS_SUCCESS
+    pop  lr
+    ret
+si_bad:
+    mov  r0, 0xC00000BB
+    pop  lr
+    ret
+
+; --------------------------------------------------------------------------
+Isr:
+    push lr
+    in   r1, PORT_CSR0
+    and  r2, r1, 0x80
+    beq  r2, 0, isr_no
+    out  PORT_IACK, r2
+    mov  r0, 1
+    pop  lr
+    ret
+isr_no:
+    mov  r0, 0
+    pop  lr
+    ret
+
+HandleInterrupt:
+    push lr
+    in   r1, PORT_CSR0
+    and  r2, r1, 0x40
+    beq  r2, 0, dpc_done
+    lea  r0, adapter
+    ldw  r0, [r0]
+    mov  r1, 0
+    mov  r2, 0
+    mov  r3, 0
+    call @NdisMIndicateStatus
+dpc_done:
+    mov  r0, 0
+    pop  lr
+    ret
+
+TimerFn:
+    push lr
+    in   r1, PORT_CSR0
+    mov  r0, 0
+    pop  lr
+    ret
+
+Reset:
+    push lr
+    mov  r1, 4
+    out  PORT_CSR0, r1
+    mov  r0, NDIS_SUCCESS
+    pop  lr
+    ret
+
+; --------------------------------------------------------------------------
+; Halt(r0 = handle): the CORRECT teardown, for contrast with Initialize.
+Halt:
+    push r4, r5, lr
+    lea  r0, intr_obj
+    call @NdisMDeregisterInterrupt
+
+    ; Free both rx packets and buffers.
+    mov  r4, 0
+halt_loop:
+    lea  r1, rx_bufs
+    shl  r5, r4, 2
+    add  r1, r1, r5
+    ldw  r0, [r1]
+    beq  r0, 0, halt_skip_buf
+    call @NdisFreeBuffer
+halt_skip_buf:
+    lea  r1, rx_pkts
+    shl  r5, r4, 2
+    add  r1, r1, r5
+    ldw  r0, [r1]
+    beq  r0, 0, halt_skip_pkt
+    call @NdisFreePacket
+halt_skip_pkt:
+    add  r4, r4, 1
+    bltu r4, RX_RING, halt_loop
+
+    lea  r0, buf_pool
+    ldw  r0, [r0]
+    beq  r0, 0, halt_skip_bpool
+    call @NdisFreeBufferPool
+halt_skip_bpool:
+    lea  r0, pkt_pool
+    ldw  r0, [r0]
+    beq  r0, 0, halt_skip_ppool
+    call @NdisFreePacketPool
+halt_skip_ppool:
+    lea  r0, dma_block
+    ldw  r0, [r0]
+    beq  r0, 0, halt_skip_dma
+    mov  r1, 512
+    mov  r2, 0
+    call @NdisFreeMemory
+halt_skip_dma:
+    lea  r0, adapter_block
+    ldw  r0, [r0]
+    beq  r0, 0, halt_skip_ab
+    mov  r1, 64
+    mov  r2, 0
+    call @NdisFreeMemory
+halt_skip_ab:
+    lea  r1, ready
+    mov  r2, 0
+    stw  [r1], r2
+    mov  r0, NDIS_SUCCESS
+    pop  lr, r5, r4
+    ret
+
+CheckForHang:
+    mov  r0, 0
+    ret
+
+.data
+miniport_table:
+    .word Initialize, Send, QueryInformation, SetInformation
+    .word Isr, HandleInterrupt, Reset, Halt, CheckForHang, 0
+
+.bss
+adapter:       .space 4
+adapter_block: .space 4
+dma_block:     .space 4
+pkt_pool:      .space 4
+buf_pool:      .space 4
+rx_pkts:       .space 8
+rx_bufs:       .space 8
+ready:         .space 4
+rx_filter:     .space 4
+timer:         .space 16
+intr_obj:      .space 16
+scratch:       .space 32
+rx_area:       .space 512

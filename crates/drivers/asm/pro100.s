@@ -1,0 +1,392 @@
+; Intel Pro/100 NIC driver (synthetic analog of the DDK sample driver).
+;
+; Seeded defect (Table 2 row 13):
+;   13. the DPC acquires its lock with NdisDprAcquireSpinLock but, on the
+;       tx-error handling sub-path, releases it with NdisReleaseSpinLock
+;       instead of NdisDprReleaseSpinLock. Microsoft documentation
+;       explicitly prohibits this; it corrupts the IRQL and can hang or
+;       panic the kernel.
+;
+; The error sub-path is guarded by a device status bit that well-behaved
+; concrete hardware never sets, so only symbolic hardware reaches it.
+
+.name pro100
+.equ TAG,          0x45313030       ; 'E100'
+.equ NDIS_SUCCESS, 0
+.equ NDIS_FAILURE, 0xC0000001
+.equ NDIS_NOTSUP,  0xC00000BB
+.equ OID_BASE,     0x00010100
+.equ PORT_SCB,     0x10             ; status/command block
+.equ PORT_IACK,    0x11
+.equ PORT_PORT,    0x12             ; the PORT register (reset etc.)
+.equ PORT_TX,      0x14
+.equ IRQ_LINE,     5
+
+.text
+DriverEntry:
+    push lr
+    lea  r0, miniport_table
+    call @NdisMRegisterMiniport
+    mov  r0, NDIS_SUCCESS
+    pop  lr
+    ret
+
+
+; --------------------------------------------------------------------------
+; read_eeprom(r0 = word index) -> r0 = word
+read_eeprom:
+    out  0x18, r0                   ; EEPROM address latch
+    in   r0, 0x19                   ; EEPROM data
+    ret
+
+; --------------------------------------------------------------------------
+; eeprom_checksum() -> r0 = 1 if the 8-word EEPROM checksums to 0xBABA
+eeprom_checksum:
+    push r4, r5, lr
+    mov  r4, 0
+    mov  r5, 0
+ee_loop:
+    mov  r0, r4
+    call read_eeprom
+    and  r0, r0, 0xffff
+    add  r5, r5, r0
+    add  r4, r4, 1
+    bltu r4, 8, ee_loop
+    and  r5, r5, 0xffff
+    beq  r5, 0xBABA, ee_ok
+    mov  r0, 0
+    pop  lr, r5, r4
+    ret
+ee_ok:
+    mov  r0, 1
+    pop  lr, r5, r4
+    ret
+
+; --------------------------------------------------------------------------
+; self_test() -> r0 = 1 on pass; exercises the SCB through the PORT reg.
+self_test:
+    push lr
+    mov  r1, 1
+    out  PORT_PORT, r1              ; selective reset
+    in   r1, PORT_SCB
+    and  r1, r1, 0x00f0
+    bne  r1, 0, st_fail
+    mov  r1, 2
+    out  PORT_PORT, r1              ; self-test command
+    in   r1, PORT_SCB
+    and  r1, r1, 0x000f
+    bne  r1, 0, st_fail
+    mov  r0, 1
+    pop  lr
+    ret
+st_fail:
+    mov  r0, 0
+    pop  lr
+    ret
+
+; --------------------------------------------------------------------------
+; Initialize(r0 = adapter handle) -> status: correct throughout.
+Initialize:
+    push r4, r5, lr
+    lea  r1, adapter
+    stw  [r1], r0
+
+    ; Validate the EEPROM and run the controller self-test first.
+    call eeprom_checksum
+    beq  r0, 0, init_bad_hw
+    call self_test
+    beq  r0, 0, init_bad_hw
+    ; Load the MAC address words.
+    mov  r0, 0
+    call read_eeprom
+    lea  r1, mac_lo
+    stw  [r1], r0
+    mov  r0, 1
+    call read_eeprom
+    lea  r1, mac_hi
+    stw  [r1], r0
+
+    ; The tx lock protects the shared tx bookkeeping.
+    lea  r0, tx_lock
+    call @NdisAllocateSpinLock
+
+    lea  r0, scratch
+    mov  r1, 512
+    mov  r2, TAG
+    call @NdisAllocateMemoryWithTag
+    bne  r0, 0, init_fail
+    lea  r1, scratch
+    ldw  r5, [r1]
+    lea  r1, cb_block
+    stw  [r1], r5
+
+    lea  r0, timer
+    lea  r1, adapter
+    ldw  r1, [r1]
+    lea  r2, TimerFn
+    mov  r3, 0
+    call @NdisMInitializeTimer
+    lea  r0, intr_obj
+    lea  r1, adapter
+    ldw  r1, [r1]
+    mov  r2, IRQ_LINE
+    mov  r3, 0
+    call @NdisMRegisterInterrupt
+
+    lea  r1, ready
+    mov  r2, 1
+    stw  [r1], r2
+    mov  r0, NDIS_SUCCESS
+    pop  lr, r5, r4
+    ret
+
+init_bad_hw:
+    mov  r0, NDIS_FAILURE
+    pop  lr, r5, r4
+    ret
+
+init_fail:
+    ; Correct failure path: release the lock allocation too.
+    lea  r0, tx_lock
+    call @NdisFreeSpinLock
+    mov  r0, NDIS_FAILURE
+    pop  lr, r5, r4
+    ret
+
+; --------------------------------------------------------------------------
+; Send(r0 = handle, r1 = packet): correct lock usage at passive level.
+Send:
+    push r4, lr
+    lea  r2, ready
+    ldw  r2, [r2]
+    beq  r2, 0, send_fail
+    ldw  r2, [r1]
+    ldw  r3, [r1+4]
+    bgeu r3, 1515, send_fail
+    ; Serialize against the DPC.
+    mov  r4, r1                     ; keep the packet across the call
+    lea  r0, tx_lock
+    call @NdisAcquireSpinLock
+    lea  r1, tx_pending
+    ldw  r2, [r1]
+    add  r2, r2, 1
+    stw  [r1], r2
+    out  PORT_TX, r2
+    lea  r0, tx_lock
+    call @NdisReleaseSpinLock       ; matches the acquire variant: correct
+    lea  r0, adapter
+    ldw  r0, [r0]
+    mov  r1, r4
+    mov  r2, 0
+    call @NdisMSendComplete
+    mov  r0, NDIS_SUCCESS
+    pop  lr, r4
+    ret
+send_fail:
+    mov  r0, NDIS_FAILURE
+    pop  lr, r4
+    ret
+
+; --------------------------------------------------------------------------
+QueryInformation:
+    push lr
+    sub  r1, r1, OID_BASE
+    bgeu r1, 5, qi_bad
+    bltu r3, 4, qi_bad
+    beq  r1, 1, qi_pending
+    beq  r1, 2, qi_mac
+    beq  r1, 3, qi_errors
+    beq  r1, 4, qi_mcast_count
+    mov  r1, 100000000
+    stw  [r2], r1
+    mov  r0, NDIS_SUCCESS
+    pop  lr
+    ret
+qi_pending:
+    lea  r1, tx_pending
+    ldw  r1, [r1]
+    stw  [r2], r1
+    mov  r0, NDIS_SUCCESS
+    pop  lr
+    ret
+qi_mac:
+    bltu r3, 8, qi_bad
+    lea  r1, mac_lo
+    ldw  r1, [r1]
+    stw  [r2], r1
+    lea  r1, mac_hi
+    ldw  r1, [r1]
+    stw  [r2+4], r1
+    mov  r0, NDIS_SUCCESS
+    pop  lr
+    ret
+qi_errors:
+    lea  r1, tx_errors
+    ldw  r1, [r1]
+    stw  [r2], r1
+    mov  r0, NDIS_SUCCESS
+    pop  lr
+    ret
+qi_mcast_count:
+    lea  r1, mcast_count
+    ldw  r1, [r1]
+    stw  [r2], r1
+    mov  r0, NDIS_SUCCESS
+    pop  lr
+    ret
+qi_bad:
+    mov  r0, NDIS_NOTSUP
+    pop  lr
+    ret
+
+SetInformation:
+    push r4, r5, lr
+    sub  r1, r1, OID_BASE
+    bgeu r1, 2, si_bad
+    bltu r3, 4, si_bad
+    beq  r1, 1, si_mcast
+    ldw  r1, [r2]
+    lea  r2, rx_filter
+    stw  [r2], r1
+    mov  r0, NDIS_SUCCESS
+    pop  lr, r5, r4
+    ret
+si_mcast:
+    ; Install a multicast list, properly bounded (contrast with rtl8029).
+    ldw  r1, [r2]                   ; requested entry count
+    bgeu r1, 9, si_bad              ; table holds 8 entries
+    lea  r4, mcast_count
+    stw  [r4], r1
+    mov  r4, 0
+    beq  r1, 0, si_mc_done
+si_mc_loop:
+    shl  r5, r4, 2
+    add  r5, r2, r5
+    ldw  r5, [r5+4]                 ; entry i from the caller buffer
+    lea  r0, mcast_table
+    shl  r12, r4, 2
+    add  r0, r0, r12
+    stw  [r0], r5
+    add  r4, r4, 1
+    bltu r4, r1, si_mc_loop
+si_mc_done:
+    mov  r0, NDIS_SUCCESS
+    pop  lr, r5, r4
+    ret
+si_bad:
+    mov  r0, NDIS_NOTSUP
+    pop  lr, r5, r4
+    ret
+
+; --------------------------------------------------------------------------
+Isr:
+    push lr
+    in   r1, PORT_SCB
+    and  r2, r1, 0x8000
+    beq  r2, 0, isr_no
+    out  PORT_IACK, r1
+    lea  r3, scb_shadow
+    stw  [r3], r1
+    mov  r0, 1
+    pop  lr
+    ret
+isr_no:
+    mov  r0, 0
+    pop  lr
+    ret
+
+; --------------------------------------------------------------------------
+; HandleInterrupt(r0 = ctx): the DPC with defect 13.
+HandleInterrupt:
+    push r4, lr
+    lea  r0, tx_lock
+    call @NdisDprAcquireSpinLock    ; correct variant for a DPC
+    lea  r1, scb_shadow
+    ldw  r4, [r1]
+    and  r1, r4, 0x1000             ; tx complete?
+    beq  r1, 0, dpc_no_tx
+    lea  r1, tx_pending
+    ldw  r2, [r1]
+    beq  r2, 0, dpc_no_tx
+    sub  r2, r2, 1
+    stw  [r1], r2
+dpc_no_tx:
+    and  r1, r4, 0x0800             ; tx underrun error path
+    beq  r1, 0, dpc_release_ok
+    ; Record the error and bump the retry budget.
+    lea  r1, tx_errors
+    ldw  r2, [r1]
+    add  r2, r2, 1
+    stw  [r1], r2
+    lea  r0, tx_lock
+    call @NdisReleaseSpinLock       ; DEFECT 13: wrong release variant
+    mov  r0, 0
+    pop  lr, r4
+    ret
+dpc_release_ok:
+    lea  r0, tx_lock
+    call @NdisDprReleaseSpinLock    ; correct variant
+    mov  r0, 0
+    pop  lr, r4
+    ret
+
+TimerFn:
+    push lr
+    in   r1, PORT_SCB
+    mov  r0, 0
+    pop  lr
+    ret
+
+Reset:
+    push lr
+    mov  r1, 0
+    out  PORT_PORT, r1              ; software reset
+    mov  r0, NDIS_SUCCESS
+    pop  lr
+    ret
+
+Halt:
+    push lr
+    lea  r0, intr_obj
+    call @NdisMDeregisterInterrupt
+    lea  r0, cb_block
+    ldw  r0, [r0]
+    beq  r0, 0, halt_no_cb
+    mov  r1, 512
+    mov  r2, 0
+    call @NdisFreeMemory
+halt_no_cb:
+    lea  r0, tx_lock
+    call @NdisFreeSpinLock
+    lea  r1, ready
+    mov  r2, 0
+    stw  [r1], r2
+    mov  r0, NDIS_SUCCESS
+    pop  lr
+    ret
+
+CheckForHang:
+    mov  r0, 0
+    ret
+
+.data
+miniport_table:
+    .word Initialize, Send, QueryInformation, SetInformation
+    .word Isr, HandleInterrupt, Reset, Halt, CheckForHang, 0
+
+.bss
+adapter:    .space 4
+mac_lo:     .space 4
+mac_hi:     .space 4
+mcast_count: .space 4
+mcast_table: .space 32
+cb_block:   .space 4
+tx_pending: .space 4
+tx_errors:  .space 4
+ready:      .space 4
+rx_filter:  .space 4
+scb_shadow: .space 4
+tx_lock:    .space 8
+timer:      .space 16
+intr_obj:   .space 16
+scratch:    .space 32

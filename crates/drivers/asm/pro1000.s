@@ -1,0 +1,418 @@
+; Intel Pro/1000 gigabit NIC driver (synthetic analog).
+;
+; Seeded defect (Table 2 row 12):
+;   12. memory leak on failed initialization: when the statistics block
+;       allocation fails, the error path frees the tx block but forgets
+;       the rx block.
+;
+; This is the largest of the six drivers (as in Table 1): it reads the PCI
+; descriptor and branches on hardware revision, loads the EEPROM through
+; the register window, validates every OID, and tears down correctly.
+
+.name pro1000
+.equ TAG,          0x45313047       ; 'E10G'
+.equ NDIS_SUCCESS, 0
+.equ NDIS_FAILURE, 0xC0000001
+.equ NDIS_NOTSUP,  0xC00000BB
+.equ OID_BASE,     0x00010100
+.equ PORT_CTRL,    0x10
+.equ PORT_STATUS,  0x11
+.equ PORT_EERD,    0x12             ; EEPROM read data
+.equ PORT_EEADDR,  0x13             ; EEPROM address latch
+.equ PORT_ICR,     0x14             ; interrupt cause read
+.equ PORT_TDT,     0x15             ; tx tail
+.equ PORT_RDT,     0x16             ; rx tail
+.equ IRQ_LINE,     11
+
+.text
+DriverEntry:
+    push lr
+    lea  r0, miniport_table
+    call @NdisMRegisterMiniport
+    mov  r0, NDIS_SUCCESS
+    pop  lr
+    ret
+
+; --------------------------------------------------------------------------
+; read_eeprom(r0 = word index) -> r0 = word value
+read_eeprom:
+    out  PORT_EEADDR, r0
+    in   r0, PORT_EERD
+    ret
+
+; --------------------------------------------------------------------------
+; check_link(r0 unused) -> r0 = 1 if link up
+check_link:
+    in   r0, PORT_STATUS
+    and  r0, r0, 2
+    shr  r0, r0, 1
+    ret
+
+; --------------------------------------------------------------------------
+; Initialize(r0 = adapter handle) -> status
+Initialize:
+    push r4, r5, r6, lr
+    lea  r1, adapter
+    stw  [r1], r0
+
+    ; Identify the hardware stepping from the PCI descriptor.
+    mov  r0, 0
+    mov  r1, 4                      ; revision byte offset
+    lea  r2, scratch
+    mov  r3, 1
+    call @NdisReadPciSlotInformation
+    lea  r1, scratch
+    ldb  r5, [r1]                   ; r5 = hardware revision
+    lea  r1, hw_rev
+    stw  [r1], r5
+
+    ; Old steppings need a control-register workaround.
+    bgeu r5, 2, init_new_stepping
+    mov  r1, 0x40
+    out  PORT_CTRL, r1
+init_new_stepping:
+
+    ; Load the MAC address from the EEPROM.
+    push r0
+    mov  r0, 0
+    call read_eeprom
+    lea  r1, mac_lo
+    stw  [r1], r0
+    mov  r0, 1
+    call read_eeprom
+    lea  r1, mac_hi
+    stw  [r1], r0
+    pop  r0
+
+    ; rx descriptor block.
+    lea  r0, scratch
+    mov  r1, 1024
+    mov  r2, TAG
+    call @NdisAllocateMemoryWithTag
+    bne  r0, 0, init_fail_plain
+    lea  r1, scratch
+    ldw  r5, [r1]
+    lea  r1, rx_block
+    stw  [r1], r5
+
+    ; tx descriptor block.
+    lea  r0, scratch
+    mov  r1, 1024
+    mov  r2, TAG
+    call @NdisAllocateMemoryWithTag
+    bne  r0, 0, init_fail_free_rx
+    lea  r1, scratch
+    ldw  r5, [r1]
+    lea  r1, tx_block
+    stw  [r1], r5
+
+    ; Statistics block. Defect 12 lives on this failure path.
+    lea  r0, scratch
+    mov  r1, 256
+    mov  r2, TAG
+    call @NdisAllocateMemoryWithTag
+    bne  r0, 0, init_fail_leak_rx
+    lea  r1, scratch
+    ldw  r5, [r1]
+    lea  r1, stats_block
+    stw  [r1], r5
+
+    ; Interrupt and timer, correctly ordered.
+    lea  r0, timer
+    lea  r1, adapter
+    ldw  r1, [r1]
+    lea  r2, TimerFn
+    mov  r3, 0
+    call @NdisMInitializeTimer
+    lea  r0, intr_obj
+    lea  r1, adapter
+    ldw  r1, [r1]
+    mov  r2, IRQ_LINE
+    mov  r3, 0
+    call @NdisMRegisterInterrupt
+
+    call check_link
+    lea  r1, link_up
+    stw  [r1], r0
+
+    lea  r1, ready
+    mov  r2, 1
+    stw  [r1], r2
+    mov  r0, NDIS_SUCCESS
+    pop  lr, r6, r5, r4
+    ret
+
+init_fail_free_rx:
+    ; Correct cleanup when tx allocation fails.
+    lea  r0, rx_block
+    ldw  r0, [r0]
+    mov  r1, 1024
+    mov  r2, 0
+    call @NdisFreeMemory
+    mov  r0, NDIS_FAILURE
+    pop  lr, r6, r5, r4
+    ret
+
+init_fail_leak_rx:
+    ; Defect 12: frees the tx block but forgets the rx block.
+    lea  r0, tx_block
+    ldw  r0, [r0]
+    mov  r1, 1024
+    mov  r2, 0
+    call @NdisFreeMemory
+    mov  r0, NDIS_FAILURE
+    pop  lr, r6, r5, r4
+    ret
+
+init_fail_plain:
+    mov  r0, NDIS_FAILURE
+    pop  lr, r6, r5, r4
+    ret
+
+; --------------------------------------------------------------------------
+; Send(r0 = handle, r1 = packet) -> status
+Send:
+    push r4, lr
+    lea  r2, ready
+    ldw  r2, [r2]
+    beq  r2, 0, send_fail
+    lea  r2, link_up
+    ldw  r2, [r2]
+    beq  r2, 0, send_fail
+    ldw  r2, [r1]
+    ldw  r3, [r1+4]
+    bgeu r3, 16384, send_fail       ; jumbo limit
+    beq  r3, 0, send_fail
+    ldb  r4, [r2]                   ; first payload byte
+    ; Copy the length into the tx descriptor ring.
+    lea  r4, tx_block
+    ldw  r4, [r4]
+    stw  [r4], r3
+    out  PORT_TDT, r3
+    lea  r0, adapter
+    ldw  r0, [r0]
+    mov  r2, 0
+    call @NdisMSendComplete
+    mov  r0, NDIS_SUCCESS
+    pop  lr, r4
+    ret
+send_fail:
+    mov  r0, NDIS_FAILURE
+    pop  lr, r4
+    ret
+
+; --------------------------------------------------------------------------
+; QueryInformation(r0=handle, r1=oid, r2=buf, r3=len): fully validated.
+QueryInformation:
+    push lr
+    sub  r1, r1, OID_BASE
+    bgeu r1, 6, qi_bad
+    bltu r3, 4, qi_bad
+    beq  r1, 0, qi_speed
+    beq  r1, 1, qi_mac_lo
+    beq  r1, 2, qi_mac_hi
+    beq  r1, 3, qi_link
+    beq  r1, 4, qi_stats
+    ; OID 5: hardware revision.
+    lea  r1, hw_rev
+    ldw  r1, [r1]
+    stw  [r2], r1
+    mov  r0, NDIS_SUCCESS
+    pop  lr
+    ret
+qi_speed:
+    mov  r1, 1000000000
+    stw  [r2], r1
+    mov  r0, NDIS_SUCCESS
+    pop  lr
+    ret
+qi_mac_lo:
+    lea  r1, mac_lo
+    ldw  r1, [r1]
+    stw  [r2], r1
+    mov  r0, NDIS_SUCCESS
+    pop  lr
+    ret
+qi_mac_hi:
+    lea  r1, mac_hi
+    ldw  r1, [r1]
+    stw  [r2], r1
+    mov  r0, NDIS_SUCCESS
+    pop  lr
+    ret
+qi_link:
+    call check_link
+    stw  [r2], r0
+    mov  r0, NDIS_SUCCESS
+    pop  lr
+    ret
+qi_stats:
+    lea  r1, stats_block
+    ldw  r1, [r1]
+    beq  r1, 0, qi_bad
+    ldw  r1, [r1]
+    stw  [r2], r1
+    mov  r0, NDIS_SUCCESS
+    pop  lr
+    ret
+qi_bad:
+    mov  r0, NDIS_NOTSUP
+    pop  lr
+    ret
+
+; --------------------------------------------------------------------------
+; SetInformation(r0=handle, r1=oid, r2=buf, r3=len): fully validated.
+SetInformation:
+    push lr
+    sub  r1, r1, OID_BASE
+    bgeu r1, 2, si_bad
+    bltu r3, 4, si_bad
+    beq  r1, 1, si_mtu
+    ldw  r1, [r2]
+    lea  r2, rx_filter
+    stw  [r2], r1
+    mov  r0, NDIS_SUCCESS
+    pop  lr
+    ret
+si_mtu:
+    ldw  r1, [r2]
+    bltu r1, 16384, si_mtu_ok
+    mov  r0, NDIS_FAILURE
+    pop  lr
+    ret
+si_mtu_ok:
+    lea  r2, mtu
+    stw  [r2], r1
+    mov  r0, NDIS_SUCCESS
+    pop  lr
+    ret
+si_bad:
+    mov  r0, NDIS_NOTSUP
+    pop  lr
+    ret
+
+; --------------------------------------------------------------------------
+Isr:
+    push lr
+    in   r1, PORT_ICR               ; reading ICR also acknowledges
+    and  r2, r1, 0xff
+    beq  r2, 0, isr_no
+    lea  r3, icr_shadow
+    stw  [r3], r2
+    mov  r0, 1
+    pop  lr
+    ret
+isr_no:
+    mov  r0, 0
+    pop  lr
+    ret
+
+HandleInterrupt:
+    push lr
+    lea  r1, icr_shadow
+    ldw  r1, [r1]
+    and  r2, r1, 0x80               ; rx timer
+    beq  r2, 0, dpc_check_link
+    mov  r2, 1
+    out  PORT_RDT, r2
+dpc_check_link:
+    and  r2, r1, 0x04               ; link state change
+    beq  r2, 0, dpc_done
+    call check_link
+    lea  r1, link_up
+    stw  [r1], r0
+dpc_done:
+    mov  r0, 0
+    pop  lr
+    ret
+
+TimerFn:
+    push lr
+    call check_link
+    lea  r1, link_up
+    stw  [r1], r0
+    mov  r0, 0
+    pop  lr
+    ret
+
+Reset:
+    push lr
+    mov  r1, 0x80000000
+    out  PORT_CTRL, r1
+    in   r1, PORT_STATUS
+    and  r1, r1, 1
+    beq  r1, 0, reset_ok
+    mov  r0, NDIS_FAILURE
+    pop  lr
+    ret
+reset_ok:
+    mov  r0, NDIS_SUCCESS
+    pop  lr
+    ret
+
+; --------------------------------------------------------------------------
+; Halt(r0 = handle): correct, complete teardown.
+Halt:
+    push lr
+    lea  r0, intr_obj
+    call @NdisMDeregisterInterrupt
+    lea  r0, stats_block
+    ldw  r0, [r0]
+    beq  r0, 0, halt_no_stats
+    mov  r1, 256
+    mov  r2, 0
+    call @NdisFreeMemory
+halt_no_stats:
+    lea  r0, tx_block
+    ldw  r0, [r0]
+    beq  r0, 0, halt_no_tx
+    mov  r1, 1024
+    mov  r2, 0
+    call @NdisFreeMemory
+halt_no_tx:
+    lea  r0, rx_block
+    ldw  r0, [r0]
+    beq  r0, 0, halt_no_rx
+    mov  r1, 1024
+    mov  r2, 0
+    call @NdisFreeMemory
+halt_no_rx:
+    lea  r1, ready
+    mov  r2, 0
+    stw  [r1], r2
+    mov  r0, NDIS_SUCCESS
+    pop  lr
+    ret
+
+CheckForHang:
+    push lr
+    call check_link
+    xor  r0, r0, 1                  ; hung if the link has been down
+    lea  r1, link_up
+    ldw  r1, [r1]
+    and  r0, r0, r1
+    mov  r0, 0
+    pop  lr
+    ret
+
+.data
+miniport_table:
+    .word Initialize, Send, QueryInformation, SetInformation
+    .word Isr, HandleInterrupt, Reset, Halt, CheckForHang, 0
+
+.bss
+adapter:     .space 4
+hw_rev:      .space 4
+mac_lo:      .space 4
+mac_hi:      .space 4
+rx_block:    .space 4
+tx_block:    .space 4
+stats_block: .space 4
+link_up:     .space 4
+ready:       .space 4
+rx_filter:   .space 4
+mtu:         .space 4
+icr_shadow:  .space 4
+timer:       .space 16
+intr_obj:    .space 16
+scratch:     .space 32

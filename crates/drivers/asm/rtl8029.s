@@ -1,0 +1,360 @@
+; RTL8029 NE2000-compatible NIC driver (synthetic analog).
+;
+; Seeded defects (Table 2 rows 1-5):
+;   1. init failure path returns without NdisCloseConfiguration
+;   2. MaximumMulticastList registry value used as array index unchecked
+;   3. ISR arms the work timer; if an interrupt arrives after
+;      NdisMRegisterInterrupt but before NdisMInitializeTimer, the kernel
+;      is handed an uninitialized timer descriptor (BSOD)
+;   4. QueryInformation: unchecked OID jump-table index
+;   5. SetInformation: same defect
+;
+; Everything else is deliberately correct, mirroring a mature driver.
+
+.name rtl8029
+.equ TAG,            0x52393238     ; 'R928'
+.equ NDIS_SUCCESS,   0
+.equ NDIS_FAILURE,   0xC0000001
+.equ OID_BASE,       0x00010100
+.equ PORT_ISTATUS,   0x10           ; interrupt status
+.equ PORT_IACK,      0x11           ; interrupt ack
+.equ PORT_RESET,     0x12
+.equ PORT_TXLEN,     0x14
+.equ PORT_TXKICK,    0x15
+.equ PORT_RXSTAT,    0x16
+.equ IRQ_LINE,       9
+
+.text
+DriverEntry:
+    push lr
+    lea  r0, miniport_table
+    call @NdisMRegisterMiniport
+    mov  r0, NDIS_SUCCESS
+    pop  lr
+    ret
+
+; --------------------------------------------------------------------------
+; Initialize(r0 = adapter handle) -> status
+Initialize:
+    push r4, r5, r6, lr
+    lea  r1, adapter
+    stw  [r1], r0
+
+    ; Open the driver's registry configuration.
+    lea  r0, scratch
+    lea  r1, scratch+4
+    call @NdisOpenConfiguration
+    lea  r1, scratch+4
+    ldw  r5, [r1]                   ; r5 = config handle
+    lea  r1, cfg_handle
+    stw  [r1], r5
+
+    ; Read MaximumMulticastList. The value is trusted as-is: defect 2.
+    lea  r0, scratch
+    lea  r1, scratch+8              ; value struct: type @8, data @12
+    mov  r2, r5
+    lea  r3, name_mcast
+    call @NdisReadConfiguration
+    lea  r1, scratch+12
+    ldw  r6, [r1]                   ; r6 = MaximumMulticastList (UNCHECKED)
+    lea  r1, mcast_n
+    stw  [r1], r6
+
+    ; Allocate the 32-entry multicast table.
+    lea  r0, scratch
+    mov  r1, 128
+    mov  r2, TAG
+    call @NdisAllocateMemoryWithTag
+    bne  r0, 0, init_fail_noclose   ; defect 1: leaks the open config handle
+    lea  r1, scratch
+    ldw  r5, [r1]                   ; r5 = table base
+    lea  r1, mcast_buf
+    stw  [r1], r5
+
+    ; Store the list terminator at table[MaximumMulticastList]: defect 2.
+    lea  r1, mcast_n
+    ldw  r2, [r1]
+    shl  r2, r2, 2
+    add  r2, r5, r2
+    mov  r3, 0xffffffff
+    stw  [r2], r3
+
+    ; Probe the device; all-ones means the card is absent.
+    in   r1, PORT_ISTATUS
+    and  r1, r1, 0xff
+    beq  r1, 0xff, init_fail_close
+
+    ; Register the interrupt handler.
+    lea  r0, intr_obj
+    lea  r1, adapter
+    ldw  r1, [r1]
+    mov  r2, IRQ_LINE
+    mov  r3, 0
+    call @NdisMRegisterInterrupt
+
+    ; <-- defect 3 window: the ISR is live but the timer is uninitialized.
+
+    lea  r0, timer
+    lea  r1, adapter
+    ldw  r1, [r1]
+    lea  r2, TimerFn
+    mov  r3, 0
+    call @NdisMInitializeTimer
+
+    lea  r1, ready
+    mov  r2, 1
+    stw  [r1], r2
+
+    ; Close the configuration on the success path (correct).
+    lea  r0, cfg_handle
+    ldw  r0, [r0]
+    call @NdisCloseConfiguration
+    mov  r0, NDIS_SUCCESS
+    pop  lr, r6, r5, r4
+    ret
+
+init_fail_close:
+    ; Correct cleanup path: free the table, close the configuration.
+    lea  r0, mcast_buf
+    ldw  r0, [r0]
+    mov  r1, 128
+    mov  r2, 0
+    call @NdisFreeMemory
+    lea  r0, cfg_handle
+    ldw  r0, [r0]
+    call @NdisCloseConfiguration
+    mov  r0, NDIS_FAILURE
+    pop  lr, r6, r5, r4
+    ret
+
+init_fail_noclose:
+    ; Defect 1: early return forgets NdisCloseConfiguration.
+    mov  r0, NDIS_FAILURE
+    pop  lr, r6, r5, r4
+    ret
+
+; --------------------------------------------------------------------------
+; Send(r0 = adapter handle, r1 = packet descriptor) -> status
+Send:
+    push r4, lr
+    lea  r4, ready
+    ldw  r4, [r4]
+    beq  r4, 0, send_notready
+    ldw  r2, [r1]                   ; packet data va
+    ldw  r3, [r1+4]                 ; packet length
+    bltu r3, 1515, send_len_ok
+    mov  r0, NDIS_FAILURE
+    pop  lr, r4
+    ret
+send_len_ok:
+    ldb  r2, [r2]                   ; touch the payload (granted buffer)
+    out  PORT_TXLEN, r3
+    out  PORT_TXKICK, r2
+    lea  r0, adapter
+    ldw  r0, [r0]
+    mov  r2, 0
+    call @NdisMSendComplete
+    mov  r0, NDIS_SUCCESS
+    pop  lr, r4
+    ret
+send_notready:
+    mov  r0, NDIS_FAILURE
+    pop  lr, r4
+    ret
+
+; --------------------------------------------------------------------------
+; QueryInformation(r0 = handle, r1 = oid, r2 = buf, r3 = len) -> status
+QueryInformation:
+    push r4, lr
+    sub  r1, r1, OID_BASE
+    shl  r1, r1, 2                  ; defect 4: no bounds check on the index
+    lea  r4, qi_table
+    add  r4, r4, r1
+    ldw  r4, [r4]
+    call r4
+    pop  lr, r4
+    ret
+
+qi_gen:                             ; OID 0: link speed
+    bltu r3, 4, qi_short
+    mov  r1, 10000000
+    stw  [r2], r1
+    mov  r0, NDIS_SUCCESS
+    ret
+qi_addr:                            ; OID 1: station address
+    bltu r3, 8, qi_short
+    mov  r1, 0x00C25000
+    stw  [r2], r1
+    mov  r1, 0x2029
+    stw  [r2+4], r1
+    mov  r0, NDIS_SUCCESS
+    ret
+qi_stats:                           ; OID 2: rx counter from device
+    bltu r3, 4, qi_short
+    in   r1, PORT_RXSTAT
+    stw  [r2], r1
+    mov  r0, NDIS_SUCCESS
+    ret
+qi_mcast:                           ; OID 3: multicast list size
+    bltu r3, 4, qi_short
+    lea  r1, mcast_n
+    ldw  r1, [r1]
+    stw  [r2], r1
+    mov  r0, NDIS_SUCCESS
+    ret
+qi_short:
+    mov  r0, NDIS_FAILURE
+    ret
+
+; --------------------------------------------------------------------------
+; SetInformation(r0 = handle, r1 = oid, r2 = buf, r3 = len) -> status
+SetInformation:
+    push r4, lr
+    sub  r1, r1, OID_BASE
+    shl  r1, r1, 2                  ; defect 5: same unchecked index
+    lea  r4, si_table
+    add  r4, r4, r1
+    ldw  r4, [r4]
+    call r4
+    pop  lr, r4
+    ret
+
+si_filter:                          ; OID 0: packet filter
+    bltu r3, 4, si_short
+    ldw  r1, [r2]
+    lea  r2, rx_filter
+    stw  [r2], r1
+    mov  r0, NDIS_SUCCESS
+    ret
+si_lookahead:                       ; OID 1: lookahead size (validated!)
+    bltu r3, 4, si_short
+    ldw  r1, [r2]
+    bltu r1, 1515, si_la_ok
+    mov  r0, NDIS_FAILURE
+    ret
+si_la_ok:
+    lea  r2, lookahead
+    stw  [r2], r1
+    mov  r0, NDIS_SUCCESS
+    ret
+si_short:
+    mov  r0, NDIS_FAILURE
+    ret
+
+; --------------------------------------------------------------------------
+; Isr(r0 = ctx) -> recognized flag
+Isr:
+    push lr
+    in   r1, PORT_ISTATUS
+    and  r2, r1, 1
+    beq  r2, 0, isr_not_ours
+    out  PORT_IACK, r1              ; acknowledge
+    ; Defer the heavy work: defect 3 fires here if the timer is not yet
+    ; initialized (interrupt during the Initialize window).
+    lea  r0, timer
+    mov  r1, 10
+    call @NdisMSetTimer
+    mov  r0, 1
+    pop  lr
+    ret
+isr_not_ours:
+    mov  r0, 0
+    pop  lr
+    ret
+
+; --------------------------------------------------------------------------
+; HandleInterrupt(r0 = ctx): the DPC; drains the receive status.
+HandleInterrupt:
+    push lr
+    in   r1, PORT_RXSTAT
+    and  r2, r1, 2
+    beq  r2, 0, dpc_done
+    lea  r0, adapter
+    ldw  r0, [r0]
+    mov  r1, NDIS_SUCCESS
+    mov  r2, 0
+    mov  r3, 0
+    call @NdisMIndicateStatus
+dpc_done:
+    mov  r0, 0
+    pop  lr
+    ret
+
+; --------------------------------------------------------------------------
+; TimerFn(r0 = ctx): deferred device poll.
+TimerFn:
+    push lr
+    in   r1, PORT_ISTATUS
+    and  r2, r1, 4
+    beq  r2, 0, timer_done
+    out  PORT_IACK, r2
+timer_done:
+    mov  r0, 0
+    pop  lr
+    ret
+
+; --------------------------------------------------------------------------
+; Reset(r0 = handle) -> status
+Reset:
+    push lr
+    mov  r1, 1
+    out  PORT_RESET, r1
+    in   r1, PORT_RESET
+    and  r1, r1, 1
+    bne  r1, 0, reset_fail
+    mov  r0, NDIS_SUCCESS
+    pop  lr
+    ret
+reset_fail:
+    mov  r0, NDIS_FAILURE
+    pop  lr
+    ret
+
+; --------------------------------------------------------------------------
+; Halt(r0 = handle): correct teardown.
+Halt:
+    push lr
+    lea  r0, intr_obj
+    call @NdisMDeregisterInterrupt
+    lea  r0, mcast_buf
+    ldw  r0, [r0]
+    beq  r0, 0, halt_nofree
+    mov  r1, 128
+    mov  r2, 0
+    call @NdisFreeMemory
+halt_nofree:
+    lea  r1, ready
+    mov  r2, 0
+    stw  [r1], r2
+    mov  r0, NDIS_SUCCESS
+    pop  lr
+    ret
+
+; --------------------------------------------------------------------------
+; CheckForHang(r0 = handle) -> bool
+CheckForHang:
+    mov  r0, 0
+    ret
+
+.data
+miniport_table:
+    .word Initialize, Send, QueryInformation, SetInformation
+    .word Isr, HandleInterrupt, Reset, Halt, CheckForHang, 0
+qi_table:
+    .word qi_gen, qi_addr, qi_stats, qi_mcast
+si_table:
+    .word si_filter, si_lookahead
+name_mcast:
+    .asciz "MaximumMulticastList"
+
+.bss
+adapter:     .space 4
+cfg_handle:  .space 4
+mcast_buf:   .space 4
+mcast_n:     .space 4
+ready:       .space 4
+rx_filter:   .space 4
+lookahead:   .space 4
+timer:       .space 16
+intr_obj:    .space 16
+scratch:     .space 32

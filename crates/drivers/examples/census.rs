@@ -1,0 +1,8 @@
+//! Prints the Table 1 census for the bundled drivers (dev tool).
+fn main() {
+    for d in ddt_drivers::drivers() {
+        let a = d.build();
+        let c = ddt_isa::analysis::census(&a.image);
+        println!("{:10} file={:5} code={:5} fns={:3} kfns={:3} bbs={:3}", c.name, c.file_size, c.code_size, c.functions, c.kernel_functions, c.basic_blocks);
+    }
+}

@@ -1,0 +1,227 @@
+//! The closed-source binary drivers used in DDT's evaluation (§5).
+//!
+//! Six synthetic analogs of the drivers in Table 1 — four NIC drivers using
+//! the NDIS-flavored API and two sound drivers using the WDM/port-class
+//! API — carrying the 14 previously-unknown bugs of Table 2 (see the bug
+//! seeding map in DESIGN.md §7). The drivers are written in DDT-32 assembly
+//! and shipped to DDT **only as assembled binaries**; nothing in `ddt-core`
+//! looks at these sources.
+//!
+//! Also here:
+//!
+//! - a fully correct reference driver ([`clean_driver`]) used to validate
+//!   DDT's zero-false-positive property,
+//! - the SDV comparison sets ([`samples`]): eight sample-bug drivers and
+//!   the five synthetic-bug variants of §5.1,
+//! - the concrete workload generator ([`workload`]) standing in for
+//!   Microsoft's Device Path Exerciser.
+
+pub mod samples;
+pub mod workload;
+
+use ddt_isa::asm::{assemble, Assembled};
+use ddt_kernel::loader::DeviceDescriptor;
+
+/// The class of a driver (decides workload and default annotations).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DriverClass {
+    /// NDIS network miniport.
+    Net,
+    /// Port-class audio adapter.
+    Audio,
+}
+
+/// A driver under test: binary source, PnP identity, registry defaults.
+#[derive(Clone, Debug)]
+pub struct DriverSpec {
+    /// Driver name (matches the `.name` directive).
+    pub name: &'static str,
+    /// NIC or audio.
+    pub class: DriverClass,
+    /// Assembly source (private to this crate; DDT sees only the binary).
+    source: &'static str,
+    /// Registry parameters present on the test machine.
+    pub registry: &'static [(&'static str, u32)],
+    /// The fake PCI descriptor that makes the kernel load this driver.
+    pub descriptor: DeviceDescriptor,
+    /// Number of Table 2 bugs seeded in this driver.
+    pub expected_bugs: usize,
+}
+
+impl DriverSpec {
+    /// Assembles the driver to its binary image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bundled source fails to assemble (a build error in
+    /// this crate, not a user error).
+    pub fn build(&self) -> Assembled {
+        let exports = ddt_kernel::export_map();
+        assemble(self.source, &exports)
+            .unwrap_or_else(|e| panic!("driver {} failed to assemble: {e}", self.name))
+    }
+}
+
+fn pci(vendor: u16, device: u16, irq: u8) -> DeviceDescriptor {
+    DeviceDescriptor {
+        vendor_id: vendor,
+        device_id: device,
+        revision: 1,
+        mmio_len: 0x100,
+        io_len: 0x20,
+        irq_line: irq,
+    }
+}
+
+/// The six drivers of Table 1 (synthetic analogs).
+pub fn drivers() -> Vec<DriverSpec> {
+    vec![
+        DriverSpec {
+            name: "pro1000",
+            class: DriverClass::Net,
+            source: include_str!("../asm/pro1000.s"),
+            registry: &[("NetworkAddress", 0x0002_b3aa)],
+            descriptor: pci(0x8086, 0x100e, 11),
+            expected_bugs: 1,
+        },
+        DriverSpec {
+            name: "pro100",
+            class: DriverClass::Net,
+            source: include_str!("../asm/pro100.s"),
+            registry: &[("NetworkAddress", 0x0090_27bb)],
+            descriptor: pci(0x8086, 0x1229, 5),
+            expected_bugs: 1,
+        },
+        DriverSpec {
+            name: "ac97",
+            class: DriverClass::Audio,
+            source: include_str!("../asm/ac97.s"),
+            registry: &[],
+            descriptor: pci(0x8086, 0x2415, 7),
+            expected_bugs: 1,
+        },
+        DriverSpec {
+            name: "ensoniq",
+            class: DriverClass::Audio,
+            source: include_str!("../asm/ensoniq.s"),
+            registry: &[],
+            descriptor: pci(0x1274, 0x5000, 6),
+            expected_bugs: 4,
+        },
+        DriverSpec {
+            name: "pcnet",
+            class: DriverClass::Net,
+            source: include_str!("../asm/pcnet.s"),
+            registry: &[("NetworkAddress", 0x0010_5abc)],
+            descriptor: pci(0x1022, 0x2000, 10),
+            expected_bugs: 2,
+        },
+        DriverSpec {
+            name: "rtl8029",
+            class: DriverClass::Net,
+            source: include_str!("../asm/rtl8029.s"),
+            registry: &[("MaximumMulticastList", 8), ("NetworkAddress", 0x0050_c2dd)],
+            descriptor: pci(0x10ec, 0x8029, 9),
+            expected_bugs: 5,
+        },
+    ]
+}
+
+/// Looks a driver up by name.
+pub fn driver_by_name(name: &str) -> Option<DriverSpec> {
+    drivers().into_iter().find(|d| d.name == name)
+}
+
+/// The fully correct reference driver (false-positive validation).
+pub fn clean_driver() -> DriverSpec {
+    DriverSpec {
+        name: "clean_nic",
+        class: DriverClass::Net,
+        source: include_str!("../asm/clean_nic.s"),
+        registry: &[("RingDepth", 16), ("NetworkAddress", 0x00aa_bb01)],
+        descriptor: pci(0x1af4, 0x1000, 4),
+        expected_bugs: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddt_isa::analysis;
+
+    #[test]
+    fn all_drivers_assemble() {
+        for d in drivers() {
+            let a = d.build();
+            assert_eq!(a.image.name, d.name);
+            assert!(!a.image.text.is_empty());
+        }
+        clean_driver().build();
+    }
+
+    #[test]
+    fn expected_bug_counts_total_fourteen() {
+        let total: usize = drivers().iter().map(|d| d.expected_bugs).sum();
+        assert_eq!(total, 14, "Table 2 reports 14 bugs");
+    }
+
+    #[test]
+    fn drivers_register_all_core_entry_points() {
+        for d in drivers() {
+            let a = d.build();
+            for label in ["Initialize", "Isr", "Halt"] {
+                assert!(
+                    a.label(label).is_some(),
+                    "driver {} missing entry label {label}",
+                    d.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn census_matches_table1_shape() {
+        // Table 1 orders drivers by size; our analogs must preserve the
+        // ordering property "pro1000 is the largest, rtl8029 the smallest
+        // NIC driver" in code-segment terms.
+        let sizes: std::collections::HashMap<&str, usize> = drivers()
+            .iter()
+            .map(|d| (d.name, d.build().image.text.len()))
+            .collect();
+        assert!(sizes["pro1000"] > sizes["pcnet"], "pro1000 outranks pcnet");
+        assert!(sizes["pro1000"] > sizes["rtl8029"], "pro1000 outranks rtl8029");
+        assert!(sizes["rtl8029"] < sizes["pro100"], "rtl8029 is smaller than pro100");
+    }
+
+    #[test]
+    fn drivers_import_multiple_kernel_apis() {
+        for d in drivers() {
+            let a = d.build();
+            let census = analysis::census(&a.image);
+            assert!(
+                census.kernel_functions >= 5,
+                "driver {} uses only {} kernel APIs",
+                d.name,
+                census.kernel_functions
+            );
+            assert!(census.functions >= 8, "driver {} has too few functions", d.name);
+            assert!(census.basic_blocks >= 20, "driver {} has too few blocks", d.name);
+        }
+    }
+
+    #[test]
+    fn driver_binaries_roundtrip() {
+        for d in drivers() {
+            let a = d.build();
+            let bytes = a.image.to_bytes();
+            let back = ddt_isa::image::DxeImage::from_bytes(&bytes).unwrap();
+            assert_eq!(back, a.image);
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(driver_by_name("rtl8029").is_some());
+        assert!(driver_by_name("nonexistent").is_none());
+    }
+}

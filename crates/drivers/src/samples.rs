@@ -1,0 +1,583 @@
+//! The SDV comparison driver sets (§5.1).
+//!
+//! Two sets, both generated from one correct template driver:
+//!
+//! - [`sdv_sample_set`]: eight single-bug drivers standing in for "the
+//!   sample drivers shipped with SDV itself" (SDV found the 8 sample bugs
+//!   in 12 minutes, DDT in 4).
+//! - [`synthetic_set`]: the five injected synthetic bugs — "a deadlock, an
+//!   out-of-order spinlock release, an extra release of a non-acquired
+//!   spinlock, a 'forgotten' unreleased spinlock, and a kernel call at the
+//!   wrong IRQ level. SDV did not find the first 3 bugs, it found the last
+//!   2, and produced 1 false positive. DDT found all 5 bugs and no false
+//!   positives."
+//!
+//! The first three synthetic bugs manipulate the lock through a pointer
+//! stored in memory (an alias), which is what defeats the static analyzer's
+//! named-lock tracking — the same reason the real SDV misses alias-heavy
+//! defects. The out-of-order variant additionally contains a *correct*
+//! correlated-branch lock pattern that a path-insensitive analysis
+//! misjudges: that is SDV-lite's one false positive.
+
+use ddt_isa::asm::{assemble, Assembled};
+
+/// A generated sample driver with its ground truth.
+#[derive(Clone, Debug)]
+pub struct SampleDriver {
+    /// Driver name.
+    pub name: String,
+    /// Generated assembly source (consumed by both DDT — as a binary — and
+    /// SDV-lite — as a binary too; neither sees this text).
+    pub source: String,
+    /// The seeded defect class, or `None` for the correct base driver.
+    pub bug_kind: Option<BugKind>,
+}
+
+/// Defect classes used for scoring the comparison.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BugKind {
+    /// Spinlock acquired while already held (hang).
+    Deadlock,
+    /// Locks released in non-LIFO order.
+    OutOfOrderRelease,
+    /// Release of a lock that was never acquired.
+    ExtraRelease,
+    /// Entry point returns with a lock still held (hang).
+    ForgottenRelease,
+    /// Blocking/paged kernel call at raised IRQL.
+    WrongIrqlCall,
+    /// Pool memory freed twice.
+    DoubleFree,
+    /// Read from freed pool memory.
+    UseAfterFree,
+    /// Configuration handle never closed.
+    ConfigLeak,
+    /// Timer armed before initialization.
+    UninitTimer,
+    /// Allocation result dereferenced without a NULL check.
+    NullDeref,
+}
+
+impl SampleDriver {
+    /// Assembles the generated source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the generated source fails to assemble (a bug in the
+    /// template, not a user error).
+    pub fn build(&self) -> Assembled {
+        let exports = ddt_kernel::export_map();
+        assemble(&self.source, &exports)
+            .unwrap_or_else(|e| panic!("sample {} failed to assemble: {e}", self.name))
+    }
+}
+
+struct Template<'a> {
+    name: &'a str,
+    init_extra: &'a str,
+    dpc_body: &'a str,
+    halt_body: &'a str,
+}
+
+const DEFAULT_DPC: &str = "
+    lea  r0, lock_a
+    call @NdisDprAcquireSpinLock
+    in   r1, 0x10
+    lea  r0, lock_a
+    call @NdisDprReleaseSpinLock
+";
+
+const DEFAULT_HALT: &str = "
+    lea  r0, block
+    ldw  r0, [r0]
+    beq  r0, 0, halt_noblk
+    mov  r1, 64
+    mov  r2, 0
+    call @NdisFreeMemory
+halt_noblk:
+";
+
+fn instantiate(t: &Template<'_>) -> String {
+    let body = r#"
+.name {name}
+.equ NDIS_SUCCESS, 0
+.equ NDIS_FAILURE, 0xC0000001
+
+.text
+DriverEntry:
+    push lr
+    lea  r0, miniport_table
+    call @NdisMRegisterMiniport
+    mov  r0, NDIS_SUCCESS
+    pop  lr
+    ret
+
+Initialize:
+    push r4, lr
+    lea  r1, adapter
+    stw  [r1], r0
+    lea  r0, lock_a
+    call @NdisAllocateSpinLock
+    lea  r0, lock_b
+    call @NdisAllocateSpinLock
+    lea  r0, scratch
+    mov  r1, 64
+    mov  r2, 0x53445631
+    call @NdisAllocateMemoryWithTag
+    bne  r0, 0, init_fail
+    lea  r1, scratch
+    ldw  r4, [r1]
+    lea  r1, block
+    stw  [r1], r4
+{init_extra}
+    lea  r0, timer
+    lea  r1, adapter
+    ldw  r1, [r1]
+    lea  r2, TimerFn
+    mov  r3, 0
+    call @NdisMInitializeTimer
+    lea  r0, intr_obj
+    lea  r1, adapter
+    ldw  r1, [r1]
+    mov  r2, 3
+    mov  r3, 0
+    call @NdisMRegisterInterrupt
+    mov  r0, NDIS_SUCCESS
+    pop  lr, r4
+    ret
+init_fail:
+    lea  r0, lock_a
+    call @NdisFreeSpinLock
+    lea  r0, lock_b
+    call @NdisFreeSpinLock
+    mov  r0, NDIS_FAILURE
+    pop  lr, r4
+    ret
+
+Send:
+    push lr
+    ldw  r2, [r1]
+    ldw  r3, [r1+4]
+    bgeu r3, 1515, send_bad
+    out  0x14, r3
+    lea  r0, adapter
+    ldw  r0, [r0]
+    mov  r2, 0
+    call @NdisMSendComplete
+    mov  r0, NDIS_SUCCESS
+    pop  lr
+    ret
+send_bad:
+    mov  r0, NDIS_FAILURE
+    pop  lr
+    ret
+
+QueryInformation:
+    mov  r0, 0xC00000BB
+    ret
+
+SetInformation:
+    mov  r0, 0xC00000BB
+    ret
+
+Isr:
+    push lr
+    in   r1, 0x10
+    and  r2, r1, 1
+    beq  r2, 0, isr_no
+    out  0x11, r1
+    mov  r0, 1
+    pop  lr
+    ret
+isr_no:
+    mov  r0, 0
+    pop  lr
+    ret
+
+HandleInterrupt:
+    push lr
+{dpc_body}
+    mov  r0, 0
+    pop  lr
+    ret
+
+TimerFn:
+    push lr
+    in   r1, 0x10
+    mov  r0, 0
+    pop  lr
+    ret
+
+Reset:
+    mov  r0, NDIS_SUCCESS
+    ret
+
+Halt:
+    push lr
+    lea  r0, intr_obj
+    call @NdisMDeregisterInterrupt
+{halt_body}
+    lea  r0, lock_a
+    call @NdisFreeSpinLock
+    lea  r0, lock_b
+    call @NdisFreeSpinLock
+    mov  r0, NDIS_SUCCESS
+    pop  lr
+    ret
+
+CheckForHang:
+    mov  r0, 0
+    ret
+
+.data
+miniport_table:
+    .word Initialize, Send, QueryInformation, SetInformation
+    .word Isr, HandleInterrupt, Reset, Halt, CheckForHang, 0
+
+.bss
+adapter:  .space 4
+block:    .space 4
+lock_a:   .space 8
+lock_b:   .space 8
+lock_ptr: .space 4
+extra:    .space 4
+cfgh:     .space 4
+timer:    .space 16
+intr_obj: .space 16
+scratch:  .space 32
+"#;
+    body.replace("{name}", t.name)
+        .replace("{init_extra}", t.init_extra)
+        .replace("{dpc_body}", t.dpc_body)
+        .replace("{halt_body}", t.halt_body)
+}
+
+fn sample(name: &str, bug: Option<BugKind>, t: Template<'_>) -> SampleDriver {
+    SampleDriver { name: name.to_string(), source: instantiate(&t), bug_kind: bug }
+}
+
+/// The correct base driver the variants are derived from.
+pub fn base_sample() -> SampleDriver {
+    sample(
+        "sdv_base",
+        None,
+        Template {
+            name: "sdv_base",
+            init_extra: "",
+            dpc_body: DEFAULT_DPC,
+            halt_body: DEFAULT_HALT,
+        },
+    )
+}
+
+/// The eight sample-bug drivers (the "SDV sample set" analog).
+pub fn sdv_sample_set() -> Vec<SampleDriver> {
+    vec![
+        sample(
+            "smp_double_free",
+            Some(BugKind::DoubleFree),
+            Template {
+                name: "smp_double_free",
+                init_extra: "",
+                dpc_body: DEFAULT_DPC,
+                halt_body: "
+    lea  r0, block
+    ldw  r0, [r0]
+    mov  r1, 64
+    mov  r2, 0
+    call @NdisFreeMemory
+    lea  r0, block
+    ldw  r0, [r0]
+    mov  r1, 64
+    mov  r2, 0
+    call @NdisFreeMemory            ; BUG: double free
+",
+            },
+        ),
+        sample(
+            "smp_use_after_free",
+            Some(BugKind::UseAfterFree),
+            Template {
+                name: "smp_use_after_free",
+                init_extra: "",
+                dpc_body: DEFAULT_DPC,
+                halt_body: "
+    lea  r0, block
+    ldw  r0, [r0]
+    mov  r1, 64
+    mov  r2, 0
+    call @NdisFreeMemory
+    lea  r0, block
+    ldw  r0, [r0]
+    ldw  r1, [r0]                   ; BUG: read from freed memory
+",
+            },
+        ),
+        sample(
+            "smp_config_leak",
+            Some(BugKind::ConfigLeak),
+            Template {
+                name: "smp_config_leak",
+                init_extra: "
+    lea  r0, scratch+8
+    lea  r1, cfgh
+    call @NdisOpenConfiguration     ; BUG: never closed
+",
+                dpc_body: DEFAULT_DPC,
+                halt_body: DEFAULT_HALT,
+            },
+        ),
+        sample(
+            "smp_release_unheld",
+            Some(BugKind::ExtraRelease),
+            Template {
+                name: "smp_release_unheld",
+                init_extra: "",
+                dpc_body: "
+    lea  r0, lock_a
+    call @NdisDprReleaseSpinLock    ; BUG: released but never acquired
+",
+                halt_body: DEFAULT_HALT,
+            },
+        ),
+        sample(
+            "smp_sleep_dispatch",
+            Some(BugKind::WrongIrqlCall),
+            Template {
+                name: "smp_sleep_dispatch",
+                init_extra: "",
+                dpc_body: "
+    mov  r0, 100
+    call @NdisMSleep                ; BUG: sleep in a DPC
+",
+                halt_body: DEFAULT_HALT,
+            },
+        ),
+        sample(
+            "smp_uninit_timer",
+            Some(BugKind::UninitTimer),
+            Template {
+                name: "smp_uninit_timer",
+                init_extra: "
+    lea  r0, timer
+    mov  r1, 5
+    call @NdisMSetTimer             ; BUG: timer not initialized yet
+",
+                dpc_body: DEFAULT_DPC,
+                halt_body: DEFAULT_HALT,
+            },
+        ),
+        sample(
+            "smp_null_deref",
+            Some(BugKind::NullDeref),
+            Template {
+                name: "smp_null_deref",
+                init_extra: "
+    lea  r0, scratch+8
+    mov  r1, 32
+    mov  r2, 0x41414141
+    call @NdisAllocateMemoryWithTag
+    lea  r1, scratch+8
+    ldw  r1, [r1]
+    mov  r2, 7
+    stw  [r1], r2                   ; BUG: no NULL check on the allocation
+    lea  r2, extra
+    stw  [r2], r1
+",
+                dpc_body: DEFAULT_DPC,
+                halt_body: DEFAULT_HALT,
+            },
+        ),
+        sample(
+            "smp_paged_dispatch",
+            Some(BugKind::WrongIrqlCall),
+            Template {
+                name: "smp_paged_dispatch",
+                init_extra: "",
+                dpc_body: "
+    mov  r0, 1
+    mov  r1, 64
+    mov  r2, 0x50474431
+    call @ExAllocatePoolWithTag     ; BUG: paged pool in a DPC
+",
+                halt_body: DEFAULT_HALT,
+            },
+        ),
+    ]
+}
+
+/// A driver whose DPC spins forever on an in-memory flag no one sets —
+/// the pure-computation infinite loop the VM-level loop detector flags
+/// (§3.1.1). Not part of the paper's sets; used to validate the checker.
+pub fn infinite_loop_sample() -> SampleDriver {
+    sample(
+        "smp_infinite_loop",
+        None,
+        Template {
+            name: "smp_infinite_loop",
+            init_extra: "",
+            dpc_body: "
+    lea  r1, extra
+il_spin:
+    ldw  r2, [r1]
+    beq  r2, 0, il_spin             ; BUG: nothing ever sets the flag
+",
+            halt_body: DEFAULT_HALT,
+        },
+    )
+}
+
+/// The five synthetic-bug variants of §5.1.
+pub fn synthetic_set() -> Vec<SampleDriver> {
+    vec![
+        sample(
+            "syn_deadlock",
+            Some(BugKind::Deadlock),
+            Template {
+                name: "syn_deadlock",
+                init_extra: "",
+                dpc_body: "
+    lea  r0, lock_a
+    call @NdisDprAcquireSpinLock
+    ; The second acquisition goes through an alias in memory, which the
+    ; static analyzer's named-lock tracking cannot resolve.
+    lea  r0, lock_a
+    lea  r1, lock_ptr
+    stw  [r1], r0
+    lea  r1, lock_ptr
+    ldw  r0, [r1]
+    call @NdisDprAcquireSpinLock    ; BUG: deadlock (same lock)
+    lea  r0, lock_a
+    call @NdisDprReleaseSpinLock
+",
+                halt_body: DEFAULT_HALT,
+            },
+        ),
+        sample(
+            "syn_out_of_order",
+            Some(BugKind::OutOfOrderRelease),
+            Template {
+                name: "syn_out_of_order",
+                init_extra: "",
+                dpc_body: "
+    ; Correct but path-correlated pattern: the acquire and the release of
+    ; lock_b are guarded by the same condition. A path-insensitive
+    ; analysis merges the two branches and reports a spurious
+    ; release-of-unheld-lock — SDV's one false positive.
+    in   r1, 0x10
+    and  r2, r1, 2
+    beq  r2, 0, oo_noacq
+    lea  r0, lock_b
+    call @NdisDprAcquireSpinLock
+oo_noacq:
+    in   r1, 0x10
+    beq  r2, 0, oo_norel
+    lea  r0, lock_b
+    call @NdisDprReleaseSpinLock
+oo_norel:
+    ; BUG: non-LIFO release order: lock_a (acquired first) is released
+    ; before lock_b.
+    lea  r0, lock_a
+    call @NdisDprAcquireSpinLock
+    lea  r0, lock_b
+    call @NdisDprAcquireSpinLock
+    lea  r0, lock_a
+    call @NdisDprReleaseSpinLock
+    lea  r0, lock_b
+    call @NdisDprReleaseSpinLock
+",
+                halt_body: DEFAULT_HALT,
+            },
+        ),
+        sample(
+            "syn_extra_release",
+            Some(BugKind::ExtraRelease),
+            Template {
+                name: "syn_extra_release",
+                init_extra: "",
+                dpc_body: "
+    ; The release targets a lock reached through memory — invisible to the
+    ; named-lock static analysis.
+    lea  r0, lock_b
+    lea  r1, lock_ptr
+    stw  [r1], r0
+    lea  r1, lock_ptr
+    ldw  r0, [r1]
+    call @NdisDprReleaseSpinLock    ; BUG: never acquired
+",
+                halt_body: DEFAULT_HALT,
+            },
+        ),
+        sample(
+            "syn_forgotten",
+            Some(BugKind::ForgottenRelease),
+            Template {
+                name: "syn_forgotten",
+                init_extra: "",
+                dpc_body: "
+    lea  r0, lock_a
+    call @NdisDprAcquireSpinLock
+    in   r1, 0x10                   ; BUG: returns with lock_a held
+",
+                halt_body: DEFAULT_HALT,
+            },
+        ),
+        sample(
+            "syn_wrong_irql",
+            Some(BugKind::WrongIrqlCall),
+            Template {
+                name: "syn_wrong_irql",
+                init_extra: "",
+                dpc_body: "
+    lea  r0, lock_a
+    call @NdisAcquireSpinLock
+    mov  r0, 100
+    call @NdisMSleep                ; BUG: kernel call at the wrong IRQL
+    lea  r0, lock_a
+    call @NdisReleaseSpinLock
+",
+                halt_body: DEFAULT_HALT,
+            },
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_samples_assemble() {
+        base_sample().build();
+        for s in sdv_sample_set().iter().chain(synthetic_set().iter()) {
+            let a = s.build();
+            assert_eq!(a.image.name, s.name);
+        }
+    }
+
+    #[test]
+    fn set_sizes_match_the_paper() {
+        assert_eq!(sdv_sample_set().len(), 8, "8 sample bugs");
+        assert_eq!(synthetic_set().len(), 5, "5 synthetic bugs");
+    }
+
+    #[test]
+    fn synthetic_kinds_are_the_papers_list() {
+        let kinds: Vec<BugKind> = synthetic_set().iter().map(|s| s.bug_kind.unwrap()).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                BugKind::Deadlock,
+                BugKind::OutOfOrderRelease,
+                BugKind::ExtraRelease,
+                BugKind::ForgottenRelease,
+                BugKind::WrongIrqlCall,
+            ]
+        );
+    }
+
+    #[test]
+    fn base_sample_is_clean() {
+        assert!(base_sample().bug_kind.is_none());
+    }
+}

@@ -1,0 +1,130 @@
+//! The concrete workload generator (Device Path Exerciser analog, §4.3).
+//!
+//! "DDT uses Microsoft's Device Path Exerciser as a concrete workload
+//! generator to invoke the entry points of the drivers to be tested" — this
+//! module is that generator: it produces the sequence of entry-point
+//! invocations the exerciser drives, and DDT explores symbolically from
+//! each invocation. For the evaluation workloads of §5.2, "for the network
+//! drivers, the workload consisted of sending one packet; for the audio
+//! drivers, we played a small sound file".
+
+use crate::DriverClass;
+
+/// Base value of the OID space used by the NIC drivers.
+pub const OID_BASE: u32 = 0x0001_0100;
+
+/// One workload operation (one entry-point invocation).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WorkloadOp {
+    /// Invoke `Initialize` (must be first).
+    Initialize,
+    /// Send one packet of `len` bytes filled with `fill`.
+    Send {
+        /// Packet length in bytes.
+        len: u32,
+        /// Fill byte for the payload.
+        fill: u8,
+    },
+    /// Invoke `QueryInformation` with an OID and an output buffer length.
+    Query {
+        /// Object identifier.
+        oid: u32,
+        /// Output buffer length.
+        len: u32,
+    },
+    /// Invoke `SetInformation`.
+    Set {
+        /// Object identifier.
+        oid: u32,
+        /// Input buffer length.
+        len: u32,
+        /// Input value placed in the buffer.
+        value: u32,
+    },
+    /// Deliver all due timer callbacks.
+    FireTimers,
+    /// Invoke `Reset`.
+    Reset,
+    /// Invoke `CheckForHang`.
+    CheckForHang,
+    /// Invoke the auxiliary handler (audio: StopDma).
+    Aux,
+    /// Invoke `Halt` (teardown).
+    Halt,
+}
+
+impl WorkloadOp {
+    /// A short stable name for traces and coverage plots.
+    pub fn name(&self) -> &'static str {
+        match self {
+            WorkloadOp::Initialize => "Initialize",
+            WorkloadOp::Send { .. } => "Send",
+            WorkloadOp::Query { .. } => "QueryInformation",
+            WorkloadOp::Set { .. } => "SetInformation",
+            WorkloadOp::FireTimers => "TimerCallback",
+            WorkloadOp::Reset => "Reset",
+            WorkloadOp::CheckForHang => "CheckForHang",
+            WorkloadOp::Aux => "Aux",
+            WorkloadOp::Halt => "Halt",
+        }
+    }
+}
+
+/// The standard workload for a driver class.
+pub fn workload_for(class: DriverClass) -> Vec<WorkloadOp> {
+    match class {
+        DriverClass::Net => vec![
+            WorkloadOp::Initialize,
+            WorkloadOp::Query { oid: OID_BASE, len: 16 },
+            WorkloadOp::Set { oid: OID_BASE, len: 4, value: 0x1f },
+            WorkloadOp::Send { len: 64, fill: 0xa5 },
+            WorkloadOp::FireTimers,
+            WorkloadOp::Query { oid: OID_BASE + 2, len: 16 },
+            WorkloadOp::CheckForHang,
+            WorkloadOp::Reset,
+            WorkloadOp::Halt,
+        ],
+        DriverClass::Audio => vec![
+            WorkloadOp::Initialize,
+            WorkloadOp::Set { oid: 0, len: 4, value: 44100 }, // Sample rate.
+            WorkloadOp::Set { oid: 1, len: 4, value: 128 },   // Volume.
+            WorkloadOp::Send { len: 0, fill: 0 },             // Play.
+            WorkloadOp::Query { oid: 0, len: 16 },            // Position.
+            WorkloadOp::FireTimers,
+            WorkloadOp::Aux,                                  // StopDma.
+            WorkloadOp::Halt,
+        ],
+    }
+}
+
+/// A minimal smoke workload (used by quick tests): initialize + halt.
+pub fn smoke_workload() -> Vec<WorkloadOp> {
+    vec![WorkloadOp::Initialize, WorkloadOp::Halt]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_start_with_initialize_and_end_with_halt() {
+        for class in [DriverClass::Net, DriverClass::Audio] {
+            let w = workload_for(class);
+            assert_eq!(w[0], WorkloadOp::Initialize);
+            assert_eq!(*w.last().unwrap(), WorkloadOp::Halt);
+        }
+    }
+
+    #[test]
+    fn net_workload_sends_one_packet() {
+        let w = workload_for(DriverClass::Net);
+        let sends = w.iter().filter(|o| matches!(o, WorkloadOp::Send { .. })).count();
+        assert_eq!(sends, 1, "§5.2: the NIC workload is one packet");
+    }
+
+    #[test]
+    fn audio_workload_plays_and_stops() {
+        let w = workload_for(DriverClass::Audio);
+        assert!(w.contains(&WorkloadOp::Aux), "playback must be stopped");
+    }
+}

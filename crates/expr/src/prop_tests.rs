@@ -1,0 +1,116 @@
+//! In-crate property tests for the expression layer: algebraic identities
+//! that the smart constructors must respect for every operand shape.
+
+#![cfg(test)]
+
+use proptest::prelude::*;
+
+use crate::{Assignment, Expr, SymId};
+
+fn arb_width() -> impl Strategy<Value = u32> {
+    prop_oneof![Just(1u32), Just(8), Just(16), Just(32), Just(64)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Constants are always folded: operations on two constants yield a
+    /// constant node.
+    #[test]
+    fn constants_always_fold(a in any::<u64>(), b in any::<u64>(), w in arb_width()) {
+        let ea = Expr::constant(a, w);
+        let eb = Expr::constant(b, w);
+        for e in [
+            ea.add(&eb), ea.sub(&eb), ea.mul(&eb), ea.and(&eb), ea.or(&eb),
+            ea.xor(&eb), ea.shl(&eb), ea.lshr(&eb), ea.ashr(&eb),
+            ea.udiv(&eb), ea.urem(&eb), ea.sdiv(&eb), ea.srem(&eb),
+        ] {
+            prop_assert!(e.is_const(), "{e} not folded");
+            prop_assert_eq!(e.width(), w);
+        }
+        for c in [ea.eq(&eb), ea.ne(&eb), ea.ult(&eb), ea.slt(&eb)] {
+            prop_assert!(c.is_const());
+            prop_assert_eq!(c.width(), 1);
+        }
+    }
+
+    /// Evaluation respects the algebraic laws the simplifier exploits.
+    #[test]
+    fn algebraic_laws_hold_under_eval(x in any::<u64>(), y in any::<u64>(), w in arb_width()) {
+        let sx = Expr::sym(SymId(0), w);
+        let sy = Expr::sym(SymId(1), w);
+        let mut asg = Assignment::new();
+        asg.set(SymId(0), x);
+        asg.set(SymId(1), y);
+        // Commutativity.
+        prop_assert_eq!(sx.add(&sy).eval(&asg), sy.add(&sx).eval(&asg));
+        prop_assert_eq!(sx.mul(&sy).eval(&asg), sy.mul(&sx).eval(&asg));
+        prop_assert_eq!(sx.xor(&sy).eval(&asg), sy.xor(&sx).eval(&asg));
+        // Involution and inverses.
+        prop_assert_eq!(sx.not().not().eval(&asg), sx.eval(&asg));
+        prop_assert_eq!(sx.neg().neg().eval(&asg), sx.eval(&asg));
+        prop_assert_eq!(sx.sub(&sy).add(&sy).eval(&asg), sx.eval(&asg));
+        // De Morgan.
+        prop_assert_eq!(
+            sx.and(&sy).not().eval(&asg),
+            sx.not().or(&sy.not()).eval(&asg)
+        );
+    }
+
+    /// Zero/sign extension then extraction is the identity.
+    #[test]
+    fn extend_extract_roundtrip(x in any::<u64>(), w in prop_oneof![Just(8u32), Just(16), Just(32)]) {
+        let sx = Expr::sym(SymId(0), w);
+        let mut asg = Assignment::new();
+        asg.set(SymId(0), x);
+        let z = sx.zext(64).extract(w - 1, 0);
+        prop_assert_eq!(z.eval(&asg), sx.eval(&asg));
+        let s = sx.sext(64).extract(w - 1, 0);
+        prop_assert_eq!(s.eval(&asg), sx.eval(&asg));
+    }
+
+    /// Byte-splitting and re-concatenation is the identity (the memory
+    /// model depends on this).
+    #[test]
+    fn byte_split_concat_roundtrip(x in any::<u64>()) {
+        let sx = Expr::sym(SymId(0), 32);
+        let mut asg = Assignment::new();
+        asg.set(SymId(0), x);
+        let b0 = sx.extract(7, 0);
+        let b1 = sx.extract(15, 8);
+        let b2 = sx.extract(23, 16);
+        let b3 = sx.extract(31, 24);
+        let rt = b3.concat(&b2).concat(&b1).concat(&b0);
+        prop_assert_eq!(rt.eval(&asg), sx.eval(&asg));
+        // And the simplifier recovers the original expression exactly.
+        prop_assert_eq!(rt, sx);
+    }
+
+    /// `lnot` is semantic negation for every comparison shape.
+    #[test]
+    fn lnot_is_negation(x in any::<u64>(), y in any::<u64>()) {
+        let sx = Expr::sym(SymId(0), 32);
+        let sy = Expr::sym(SymId(1), 32);
+        let mut asg = Assignment::new();
+        asg.set(SymId(0), x);
+        asg.set(SymId(1), y);
+        for c in [sx.eq(&sy), sx.ne(&sy), sx.ult(&sy), sx.ule(&sy), sx.slt(&sy), sx.sle(&sy)] {
+            prop_assert_eq!(c.lnot().eval_bool(&asg), !c.eval_bool(&asg));
+        }
+    }
+
+    /// Substitution commutes with evaluation.
+    #[test]
+    fn subst_commutes_with_eval(x in any::<u64>(), y in any::<u64>()) {
+        let sx = Expr::sym(SymId(0), 32);
+        let sy = Expr::sym(SymId(1), 32);
+        let e = sx.mul(&sy).add(&sx.lshr(&Expr::constant(5, 32))).xor(&sy.not());
+        let mut asg = Assignment::new();
+        asg.set(SymId(0), x);
+        asg.set(SymId(1), y);
+        let mut map = std::collections::HashMap::new();
+        map.insert(SymId(0), Expr::constant(x, 32));
+        map.insert(SymId(1), Expr::constant(y, 32));
+        prop_assert_eq!(crate::subst(&e, &map).as_const(), Some(e.eval(&asg)));
+    }
+}

@@ -1,0 +1,130 @@
+//! Traversal utilities: symbol collection and substitution.
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::node::{Expr, ExprNode};
+use crate::SymId;
+
+/// Collects the set of symbols appearing in `e` into `out`.
+pub fn collect_syms(e: &Expr, out: &mut BTreeSet<SymId>) {
+    match e.node() {
+        ExprNode::Const { .. } => {}
+        ExprNode::Sym { id, .. } => {
+            out.insert(*id);
+        }
+        ExprNode::Not(a) | ExprNode::Neg(a) => collect_syms(a, out),
+        ExprNode::Bin(_, a, b) | ExprNode::Cmp(_, a, b) => {
+            collect_syms(a, out);
+            collect_syms(b, out);
+        }
+        ExprNode::ZExt { e, .. } | ExprNode::SExt { e, .. } | ExprNode::Extract { e, .. } => {
+            collect_syms(e, out)
+        }
+        ExprNode::Concat { hi, lo } => {
+            collect_syms(hi, out);
+            collect_syms(lo, out);
+        }
+        ExprNode::Ite { cond, then, els } => {
+            collect_syms(cond, out);
+            collect_syms(then, out);
+            collect_syms(els, out);
+        }
+    }
+}
+
+impl Expr {
+    /// Returns the set of symbols appearing in this expression.
+    pub fn syms(&self) -> BTreeSet<SymId> {
+        let mut out = BTreeSet::new();
+        collect_syms(self, &mut out);
+        out
+    }
+
+    /// Returns true if the expression mentions `id`.
+    pub fn mentions(&self, id: SymId) -> bool {
+        self.syms().contains(&id)
+    }
+}
+
+/// Substitutes symbols by expressions, rebuilding (and thus re-simplifying)
+/// the tree bottom-up.
+///
+/// Replacement expressions must match the widths of the symbols they
+/// replace.
+///
+/// # Panics
+///
+/// Panics if a replacement has the wrong width.
+pub fn subst(e: &Expr, map: &HashMap<SymId, Expr>) -> Expr {
+    match e.node() {
+        ExprNode::Const { .. } => e.clone(),
+        ExprNode::Sym { id, width } => match map.get(id) {
+            Some(r) => {
+                assert_eq!(r.width(), *width, "substitution width mismatch for {id}");
+                r.clone()
+            }
+            None => e.clone(),
+        },
+        ExprNode::Not(a) => subst(a, map).not(),
+        ExprNode::Neg(a) => subst(a, map).neg(),
+        ExprNode::Bin(op, a, b) => Expr::bin(*op, &subst(a, map), &subst(b, map)),
+        ExprNode::Cmp(op, a, b) => Expr::cmp(*op, &subst(a, map), &subst(b, map)),
+        ExprNode::ZExt { e, width } => subst(e, map).zext(*width),
+        ExprNode::SExt { e, width } => subst(e, map).sext(*width),
+        ExprNode::Extract { e, hi, lo } => subst(e, map).extract(*hi, *lo),
+        ExprNode::Concat { hi, lo } => subst(hi, map).concat(&subst(lo, map)),
+        ExprNode::Ite { cond, then, els } => {
+            Expr::ite(&subst(cond, map), &subst(then, map), &subst(els, map))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Assignment;
+
+    #[test]
+    fn collects_all_syms() {
+        let a = Expr::sym(SymId(1), 32);
+        let b = Expr::sym(SymId(2), 32);
+        let c = Expr::sym(SymId(3), 1);
+        let e = Expr::ite(&c, &a.add(&b), &b);
+        let syms = e.syms();
+        assert_eq!(syms.len(), 3);
+        assert!(syms.contains(&SymId(1)) && syms.contains(&SymId(2)) && syms.contains(&SymId(3)));
+    }
+
+    #[test]
+    fn subst_replaces_and_simplifies() {
+        let a = Expr::sym(SymId(1), 32);
+        let b = Expr::sym(SymId(2), 32);
+        let e = a.add(&b).ult(&Expr::constant(100, 32));
+        let mut map = HashMap::new();
+        map.insert(SymId(1), Expr::constant(10, 32));
+        map.insert(SymId(2), Expr::constant(20, 32));
+        assert!(subst(&e, &map).is_true());
+    }
+
+    #[test]
+    fn subst_agrees_with_eval() {
+        let a = Expr::sym(SymId(1), 32);
+        let b = Expr::sym(SymId(2), 32);
+        let e = a.mul(&b).xor(&a.lshr(&Expr::constant(3, 32)));
+        let mut map = HashMap::new();
+        map.insert(SymId(1), Expr::constant(0x1234, 32));
+        map.insert(SymId(2), Expr::constant(0x77, 32));
+        let mut asg = Assignment::new();
+        asg.set(SymId(1), 0x1234);
+        asg.set(SymId(2), 0x77);
+        assert_eq!(subst(&e, &map).as_const(), Some(e.eval(&asg)));
+    }
+
+    #[test]
+    fn mentions_checks_membership() {
+        let a = Expr::sym(SymId(1), 32);
+        let e = a.add(&Expr::constant(1, 32));
+        assert!(e.mentions(SymId(1)));
+        assert!(!e.mentions(SymId(2)));
+    }
+}

@@ -1,0 +1,1128 @@
+//! Two-pass assembler for the DDT-32 `.s` dialect.
+//!
+//! The synthetic drivers in `ddt-drivers` are written in this dialect and
+//! assembled to [`DxeImage`] binaries; only the binaries reach DDT. The
+//! dialect is deliberately small:
+//!
+//! ```text
+//! .name  rtl8029            ; driver name
+//! .base  0x400000           ; load base (optional, defaults)
+//! .entry DriverEntry        ; entry label (optional, defaults to DriverEntry)
+//! .equ   MAX_LEN, 32        ; assembly-time constant
+//! .text                     ; section switches
+//! DriverEntry:
+//!     push lr
+//!     mov  r0, 5            ; movi
+//!     add  r1, r0, 3        ; addi
+//!     ldw  r2, [r1+8]       ; memory operands: [reg], [reg+imm], [reg-imm]
+//!     beq  r0, 5, done      ; immediate compare expands via r12
+//!     call @NdisMSleep      ; kernel import (resolved via the export map)
+//! done:
+//!     pop  lr
+//!     ret
+//! .data
+//! table:  .word 1, 2, 3
+//! msg:    .asciz "hello"
+//! .bss
+//! buf:    .space 64
+//! ```
+//!
+//! Registers: `r0`–`r15`, with aliases `sp` (r13) and `lr` (r14). `r12` is
+//! reserved as the assembler scratch register for pseudo-expansions.
+//! Comments start with `;`, `#`, or `//`.
+
+use std::collections::BTreeMap;
+
+use crate::image::{DxeImage, Import};
+use crate::insn::{encode, Insn, Reg};
+use crate::{export_trap_addr, DEFAULT_LOAD_BASE, INSN_SIZE};
+
+/// Maps kernel export names to export ids (provided by `ddt-kernel`).
+pub type ExportMap = BTreeMap<String, u16>;
+
+/// An assembly error with its 1-based source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number in the source.
+    pub line: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// Assembly output: the binary image plus source-level metadata used by
+/// tests and by DDT's trace post-processing (§3.5 "mapped to source lines").
+#[derive(Clone, Debug)]
+pub struct Assembled {
+    /// The driver binary.
+    pub image: DxeImage,
+    /// Label name → absolute address.
+    pub labels: BTreeMap<String, u32>,
+    /// Text address → source line number (per instruction).
+    pub line_map: BTreeMap<u32, usize>,
+}
+
+impl Assembled {
+    /// Resolves a label to its address.
+    pub fn label(&self, name: &str) -> Option<u32> {
+        self.labels.get(name).copied()
+    }
+
+    /// Resolves a label, panicking with a clear message if missing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is not defined.
+    pub fn label_addr(&self, name: &str) -> u32 {
+        self.label(name).unwrap_or_else(|| panic!("no label {name:?} in {}", self.image.name))
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Section {
+    Text,
+    Data,
+    Bss,
+}
+
+/// One parsed source statement.
+struct Stmt<'a> {
+    line: usize,
+    label: Option<&'a str>,
+    op: Option<&'a str>,
+    args: Vec<&'a str>,
+}
+
+/// Assembles DDT-32 source into a driver image.
+///
+/// `exports` maps kernel export names (used as `call @Name`) to ids.
+pub fn assemble(src: &str, exports: &ExportMap) -> Result<Assembled, AsmError> {
+    let stmts = parse(src)?;
+    let mut asm = Assembler::new(exports);
+    asm.layout(&stmts)?;
+    asm.emit(&stmts)
+}
+
+fn err(line: usize, msg: impl Into<String>) -> AsmError {
+    AsmError { line, msg: msg.into() }
+}
+
+fn parse(src: &str) -> Result<Vec<Stmt<'_>>, AsmError> {
+    let mut stmts = Vec::new();
+    for (i, raw) in src.lines().enumerate() {
+        let line = i + 1;
+        // Strip comments; respect string literals for `.asciz`.
+        let mut cut = raw.len();
+        let mut in_str = false;
+        let bytes = raw.as_bytes();
+        let mut j = 0;
+        while j < bytes.len() {
+            let c = bytes[j];
+            if in_str {
+                if c == b'\\' {
+                    j += 1;
+                } else if c == b'"' {
+                    in_str = false;
+                }
+            } else if c == b'"' {
+                in_str = true;
+            } else if c == b';' || c == b'#' || (c == b'/' && bytes.get(j + 1) == Some(&b'/')) {
+                cut = j;
+                break;
+            }
+            j += 1;
+        }
+        let mut text = raw[..cut].trim();
+        if text.is_empty() {
+            continue;
+        }
+        // Optional label.
+        let mut label = None;
+        if let Some(colon) = find_label_colon(text) {
+            let (l, rest) = text.split_at(colon);
+            let l = l.trim();
+            if !is_ident(l) {
+                return Err(err(line, format!("bad label {l:?}")));
+            }
+            label = Some(l);
+            text = rest[1..].trim();
+        }
+        if text.is_empty() {
+            stmts.push(Stmt { line, label, op: None, args: Vec::new() });
+            continue;
+        }
+        // Opcode and comma-separated operands.
+        let (op, rest) = match text.find(char::is_whitespace) {
+            Some(p) => (&text[..p], text[p..].trim()),
+            None => (text, ""),
+        };
+        let args = if rest.is_empty() {
+            Vec::new()
+        } else if op == ".asciz" || op == ".ascii" {
+            vec![rest]
+        } else {
+            rest.split(',').map(str::trim).collect()
+        };
+        stmts.push(Stmt { line, label, op: Some(op), args });
+    }
+    Ok(stmts)
+}
+
+/// Finds the colon ending a leading label, ignoring colons inside strings.
+fn find_label_colon(s: &str) -> Option<usize> {
+    let b = s.as_bytes();
+    for (i, &c) in b.iter().enumerate() {
+        if c == b':' {
+            return Some(i);
+        }
+        if !(c.is_ascii_alphanumeric() || c == b'_' || c == b'.') {
+            return None;
+        }
+    }
+    None
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == '.')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+}
+
+struct Assembler<'e> {
+    exports: &'e ExportMap,
+    name: String,
+    base: u32,
+    entry_label: String,
+    equs: BTreeMap<String, u32>,
+    labels: BTreeMap<String, u32>,
+    text_size: u32,
+    data_size: u32,
+    bss_size: u32,
+    used_imports: BTreeMap<String, u16>,
+}
+
+impl<'e> Assembler<'e> {
+    fn new(exports: &'e ExportMap) -> Assembler<'e> {
+        Assembler {
+            exports,
+            name: "driver".into(),
+            base: DEFAULT_LOAD_BASE,
+            entry_label: "DriverEntry".into(),
+            equs: BTreeMap::new(),
+            labels: BTreeMap::new(),
+            text_size: 0,
+            data_size: 0,
+            bss_size: 0,
+            used_imports: BTreeMap::new(),
+        }
+    }
+
+    fn data_base(&self) -> u32 {
+        (self.base + self.text_size + 7) & !7
+    }
+
+    fn bss_base(&self) -> u32 {
+        (self.data_base() + self.data_size + 7) & !7
+    }
+
+    /// Pass 1: compute sizes, collect labels and constants.
+    fn layout(&mut self, stmts: &[Stmt<'_>]) -> Result<(), AsmError> {
+        let mut section = Section::Text;
+        let (mut toff, mut doff, mut boff) = (0u32, 0u32, 0u32);
+        // Section-relative label positions; resolved to absolute below.
+        let mut rel: BTreeMap<String, (Section, u32)> = BTreeMap::new();
+        for s in stmts {
+            if let Some(l) = s.label {
+                let off = match section {
+                    Section::Text => toff,
+                    Section::Data => doff,
+                    Section::Bss => boff,
+                };
+                if rel.insert(l.to_string(), (section, off)).is_some() {
+                    return Err(err(s.line, format!("duplicate label {l:?}")));
+                }
+            }
+            let Some(op) = s.op else { continue };
+            let size = match op {
+                ".name" => {
+                    self.name = s.args.first().unwrap_or(&"driver").to_string();
+                    0
+                }
+                ".base" => {
+                    let v = self.const_expr(s, s.args.first().copied())?;
+                    self.base = v;
+                    0
+                }
+                ".entry" => {
+                    self.entry_label =
+                        s.args.first().ok_or_else(|| err(s.line, ".entry needs a label"))?.to_string();
+                    0
+                }
+                ".equ" => {
+                    if s.args.len() != 2 {
+                        return Err(err(s.line, ".equ needs name, value"));
+                    }
+                    let v = self.const_expr(s, Some(s.args[1]))?;
+                    self.equs.insert(s.args[0].to_string(), v);
+                    0
+                }
+                ".text" => {
+                    section = Section::Text;
+                    0
+                }
+                ".data" => {
+                    section = Section::Data;
+                    0
+                }
+                ".bss" => {
+                    section = Section::Bss;
+                    0
+                }
+                ".word" => 4 * s.args.len() as u32,
+                ".half" => 2 * s.args.len() as u32,
+                ".byte" => s.args.len() as u32,
+                ".ascii" | ".asciz" => {
+                    let bytes = parse_string(s.line, s.args.first().copied())?;
+                    bytes.len() as u32 + (op == ".asciz") as u32
+                }
+                ".space" => self.const_expr(s, s.args.first().copied())?,
+                ".align" => {
+                    let a = self.const_expr(s, s.args.first().copied())?;
+                    if a == 0 || !a.is_power_of_two() {
+                        return Err(err(s.line, "alignment must be a power of two"));
+                    }
+                    let off = match section {
+                        Section::Text => toff,
+                        Section::Data => doff,
+                        Section::Bss => boff,
+                    };
+                    off.next_multiple_of(a) - off
+                }
+                _ if op.starts_with('.') => {
+                    return Err(err(s.line, format!("unknown directive {op}")));
+                }
+                mnemonic => {
+                    if section != Section::Text {
+                        return Err(err(s.line, "instructions only in .text"));
+                    }
+                    self.insn_count(s, mnemonic)? * INSN_SIZE
+                }
+            };
+            match section {
+                Section::Text => toff += size,
+                Section::Data => doff += size,
+                Section::Bss => boff += size,
+            }
+            // Data directives may appear in bss only as .space/.align.
+            if section == Section::Bss
+                && !matches!(op, ".space" | ".align" | ".bss" | ".text" | ".data")
+                && op.starts_with('.')
+                && matches!(op, ".word" | ".half" | ".byte" | ".ascii" | ".asciz")
+            {
+                return Err(err(s.line, "initialized data not allowed in .bss"));
+            }
+        }
+        self.text_size = toff;
+        self.data_size = doff;
+        self.bss_size = boff;
+        // Resolve labels to absolute addresses.
+        for (name, (sec, off)) in rel {
+            let addr = match sec {
+                Section::Text => self.base + off,
+                Section::Data => self.data_base() + off,
+                Section::Bss => self.bss_base() + off,
+            };
+            self.labels.insert(name, addr);
+        }
+        Ok(())
+    }
+
+    /// Number of instructions a mnemonic expands to (pseudo-expansion aware).
+    fn insn_count(&self, s: &Stmt<'_>, mnemonic: &str) -> Result<u32, AsmError> {
+        Ok(match mnemonic {
+            // Branches with an immediate comparand expand to movi + branch.
+            "beq" | "bne" | "blt" | "bge" | "bltu" | "bgeu" => {
+                if s.args.len() != 3 {
+                    return Err(err(s.line, format!("{mnemonic} needs rs, rt|imm, target")));
+                }
+                if parse_reg(s.args[1]).is_some() {
+                    1
+                } else {
+                    2
+                }
+            }
+            // push/pop accept register lists.
+            "push" | "pop" => s.args.len().max(1) as u32,
+            _ => 1,
+        })
+    }
+
+    /// Pass 2: encode instructions and data.
+    fn emit(&mut self, stmts: &[Stmt<'_>]) -> Result<Assembled, AsmError> {
+        let mut text: Vec<u8> = Vec::with_capacity(self.text_size as usize);
+        let mut data: Vec<u8> = Vec::with_capacity(self.data_size as usize);
+        let mut line_map = BTreeMap::new();
+        let mut section = Section::Text;
+        for s in stmts {
+            let Some(op) = s.op else { continue };
+            match op {
+                ".name" | ".base" | ".entry" | ".equ" => {}
+                ".text" => section = Section::Text,
+                ".data" => section = Section::Data,
+                ".bss" => section = Section::Bss,
+                ".word" => {
+                    for a in &s.args {
+                        let v = self.value_expr(s, a)?;
+                        data_sink(&mut data, section, s.line)?.extend_from_slice(&v.to_le_bytes());
+                    }
+                }
+                ".half" => {
+                    for a in &s.args {
+                        let v = self.value_expr(s, a)? as u16;
+                        data_sink(&mut data, section, s.line)?.extend_from_slice(&v.to_le_bytes());
+                    }
+                }
+                ".byte" => {
+                    for a in &s.args {
+                        let v = self.value_expr(s, a)? as u8;
+                        data_sink(&mut data, section, s.line)?.push(v);
+                    }
+                }
+                ".ascii" | ".asciz" => {
+                    let mut bytes = parse_string(s.line, s.args.first().copied())?;
+                    if op == ".asciz" {
+                        bytes.push(0);
+                    }
+                    data_sink(&mut data, section, s.line)?.extend_from_slice(&bytes);
+                }
+                ".space" => {
+                    let n = self.const_expr(s, s.args.first().copied())?;
+                    if section == Section::Data {
+                        data.extend(std::iter::repeat_n(0u8, n as usize));
+                    }
+                    // In .bss, space is implicit (bss_size was computed in
+                    // pass 1); in .text it is invalid.
+                    if section == Section::Text {
+                        return Err(err(s.line, ".space not allowed in .text"));
+                    }
+                }
+                ".align" => {
+                    let a = self.const_expr(s, s.args.first().copied())?;
+                    if section == Section::Data {
+                        while !(data.len() as u32).is_multiple_of(a) {
+                            data.push(0);
+                        }
+                    } else if section == Section::Text {
+                        return Err(err(s.line, ".align not allowed in .text"));
+                    }
+                }
+                mnemonic => {
+                    let pc = self.base + text.len() as u32;
+                    line_map.insert(pc, s.line);
+                    for insn in self.encode_stmt(s, mnemonic, pc)? {
+                        text.extend_from_slice(&encode(insn));
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(text.len() as u32, self.text_size, "pass-1/pass-2 size mismatch");
+        debug_assert_eq!(data.len() as u32, self.data_size, "pass-1/pass-2 data mismatch");
+        let entry = *self
+            .labels
+            .get(&self.entry_label)
+            .ok_or_else(|| err(0, format!("entry label {:?} not defined", self.entry_label)))?;
+        let imports = self
+            .used_imports
+            .iter()
+            .map(|(name, &export_id)| Import { export_id, name: name.clone() })
+            .collect();
+        Ok(Assembled {
+            image: DxeImage {
+                name: self.name.clone(),
+                load_base: self.base,
+                entry,
+                text,
+                data,
+                bss_size: self.bss_size,
+                imports,
+            },
+            labels: self.labels.clone(),
+            line_map,
+        })
+    }
+
+    fn encode_stmt(
+        &mut self,
+        s: &Stmt<'_>,
+        mnemonic: &str,
+        _pc: u32,
+    ) -> Result<Vec<Insn>, AsmError> {
+        use Insn::*;
+        let line = s.line;
+        let nargs = s.args.len();
+        let arg = |i: usize| -> Result<&str, AsmError> {
+            s.args.get(i).copied().ok_or_else(|| err(line, "missing operand"))
+        };
+        let reg = |i: usize| -> Result<Reg, AsmError> {
+            let a = arg(i)?;
+            parse_reg(a).ok_or_else(|| err(line, format!("expected register, got {a:?}")))
+        };
+        let scratch = Reg(12);
+        Ok(match mnemonic {
+            "halt" => vec![Halt],
+            "nop" => vec![Nop],
+            "ret" => vec![Ret],
+            "mov" | "lea" => {
+                let rd = reg(0)?;
+                let a = arg(1)?;
+                match parse_reg(a) {
+                    Some(rs) => vec![Mov { rd, rs }],
+                    None => vec![Movi { rd, imm: self.value_expr(s, a)? }],
+                }
+            }
+            "add" | "and" | "or" | "xor" | "shl" | "shr" | "sar" => {
+                let rd = reg(0)?;
+                let rs = reg(1)?;
+                let a = arg(2)?;
+                match parse_reg(a) {
+                    Some(rt) => vec![match mnemonic {
+                        "add" => Add { rd, rs, rt },
+                        "and" => And { rd, rs, rt },
+                        "or" => Or { rd, rs, rt },
+                        "xor" => Xor { rd, rs, rt },
+                        "shl" => Shl { rd, rs, rt },
+                        "shr" => Shr { rd, rs, rt },
+                        _ => Sar { rd, rs, rt },
+                    }],
+                    None => {
+                        let imm = self.value_expr(s, a)?;
+                        vec![match mnemonic {
+                            "add" => Addi { rd, rs, imm },
+                            "and" => Andi { rd, rs, imm },
+                            "or" => Ori { rd, rs, imm },
+                            "xor" => Xori { rd, rs, imm },
+                            "shl" => Shli { rd, rs, imm },
+                            "shr" => Shri { rd, rs, imm },
+                            _ => Sari { rd, rs, imm },
+                        }]
+                    }
+                }
+            }
+            "sub" => {
+                let rd = reg(0)?;
+                let rs = reg(1)?;
+                let a = arg(2)?;
+                match parse_reg(a) {
+                    Some(rt) => vec![Sub { rd, rs, rt }],
+                    None => {
+                        let imm = self.value_expr(s, a)?.wrapping_neg();
+                        vec![Addi { rd, rs, imm }]
+                    }
+                }
+            }
+            "mul" => vec![Mul { rd: reg(0)?, rs: reg(1)?, rt: reg(2)? }],
+            "udiv" => vec![Udiv { rd: reg(0)?, rs: reg(1)?, rt: reg(2)? }],
+            "urem" => vec![Urem { rd: reg(0)?, rs: reg(1)?, rt: reg(2)? }],
+            "sdiv" => vec![Sdiv { rd: reg(0)?, rs: reg(1)?, rt: reg(2)? }],
+            "not" => vec![Not { rd: reg(0)?, rs: reg(1)? }],
+            "ldw" | "ldh" | "ldb" => {
+                let rd = reg(0)?;
+                let (rs, imm) = self.mem_operand(s, arg(1)?)?;
+                vec![match mnemonic {
+                    "ldw" => Ldw { rd, rs, imm },
+                    "ldh" => Ldh { rd, rs, imm },
+                    _ => Ldb { rd, rs, imm },
+                }]
+            }
+            "stw" | "sth" | "stb" => {
+                let (rs, imm) = self.mem_operand(s, arg(0)?)?;
+                let rt = reg(1)?;
+                vec![match mnemonic {
+                    "stw" => Stw { rs, rt, imm },
+                    "sth" => Sth { rs, rt, imm },
+                    _ => Stb { rs, rt, imm },
+                }]
+            }
+            "jmp" => vec![Jmp { imm: self.value_expr(s, arg(0)?)? }],
+            "jr" => vec![Jr { rs: reg(0)? }],
+            "beq" | "bne" | "blt" | "bge" | "bltu" | "bgeu" => {
+                let rs = reg(0)?;
+                let target = self.value_expr(s, arg(2)?)?;
+                let (mut out, rt) = match parse_reg(arg(1)?) {
+                    Some(rt) => (vec![], rt),
+                    None => {
+                        let imm = self.value_expr(s, arg(1)?)?;
+                        (vec![Movi { rd: scratch, imm }], scratch)
+                    }
+                };
+                out.push(match mnemonic {
+                    "beq" => Beq { rs, rt, imm: target },
+                    "bne" => Bne { rs, rt, imm: target },
+                    "blt" => Blt { rs, rt, imm: target },
+                    "bge" => Bge { rs, rt, imm: target },
+                    "bltu" => Bltu { rs, rt, imm: target },
+                    _ => Bgeu { rs, rt, imm: target },
+                });
+                out
+            }
+            "call" => {
+                let a = arg(0)?;
+                if let Some(import) = a.strip_prefix('@') {
+                    let id = *self
+                        .exports
+                        .get(import)
+                        .ok_or_else(|| err(line, format!("unknown kernel export {import:?}")))?;
+                    self.used_imports.insert(import.to_string(), id);
+                    vec![Call { imm: export_trap_addr(id) }]
+                } else if let Some(rs) = parse_reg(a) {
+                    vec![Callr { rs }]
+                } else {
+                    vec![Call { imm: self.value_expr(s, a)? }]
+                }
+            }
+            "push" => {
+                let mut out = Vec::new();
+                for a in &s.args {
+                    let rs = parse_reg(a)
+                        .ok_or_else(|| err(line, format!("expected register, got {a:?}")))?;
+                    out.push(Push { rs });
+                }
+                if out.is_empty() {
+                    return Err(err(line, "push needs a register"));
+                }
+                out
+            }
+            "pop" => {
+                let mut out = Vec::new();
+                for a in &s.args {
+                    let rd = parse_reg(a)
+                        .ok_or_else(|| err(line, format!("expected register, got {a:?}")))?;
+                    out.push(Pop { rd });
+                }
+                if out.is_empty() {
+                    return Err(err(line, "pop needs a register"));
+                }
+                out
+            }
+            "in" => {
+                let rd = reg(0)?;
+                let a = arg(1)?;
+                match parse_reg(a) {
+                    Some(rs) => vec![Inr { rd, rs }],
+                    None => vec![In { rd, imm: self.value_expr(s, a)? }],
+                }
+            }
+            "out" => {
+                let a = arg(0)?;
+                let rt = reg(1)?;
+                match parse_reg(a) {
+                    Some(rs) => vec![Outr { rs, rt }],
+                    None => vec![Out { rt, imm: self.value_expr(s, a)? }],
+                }
+            }
+            _ => return Err(err(line, format!("unknown mnemonic {mnemonic:?} with {nargs} args"))),
+        })
+    }
+
+    /// Parses `[reg]`, `[reg+imm]`, `[reg-imm]`.
+    fn mem_operand(&self, s: &Stmt<'_>, a: &str) -> Result<(Reg, u32), AsmError> {
+        let inner = a
+            .strip_prefix('[')
+            .and_then(|x| x.strip_suffix(']'))
+            .ok_or_else(|| err(s.line, format!("expected memory operand [..], got {a:?}")))?
+            .trim();
+        // Split at the first +/- that is not leading.
+        let mut split = None;
+        for (i, c) in inner.char_indices().skip(1) {
+            if c == '+' || c == '-' {
+                split = Some((i, c));
+                break;
+            }
+        }
+        let (base_s, disp) = match split {
+            None => (inner, 0u32),
+            Some((i, c)) => {
+                let base = inner[..i].trim();
+                let off = self.value_expr(s, inner[i + 1..].trim())?;
+                (base, if c == '-' { off.wrapping_neg() } else { off })
+            }
+        };
+        let rs = parse_reg(base_s)
+            .ok_or_else(|| err(s.line, format!("memory base must be a register: {base_s:?}")))?;
+        Ok((rs, disp))
+    }
+
+    /// Evaluates a constant expression that may use `.equ` names but not
+    /// labels (used during pass 1).
+    fn const_expr(&self, s: &Stmt<'_>, a: Option<&str>) -> Result<u32, AsmError> {
+        let a = a.ok_or_else(|| err(s.line, "missing operand"))?;
+        self.expr(s, a, false)
+    }
+
+    /// Evaluates a value expression (numbers, `.equ` names, labels,
+    /// `name+off`, `name-off`).
+    fn value_expr(&self, s: &Stmt<'_>, a: &str) -> Result<u32, AsmError> {
+        self.expr(s, a, true)
+    }
+
+    fn expr(&self, s: &Stmt<'_>, a: &str, labels_ok: bool) -> Result<u32, AsmError> {
+        let a = a.trim();
+        // name+off / name-off.
+        for (i, c) in a.char_indices().skip(1) {
+            if (c == '+' || c == '-') && !a[..i].trim().is_empty() && is_ident(a[..i].trim()) {
+                let base = self.expr(s, a[..i].trim(), labels_ok)?;
+                let off = self.expr(s, a[i + 1..].trim(), labels_ok)?;
+                return Ok(if c == '-' { base.wrapping_sub(off) } else { base.wrapping_add(off) });
+            }
+        }
+        if let Some(v) = parse_number(a) {
+            return Ok(v);
+        }
+        if let Some(&v) = self.equs.get(a) {
+            return Ok(v);
+        }
+        if labels_ok {
+            if let Some(&v) = self.labels.get(a) {
+                return Ok(v);
+            }
+        }
+        Err(err(s.line, format!("cannot evaluate expression {a:?}")))
+    }
+}
+
+fn data_sink(
+    data: &mut Vec<u8>,
+    section: Section,
+    line: usize,
+) -> Result<&mut Vec<u8>, AsmError> {
+    match section {
+        Section::Data => Ok(data),
+        Section::Text => Err(err(line, "data directives not allowed in .text")),
+        Section::Bss => Err(err(line, "initialized data not allowed in .bss")),
+    }
+}
+
+fn parse_reg(s: &str) -> Option<Reg> {
+    match s {
+        "sp" => Some(Reg::SP),
+        "lr" => Some(Reg::LR),
+        _ => {
+            let n: u8 = s.strip_prefix('r')?.parse().ok()?;
+            (n < 16).then_some(Reg(n))
+        }
+    }
+}
+
+fn parse_number(s: &str) -> Option<u32> {
+    let (neg, s) = match s.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, s),
+    };
+    let v = if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u32::from_str_radix(&hex.replace('_', ""), 16).ok()?
+    } else if s.chars().next()?.is_ascii_digit() {
+        s.replace('_', "").parse::<u32>().ok()?
+    } else {
+        return None;
+    };
+    Some(if neg { v.wrapping_neg() } else { v })
+}
+
+fn parse_string(line: usize, a: Option<&str>) -> Result<Vec<u8>, AsmError> {
+    let a = a.ok_or_else(|| err(line, "missing string"))?.trim();
+    let inner = a
+        .strip_prefix('"')
+        .and_then(|x| x.strip_suffix('"'))
+        .ok_or_else(|| err(line, format!("expected quoted string, got {a:?}")))?;
+    let mut out = Vec::new();
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push(b'\n'),
+                Some('t') => out.push(b'\t'),
+                Some('0') => out.push(0),
+                Some('\\') => out.push(b'\\'),
+                Some('"') => out.push(b'"'),
+                other => return Err(err(line, format!("bad escape {other:?}"))),
+            }
+        } else {
+            out.push(c as u8);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode;
+
+    fn exports() -> ExportMap {
+        let mut m = ExportMap::new();
+        m.insert("NdisMSleep".into(), 7);
+        m.insert("NdisAllocateMemoryWithTag".into(), 3);
+        m
+    }
+
+    fn asm(src: &str) -> Assembled {
+        assemble(src, &exports()).expect("assembly failed")
+    }
+
+    fn decode_text(img: &DxeImage) -> Vec<Insn> {
+        img.text
+            .chunks_exact(8)
+            .map(|c| decode(c.try_into().unwrap()).expect("bad encoding"))
+            .collect()
+    }
+
+    #[test]
+    fn minimal_driver_assembles() {
+        let a = asm("
+            .name test
+            .text
+            DriverEntry:
+                mov r0, 0
+                ret
+        ");
+        assert_eq!(a.image.name, "test");
+        assert_eq!(a.image.entry, a.label_addr("DriverEntry"));
+        let insns = decode_text(&a.image);
+        assert_eq!(insns, vec![Insn::Movi { rd: Reg(0), imm: 0 }, Insn::Ret]);
+    }
+
+    #[test]
+    fn labels_resolve_forward_and_backward() {
+        let a = asm("
+            DriverEntry:
+                jmp fwd
+            back:
+                ret
+            fwd:
+                jmp back
+        ");
+        let insns = decode_text(&a.image);
+        assert_eq!(insns[0], Insn::Jmp { imm: a.label_addr("fwd") });
+        assert_eq!(insns[2], Insn::Jmp { imm: a.label_addr("back") });
+    }
+
+    #[test]
+    fn imports_resolve_to_trap_addresses() {
+        let a = asm("
+            DriverEntry:
+                call @NdisMSleep
+                ret
+        ");
+        let insns = decode_text(&a.image);
+        assert_eq!(insns[0], Insn::Call { imm: export_trap_addr(7) });
+        assert_eq!(a.image.imports.len(), 1);
+        assert_eq!(a.image.imports[0].name, "NdisMSleep");
+        assert_eq!(a.image.imports[0].export_id, 7);
+    }
+
+    #[test]
+    fn unknown_import_is_an_error() {
+        let e = assemble("DriverEntry: call @NoSuchApi", &exports()).unwrap_err();
+        assert!(e.msg.contains("NoSuchApi"), "{e}");
+    }
+
+    #[test]
+    fn immediate_branch_expands_via_scratch() {
+        let a = asm("
+            DriverEntry:
+                beq r0, 5, done
+            done:
+                ret
+        ");
+        let insns = decode_text(&a.image);
+        assert_eq!(insns[0], Insn::Movi { rd: Reg(12), imm: 5 });
+        assert_eq!(
+            insns[1],
+            Insn::Beq { rs: Reg(0), rt: Reg(12), imm: a.label_addr("done") }
+        );
+        // Label addresses must account for the 2-instruction expansion.
+        assert_eq!(a.label_addr("done"), a.image.load_base + 16);
+    }
+
+    #[test]
+    fn data_section_layout() {
+        let a = asm("
+            .base 0x400000
+            DriverEntry:
+                ret
+            .data
+            tbl:  .word 1, 2, 3
+            msg:  .asciz \"hi\"
+            .align 4
+            more: .word 0xdeadbeef
+            .bss
+            buf:  .space 32
+            buf2: .space 4
+        ");
+        let img = &a.image;
+        assert_eq!(img.text.len(), 8);
+        assert_eq!(img.data_base(), 0x40_0008);
+        assert_eq!(a.label_addr("tbl"), 0x40_0008);
+        assert_eq!(a.label_addr("msg"), 0x40_0008 + 12);
+        assert_eq!(a.label_addr("more"), 0x40_0008 + 16, "aligned after 3-byte string");
+        assert_eq!(&img.data[0..4], &[1, 0, 0, 0]);
+        assert_eq!(&img.data[12..15], b"hi\0");
+        assert_eq!(&img.data[16..20], &0xdeadbeefu32.to_le_bytes());
+        assert_eq!(img.bss_size, 36);
+        assert_eq!(img.bss_base() % 8, 0);
+        assert_eq!(a.label_addr("buf"), img.bss_base());
+        assert_eq!(a.label_addr("buf2"), img.bss_base() + 32);
+    }
+
+    #[test]
+    fn equ_constants_and_expressions() {
+        let a = asm("
+            .equ MAX, 32
+            .equ MASK, 0xff
+            DriverEntry:
+                mov r0, MAX
+                add r1, r0, MAX-1
+                and r2, r1, MASK
+                ret
+            .data
+            arr: .space 8
+            ptr: .word arr+4
+        ");
+        let insns = decode_text(&a.image);
+        assert_eq!(insns[0], Insn::Movi { rd: Reg(0), imm: 32 });
+        assert_eq!(insns[1], Insn::Addi { rd: Reg(1), rs: Reg(0), imm: 31 });
+        assert_eq!(insns[2], Insn::Andi { rd: Reg(2), rs: Reg(1), imm: 0xff });
+        let arr = a.label_addr("arr");
+        let ptr_off = (a.label_addr("ptr") - a.image.data_base()) as usize;
+        let stored = u32::from_le_bytes(a.image.data[ptr_off..ptr_off + 4].try_into().unwrap());
+        assert_eq!(stored, arr + 4);
+    }
+
+    #[test]
+    fn memory_operands() {
+        let a = asm("
+            DriverEntry:
+                ldw r0, [r1]
+                ldw r0, [r1+8]
+                ldb r0, [r1-1]
+                stw [sp+4], r2
+                ret
+        ");
+        let insns = decode_text(&a.image);
+        assert_eq!(insns[0], Insn::Ldw { rd: Reg(0), rs: Reg(1), imm: 0 });
+        assert_eq!(insns[1], Insn::Ldw { rd: Reg(0), rs: Reg(1), imm: 8 });
+        assert_eq!(insns[2], Insn::Ldb { rd: Reg(0), rs: Reg(1), imm: 0xffff_ffff });
+        assert_eq!(insns[3], Insn::Stw { rs: Reg::SP, rt: Reg(2), imm: 4 });
+    }
+
+    #[test]
+    fn push_pop_lists() {
+        let a = asm("
+            DriverEntry:
+                push r4, r5, lr
+                pop lr, r5, r4
+                ret
+        ");
+        let insns = decode_text(&a.image);
+        assert_eq!(insns[0], Insn::Push { rs: Reg(4) });
+        assert_eq!(insns[2], Insn::Push { rs: Reg::LR });
+        assert_eq!(insns[3], Insn::Pop { rd: Reg::LR });
+    }
+
+    #[test]
+    fn sub_immediate_becomes_addi() {
+        let a = asm("
+            DriverEntry:
+                sub sp, sp, 16
+                ret
+        ");
+        let insns = decode_text(&a.image);
+        assert_eq!(insns[0], Insn::Addi { rd: Reg::SP, rs: Reg::SP, imm: (-16i32) as u32 });
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("DriverEntry:\n  ret\n  bogus r1", &exports()).unwrap_err();
+        assert_eq!(e.line, 3);
+        let e = assemble("DriverEntry:\n  mov r0, nolabel\n ret", &exports()).unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let e = assemble("a:\n ret\na:\n ret\n.entry a", &exports()).unwrap_err();
+        assert!(e.msg.contains("duplicate"));
+    }
+
+    #[test]
+    fn missing_entry_rejected() {
+        let e = assemble("foo:\n ret", &exports()).unwrap_err();
+        assert!(e.msg.contains("entry"), "{e}");
+    }
+
+    #[test]
+    fn comments_are_stripped() {
+        let a = asm("
+            ; full-line comment
+            DriverEntry:          ; trailing
+                mov r0, 1         # hash comment
+                ret               // slashes
+        ");
+        assert_eq!(decode_text(&a.image).len(), 2);
+    }
+
+    #[test]
+    fn line_map_tracks_source_lines() {
+        let src = "DriverEntry:\n    nop\n    nop\n    ret\n";
+        let a = asm(src);
+        let base = a.image.load_base;
+        assert_eq!(a.line_map[&base], 2);
+        assert_eq!(a.line_map[&(base + 8)], 3);
+        assert_eq!(a.line_map[&(base + 16)], 4);
+    }
+
+    #[test]
+    fn image_roundtrips_through_bytes() {
+        let a = asm("
+            .name roundtrip
+            DriverEntry:
+                call @NdisAllocateMemoryWithTag
+                ret
+            .data
+            x: .word 7
+        ");
+        let bytes = a.image.to_bytes();
+        let back = DxeImage::from_bytes(&bytes).unwrap();
+        assert_eq!(back, a.image);
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use crate::decode;
+
+    fn exports() -> ExportMap {
+        let mut m = ExportMap::new();
+        m.insert("KeFoo".into(), 1);
+        m
+    }
+
+    #[test]
+    fn space_in_text_is_rejected() {
+        let e = assemble("DriverEntry:\n .space 8\n ret", &exports()).unwrap_err();
+        assert!(e.msg.contains(".space"), "{e}");
+    }
+
+    #[test]
+    fn align_must_be_power_of_two() {
+        let e = assemble("DriverEntry:\n ret\n.data\n.align 3", &exports()).unwrap_err();
+        assert!(e.msg.contains("power of two"));
+    }
+
+    #[test]
+    fn data_in_bss_is_rejected() {
+        let e = assemble("DriverEntry:\n ret\n.bss\nx: .word 1", &exports()).unwrap_err();
+        assert!(e.msg.contains("bss"), "{e}");
+    }
+
+    #[test]
+    fn instructions_outside_text_are_rejected() {
+        let e = assemble("DriverEntry:\n ret\n.data\n nop", &exports()).unwrap_err();
+        assert!(e.msg.contains(".text"), "{e}");
+    }
+
+    #[test]
+    fn bad_memory_operand_reports_clearly() {
+        let e = assemble("DriverEntry:\n ldw r0, r1\n ret", &exports()).unwrap_err();
+        assert!(e.msg.contains("memory operand"), "{e}");
+        let e = assemble("DriverEntry:\n ldw r0, [5+r1]\n ret", &exports()).unwrap_err();
+        assert!(
+            e.msg.contains("register") || e.msg.contains("evaluate"),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn empty_push_is_rejected() {
+        let e = assemble("DriverEntry:\n push\n ret", &exports()).unwrap_err();
+        assert!(e.msg.contains("push"), "{e}");
+    }
+
+    #[test]
+    fn register_operand_bounds() {
+        let e = assemble("DriverEntry:\n mov r16, 0\n ret", &exports()).unwrap_err();
+        assert!(e.line == 2);
+        // sp/lr aliases work everywhere a register does.
+        let a = assemble("DriverEntry:\n mov sp, lr\n ret", &exports()).unwrap();
+        let b: &[u8; 8] = a.image.text[0..8].try_into().unwrap();
+        assert_eq!(decode(b), Some(Insn::Mov { rd: Reg::SP, rs: Reg::LR }));
+    }
+
+    #[test]
+    fn negative_and_hex_immediates() {
+        let a = assemble(
+            "DriverEntry:\n mov r0, -1\n mov r1, 0xFFFF_0000\n mov r2, 1_000\n ret",
+            &exports(),
+        )
+        .unwrap();
+        let ws: Vec<Insn> = a
+            .image
+            .text
+            .chunks_exact(8)
+            .map(|c| decode(c.try_into().unwrap()).unwrap())
+            .collect();
+        assert_eq!(ws[0], Insn::Movi { rd: Reg(0), imm: 0xffff_ffff });
+        assert_eq!(ws[1], Insn::Movi { rd: Reg(1), imm: 0xffff_0000 });
+        assert_eq!(ws[2], Insn::Movi { rd: Reg(2), imm: 1000 });
+    }
+
+    #[test]
+    fn custom_base_and_entry() {
+        let a = assemble(
+            ".base 0x100000\n.entry Start\nhelper:\n ret\nStart:\n ret",
+            &exports(),
+        )
+        .unwrap();
+        assert_eq!(a.image.load_base, 0x10_0000);
+        assert_eq!(a.image.entry, 0x10_0008, "entry is the second instruction");
+    }
+
+    #[test]
+    fn string_escapes() {
+        let a = assemble(
+            "DriverEntry:\n ret\n.data\ns: .asciz \"a\\n\\t\\\\\\\"b\\0\"",
+            &exports(),
+        )
+        .unwrap();
+        assert_eq!(&a.image.data[..7], b"a\n\t\\\"b\0");
+    }
+
+    #[test]
+    fn labels_with_dots_and_underscores() {
+        let a = assemble(
+            "DriverEntry:\n jmp .L_loop\n.L_loop:\n ret",
+            &exports(),
+        )
+        .unwrap();
+        assert!(a.label(".L_loop").is_some());
+    }
+
+    #[test]
+    fn equ_referencing_equ() {
+        let a = assemble(
+            ".equ A, 4\n.equ B, A+8\nDriverEntry:\n mov r0, B\n ret",
+            &exports(),
+        )
+        .unwrap();
+        let b: &[u8; 8] = a.image.text[0..8].try_into().unwrap();
+        assert_eq!(decode(b), Some(Insn::Movi { rd: Reg(0), imm: 12 }));
+    }
+}

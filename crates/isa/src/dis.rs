@@ -1,0 +1,133 @@
+//! Disassembler for DDT-32 binaries.
+//!
+//! Used by DDT's bug reports and trace post-processing (§3.5): when a trace
+//! is unwound, each program counter is rendered through this module.
+
+use crate::insn::{Insn, Reg};
+use crate::{decode, trap_export_id, INSN_SIZE};
+
+/// Formats one instruction at `pc` as assembly-like text.
+pub fn format_insn(i: Insn) -> String {
+    use Insn::*;
+    fn shex(imm: u32) -> String {
+        let s = imm as i32;
+        if s < 0 {
+            format!("-{:#x}", s.unsigned_abs())
+        } else {
+            format!("{s:#x}")
+        }
+    }
+    fn mem(rs: Reg, imm: u32) -> String {
+        let s = imm as i32;
+        if s == 0 {
+            format!("[{rs}]")
+        } else if s > 0 {
+            format!("[{rs}+{s:#x}]")
+        } else {
+            format!("[{rs}-{:#x}]", s.unsigned_abs())
+        }
+    }
+    match i {
+        Halt => "halt".into(),
+        Nop => "nop".into(),
+        Movi { rd, imm } => format!("mov {rd}, {imm:#x}"),
+        Mov { rd, rs } => format!("mov {rd}, {rs}"),
+        Add { rd, rs, rt } => format!("add {rd}, {rs}, {rt}"),
+        Addi { rd, rs, imm } => format!("add {rd}, {rs}, {}", shex(imm)),
+        Sub { rd, rs, rt } => format!("sub {rd}, {rs}, {rt}"),
+        Mul { rd, rs, rt } => format!("mul {rd}, {rs}, {rt}"),
+        Udiv { rd, rs, rt } => format!("udiv {rd}, {rs}, {rt}"),
+        Urem { rd, rs, rt } => format!("urem {rd}, {rs}, {rt}"),
+        Sdiv { rd, rs, rt } => format!("sdiv {rd}, {rs}, {rt}"),
+        And { rd, rs, rt } => format!("and {rd}, {rs}, {rt}"),
+        Andi { rd, rs, imm } => format!("and {rd}, {rs}, {imm:#x}"),
+        Or { rd, rs, rt } => format!("or {rd}, {rs}, {rt}"),
+        Ori { rd, rs, imm } => format!("or {rd}, {rs}, {imm:#x}"),
+        Xor { rd, rs, rt } => format!("xor {rd}, {rs}, {rt}"),
+        Xori { rd, rs, imm } => format!("xor {rd}, {rs}, {imm:#x}"),
+        Not { rd, rs } => format!("not {rd}, {rs}"),
+        Shl { rd, rs, rt } => format!("shl {rd}, {rs}, {rt}"),
+        Shli { rd, rs, imm } => format!("shl {rd}, {rs}, {imm}"),
+        Shr { rd, rs, rt } => format!("shr {rd}, {rs}, {rt}"),
+        Shri { rd, rs, imm } => format!("shr {rd}, {rs}, {imm}"),
+        Sar { rd, rs, rt } => format!("sar {rd}, {rs}, {rt}"),
+        Sari { rd, rs, imm } => format!("sar {rd}, {rs}, {imm}"),
+        Ldw { rd, rs, imm } => format!("ldw {rd}, {}", mem(rs, imm)),
+        Ldh { rd, rs, imm } => format!("ldh {rd}, {}", mem(rs, imm)),
+        Ldb { rd, rs, imm } => format!("ldb {rd}, {}", mem(rs, imm)),
+        Stw { rs, rt, imm } => format!("stw {}, {rt}", mem(rs, imm)),
+        Sth { rs, rt, imm } => format!("sth {}, {rt}", mem(rs, imm)),
+        Stb { rs, rt, imm } => format!("stb {}, {rt}", mem(rs, imm)),
+        Jmp { imm } => format!("jmp {imm:#x}"),
+        Jr { rs } => format!("jr {rs}"),
+        Beq { rs, rt, imm } => format!("beq {rs}, {rt}, {imm:#x}"),
+        Bne { rs, rt, imm } => format!("bne {rs}, {rt}, {imm:#x}"),
+        Blt { rs, rt, imm } => format!("blt {rs}, {rt}, {imm:#x}"),
+        Bge { rs, rt, imm } => format!("bge {rs}, {rt}, {imm:#x}"),
+        Bltu { rs, rt, imm } => format!("bltu {rs}, {rt}, {imm:#x}"),
+        Bgeu { rs, rt, imm } => format!("bgeu {rs}, {rt}, {imm:#x}"),
+        Call { imm } => match trap_export_id(imm) {
+            Some(id) => format!("call @export_{id}"),
+            None => format!("call {imm:#x}"),
+        },
+        Callr { rs } => format!("call {rs}"),
+        Ret => "ret".into(),
+        Push { rs } => format!("push {rs}"),
+        Pop { rd } => format!("pop {rd}"),
+        In { rd, imm } => format!("in {rd}, {imm:#x}"),
+        Inr { rd, rs } => format!("in {rd}, {rs}"),
+        Out { rt, imm } => format!("out {imm:#x}, {rt}"),
+        Outr { rs, rt } => format!("out {rs}, {rt}"),
+    }
+}
+
+/// Disassembles a text section into `(pc, insn text)` lines.
+///
+/// Undecodable slots are rendered as `.invalid`.
+pub fn disassemble(text: &[u8], base: u32) -> Vec<(u32, String)> {
+    let mut out = Vec::new();
+    for (i, chunk) in text.chunks(INSN_SIZE as usize).enumerate() {
+        let pc = base + i as u32 * INSN_SIZE;
+        let line = match chunk.try_into().ok().and_then(|c: &[u8; 8]| decode(c)) {
+            Some(insn) => format_insn(insn),
+            None => ".invalid".into(),
+        };
+        out.push((pc, line));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode;
+
+    #[test]
+    fn formats_are_parsable_looking() {
+        let i = Insn::Ldw { rd: Reg(0), rs: Reg(1), imm: 8 };
+        assert_eq!(format_insn(i), "ldw r0, [r1+0x8]");
+        let i = Insn::Addi { rd: Reg(2), rs: Reg(2), imm: (-4i32) as u32 };
+        assert_eq!(format_insn(i), "add r2, r2, -0x4");
+        let i = Insn::Stw { rs: Reg::SP, rt: Reg(1), imm: 0 };
+        assert_eq!(format_insn(i), "stw [sp], r1");
+    }
+
+    #[test]
+    fn call_renders_export_ids() {
+        let i = Insn::Call { imm: crate::export_trap_addr(12) };
+        assert_eq!(format_insn(i), "call @export_12");
+    }
+
+    #[test]
+    fn disassemble_walks_text() {
+        let mut text = Vec::new();
+        text.extend_from_slice(&encode(Insn::Nop));
+        text.extend_from_slice(&encode(Insn::Ret));
+        text.extend_from_slice(&[0xff; 8]);
+        let out = disassemble(&text, 0x40_0000);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0], (0x40_0000, "nop".into()));
+        assert_eq!(out[1], (0x40_0008, "ret".into()));
+        assert_eq!(out[2], (0x40_0010, ".invalid".into()));
+    }
+}

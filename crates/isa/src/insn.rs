@@ -1,0 +1,471 @@
+//! Instruction definitions and the fixed 8-byte encoding.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A general-purpose register (`r0`–`r15`).
+///
+/// Calling convention: arguments and return value in `r0`–`r3`, `r4`–`r11`
+/// callee-saved, `r12` scratch, `r13` = stack pointer, `r14` = link register,
+/// `r15` scratch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// The stack pointer alias (`r13`).
+    pub const SP: Reg = Reg(13);
+    /// The link register alias (`r14`).
+    pub const LR: Reg = Reg(14);
+
+    /// Returns the register for index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > 15`.
+    pub fn new(i: u8) -> Reg {
+        assert!(i < 16, "no such register r{i}");
+        Reg(i)
+    }
+
+    /// The register index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            13 => write!(f, "sp"),
+            14 => write!(f, "lr"),
+            n => write!(f, "r{n}"),
+        }
+    }
+}
+
+/// A decoded DDT-32 instruction.
+///
+/// All instructions encode to [`crate::INSN_SIZE`] bytes. Branch and call
+/// targets are absolute addresses (the assembler resolves labels because the
+/// image load base is fixed at assembly time, like a non-relocatable PE).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Insn {
+    /// Stop the machine (used by test stubs, never by well-formed drivers).
+    Halt,
+    /// No operation.
+    Nop,
+    /// `rd = imm`.
+    Movi { rd: Reg, imm: u32 },
+    /// `rd = rs`.
+    Mov { rd: Reg, rs: Reg },
+    /// `rd = rs + rt`.
+    Add { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd = rs + imm` (also used for `sub rd, rs, imm` with negated imm).
+    Addi { rd: Reg, rs: Reg, imm: u32 },
+    /// `rd = rs - rt`.
+    Sub { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd = rs * rt` (wrapping).
+    Mul { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd = rs / rt` unsigned; division by zero faults.
+    Udiv { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd = rs % rt` unsigned; division by zero faults.
+    Urem { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd = rs / rt` signed; division by zero faults.
+    Sdiv { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd = rs & rt`.
+    And { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd = rs & imm`.
+    Andi { rd: Reg, rs: Reg, imm: u32 },
+    /// `rd = rs | rt`.
+    Or { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd = rs | imm`.
+    Ori { rd: Reg, rs: Reg, imm: u32 },
+    /// `rd = rs ^ rt`.
+    Xor { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd = rs ^ imm`.
+    Xori { rd: Reg, rs: Reg, imm: u32 },
+    /// `rd = !rs` (bitwise).
+    Not { rd: Reg, rs: Reg },
+    /// `rd = rs << rt` (amounts ≥ 32 yield 0).
+    Shl { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd = rs << imm`.
+    Shli { rd: Reg, rs: Reg, imm: u32 },
+    /// `rd = rs >> rt` logical.
+    Shr { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd = rs >> imm` logical.
+    Shri { rd: Reg, rs: Reg, imm: u32 },
+    /// `rd = rs >> rt` arithmetic.
+    Sar { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd = rs >> imm` arithmetic.
+    Sari { rd: Reg, rs: Reg, imm: u32 },
+    /// `rd = word [rs + imm]` (imm is a signed displacement).
+    Ldw { rd: Reg, rs: Reg, imm: u32 },
+    /// `rd = zext(half [rs + imm])`.
+    Ldh { rd: Reg, rs: Reg, imm: u32 },
+    /// `rd = zext(byte [rs + imm])`.
+    Ldb { rd: Reg, rs: Reg, imm: u32 },
+    /// `word [rs + imm] = rt`.
+    Stw { rs: Reg, rt: Reg, imm: u32 },
+    /// `half [rs + imm] = rt[15:0]`.
+    Sth { rs: Reg, rt: Reg, imm: u32 },
+    /// `byte [rs + imm] = rt[7:0]`.
+    Stb { rs: Reg, rt: Reg, imm: u32 },
+    /// `pc = imm`.
+    Jmp { imm: u32 },
+    /// `pc = rs`.
+    Jr { rs: Reg },
+    /// Branch to `imm` if `rs == rt`.
+    Beq { rs: Reg, rt: Reg, imm: u32 },
+    /// Branch if `rs != rt`.
+    Bne { rs: Reg, rt: Reg, imm: u32 },
+    /// Branch if `rs < rt` signed.
+    Blt { rs: Reg, rt: Reg, imm: u32 },
+    /// Branch if `rs >= rt` signed.
+    Bge { rs: Reg, rt: Reg, imm: u32 },
+    /// Branch if `rs < rt` unsigned.
+    Bltu { rs: Reg, rt: Reg, imm: u32 },
+    /// Branch if `rs >= rt` unsigned.
+    Bgeu { rs: Reg, rt: Reg, imm: u32 },
+    /// `lr = pc + 8; pc = imm`.
+    Call { imm: u32 },
+    /// `lr = pc + 8; pc = rs`.
+    Callr { rs: Reg },
+    /// `pc = lr`.
+    Ret,
+    /// `sp -= 4; word [sp] = rs`.
+    Push { rs: Reg },
+    /// `rd = word [sp]; sp += 4`.
+    Pop { rd: Reg },
+    /// `rd = port-read(imm)`.
+    In { rd: Reg, imm: u32 },
+    /// `rd = port-read(rs)`.
+    Inr { rd: Reg, rs: Reg },
+    /// `port-write(imm, rt)`.
+    Out { rt: Reg, imm: u32 },
+    /// `port-write(rs, rt)`.
+    Outr { rs: Reg, rt: Reg },
+}
+
+mod op {
+    pub const HALT: u8 = 0x00;
+    pub const NOP: u8 = 0x01;
+    pub const MOVI: u8 = 0x02;
+    pub const MOV: u8 = 0x03;
+    pub const ADD: u8 = 0x04;
+    pub const ADDI: u8 = 0x05;
+    pub const SUB: u8 = 0x06;
+    pub const MUL: u8 = 0x07;
+    pub const UDIV: u8 = 0x08;
+    pub const UREM: u8 = 0x09;
+    pub const SDIV: u8 = 0x0a;
+    pub const AND: u8 = 0x0b;
+    pub const ANDI: u8 = 0x0c;
+    pub const OR: u8 = 0x0d;
+    pub const ORI: u8 = 0x0e;
+    pub const XOR: u8 = 0x0f;
+    pub const XORI: u8 = 0x10;
+    pub const NOT: u8 = 0x11;
+    pub const SHL: u8 = 0x12;
+    pub const SHLI: u8 = 0x13;
+    pub const SHR: u8 = 0x14;
+    pub const SHRI: u8 = 0x15;
+    pub const SAR: u8 = 0x16;
+    pub const SARI: u8 = 0x17;
+    pub const LDW: u8 = 0x20;
+    pub const LDH: u8 = 0x21;
+    pub const LDB: u8 = 0x22;
+    pub const STW: u8 = 0x23;
+    pub const STH: u8 = 0x24;
+    pub const STB: u8 = 0x25;
+    pub const JMP: u8 = 0x30;
+    pub const JR: u8 = 0x31;
+    pub const BEQ: u8 = 0x32;
+    pub const BNE: u8 = 0x33;
+    pub const BLT: u8 = 0x34;
+    pub const BGE: u8 = 0x35;
+    pub const BLTU: u8 = 0x36;
+    pub const BGEU: u8 = 0x37;
+    pub const CALL: u8 = 0x38;
+    pub const CALLR: u8 = 0x39;
+    pub const RET: u8 = 0x3a;
+    pub const PUSH: u8 = 0x40;
+    pub const POP: u8 = 0x41;
+    pub const IN: u8 = 0x50;
+    pub const INR: u8 = 0x51;
+    pub const OUT: u8 = 0x52;
+    pub const OUTR: u8 = 0x53;
+}
+
+/// Encodes an instruction to its 8-byte form.
+pub fn encode(i: Insn) -> [u8; 8] {
+    use Insn::*;
+    let (opc, rd, rs, rt, imm): (u8, u8, u8, u8, u32) = match i {
+        Halt => (op::HALT, 0, 0, 0, 0),
+        Nop => (op::NOP, 0, 0, 0, 0),
+        Movi { rd, imm } => (op::MOVI, rd.0, 0, 0, imm),
+        Mov { rd, rs } => (op::MOV, rd.0, rs.0, 0, 0),
+        Add { rd, rs, rt } => (op::ADD, rd.0, rs.0, rt.0, 0),
+        Addi { rd, rs, imm } => (op::ADDI, rd.0, rs.0, 0, imm),
+        Sub { rd, rs, rt } => (op::SUB, rd.0, rs.0, rt.0, 0),
+        Mul { rd, rs, rt } => (op::MUL, rd.0, rs.0, rt.0, 0),
+        Udiv { rd, rs, rt } => (op::UDIV, rd.0, rs.0, rt.0, 0),
+        Urem { rd, rs, rt } => (op::UREM, rd.0, rs.0, rt.0, 0),
+        Sdiv { rd, rs, rt } => (op::SDIV, rd.0, rs.0, rt.0, 0),
+        And { rd, rs, rt } => (op::AND, rd.0, rs.0, rt.0, 0),
+        Andi { rd, rs, imm } => (op::ANDI, rd.0, rs.0, 0, imm),
+        Or { rd, rs, rt } => (op::OR, rd.0, rs.0, rt.0, 0),
+        Ori { rd, rs, imm } => (op::ORI, rd.0, rs.0, 0, imm),
+        Xor { rd, rs, rt } => (op::XOR, rd.0, rs.0, rt.0, 0),
+        Xori { rd, rs, imm } => (op::XORI, rd.0, rs.0, 0, imm),
+        Not { rd, rs } => (op::NOT, rd.0, rs.0, 0, 0),
+        Shl { rd, rs, rt } => (op::SHL, rd.0, rs.0, rt.0, 0),
+        Shli { rd, rs, imm } => (op::SHLI, rd.0, rs.0, 0, imm),
+        Shr { rd, rs, rt } => (op::SHR, rd.0, rs.0, rt.0, 0),
+        Shri { rd, rs, imm } => (op::SHRI, rd.0, rs.0, 0, imm),
+        Sar { rd, rs, rt } => (op::SAR, rd.0, rs.0, rt.0, 0),
+        Sari { rd, rs, imm } => (op::SARI, rd.0, rs.0, 0, imm),
+        Ldw { rd, rs, imm } => (op::LDW, rd.0, rs.0, 0, imm),
+        Ldh { rd, rs, imm } => (op::LDH, rd.0, rs.0, 0, imm),
+        Ldb { rd, rs, imm } => (op::LDB, rd.0, rs.0, 0, imm),
+        Stw { rs, rt, imm } => (op::STW, 0, rs.0, rt.0, imm),
+        Sth { rs, rt, imm } => (op::STH, 0, rs.0, rt.0, imm),
+        Stb { rs, rt, imm } => (op::STB, 0, rs.0, rt.0, imm),
+        Jmp { imm } => (op::JMP, 0, 0, 0, imm),
+        Jr { rs } => (op::JR, 0, rs.0, 0, 0),
+        Beq { rs, rt, imm } => (op::BEQ, 0, rs.0, rt.0, imm),
+        Bne { rs, rt, imm } => (op::BNE, 0, rs.0, rt.0, imm),
+        Blt { rs, rt, imm } => (op::BLT, 0, rs.0, rt.0, imm),
+        Bge { rs, rt, imm } => (op::BGE, 0, rs.0, rt.0, imm),
+        Bltu { rs, rt, imm } => (op::BLTU, 0, rs.0, rt.0, imm),
+        Bgeu { rs, rt, imm } => (op::BGEU, 0, rs.0, rt.0, imm),
+        Call { imm } => (op::CALL, 0, 0, 0, imm),
+        Callr { rs } => (op::CALLR, 0, rs.0, 0, 0),
+        Ret => (op::RET, 0, 0, 0, 0),
+        Push { rs } => (op::PUSH, 0, rs.0, 0, 0),
+        Pop { rd } => (op::POP, rd.0, 0, 0, 0),
+        In { rd, imm } => (op::IN, rd.0, 0, 0, imm),
+        Inr { rd, rs } => (op::INR, rd.0, rs.0, 0, 0),
+        Out { rt, imm } => (op::OUT, 0, 0, rt.0, imm),
+        Outr { rs, rt } => (op::OUTR, 0, rs.0, rt.0, 0),
+    };
+    let mut b = [0u8; 8];
+    b[0] = opc;
+    b[1] = rd;
+    b[2] = rs;
+    b[3] = rt;
+    b[4..8].copy_from_slice(&imm.to_le_bytes());
+    b
+}
+
+/// Decodes an 8-byte instruction, or `None` for an invalid opcode or
+/// register field (which the VM turns into an illegal-instruction fault).
+pub fn decode(b: &[u8; 8]) -> Option<Insn> {
+    use Insn::*;
+    let (opc, rd8, rs8, rt8) = (b[0], b[1], b[2], b[3]);
+    if rd8 > 15 || rs8 > 15 || rt8 > 15 {
+        return None;
+    }
+    let (rd, rs, rt) = (Reg(rd8), Reg(rs8), Reg(rt8));
+    let imm = u32::from_le_bytes([b[4], b[5], b[6], b[7]]);
+    Some(match opc {
+        op::HALT => Halt,
+        op::NOP => Nop,
+        op::MOVI => Movi { rd, imm },
+        op::MOV => Mov { rd, rs },
+        op::ADD => Add { rd, rs, rt },
+        op::ADDI => Addi { rd, rs, imm },
+        op::SUB => Sub { rd, rs, rt },
+        op::MUL => Mul { rd, rs, rt },
+        op::UDIV => Udiv { rd, rs, rt },
+        op::UREM => Urem { rd, rs, rt },
+        op::SDIV => Sdiv { rd, rs, rt },
+        op::AND => And { rd, rs, rt },
+        op::ANDI => Andi { rd, rs, imm },
+        op::OR => Or { rd, rs, rt },
+        op::ORI => Ori { rd, rs, imm },
+        op::XOR => Xor { rd, rs, rt },
+        op::XORI => Xori { rd, rs, imm },
+        op::NOT => Not { rd, rs },
+        op::SHL => Shl { rd, rs, rt },
+        op::SHLI => Shli { rd, rs, imm },
+        op::SHR => Shr { rd, rs, rt },
+        op::SHRI => Shri { rd, rs, imm },
+        op::SAR => Sar { rd, rs, rt },
+        op::SARI => Sari { rd, rs, imm },
+        op::LDW => Ldw { rd, rs, imm },
+        op::LDH => Ldh { rd, rs, imm },
+        op::LDB => Ldb { rd, rs, imm },
+        op::STW => Stw { rs, rt, imm },
+        op::STH => Sth { rs, rt, imm },
+        op::STB => Stb { rs, rt, imm },
+        op::JMP => Jmp { imm },
+        op::JR => Jr { rs },
+        op::BEQ => Beq { rs, rt, imm },
+        op::BNE => Bne { rs, rt, imm },
+        op::BLT => Blt { rs, rt, imm },
+        op::BGE => Bge { rs, rt, imm },
+        op::BLTU => Bltu { rs, rt, imm },
+        op::BGEU => Bgeu { rs, rt, imm },
+        op::CALL => Call { imm },
+        op::CALLR => Callr { rs },
+        op::RET => Ret,
+        op::PUSH => Push { rs },
+        op::POP => Pop { rd },
+        op::IN => In { rd, imm },
+        op::INR => Inr { rd, rs },
+        op::OUT => Out { rt, imm },
+        op::OUTR => Outr { rs, rt },
+        _ => return None,
+    })
+}
+
+impl Insn {
+    /// True if the instruction ends a basic block (any control transfer).
+    pub fn is_terminator(self) -> bool {
+        use Insn::*;
+        matches!(
+            self,
+            Halt | Jmp { .. }
+                | Jr { .. }
+                | Beq { .. }
+                | Bne { .. }
+                | Blt { .. }
+                | Bge { .. }
+                | Bltu { .. }
+                | Bgeu { .. }
+                | Call { .. }
+                | Callr { .. }
+                | Ret
+        )
+    }
+
+    /// Returns the static branch/call target, if the instruction has one.
+    pub fn static_target(self) -> Option<u32> {
+        use Insn::*;
+        match self {
+            Jmp { imm }
+            | Beq { imm, .. }
+            | Bne { imm, .. }
+            | Blt { imm, .. }
+            | Bge { imm, .. }
+            | Bltu { imm, .. }
+            | Bgeu { imm, .. }
+            | Call { imm } => Some(imm),
+            _ => None,
+        }
+    }
+
+    /// True for conditional branches (two successors).
+    pub fn is_cond_branch(self) -> bool {
+        use Insn::*;
+        matches!(
+            self,
+            Beq { .. } | Bne { .. } | Blt { .. } | Bge { .. } | Bltu { .. } | Bgeu { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_variants() -> Vec<Insn> {
+        use Insn::*;
+        let r = Reg::new;
+        vec![
+            Halt,
+            Nop,
+            Movi { rd: r(1), imm: 0xdead_beef },
+            Mov { rd: r(2), rs: r(3) },
+            Add { rd: r(1), rs: r(2), rt: r(3) },
+            Addi { rd: r(1), rs: r(2), imm: 0xffff_fffc },
+            Sub { rd: r(4), rs: r(5), rt: r(6) },
+            Mul { rd: r(7), rs: r(8), rt: r(9) },
+            Udiv { rd: r(1), rs: r(2), rt: r(3) },
+            Urem { rd: r(1), rs: r(2), rt: r(3) },
+            Sdiv { rd: r(1), rs: r(2), rt: r(3) },
+            And { rd: r(1), rs: r(2), rt: r(3) },
+            Andi { rd: r(1), rs: r(2), imm: 0xff },
+            Or { rd: r(1), rs: r(2), rt: r(3) },
+            Ori { rd: r(1), rs: r(2), imm: 0x10 },
+            Xor { rd: r(1), rs: r(2), rt: r(3) },
+            Xori { rd: r(1), rs: r(2), imm: 1 },
+            Not { rd: r(1), rs: r(2) },
+            Shl { rd: r(1), rs: r(2), rt: r(3) },
+            Shli { rd: r(1), rs: r(2), imm: 4 },
+            Shr { rd: r(1), rs: r(2), rt: r(3) },
+            Shri { rd: r(1), rs: r(2), imm: 4 },
+            Sar { rd: r(1), rs: r(2), rt: r(3) },
+            Sari { rd: r(1), rs: r(2), imm: 31 },
+            Ldw { rd: r(1), rs: r(13), imm: 8 },
+            Ldh { rd: r(1), rs: r(2), imm: 2 },
+            Ldb { rd: r(1), rs: r(2), imm: 1 },
+            Stw { rs: r(13), rt: r(1), imm: 4 },
+            Sth { rs: r(2), rt: r(1), imm: 0 },
+            Stb { rs: r(2), rt: r(1), imm: 3 },
+            Jmp { imm: 0x40_0100 },
+            Jr { rs: r(14) },
+            Beq { rs: r(1), rt: r(2), imm: 0x40_0000 },
+            Bne { rs: r(1), rt: r(2), imm: 0x40_0000 },
+            Blt { rs: r(1), rt: r(2), imm: 0x40_0000 },
+            Bge { rs: r(1), rt: r(2), imm: 0x40_0000 },
+            Bltu { rs: r(1), rt: r(2), imm: 0x40_0000 },
+            Bgeu { rs: r(1), rt: r(2), imm: 0x40_0000 },
+            Call { imm: 0xf000_0010 },
+            Callr { rs: r(5) },
+            Ret,
+            Push { rs: r(4) },
+            Pop { rd: r(4) },
+            In { rd: r(0), imm: 0x10 },
+            Inr { rd: r(0), rs: r(1) },
+            Out { rt: r(0), imm: 0x10 },
+            Outr { rs: r(1), rt: r(0) },
+        ]
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for i in all_variants() {
+            let b = encode(i);
+            assert_eq!(decode(&b), Some(i), "roundtrip failed for {i:?}");
+        }
+    }
+
+    #[test]
+    fn invalid_opcode_decodes_to_none() {
+        let b = [0xee, 0, 0, 0, 0, 0, 0, 0];
+        assert_eq!(decode(&b), None);
+    }
+
+    #[test]
+    fn invalid_register_decodes_to_none() {
+        let mut b = encode(Insn::Mov { rd: Reg(0), rs: Reg(1) });
+        b[1] = 16;
+        assert_eq!(decode(&b), None);
+    }
+
+    #[test]
+    fn terminator_classification() {
+        assert!(Insn::Ret.is_terminator());
+        assert!(Insn::Jmp { imm: 0 }.is_terminator());
+        assert!(Insn::Beq { rs: Reg(0), rt: Reg(1), imm: 0 }.is_cond_branch());
+        assert!(!Insn::Nop.is_terminator());
+        assert!(!Insn::Add { rd: Reg(0), rs: Reg(1), rt: Reg(2) }.is_terminator());
+    }
+
+    #[test]
+    fn static_targets() {
+        assert_eq!(Insn::Call { imm: 0x1234 }.static_target(), Some(0x1234));
+        assert_eq!(Insn::Ret.static_target(), None);
+        assert_eq!(Insn::Jr { rs: Reg(1) }.static_target(), None);
+    }
+
+    #[test]
+    fn reg_display_uses_aliases() {
+        assert_eq!(Reg::SP.to_string(), "sp");
+        assert_eq!(Reg::LR.to_string(), "lr");
+        assert_eq!(Reg(3).to_string(), "r3");
+    }
+}

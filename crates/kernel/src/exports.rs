@@ -1,0 +1,129 @@
+//! The kernel export table.
+//!
+//! Every kernel API callable from driver binaries has a fixed export id;
+//! `CALL 0xF000_0000 + 8*id` invokes it (see `ddt-isa`). The assembler
+//! resolves `call @Name` through [`export_map`], and DDT hooks API
+//! boundaries by export id — the analog of DDT hooking "the kernel API
+//! functions and driver entry points" (§3.1.1).
+
+use ddt_isa::asm::ExportMap;
+
+/// One kernel export.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Export {
+    /// Export id (determines the trap address).
+    pub id: u16,
+    /// Export name.
+    pub name: &'static str,
+}
+
+/// The full export table, ordered by id.
+///
+/// Ids are stable: driver binaries encode them. Gaps are reserved.
+pub const EXPORTS: &[Export] = &[
+    // --- Ke/Ex core (0–19) ---
+    Export { id: 0, name: "KeBugCheckEx" },
+    Export { id: 1, name: "KeGetCurrentIrql" },
+    Export { id: 2, name: "KeRaiseIrql" },
+    Export { id: 3, name: "KeLowerIrql" },
+    Export { id: 4, name: "KeStallExecutionProcessor" },
+    Export { id: 5, name: "ExAllocatePoolWithTag" },
+    Export { id: 6, name: "ExFreePoolWithTag" },
+    Export { id: 7, name: "RtlZeroMemory" },
+    Export { id: 8, name: "RtlCopyMemory" },
+    Export { id: 9, name: "KeQuerySystemTime" },
+    // --- NDIS (20–59) ---
+    Export { id: 20, name: "NdisMRegisterMiniport" },
+    Export { id: 21, name: "NdisOpenConfiguration" },
+    Export { id: 22, name: "NdisReadConfiguration" },
+    Export { id: 23, name: "NdisCloseConfiguration" },
+    Export { id: 24, name: "NdisAllocateMemoryWithTag" },
+    Export { id: 25, name: "NdisFreeMemory" },
+    Export { id: 26, name: "NdisAllocateSpinLock" },
+    Export { id: 27, name: "NdisFreeSpinLock" },
+    Export { id: 28, name: "NdisAcquireSpinLock" },
+    Export { id: 29, name: "NdisReleaseSpinLock" },
+    Export { id: 30, name: "NdisDprAcquireSpinLock" },
+    Export { id: 31, name: "NdisDprReleaseSpinLock" },
+    Export { id: 32, name: "NdisMRegisterInterrupt" },
+    Export { id: 33, name: "NdisMDeregisterInterrupt" },
+    Export { id: 34, name: "NdisMInitializeTimer" },
+    Export { id: 35, name: "NdisMSetTimer" },
+    Export { id: 36, name: "NdisMCancelTimer" },
+    Export { id: 37, name: "NdisMSetAttributesEx" },
+    Export { id: 38, name: "NdisMMapIoSpace" },
+    Export { id: 39, name: "NdisMRegisterIoPortRange" },
+    Export { id: 40, name: "NdisAllocatePacketPool" },
+    Export { id: 41, name: "NdisFreePacketPool" },
+    Export { id: 42, name: "NdisAllocatePacket" },
+    Export { id: 43, name: "NdisFreePacket" },
+    Export { id: 44, name: "NdisAllocateBufferPool" },
+    Export { id: 45, name: "NdisFreeBufferPool" },
+    Export { id: 46, name: "NdisAllocateBuffer" },
+    Export { id: 47, name: "NdisFreeBuffer" },
+    Export { id: 48, name: "NdisMIndicateReceivePacket" },
+    Export { id: 49, name: "NdisMSendComplete" },
+    Export { id: 50, name: "NdisMIndicateStatus" },
+    Export { id: 51, name: "NdisReadPciSlotInformation" },
+    Export { id: 52, name: "NdisMSleep" },
+    Export { id: 53, name: "NdisReadNetworkAddress" },
+    // --- WDM / port-class audio (60–79) ---
+    Export { id: 60, name: "PcRegisterAdapter" },
+    Export { id: 61, name: "PcNewInterruptSync" },
+    Export { id: 62, name: "PcRegisterSubdevice" },
+    Export { id: 63, name: "PcNewDmaChannel" },
+    Export { id: 64, name: "PcUnregisterSubdevice" },
+    Export { id: 65, name: "PcFreeDmaChannel" },
+    Export { id: 66, name: "PcDisconnectInterrupt" },
+];
+
+/// Returns the export name for an id, if known.
+pub fn export_name(id: u16) -> Option<&'static str> {
+    EXPORTS.iter().find(|e| e.id == id).map(|e| e.name)
+}
+
+/// Returns the export id for a name, if known.
+pub fn export_id(name: &str) -> Option<u16> {
+    EXPORTS.iter().find(|e| e.name == name).map(|e| e.id)
+}
+
+/// Builds the assembler export map.
+pub fn export_map() -> ExportMap {
+    EXPORTS.iter().map(|e| (e.name.to_string(), e.id)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique() {
+        let mut seen = std::collections::BTreeSet::new();
+        for e in EXPORTS {
+            assert!(seen.insert(e.id), "duplicate export id {}", e.id);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut seen = std::collections::BTreeSet::new();
+        for e in EXPORTS {
+            assert!(seen.insert(e.name), "duplicate export name {}", e.name);
+        }
+    }
+
+    #[test]
+    fn lookup_roundtrips() {
+        assert_eq!(export_id("NdisMRegisterMiniport"), Some(20));
+        assert_eq!(export_name(20), Some("NdisMRegisterMiniport"));
+        assert_eq!(export_id("NotAnApi"), None);
+        assert_eq!(export_name(999), None);
+    }
+
+    #[test]
+    fn export_map_feeds_assembler() {
+        let m = export_map();
+        assert_eq!(m.len(), EXPORTS.len());
+        assert_eq!(m["KeBugCheckEx"], 0);
+    }
+}

@@ -1,0 +1,196 @@
+//! The [`Host`] trait: how the kernel touches machine state.
+//!
+//! The kernel is native code operating on guest state — the "concrete side"
+//! of selective symbolic execution (§3.2). When the executor is symbolic,
+//! the host implementation concretizes on demand: reading a register or a
+//! memory cell that currently holds a symbolic expression picks a feasible
+//! value and records the concretization constraint ("when concrete code
+//! attempts to access a symbolic memory location, that location is
+//! automatically concretized, and a corresponding constraint is added",
+//! §4.1.1). When the executor is the concrete VM, the host is a thin
+//! passthrough.
+
+/// An error reaching guest state (unmapped memory and the like).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HostError {
+    /// The guest address involved.
+    pub addr: u32,
+}
+
+/// Machine access used by kernel API implementations.
+pub trait Host {
+    /// Reads argument register `idx` (0–3) as a concrete value.
+    fn arg(&mut self, idx: usize) -> u32;
+
+    /// Writes the return value register (`r0`).
+    fn set_ret(&mut self, v: u32);
+
+    /// Reads `size` bytes (1, 2, or 4) at `addr` as a concrete value.
+    fn mem_read(&mut self, addr: u32, size: u8) -> Result<u32, HostError>;
+
+    /// Writes `size` bytes at `addr`.
+    fn mem_write(&mut self, addr: u32, size: u8, v: u32) -> Result<(), HostError>;
+
+    /// Maps `[start, start+len)` as accessible guest memory (heap grants).
+    fn map_region(&mut self, start: u32, len: u32);
+
+    /// Unmaps a region (frees).
+    fn unmap_region(&mut self, start: u32, len: u32);
+
+    /// Marks `[addr, addr+len)` as fresh symbolic data with a provenance
+    /// label. No-op under concrete execution. Used by DDT annotations (e.g.
+    /// making packet contents symbolic, §3.2).
+    fn make_symbolic(&mut self, addr: u32, len: u32, label: &str);
+
+    /// Reads a NUL-terminated ASCII string (bounded).
+    fn read_cstr(&mut self, addr: u32, max: u32) -> Result<String, HostError> {
+        let mut out = String::new();
+        for i in 0..max {
+            let b = self.mem_read(addr + i, 1)? as u8;
+            if b == 0 {
+                break;
+            }
+            out.push(b as char);
+        }
+        Ok(out)
+    }
+
+    /// Writes a 32-bit word.
+    fn write_u32(&mut self, addr: u32, v: u32) -> Result<(), HostError> {
+        self.mem_write(addr, 4, v)
+    }
+
+    /// Reads a 32-bit word.
+    fn read_u32(&mut self, addr: u32) -> Result<u32, HostError> {
+        self.mem_read(addr, 4)
+    }
+}
+
+/// A [`Host`] over plain arrays, for kernel unit tests.
+#[derive(Clone, Debug)]
+pub struct MockHost {
+    /// Argument registers.
+    pub args: [u32; 4],
+    /// Captured return value.
+    pub ret: u32,
+    /// Flat test memory starting at [`MockHost::BASE`].
+    pub mem: Vec<u8>,
+    /// Regions mapped through the host.
+    pub mapped: Vec<(u32, u32)>,
+    /// Backing store for kernel-mapped regions (heap descriptors etc.).
+    pub extra: std::collections::HashMap<u32, u8>,
+    /// Symbolic grants requested.
+    pub symbolic: Vec<(u32, u32, String)>,
+}
+
+impl MockHost {
+    /// Base guest address of the mock memory window.
+    pub const BASE: u32 = 0x10_0000;
+
+    /// Creates a mock with `size` bytes of memory.
+    pub fn new(size: usize) -> MockHost {
+        MockHost {
+            args: [0; 4],
+            ret: 0xdead_c0de,
+            mem: vec![0; size],
+            mapped: Vec::new(),
+            extra: std::collections::HashMap::new(),
+            symbolic: Vec::new(),
+        }
+    }
+
+    fn index(&self, addr: u32) -> Result<usize, HostError> {
+        let off = addr.wrapping_sub(Self::BASE) as usize;
+        if off < self.mem.len() {
+            Ok(off)
+        } else {
+            Err(HostError { addr })
+        }
+    }
+
+    fn in_mapped(&self, addr: u32) -> bool {
+        self.mapped.iter().any(|&(s, l)| addr >= s && addr < s + l)
+    }
+}
+
+impl Host for MockHost {
+    fn arg(&mut self, idx: usize) -> u32 {
+        self.args[idx]
+    }
+
+    fn set_ret(&mut self, v: u32) {
+        self.ret = v;
+    }
+
+    fn mem_read(&mut self, addr: u32, size: u8) -> Result<u32, HostError> {
+        let mut v = 0u32;
+        for i in 0..size {
+            let a = addr + i as u32;
+            let byte = match self.index(a) {
+                Ok(ix) => self.mem[ix],
+                Err(e) => {
+                    if self.in_mapped(a) {
+                        self.extra.get(&a).copied().unwrap_or(0)
+                    } else {
+                        return Err(e);
+                    }
+                }
+            };
+            v |= (byte as u32) << (8 * i);
+        }
+        Ok(v)
+    }
+
+    fn mem_write(&mut self, addr: u32, size: u8, v: u32) -> Result<(), HostError> {
+        for i in 0..size {
+            let a = addr + i as u32;
+            let byte = (v >> (8 * i)) as u8;
+            match self.index(a) {
+                Ok(ix) => self.mem[ix] = byte,
+                Err(e) => {
+                    if self.in_mapped(a) {
+                        self.extra.insert(a, byte);
+                    } else {
+                        return Err(e);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn map_region(&mut self, start: u32, len: u32) {
+        self.mapped.push((start, len));
+    }
+
+    fn unmap_region(&mut self, start: u32, len: u32) {
+        self.mapped.retain(|&(s, l)| (s, l) != (start, len));
+    }
+
+    fn make_symbolic(&mut self, addr: u32, len: u32, label: &str) {
+        self.symbolic.push((addr, len, label.to_string()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mock_host_memory_roundtrip() {
+        let mut h = MockHost::new(64);
+        h.mem_write(MockHost::BASE + 4, 4, 0xaabbccdd).unwrap();
+        assert_eq!(h.mem_read(MockHost::BASE + 4, 4), Ok(0xaabbccdd));
+        assert_eq!(h.mem_read(MockHost::BASE + 5, 1), Ok(0xcc));
+        assert!(h.mem_read(MockHost::BASE + 64, 1).is_err());
+    }
+
+    #[test]
+    fn read_cstr_stops_at_nul_and_bound() {
+        let mut h = MockHost::new(64);
+        h.mem[0..6].copy_from_slice(b"abc\0yz");
+        assert_eq!(h.read_cstr(MockHost::BASE, 32).unwrap(), "abc");
+        h.mem[0..4].copy_from_slice(b"abcd");
+        assert_eq!(h.read_cstr(MockHost::BASE, 2).unwrap(), "ab", "bounded");
+    }
+}

@@ -1,0 +1,204 @@
+//! Driver loading, fake PnP device descriptors, and entry-point invocation.
+//!
+//! §4.2 of the paper: "DDT provides a PCI descriptor for a fake device to
+//! trick the OS into loading the driver to be tested. The fake device is an
+//! empty shell consisting of a descriptor containing the vendor and device
+//! IDs, as well as resource information." [`DeviceDescriptor`] is that
+//! shell; the kernel exposes it through `NdisReadPciSlotInformation` and
+//! uses its resource fields when assigning the MMIO window and interrupt
+//! line.
+
+use ddt_isa::image::DxeImage;
+use ddt_isa::{Reg, RETURN_TRAP};
+use serde::{Deserialize, Serialize};
+
+/// The fake PCI device descriptor (PCI config space analog).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeviceDescriptor {
+    /// PCI vendor id.
+    pub vendor_id: u16,
+    /// PCI device id.
+    pub device_id: u16,
+    /// Hardware revision (drivers branch on this; DDT's annotation makes it
+    /// symbolic, §4.1.4).
+    pub revision: u8,
+    /// Size of the MMIO register window (BAR0).
+    pub mmio_len: u32,
+    /// Number of I/O ports (BAR1), if any.
+    pub io_len: u32,
+    /// Interrupt line assigned by the (fake) bus.
+    pub irq_line: u8,
+}
+
+impl Default for DeviceDescriptor {
+    fn default() -> Self {
+        DeviceDescriptor {
+            vendor_id: 0x10ec, // Realtek, as good a default as any.
+            device_id: 0x8029,
+            revision: 0,
+            mmio_len: 0x100,
+            io_len: 0x20,
+            irq_line: 9,
+        }
+    }
+}
+
+impl DeviceDescriptor {
+    /// Serializes the descriptor as PCI-config-space-style bytes (the layout
+    /// `NdisReadPciSlotInformation` reads).
+    pub fn config_bytes(&self) -> [u8; 16] {
+        let mut b = [0u8; 16];
+        b[0..2].copy_from_slice(&self.vendor_id.to_le_bytes());
+        b[2..4].copy_from_slice(&self.device_id.to_le_bytes());
+        b[4] = self.revision;
+        b[5] = self.irq_line;
+        b[8..12].copy_from_slice(&self.mmio_len.to_le_bytes());
+        b[12..16].copy_from_slice(&self.io_len.to_le_bytes());
+        b
+    }
+}
+
+/// Stack placement for driver execution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StackLayout {
+    /// Lowest mapped stack address.
+    pub base: u32,
+    /// Size in bytes.
+    pub size: u32,
+}
+
+impl Default for StackLayout {
+    fn default() -> Self {
+        StackLayout { base: 0x7000_0000, size: 0x10_0000 }
+    }
+}
+
+impl StackLayout {
+    /// Initial stack pointer (top of stack).
+    pub fn initial_sp(&self) -> u32 {
+        self.base + self.size
+    }
+}
+
+/// A prepared invocation of a driver entry point: which registers to set
+/// and where execution starts. The executor (symbolic or concrete) applies
+/// it to its machine state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EntryInvocation {
+    /// Entry point name (for traces and coverage plateaus, §5.2).
+    pub name: String,
+    /// Address to start executing at.
+    pub addr: u32,
+    /// Values for `r0`–`r3`.
+    pub args: [u32; 4],
+    /// Stack pointer value.
+    pub sp: u32,
+    /// Link register: the magic return trap.
+    pub lr: u32,
+}
+
+impl EntryInvocation {
+    /// Builds an invocation with the default stack.
+    pub fn new(name: impl Into<String>, addr: u32, args: [u32; 4]) -> EntryInvocation {
+        EntryInvocation {
+            name: name.into(),
+            addr,
+            args,
+            sp: StackLayout::default().initial_sp(),
+            lr: RETURN_TRAP,
+        }
+    }
+
+    /// The register assignments as `(reg, value)` pairs.
+    pub fn reg_values(&self) -> Vec<(Reg, u32)> {
+        vec![
+            (Reg(0), self.args[0]),
+            (Reg(1), self.args[1]),
+            (Reg(2), self.args[2]),
+            (Reg(3), self.args[3]),
+            (Reg::SP, self.sp),
+            (Reg::LR, self.lr),
+        ]
+    }
+}
+
+/// Where a driver image plus its stack must be mapped; both executors
+/// (symbolic and concrete) consume this to set up memory.
+#[derive(Clone, Debug)]
+pub struct LoadPlan {
+    /// The image (mapped at `image.load_base`).
+    pub image: DxeImage,
+    /// Stack region.
+    pub stack: StackLayout,
+}
+
+impl LoadPlan {
+    /// Plans loading `image` with the default stack.
+    pub fn new(image: DxeImage) -> LoadPlan {
+        LoadPlan { image, stack: StackLayout::default() }
+    }
+
+    /// Regions to map: (start, len) pairs.
+    pub fn regions(&self) -> Vec<(u32, u32)> {
+        vec![
+            (self.image.load_base, self.image.image_end() - self.image.load_base),
+            (self.stack.base, self.stack.size),
+        ]
+    }
+
+    /// The DriverEntry invocation (no arguments in our model; real NDIS
+    /// passes DriverObject/RegistryPath, which our drivers do not consume).
+    pub fn driver_entry(&self) -> EntryInvocation {
+        EntryInvocation::new("DriverEntry", self.image.entry, [0; 4])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn descriptor_bytes_layout() {
+        let d = DeviceDescriptor {
+            vendor_id: 0x8086,
+            device_id: 0x100e,
+            revision: 3,
+            mmio_len: 0x200,
+            io_len: 0x40,
+            irq_line: 11,
+        };
+        let b = d.config_bytes();
+        assert_eq!(u16::from_le_bytes([b[0], b[1]]), 0x8086);
+        assert_eq!(u16::from_le_bytes([b[2], b[3]]), 0x100e);
+        assert_eq!(b[4], 3);
+        assert_eq!(b[5], 11);
+        assert_eq!(u32::from_le_bytes([b[8], b[9], b[10], b[11]]), 0x200);
+    }
+
+    #[test]
+    fn invocation_registers() {
+        let inv = EntryInvocation::new("Send", 0x40_0100, [1, 2, 3, 4]);
+        let regs = inv.reg_values();
+        assert_eq!(regs[0], (Reg(0), 1));
+        assert_eq!(regs[4].0, Reg::SP);
+        assert_eq!(regs[5], (Reg::LR, RETURN_TRAP));
+    }
+
+    #[test]
+    fn load_plan_regions_cover_image_and_stack() {
+        let img = DxeImage {
+            name: "t".into(),
+            load_base: 0x40_0000,
+            entry: 0x40_0000,
+            text: vec![0; 16],
+            data: vec![],
+            bss_size: 32,
+            imports: vec![],
+        };
+        let plan = LoadPlan::new(img);
+        let rs = plan.regions();
+        assert_eq!(rs[0], (0x40_0000, 16 + 32));
+        assert_eq!(rs[1].1, 0x10_0000);
+        assert_eq!(plan.driver_entry().name, "DriverEntry");
+    }
+}

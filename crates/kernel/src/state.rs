@@ -1,0 +1,484 @@
+//! Kernel state: everything the mini-OS tracks across driver interactions.
+//!
+//! The state is a plain `Clone` value so DDT can snapshot it with each
+//! forked execution state. Sizes are tiny compared to guest memory, so an
+//! eager clone is cheap (guest memory itself is chained-COW in `ddt-symvm`).
+
+use std::collections::{BTreeMap, HashMap};
+
+use serde::{Deserialize, Serialize};
+
+/// Interrupt request levels (simplified Windows model).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Irql {
+    /// Normal thread execution.
+    #[default]
+    Passive,
+    /// Dispatch level: DPCs, spinlocks held.
+    Dispatch,
+    /// Device interrupt level: ISRs.
+    Device,
+}
+
+impl Irql {
+    /// Numeric level (for comparisons in bug reports).
+    pub fn level(self) -> u8 {
+        match self {
+            Irql::Passive => 0,
+            Irql::Dispatch => 2,
+            Irql::Device => 5,
+        }
+    }
+}
+
+/// What kind of code the kernel believes is currently running.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExecContext {
+    /// A normal driver entry point.
+    Passive,
+    /// A deferred procedure call (timer or interrupt DPC).
+    Dpc,
+    /// An interrupt service routine.
+    Isr,
+}
+
+/// Kinds of driver-held resources the kernel accounts for (leak checking).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ResourceKind {
+    /// Pool memory (`ExAllocatePoolWithTag`, `NdisAllocateMemoryWithTag`).
+    PoolMemory,
+    /// An open configuration handle.
+    ConfigHandle,
+    /// An NDIS packet descriptor.
+    Packet,
+    /// An NDIS buffer descriptor.
+    Buffer,
+    /// A packet or buffer pool.
+    Pool,
+    /// A registered interrupt.
+    Interrupt,
+    /// A spinlock allocation.
+    SpinLock,
+    /// A DMA channel (audio).
+    DmaChannel,
+    /// Mapped I/O space.
+    IoMapping,
+}
+
+/// A live pool allocation.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PoolAlloc {
+    /// Guest address of the allocation.
+    pub addr: u32,
+    /// Size in bytes.
+    pub size: u32,
+    /// Allocation tag (for reports).
+    pub tag: u32,
+    /// True if allocated from paged pool (illegal to touch at dispatch+).
+    pub paged: bool,
+}
+
+/// A spinlock's runtime state.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpinLockState {
+    /// Currently held.
+    pub held: bool,
+    /// Whether the current hold was acquired with the `Dpr` variant.
+    pub acquired_dpr: bool,
+    /// IRQL saved by a non-Dpr acquire (restored by non-Dpr release).
+    pub saved_irql: Irql,
+    /// Total acquisitions (diagnostics).
+    pub acquisitions: u32,
+}
+
+impl SpinLockState {
+    /// A fresh, unheld lock.
+    pub fn new() -> SpinLockState {
+        SpinLockState {
+            held: false,
+            acquired_dpr: false,
+            saved_irql: Irql::Passive,
+            acquisitions: 0,
+        }
+    }
+}
+
+/// A timer object registered by the driver.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimerState {
+    /// True once `NdisMInitializeTimer` ran on this descriptor.
+    pub initialized: bool,
+    /// Driver callback address.
+    pub callback: u32,
+    /// Driver context argument.
+    pub context: u32,
+    /// Pending expiry (virtual ms), if armed.
+    pub due: Option<u64>,
+}
+
+/// A registered interrupt.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InterruptRegistration {
+    /// Interrupt line.
+    pub line: u8,
+    /// Guest address of the driver's interrupt object.
+    pub object: u32,
+}
+
+/// The driver's registered entry points (NDIS miniport or audio adapter).
+///
+/// A zero address means "not provided".
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MiniportTable {
+    /// Initialize handler.
+    pub initialize: u32,
+    /// Send / start-playback handler.
+    pub send: u32,
+    /// QueryInformation / property-get handler.
+    pub query_information: u32,
+    /// SetInformation / property-set handler.
+    pub set_information: u32,
+    /// Interrupt service routine.
+    pub isr: u32,
+    /// HandleInterrupt DPC.
+    pub handle_interrupt: u32,
+    /// Reset handler.
+    pub reset: u32,
+    /// Halt / stop handler.
+    pub halt: u32,
+    /// CheckForHang handler.
+    pub check_for_hang: u32,
+    /// Timer-style auxiliary callback (audio: stop-DMA).
+    pub aux: u32,
+}
+
+impl MiniportTable {
+    /// Reads a table from ten consecutive guest words.
+    pub fn from_words(w: &[u32; 10]) -> MiniportTable {
+        MiniportTable {
+            initialize: w[0],
+            send: w[1],
+            query_information: w[2],
+            set_information: w[3],
+            isr: w[4],
+            handle_interrupt: w[5],
+            reset: w[6],
+            halt: w[7],
+            check_for_hang: w[8],
+            aux: w[9],
+        }
+    }
+
+    /// Iterates the named, non-zero entry points.
+    pub fn entries(&self) -> Vec<(&'static str, u32)> {
+        [
+            ("Initialize", self.initialize),
+            ("Send", self.send),
+            ("QueryInformation", self.query_information),
+            ("SetInformation", self.set_information),
+            ("Isr", self.isr),
+            ("HandleInterrupt", self.handle_interrupt),
+            ("Reset", self.reset),
+            ("Halt", self.halt),
+            ("CheckForHang", self.check_for_hang),
+            ("Aux", self.aux),
+        ]
+        .into_iter()
+        .filter(|&(_, a)| a != 0)
+        .collect()
+    }
+}
+
+/// A kernel crash (the BSOD analog).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrashInfo {
+    /// Bug-check code.
+    pub code: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// Events the kernel logs for DDT's guest-OS-level checkers (§3.1.2).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KernelEvent {
+    /// A kernel API was invoked.
+    ApiCall {
+        /// Export id.
+        export_id: u16,
+        /// Export name.
+        name: String,
+        /// The four argument registers at call time.
+        args: [u32; 4],
+        /// Execution context at call time.
+        context: ExecContext,
+        /// IRQL at call time.
+        irql: Irql,
+    },
+    /// A resource was granted to the driver.
+    ResourceAcquired {
+        /// Resource class.
+        kind: ResourceKind,
+        /// Handle or address identifying the resource.
+        handle: u32,
+        /// Size, if meaningful.
+        size: u32,
+    },
+    /// A resource was released by the driver.
+    ResourceReleased {
+        /// Resource class.
+        kind: ResourceKind,
+        /// Handle or address.
+        handle: u32,
+    },
+    /// A spinlock acquire.
+    SpinAcquire {
+        /// Lock address.
+        lock: u32,
+        /// Dpr variant?
+        dpr: bool,
+    },
+    /// A spinlock release.
+    SpinRelease {
+        /// Lock address.
+        lock: u32,
+        /// Dpr variant?
+        dpr: bool,
+        /// True if the release variant did not match the acquire variant —
+        /// the Intel Pro/100 bug class (Table 2 row 13).
+        variant_mismatch: bool,
+    },
+    /// IRQL changed.
+    IrqlChange {
+        /// Previous level.
+        from: Irql,
+        /// New level.
+        to: Irql,
+    },
+    /// A timer was armed.
+    TimerSet {
+        /// Timer descriptor address.
+        timer: u32,
+        /// Whether it had been initialized.
+        initialized: bool,
+    },
+    /// The kernel crashed.
+    Crash(CrashInfo),
+}
+
+/// All mutable kernel state.
+#[derive(Clone, Debug)]
+pub struct KernelState {
+    /// Current IRQL.
+    pub irql: Irql,
+    /// Current execution context (set by the executor when it invokes entry
+    /// points, DPCs, and ISRs).
+    pub context: ExecContext,
+    /// Driver configuration parameters (the registry).
+    pub registry: BTreeMap<String, u32>,
+    /// Live pool allocations keyed by guest address.
+    pub pool: HashMap<u32, PoolAlloc>,
+    /// Open configuration handles.
+    pub config_handles: HashMap<u32, bool>,
+    /// Spinlocks keyed by lock address.
+    pub spinlocks: HashMap<u32, SpinLockState>,
+    /// Timers keyed by descriptor address.
+    pub timers: HashMap<u32, TimerState>,
+    /// Registered interrupt, if any.
+    pub interrupt: Option<InterruptRegistration>,
+    /// Packet pools (handle → capacity).
+    pub packet_pools: HashMap<u32, u32>,
+    /// Buffer pools (handle → capacity).
+    pub buffer_pools: HashMap<u32, u32>,
+    /// Live packets (handle → owning pool).
+    pub packets: HashMap<u32, u32>,
+    /// Live buffers (handle → owning pool).
+    pub buffers: HashMap<u32, u32>,
+    /// DMA channels (audio).
+    pub dma_channels: HashMap<u32, u32>,
+    /// Registered entry points.
+    pub miniport: Option<MiniportTable>,
+    /// Completed sends (handle values passed to `NdisMSendComplete`).
+    pub completed_sends: Vec<u32>,
+    /// Packets indicated up the stack.
+    pub indicated_packets: u32,
+    /// Kernel crash, if one occurred.
+    pub crash: Option<CrashInfo>,
+    /// Event log for checkers.
+    pub events: Vec<KernelEvent>,
+    /// Virtual time in microseconds.
+    pub now_us: u64,
+    /// Bump cursor for the kernel heap.
+    pub heap_cursor: u32,
+    /// Forced failure of the next N allocations (set by DDT's
+    /// concrete-to-symbolic annotation forks: the "NULL alternative").
+    pub force_alloc_failures: u32,
+    /// The PnP device descriptor for the loaded device.
+    pub device: crate::loader::DeviceDescriptor,
+    /// MMIO base the kernel assigned to the device.
+    pub device_mmio_base: u32,
+    /// Adapter handle value handed to the driver.
+    pub adapter_handle: u32,
+}
+
+/// Kernel heap region start.
+pub const HEAP_BASE: u32 = 0x0100_0000;
+/// Kernel heap region end.
+pub const HEAP_END: u32 = 0x0200_0000;
+/// MMIO window the kernel assigns to the device under test.
+pub const DEVICE_MMIO_BASE: u32 = 0x8000_0000;
+
+impl Default for KernelState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl KernelState {
+    /// Fresh kernel state.
+    pub fn new() -> KernelState {
+        KernelState {
+            irql: Irql::Passive,
+            context: ExecContext::Passive,
+            registry: BTreeMap::new(),
+            pool: HashMap::new(),
+            config_handles: HashMap::new(),
+            spinlocks: HashMap::new(),
+            timers: HashMap::new(),
+            interrupt: None,
+            packet_pools: HashMap::new(),
+            buffer_pools: HashMap::new(),
+            packets: HashMap::new(),
+            buffers: HashMap::new(),
+            dma_channels: HashMap::new(),
+            miniport: None,
+            completed_sends: Vec::new(),
+            indicated_packets: 0,
+            crash: None,
+            events: Vec::new(),
+            now_us: 0,
+            heap_cursor: HEAP_BASE,
+            force_alloc_failures: 0,
+            device: crate::loader::DeviceDescriptor::default(),
+            device_mmio_base: DEVICE_MMIO_BASE,
+            adapter_handle: 0xAD4A_0000,
+        }
+    }
+
+    /// Records an event.
+    pub fn log(&mut self, ev: KernelEvent) {
+        self.events.push(ev);
+    }
+
+    /// Raises a bug check (records the crash; idempotent — the first crash
+    /// wins, like a real kernel halting at the first BSOD).
+    pub fn bug_check(&mut self, code: u32, message: impl Into<String>) {
+        if self.crash.is_none() {
+            let info = CrashInfo { code, message: message.into() };
+            self.events.push(KernelEvent::Crash(info.clone()));
+            self.crash = Some(info);
+        }
+    }
+
+    /// Allocates `size` bytes from the kernel heap (16-byte aligned).
+    /// Returns `None` when exhausted or when a forced failure is pending.
+    pub fn heap_alloc(&mut self, size: u32) -> Option<u32> {
+        if self.force_alloc_failures > 0 {
+            self.force_alloc_failures -= 1;
+            return None;
+        }
+        let size = size.max(1).next_multiple_of(16);
+        let addr = self.heap_cursor;
+        if addr.checked_add(size)? > HEAP_END {
+            return None;
+        }
+        self.heap_cursor += size;
+        Some(addr)
+    }
+
+    /// Counts live resources of one kind (leak accounting).
+    pub fn live_resources(&self, kind: ResourceKind) -> usize {
+        match kind {
+            ResourceKind::PoolMemory => self.pool.len(),
+            ResourceKind::ConfigHandle => self.config_handles.values().filter(|&&o| o).count(),
+            ResourceKind::Packet => self.packets.len(),
+            ResourceKind::Buffer => self.buffers.len(),
+            ResourceKind::Pool => self.packet_pools.len() + self.buffer_pools.len(),
+            ResourceKind::Interrupt => self.interrupt.iter().count(),
+            ResourceKind::SpinLock => self.spinlocks.len(),
+            ResourceKind::DmaChannel => self.dma_channels.len(),
+            ResourceKind::IoMapping => 0,
+        }
+    }
+
+    /// Snapshot of live-resource counts across all kinds.
+    pub fn resource_snapshot(&self) -> BTreeMap<ResourceKind, usize> {
+        use ResourceKind::*;
+        [PoolMemory, ConfigHandle, Packet, Buffer, Pool, Interrupt, SpinLock, DmaChannel]
+            .into_iter()
+            .map(|k| (k, self.live_resources(k)))
+            .collect()
+    }
+
+    /// True if any spinlock is currently held.
+    pub fn any_lock_held(&self) -> bool {
+        self.spinlocks.values().any(|l| l.held)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heap_alloc_bumps_and_aligns() {
+        let mut s = KernelState::new();
+        let a = s.heap_alloc(10).unwrap();
+        let b = s.heap_alloc(1).unwrap();
+        assert_eq!(a % 16, 0);
+        assert_eq!(b, a + 16);
+    }
+
+    #[test]
+    fn forced_failures_consume() {
+        let mut s = KernelState::new();
+        s.force_alloc_failures = 2;
+        assert_eq!(s.heap_alloc(8), None);
+        assert_eq!(s.heap_alloc(8), None);
+        assert!(s.heap_alloc(8).is_some());
+    }
+
+    #[test]
+    fn bug_check_is_first_wins() {
+        let mut s = KernelState::new();
+        s.bug_check(1, "first");
+        s.bug_check(2, "second");
+        assert_eq!(s.crash.as_ref().unwrap().code, 1);
+        assert_eq!(s.events.len(), 1);
+    }
+
+    #[test]
+    fn resource_snapshot_counts() {
+        let mut s = KernelState::new();
+        s.pool.insert(0x100, PoolAlloc { addr: 0x100, size: 32, tag: 0, paged: false });
+        s.config_handles.insert(1, true);
+        s.config_handles.insert(2, false); // Closed: not counted.
+        let snap = s.resource_snapshot();
+        assert_eq!(snap[&ResourceKind::PoolMemory], 1);
+        assert_eq!(snap[&ResourceKind::ConfigHandle], 1);
+        assert_eq!(snap[&ResourceKind::Packet], 0);
+    }
+
+    #[test]
+    fn miniport_table_entries_skip_zero() {
+        let t = MiniportTable::from_words(&[1, 2, 0, 0, 5, 0, 0, 0, 0, 0]);
+        let names: Vec<&str> = t.entries().iter().map(|&(n, _)| n).collect();
+        assert_eq!(names, vec!["Initialize", "Send", "Isr"]);
+    }
+
+    #[test]
+    fn irql_ordering() {
+        assert!(Irql::Passive < Irql::Dispatch);
+        assert!(Irql::Dispatch < Irql::Device);
+        assert_eq!(Irql::Dispatch.level(), 2);
+    }
+}

@@ -1,0 +1,27 @@
+//! DDT vs SDV-lite on the sample + synthetic sets.
+use ddt_core::{Ddt, DriverUnderTest};
+use ddt_drivers::{samples, DriverClass};
+
+fn dut_for(s: &samples::SampleDriver) -> DriverUnderTest {
+    let built = s.build();
+    DriverUnderTest {
+        image: built.image,
+        class: DriverClass::Net,
+        registry: vec![],
+        descriptor: Default::default(),
+        workload: ddt_drivers::workload::workload_for(DriverClass::Net),
+    }
+}
+
+fn main() {
+    let ddt = Ddt::default();
+    for (label, set) in [("samples", samples::sdv_sample_set()), ("synthetic", samples::synthetic_set())] {
+        println!("== {label} ==");
+        for s in &set {
+            let t0 = std::time::Instant::now();
+            let report = ddt.test(&dut_for(s));
+            println!("{:22} want={:?} got {} bug(s) in {:?}", s.name, s.bug_kind.unwrap(), report.bugs.len(), t0.elapsed());
+            for b in &report.bugs { println!("     [{}] {}", b.class, b.description); }
+        }
+    }
+}

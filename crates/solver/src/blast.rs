@@ -1,0 +1,517 @@
+//! Tseitin bit-blasting of bitvector expressions to CNF.
+//!
+//! Each [`Expr`] is lowered to a vector of SAT literals, least-significant
+//! bit first. Gate outputs are fresh variables constrained by Tseitin
+//! clauses. Lowered expressions are cached so shared subtrees blast once.
+
+use std::collections::HashMap;
+
+use ddt_expr::{
+    BinOp, //
+    CmpOp,
+    Expr,
+    ExprNode,
+    SymId,
+};
+
+use crate::sat::{Lit, SatSolver};
+
+/// Bit-blasting context over a [`SatSolver`].
+pub struct Blaster {
+    /// The literal that is constantly true (unit-clause-asserted variable).
+    true_lit: Lit,
+    /// Bits allocated per symbolic variable.
+    sym_bits: HashMap<SymId, Vec<Lit>>,
+    /// Structural cache of lowered expressions.
+    cache: HashMap<Expr, Vec<Lit>>,
+}
+
+impl Blaster {
+    /// Creates a blaster, allocating the constant-true variable in `sat`.
+    pub fn new(sat: &mut SatSolver) -> Blaster {
+        let t = sat.new_var();
+        sat.add_clause(&[Lit::pos(t)]);
+        Blaster { true_lit: Lit::pos(t), sym_bits: HashMap::new(), cache: HashMap::new() }
+    }
+
+    /// The constant-true literal.
+    pub fn true_lit(&self) -> Lit {
+        self.true_lit
+    }
+
+    /// The constant-false literal.
+    pub fn false_lit(&self) -> Lit {
+        self.true_lit.negate()
+    }
+
+    fn const_lit(&self, b: bool) -> Lit {
+        if b {
+            self.true_lit()
+        } else {
+            self.false_lit()
+        }
+    }
+
+    /// Returns (allocating on first use) the bit literals of symbol `id`.
+    pub fn sym_lits(&mut self, sat: &mut SatSolver, id: SymId, width: u32) -> Vec<Lit> {
+        if let Some(bits) = self.sym_bits.get(&id) {
+            assert_eq!(bits.len(), width as usize, "symbol {id} used at two widths");
+            return bits.clone();
+        }
+        let bits: Vec<Lit> = (0..width).map(|_| Lit::pos(sat.new_var())).collect();
+        self.sym_bits.insert(id, bits.clone());
+        bits
+    }
+
+    /// Returns the model value of symbol `id` after a Sat outcome, or `None`
+    /// if the symbol never appeared in any blasted constraint.
+    pub fn sym_model(&self, sat: &SatSolver, id: SymId) -> Option<u64> {
+        let bits = self.sym_bits.get(&id)?;
+        let mut v = 0u64;
+        for (i, l) in bits.iter().enumerate() {
+            let bit = sat.value(l.var()).unwrap_or(false);
+            if bit == l.is_pos() {
+                v |= 1 << i;
+            }
+        }
+        Some(v)
+    }
+
+    /// Iterates over symbols that have been blasted.
+    pub fn blasted_syms(&self) -> impl Iterator<Item = SymId> + '_ {
+        self.sym_bits.keys().copied()
+    }
+
+    /// Asserts that the 1-bit expression `e` is true.
+    pub fn assert_true(&mut self, sat: &mut SatSolver, e: &Expr) {
+        assert_eq!(e.width(), 1, "can only assert booleans");
+        let bits = self.blast(sat, e);
+        sat.add_clause(&[bits[0]]);
+    }
+
+    /// Lowers `e` to a literal vector (LSB first), with caching.
+    pub fn blast(&mut self, sat: &mut SatSolver, e: &Expr) -> Vec<Lit> {
+        if let Some(bits) = self.cache.get(e) {
+            return bits.clone();
+        }
+        let bits = self.blast_uncached(sat, e);
+        debug_assert_eq!(bits.len(), e.width() as usize);
+        self.cache.insert(e.clone(), bits.clone());
+        bits
+    }
+
+    fn blast_uncached(&mut self, sat: &mut SatSolver, e: &Expr) -> Vec<Lit> {
+        match e.node() {
+            ExprNode::Const { bits, width } => {
+                (0..*width).map(|i| self.const_lit((bits >> i) & 1 == 1)).collect()
+            }
+            ExprNode::Sym { id, width } => self.sym_lits(sat, *id, *width),
+            ExprNode::Not(a) => {
+                self.blast(sat, a).into_iter().map(|l| l.negate()).collect()
+            }
+            ExprNode::Neg(a) => {
+                // -x = ~x + 1.
+                let w = a.width();
+                let nx: Vec<Lit> = self.blast(sat, a).into_iter().map(|l| l.negate()).collect();
+                let one: Vec<Lit> = (0..w).map(|i| self.const_lit(i == 0)).collect();
+                self.adder(sat, &nx, &one, self.false_lit()).0
+            }
+            ExprNode::Bin(op, a, b) => {
+                let w = a.width();
+                let x = self.blast(sat, a);
+                let y = self.blast(sat, b);
+                match op {
+                    BinOp::Add => self.adder(sat, &x, &y, self.false_lit()).0,
+                    BinOp::Sub => {
+                        let ny: Vec<Lit> = y.iter().map(|l| l.negate()).collect();
+                        self.adder(sat, &x, &ny, self.true_lit()).0
+                    }
+                    BinOp::Mul => self.multiplier(sat, &x, &y),
+                    BinOp::And => self.zipmap(sat, &x, &y, GateKind::And),
+                    BinOp::Or => self.zipmap(sat, &x, &y, GateKind::Or),
+                    BinOp::Xor => self.zipmap(sat, &x, &y, GateKind::Xor),
+                    BinOp::Shl => self.shifter(sat, &x, &y, ShiftKind::Left),
+                    BinOp::LShr => self.shifter(sat, &x, &y, ShiftKind::LogicalRight),
+                    BinOp::AShr => self.shifter(sat, &x, &y, ShiftKind::ArithRight),
+                    BinOp::UDiv | BinOp::URem | BinOp::SDiv | BinOp::SRem => {
+                        self.division(sat, *op, a, b, w)
+                    }
+                }
+            }
+            ExprNode::Cmp(op, a, b) => {
+                let x = self.blast(sat, a);
+                let y = self.blast(sat, b);
+                let r = match op {
+                    CmpOp::Eq => self.equality(sat, &x, &y),
+                    CmpOp::Ne => self.equality(sat, &x, &y).negate(),
+                    CmpOp::Ult => self.less_than(sat, &x, &y, false, true),
+                    CmpOp::Ule => self.less_than(sat, &x, &y, false, false),
+                    CmpOp::Slt => self.less_than(sat, &x, &y, true, true),
+                    CmpOp::Sle => self.less_than(sat, &x, &y, true, false),
+                };
+                vec![r]
+            }
+            ExprNode::ZExt { e, width } => {
+                let mut bits = self.blast(sat, e);
+                bits.resize(*width as usize, self.false_lit());
+                bits
+            }
+            ExprNode::SExt { e, width } => {
+                let mut bits = self.blast(sat, e);
+                let sign = *bits.last().expect("non-empty");
+                bits.resize(*width as usize, sign);
+                bits
+            }
+            ExprNode::Extract { e, hi, lo } => {
+                let bits = self.blast(sat, e);
+                bits[*lo as usize..=*hi as usize].to_vec()
+            }
+            ExprNode::Concat { hi, lo } => {
+                let mut bits = self.blast(sat, lo);
+                bits.extend(self.blast(sat, hi));
+                bits
+            }
+            ExprNode::Ite { cond, then, els } => {
+                let c = self.blast(sat, cond)[0];
+                let t = self.blast(sat, then);
+                let f = self.blast(sat, els);
+                t.iter().zip(f.iter()).map(|(&ti, &fi)| self.mux(sat, c, ti, fi)).collect()
+            }
+        }
+    }
+
+    // ---- gate primitives -------------------------------------------------
+
+    fn gate(&mut self, sat: &mut SatSolver, kind: GateKind, a: Lit, b: Lit) -> Lit {
+        // Constant propagation keeps the CNF small.
+        let (t, f) = (self.true_lit(), self.false_lit());
+        match kind {
+            GateKind::And => {
+                if a == f || b == f {
+                    return f;
+                }
+                if a == t {
+                    return b;
+                }
+                if b == t {
+                    return a;
+                }
+                if a == b {
+                    return a;
+                }
+                if a == b.negate() {
+                    return f;
+                }
+            }
+            GateKind::Or => {
+                if a == t || b == t {
+                    return t;
+                }
+                if a == f {
+                    return b;
+                }
+                if b == f {
+                    return a;
+                }
+                if a == b {
+                    return a;
+                }
+                if a == b.negate() {
+                    return t;
+                }
+            }
+            GateKind::Xor => {
+                if a == f {
+                    return b;
+                }
+                if b == f {
+                    return a;
+                }
+                if a == t {
+                    return b.negate();
+                }
+                if b == t {
+                    return a.negate();
+                }
+                if a == b {
+                    return f;
+                }
+                if a == b.negate() {
+                    return t;
+                }
+            }
+        }
+        let o = Lit::pos(sat.new_var());
+        match kind {
+            GateKind::And => {
+                sat.add_clause(&[o.negate(), a]);
+                sat.add_clause(&[o.negate(), b]);
+                sat.add_clause(&[o, a.negate(), b.negate()]);
+            }
+            GateKind::Or => {
+                sat.add_clause(&[o, a.negate()]);
+                sat.add_clause(&[o, b.negate()]);
+                sat.add_clause(&[o.negate(), a, b]);
+            }
+            GateKind::Xor => {
+                sat.add_clause(&[o.negate(), a, b]);
+                sat.add_clause(&[o.negate(), a.negate(), b.negate()]);
+                sat.add_clause(&[o, a.negate(), b]);
+                sat.add_clause(&[o, a, b.negate()]);
+            }
+        }
+        o
+    }
+
+    fn and(&mut self, sat: &mut SatSolver, a: Lit, b: Lit) -> Lit {
+        self.gate(sat, GateKind::And, a, b)
+    }
+
+    fn or(&mut self, sat: &mut SatSolver, a: Lit, b: Lit) -> Lit {
+        self.gate(sat, GateKind::Or, a, b)
+    }
+
+    fn xor(&mut self, sat: &mut SatSolver, a: Lit, b: Lit) -> Lit {
+        self.gate(sat, GateKind::Xor, a, b)
+    }
+
+    /// 2:1 multiplexer: `c ? t : f`.
+    fn mux(&mut self, sat: &mut SatSolver, c: Lit, t: Lit, f: Lit) -> Lit {
+        if t == f {
+            return t;
+        }
+        if c == self.true_lit() {
+            return t;
+        }
+        if c == self.false_lit() {
+            return f;
+        }
+        let a = self.and(sat, c, t);
+        let b = self.and(sat, c.negate(), f);
+        self.or(sat, a, b)
+    }
+
+    fn zipmap(&mut self, sat: &mut SatSolver, x: &[Lit], y: &[Lit], kind: GateKind) -> Vec<Lit> {
+        x.iter().zip(y.iter()).map(|(&a, &b)| self.gate(sat, kind, a, b)).collect()
+    }
+
+    /// Ripple-carry adder; returns (sum bits, carry-out).
+    fn adder(&mut self, sat: &mut SatSolver, x: &[Lit], y: &[Lit], cin: Lit) -> (Vec<Lit>, Lit) {
+        let mut sum = Vec::with_capacity(x.len());
+        let mut carry = cin;
+        for (&a, &b) in x.iter().zip(y.iter()) {
+            let axb = self.xor(sat, a, b);
+            sum.push(self.xor(sat, axb, carry));
+            // carry_out = (a & b) | (carry & (a ^ b)).
+            let ab = self.and(sat, a, b);
+            let ca = self.and(sat, carry, axb);
+            carry = self.or(sat, ab, ca);
+        }
+        (sum, carry)
+    }
+
+    /// Shift-and-add multiplier (modulo 2^w).
+    fn multiplier(&mut self, sat: &mut SatSolver, x: &[Lit], y: &[Lit]) -> Vec<Lit> {
+        let w = x.len();
+        let mut acc: Vec<Lit> = vec![self.false_lit(); w];
+        for i in 0..w {
+            // Partial product: (y[i] ? x : 0) << i, truncated to w bits.
+            let mut pp: Vec<Lit> = vec![self.false_lit(); w];
+            for j in 0..(w - i) {
+                pp[i + j] = self.and(sat, y[i], x[j]);
+            }
+            acc = self.adder(sat, &acc, &pp, self.false_lit()).0;
+        }
+        acc
+    }
+
+    /// Barrel shifter with our ISA semantics (amount >= w yields 0 for
+    /// logical shifts, sign-fill saturation for arithmetic right shift).
+    #[allow(clippy::needless_range_loop)] // Stage index is also a shift amount.
+    fn shifter(&mut self, sat: &mut SatSolver, x: &[Lit], y: &[Lit], kind: ShiftKind) -> Vec<Lit> {
+        let w = x.len();
+        let stages = usize::BITS - (w - 1).leading_zeros(); // ceil(log2 w).
+        let sign = *x.last().expect("non-empty");
+        let fill = match kind {
+            ShiftKind::ArithRight => sign,
+            _ => self.false_lit(),
+        };
+        let mut cur: Vec<Lit> = x.to_vec();
+        for s in 0..stages as usize {
+            let amt = 1usize << s;
+            let ctrl = y[s];
+            let mut next = Vec::with_capacity(w);
+            for i in 0..w {
+                let shifted = match kind {
+                    ShiftKind::Left => {
+                        if i >= amt {
+                            cur[i - amt]
+                        } else {
+                            self.false_lit()
+                        }
+                    }
+                    ShiftKind::LogicalRight | ShiftKind::ArithRight => {
+                        if i + amt < w {
+                            cur[i + amt]
+                        } else {
+                            fill
+                        }
+                    }
+                };
+                next.push(self.mux(sat, ctrl, shifted, cur[i]));
+            }
+            cur = next;
+        }
+        // If any shift-amount bit above the used stages is set, or the used
+        // bits encode >= w, the result is all-fill (0 or sign).
+        let mut oversize = self.false_lit();
+        for (i, &yl) in y.iter().enumerate() {
+            if i >= stages as usize {
+                oversize = self.or(sat, oversize, yl);
+            }
+        }
+        // Amounts in [w, 2^stages) via the low bits also overshoot.
+        if !w.is_power_of_two() {
+            // low_bits >= w check: compare y[0..stages] with constant w.
+            let wconst: Vec<Lit> =
+                (0..stages as usize).map(|i| self.const_lit((w >> i) & 1 == 1)).collect();
+            let low: Vec<Lit> = y[..stages as usize].to_vec();
+            let lt = self.less_than(sat, &low, &wconst, false, true);
+            oversize = self.or(sat, oversize, lt.negate());
+        }
+        cur.into_iter().map(|b| self.mux(sat, oversize, fill, b)).collect()
+    }
+
+    /// Equality over bit vectors.
+    fn equality(&mut self, sat: &mut SatSolver, x: &[Lit], y: &[Lit]) -> Lit {
+        let mut acc = self.true_lit();
+        for (&a, &b) in x.iter().zip(y.iter()) {
+            let diff = self.xor(sat, a, b);
+            acc = self.and(sat, acc, diff.negate());
+        }
+        acc
+    }
+
+    /// Comparison: x < y (strict) or x <= y.
+    fn less_than(
+        &mut self,
+        sat: &mut SatSolver,
+        x: &[Lit],
+        y: &[Lit],
+        signed: bool,
+        strict: bool,
+    ) -> Lit {
+        let w = x.len();
+        // Lexicographic from MSB down: lt = (xi < yi) | (xi == yi) & lt_rest.
+        // For the sign bit under signed comparison the polarity flips
+        // (1 means negative, so x_sign=1,y_sign=0 => x < y).
+        let mut acc = if strict { self.false_lit() } else { self.true_lit() };
+        for i in 0..w {
+            let (a, b) = (x[i], y[i]);
+            let (a, b) = if signed && i == w - 1 { (b, a) } else { (a, b) };
+            // bit_lt = !a & b.
+            let bit_lt = self.and(sat, a.negate(), b);
+            let bit_eq = self.xor(sat, a, b).negate();
+            let keep = self.and(sat, bit_eq, acc);
+            acc = self.or(sat, bit_lt, keep);
+        }
+        acc
+    }
+
+    /// Division and remainder via the multiplication relation at double
+    /// width: `a = b*q + r`, `r < b` when `b != 0`; SMT-LIB semantics when
+    /// `b == 0` (udiv → all-ones, urem → a). Signed variants are built from
+    /// the unsigned ones on magnitudes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand width exceeds 32 bits (the relation is encoded
+    /// at `2w` bits, which must fit in the 64-bit expression layer).
+    fn division(&mut self, sat: &mut SatSolver, op: BinOp, a: &Expr, b: &Expr, w: u32) -> Vec<Lit> {
+        assert!(w <= 32, "division blasting supports widths up to 32 bits");
+        match op {
+            BinOp::UDiv | BinOp::URem => {
+                let (q, r) = self.udivrem(sat, a, b, w);
+                if op == BinOp::UDiv {
+                    self.blast(sat, &q)
+                } else {
+                    self.blast(sat, &r)
+                }
+            }
+            BinOp::SDiv | BinOp::SRem => {
+                // |a| and |b| via ite on sign bits.
+                let zero = Expr::constant(0, w);
+                let a_neg = a.slt(&zero);
+                let b_neg = b.slt(&zero);
+                let abs_a = Expr::ite(&a_neg, &a.neg(), a);
+                let abs_b = Expr::ite(&b_neg, &b.neg(), b);
+                let (q, r) = self.udivrem(sat, &abs_a, &abs_b, w);
+                match op {
+                    BinOp::SDiv => {
+                        // Result negative iff signs differ (and b != 0).
+                        let diff = a_neg.xor(&b_neg);
+                        let signed_q = Expr::ite(&diff, &q.neg(), &q);
+                        // Division by zero: all-ones per our semantics.
+                        let b_zero = b.eq(&zero);
+                        let out =
+                            Expr::ite(&b_zero, &Expr::constant(u64::MAX, w), &signed_q);
+                        self.blast(sat, &out)
+                    }
+                    BinOp::SRem => {
+                        // Remainder takes the dividend's sign.
+                        let signed_r = Expr::ite(&a_neg, &r.neg(), &r);
+                        let b_zero = b.eq(&zero);
+                        let out = Expr::ite(&b_zero, a, &signed_r);
+                        self.blast(sat, &out)
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            _ => unreachable!("not a division op"),
+        }
+    }
+
+    /// Introduces fresh (q, r) for unsigned a / b with defining constraints.
+    fn udivrem(&mut self, sat: &mut SatSolver, a: &Expr, b: &Expr, w: u32) -> (Expr, Expr) {
+        let q = self.fresh_vec(sat, w);
+        let r = self.fresh_vec(sat, w);
+        let zero = Expr::constant(0, w);
+        let b_zero = b.eq(&zero);
+        // Nonzero case: a == b*q + r at 2w bits (no wraparound) and r < b.
+        let w2 = 2 * w;
+        let rel = a
+            .zext(w2)
+            .eq(&b.zext(w2).mul(&q.zext(w2)).add(&r.zext(w2)));
+        let rem_ok = r.ult(b);
+        let nonzero_ok = rel.and(&rem_ok);
+        // Zero case: q == all-ones, r == a.
+        let zero_ok = q.eq(&Expr::constant(u64::MAX, w)).and(&r.eq(a));
+        let constraint = Expr::ite(&b_zero, &zero_ok, &nonzero_ok);
+        self.assert_true(sat, &constraint);
+        (q, r)
+    }
+
+    /// Allocates a fresh w-bit value as an internal symbol of the blaster.
+    ///
+    /// Uses high symbol ids that the execution engine never allocates.
+    fn fresh_vec(&mut self, sat: &mut SatSolver, w: u32) -> Expr {
+        let id = SymId(0x8000_0000u32 | self.sym_bits.len() as u32);
+        let bits: Vec<Lit> = (0..w).map(|_| Lit::pos(sat.new_var())).collect();
+        self.sym_bits.insert(id, bits);
+        Expr::sym(id, w)
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum GateKind {
+    And,
+    Or,
+    Xor,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ShiftKind {
+    Left,
+    LogicalRight,
+    ArithRight,
+}

@@ -1,0 +1,499 @@
+//! Bitvector constraint solver for DDT path conditions.
+//!
+//! This crate is the decision-procedure substrate standing in for the STP
+//! solver used by Klee in the original DDT (DESIGN.md §2). It decides
+//! satisfiability of conjunctions of 1-bit [`Expr`] constraints and extracts
+//! concrete models ([`Assignment`]) used for:
+//!
+//! - branch feasibility during symbolic exploration,
+//! - on-demand concretization of symbolic arguments at kernel calls (§3.2),
+//! - deriving the concrete bug-triggering inputs recorded in traces (§3.5).
+//!
+//! The pipeline is: cheap model guessing (zero / small / all-ones candidate
+//! assignments evaluated directly) → Tseitin bit-blasting ([`blast`]) → CDCL
+//! SAT ([`sat`]). The procedure is complete for the supported widths: every
+//! query gets a definite Sat/Unsat answer.
+//!
+//! # Examples
+//!
+//! ```
+//! use ddt_expr::{Expr, SymId};
+//! use ddt_solver::{SatResult, Solver};
+//!
+//! let x = Expr::sym(SymId(0), 32);
+//! let c = x.mul(&Expr::constant(3, 32)).eq(&Expr::constant(21, 32));
+//! let mut solver = Solver::new();
+//! match solver.check(&[c]) {
+//!     SatResult::Sat(model) => assert_eq!(model.get_or_zero(SymId(0)) & 0xffff_ffff, 7),
+//!     SatResult::Unsat => panic!("7 * 3 == 21"),
+//! }
+//! ```
+
+pub mod blast;
+pub mod sat;
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeSet, HashMap};
+use std::hash::{Hash, Hasher};
+
+use ddt_expr::{
+    collect_syms, //
+    Assignment,
+    Expr,
+    SymId,
+};
+
+use crate::blast::Blaster;
+use crate::sat::{SatOutcome, SatSolver};
+
+/// Outcome of a satisfiability query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SatResult {
+    /// Satisfiable, with a model assigning every symbol in the query.
+    Sat(Assignment),
+    /// Unsatisfiable.
+    Unsat,
+}
+
+impl SatResult {
+    /// Returns true if the result is `Sat`.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SatResult::Sat(_))
+    }
+
+    /// Returns the model, if satisfiable.
+    pub fn model(&self) -> Option<&Assignment> {
+        match self {
+            SatResult::Sat(m) => Some(m),
+            SatResult::Unsat => None,
+        }
+    }
+}
+
+/// Statistics for solver queries (exposed for the §5.2 scalability bench).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SolverStats {
+    /// Total queries issued.
+    pub queries: u64,
+    /// Queries answered by the cheap guessing fast path.
+    pub fast_path_hits: u64,
+    /// Queries answered from the query cache.
+    pub cache_hits: u64,
+    /// Queries that required bit-blasting and CDCL.
+    pub full_solves: u64,
+    /// Total SAT conflicts across full solves.
+    pub sat_conflicts: u64,
+}
+
+/// The bitvector solver.
+///
+/// Each `check` builds a fresh SAT instance (queries in DDT are over
+/// ever-changing path constraint sets, so incrementality buys little and a
+/// fresh instance keeps learned clauses from leaking between unrelated
+/// paths), but results are memoized: sibling paths in an exploration share
+/// long constraint prefixes, so the same conjunctions recur constantly.
+#[derive(Default)]
+pub struct Solver {
+    stats: SolverStats,
+    /// Query cache: canonicalized constraint set → result. Keys compare by
+    /// full expression equality, so hash collisions cannot corrupt answers.
+    cache: HashMap<Vec<Expr>, SatResult>,
+}
+
+/// Cache size bound; the cache is cleared wholesale when it fills (the
+/// exploration's locality makes a simple policy adequate).
+const CACHE_CAP: usize = 1 << 16;
+
+impl Solver {
+    /// Creates a solver.
+    pub fn new() -> Solver {
+        Solver::default()
+    }
+
+    /// Returns accumulated statistics.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Canonicalizes a constraint set for cache lookup: sorted by structural
+    /// hash (ties keep relative order — equality is still exact).
+    fn cache_key(live: &[&Expr]) -> Vec<Expr> {
+        let mut key: Vec<Expr> = live.iter().map(|e| (*e).clone()).collect();
+        key.sort_by_key(|e| {
+            let mut h = DefaultHasher::new();
+            e.hash(&mut h);
+            h.finish()
+        });
+        key.dedup();
+        key
+    }
+
+    /// Decides whether the conjunction of `constraints` is satisfiable.
+    ///
+    /// Constraints must be 1-bit expressions. On `Sat`, the model assigns
+    /// every symbol mentioned in the constraints (unmentioned symbols are
+    /// free; callers default them to zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any constraint is not 1 bit wide.
+    pub fn check(&mut self, constraints: &[Expr]) -> SatResult {
+        self.stats.queries += 1;
+        for c in constraints {
+            assert_eq!(c.width(), 1, "constraints must be boolean: {c}");
+        }
+        // Trivial cases.
+        if constraints.iter().any(|c| c.is_false()) {
+            return SatResult::Unsat;
+        }
+        let live: Vec<&Expr> = constraints.iter().filter(|c| !c.is_true()).collect();
+        if live.is_empty() {
+            return SatResult::Sat(Assignment::new());
+        }
+        let mut syms = BTreeSet::new();
+        for c in &live {
+            collect_syms(c, &mut syms);
+        }
+        // Fast path: try a few cheap candidate assignments.
+        for candidate in Self::candidate_models(&syms) {
+            if live.iter().all(|c| c.eval_bool(&candidate)) {
+                self.stats.fast_path_hits += 1;
+                return SatResult::Sat(candidate);
+            }
+        }
+        // Query cache: sibling paths share constraint prefixes.
+        let key = Self::cache_key(&live);
+        if let Some(hit) = self.cache.get(&key) {
+            self.stats.cache_hits += 1;
+            return hit.clone();
+        }
+        // Full decision procedure.
+        self.stats.full_solves += 1;
+        let mut sat = SatSolver::new();
+        let mut blaster = Blaster::new(&mut sat);
+        for c in &live {
+            blaster.assert_true(&mut sat, c);
+        }
+        let result = match sat.solve() {
+            SatOutcome::Unsat => {
+                self.stats.sat_conflicts += sat.conflicts;
+                SatResult::Unsat
+            }
+            SatOutcome::Sat => {
+                self.stats.sat_conflicts += sat.conflicts;
+                let mut model = Assignment::new();
+                for id in &syms {
+                    model.set(*id, blaster.sym_model(&sat, *id).unwrap_or(0));
+                }
+                // The blaster's internal division symbols are filtered out by
+                // only reporting symbols that occur in the input constraints.
+                debug_assert!(
+                    live.iter().all(|c| c.eval_bool(&model)),
+                    "model does not satisfy constraints"
+                );
+                SatResult::Sat(model)
+            }
+        };
+        if self.cache.len() >= CACHE_CAP {
+            self.cache.clear();
+        }
+        self.cache.insert(key, result.clone());
+        result
+    }
+
+    fn candidate_models(syms: &BTreeSet<SymId>) -> Vec<Assignment> {
+        let mk = |v: u64| -> Assignment { syms.iter().map(|&id| (id, v)).collect() };
+        vec![mk(0), mk(1), mk(u64::MAX), mk(4), mk(0x80)]
+    }
+
+    /// Returns true if the conjunction is satisfiable.
+    pub fn is_feasible(&mut self, constraints: &[Expr]) -> bool {
+        self.check(constraints).is_sat()
+    }
+
+    /// Returns true if `cond` can be true under `constraints`.
+    pub fn may_be_true(&mut self, constraints: &[Expr], cond: &Expr) -> bool {
+        let mut cs: Vec<Expr> = constraints.to_vec();
+        cs.push(cond.clone());
+        self.is_feasible(&cs)
+    }
+
+    /// Returns true if `cond` must be true under `constraints` (its negation
+    /// is infeasible).
+    pub fn must_be_true(&mut self, constraints: &[Expr], cond: &Expr) -> bool {
+        let mut cs: Vec<Expr> = constraints.to_vec();
+        cs.push(cond.lnot());
+        !self.is_feasible(&cs)
+    }
+
+    /// Produces a feasible concrete value of `e` under `constraints`, or
+    /// `None` if the constraints are unsatisfiable.
+    ///
+    /// This is the concretization primitive of §3.2: the returned value is a
+    /// witness, and the caller records the induced `e == value` constraint.
+    pub fn concretize(&mut self, constraints: &[Expr], e: &Expr) -> Option<u64> {
+        if let Some(v) = e.as_const() {
+            return Some(v);
+        }
+        match self.check(constraints) {
+            SatResult::Unsat => None,
+            SatResult::Sat(model) => Some(e.eval(&model)),
+        }
+    }
+
+    /// Enumerates up to `max` distinct feasible values of `e`, used when DDT
+    /// backtracks a concretization and re-issues a kernel call with different
+    /// feasible concrete values (§3.2).
+    pub fn distinct_values(&mut self, constraints: &[Expr], e: &Expr, max: usize) -> Vec<u64> {
+        let mut found = Vec::new();
+        let mut cs: Vec<Expr> = constraints.to_vec();
+        while found.len() < max {
+            match self.check(&cs) {
+                SatResult::Unsat => break,
+                SatResult::Sat(model) => {
+                    let v = e.eval(&model);
+                    found.push(v);
+                    cs.push(e.ne(&Expr::constant(v, e.width())));
+                }
+            }
+        }
+        found
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(id: u32, w: u32) -> Expr {
+        Expr::sym(SymId(id), w)
+    }
+
+    fn c32(v: u64) -> Expr {
+        Expr::constant(v, 32)
+    }
+
+    #[test]
+    fn empty_is_sat() {
+        assert!(Solver::new().check(&[]).is_sat());
+    }
+
+    #[test]
+    fn trivial_false_is_unsat() {
+        assert_eq!(Solver::new().check(&[Expr::false_()]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn equality_model() {
+        let x = sym(0, 32);
+        let mut s = Solver::new();
+        match s.check(&[x.eq(&c32(42))]) {
+            SatResult::Sat(m) => assert_eq!(m.get_or_zero(SymId(0)), 42),
+            SatResult::Unsat => panic!(),
+        }
+    }
+
+    #[test]
+    fn contradictory_range_is_unsat() {
+        let x = sym(0, 32);
+        let mut s = Solver::new();
+        let r = s.check(&[x.ult(&c32(5)), c32(10).ult(&x)]);
+        assert_eq!(r, SatResult::Unsat);
+    }
+
+    #[test]
+    fn arithmetic_inversion() {
+        // x + 7 == 3 (wrapping) => x == 0xfffffffc.
+        let x = sym(0, 32);
+        let mut s = Solver::new();
+        match s.check(&[x.add(&c32(7)).eq(&c32(3))]) {
+            SatResult::Sat(m) => assert_eq!(m.get_or_zero(SymId(0)) & 0xffff_ffff, 0xffff_fffc),
+            SatResult::Unsat => panic!(),
+        }
+    }
+
+    #[test]
+    fn multiplication_inversion() {
+        let x = sym(0, 16);
+        let mut s = Solver::new();
+        let c = x.mul(&Expr::constant(5, 16)).eq(&Expr::constant(35, 16));
+        match s.check(&[c.clone()]) {
+            SatResult::Sat(m) => {
+                let mut asg = Assignment::new();
+                asg.set(SymId(0), m.get_or_zero(SymId(0)));
+                assert!(c.eval_bool(&asg));
+            }
+            SatResult::Unsat => panic!(),
+        }
+    }
+
+    #[test]
+    fn odd_times_two_is_never_one() {
+        // 2*x == 1 has no solution mod 2^32.
+        let x = sym(0, 32);
+        let mut s = Solver::new();
+        assert_eq!(s.check(&[x.mul(&c32(2)).eq(&c32(1))]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn signed_comparison_model() {
+        let x = sym(0, 8);
+        let mut s = Solver::new();
+        // x <s 0 and x >u 0x7f: any negative 8-bit value.
+        let cs = [
+            x.slt(&Expr::constant(0, 8)), //
+            Expr::constant(0x7f, 8).ult(&x),
+        ];
+        match s.check(&cs) {
+            SatResult::Sat(m) => {
+                let v = m.get_or_zero(SymId(0)) & 0xff;
+                assert!(v >= 0x80, "got {v:#x}");
+            }
+            SatResult::Unsat => panic!(),
+        }
+    }
+
+    #[test]
+    fn udiv_relation() {
+        // x / 3 == 10 => x in [30, 32].
+        let x = sym(0, 32);
+        let mut s = Solver::new();
+        match s.check(&[x.udiv(&c32(3)).eq(&c32(10))]) {
+            SatResult::Sat(m) => {
+                let v = m.get_or_zero(SymId(0)) & 0xffff_ffff;
+                assert!((30..=32).contains(&v), "got {v}");
+            }
+            SatResult::Unsat => panic!(),
+        }
+    }
+
+    #[test]
+    fn urem_relation() {
+        // x % 8 == 5 and x < 16 => x == 5 or 13.
+        let x = sym(0, 32);
+        let mut s = Solver::new();
+        let cs = [x.urem(&c32(8)).eq(&c32(5)), x.ult(&c32(16))];
+        match s.check(&cs) {
+            SatResult::Sat(m) => {
+                let v = m.get_or_zero(SymId(0)) & 0xffff_ffff;
+                assert!(v == 5 || v == 13, "got {v}");
+            }
+            SatResult::Unsat => panic!(),
+        }
+    }
+
+    #[test]
+    fn division_by_zero_semantics() {
+        // b == 0 => a udiv b == all-ones.
+        let a = sym(0, 32);
+        let b = sym(1, 32);
+        let mut s = Solver::new();
+        let cs = [
+            b.eq(&c32(0)), //
+            a.udiv(&b).ne(&c32(0xffff_ffff)),
+        ];
+        assert_eq!(s.check(&cs), SatResult::Unsat);
+    }
+
+    #[test]
+    fn shift_with_symbolic_amount() {
+        // 1 << x == 16 => x == 4.
+        let x = sym(0, 32);
+        let mut s = Solver::new();
+        match s.check(&[c32(1).shl(&x).eq(&c32(16))]) {
+            SatResult::Sat(m) => assert_eq!(m.get_or_zero(SymId(0)) & 0xffff_ffff, 4),
+            SatResult::Unsat => panic!(),
+        }
+    }
+
+    #[test]
+    fn oversize_shift_yields_zero() {
+        let x = sym(0, 32);
+        let mut s = Solver::new();
+        // x >= 32 and (1 << x) != 0 is unsat.
+        let cs = [
+            c32(31).ult(&x), //
+            c32(1).shl(&x).ne(&c32(0)),
+        ];
+        assert_eq!(s.check(&cs), SatResult::Unsat);
+    }
+
+    #[test]
+    fn must_may_semantics() {
+        let x = sym(0, 32);
+        let mut s = Solver::new();
+        let ctx = [x.ult(&c32(10))];
+        assert!(s.must_be_true(&ctx, &x.ult(&c32(11))));
+        assert!(s.may_be_true(&ctx, &x.eq(&c32(5))));
+        assert!(!s.may_be_true(&ctx, &x.eq(&c32(20))));
+        assert!(!s.must_be_true(&ctx, &x.eq(&c32(5))));
+    }
+
+    #[test]
+    fn concretize_respects_constraints() {
+        let x = sym(0, 32);
+        let mut s = Solver::new();
+        let ctx = [c32(100).ult(&x), x.ult(&c32(105))];
+        let v = s.concretize(&ctx, &x).expect("feasible");
+        assert!((101..105).contains(&(v & 0xffff_ffff)), "got {v}");
+    }
+
+    #[test]
+    fn distinct_values_enumerates() {
+        let x = sym(0, 32);
+        let mut s = Solver::new();
+        let ctx = [x.ult(&c32(3))];
+        let mut vs = s.distinct_values(&ctx, &x, 10);
+        vs.sort_unstable();
+        assert_eq!(vs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn extract_concat_constraints() {
+        // Low byte of x is 0xAB, next byte is 0xCD.
+        let x = sym(0, 32);
+        let mut s = Solver::new();
+        let cs = [
+            x.extract(7, 0).eq(&Expr::constant(0xab, 8)),
+            x.extract(15, 8).eq(&Expr::constant(0xcd, 8)),
+        ];
+        match s.check(&cs) {
+            SatResult::Sat(m) => {
+                assert_eq!(m.get_or_zero(SymId(0)) & 0xffff, 0xcdab);
+            }
+            SatResult::Unsat => panic!(),
+        }
+    }
+
+    #[test]
+    fn ite_constraints() {
+        let x = sym(0, 32);
+        let y = sym(1, 32);
+        let mut s = Solver::new();
+        // if x < 5 then y = 1 else y = 2; y == 2 contradicts x < 4.
+        let e = Expr::ite(&x.ult(&c32(5)), &c32(1), &c32(2));
+        let cs = [e.eq(&y), y.eq(&c32(2)), x.ult(&c32(4))];
+        assert_eq!(s.check(&cs), SatResult::Unsat);
+    }
+
+    #[test]
+    fn fast_path_hits_counted() {
+        let x = sym(0, 32);
+        let mut s = Solver::new();
+        assert!(s.check(&[x.eq(&c32(0))]).is_sat());
+        assert_eq!(s.stats().fast_path_hits, 1);
+        assert_eq!(s.stats().full_solves, 0);
+    }
+
+    #[test]
+    fn sext_constraint() {
+        let x = sym(0, 8);
+        let mut s = Solver::new();
+        // sext(x, 32) == 0xffffff80 => x == 0x80.
+        let cs = [x.sext(32).eq(&c32(0xffff_ff80))];
+        match s.check(&cs) {
+            SatResult::Sat(m) => assert_eq!(m.get_or_zero(SymId(0)) & 0xff, 0x80),
+            SatResult::Unsat => panic!(),
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests: the bit-blasted decision procedure must agree with
+//! direct expression evaluation on randomly generated constraint systems.
+
+use ddt_expr::{Assignment, BinOp, CmpOp, Expr, SymId};
+use ddt_solver::{SatResult, Solver};
+use proptest::prelude::*;
+
+/// A tiny generator of random 8-bit expressions over two symbols.
+///
+/// Small widths keep exhaustive cross-checking (2^16 assignments) cheap.
+fn arb_expr(depth: u32) -> BoxedStrategy<Expr> {
+    let leaf = prop_oneof![
+        (0u64..=255).prop_map(|v| Expr::constant(v, 8)),
+        Just(Expr::sym(SymId(0), 8)),
+        Just(Expr::sym(SymId(1), 8)),
+    ];
+    leaf.prop_recursive(depth, 32, 2, |inner| {
+        (
+            prop_oneof![
+                Just(BinOp::Add),
+                Just(BinOp::Sub),
+                Just(BinOp::Mul),
+                Just(BinOp::And),
+                Just(BinOp::Or),
+                Just(BinOp::Xor),
+                Just(BinOp::Shl),
+                Just(BinOp::LShr),
+                Just(BinOp::AShr),
+                Just(BinOp::UDiv),
+                Just(BinOp::URem),
+            ],
+            inner.clone(),
+            inner,
+        )
+            .prop_map(|(op, a, b)| Expr::bin(op, &a, &b))
+    })
+    .boxed()
+}
+
+fn arb_constraint() -> BoxedStrategy<Expr> {
+    (
+        arb_expr(3),
+        arb_expr(3),
+        prop_oneof![
+            Just(CmpOp::Eq),
+            Just(CmpOp::Ne),
+            Just(CmpOp::Ult),
+            Just(CmpOp::Ule),
+            Just(CmpOp::Slt),
+            Just(CmpOp::Sle),
+        ],
+    )
+        .prop_map(|(a, b, op)| Expr::cmp(op, &a, &b))
+        .boxed()
+}
+
+/// Exhaustively decides satisfiability over the 2-symbol 8-bit domain.
+fn brute_force_sat(constraints: &[Expr]) -> Option<(u64, u64)> {
+    for a in 0u64..256 {
+        for b in 0u64..256 {
+            let mut asg = Assignment::new();
+            asg.set(SymId(0), a);
+            asg.set(SymId(1), b);
+            if constraints.iter().all(|c| c.eval_bool(&asg)) {
+                return Some((a, b));
+            }
+        }
+    }
+    None
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The solver's verdict matches brute force, and Sat models actually
+    /// satisfy the constraints.
+    #[test]
+    fn solver_agrees_with_brute_force(cs in prop::collection::vec(arb_constraint(), 1..4)) {
+        let brute = brute_force_sat(&cs);
+        let mut solver = Solver::new();
+        match solver.check(&cs) {
+            SatResult::Sat(model) => {
+                prop_assert!(brute.is_some(), "solver says Sat, brute force says Unsat");
+                for c in &cs {
+                    prop_assert!(c.eval_bool(&model), "model fails constraint {c}");
+                }
+            }
+            SatResult::Unsat => {
+                prop_assert!(brute.is_none(),
+                    "solver says Unsat but {brute:?} satisfies the constraints");
+            }
+        }
+    }
+
+    /// Expression simplification is semantics-preserving: the smart
+    /// constructors must agree with a no-simplification evaluation.
+    #[test]
+    fn simplifier_preserves_semantics(e in arb_expr(4), a in 0u64..256, b in 0u64..256) {
+        let mut asg = Assignment::new();
+        asg.set(SymId(0), a);
+        asg.set(SymId(1), b);
+        // Substituting the assignment must fold to exactly eval's result.
+        let mut map = std::collections::HashMap::new();
+        map.insert(SymId(0), Expr::constant(a, 8));
+        map.insert(SymId(1), Expr::constant(b, 8));
+        let folded = ddt_expr::subst(&e, &map);
+        prop_assert_eq!(folded.as_const(), Some(e.eval(&asg)));
+    }
+
+    /// `concretize` returns a witness consistent with the constraints.
+    #[test]
+    fn concretize_returns_witness(cs in prop::collection::vec(arb_constraint(), 1..3)) {
+        let mut solver = Solver::new();
+        let x = Expr::sym(SymId(0), 8);
+        if let Some(v) = solver.concretize(&cs, &x) {
+            // Check that x == v is consistent with cs.
+            let mut cs2 = cs.clone();
+            cs2.push(x.eq(&Expr::constant(v, 8)));
+            prop_assert!(solver.is_feasible(&cs2));
+        } else {
+            prop_assert!(brute_force_sat(&cs).is_none());
+        }
+    }
+
+    /// must_be_true and may_be_true are consistent duals.
+    #[test]
+    fn must_implies_may(c in arb_constraint(), probe in arb_constraint()) {
+        let mut solver = Solver::new();
+        let ctx = [c];
+        if solver.is_feasible(&ctx) && solver.must_be_true(&ctx, &probe) {
+            prop_assert!(solver.may_be_true(&ctx, &probe));
+        }
+    }
+}

@@ -1,0 +1,360 @@
+//! Symbolic guest memory with chained copy-on-write forking.
+//!
+//! Implements §4.1.3 of the paper verbatim: "instead of copying the entire
+//! state upon an execution fork, DDT creates an empty memory object
+//! containing a pointer to the parent object. All subsequent writes place
+//! their values in the empty object, while reads that cannot be resolved
+//! locally are forwarded up to the parent. Since quick forking can lead to
+//! deep state hierarchies, we cache each resolved read in the leaf state."
+//!
+//! Every byte is an 8-bit [`Expr`]; fully concrete bytes are constant
+//! expressions, so the same store holds mixed symbolic/concrete data.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use ddt_expr::Expr;
+
+/// One frozen copy-on-write layer.
+#[derive(Debug)]
+struct MemLayer {
+    parent: Option<Arc<MemLayer>>,
+    writes: HashMap<u32, Expr>,
+}
+
+/// The concrete root store: initial image bytes.
+#[derive(Debug, Default)]
+struct RootMem {
+    bytes: HashMap<u32, u8>,
+}
+
+/// Symbolic memory: mapped-region tracking + COW expression store.
+#[derive(Clone, Debug)]
+pub struct SymMemory {
+    /// Mapped regions: start → end (exclusive), per-state (cloned on fork).
+    regions: BTreeMap<u32, u32>,
+    /// Frozen parent chain.
+    node: Option<Arc<MemLayer>>,
+    /// Writes since the last fork.
+    local: HashMap<u32, Expr>,
+    /// Leaf read cache for chain walks (§4.1.3).
+    cache: HashMap<u32, Expr>,
+    /// Immutable initial contents.
+    root: Arc<RootMem>,
+    /// Number of layers below `local` (diagnostics / §5.2 stats).
+    depth: usize,
+}
+
+impl Default for SymMemory {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SymMemory {
+    /// Creates empty, fully unmapped memory.
+    pub fn new() -> SymMemory {
+        SymMemory {
+            regions: BTreeMap::new(),
+            node: None,
+            local: HashMap::new(),
+            cache: HashMap::new(),
+            root: Arc::new(RootMem::default()),
+            depth: 0,
+        }
+    }
+
+    /// Seeds initial concrete contents (driver image). Only valid before
+    /// execution begins; later writes go through [`Self::write_byte`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after a fork (the root is shared by then).
+    pub fn seed_bytes(&mut self, addr: u32, bytes: &[u8]) {
+        let root = Arc::get_mut(&mut self.root).expect("seed_bytes after fork");
+        for (i, &b) in bytes.iter().enumerate() {
+            root.bytes.insert(addr.wrapping_add(i as u32), b);
+        }
+    }
+
+    /// Maps `[start, start+len)` as accessible zero-filled memory.
+    pub fn map(&mut self, start: u32, len: u32) {
+        if len == 0 {
+            return;
+        }
+        let end = start.checked_add(len).expect("region wraps");
+        let (mut s, mut e) = (start, end);
+        let overlapping: Vec<(u32, u32)> = self
+            .regions
+            .range(..=e)
+            .filter(|&(&rs, &re)| re >= s && rs <= e)
+            .map(|(&rs, &re)| (rs, re))
+            .collect();
+        for (rs, re) in overlapping {
+            s = s.min(rs);
+            e = e.max(re);
+            self.regions.remove(&rs);
+        }
+        self.regions.insert(s, e);
+    }
+
+    /// Unmaps `[start, start+len)`.
+    ///
+    /// Contents are *not* erased from the COW chain: a dangling read after
+    /// re-mapping sees stale bytes, exactly like real freed memory — DDT's
+    /// checkers, not the memory model, are responsible for flagging
+    /// use-after-free.
+    pub fn unmap(&mut self, start: u32, len: u32) {
+        if len == 0 {
+            return;
+        }
+        let end = start + len;
+        let affected: Vec<(u32, u32)> = self
+            .regions
+            .range(..end)
+            .filter(|&(_, &re)| re > start)
+            .map(|(&rs, &re)| (rs, re))
+            .collect();
+        for (rs, re) in affected {
+            self.regions.remove(&rs);
+            if rs < start {
+                self.regions.insert(rs, start);
+            }
+            if re > end {
+                self.regions.insert(end, re);
+            }
+        }
+    }
+
+    /// True if `addr` is mapped.
+    pub fn is_mapped(&self, addr: u32) -> bool {
+        self.regions.range(..=addr).next_back().is_some_and(|(_, &end)| addr < end)
+    }
+
+    /// True if all of `[addr, addr+len)` is mapped.
+    pub fn is_range_mapped(&self, addr: u32, len: u32) -> bool {
+        if len == 0 {
+            return true;
+        }
+        let Some(end) = addr.checked_add(len) else { return false };
+        let mut cur = addr;
+        while cur < end {
+            match self.regions.range(..=cur).next_back() {
+                Some((_, &rend)) if cur < rend => cur = rend,
+                _ => return false,
+            }
+        }
+        true
+    }
+
+    /// Iterates over mapped regions.
+    pub fn regions(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.regions.iter().map(|(&s, &e)| (s, e))
+    }
+
+    /// Current COW chain depth (diagnostics).
+    pub fn chain_depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Forks the memory: both this state and the returned copy see the
+    /// current contents; subsequent writes diverge.
+    pub fn fork(&mut self) -> SymMemory {
+        if !self.local.is_empty() {
+            let layer =
+                MemLayer { parent: self.node.take(), writes: std::mem::take(&mut self.local) };
+            self.node = Some(Arc::new(layer));
+            self.depth += 1;
+        }
+        SymMemory {
+            regions: self.regions.clone(),
+            node: self.node.clone(),
+            local: HashMap::new(),
+            cache: HashMap::new(),
+            root: self.root.clone(),
+            depth: self.depth,
+        }
+    }
+
+    /// Reads one byte as an 8-bit expression.
+    ///
+    /// The address must be mapped (callers check and fault otherwise);
+    /// unmapped reads return zero here to keep the model total.
+    pub fn read_byte(&mut self, addr: u32) -> Expr {
+        if let Some(e) = self.local.get(&addr) {
+            return e.clone();
+        }
+        if let Some(e) = self.cache.get(&addr) {
+            return e.clone();
+        }
+        // Walk the frozen chain.
+        let mut cur = self.node.as_ref();
+        while let Some(layer) = cur {
+            if let Some(e) = layer.writes.get(&addr) {
+                self.cache.insert(addr, e.clone());
+                return e.clone();
+            }
+            cur = layer.parent.as_ref();
+        }
+        let v = self.root.bytes.get(&addr).copied().unwrap_or(0);
+        let e = Expr::constant(v as u64, 8);
+        self.cache.insert(addr, e.clone());
+        e
+    }
+
+    /// Writes one byte.
+    pub fn write_byte(&mut self, addr: u32, value: Expr) {
+        debug_assert_eq!(value.width(), 8, "byte writes take 8-bit values");
+        self.cache.remove(&addr);
+        self.local.insert(addr, value);
+    }
+
+    /// Reads `size` bytes little-endian as one expression of `8*size` bits.
+    pub fn read(&mut self, addr: u32, size: u8) -> Expr {
+        let mut e = self.read_byte(addr);
+        for i in 1..size {
+            let hi = self.read_byte(addr.wrapping_add(i as u32));
+            e = hi.concat(&e);
+        }
+        e
+    }
+
+    /// Writes an expression of `8*size` bits little-endian.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value width does not match `size`.
+    pub fn write(&mut self, addr: u32, size: u8, value: &Expr) {
+        assert_eq!(value.width(), 8 * size as u32, "value width mismatch");
+        for i in 0..size {
+            let lo = 8 * i as u32;
+            self.write_byte(addr.wrapping_add(i as u32), value.extract(lo + 7, lo));
+        }
+    }
+
+    /// Convenience: reads `len` bytes, requiring them all to be concrete
+    /// (used for instruction fetch — driver text is never symbolic).
+    pub fn read_concrete_bytes(&mut self, addr: u32, len: u32) -> Option<Vec<u8>> {
+        (0..len)
+            .map(|i| self.read_byte(addr.wrapping_add(i)).as_const().map(|v| v as u8))
+            .collect()
+    }
+
+    /// Convenience: writes concrete bytes.
+    pub fn write_concrete_bytes(&mut self, addr: u32, bytes: &[u8]) {
+        for (i, &b) in bytes.iter().enumerate() {
+            self.write_byte(addr.wrapping_add(i as u32), Expr::constant(b as u64, 8));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddt_expr::SymId;
+
+    #[test]
+    fn seeded_bytes_read_back() {
+        let mut m = SymMemory::new();
+        m.map(0x1000, 0x100);
+        m.seed_bytes(0x1000, &[1, 2, 3, 4]);
+        assert_eq!(m.read(0x1000, 4).as_const(), Some(0x04030201));
+    }
+
+    #[test]
+    fn unseeded_mapped_memory_is_zero() {
+        let mut m = SymMemory::new();
+        m.map(0x1000, 0x100);
+        assert_eq!(m.read(0x1050, 4).as_const(), Some(0));
+    }
+
+    #[test]
+    fn write_read_roundtrip_mixed_width() {
+        let mut m = SymMemory::new();
+        m.map(0, 0x100);
+        m.write(0x10, 4, &Expr::constant(0xdead_beef, 32));
+        assert_eq!(m.read(0x10, 4).as_const(), Some(0xdead_beef));
+        assert_eq!(m.read(0x10, 2).as_const(), Some(0xbeef));
+        assert_eq!(m.read_byte(0x13).as_const(), Some(0xde));
+        m.write(0x11, 1, &Expr::constant(0x00, 8));
+        assert_eq!(m.read(0x10, 4).as_const(), Some(0xdead_00ef));
+    }
+
+    #[test]
+    fn symbolic_bytes_concat_back() {
+        let mut m = SymMemory::new();
+        m.map(0, 0x100);
+        let x = Expr::sym(SymId(1), 32);
+        m.write(0x20, 4, &x);
+        // Reading the word back should simplify to exactly the symbol.
+        assert_eq!(m.read(0x20, 4), x);
+        // A sub-read extracts.
+        assert_eq!(m.read(0x20, 2), x.extract(15, 0));
+    }
+
+    #[test]
+    fn fork_isolation() {
+        let mut a = SymMemory::new();
+        a.map(0, 0x100);
+        a.write(0, 4, &Expr::constant(1, 32));
+        let mut b = a.fork();
+        b.write(0, 4, &Expr::constant(2, 32));
+        a.write(4, 4, &Expr::constant(3, 32));
+        assert_eq!(a.read(0, 4).as_const(), Some(1));
+        assert_eq!(b.read(0, 4).as_const(), Some(2));
+        assert_eq!(b.read(4, 4).as_const(), Some(0), "b never saw a's later write");
+    }
+
+    #[test]
+    fn deep_chain_reads_resolve_and_cache() {
+        let mut m = SymMemory::new();
+        m.map(0, 0x1000);
+        m.write(0x500, 4, &Expr::constant(42, 32));
+        let mut cur = m;
+        for _ in 0..50 {
+            let next = cur.fork();
+            cur = next;
+        }
+        assert!(cur.chain_depth() <= 50);
+        assert_eq!(cur.read(0x500, 4).as_const(), Some(42));
+        // Second read must hit the leaf cache (observable only as still
+        // being correct, but exercise the path).
+        assert_eq!(cur.read(0x500, 4).as_const(), Some(42));
+    }
+
+    #[test]
+    fn fork_without_local_writes_reuses_chain() {
+        let mut m = SymMemory::new();
+        m.map(0, 0x100);
+        let d0 = m.chain_depth();
+        let _a = m.fork();
+        let _b = m.fork(); // No writes between forks: depth must not grow.
+        assert_eq!(m.chain_depth(), d0);
+    }
+
+    #[test]
+    fn mapping_checks() {
+        let mut m = SymMemory::new();
+        m.map(0x1000, 0x1000);
+        assert!(m.is_mapped(0x1fff));
+        assert!(!m.is_mapped(0x2000));
+        assert!(m.is_range_mapped(0x1000, 0x1000));
+        assert!(!m.is_range_mapped(0x1ff0, 0x20));
+        m.unmap(0x1800, 0x100);
+        assert!(m.is_mapped(0x17ff));
+        assert!(!m.is_mapped(0x1800));
+        assert!(m.is_mapped(0x1900));
+    }
+
+    #[test]
+    fn stale_contents_survive_unmap_remap() {
+        // Deliberate: the memory model keeps bytes so checkers can detect
+        // use-after-free patterns; remapping exposes stale data.
+        let mut m = SymMemory::new();
+        m.map(0, 0x100);
+        m.write(0x40, 4, &Expr::constant(7, 32));
+        m.unmap(0, 0x100);
+        m.map(0, 0x100);
+        assert_eq!(m.read(0x40, 4).as_const(), Some(7));
+    }
+}

@@ -1,0 +1,248 @@
+//! Execution traces (paper §3.5).
+//!
+//! "These traces contain the list of program counters of the executed
+//! instructions up to the bug occurrence, all memory accesses done by each
+//! instruction (address and value) and the type of the access. Traces
+//! contain information about creation and propagation of all symbolic values
+//! and constraints on branches taken. Each branch instruction has a flag
+//! indicating whether it forked execution or not."
+//!
+//! Traces are chained like memory layers so that forking a state is O(1);
+//! [`Trace::events`] flattens the chain in execution order.
+
+use std::sync::Arc;
+
+use ddt_expr::{Expr, SymId};
+use serde::{Deserialize, Serialize};
+
+/// One recorded event.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// An instruction was executed at `pc`.
+    Exec {
+        /// Program counter.
+        pc: u32,
+    },
+    /// A data memory read.
+    MemRead {
+        /// Instruction address performing the read.
+        pc: u32,
+        /// Accessed guest address.
+        addr: u32,
+        /// Access size in bytes.
+        size: u8,
+        /// The value, if concrete.
+        value: Option<u64>,
+    },
+    /// A data memory write.
+    MemWrite {
+        /// Instruction address performing the write.
+        pc: u32,
+        /// Accessed guest address.
+        addr: u32,
+        /// Access size in bytes.
+        size: u8,
+        /// The value, if concrete.
+        value: Option<u64>,
+    },
+    /// A conditional branch was resolved.
+    Branch {
+        /// Branch instruction address.
+        pc: u32,
+        /// Whether the branch was taken on this path.
+        taken: bool,
+        /// Whether execution forked here (both sides feasible).
+        forked: bool,
+        /// The path constraint added (already negated for the not-taken
+        /// side).
+        constraint: Expr,
+    },
+    /// A fresh symbolic value was created.
+    SymCreate {
+        /// The symbol.
+        id: SymId,
+        /// Human-readable provenance label.
+        label: String,
+    },
+    /// A symbolic expression was concretized (at a kernel call or a
+    /// symbolic-address access).
+    Concretize {
+        /// Program counter at the concretization point.
+        pc: u32,
+        /// The expression that was concretized.
+        expr: Expr,
+        /// The chosen concrete value.
+        value: u64,
+    },
+    /// The driver called a kernel export.
+    KernelCall {
+        /// Export id.
+        export_id: u16,
+        /// Export name.
+        name: String,
+    },
+    /// A kernel export returned to the driver.
+    KernelReturn {
+        /// Export id.
+        export_id: u16,
+        /// Concrete return value placed in `r0`.
+        ret: u32,
+    },
+    /// The kernel invoked a driver entry point.
+    EntryInvoke {
+        /// Entry point name.
+        name: String,
+        /// Entry address.
+        addr: u32,
+    },
+    /// An interrupt was injected (symbolic interrupt, §3.3).
+    Interrupt {
+        /// Interrupt line.
+        line: u8,
+        /// Where in the execution it was injected (pc of the boundary).
+        at_pc: u32,
+    },
+    /// A hardware register read was served by symbolic hardware.
+    HardwareRead {
+        /// MMIO address or port.
+        addr: u32,
+        /// The symbol produced.
+        id: SymId,
+    },
+    /// A hardware write was discarded by symbolic hardware (logged for
+    /// §3.6-style analysis, e.g. "no write to the interrupt-enable
+    /// register occurred before the crash").
+    HardwareWrite {
+        /// MMIO address or port.
+        addr: u32,
+        /// The value, if concrete.
+        value: Option<u64>,
+    },
+}
+
+#[derive(Debug, Default)]
+struct TraceSeg {
+    parent: Option<Arc<TraceSeg>>,
+    events: Vec<TraceEvent>,
+}
+
+/// An append-only, fork-cheap event log.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    frozen: Option<Arc<TraceSeg>>,
+    local: Vec<TraceEvent>,
+    frozen_len: usize,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Trace {
+        Trace::default()
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, ev: TraceEvent) {
+        self.local.push(ev);
+    }
+
+    /// Number of events recorded.
+    pub fn len(&self) -> usize {
+        self.frozen_len + self.local.len()
+    }
+
+    /// True if no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Forks the trace: both sides keep the history, appends diverge.
+    pub fn fork(&mut self) -> Trace {
+        if !self.local.is_empty() {
+            let seg = TraceSeg {
+                parent: self.frozen.take(),
+                events: std::mem::take(&mut self.local),
+            };
+            self.frozen_len += seg.events.len();
+            self.frozen = Some(Arc::new(seg));
+        }
+        Trace { frozen: self.frozen.clone(), local: Vec::new(), frozen_len: self.frozen_len }
+    }
+
+    /// Flattens the chain into execution order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let mut segs = Vec::new();
+        let mut cur = self.frozen.as_ref();
+        while let Some(seg) = cur {
+            segs.push(seg);
+            cur = seg.parent.as_ref();
+        }
+        let mut out = Vec::with_capacity(self.len());
+        for seg in segs.into_iter().rev() {
+            out.extend(seg.events.iter().cloned());
+        }
+        out.extend(self.local.iter().cloned());
+        out
+    }
+
+    /// Iterates executed program counters in order.
+    pub fn pcs(&self) -> Vec<u32> {
+        self.events()
+            .into_iter()
+            .filter_map(|e| match e {
+                TraceEvent::Exec { pc } => Some(pc),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_flatten() {
+        let mut t = Trace::new();
+        t.push(TraceEvent::Exec { pc: 1 });
+        t.push(TraceEvent::Exec { pc: 2 });
+        assert_eq!(t.pcs(), vec![1, 2]);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn fork_shares_history_but_not_future() {
+        let mut a = Trace::new();
+        a.push(TraceEvent::Exec { pc: 1 });
+        let mut b = a.fork();
+        a.push(TraceEvent::Exec { pc: 2 });
+        b.push(TraceEvent::Exec { pc: 3 });
+        assert_eq!(a.pcs(), vec![1, 2]);
+        assert_eq!(b.pcs(), vec![1, 3]);
+    }
+
+    #[test]
+    fn repeated_forks_preserve_order() {
+        let mut t = Trace::new();
+        for pc in 0..5 {
+            t.push(TraceEvent::Exec { pc });
+            let _child = t.fork();
+        }
+        t.push(TraceEvent::Exec { pc: 99 });
+        assert_eq!(t.pcs(), vec![0, 1, 2, 3, 4, 99]);
+        assert_eq!(t.len(), 6);
+    }
+
+    #[test]
+    fn events_roundtrip_serde() {
+        let mut t = Trace::new();
+        t.push(TraceEvent::Branch {
+            pc: 0x400000,
+            taken: true,
+            forked: true,
+            constraint: ddt_expr::Expr::true_(),
+        });
+        let json = serde_json::to_string(&t.events()).unwrap();
+        let back: Vec<TraceEvent> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t.events());
+    }
+}

@@ -1,0 +1,26 @@
+//! The DDT virtual machine (concrete execution).
+//!
+//! This crate is the QEMU substrate of DESIGN.md §2: a machine that executes
+//! DDT-32 guest code one instruction at a time over guest physical memory,
+//! a device bus (MMIO + port I/O), and an interrupt controller. DDT's design
+//! only requires three hook points from its VM, all of which this crate
+//! exposes:
+//!
+//! 1. instruction dispatch (`[`Vm::step`]` returns control at kernel traps,
+//!    so the kernel runs natively — selective symbolic execution's
+//!    "concrete side"),
+//! 2. device register access (the [`Device`] trait; symbolic hardware in
+//!    `ddt-core` implements the same interface over symbolic values),
+//! 3. interrupt line assertion ([`IrqController`]).
+//!
+//! The concrete VM is used by the trace **replay** engine (§3.5 — traces
+//! re-execute here with recorded inputs) and by the Driver-Verifier-style
+//! concrete baseline in `ddt-sdv`.
+
+pub mod bus;
+pub mod cpu;
+pub mod mem;
+
+pub use bus::{Bus, Device, IrqController, NullDevice, ScriptedDevice};
+pub use cpu::{Cpu, Fault, StepEvent, Vm};
+pub use mem::{AccessKind, MemError, Memory};

@@ -1,0 +1,154 @@
+//! Bring your own driver: write DDT-32 assembly, assemble it to a binary,
+//! and test that binary with DDT — the full workflow a driver vendor (or a
+//! suspicious consumer with a disassembler) would use.
+//!
+//! The example driver below has a planted bug: it trusts a device register
+//! as an index into its rx ring without a bounds check — the hardware-bug
+//! robustness case of §3.3 ("consider a device that returns a value used by
+//! the driver as an array index").
+//!
+//! ```text
+//! cargo run --release --example custom_driver
+//! ```
+
+use ddt::drivers::workload::WorkloadOp;
+use ddt::drivers::DriverClass;
+use ddt::isa::asm::assemble;
+
+const MY_DRIVER: &str = r#"
+.name mynic
+.equ NDIS_SUCCESS, 0
+.equ NDIS_FAILURE, 0xC0000001
+
+.text
+DriverEntry:
+    push lr
+    lea  r0, miniport_table
+    call @NdisMRegisterMiniport
+    mov  r0, NDIS_SUCCESS
+    pop  lr
+    ret
+
+Initialize:
+    push lr
+    lea  r1, adapter
+    stw  [r1], r0
+    lea  r0, intr_obj
+    lea  r1, adapter
+    ldw  r1, [r1]
+    mov  r2, 5
+    mov  r3, 0
+    call @NdisMRegisterInterrupt
+    mov  r0, NDIS_SUCCESS
+    pop  lr
+    ret
+
+Send:
+    push lr
+    ldw  r2, [r1]
+    ldw  r3, [r1+4]
+    bgeu r3, 1515, send_bad
+    out  0x14, r3
+    lea  r0, adapter
+    ldw  r0, [r0]
+    mov  r2, 0
+    call @NdisMSendComplete
+    mov  r0, NDIS_SUCCESS
+    pop  lr
+    ret
+send_bad:
+    mov  r0, NDIS_FAILURE
+    pop  lr
+    ret
+
+QueryInformation:
+    mov  r0, 0xC00000BB
+    ret
+SetInformation:
+    mov  r0, 0xC00000BB
+    ret
+
+Isr:
+    push lr
+    in   r1, 0x10               ; rx slot index straight from the device
+    and  r2, r1, 0x80
+    beq  r2, 0, isr_no
+    and  r1, r1, 0x7f           ; "can't be more than 127, right?"
+    shl  r1, r1, 2
+    lea  r2, rx_ring            ; BUG: the ring has 16 entries, not 128
+    add  r2, r2, r1
+    mov  r3, 1
+    stw  [r2], r3
+    mov  r0, 1
+    pop  lr
+    ret
+isr_no:
+    mov  r0, 0
+    pop  lr
+    ret
+
+HandleInterrupt:
+    mov  r0, 0
+    ret
+Reset:
+    mov  r0, NDIS_SUCCESS
+    ret
+Halt:
+    push lr
+    lea  r0, intr_obj
+    call @NdisMDeregisterInterrupt
+    mov  r0, NDIS_SUCCESS
+    pop  lr
+    ret
+CheckForHang:
+    mov  r0, 0
+    ret
+
+.data
+miniport_table:
+    .word Initialize, Send, QueryInformation, SetInformation
+    .word Isr, HandleInterrupt, Reset, Halt, CheckForHang, 0
+
+.bss
+adapter:  .space 4
+intr_obj: .space 16
+rx_ring:  .space 64
+"#;
+
+fn main() {
+    // 1. Assemble to a binary; from here on only the binary is used.
+    let exports = ddt::kernel::export_map();
+    let assembled = assemble(MY_DRIVER, &exports).expect("driver assembles");
+    let binary = assembled.image.to_bytes();
+    println!("assembled 'mynic' to {} bytes of DXE binary", binary.len());
+
+    // 2. Reload from the binary (what a vendor would actually ship).
+    let image = ddt::isa::image::DxeImage::from_bytes(&binary).expect("valid image");
+
+    // 3. Test it.
+    let dut = ddt::DriverUnderTest {
+        image,
+        class: DriverClass::Net,
+        registry: vec![],
+        descriptor: Default::default(),
+        workload: vec![
+            WorkloadOp::Initialize,
+            WorkloadOp::Send { len: 64, fill: 0x42 },
+            WorkloadOp::Halt,
+        ],
+    };
+    let report = ddt::Ddt::default().test(&dut);
+    println!(
+        "explored {} paths, coverage {:.0}%",
+        report.stats.paths_started,
+        100.0 * report.relative_coverage()
+    );
+    for bug in &report.bugs {
+        println!("[{}] {}", bug.class, bug.description);
+    }
+    assert!(
+        !report.bugs.is_empty(),
+        "DDT should flag the unchecked device-provided ring index"
+    );
+    println!("\nDDT caught the unchecked hardware index without ever seeing the source.");
+}

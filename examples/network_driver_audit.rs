@@ -1,0 +1,50 @@
+//! Audit all bundled NIC drivers the way the paper's consumer scenario
+//! imagines (§1: the "Test Now" button): run DDT on each network driver
+//! before "installing" it, then decide.
+//!
+//! ```text
+//! cargo run --release --example network_driver_audit
+//! ```
+
+use ddt::drivers::DriverClass;
+use ddt::BugClass;
+
+fn main() {
+    println!("Network driver pre-installation audit\n");
+    let mut verdicts = Vec::new();
+    for spec in ddt::drivers::drivers().into_iter().filter(|d| d.class == DriverClass::Net) {
+        println!("--- {} (vendor {:04x}:{:04x}) ---", spec.name, spec.descriptor.vendor_id, spec.descriptor.device_id);
+        let dut = ddt::DriverUnderTest::from_spec(&spec);
+        let report = ddt::Ddt::default().test(&dut);
+        let crashers = report
+            .bugs
+            .iter()
+            .filter(|b| {
+                matches!(
+                    b.class,
+                    BugClass::SegFault
+                        | BugClass::RaceCondition
+                        | BugClass::KernelCrash
+                        | BugClass::MemoryCorruption
+                )
+            })
+            .count();
+        let leaks = report.bugs.len() - crashers;
+        for b in &report.bugs {
+            println!("  [{}] {}", b.class, b.description);
+        }
+        let verdict = if crashers > 0 {
+            "DO NOT INSTALL (can crash the kernel)"
+        } else if leaks > 0 {
+            "install with caution (leaks resources)"
+        } else {
+            "no defects found"
+        };
+        println!("  => {verdict}\n");
+        verdicts.push((spec.name, report.bugs.len(), verdict));
+    }
+    println!("Summary:");
+    for (name, bugs, verdict) in verdicts {
+        println!("  {name:<10} {bugs} bug(s) — {verdict}");
+    }
+}

@@ -1,0 +1,53 @@
+//! Audit the bundled sound drivers (§5.2: "for the audio drivers, we
+//! played a small sound file") and demonstrate the §3.6 trace analysis:
+//! for each race, show which hardware reads and interrupt injections the
+//! failing path depended on.
+//!
+//! ```text
+//! cargo run --release --example sound_driver_audit
+//! ```
+
+use ddt::drivers::DriverClass;
+use ddt::symvm::TraceEvent;
+
+fn main() {
+    for spec in ddt::drivers::drivers().into_iter().filter(|d| d.class == DriverClass::Audio) {
+        println!("=== {} ===", spec.name);
+        let dut = ddt::DriverUnderTest::from_spec(&spec);
+        let report = ddt::Ddt::default().test(&dut);
+        println!(
+            "coverage {:.0}%, {} bug(s)\n",
+            100.0 * report.relative_coverage(),
+            report.bugs.len()
+        );
+        for bug in &report.bugs {
+            println!("[{}] {}", bug.class, bug.description);
+            // §3.6-style analysis from the trace: when was the interrupt
+            // injected, and what did the hardware have to return?
+            for ev in &bug.trace {
+                match ev {
+                    TraceEvent::Interrupt { line, at_pc } => {
+                        println!("    interrupt on line {line} injected at pc {at_pc:#x}");
+                    }
+                    TraceEvent::HardwareRead { addr, id } => {
+                        println!(
+                            "    hardware read @ {addr:#x} must return {:#x}",
+                            bug.inputs.get_or_zero(*id)
+                        );
+                    }
+                    _ => {}
+                }
+            }
+            // The hardware-write log shows what the driver configured
+            // before the failure (e.g. whether interrupts were enabled —
+            // the paper's RTL8029 analysis).
+            let writes = bug
+                .trace
+                .iter()
+                .filter(|e| matches!(e, TraceEvent::HardwareWrite { .. }))
+                .count();
+            println!("    {} hardware writes before the failure (all discarded)", writes);
+            println!();
+        }
+    }
+}

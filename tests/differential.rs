@@ -1,0 +1,214 @@
+//! Differential property test: on fully concrete programs, the symbolic
+//! interpreter and the concrete VM must compute identical machine states.
+//! This pins the two execution engines to the same ISA semantics — the
+//! property that makes concrete replay of symbolic traces sound.
+
+use ddt::expr::Expr;
+use ddt::isa::image::DxeImage;
+use ddt::isa::{encode, Insn, Reg, INSN_SIZE, RETURN_TRAP};
+use ddt::solver::Solver;
+use ddt::symvm::interp::NullEnv;
+use ddt::symvm::{step, SymCounter, SymState, SymStep};
+use ddt::vm::{StepEvent, Vm};
+use proptest::prelude::*;
+
+const BUF_BASE: u32 = 0x0050_0000;
+const BUF_LEN: u32 = 256;
+const LOAD_BASE: u32 = 0x0040_0000;
+
+/// One generated operation (kept abstract so shrinking stays meaningful).
+#[derive(Clone, Debug)]
+enum Op {
+    Movi(u8, u32),
+    Mov(u8, u8),
+    Add(u8, u8, u8),
+    Addi(u8, u8, u32),
+    Sub(u8, u8, u8),
+    Mul(u8, u8, u8),
+    And(u8, u8, u8),
+    Or(u8, u8, u8),
+    Xor(u8, u8, u8),
+    Not(u8, u8),
+    Shli(u8, u8, u32),
+    Shri(u8, u8, u32),
+    Sari(u8, u8, u32),
+    Stw(u8, u32),
+    Ldw(u8, u32),
+    Stb(u8, u32),
+    Ldb(u8, u32),
+    /// Conditional forward skip over `skip` following operations.
+    SkipIfEq(u8, u8, u8),
+    SkipIfLtu(u8, u8, u8),
+}
+
+fn arb_reg() -> impl Strategy<Value = u8> {
+    0u8..8
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (arb_reg(), any::<u32>()).prop_map(|(d, i)| Op::Movi(d, i)),
+        (arb_reg(), arb_reg()).prop_map(|(d, s)| Op::Mov(d, s)),
+        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(d, s, t)| Op::Add(d, s, t)),
+        (arb_reg(), arb_reg(), any::<u32>()).prop_map(|(d, s, i)| Op::Addi(d, s, i)),
+        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(d, s, t)| Op::Sub(d, s, t)),
+        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(d, s, t)| Op::Mul(d, s, t)),
+        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(d, s, t)| Op::And(d, s, t)),
+        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(d, s, t)| Op::Or(d, s, t)),
+        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(d, s, t)| Op::Xor(d, s, t)),
+        (arb_reg(), arb_reg()).prop_map(|(d, s)| Op::Not(d, s)),
+        (arb_reg(), arb_reg(), 0u32..40).prop_map(|(d, s, i)| Op::Shli(d, s, i)),
+        (arb_reg(), arb_reg(), 0u32..40).prop_map(|(d, s, i)| Op::Shri(d, s, i)),
+        (arb_reg(), arb_reg(), 0u32..40).prop_map(|(d, s, i)| Op::Sari(d, s, i)),
+        (arb_reg(), 0u32..(BUF_LEN / 4)).prop_map(|(s, o)| Op::Stw(s, o * 4)),
+        (arb_reg(), 0u32..(BUF_LEN / 4)).prop_map(|(d, o)| Op::Ldw(d, o * 4)),
+        (arb_reg(), 0u32..BUF_LEN).prop_map(|(s, o)| Op::Stb(s, o)),
+        (arb_reg(), 0u32..BUF_LEN).prop_map(|(d, o)| Op::Ldb(d, o)),
+        (arb_reg(), arb_reg(), 1u8..4).prop_map(|(a, b, k)| Op::SkipIfEq(a, b, k)),
+        (arb_reg(), arb_reg(), 1u8..4).prop_map(|(a, b, k)| Op::SkipIfLtu(a, b, k)),
+    ]
+}
+
+/// Lowers the ops to machine code; r8 holds the buffer base throughout.
+fn lower(ops: &[Op]) -> Vec<Insn> {
+    let base = Reg(8);
+    let mut out: Vec<Insn> = vec![Insn::Movi { rd: base, imm: BUF_BASE }];
+    // First pass to know each op's instruction index (every op is 1 insn).
+    for (i, op) in ops.iter().enumerate() {
+        let r = |x: u8| Reg(x);
+        let insn = match *op {
+            Op::Movi(d, imm) => Insn::Movi { rd: r(d), imm },
+            Op::Mov(d, s) => Insn::Mov { rd: r(d), rs: r(s) },
+            Op::Add(d, s, t) => Insn::Add { rd: r(d), rs: r(s), rt: r(t) },
+            Op::Addi(d, s, imm) => Insn::Addi { rd: r(d), rs: r(s), imm },
+            Op::Sub(d, s, t) => Insn::Sub { rd: r(d), rs: r(s), rt: r(t) },
+            Op::Mul(d, s, t) => Insn::Mul { rd: r(d), rs: r(s), rt: r(t) },
+            Op::And(d, s, t) => Insn::And { rd: r(d), rs: r(s), rt: r(t) },
+            Op::Or(d, s, t) => Insn::Or { rd: r(d), rs: r(s), rt: r(t) },
+            Op::Xor(d, s, t) => Insn::Xor { rd: r(d), rs: r(s), rt: r(t) },
+            Op::Not(d, s) => Insn::Not { rd: r(d), rs: r(s) },
+            Op::Shli(d, s, imm) => Insn::Shli { rd: r(d), rs: r(s), imm },
+            Op::Shri(d, s, imm) => Insn::Shri { rd: r(d), rs: r(s), imm },
+            Op::Sari(d, s, imm) => Insn::Sari { rd: r(d), rs: r(s), imm },
+            Op::Stw(s, off) => Insn::Stw { rs: base, rt: r(s), imm: off },
+            Op::Ldw(d, off) => Insn::Ldw { rd: r(d), rs: base, imm: off },
+            Op::Stb(s, off) => Insn::Stb { rs: base, rt: r(s), imm: off },
+            Op::Ldb(d, off) => Insn::Ldb { rd: r(d), rs: base, imm: off },
+            Op::SkipIfEq(a, b, k) => {
+                let target_index = (i + 1 + k as usize).min(ops.len()) as u32 + 1;
+                Insn::Beq { rs: r(a), rt: r(b), imm: LOAD_BASE + target_index * INSN_SIZE }
+            }
+            Op::SkipIfLtu(a, b, k) => {
+                let target_index = (i + 1 + k as usize).min(ops.len()) as u32 + 1;
+                Insn::Bltu { rs: r(a), rt: r(b), imm: LOAD_BASE + target_index * INSN_SIZE }
+            }
+        };
+        out.push(insn);
+    }
+    out.push(Insn::Ret);
+    out
+}
+
+fn image_for(insns: &[Insn]) -> DxeImage {
+    let mut text = Vec::new();
+    for &i in insns {
+        text.extend_from_slice(&encode(i));
+    }
+    DxeImage {
+        name: "difftest".into(),
+        load_base: LOAD_BASE,
+        entry: LOAD_BASE,
+        text,
+        data: vec![],
+        bss_size: 0,
+        imports: vec![],
+    }
+}
+
+fn run_concrete(image: &DxeImage, init: &[u32; 8]) -> ([u32; 16], Vec<u8>) {
+    let mut vm = Vm::new();
+    vm.load_image(image);
+    vm.mem.map(BUF_BASE, BUF_LEN);
+    for (i, &v) in init.iter().enumerate() {
+        vm.cpu.regs[i] = v;
+    }
+    vm.cpu.set(Reg::LR, RETURN_TRAP);
+    vm.cpu.pc = image.entry;
+    let ev = vm.run(10_000);
+    assert_eq!(ev, StepEvent::ReturnToKernel, "concrete run must finish");
+    let buf = vm.mem.read_bytes(BUF_BASE, BUF_LEN).unwrap();
+    (vm.cpu.regs, buf)
+}
+
+fn run_symbolic(image: &DxeImage, init: &[u32; 8]) -> ([u32; 16], Vec<u8>) {
+    let mut st = SymState::new(SymCounter::new());
+    st.mem.map(image.load_base, image.image_end() - image.load_base);
+    st.mem.seed_bytes(image.load_base, &image.text);
+    st.mem.map(BUF_BASE, BUF_LEN);
+    for (i, &v) in init.iter().enumerate() {
+        st.cpu.set_u32(Reg(i as u8), v);
+    }
+    st.cpu.set_u32(Reg::LR, RETURN_TRAP);
+    st.cpu.pc = image.entry;
+    let mut solver = Solver::new();
+    let mut env = NullEnv;
+    loop {
+        match step(&mut st, &mut env, &mut solver) {
+            SymStep::Continue => continue,
+            SymStep::ReturnToKernel => break,
+            other => panic!("unexpected symbolic outcome {other:?}"),
+        }
+    }
+    assert!(st.pending_forks.is_empty(), "concrete program must not fork");
+    let mut regs = [0u32; 16];
+    for (i, r) in regs.iter_mut().enumerate() {
+        *r = st.cpu.regs[i].as_const().expect("concrete program: concrete regs") as u32;
+    }
+    let mut buf = Vec::with_capacity(BUF_LEN as usize);
+    for i in 0..BUF_LEN {
+        buf.push(st.mem.read_byte(BUF_BASE + i).as_const().expect("concrete byte") as u8);
+    }
+    (regs, buf)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn symbolic_and_concrete_engines_agree(
+        ops in prop::collection::vec(arb_op(), 1..40),
+        init in prop::array::uniform8(any::<u32>()),
+    ) {
+        let insns = lower(&ops);
+        let image = image_for(&insns);
+        let (c_regs, c_buf) = run_concrete(&image, &init);
+        let (s_regs, s_buf) = run_symbolic(&image, &init);
+        // r12-r15 include scratch/sp/lr; compare the program registers and
+        // the buffer base register.
+        prop_assert_eq!(&c_regs[..9], &s_regs[..9], "register divergence on {:?}", ops);
+        prop_assert_eq!(c_buf, s_buf, "memory divergence on {:?}", ops);
+    }
+
+    /// Constant-only programs must also agree with the expression layer's
+    /// own evaluator: lowering Movi/arith chains through `Expr` folding is
+    /// the same arithmetic the VM performs.
+    #[test]
+    fn expr_folding_matches_vm_arithmetic(a in any::<u32>(), b in any::<u32>()) {
+        let insns = vec![
+            Insn::Movi { rd: Reg(0), imm: a },
+            Insn::Movi { rd: Reg(1), imm: b },
+            Insn::Add { rd: Reg(2), rs: Reg(0), rt: Reg(1) },
+            Insn::Mul { rd: Reg(3), rs: Reg(2), rt: Reg(0) },
+            Insn::Xor { rd: Reg(4), rs: Reg(3), rt: Reg(1) },
+            Insn::Ret,
+        ];
+        let image = image_for(&insns);
+        let (regs, _) = run_concrete(&image, &[0; 8]);
+        let ea = Expr::constant(a as u64, 32);
+        let eb = Expr::constant(b as u64, 32);
+        let sum = ea.add(&eb);
+        let prod = sum.mul(&ea);
+        let x = prod.xor(&eb);
+        prop_assert_eq!(regs[4] as u64, x.as_const().unwrap());
+    }
+}

@@ -1,0 +1,231 @@
+//! End-to-end integration: the whole stack from assembly source through
+//! symbolic exploration to bug reports, on fast targets.
+
+use ddt::drivers::workload::WorkloadOp;
+use ddt::drivers::DriverClass;
+use ddt::{Annotations, BugClass, DdtConfig, Ddt, DriverUnderTest};
+
+#[test]
+fn clean_driver_has_no_false_positives_and_high_coverage() {
+    let dut = DriverUnderTest::from_spec(&ddt::drivers::clean_driver());
+    let report = Ddt::default().test(&dut);
+    assert!(
+        report.bugs.is_empty(),
+        "false positives on the clean driver: {:?}",
+        report.bugs.iter().map(|b| &b.description).collect::<Vec<_>>()
+    );
+    assert!(
+        report.relative_coverage() > 0.9,
+        "coverage too low: {:.2}",
+        report.relative_coverage()
+    );
+    assert!(report.stats.paths_completed > 10, "exploration actually forked");
+}
+
+#[test]
+fn ensoniq_finds_its_four_table2_bugs() {
+    let spec = ddt::drivers::driver_by_name("ensoniq").unwrap();
+    let report = Ddt::default().test(&DriverUnderTest::from_spec(&spec));
+    assert_eq!(report.bugs.len(), 4, "{:#?}", report.bugs);
+    assert_eq!(report.bugs_of(BugClass::SegFault).len(), 2);
+    assert_eq!(report.bugs_of(BugClass::RaceCondition).len(), 2);
+    // The two races are distinguished by the interrupted entry point.
+    let windows: Vec<Option<String>> = report
+        .bugs_of(BugClass::RaceCondition)
+        .iter()
+        .map(|b| b.interrupted_entry.clone())
+        .collect();
+    assert!(windows.contains(&Some("Initialize".into())));
+    assert!(windows.contains(&Some("Send".into())));
+}
+
+#[test]
+fn pcnet_leaks_are_split_by_resource_kind() {
+    let spec = ddt::drivers::driver_by_name("pcnet").unwrap();
+    let report = Ddt::default().test(&DriverUnderTest::from_spec(&spec));
+    assert_eq!(report.bugs.len(), 2);
+    assert_eq!(report.bugs_of(BugClass::MemoryLeak).len(), 1);
+    assert_eq!(report.bugs_of(BugClass::ResourceLeak).len(), 1);
+    // Both need the forced-allocation-failure annotation fork.
+    for b in &report.bugs {
+        assert!(
+            b.decisions
+                .iter()
+                .any(|d| matches!(d, ddt::core::Decision::ForceAllocFail { .. })),
+            "leak found without a forced allocation failure?"
+        );
+    }
+}
+
+#[test]
+fn ablation_loses_annotation_dependent_bugs_but_keeps_races() {
+    let spec = ddt::drivers::driver_by_name("ensoniq").unwrap();
+    let dut = DriverUnderTest::from_spec(&spec);
+    let mut cfg = DdtConfig::default();
+    cfg.annotations = Annotations::disabled();
+    let report = Ddt::new(cfg).test(&dut);
+    assert!(
+        report.bugs.iter().all(|b| b.class == BugClass::RaceCondition),
+        "only race bugs survive the ablation: {:#?}",
+        report.bugs
+    );
+    assert_eq!(report.bugs.len(), 2, "both interrupt windows are still found");
+}
+
+#[test]
+fn interrupts_can_be_disabled() {
+    // With no interrupt budget, the races disappear but the annotation
+    // bugs remain — the two mechanisms are independent.
+    let spec = ddt::drivers::driver_by_name("ensoniq").unwrap();
+    let dut = DriverUnderTest::from_spec(&spec);
+    let mut cfg = DdtConfig::default();
+    cfg.interrupt_budget = 0;
+    let report = Ddt::new(cfg).test(&dut);
+    assert!(report.bugs_of(BugClass::RaceCondition).is_empty());
+    assert_eq!(report.bugs_of(BugClass::SegFault).len(), 2);
+}
+
+#[test]
+fn unknown_entry_points_are_skipped_gracefully() {
+    // A driver registering only Initialize/Halt runs the full workload
+    // without errors: missing handlers are skipped.
+    let src = "
+.name tiny
+.text
+DriverEntry:
+    push lr
+    lea  r0, table
+    call @NdisMRegisterMiniport
+    mov  r0, 0
+    pop  lr
+    ret
+Initialize:
+    mov  r0, 0
+    ret
+Halt:
+    mov  r0, 0
+    ret
+.data
+table: .word Initialize, 0, 0, 0, 0, 0, 0, Halt, 0, 0
+";
+    let assembled = ddt::isa::asm::assemble(src, &ddt::kernel::export_map()).unwrap();
+    let dut = DriverUnderTest {
+        image: assembled.image,
+        class: DriverClass::Net,
+        registry: vec![],
+        descriptor: Default::default(),
+        workload: ddt::drivers::workload::workload_for(DriverClass::Net),
+    };
+    let report = Ddt::default().test(&dut);
+    assert!(report.bugs.is_empty());
+    assert_eq!(report.stats.paths_completed, report.stats.paths_started);
+}
+
+#[test]
+fn workload_can_be_customized() {
+    // Only initialize + halt: the send-path bug in the custom driver below
+    // is unreachable, proving the workload gates what gets exercised.
+    let spec = ddt::drivers::driver_by_name("ac97").unwrap();
+    let mut dut = DriverUnderTest::from_spec(&spec);
+    dut.workload = vec![WorkloadOp::Initialize, WorkloadOp::Halt];
+    let report = Ddt::default().test(&dut);
+    assert!(
+        report.bugs.is_empty(),
+        "the ac97 race needs the playback workload: {:#?}",
+        report.bugs
+    );
+}
+
+#[test]
+fn reports_serialize_roundtrip() {
+    let spec = ddt::drivers::driver_by_name("pcnet").unwrap();
+    let report = Ddt::default().test(&DriverUnderTest::from_spec(&spec));
+    let json = serde_json::to_string(&report).unwrap();
+    let back: ddt::Report = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.bugs.len(), report.bugs.len());
+    assert_eq!(back.driver, "pcnet");
+}
+
+#[test]
+fn concretization_backtracking_reissues_kernel_calls() {
+    // The bug is reachable only when the symbolic argument to KeRaiseIrql
+    // is concretized to 2 (DISPATCH); the default model picks 0. DDT must
+    // backtrack the concretization and repeat the call with the other
+    // feasible value (§3.2).
+    let src = "
+.name backtrack
+.text
+DriverEntry:
+    push lr
+    lea  r0, table
+    call @NdisMRegisterMiniport
+    mov  r0, 0
+    pop  lr
+    ret
+Initialize:
+    push lr
+    in   r1, 0x10
+    and  r0, r1, 2          ; symbolic, feasible values {0, 2}
+    call @KeRaiseIrql
+    mov  r0, 100
+    call @NdisMSleep        ; BUG: crashes iff the argument was 2
+    mov  r0, 0
+    call @KeLowerIrql
+    mov  r0, 0
+    pop  lr
+    ret
+Halt:
+    mov  r0, 0
+    ret
+.data
+table: .word Initialize, 0, 0, 0, 0, 0, 0, Halt, 0, 0
+";
+    let assembled = ddt::isa::asm::assemble(src, &ddt::kernel::export_map()).unwrap();
+    let dut = DriverUnderTest {
+        image: assembled.image,
+        class: DriverClass::Net,
+        registry: vec![],
+        descriptor: Default::default(),
+        workload: vec![WorkloadOp::Initialize, WorkloadOp::Halt],
+    };
+    let report = Ddt::default().test(&dut);
+    assert_eq!(report.bugs.len(), 1, "{:#?}", report.bugs);
+    assert!(report.bugs[0].description.contains("NdisMSleep"));
+    assert!(
+        report.bugs[0]
+            .decisions
+            .iter()
+            .any(|d| matches!(d, ddt::core::Decision::ConcretizationBacktrack { .. })),
+        "found via concretization backtracking: {:?}",
+        report.bugs[0].decisions
+    );
+}
+
+#[test]
+fn infinite_loop_detector_flags_pure_spin() {
+    let sample = ddt::drivers::samples::infinite_loop_sample();
+    let built = sample.build();
+    let dut = DriverUnderTest {
+        image: built.image,
+        class: DriverClass::Net,
+        registry: vec![],
+        descriptor: Default::default(),
+        workload: ddt::drivers::workload::workload_for(DriverClass::Net),
+    };
+    let report = Ddt::default().test(&dut);
+    let hangs: Vec<_> = report
+        .bugs
+        .iter()
+        .filter(|b| b.description.contains("infinite loop"))
+        .collect();
+    assert_eq!(hangs.len(), 1, "{:#?}", report.bugs);
+    assert!(report.stats.paths_budget_killed > 0);
+}
+
+#[test]
+fn parallel_api_is_reachable_through_the_facade() {
+    let spec = ddt::drivers::driver_by_name("ensoniq").unwrap();
+    let dut = DriverUnderTest::from_spec(&spec);
+    let report = ddt::test_parallel(&Ddt::default(), &dut, 3);
+    assert_eq!(report.bugs.len(), 4);
+}

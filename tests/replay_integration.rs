@@ -1,0 +1,75 @@
+//! Every bug report must be concretely replayable (§3.5): the solved
+//! inputs, interrupt schedule, and forced-failure schedule re-trigger the
+//! same failure in the concrete VM.
+
+use ddt::{replay_bug, Ddt, DriverUnderTest, ReplayOutcome};
+
+fn assert_all_replay(driver: &str) {
+    let spec = ddt::drivers::driver_by_name(driver).unwrap();
+    let dut = DriverUnderTest::from_spec(&spec);
+    let report = Ddt::default().test(&dut);
+    assert!(!report.bugs.is_empty(), "{driver} must have bugs to replay");
+    for bug in &report.bugs {
+        match replay_bug(&dut, bug) {
+            ReplayOutcome::Reproduced { .. } => {}
+            ReplayOutcome::NotReproduced { observed } => {
+                panic!(
+                    "{driver}: bug not reproduced: [{}] {} (observed {observed})",
+                    bug.class, bug.description
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn rtl8029_bugs_replay() {
+    assert_all_replay("rtl8029");
+}
+
+#[test]
+fn ensoniq_bugs_replay() {
+    assert_all_replay("ensoniq");
+}
+
+#[test]
+fn pcnet_bugs_replay() {
+    assert_all_replay("pcnet");
+}
+
+#[test]
+fn ac97_bug_replays() {
+    assert_all_replay("ac97");
+}
+
+#[test]
+fn replay_survives_serialization() {
+    // The report a consumer receives over the wire replays identically.
+    let spec = ddt::drivers::driver_by_name("ensoniq").unwrap();
+    let dut = DriverUnderTest::from_spec(&spec);
+    let report = Ddt::default().test(&dut);
+    let bug = &report.bugs[0];
+    let wire = serde_json::to_vec(bug).unwrap();
+    let received: ddt::Bug = serde_json::from_slice(&wire).unwrap();
+    assert!(matches!(
+        replay_bug(&dut, &received),
+        ReplayOutcome::Reproduced { .. }
+    ));
+}
+
+#[test]
+fn traces_are_bounded() {
+    // §3.5: "The size of these traces rarely exceeds 1 MB per bug".
+    let spec = ddt::drivers::driver_by_name("rtl8029").unwrap();
+    let dut = DriverUnderTest::from_spec(&spec);
+    let report = Ddt::default().test(&dut);
+    for bug in &report.bugs {
+        let bytes = serde_json::to_vec(bug).unwrap().len();
+        assert!(
+            bytes < 1_048_576,
+            "trace for {:?} is {} bytes (> 1 MB)",
+            bug.description,
+            bytes
+        );
+    }
+}

@@ -1,0 +1,92 @@
+//! The headline result: DDT finds exactly the 14 bugs of Table 2 across
+//! the six drivers, with the right classifications, and nothing else.
+//!
+//! This is the slowest integration test (full symbolic runs over every
+//! driver); the per-driver expectations mirror Table 2 row by row.
+
+use std::collections::BTreeMap;
+
+use ddt::{BugClass, Ddt, DriverUnderTest};
+
+fn class_counts(report: &ddt::Report) -> BTreeMap<BugClass, usize> {
+    let mut m = BTreeMap::new();
+    for b in &report.bugs {
+        *m.entry(b.class).or_insert(0) += 1;
+    }
+    m
+}
+
+#[test]
+fn table2_rtl8029_five_bugs() {
+    let spec = ddt::drivers::driver_by_name("rtl8029").unwrap();
+    let report = Ddt::default().test(&DriverUnderTest::from_spec(&spec));
+    let counts = class_counts(&report);
+    assert_eq!(report.bugs.len(), 5, "{:#?}", report.bugs);
+    assert_eq!(counts.get(&BugClass::ResourceLeak), Some(&1), "config handle leak");
+    assert_eq!(counts.get(&BugClass::MemoryCorruption), Some(&1), "MaximumMulticastList");
+    assert_eq!(counts.get(&BugClass::RaceCondition), Some(&1), "timer-init race");
+    assert_eq!(counts.get(&BugClass::SegFault), Some(&2), "unexpected OIDs");
+    // The memory corruption must be attributed to the registry parameter.
+    let corruption = &report.bugs_of(BugClass::MemoryCorruption)[0];
+    assert!(corruption.description.contains("MaximumMulticastList"));
+    // The OID crashes are in the two information handlers.
+    let segs = report.bugs_of(BugClass::SegFault);
+    let entries: Vec<&str> = segs.iter().map(|b| b.entry.as_str()).collect();
+    assert!(entries.contains(&"QueryInformation"));
+    assert!(entries.contains(&"SetInformation"));
+}
+
+#[test]
+fn table2_pcnet_two_leaks() {
+    let spec = ddt::drivers::driver_by_name("pcnet").unwrap();
+    let report = Ddt::default().test(&DriverUnderTest::from_spec(&spec));
+    assert_eq!(report.bugs.len(), 2, "{:#?}", report.bugs);
+    assert!(report.bugs.iter().any(|b| b.description.contains("pool allocation")));
+    assert!(report.bugs.iter().any(|b| b.description.contains("packets/buffers")));
+}
+
+#[test]
+fn table2_pro1000_memory_leak() {
+    let spec = ddt::drivers::driver_by_name("pro1000").unwrap();
+    let report = Ddt::default().test(&DriverUnderTest::from_spec(&spec));
+    assert_eq!(report.bugs.len(), 1, "{:#?}", report.bugs);
+    assert_eq!(report.bugs[0].class, BugClass::MemoryLeak);
+}
+
+#[test]
+fn table2_pro100_spinlock_variant() {
+    let spec = ddt::drivers::driver_by_name("pro100").unwrap();
+    let report = Ddt::default().test(&DriverUnderTest::from_spec(&spec));
+    assert_eq!(report.bugs.len(), 1, "{:#?}", report.bugs);
+    let bug = &report.bugs[0];
+    assert_eq!(bug.class, BugClass::KernelCrash);
+    assert!(bug.description.contains("NdisReleaseSpinLock"));
+    assert!(bug.description.contains("HandleInterrupt"), "fires in the DPC");
+}
+
+#[test]
+fn table2_ac97_playback_race() {
+    let spec = ddt::drivers::driver_by_name("ac97").unwrap();
+    let report = Ddt::default().test(&DriverUnderTest::from_spec(&spec));
+    assert_eq!(report.bugs.len(), 1, "{:#?}", report.bugs);
+    assert_eq!(report.bugs[0].class, BugClass::RaceCondition);
+    assert_eq!(report.bugs[0].interrupted_entry.as_deref(), Some("Aux"));
+    assert!(report.bugs[0].description.contains("in Isr"));
+}
+
+#[test]
+fn table2_totals_fourteen() {
+    let mut total = 0;
+    for spec in ddt::drivers::drivers() {
+        let report = Ddt::default().test(&DriverUnderTest::from_spec(&spec));
+        assert_eq!(
+            report.bugs.len(),
+            spec.expected_bugs,
+            "driver {}: {:#?}",
+            spec.name,
+            report.bugs
+        );
+        total += report.bugs.len();
+    }
+    assert_eq!(total, 14, "Table 2 reports 14 previously unknown bugs");
+}

@@ -20,6 +20,7 @@ use ddt_kernel::{CrashInfo, KernelEvent, ResourceKind};
 use ddt_symvm::interp::{AccessViolation, SymFault};
 use ddt_symvm::{SymOrigin, TraceEvent};
 
+use crate::faults::FaultPlan;
 use crate::machine::Machine;
 use crate::report::{BugClass, Decision};
 
@@ -62,30 +63,41 @@ fn race_context(m: &Machine) -> Option<String> {
     m.in_nested_frame().then(|| m.interrupted_entry().unwrap_or_default())
 }
 
+/// If this path carries an injected acquisition failure (legacy
+/// `ForceAllocFail` or fault-plan `InjectFault`), a phrase describing the
+/// error path for bug descriptions.
+fn fault_path_note(m: &Machine) -> Option<String> {
+    m.decisions.iter().find_map(|d| match d {
+        Decision::ForceAllocFail { .. } => {
+            Some("an allocation-failure handling path".to_string())
+        }
+        Decision::InjectFault { kind, .. } => {
+            Some(format!("a path where {} failed", kind.describe()))
+        }
+        _ => None,
+    })
+}
+
 /// Classifies a memory-checker violation (§3.6 provenance analysis).
 pub fn classify_violation(m: &Machine, v: &AccessViolation) -> PendingBug {
     if v.syms.is_empty() {
         // The offending address is concrete: classify like a plain bad
         // pointer (NULL dereference on an error path, etc.).
-        let forced_alloc = m
-            .decisions
-            .iter()
-            .any(|d| matches!(d, Decision::ForceAllocFail { .. }));
         let what = if v.witness < 0x1000 {
             format!("NULL pointer dereference ({:#x})", v.witness)
         } else {
             format!("access to invalid address {:#x}", v.witness)
         };
-        let (class, desc) = match race_context(m) {
-            Some(at) => (
+        let (class, desc) = match (race_context(m), fault_path_note(m)) {
+            (Some(at), _) => (
                 BugClass::RaceCondition,
                 format!("{what} in {} when an interrupt arrives during {at}", m.running()),
             ),
-            None if forced_alloc => (
+            (None, Some(note)) => (
                 BugClass::SegFault,
-                format!("{what} in {} on an allocation-failure handling path", m.running()),
+                format!("{what} in {} on {note}", m.running()),
             ),
-            None => (BugClass::SegFault, format!("{what} in {}", m.running())),
+            (None, None) => (BugClass::SegFault, format!("{what} in {}", m.running())),
         };
         return PendingBug {
             class,
@@ -151,10 +163,6 @@ fn kind_noun(kind: ddt_isa::AccessKind) -> &'static str {
 /// Classifies a CPU fault terminal. Returns `None` for infeasible paths
 /// (dead, not buggy).
 pub fn classify_fault(m: &Machine, fault: &SymFault) -> Option<PendingBug> {
-    let forced_alloc = m
-        .decisions
-        .iter()
-        .any(|d| matches!(d, Decision::ForceAllocFail { .. }));
     let bug = match fault {
         SymFault::Infeasible => return None,
         SymFault::AccessViolation(v) => classify_violation(m, v),
@@ -168,16 +176,16 @@ pub fn classify_fault(m: &Machine, fault: &SymFault) -> Option<PendingBug> {
             } else {
                 format!("access to invalid address {addr:#x}")
             };
-            let (class, desc) = match race_context(m) {
-                Some(at) => (
+            let (class, desc) = match (race_context(m), fault_path_note(m)) {
+                (Some(at), _) => (
                     BugClass::RaceCondition,
                     format!("{what} in {} when an interrupt arrives during {at}", m.running()),
                 ),
-                None if forced_alloc => (
+                (None, Some(note)) => (
                     BugClass::SegFault,
-                    format!("{what} in {} on an allocation-failure handling path", m.running()),
+                    format!("{what} in {} on {note}", m.running()),
                 ),
-                None => (BugClass::SegFault, format!("{what} in {}", m.running())),
+                (None, None) => (BugClass::SegFault, format!("{what} in {}", m.running())),
             };
             PendingBug {
                 class,
@@ -244,7 +252,14 @@ pub fn classify_crash(m: &Machine, crash: &CrashInfo) -> PendingBug {
         },
         None => PendingBug {
             class: if deadlockish { BugClass::KernelHang } else { BugClass::KernelCrash },
-            description: format!("kernel crash in {}: {}", m.running(), crash.message),
+            description: match fault_path_note(m) {
+                Some(note) => format!(
+                    "kernel crash in {}: {} (on {note})",
+                    m.running(),
+                    crash.message
+                ),
+                None => format!("kernel crash in {}: {}", m.running(), crash.message),
+            },
             pc: site,
             key,
             model: None,
@@ -389,6 +404,28 @@ pub fn on_invocation_return(
             key: format!("cfgleak:{returned}"),
             model: None,
         });
+    }
+    // Unchecked-failure rule: Initialize claims success even though a
+    // mandatory acquisition failed on this path — the driver ignored (or
+    // never looked at) the failure status. Registry reads are exempt:
+    // falling back to a default parameter value is correct behavior.
+    if returned == "Initialize" && status == 0 {
+        for family in m.injected_faults.clone() {
+            if !FaultPlan::mandatory(family) {
+                continue;
+            }
+            bugs.push(PendingBug {
+                class: BugClass::UncheckedFailure,
+                description: format!(
+                    "Initialize reports success although {} failed \
+                     (the failure status is never checked)",
+                    family.describe()
+                ),
+                pc: m.st.cpu.pc,
+                key: format!("unchecked:{family:?}:{returned}"),
+                model: None,
+            });
+        }
     }
     // A failed Initialize must free everything it allocated (§5.1: "when
     // memory allocation fails, the drivers do not release all the resources
@@ -616,6 +653,36 @@ mod tests {
         assert_eq!(bugs.len(), 1);
         assert_eq!(bugs[0].class, BugClass::ResourceLeak);
         assert!(bugs[0].description.contains("NdisCloseConfiguration"));
+    }
+
+    #[test]
+    fn unchecked_mandatory_fault_on_successful_initialize_is_reported() {
+        let mut m = machine();
+        m.injected_faults.push(ddt_kernel::FaultFamily::Registration);
+        let bugs = on_invocation_return(&mut m, "Initialize", 0, &[]);
+        assert_eq!(bugs.len(), 1);
+        assert_eq!(bugs[0].class, BugClass::UncheckedFailure);
+        assert!(bugs[0].description.contains("interrupt/timer registration"));
+    }
+
+    #[test]
+    fn registry_fault_fallback_is_not_unchecked_failure() {
+        let mut m = machine();
+        m.injected_faults.push(ddt_kernel::FaultFamily::Registry);
+        assert!(on_invocation_return(&mut m, "Initialize", 0, &[]).is_empty());
+    }
+
+    #[test]
+    fn injected_fault_path_note_shows_up_in_fault_descriptions() {
+        let mut m = machine();
+        m.decisions.push(Decision::InjectFault {
+            site: 3,
+            kind: ddt_kernel::FaultFamily::SharedMemory,
+        });
+        let f = SymFault::BadAccess { pc: 0x40_0200, addr: 8, kind: ddt_isa::AccessKind::Write };
+        let bug = classify_fault(&m, &f).unwrap();
+        assert_eq!(bug.class, BugClass::SegFault);
+        assert!(bug.description.contains("shared memory allocation failed"));
     }
 
     #[test]

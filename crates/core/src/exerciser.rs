@@ -19,13 +19,16 @@
 //! or workload exhaustion.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use ddt_expr::Expr;
 use ddt_isa::image::DxeImage;
 use ddt_isa::{analysis, Reg};
 use ddt_kernel::loader::{DeviceDescriptor, LoadPlan, StackLayout};
 use ddt_kernel::state::DEVICE_MMIO_BASE;
-use ddt_kernel::{EntryInvocation, ExecContext, Irql, Kernel};
+use ddt_kernel::{EntryInvocation, ExecContext, Irql, Kernel, KernelEvent};
 use ddt_solver::Solver;
 use ddt_symvm::{
     step, //
@@ -46,9 +49,10 @@ use crate::checkers::{
     PendingBug,
 };
 use crate::coverage::Coverage;
+use crate::faults::{FaultInjector, FaultPlan};
 use crate::hardware::DdtEnv;
 use crate::machine::{Frame, Machine, SymHost};
-use crate::report::{Bug, Decision, ExploreStats, Report};
+use crate::report::{Bug, Decision, ExploreStats, Report, RunHealth};
 use ddt_drivers::workload::{WorkloadOp, OID_BASE};
 use ddt_drivers::DriverClass;
 
@@ -70,6 +74,14 @@ pub struct DdtConfig {
     pub max_invocation_insns: u64,
     /// Wall-clock budget in milliseconds.
     pub time_budget_ms: u64,
+    /// Systematic kernel-API fault injection plan. Disabled by default so
+    /// baseline bug counts match the paper's Table 2.
+    pub fault_plan: FaultPlan,
+    /// Test-only resilience hook: the counter is decremented once per
+    /// scheduled quantum, and the quantum that takes it to zero panics
+    /// (one-shot). Used to verify that a panicking state is isolated as a
+    /// [`RunHealth`] incident instead of aborting the run.
+    pub panic_hook: Option<Arc<AtomicU64>>,
 }
 
 impl Default for DdtConfig {
@@ -82,6 +94,8 @@ impl Default for DdtConfig {
             max_total_insns: 3_000_000,
             max_invocation_insns: 20_000,
             time_budget_ms: 120_000,
+            fault_plan: FaultPlan::disabled(),
+            panic_hook: None,
         }
     }
 }
@@ -192,17 +206,29 @@ impl Ddt {
             };
             let mut m = worklist.swap_remove(best);
             let mut exec_pcs = Vec::with_capacity(QUANTUM as usize);
-            let survived = self.run_quantum(
-                dut,
-                &mut m,
-                &mut env,
-                &mut solver,
-                &mut worklist,
-                &mut next_id,
-                &mut stats,
-                &mut bugs,
-                &mut exec_pcs,
-            );
+            // Panic isolation: a bug in the harness (or a deliberately
+            // induced one, via the test hook) kills only this state, not
+            // the run. The incident is counted in the run health section.
+            let survived = catch_unwind(AssertUnwindSafe(|| {
+                self.run_quantum(
+                    dut,
+                    &mut m,
+                    &mut env,
+                    &mut solver,
+                    &mut worklist,
+                    &mut next_id,
+                    &mut stats,
+                    &mut bugs,
+                    &mut exec_pcs,
+                )
+            }));
+            let survived = match survived {
+                Ok(alive) => alive,
+                Err(_) => {
+                    stats.panics_caught += 1;
+                    false // The machine's state is suspect; drop it.
+                }
+            };
             for pc in exec_pcs {
                 coverage.on_exec(pc);
             }
@@ -217,6 +243,8 @@ impl Ddt {
         stats.solver_fast_hits = solver.stats().fast_path_hits;
         stats.solver_full = solver.stats().full_solves;
         stats.symbols = sym_counter.allocated();
+        let insn_exhausted = stats.insns > self.config.max_total_insns;
+        let wall_exhausted = stats.wall_ms > self.config.time_budget_ms;
         let mut bug_list: Vec<Bug> = bugs.into_values().collect();
         bug_list.sort_by_key(|a| (a.entry.clone(), a.pc));
         Report {
@@ -225,6 +253,7 @@ impl Ddt {
             total_blocks: coverage.total_blocks(),
             covered_blocks: coverage.covered_blocks(),
             coverage_timeline: coverage.timeline().to_vec(),
+            health: RunHealth::from_stats(&stats, insn_exhausted, wall_exhausted),
             stats,
         }
     }
@@ -253,6 +282,14 @@ impl Ddt {
         bugs: &mut HashMap<String, Bug>,
         exec_pcs: &mut Vec<u32>,
     ) -> bool {
+        if let Some(hook) = &self.config.panic_hook {
+            let fired = hook
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+                .ok();
+            if fired == Some(1) {
+                panic!("induced quantum panic (test hook)");
+            }
+        }
         let mut end: Option<PathEnd> = None;
         for _ in 0..QUANTUM {
             exec_pcs.push(m.st.cpu.pc);
@@ -267,6 +304,8 @@ impl Ddt {
                     *next_id += 1;
                     stats.paths_started += 1;
                     worklist.push(child);
+                } else {
+                    stats.states_dropped += 1;
                 }
             }
             // Survivable memory-checker violations: report, continue.
@@ -290,6 +329,8 @@ impl Ddt {
                         *next_id += 1;
                         stats.paths_started += 1;
                         worklist.push(child);
+                    } else {
+                        stats.states_dropped += 1;
                     }
                 }
                 SymStep::KernelCall { export_id } => {
@@ -434,16 +475,39 @@ impl Ddt {
         dut: &DriverUnderTest,
     ) -> Result<(), PendingBug> {
         // Concrete-to-symbolic hint: fork the failed-allocation alternative.
-        if self.config.annotations.wants_failure_fork(export)
-            && !m.decisions.iter().any(|d| matches!(d, Decision::ForceAllocFail { .. }))
-            && worklist.len() < self.config.max_states
-        {
-            let mut fail = m.fork(*next_id);
-            *next_id += 1;
-            fail.kernel.state.force_alloc_failures = 1;
-            fail.decisions.push(Decision::ForceAllocFail { kernel_call: m.kernel_calls });
-            stats.paths_started += 1;
-            worklist.push(fail);
+        // One failed acquisition per path, whichever mechanism injects it.
+        let has_fault = m
+            .decisions
+            .iter()
+            .any(|d| matches!(d, Decision::ForceAllocFail { .. } | Decision::InjectFault { .. }));
+        if self.config.annotations.wants_failure_fork(export) && !has_fault {
+            if worklist.len() < self.config.max_states {
+                let mut fail = m.fork(*next_id);
+                *next_id += 1;
+                fail.kernel.state.force_alloc_failures = 1;
+                fail.decisions.push(Decision::ForceAllocFail { kernel_call: m.kernel_calls });
+                stats.paths_started += 1;
+                worklist.push(fail);
+            } else {
+                stats.states_dropped += 1;
+            }
+        }
+        // Systematic fault injection (the fault plan's generalization of the
+        // same hint): fork an alternative in which this acquisition fails.
+        // The fork resumes at the call instruction with the one-shot fault
+        // armed, so re-dispatch consumes it.
+        let injector = FaultInjector::new(self.config.fault_plan.clone());
+        if let Some(kind) = injector.should_fork(export, &self.config.annotations, &m.decisions) {
+            if worklist.len() < self.config.max_states {
+                let mut fail = m.fork(*next_id);
+                *next_id += 1;
+                fail.kernel.state.inject_fault = Some(kind);
+                fail.decisions.push(Decision::InjectFault { site: m.kernel_calls, kind });
+                stats.paths_started += 1;
+                worklist.push(fail);
+            } else {
+                stats.states_dropped += 1;
+            }
         }
         let name = ddt_kernel::export_name(export).unwrap_or("?").to_string();
         m.st.trace.push(TraceEvent::KernelCall { export_id: export, name });
@@ -499,6 +563,12 @@ impl Ddt {
         }
         post_kernel_call(&self.config.annotations, &mut m.st, &m.kernel, solver, export, &args);
         let new_events = m.kernel.state.events[events_before..].to_vec();
+        for ev in &new_events {
+            if let KernelEvent::FaultInjected { family } = ev {
+                stats.count_fault(*family);
+                m.injected_faults.push(*family);
+            }
+        }
         apply_resource_grants(&mut m.st, &new_events);
         for pending in scan_kernel_events(m) {
             self.record_bug(bugs, m, pending, solver, dut);
@@ -536,11 +606,12 @@ impl Ddt {
         if m.interrupt_budget == 0 || m.in_nested_frame() {
             return;
         }
-        if worklist.len() >= self.config.max_states {
-            return;
-        }
         let Some(table) = m.kernel.state.miniport.clone() else { return };
         if m.kernel.state.interrupt.is_none() || table.isr == 0 {
+            return;
+        }
+        if worklist.len() >= self.config.max_states {
+            stats.states_dropped += 1;
             return;
         }
         let mut fork = m.fork(*next_id);

@@ -1,0 +1,219 @@
+//! Systematic kernel-API fault injection.
+//!
+//! The annotation layer (§3.4.1) already forks a "NULL alternative" for the
+//! four allocators it knows about. This module generalizes that idea into a
+//! configurable **fault plan**: every kernel export that acquires a
+//! resource on the driver's behalf belongs to a [`FaultFamily`]
+//! ([`ddt_kernel::fault_family`] is the authoritative map), and the
+//! exerciser forks an alternative state per call site in which that one
+//! acquisition fails. The forked state records a
+//! [`Decision::InjectFault`](crate::report::Decision::InjectFault) so the
+//! path replays deterministically, and the kernel logs the consumption so
+//! checkers can attribute downstream crashes to the failed acquisition.
+//!
+//! Drivers are expected to *check* acquisition statuses. Two checker
+//! mechanisms catch the ones that don't:
+//!
+//! 1. Kernel-side handle validation: using a resource whose acquisition
+//!    failed (a NULL pool handle, an uninitialized timer, a closed config
+//!    handle) bug-checks — a [`KernelCrash`](crate::report::BugClass)
+//!    attributed to the injected-fault path.
+//! 2. The unchecked-failure rule: an `Initialize` that returns success even
+//!    though a *mandatory* acquisition (anything but `Registry`, whose
+//!    parameters are legitimately optional) failed is reported as
+//!    [`UncheckedFailure`](crate::report::BugClass::UncheckedFailure).
+//!
+//! The plan defaults to disabled so the paper's baseline bug counts
+//! (Table 2) are unchanged; enable it with [`FaultPlan::full`] or a custom
+//! family set.
+
+use std::collections::BTreeSet;
+
+use ddt_kernel::{fault_family, FaultFamily};
+
+use crate::annotations::Annotations;
+use crate::report::Decision;
+
+/// Which kernel-API fault families to inject, and how densely.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Master switch; a disabled plan injects nothing.
+    pub enabled: bool,
+    /// Families eligible for injection.
+    pub families: BTreeSet<FaultFamily>,
+    /// Maximum injected failures per explored path. One (the default) keeps
+    /// path growth linear in call sites and matches the annotation layer's
+    /// one-failure-per-path convention.
+    pub max_faults_per_path: u32,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::disabled()
+    }
+}
+
+impl FaultPlan {
+    /// No injection at all (the baseline configuration).
+    pub fn disabled() -> FaultPlan {
+        FaultPlan { enabled: false, families: BTreeSet::new(), max_faults_per_path: 1 }
+    }
+
+    /// Inject every family at every eligible call site.
+    pub fn full() -> FaultPlan {
+        FaultPlan {
+            enabled: true,
+            families: FaultFamily::ALL.into_iter().collect(),
+            max_faults_per_path: 1,
+        }
+    }
+
+    /// Inject only the given families.
+    pub fn for_families(families: &[FaultFamily]) -> FaultPlan {
+        FaultPlan {
+            enabled: true,
+            families: families.iter().copied().collect(),
+            max_faults_per_path: 1,
+        }
+    }
+
+    /// True if this plan injects faults of `family`.
+    pub fn wants(&self, family: FaultFamily) -> bool {
+        self.enabled && self.families.contains(&family)
+    }
+
+    /// Families whose failure a correct driver must propagate: returning
+    /// success from `Initialize` after one of these failed is a bug.
+    /// Registry parameters are excluded — drivers legitimately fall back to
+    /// defaults when a configuration read fails.
+    pub fn mandatory(family: FaultFamily) -> bool {
+        !matches!(family, FaultFamily::Registry)
+    }
+}
+
+/// Per-run fork oracle: decides, call site by call site, whether to fork an
+/// injected-failure alternative.
+#[derive(Clone, Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+}
+
+impl FaultInjector {
+    /// An injector following `plan`.
+    pub fn new(plan: FaultPlan) -> FaultInjector {
+        FaultInjector { plan }
+    }
+
+    /// The plan this injector follows.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Returns the family to inject at a call to `export`, or `None` if
+    /// this site should not fork.
+    ///
+    /// A site is skipped when the export has no family, the plan does not
+    /// want the family, the path already carries its per-path quota of
+    /// failures (counting both legacy `ForceAllocFail` forks and
+    /// `InjectFault` forks — one failed acquisition per path, whichever
+    /// mechanism produced it), or the annotation layer already forks an
+    /// allocation failure for this export (avoiding duplicate alternatives
+    /// for the same site).
+    pub fn should_fork(
+        &self,
+        export: u16,
+        annotations: &Annotations,
+        decisions: &[Decision],
+    ) -> Option<FaultFamily> {
+        if !self.plan.enabled {
+            return None;
+        }
+        let family = fault_family(export)?;
+        if !self.plan.wants(family) {
+            return None;
+        }
+        if annotations.wants_failure_fork(export) {
+            return None;
+        }
+        let prior = decisions
+            .iter()
+            .filter(|d| {
+                matches!(d, Decision::ForceAllocFail { .. } | Decision::InjectFault { .. })
+            })
+            .count() as u32;
+        if prior >= self.plan.max_faults_per_path {
+            return None;
+        }
+        Some(family)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_plan_never_forks() {
+        let inj = FaultInjector::new(FaultPlan::disabled());
+        let ann = Annotations::defaults();
+        assert_eq!(inj.should_fork(32, &ann, &[]), None);
+        assert_eq!(inj.should_fork(40, &ann, &[]), None);
+    }
+
+    #[test]
+    fn full_plan_forks_unannotated_acquisition_sites() {
+        let inj = FaultInjector::new(FaultPlan::full());
+        let ann = Annotations::defaults();
+        // NdisMRegisterInterrupt has no annotation fork → injectable.
+        assert_eq!(inj.should_fork(32, &ann, &[]), Some(FaultFamily::Registration));
+        // NdisAllocatePacketPool likewise.
+        assert_eq!(inj.should_fork(40, &ann, &[]), Some(FaultFamily::SharedMemory));
+        // NdisOpenConfiguration is a Registry site.
+        assert_eq!(inj.should_fork(21, &ann, &[]), Some(FaultFamily::Registry));
+        // NdisMSleep acquires nothing.
+        assert_eq!(inj.should_fork(52, &ann, &[]), None);
+    }
+
+    #[test]
+    fn annotated_allocators_are_not_double_forked() {
+        let inj = FaultInjector::new(FaultPlan::full());
+        let ann = Annotations::defaults();
+        // ExAllocatePoolWithTag / NdisAllocateMemoryWithTag already get the
+        // annotation layer's NULL-alternative fork.
+        assert_eq!(inj.should_fork(5, &ann, &[]), None);
+        assert_eq!(inj.should_fork(24, &ann, &[]), None);
+        // With annotations disabled the injector covers them instead.
+        let none = Annotations::disabled();
+        assert_eq!(inj.should_fork(5, &none, &[]), Some(FaultFamily::PoolAlloc));
+    }
+
+    #[test]
+    fn one_fault_per_path_counts_both_decision_kinds() {
+        let inj = FaultInjector::new(FaultPlan::full());
+        let ann = Annotations::defaults();
+        let forced = vec![Decision::ForceAllocFail { kernel_call: 2 }];
+        assert_eq!(inj.should_fork(32, &ann, &forced), None);
+        let injected =
+            vec![Decision::InjectFault { site: 1, kind: FaultFamily::Registry }];
+        assert_eq!(inj.should_fork(32, &ann, &injected), None);
+        let unrelated = vec![Decision::InjectInterrupt { boundary: 0 }];
+        assert_eq!(inj.should_fork(32, &ann, &unrelated), Some(FaultFamily::Registration));
+    }
+
+    #[test]
+    fn family_selection_filters_sites() {
+        let inj = FaultInjector::new(FaultPlan::for_families(&[FaultFamily::Registration]));
+        let ann = Annotations::defaults();
+        assert_eq!(inj.should_fork(32, &ann, &[]), Some(FaultFamily::Registration));
+        assert_eq!(inj.should_fork(40, &ann, &[]), None, "SharedMemory not in plan");
+    }
+
+    #[test]
+    fn registry_is_the_only_optional_family() {
+        assert!(!FaultPlan::mandatory(FaultFamily::Registry));
+        assert!(FaultPlan::mandatory(FaultFamily::PoolAlloc));
+        assert!(FaultPlan::mandatory(FaultFamily::Registration));
+        assert!(FaultPlan::mandatory(FaultFamily::SharedMemory));
+        assert!(FaultPlan::mandatory(FaultFamily::MapRegisters));
+    }
+}

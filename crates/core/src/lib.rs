@@ -37,6 +37,7 @@ pub mod annotations;
 pub mod checkers;
 pub mod coverage;
 pub mod exerciser;
+pub mod faults;
 pub mod hardware;
 pub mod machine;
 pub mod parallel;
@@ -45,9 +46,11 @@ pub mod report;
 
 pub use analysis::{analyze_bug, BugAnalysis, DeviceSpec};
 pub use annotations::Annotations;
+pub use ddt_kernel::FaultFamily;
 pub use exerciser::{Ddt, DdtConfig, DriverUnderTest};
+pub use faults::{FaultInjector, FaultPlan};
 pub use hardware::DdtEnv;
 pub use machine::{Frame, Machine, SymHost};
 pub use parallel::test_parallel;
 pub use replay::{replay_bug, ReplayOutcome};
-pub use report::{Bug, BugClass, Decision, ExploreStats, Report};
+pub use report::{Bug, BugClass, Decision, ExploreStats, Report, RunHealth};

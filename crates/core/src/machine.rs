@@ -10,6 +10,7 @@ use ddt_isa::Reg;
 use ddt_kernel::{
     EntryInvocation, //
     ExecContext,
+    FaultFamily,
     Host,
     HostError,
     Irql,
@@ -140,6 +141,9 @@ pub struct Machine {
     /// Locks already reported as held-at-return on this path (collateral
     /// suppression as outer frames unwind).
     pub reported_held_locks: std::collections::BTreeSet<u32>,
+    /// Fault families actually consumed on this path (the unchecked-failure
+    /// checker compares these against the entry's return status).
+    pub injected_faults: Vec<FaultFamily>,
     /// Unique id (diagnostics).
     pub id: u64,
 }
@@ -160,6 +164,7 @@ impl Machine {
             scratch_cursor: SCRATCH_BASE,
             steps_in_entry: 0,
             reported_held_locks: std::collections::BTreeSet::new(),
+            injected_faults: Vec::new(),
             id: 0,
         }
     }
@@ -179,6 +184,7 @@ impl Machine {
             scratch_cursor: self.scratch_cursor,
             steps_in_entry: self.steps_in_entry,
             reported_held_locks: self.reported_held_locks.clone(),
+            injected_faults: self.injected_faults.clone(),
             id: new_id,
         }
     }
@@ -199,6 +205,7 @@ impl Machine {
             scratch_cursor: self.scratch_cursor,
             steps_in_entry: self.steps_in_entry,
             reported_held_locks: self.reported_held_locks.clone(),
+            injected_faults: self.injected_faults.clone(),
             id: new_id,
         }
     }

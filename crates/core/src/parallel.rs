@@ -17,8 +17,9 @@
 //!   across exploration order, so the final set matches the serial run.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use crossbeam::queue::SegQueue;
 use ddt_isa::analysis;
@@ -30,7 +31,15 @@ use crate::coverage::Coverage;
 use crate::exerciser::{Ddt, DriverUnderTest};
 use crate::hardware::DdtEnv;
 use crate::machine::Machine;
-use crate::report::{Bug, ExploreStats, Report};
+use crate::report::{Bug, ExploreStats, Report, RunHealth};
+
+/// Poison-tolerant lock: a worker that panicked mid-update may leave the
+/// mutex poisoned, but every guarded structure here (coverage counters, bug
+/// maps, stat vectors) stays internally consistent under partial updates —
+/// losing one worker must not lose the run's results.
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Ids reserved per quantum (a quantum forks far fewer states than this).
 const QUANTUM_ID_BLOCK: u64 = 1 << 12;
@@ -76,8 +85,15 @@ pub fn test_parallel(ddt: &Ddt, dut: &DriverUnderTest, workers: usize) -> Report
                     {
                         break;
                     }
+                    // Claim in-flight status *before* popping: a worker that
+                    // holds a machine but has not yet pushed its forks must
+                    // be visible to idle workers, or two workers can race to
+                    // the "queue empty + nothing in flight" conclusion while
+                    // work is still materializing (premature quiescence).
+                    in_flight.fetch_add(1, Ordering::AcqRel);
                     let Some(mut m) = queue.pop() else {
-                        if in_flight.load(Ordering::Acquire) == 0 {
+                        let before = in_flight.fetch_sub(1, Ordering::AcqRel);
+                        if before == 1 && queue.is_empty() {
                             break; // Global quiescence: no work anywhere.
                         }
                         idle_spins += 1;
@@ -87,26 +103,37 @@ pub fn test_parallel(ddt: &Ddt, dut: &DriverUnderTest, workers: usize) -> Report
                         continue;
                     };
                     idle_spins = 0;
-                    in_flight.fetch_add(1, Ordering::AcqRel);
                     let mut local_forks: Vec<Machine> = Vec::new();
                     // Reserve a block of ids for this quantum (ids are
                     // diagnostics; uniqueness suffices).
                     let mut local_id = next_id.fetch_add(QUANTUM_ID_BLOCK, Ordering::Relaxed);
                     let mut exec_pcs: Vec<u32> = Vec::with_capacity(256);
-                    let survived = ddt.run_quantum(
-                        dut,
-                        &mut m,
-                        &mut env,
-                        &mut solver,
-                        &mut local_forks,
-                        &mut local_id,
-                        &mut stats,
-                        &mut bugs,
-                        &mut exec_pcs,
-                    );
+                    // Panic isolation, as in the serial explorer: a panicking
+                    // quantum costs one state, not the whole worker (and with
+                    // it the thread-join panic that would sink the run).
+                    let survived = catch_unwind(AssertUnwindSafe(|| {
+                        ddt.run_quantum(
+                            dut,
+                            &mut m,
+                            &mut env,
+                            &mut solver,
+                            &mut local_forks,
+                            &mut local_id,
+                            &mut stats,
+                            &mut bugs,
+                            &mut exec_pcs,
+                        )
+                    }));
+                    let survived = match survived {
+                        Ok(alive) => alive,
+                        Err(_) => {
+                            stats.panics_caught += 1;
+                            false
+                        }
+                    };
                     total_insns.fetch_add(exec_pcs.len() as u64, Ordering::Relaxed);
                     {
-                        let mut cov = coverage.lock().expect("coverage lock");
+                        let mut cov = relock(&coverage);
                         for pc in exec_pcs {
                             cov.on_exec(pc);
                         }
@@ -123,15 +150,15 @@ pub fn test_parallel(ddt: &Ddt, dut: &DriverUnderTest, workers: usize) -> Report
                 stats.solver_queries = solver.stats().queries;
                 stats.solver_fast_hits = solver.stats().fast_path_hits;
                 stats.solver_full = solver.stats().full_solves;
-                merged.lock().expect("bug lock").extend(bugs);
-                all_stats.lock().expect("stats lock").push(stats);
+                relock(&merged).extend(bugs);
+                relock(&all_stats).push(stats);
             });
         }
     });
 
-    let coverage = coverage.into_inner().expect("coverage lock");
+    let coverage = coverage.into_inner().unwrap_or_else(PoisonError::into_inner);
     let mut stats = ExploreStats::default();
-    for s in all_stats.into_inner().expect("stats lock") {
+    for s in all_stats.into_inner().unwrap_or_else(PoisonError::into_inner) {
         stats.paths_started += s.paths_started;
         stats.paths_completed += s.paths_completed;
         stats.paths_faulted += s.paths_faulted;
@@ -143,10 +170,23 @@ pub fn test_parallel(ddt: &Ddt, dut: &DriverUnderTest, workers: usize) -> Report
         stats.solver_fast_hits += s.solver_fast_hits;
         stats.solver_full += s.solver_full;
         stats.max_cow_depth = stats.max_cow_depth.max(s.max_cow_depth);
+        stats.states_dropped += s.states_dropped;
+        stats.panics_caught += s.panics_caught;
+        stats.faults_pool += s.faults_pool;
+        stats.faults_shared += s.faults_shared;
+        stats.faults_map += s.faults_map;
+        stats.faults_registration += s.faults_registration;
+        stats.faults_registry += s.faults_registry;
     }
     stats.paths_started += 1; // The root.
     stats.wall_ms = started.elapsed().as_millis() as u64;
-    let mut bug_list: Vec<Bug> = merged.into_inner().expect("bug lock").into_values().collect();
+    let insn_exhausted = stats.insns > ddt.config.max_total_insns;
+    let wall_exhausted = stats.wall_ms > ddt.config.time_budget_ms;
+    let mut bug_list: Vec<Bug> = merged
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner)
+        .into_values()
+        .collect();
     bug_list.sort_by_key(|a| (a.entry.clone(), a.pc));
     Report {
         driver: dut.image.name.clone(),
@@ -154,6 +194,7 @@ pub fn test_parallel(ddt: &Ddt, dut: &DriverUnderTest, workers: usize) -> Report
         total_blocks: coverage.total_blocks(),
         covered_blocks: coverage.covered_blocks(),
         coverage_timeline: coverage.timeline().to_vec(),
+        health: RunHealth::from_stats(&stats, insn_exhausted, wall_exhausted),
         stats,
     }
 }

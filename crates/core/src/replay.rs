@@ -23,6 +23,7 @@ use ddt_kernel::{
     CrashInfo, //
     EntryInvocation,
     ExecContext,
+    FaultFamily,
     Host,
     HostError,
     Irql,
@@ -169,6 +170,8 @@ pub struct ConcreteRunner {
     inject_at: Vec<u64>,
     /// Kernel-call indexes at which allocation must fail.
     fail_at: Vec<u64>,
+    /// Kernel-call indexes at which a planned fault must be armed.
+    fault_at: Vec<(u64, FaultFamily)>,
     kernel_calls: u64,
     boundaries: u64,
     overrides: InputOverrides,
@@ -209,6 +212,7 @@ impl ConcreteRunner {
             scratch: crate::machine::SCRATCH_BASE,
             inject_at: Vec::new(),
             fail_at: Vec::new(),
+            fault_at: Vec::new(),
             kernel_calls: 0,
             boundaries: 0,
             overrides: InputOverrides::default(),
@@ -225,6 +229,7 @@ impl ConcreteRunner {
             match d {
                 Decision::InjectInterrupt { boundary } => self.inject_at.push(*boundary),
                 Decision::ForceAllocFail { kernel_call } => self.fail_at.push(*kernel_call),
+                Decision::InjectFault { site, kind } => self.fault_at.push((*site, *kind)),
                 // Backtracked concretizations are fully captured by the
                 // solved inputs; nothing to re-apply.
                 Decision::ConcretizationBacktrack { .. } => {}
@@ -302,6 +307,11 @@ impl ConcreteRunner {
                 StepEvent::KernelCall { export_id, return_to } => {
                     if self.fail_at.contains(&self.kernel_calls) {
                         self.kernel.state.force_alloc_failures = 1;
+                    }
+                    if let Some(&(_, kind)) =
+                        self.fault_at.iter().find(|(s, _)| *s == self.kernel_calls)
+                    {
+                        self.kernel.state.inject_fault = Some(kind);
                     }
                     self.kernel_calls += 1;
                     let r = {
@@ -557,6 +567,12 @@ pub fn replay_bug(dut: &DriverUnderTest, bug: &Bug) -> ReplayOutcome {
         .events
         .iter()
         .any(|e| matches!(e, KernelEvent::SpinRelease { variant_mismatch: true, .. }));
+    let fault_fired = runner
+        .kernel
+        .state
+        .events
+        .iter()
+        .any(|e| matches!(e, KernelEvent::FaultInjected { .. }));
     let observed = format!("{outcome:?}");
     let reproduced = match bug.class {
         BugClass::SegFault | BugClass::MemoryCorruption => {
@@ -576,6 +592,20 @@ pub fn replay_bug(dut: &DriverUnderTest, bug: &Bug) -> ReplayOutcome {
         BugClass::ResourceLeak | BugClass::MemoryLeak => {
             matches!(outcome, ConcreteOutcome::InitFailureLeak { .. })
                 || runner.kernel.state.live_resources(ResourceKind::ConfigHandle) > 0
+        }
+        // The evidence for an unchecked failure is the scheduled fault
+        // actually firing while the driver proceeds as if nothing happened:
+        // it completes, or blows up downstream on the unacquired resource.
+        // An `InitFailureLeak` would mean Initialize *did* propagate the
+        // failure — not reproduced.
+        BugClass::UncheckedFailure => {
+            fault_fired
+                && matches!(
+                    outcome,
+                    ConcreteOutcome::Completed
+                        | ConcreteOutcome::Faulted { .. }
+                        | ConcreteOutcome::Crashed(_)
+                )
         }
     };
     if reproduced {

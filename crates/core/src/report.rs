@@ -8,6 +8,7 @@
 //! replay it.
 
 use ddt_expr::Assignment;
+use ddt_kernel::FaultFamily;
 use ddt_symvm::TraceEvent;
 use serde::{Deserialize, Serialize};
 
@@ -28,6 +29,9 @@ pub enum BugClass {
     KernelCrash,
     /// The kernel would hang (deadlock, lock held at return, non-LIFO).
     KernelHang,
+    /// The driver reported success despite a failed mandatory acquisition
+    /// (an injected kernel-API fault whose status it never checked).
+    UncheckedFailure,
 }
 
 impl std::fmt::Display for BugClass {
@@ -40,6 +44,7 @@ impl std::fmt::Display for BugClass {
             BugClass::RaceCondition => "Race condition",
             BugClass::KernelCrash => "Kernel crash",
             BugClass::KernelHang => "Kernel hang",
+            BugClass::UncheckedFailure => "Unchecked failure",
         };
         f.write_str(s)
     }
@@ -67,6 +72,14 @@ pub enum Decision {
     ConcretizationBacktrack {
         /// Kernel-call index (counted per path).
         kernel_call: u64,
+    },
+    /// Kernel call number `site` had a `kind`-family fault injected: the
+    /// call ran its failure path instead of granting the resource.
+    InjectFault {
+        /// Kernel-call index (counted per path).
+        site: u64,
+        /// The fault family that failed.
+        kind: FaultFamily,
     },
 }
 
@@ -133,6 +146,141 @@ pub struct ExploreStats {
     pub wall_ms: u64,
     /// Maximum copy-on-write memory chain depth observed.
     pub max_cow_depth: usize,
+    /// Forks silently discarded because the worklist was at `max_states`.
+    pub states_dropped: u64,
+    /// Panicking states caught and converted into incidents (the run
+    /// continued without them).
+    pub panics_caught: u64,
+    /// Injected pool-allocation faults consumed by the driver.
+    pub faults_pool: u64,
+    /// Injected shared-memory faults consumed.
+    pub faults_shared: u64,
+    /// Injected I/O-mapping faults consumed.
+    pub faults_map: u64,
+    /// Injected registration faults consumed.
+    pub faults_registration: u64,
+    /// Injected registry-read faults consumed.
+    pub faults_registry: u64,
+}
+
+impl ExploreStats {
+    /// Bumps the consumed-fault counter for one family.
+    pub fn count_fault(&mut self, family: FaultFamily) {
+        match family {
+            FaultFamily::PoolAlloc => self.faults_pool += 1,
+            FaultFamily::SharedMemory => self.faults_shared += 1,
+            FaultFamily::MapRegisters => self.faults_map += 1,
+            FaultFamily::Registration => self.faults_registration += 1,
+            FaultFamily::Registry => self.faults_registry += 1,
+        }
+    }
+
+    /// Total injected faults consumed across all families.
+    pub fn faults_total(&self) -> u64 {
+        self.faults_pool
+            + self.faults_shared
+            + self.faults_map
+            + self.faults_registration
+            + self.faults_registry
+    }
+}
+
+/// Harness-health summary for one run: everything that silently degraded
+/// the exploration (dropped states, killed paths, solver fallbacks, caught
+/// panics) plus the fault-injection tally.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunHealth {
+    /// Forks discarded because the worklist was full (`max_states`).
+    pub states_dropped: u64,
+    /// Paths killed by the per-invocation instruction budget.
+    pub budget_kills: u64,
+    /// Solver queries that fell back to full bit-blasting + CDCL search.
+    pub solver_fallbacks: u64,
+    /// Panicking states caught; each is a lost path, not a lost run.
+    pub panics_caught: u64,
+    /// Injected pool-allocation faults consumed.
+    pub faults_pool: u64,
+    /// Injected shared-memory faults consumed.
+    pub faults_shared: u64,
+    /// Injected I/O-mapping faults consumed.
+    pub faults_map: u64,
+    /// Injected registration faults consumed.
+    pub faults_registration: u64,
+    /// Injected registry-read faults consumed.
+    pub faults_registry: u64,
+    /// The total-instruction budget ended the run early.
+    pub insn_budget_exhausted: bool,
+    /// The wall-clock budget ended the run early.
+    pub wall_budget_exhausted: bool,
+}
+
+impl RunHealth {
+    /// Assembles the health section from final stats plus the two
+    /// budget-exhaustion facts only the exerciser knows.
+    pub fn from_stats(stats: &ExploreStats, insn_exhausted: bool, wall_exhausted: bool) -> Self {
+        RunHealth {
+            states_dropped: stats.states_dropped,
+            budget_kills: stats.paths_budget_killed,
+            solver_fallbacks: stats.solver_full,
+            panics_caught: stats.panics_caught,
+            faults_pool: stats.faults_pool,
+            faults_shared: stats.faults_shared,
+            faults_map: stats.faults_map,
+            faults_registration: stats.faults_registration,
+            faults_registry: stats.faults_registry,
+            insn_budget_exhausted: insn_exhausted,
+            wall_budget_exhausted: wall_exhausted,
+        }
+    }
+
+    /// Total injected faults consumed across all families.
+    pub fn faults_total(&self) -> u64 {
+        self.faults_pool
+            + self.faults_shared
+            + self.faults_map
+            + self.faults_registration
+            + self.faults_registry
+    }
+
+    /// True when nothing degraded: no drops, kills, panics, or early exits.
+    pub fn pristine(&self) -> bool {
+        self.states_dropped == 0
+            && self.budget_kills == 0
+            && self.panics_caught == 0
+            && !self.insn_budget_exhausted
+            && !self.wall_budget_exhausted
+    }
+
+    /// Renders the human-readable health section of the report.
+    pub fn render(&self) -> String {
+        let mut out = String::from("run health:\n");
+        out.push_str(&format!("  states dropped at cap:  {}\n", self.states_dropped));
+        out.push_str(&format!("  budget-killed paths:    {}\n", self.budget_kills));
+        out.push_str(&format!("  solver full fallbacks:  {}\n", self.solver_fallbacks));
+        out.push_str(&format!("  panics caught:          {}\n", self.panics_caught));
+        if self.faults_total() > 0 {
+            out.push_str(&format!(
+                "  faults injected:        {} (pool {}, shared {}, map {}, \
+                 registration {}, registry {})\n",
+                self.faults_total(),
+                self.faults_pool,
+                self.faults_shared,
+                self.faults_map,
+                self.faults_registration,
+                self.faults_registry
+            ));
+        } else {
+            out.push_str("  faults injected:        0\n");
+        }
+        let exhausted = match (self.insn_budget_exhausted, self.wall_budget_exhausted) {
+            (true, true) => "instruction + wall clock",
+            (true, false) => "instruction",
+            (false, true) => "wall clock",
+            (false, false) => "none",
+        };
+        out.push_str(&format!("  budget exhausted:       {exhausted}\n"));
+        out
+    }
 }
 
 /// One coverage sample: (milliseconds since start, covered basic blocks).
@@ -153,6 +301,8 @@ pub struct Report {
     pub coverage_timeline: Vec<CoverageSample>,
     /// Exploration statistics.
     pub stats: ExploreStats,
+    /// Harness-health summary (degradation + fault-injection tally).
+    pub health: RunHealth,
 }
 
 impl Report {
@@ -191,8 +341,51 @@ mod tests {
             covered_blocks: 40,
             coverage_timeline: vec![],
             stats: ExploreStats::default(),
+            health: RunHealth::default(),
         };
         assert!((r.relative_coverage() - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn run_health_assembles_from_stats() {
+        let mut stats = ExploreStats::default();
+        stats.states_dropped = 3;
+        stats.paths_budget_killed = 2;
+        stats.solver_full = 7;
+        stats.panics_caught = 1;
+        stats.count_fault(FaultFamily::PoolAlloc);
+        stats.count_fault(FaultFamily::Registry);
+        stats.count_fault(FaultFamily::Registry);
+        let h = RunHealth::from_stats(&stats, true, false);
+        assert_eq!(h.states_dropped, 3);
+        assert_eq!(h.budget_kills, 2);
+        assert_eq!(h.solver_fallbacks, 7);
+        assert_eq!(h.panics_caught, 1);
+        assert_eq!(h.faults_pool, 1);
+        assert_eq!(h.faults_registry, 2);
+        assert_eq!(h.faults_total(), 3);
+        assert!(h.insn_budget_exhausted);
+        assert!(!h.wall_budget_exhausted);
+        assert!(!h.pristine());
+        let text = h.render();
+        assert!(text.contains("panics caught"));
+        assert!(text.contains("registry 2"));
+        assert!(text.contains("budget exhausted:       instruction"));
+    }
+
+    #[test]
+    fn pristine_health_has_no_degradation() {
+        let h = RunHealth::from_stats(&ExploreStats::default(), false, false);
+        assert!(h.pristine());
+        assert_eq!(h.faults_total(), 0);
+    }
+
+    #[test]
+    fn inject_fault_decision_roundtrips() {
+        let d = Decision::InjectFault { site: 9, kind: FaultFamily::Registration };
+        let s = serde_json::to_string(&d).unwrap();
+        let back: Decision = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, d);
     }
 
     #[test]

@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! ddt test <driver.dxe | bundled-name> [--audio] [--registry K=V]...
-//!          [--no-annotations] [--no-memcheck] [--workers N] [--json FILE]
-//!          [--replay]
+//!          [--no-annotations] [--no-memcheck] [--faults] [--workers N]
+//!          [--json FILE] [--replay] [--health]
 //! ddt asm <source.s> -o <driver.dxe>
 //! ddt disas <driver.dxe>
 //! ddt info <driver.dxe | bundled-name>
@@ -23,7 +23,8 @@ use ddt::isa::image::DxeImage;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  ddt test <driver.dxe|name> [--audio] [--registry K=V]... \
-         [--no-annotations] [--no-memcheck] [--workers N] [--json FILE] [--replay]\n  \
+         [--no-annotations] [--no-memcheck] [--faults] [--workers N] [--json FILE] \
+         [--replay] [--health]\n  \
          ddt asm <src.s> -o <out.dxe>\n  ddt disas <driver.dxe>\n  \
          ddt info <driver.dxe|name>\n  ddt export <name> -o <out.dxe>\n  ddt list"
     );
@@ -206,6 +207,9 @@ fn main() -> ExitCode {
             if args.iter().any(|a| a == "--no-memcheck") {
                 config.check_memory = false;
             }
+            if args.iter().any(|a| a == "--faults") {
+                config.fault_plan = ddt::FaultPlan::full();
+            }
             let tool = ddt::Ddt::new(config);
             let started = std::time::Instant::now();
             let report = match flag_value(&args, "--workers") {
@@ -236,6 +240,9 @@ fn main() -> ExitCode {
                         }
                     }
                 }
+            }
+            if args.iter().any(|a| a == "--health") || !report.health.pristine() {
+                print!("{}", report.health.render());
             }
             if let Some(path) = flag_value(&args, "--json") {
                 match serde_json::to_vec_pretty(&report) {

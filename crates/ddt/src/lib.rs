@@ -39,8 +39,12 @@ pub use ddt_core::{
     DdtConfig,
     DriverUnderTest,
     ExploreStats,
+    FaultFamily,
+    FaultInjector,
+    FaultPlan,
     Report,
     ReplayOutcome,
+    RunHealth,
 };
 
 /// Symbolic expressions (re-export of `ddt-expr`).

@@ -33,6 +33,11 @@ Initialize:
     lea  r0, scratch
     lea  r1, scratch+4
     call @NdisOpenConfiguration
+    ; Configuration parameters are optional: if the open itself fails,
+    ; fall back to the defaults (and there is no handle to close).
+    lea  r1, scratch
+    ldw  r1, [r1]
+    bne  r1, 0, cfg_unavailable
     lea  r1, scratch+4
     ldw  r5, [r1]
     lea  r1, cfg_handle
@@ -58,7 +63,14 @@ depth_store:
     lea  r0, cfg_handle
     ldw  r0, [r0]
     call @NdisCloseConfiguration
+    jmp  cfg_done
 
+cfg_unavailable:
+    mov  r4, 8
+    lea  r1, ring_depth
+    stw  [r1], r4
+
+cfg_done:
     lea  r0, scratch
     mov  r1, 256
     mov  r2, TAG
@@ -83,12 +95,14 @@ depth_store:
     lea  r2, TimerFn
     mov  r3, 0
     call @NdisMInitializeTimer
+    bne  r0, 0, init_fail_free      ; timer setup is mandatory: propagate
     lea  r0, intr_obj
     lea  r1, adapter
     ldw  r1, [r1]
     mov  r2, IRQ_LINE
     mov  r3, 0
     call @NdisMRegisterInterrupt
+    bne  r0, 0, init_fail_free      ; no interrupt, no NIC: propagate
 
     lea  r1, ready
     mov  r2, 1
@@ -96,6 +110,18 @@ depth_store:
     mov  r0, NDIS_SUCCESS
     pop  lr, r5, r4
     ret
+
+init_fail_free:
+    ; A mandatory acquisition failed after the ring was allocated:
+    ; release the ring block, then report the failure.
+    lea  r0, ring_block
+    ldw  r0, [r0]
+    mov  r1, 256
+    mov  r2, 0
+    call @NdisFreeMemory
+    lea  r1, ring_block
+    mov  r2, 0
+    stw  [r1], r2
 
 init_fail:
     ; Nothing outstanding: the configuration was closed above.

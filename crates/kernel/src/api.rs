@@ -12,7 +12,8 @@
 
 use crate::host::{Host, HostError};
 use crate::state::{
-    InterruptRegistration, //
+    FaultFamily, //
+    InterruptRegistration,
     Irql,
     KernelEvent,
     KernelState,
@@ -208,6 +209,10 @@ fn ex_allocate_pool_with_tag(s: &mut KernelState, host: &mut dyn Host) -> Result
         );
         return Ok(());
     }
+    if s.take_fault(FaultFamily::PoolAlloc) {
+        host.set_ret(0);
+        return Ok(());
+    }
     match s.heap_alloc(size) {
         Some(addr) => {
             host.map_region(addr, size.max(1).next_multiple_of(16));
@@ -289,6 +294,15 @@ const CONFIG_HANDLE_BASE: u32 = 0xC0F0_0000;
 fn ndis_open_configuration(s: &mut KernelState, host: &mut dyn Host) -> Result<(), HostError> {
     let status_ptr = host.arg(0);
     let handle_ptr = host.arg(1);
+    if s.take_fault(FaultFamily::Registry) {
+        // Failure path: the handle out-parameter is NULL. Drivers that use
+        // it without checking the status pass an invalid handle to the
+        // configuration APIs — a bug check.
+        host.write_u32(status_ptr, STATUS_FAILURE)?;
+        host.write_u32(handle_ptr, 0)?;
+        host.set_ret(STATUS_FAILURE);
+        return Ok(());
+    }
     let handle = CONFIG_HANDLE_BASE + s.config_handles.len() as u32;
     s.config_handles.insert(handle, true);
     s.log(KernelEvent::ResourceAcquired {
@@ -312,6 +326,11 @@ fn ndis_read_configuration(s: &mut KernelState, host: &mut dyn Host) -> Result<(
             BUGCHECK_FAULT,
             format!("NdisReadConfiguration with closed or invalid handle {handle:#x}"),
         );
+        return Ok(());
+    }
+    if s.take_fault(FaultFamily::Registry) {
+        host.write_u32(status_ptr, STATUS_FAILURE)?;
+        host.set_ret(STATUS_FAILURE);
         return Ok(());
     }
     let name = host.read_cstr(name_ptr, 64)?;
@@ -360,6 +379,11 @@ fn ndis_allocate_memory_with_tag(
     let ptr_out = host.arg(0);
     let size = host.arg(1);
     let tag = host.arg(2);
+    if s.take_fault(FaultFamily::PoolAlloc) {
+        host.write_u32(ptr_out, 0)?;
+        host.set_ret(STATUS_RESOURCES);
+        return Ok(());
+    }
     match s.heap_alloc(size) {
         Some(addr) => {
             host.map_region(addr, size.max(1).next_multiple_of(16));
@@ -494,6 +518,10 @@ fn ndis_release_spin_lock(
 fn ndis_m_register_interrupt(s: &mut KernelState, host: &mut dyn Host) -> Result<(), HostError> {
     let object = host.arg(0);
     let line = host.arg(2) as u8;
+    if s.take_fault(FaultFamily::Registration) {
+        host.set_ret(STATUS_FAILURE);
+        return Ok(());
+    }
     s.interrupt = Some(InterruptRegistration { line, object });
     s.log(KernelEvent::ResourceAcquired {
         kind: ResourceKind::Interrupt,
@@ -516,6 +544,11 @@ fn ndis_m_initialize_timer(s: &mut KernelState, host: &mut dyn Host) -> Result<(
     let timer = host.arg(0);
     let callback = host.arg(2);
     let context = host.arg(3);
+    if s.take_fault(FaultFamily::Registration) {
+        // The descriptor stays uninitialized; arming it later bug-checks.
+        host.set_ret(STATUS_FAILURE);
+        return Ok(());
+    }
     s.timers.insert(timer, TimerState { initialized: true, callback, context, due: None });
     host.set_ret(STATUS_SUCCESS);
     Ok(())
@@ -562,6 +595,11 @@ fn ndis_m_cancel_timer(s: &mut KernelState, host: &mut dyn Host) -> Result<(), H
 fn ndis_m_map_io_space(s: &mut KernelState, host: &mut dyn Host) -> Result<(), HostError> {
     let out_ptr = host.arg(0);
     let offset = host.arg(2);
+    if s.take_fault(FaultFamily::MapRegisters) {
+        host.write_u32(out_ptr, 0)?;
+        host.set_ret(STATUS_RESOURCES);
+        return Ok(());
+    }
     let va = s.device_mmio_base + offset;
     host.write_u32(out_ptr, va)?;
     s.log(KernelEvent::ResourceAcquired {
@@ -580,6 +618,11 @@ fn ndis_m_register_io_port_range(
     let out_ptr = host.arg(0);
     let start = host.arg(2);
     let _count = host.arg(3);
+    if s.take_fault(FaultFamily::MapRegisters) {
+        host.write_u32(out_ptr, 0)?;
+        host.set_ret(STATUS_RESOURCES);
+        return Ok(());
+    }
     let _ = &s.device;
     host.write_u32(out_ptr, start)?;
     host.set_ret(STATUS_SUCCESS);
@@ -593,6 +636,12 @@ fn ndis_allocate_packet_pool(s: &mut KernelState, host: &mut dyn Host) -> Result
     let status_ptr = host.arg(0);
     let pool_ptr = host.arg(1);
     let descriptors = host.arg(2);
+    if s.take_fault(FaultFamily::SharedMemory) {
+        host.write_u32(status_ptr, STATUS_RESOURCES)?;
+        host.write_u32(pool_ptr, 0)?;
+        host.set_ret(STATUS_RESOURCES);
+        return Ok(());
+    }
     let handle = POOL_HANDLE_BASE + (s.packet_pools.len() + s.buffer_pools.len()) as u32 * 0x100;
     s.packet_pools.insert(handle, descriptors.max(1));
     s.log(KernelEvent::ResourceAcquired { kind: ResourceKind::Pool, handle, size: descriptors });
@@ -628,6 +677,12 @@ fn ndis_allocate_packet(s: &mut KernelState, host: &mut dyn Host) -> Result<(), 
         s.bug_check(BUGCHECK_FAULT, format!("NdisAllocatePacket from bad pool {pool:#x}"));
         return Ok(());
     };
+    if s.take_fault(FaultFamily::SharedMemory) {
+        host.write_u32(status_ptr, STATUS_RESOURCES)?;
+        host.write_u32(packet_ptr, 0)?;
+        host.set_ret(STATUS_RESOURCES);
+        return Ok(());
+    }
     let live = s.packets.values().filter(|&&p| p == pool).count() as u32;
     if live >= cap {
         host.write_u32(status_ptr, STATUS_RESOURCES)?;
@@ -672,6 +727,12 @@ fn ndis_allocate_buffer_pool(s: &mut KernelState, host: &mut dyn Host) -> Result
     let status_ptr = host.arg(0);
     let pool_ptr = host.arg(1);
     let descriptors = host.arg(2);
+    if s.take_fault(FaultFamily::SharedMemory) {
+        host.write_u32(status_ptr, STATUS_RESOURCES)?;
+        host.write_u32(pool_ptr, 0)?;
+        host.set_ret(STATUS_RESOURCES);
+        return Ok(());
+    }
     let handle = POOL_HANDLE_BASE
         + 0x0800_0000
         + (s.buffer_pools.len() + s.packet_pools.len()) as u32 * 0x100;
@@ -707,6 +768,11 @@ fn ndis_allocate_buffer(s: &mut KernelState, host: &mut dyn Host) -> Result<(), 
     let pool = host.arg(1);
     if !s.buffer_pools.contains_key(&pool) {
         s.bug_check(BUGCHECK_FAULT, format!("NdisAllocateBuffer from bad pool {pool:#x}"));
+        return Ok(());
+    }
+    if s.take_fault(FaultFamily::SharedMemory) {
+        host.write_u32(out_ptr, 0)?;
+        host.set_ret(STATUS_RESOURCES);
         return Ok(());
     }
     match s.heap_alloc(32) {
@@ -803,6 +869,11 @@ fn ndis_read_network_address(s: &mut KernelState, host: &mut dyn Host) -> Result
     // (status_ptr, buf_ptr /*6 bytes*/, handle) -> status.
     let status_ptr = host.arg(0);
     let buf_ptr = host.arg(1);
+    if s.take_fault(FaultFamily::Registry) {
+        host.write_u32(status_ptr, STATUS_FAILURE)?;
+        host.set_ret(STATUS_FAILURE);
+        return Ok(());
+    }
     match s.registry.get("NetworkAddress").copied() {
         Some(seed) => {
             for i in 0..6u32 {
@@ -824,6 +895,11 @@ fn ndis_read_network_address(s: &mut KernelState, host: &mut dyn Host) -> Result
 fn pc_new_interrupt_sync(s: &mut KernelState, host: &mut dyn Host) -> Result<(), HostError> {
     let out_ptr = host.arg(0);
     let line = host.arg(2) as u8;
+    if s.take_fault(FaultFamily::Registration) {
+        host.write_u32(out_ptr, 0)?;
+        host.set_ret(STATUS_RESOURCES);
+        return Ok(());
+    }
     match s.heap_alloc(32) {
         Some(obj) => {
             host.map_region(obj, 32);
@@ -849,6 +925,11 @@ fn pc_new_interrupt_sync(s: &mut KernelState, host: &mut dyn Host) -> Result<(),
 fn pc_new_dma_channel(s: &mut KernelState, host: &mut dyn Host) -> Result<(), HostError> {
     let out_ptr = host.arg(0);
     let size = host.arg(2).max(16);
+    if s.take_fault(FaultFamily::SharedMemory) {
+        host.write_u32(out_ptr, 0)?;
+        host.set_ret(STATUS_RESOURCES);
+        return Ok(());
+    }
     match s.heap_alloc(size) {
         Some(buf) => {
             host.map_region(buf, size.next_multiple_of(16));
@@ -1358,6 +1439,85 @@ mod more_tests {
         h.args = [250, 0, 0, 0];
         k.invoke(4, &mut h).unwrap();
         assert_eq!(k.state.now_us, 250);
+    }
+
+    #[test]
+    fn injected_registry_fault_fails_open_configuration() {
+        let mut k = Kernel::new();
+        k.state.inject_fault = Some(FaultFamily::Registry);
+        let mut h = MockHost::new(64);
+        let base = MockHost::BASE;
+        h.args = [base, base + 4, 0, 0];
+        k.invoke(21, &mut h).unwrap();
+        assert_eq!(h.mem_read(base, 4).unwrap(), STATUS_FAILURE);
+        assert_eq!(h.mem_read(base + 4, 4).unwrap(), 0, "handle out-param is NULL");
+        assert_eq!(k.state.live_resources(ResourceKind::ConfigHandle), 0);
+        assert!(k.state.inject_fault.is_none(), "one-shot");
+        // The unchecked driver pattern: using the NULL handle bug-checks.
+        h.args = [base, base + 8, 0, base + 0x20];
+        assert!(k.invoke(22, &mut h).is_err());
+    }
+
+    #[test]
+    fn injected_registration_fault_leaves_timer_uninitialized() {
+        let mut k = Kernel::new();
+        k.state.inject_fault = Some(FaultFamily::Registration);
+        let mut h = MockHost::new(64);
+        h.args = [0x40_2000, 0, 0x40_0100, 0x40_3000];
+        k.invoke(34, &mut h).unwrap();
+        assert_eq!(h.ret, STATUS_FAILURE);
+        assert!(k.state.timers.is_empty());
+        // Arming the never-initialized descriptor crashes.
+        h.args = [0x40_2000, 50, 0, 0];
+        let e = k.invoke(35, &mut h).unwrap_err();
+        assert_eq!(e.code, BUGCHECK_BAD_TIMER);
+    }
+
+    #[test]
+    fn injected_shared_memory_fault_fails_packet_pool() {
+        let mut k = Kernel::new();
+        k.state.inject_fault = Some(FaultFamily::SharedMemory);
+        let mut h = MockHost::new(256);
+        let base = MockHost::BASE;
+        h.args = [base, base + 4, 2, 0];
+        k.invoke(40, &mut h).unwrap();
+        assert_eq!(h.mem_read(base, 4).unwrap(), STATUS_RESOURCES);
+        assert_eq!(h.mem_read(base + 4, 4).unwrap(), 0);
+        // Allocating from the NULL pool handle crashes.
+        h.args = [base, base + 8, 0, 0];
+        assert!(k.invoke(42, &mut h).is_err());
+    }
+
+    #[test]
+    fn injected_map_registers_fault_writes_null_mapping() {
+        let mut k = Kernel::new();
+        k.state.inject_fault = Some(FaultFamily::MapRegisters);
+        let mut h = MockHost::new(64);
+        h.args = [MockHost::BASE, 0, 0x40, 0x100];
+        k.invoke(38, &mut h).unwrap();
+        assert_eq!(h.ret, STATUS_RESOURCES);
+        assert_eq!(h.mem_read(MockHost::BASE, 4).unwrap(), 0);
+    }
+
+    #[test]
+    fn injected_fault_only_fires_on_its_family() {
+        let mut k = Kernel::new();
+        k.state.inject_fault = Some(FaultFamily::Registration);
+        let mut h = MockHost::new(64);
+        // A pool allocation is unaffected by an armed Registration fault.
+        h.args = [0, 100, 0, 0];
+        k.invoke(5, &mut h).unwrap();
+        assert_ne!(h.ret, 0);
+        assert_eq!(k.state.inject_fault, Some(FaultFamily::Registration));
+        // The interrupt registration then fails.
+        h.args = [0x40_6000, 0, 9, 0];
+        k.invoke(32, &mut h).unwrap();
+        assert_eq!(h.ret, STATUS_FAILURE);
+        assert!(k.state.interrupt.is_none());
+        let injected = k.state.events.iter().any(|e| {
+            matches!(e, KernelEvent::FaultInjected { family: FaultFamily::Registration })
+        });
+        assert!(injected, "consumption is logged");
     }
 
     #[test]

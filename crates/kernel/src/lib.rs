@@ -39,8 +39,10 @@ pub use exports::{export_id, export_map, export_name, Export};
 pub use host::{Host, HostError};
 pub use loader::{DeviceDescriptor, EntryInvocation, StackLayout};
 pub use state::{
-    CrashInfo, //
+    fault_family, //
+    CrashInfo,
     ExecContext,
+    FaultFamily,
     Irql,
     KernelEvent,
     KernelState,

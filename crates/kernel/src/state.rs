@@ -42,6 +42,81 @@ pub enum ExecContext {
     Isr,
 }
 
+/// Kernel-API families whose acquisitions DDT can fail on demand.
+///
+/// This generalizes the annotation-driven "NULL alternative" fork (which
+/// only covers allocators) to every acquisition-shaped API the kernel
+/// exports: the executor arms [`KernelState::inject_fault`] on a forked
+/// state, and the next call belonging to that family runs its failure path
+/// instead of succeeding. Drivers that ignore the returned status and use
+/// the resource anyway surface unchecked-failure bugs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum FaultFamily {
+    /// Pool allocators (`ExAllocatePoolWithTag`, `NdisAllocateMemoryWithTag`).
+    PoolAlloc,
+    /// Shared memory: packet/buffer pools, packet/buffer descriptors, DMA
+    /// channels.
+    SharedMemory,
+    /// I/O space mappings and port-range registrations.
+    MapRegisters,
+    /// Interrupt and timer registration.
+    Registration,
+    /// Registry/configuration reads.
+    Registry,
+}
+
+impl FaultFamily {
+    /// All injectable families.
+    pub const ALL: [FaultFamily; 5] = [
+        FaultFamily::PoolAlloc,
+        FaultFamily::SharedMemory,
+        FaultFamily::MapRegisters,
+        FaultFamily::Registration,
+        FaultFamily::Registry,
+    ];
+
+    /// Human-readable family name for reports.
+    pub fn describe(self) -> &'static str {
+        match self {
+            FaultFamily::PoolAlloc => "pool allocation",
+            FaultFamily::SharedMemory => "shared memory allocation",
+            FaultFamily::MapRegisters => "I/O mapping",
+            FaultFamily::Registration => "interrupt/timer registration",
+            FaultFamily::Registry => "registry read",
+        }
+    }
+}
+
+impl std::fmt::Display for FaultFamily {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.describe())
+    }
+}
+
+/// Maps a kernel export to the fault family it acquires for, if any.
+///
+/// This is the single source of truth for which exports are fault
+/// injectable; the executor consults it when deciding where to fork an
+/// injected-failure alternative, and the API implementations consume the
+/// armed fault via [`KernelState::take_fault`].
+pub fn fault_family(export: u16) -> Option<FaultFamily> {
+    match export {
+        // ExAllocatePoolWithTag, NdisAllocateMemoryWithTag.
+        5 | 24 => Some(FaultFamily::PoolAlloc),
+        // NdisAllocatePacketPool, NdisAllocatePacket, NdisAllocateBufferPool,
+        // NdisAllocateBuffer, PcNewDmaChannel.
+        40 | 42 | 44 | 46 | 63 => Some(FaultFamily::SharedMemory),
+        // NdisMMapIoSpace, NdisMRegisterIoPortRange.
+        38 | 39 => Some(FaultFamily::MapRegisters),
+        // NdisMRegisterInterrupt, NdisMInitializeTimer, PcNewInterruptSync.
+        32 | 34 | 61 => Some(FaultFamily::Registration),
+        // NdisOpenConfiguration, NdisReadConfiguration,
+        // NdisReadNetworkAddress.
+        21 | 22 | 53 => Some(FaultFamily::Registry),
+        _ => None,
+    }
+}
+
 /// Kinds of driver-held resources the kernel accounts for (leak checking).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum ResourceKind {
@@ -261,6 +336,12 @@ pub enum KernelEvent {
         /// Whether it had been initialized.
         initialized: bool,
     },
+    /// An armed fault was consumed: the API call it landed on ran its
+    /// failure path instead of succeeding.
+    FaultInjected {
+        /// The family the fault belonged to.
+        family: FaultFamily,
+    },
     /// The kernel crashed.
     Crash(CrashInfo),
 }
@@ -312,6 +393,8 @@ pub struct KernelState {
     /// Forced failure of the next N allocations (set by DDT's
     /// concrete-to-symbolic annotation forks: the "NULL alternative").
     pub force_alloc_failures: u32,
+    /// One-shot armed fault: the next API call of this family fails.
+    pub inject_fault: Option<FaultFamily>,
     /// The PnP device descriptor for the loaded device.
     pub device: crate::loader::DeviceDescriptor,
     /// MMIO base the kernel assigned to the device.
@@ -358,6 +441,7 @@ impl KernelState {
             now_us: 0,
             heap_cursor: HEAP_BASE,
             force_alloc_failures: 0,
+            inject_fault: None,
             device: crate::loader::DeviceDescriptor::default(),
             device_mmio_base: DEVICE_MMIO_BASE,
             adapter_handle: 0xAD4A_0000,
@@ -393,6 +477,21 @@ impl KernelState {
         }
         self.heap_cursor += size;
         Some(addr)
+    }
+
+    /// Consumes the armed fault if it belongs to `family`.
+    ///
+    /// API implementations call this at the top of their body; a `true`
+    /// return means "run your failure path". Consumption is logged so
+    /// checkers and the replay verifier can see where the fault landed.
+    pub fn take_fault(&mut self, family: FaultFamily) -> bool {
+        if self.inject_fault == Some(family) {
+            self.inject_fault = None;
+            self.log(KernelEvent::FaultInjected { family });
+            true
+        } else {
+            false
+        }
     }
 
     /// Counts live resources of one kind (leak accounting).
@@ -473,6 +572,32 @@ mod tests {
         let t = MiniportTable::from_words(&[1, 2, 0, 0, 5, 0, 0, 0, 0, 0]);
         let names: Vec<&str> = t.entries().iter().map(|&(n, _)| n).collect();
         assert_eq!(names, vec!["Initialize", "Send", "Isr"]);
+    }
+
+    #[test]
+    fn take_fault_is_one_shot_and_family_selective() {
+        let mut s = KernelState::new();
+        s.inject_fault = Some(FaultFamily::Registration);
+        assert!(!s.take_fault(FaultFamily::PoolAlloc), "wrong family leaves it armed");
+        assert!(s.take_fault(FaultFamily::Registration));
+        assert!(!s.take_fault(FaultFamily::Registration), "consumed");
+        assert!(matches!(
+            s.events.last(),
+            Some(KernelEvent::FaultInjected { family: FaultFamily::Registration })
+        ));
+    }
+
+    #[test]
+    fn fault_family_covers_the_acquisition_exports() {
+        assert_eq!(fault_family(5), Some(FaultFamily::PoolAlloc));
+        assert_eq!(fault_family(24), Some(FaultFamily::PoolAlloc));
+        assert_eq!(fault_family(40), Some(FaultFamily::SharedMemory));
+        assert_eq!(fault_family(63), Some(FaultFamily::SharedMemory));
+        assert_eq!(fault_family(38), Some(FaultFamily::MapRegisters));
+        assert_eq!(fault_family(32), Some(FaultFamily::Registration));
+        assert_eq!(fault_family(34), Some(FaultFamily::Registration));
+        assert_eq!(fault_family(21), Some(FaultFamily::Registry));
+        assert_eq!(fault_family(52), None, "NdisMSleep acquires nothing");
     }
 
     #[test]

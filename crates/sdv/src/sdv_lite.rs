@@ -272,70 +272,28 @@ fn insn_at(image: &DxeImage, pc: u32) -> Option<Insn> {
 
 /// Fixpoint dataflow over one function's CFG (calls are summarized: local
 /// calls clobber the scratch registers, kernel calls apply the API model).
+///
+/// Runs in two phases: the fixpoint itself is silent, and the rules only
+/// fire on a final re-walk of every block from its *converged* entry
+/// state. Reporting during iteration would anchor findings to transient
+/// states — a ret block visited early can carry a not-yet-joined state
+/// (e.g. configuration-open on one incoming edge only) and a finding
+/// issued from it could never be retracted once the join widens to Top.
 fn analyze_function(image: &DxeImage, entry: u32, role: &str, findings: &mut Vec<StaticFinding>) {
     let is_initialize = role == "Initialize" || role == "DriverEntry";
     let mut states: BTreeMap<u32, AbsState> = BTreeMap::new();
     states.insert(entry, start_state_for(role));
     let mut work: VecDeque<u32> = VecDeque::from([entry]);
     let mut visited_guard = 0usize;
-    let mut reported: BTreeSet<(u32, String)> = BTreeSet::new();
     while let Some(block_pc) = work.pop_front() {
         visited_guard += 1;
         if visited_guard > 50_000 {
             break; // Fixpoint safety net.
         }
         let mut st = states.get(&block_pc).cloned().expect("queued blocks have states");
-        // Walk the straight-line run from block_pc to its terminator.
-        let mut pc = block_pc;
-        let mut successors: Vec<u32> = Vec::new();
-        while let Some(insn) = insn_at(image, pc) {
-            transfer(
-                image,
-                pc,
-                insn,
-                &mut st,
-                is_initialize,
-                &mut reported,
-                findings,
-            );
-            let next = pc + INSN_SIZE;
-            use Insn::*;
-            match insn {
-                Halt | Ret | Jr { .. } => break,
-                Jmp { imm } => {
-                    if image.text_range().contains(&imm) {
-                        successors.push(imm);
-                    }
-                    break;
-                }
-                Call { imm } => {
-                    // Both kernel and local calls return to the next insn;
-                    // the callee is summarized, not traversed.
-                    let _ = imm;
-                    pc = next;
-                    continue;
-                }
-                Callr { .. } => {
-                    pc = next;
-                    continue;
-                }
-                _ if insn.is_cond_branch() => {
-                    if let Some(t) = insn.static_target() {
-                        if image.text_range().contains(&t) {
-                            successors.push(t);
-                        }
-                    }
-                    if image.text_range().contains(&next) {
-                        successors.push(next);
-                    }
-                    break;
-                }
-                _ => {
-                    pc = next;
-                    continue;
-                }
-            }
-        }
+        let mut sink = Vec::new();
+        let mut seen = BTreeSet::new();
+        let successors = walk_block(image, block_pc, &mut st, is_initialize, &mut seen, &mut sink);
         for succ in successors {
             let merged = match states.get(&succ) {
                 Some(prev) => prev.join(&st),
@@ -346,8 +304,69 @@ fn analyze_function(image: &DxeImage, entry: u32, role: &str, findings: &mut Vec
                 work.push_back(succ);
             }
         }
-        // Function exit checks are applied at `Ret` inside `transfer`.
     }
+    // Reporting pass: one more walk of each block with its converged state.
+    // Function exit checks are applied at `Ret` inside `transfer`.
+    let mut reported: BTreeSet<(u32, String)> = BTreeSet::new();
+    for (&block_pc, entry_st) in &states {
+        let mut st = entry_st.clone();
+        walk_block(image, block_pc, &mut st, is_initialize, &mut reported, findings);
+    }
+}
+
+/// Walks the straight-line run from `block_pc` to its terminator, applying
+/// `transfer` to each instruction, and returns the successor block starts.
+fn walk_block(
+    image: &DxeImage,
+    block_pc: u32,
+    st: &mut AbsState,
+    is_initialize: bool,
+    reported: &mut BTreeSet<(u32, String)>,
+    findings: &mut Vec<StaticFinding>,
+) -> Vec<u32> {
+    let mut pc = block_pc;
+    let mut successors: Vec<u32> = Vec::new();
+    while let Some(insn) = insn_at(image, pc) {
+        transfer(image, pc, insn, st, is_initialize, reported, findings);
+        let next = pc + INSN_SIZE;
+        use Insn::*;
+        match insn {
+            Halt | Ret | Jr { .. } => break,
+            Jmp { imm } => {
+                if image.text_range().contains(&imm) {
+                    successors.push(imm);
+                }
+                break;
+            }
+            Call { imm } => {
+                // Both kernel and local calls return to the next insn;
+                // the callee is summarized, not traversed.
+                let _ = imm;
+                pc = next;
+                continue;
+            }
+            Callr { .. } => {
+                pc = next;
+                continue;
+            }
+            _ if insn.is_cond_branch() => {
+                if let Some(t) = insn.static_target() {
+                    if image.text_range().contains(&t) {
+                        successors.push(t);
+                    }
+                }
+                if image.text_range().contains(&next) {
+                    successors.push(next);
+                }
+                break;
+            }
+            _ => {
+                pc = next;
+                continue;
+            }
+        }
+    }
+    successors
 }
 
 /// The abstract transfer function, including the kernel API model.

@@ -1,0 +1,164 @@
+//! Systematic kernel-API fault injection and harness resilience.
+//!
+//! The fault plan forks an alternative state at every eligible acquisition
+//! call site (pool, shared memory, I/O mappings, interrupt/timer
+//! registration, registry reads) in which that acquisition fails. These
+//! tests pin the contract:
+//!
+//! - the clean reference driver survives full injection with zero bugs
+//!   (fault paths are not false positives),
+//! - every faulty NIC driver gains injected-fault bugs, including the
+//!   unchecked-failure class, and each such bug replays deterministically,
+//! - the parallel explorer finds the same injected-fault bug set,
+//! - a panicking state is isolated as a run-health incident instead of
+//!   aborting the run (serial and parallel).
+
+use std::collections::BTreeSet;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+use ddt::core::Decision;
+use ddt::{
+    replay_bug, //
+    test_parallel,
+    Bug,
+    BugClass,
+    Ddt,
+    DdtConfig,
+    DriverUnderTest,
+    FaultPlan,
+    ReplayOutcome,
+};
+
+fn faulty() -> Ddt {
+    Ddt::new(DdtConfig { fault_plan: FaultPlan::full(), ..DdtConfig::default() })
+}
+
+fn nic_dut(name: &str) -> DriverUnderTest {
+    let spec = ddt::drivers::driver_by_name(name).expect("bundled driver");
+    DriverUnderTest::from_spec(&spec)
+}
+
+fn has_injected_fault(bug: &Bug) -> bool {
+    bug.decisions.iter().any(|d| matches!(d, Decision::InjectFault { .. }))
+}
+
+/// Full injection must surface bugs on injected-fault paths — among them
+/// one of `expect_class` — and every injected-fault bug must replay.
+fn assert_injection_finds_and_replays(name: &str, expect_class: BugClass) {
+    let dut = nic_dut(name);
+    let report = faulty().test(&dut);
+    assert!(
+        report.health.faults_total() > 0,
+        "{name}: no faults were injected at all"
+    );
+    let injected: Vec<&Bug> = report.bugs.iter().filter(|b| has_injected_fault(b)).collect();
+    assert!(!injected.is_empty(), "{name}: injection surfaced no new bugs");
+    assert!(
+        injected.iter().any(|b| b.class == expect_class),
+        "{name}: expected a {expect_class} bug on an injected-fault path, got {:?}",
+        injected.iter().map(|b| (b.class, b.description.as_str())).collect::<Vec<_>>()
+    );
+    for bug in injected {
+        match replay_bug(&dut, bug) {
+            ReplayOutcome::Reproduced { .. } => {}
+            ReplayOutcome::NotReproduced { observed } => panic!(
+                "{name}: injected-fault bug not reproduced: [{}] {} (observed {observed})",
+                bug.class, bug.description
+            ),
+        }
+    }
+}
+
+#[test]
+fn clean_driver_survives_full_fault_injection() {
+    let dut = DriverUnderTest::from_spec(&ddt::drivers::clean_driver());
+    let report = faulty().test(&dut);
+    assert!(
+        report.bugs.is_empty(),
+        "the clean driver checks every acquisition status: {:?}",
+        report.bugs.iter().map(|b| b.description.as_str()).collect::<Vec<_>>()
+    );
+    assert!(report.relative_coverage() > 0.9);
+    // The run did exercise the fault paths, it just found them handled.
+    assert!(report.health.faults_total() > 0);
+    assert_eq!(report.health.panics_caught, 0);
+}
+
+#[test]
+fn pcnet_crashes_on_failed_packet_pool_and_skips_the_status() {
+    // The SharedMemory fault at the pool allocation makes pcnet hand the
+    // NULL pool handle straight to NdisAllocatePacket — a kernel crash —
+    // and on the surviving path Initialize still claims success.
+    assert_injection_finds_and_replays("pcnet", BugClass::KernelCrash);
+    assert_injection_finds_and_replays("pcnet", BugClass::UncheckedFailure);
+}
+
+#[test]
+fn rtl8029_uses_the_config_handle_after_a_failed_open() {
+    // The Registry fault at NdisOpenConfiguration leaves handle 0, which
+    // rtl8029 passes to NdisReadConfiguration unchecked — a kernel crash.
+    assert_injection_finds_and_replays("rtl8029", BugClass::KernelCrash);
+}
+
+#[test]
+fn pro100_never_checks_registration_status() {
+    assert_injection_finds_and_replays("pro100", BugClass::UncheckedFailure);
+}
+
+#[test]
+fn pro1000_never_checks_registration_status() {
+    assert_injection_finds_and_replays("pro1000", BugClass::UncheckedFailure);
+}
+
+#[test]
+fn parallel_matches_serial_under_fault_injection() {
+    let dut = nic_dut("pcnet");
+    let ddt = faulty();
+    let serial = ddt.test(&dut);
+    let parallel = test_parallel(&ddt, &dut, 3);
+    let sk: BTreeSet<&str> = serial.bugs.iter().map(|b| b.key.as_str()).collect();
+    let pk: BTreeSet<&str> = parallel.bugs.iter().map(|b| b.key.as_str()).collect();
+    assert_eq!(sk, pk, "parallel injection finds the same bug set");
+    assert!(parallel.health.faults_total() > 0);
+}
+
+#[test]
+fn serial_run_survives_a_panicking_state() {
+    let dut = DriverUnderTest::from_spec(&ddt::drivers::clean_driver());
+    // The 25th scheduled quantum panics: by then the root has forked, so
+    // the incident costs one in-flight state, not the exploration.
+    let config = DdtConfig {
+        panic_hook: Some(Arc::new(AtomicU64::new(25))),
+        ..DdtConfig::default()
+    };
+    let report = Ddt::new(config).test(&dut);
+    assert_eq!(report.health.panics_caught, 1, "the panic is recorded, not fatal");
+    assert!(report.bugs.is_empty());
+    assert!(
+        report.stats.paths_completed > 5,
+        "exploration continued past the incident ({} paths completed)",
+        report.stats.paths_completed
+    );
+}
+
+#[test]
+fn parallel_run_survives_a_panicking_state() {
+    let dut = DriverUnderTest::from_spec(&ddt::drivers::clean_driver());
+    let config = DdtConfig {
+        panic_hook: Some(Arc::new(AtomicU64::new(25))),
+        ..DdtConfig::default()
+    };
+    let report = test_parallel(&Ddt::new(config), &dut, 3);
+    assert_eq!(report.health.panics_caught, 1);
+    assert!(report.bugs.is_empty());
+    assert!(report.stats.paths_completed > 5);
+}
+
+#[test]
+fn run_health_is_pristine_on_an_uneventful_run() {
+    let dut = DriverUnderTest::from_spec(&ddt::drivers::clean_driver());
+    let report = Ddt::default().test(&dut);
+    assert!(report.health.pristine(), "{:?}", report.health);
+    assert_eq!(report.health.faults_total(), 0, "plan defaults to disabled");
+}

@@ -1,0 +1,97 @@
+//! Offline stand-in for `criterion`: runs each benchmark closure a fixed
+//! number of iterations and prints mean wall-clock time per iteration. No
+//! statistics, plots, or baselines — enough for `cargo bench` to build and
+//! give rough numbers offline.
+
+use std::time::Instant;
+
+/// Benchmark driver; collects and prints per-benchmark timings.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples to take per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Honored for CLI compatibility; no arguments are parsed offline.
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { iters: self.sample_size as u64, elapsed_ns: 0 };
+        f(&mut b);
+        let per_iter = b.elapsed_ns / b.iters.max(1);
+        println!("bench {id:<45} {per_iter:>12} ns/iter ({} iters)", b.iters);
+        self
+    }
+}
+
+/// Timing context handed to each benchmark closure.
+#[derive(Clone, Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: u64,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of iterations.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos() as u64;
+    }
+}
+
+/// Prevents the optimizer from deleting a value (re-export convenience).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,84 @@
+//! Offline stand-in for `crossbeam`, providing the one type this workspace
+//! uses: `crossbeam::queue::SegQueue`. The implementation is a mutexed
+//! `VecDeque` rather than a lock-free segmented queue — same API and
+//! semantics (unbounded MPMC, never poisons callers), lower throughput.
+
+pub mod queue {
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// An unbounded multi-producer multi-consumer FIFO queue.
+    #[derive(Debug, Default)]
+    pub struct SegQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> SegQueue<T> {
+        /// Creates an empty queue.
+        pub fn new() -> SegQueue<T> {
+            SegQueue { inner: Mutex::new(VecDeque::new()) }
+        }
+
+        fn guard(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+            // A panic while holding the lock cannot leave the queue in a
+            // broken state (push/pop are atomic on VecDeque), so poisoning
+            // is safe to ignore — matching lock-free SegQueue behavior.
+            self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+        }
+
+        /// Appends an element at the tail.
+        pub fn push(&self, value: T) {
+            self.guard().push_back(value);
+        }
+
+        /// Removes the head element, if any.
+        pub fn pop(&self) -> Option<T> {
+            self.guard().pop_front()
+        }
+
+        /// Number of queued elements (racy snapshot, like crossbeam's).
+        pub fn len(&self) -> usize {
+            self.guard().len()
+        }
+
+        /// True when no elements are queued (racy snapshot).
+        pub fn is_empty(&self) -> bool {
+            self.guard().is_empty()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fifo_and_threaded_drain() {
+            let q = SegQueue::new();
+            q.push(1);
+            q.push(2);
+            assert_eq!(q.len(), 2);
+            assert_eq!(q.pop(), Some(1));
+            assert_eq!(q.pop(), Some(2));
+            assert_eq!(q.pop(), None);
+            assert!(q.is_empty());
+
+            let q = std::sync::Arc::new(SegQueue::new());
+            for i in 0..100 {
+                q.push(i);
+            }
+            let mut handles = Vec::new();
+            for _ in 0..4 {
+                let q = q.clone();
+                handles.push(std::thread::spawn(move || {
+                    let mut n = 0;
+                    while q.pop().is_some() {
+                        n += 1;
+                    }
+                    n
+                }));
+            }
+            let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+            assert_eq!(total, 100);
+        }
+    }
+}

@@ -1,0 +1,476 @@
+//! Offline stand-in for `proptest`, implementing the strategy/macro subset
+//! this workspace's property tests use. Generation is deterministic (fixed
+//! splitmix64 seed per case index) and there is no shrinking: a failing case
+//! reports its case number and generated inputs via the assertion message.
+
+pub mod test_runner {
+    use std::fmt;
+
+    /// Per-test configuration; only `cases` is honored.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases to run.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` generated inputs.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// A failed property (raised by `prop_assert!`-family macros).
+    #[derive(Clone, Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// Builds a failure with a message.
+        pub fn fail(msg: String) -> TestCaseError {
+            TestCaseError(msg)
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Deterministic splitmix64 generator.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the generator for one test case.
+        pub fn from_case(case: u32) -> TestRng {
+            TestRng { state: 0x9e37_79b9_7f4a_7c15_u64.wrapping_mul(case as u64 + 1) }
+        }
+
+        /// Next 64 uniform bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Next 32 uniform bits.
+        pub fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+    use std::rc::Rc;
+
+    /// A generator of values of type `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Produces one value.
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Builds recursive values: up to `depth` nested applications of
+        /// `grow` over `self` as the leaf strategy. The size-hint arguments
+        /// of real proptest are accepted and ignored.
+        fn prop_recursive<S2, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch: u32,
+            grow: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            S2: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S2,
+        {
+            let leaf = self.boxed();
+            let mut cur = leaf.clone();
+            for _ in 0..depth {
+                let deeper = grow(cur.clone()).boxed();
+                let l = leaf.clone();
+                cur = BoxedStrategy::new(move |rng| {
+                    if rng.below(3) == 0 {
+                        l.gen_value(rng)
+                    } else {
+                        deeper.gen_value(rng)
+                    }
+                });
+            }
+            cur
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy::new(move |rng| self.gen_value(rng))
+        }
+    }
+
+    /// A cloneable type-erased strategy.
+    pub struct BoxedStrategy<T> {
+        gen: Rc<dyn Fn(&mut TestRng) -> T>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy { gen: Rc::clone(&self.gen) }
+        }
+    }
+
+    impl<T> BoxedStrategy<T> {
+        /// Wraps a generation function.
+        pub fn new(f: impl Fn(&mut TestRng) -> T + 'static) -> BoxedStrategy<T> {
+            BoxedStrategy { gen: Rc::new(f) }
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            (self.gen)(rng)
+        }
+    }
+
+    /// Always produces a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn gen_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniformly picks one of several strategies (built by `prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union over type-erased alternatives.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            let ix = rng.below(self.options.len() as u64) as usize;
+            self.options[ix].gen_value(rng)
+        }
+    }
+
+    /// `Strategy::prop_map` adapter.
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+
+        fn gen_value(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.gen_value(rng))
+        }
+    }
+
+    /// `any::<T>()` adapter over [`Arbitrary`].
+    #[derive(Clone, Debug, Default)]
+    pub struct Any<T> {
+        _marker: PhantomData<T>,
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Types with a canonical full-range generator.
+    pub trait Arbitrary {
+        /// Generates an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// The strategy for an unconstrained `A`.
+    pub fn any<A: Arbitrary>() -> Any<A> {
+        Any { _marker: PhantomData }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    assert!(span > 0, "empty range strategy");
+                    (self.start as u64).wrapping_add(rng.below(span)) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    let lo = *self.start() as u64;
+                    let hi = *self.end() as u64;
+                    if lo == 0 && hi == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    lo.wrapping_add(rng.below(hi - lo + 1)) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($n:tt $s:ident),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$n.gen_value(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (0 A, 1 B)
+        (0 A, 1 B, 2 C)
+        (0 A, 1 B, 2 C, 3 D)
+        (0 A, 1 B, 2 C, 3 D, 4 E)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `Vec` strategy with element strategy `element` and length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start).max(1) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+}
+
+pub mod array {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for fixed-size arrays of 8 elements.
+    pub struct UniformArray8<S> {
+        element: S,
+    }
+
+    /// An `[T; 8]` strategy from one element strategy.
+    pub fn uniform8<S: Strategy>(element: S) -> UniformArray8<S> {
+        UniformArray8 { element }
+    }
+
+    impl<S: Strategy> Strategy for UniformArray8<S> {
+        type Value = [S::Value; 8];
+
+        fn gen_value(&self, rng: &mut TestRng) -> [S::Value; 8] {
+            std::array::from_fn(|_| self.element.gen_value(rng))
+        }
+    }
+}
+
+/// The usual proptest import surface.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Uniformly selects among the listed strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {:?} != {:?}", l, r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {:?} != {:?}: {}", l, r, format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+/// Fails the current case if both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {:?} == {:?}", l, r),
+            ));
+        }
+    }};
+}
+
+/// Declares property tests: each `fn` runs `cases` times over generated
+/// inputs. `prop_assert!` failures report the case index; there is no
+/// shrinking in this stand-in.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            @cfg($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (@cfg($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cfg = $cfg;
+            for case in 0..cfg.cases {
+                let mut rng = $crate::test_runner::TestRng::from_case(case);
+                $(
+                    let $arg = $crate::strategy::Strategy::gen_value(&($strat), &mut rng);
+                )+
+                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                if let ::core::result::Result::Err(e) = outcome {
+                    panic!("proptest case {case} failed: {e}");
+                }
+            }
+        }
+    )*};
+}

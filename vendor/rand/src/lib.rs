@@ -1,0 +1,5 @@
+//! Offline placeholder for `rand`. The workspace declares `rand` as a
+//! dev-dependency in a couple of crates but no code imports it; this empty
+//! crate satisfies dependency resolution without network access. If real
+//! randomness is needed later, extend this with a small PRNG or gate the
+//! dependency.

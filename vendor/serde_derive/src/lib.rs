@@ -1,0 +1,394 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the offline serde
+//! stand-in. Implemented directly on `proc_macro` token trees (no syn/quote —
+//! the build environment has no registry access), which is sufficient because
+//! every derive site in this workspace is a non-generic struct or enum with
+//! no `#[serde(...)]` attributes.
+//!
+//! Wire shape (mirrors serde_json's externally-tagged defaults):
+//! - named struct        -> map of field name -> value
+//! - newtype struct      -> the inner value
+//! - tuple struct        -> list of values
+//! - unit enum variant   -> the variant name as a string
+//! - newtype variant     -> one-entry map: name -> inner value
+//! - tuple variant       -> one-entry map: name -> list
+//! - struct variant      -> one-entry map: name -> field map
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct { name: String, fields: Vec<String> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derives the stand-in `serde::Serialize` (value-model rendering).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_item(input);
+    gen_serialize(&shape).parse().expect("generated Serialize impl parses")
+}
+
+/// Derives the stand-in `serde::Deserialize` (value-model parsing).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_item(input);
+    gen_deserialize(&shape).parse().expect("generated Deserialize impl parses")
+}
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn is_ident(t: &TokenTree, s: &str) -> bool {
+    matches!(t, TokenTree::Ident(i) if i.to_string() == s)
+}
+
+/// Advances past `#[...]` attributes and a `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        if i < toks.len() && is_punct(&toks[i], '#') {
+            i += 2; // '#' + bracketed group
+        } else if i < toks.len() && is_ident(&toks[i], "pub") {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1; // pub(crate) etc.
+                }
+            }
+        } else {
+            return i;
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Shape {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&toks, 0);
+    let is_enum = if is_ident(&toks[i], "struct") {
+        false
+    } else if is_ident(&toks[i], "enum") {
+        true
+    } else {
+        panic!("serde stand-in derive: expected struct or enum, got {:?}", toks[i]);
+    };
+    i += 1;
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde stand-in derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if i < toks.len() && is_punct(&toks[i], '<') {
+        panic!("serde stand-in derive does not support generic type `{name}`");
+    }
+    if is_enum {
+        let TokenTree::Group(body) = &toks[i] else {
+            panic!("serde stand-in derive: expected enum body");
+        };
+        Shape::Enum { name, variants: parse_variants(body.stream()) }
+    } else {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct { name, fields: parse_named_fields(g.stream()) }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct { name, arity: count_tuple_fields(g.stream()) }
+            }
+            _ => Shape::UnitStruct { name },
+        }
+    }
+}
+
+/// Advances past one type, tracking `<...>` nesting, up to a top-level comma.
+/// Returns the index just past the comma (or the end).
+fn skip_type(toks: &[TokenTree], mut i: usize) -> usize {
+    let mut depth = 0i32;
+    while i < toks.len() {
+        if is_punct(&toks[i], '<') {
+            depth += 1;
+        } else if is_punct(&toks[i], '>') {
+            depth -= 1;
+        } else if is_punct(&toks[i], ',') && depth == 0 {
+            return i + 1;
+        }
+        i += 1;
+    }
+    i
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs_and_vis(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        let TokenTree::Ident(id) = &toks[i] else {
+            panic!("serde stand-in derive: expected field name, got {:?}", toks[i]);
+        };
+        fields.push(id.to_string());
+        i += 1;
+        assert!(is_punct(&toks[i], ':'), "expected `:` after field name");
+        i = skip_type(&toks, i + 1);
+    }
+    fields
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut n = 0;
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs_and_vis(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        n += 1;
+        i = skip_type(&toks, i);
+    }
+    n
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs_and_vis(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        let TokenTree::Ident(id) = &toks[i] else {
+            panic!("serde stand-in derive: expected variant name, got {:?}", toks[i]);
+        };
+        let name = id.to_string();
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional `= discriminant` up to the separating comma.
+        while i < toks.len() && !is_punct(&toks[i], ',') {
+            i += 1;
+        }
+        i += 1; // past the comma (or end)
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn gen_serialize(shape: &Shape) -> String {
+    let (name, body) = match shape {
+        Shape::NamedStruct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            (name, format!("::serde::Value::Map(vec![{}])", entries.join(", ")))
+        }
+        Shape::TupleStruct { name, arity: 1 } => {
+            (name, "::serde::Serialize::to_value(&self.0)".to_string())
+        }
+        Shape::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|n| format!("::serde::Serialize::to_value(&self.{n})"))
+                .collect();
+            (name, format!("::serde::Value::List(vec![{}])", items.join(", ")))
+        }
+        Shape::UnitStruct { name } => (name, "::serde::Value::Null".to_string()),
+        Shape::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vn}(f0) => ::serde::Value::Map(vec![(\"{vn}\".to_string(), ::serde::Serialize::to_value(f0))]),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> =
+                                (0..*n).map(|k| format!("f{k}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|k| format!("::serde::Serialize::to_value(f{k})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Map(vec![(\"{vn}\".to_string(), ::serde::Value::List(vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(vec![(\"{vn}\".to_string(), ::serde::Value::Map(vec![{}]))]),",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            (name, format!("match self {{ {} }}", arms.join(" ")))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(shape: &Shape) -> String {
+    let (name, body) = match shape {
+        Shape::NamedStruct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::map_get(m, \"{f}\")?)?"
+                    )
+                })
+                .collect();
+            (
+                name,
+                format!(
+                    "let m = v.as_map().ok_or_else(|| ::serde::DeError::expected(\"map for {name}\"))?;\n\
+                     ::core::result::Result::Ok({name} {{ {} }})",
+                    inits.join(", ")
+                ),
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => (
+            name,
+            format!(
+                "::core::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+            ),
+        ),
+        Shape::TupleStruct { name, arity } => {
+            let inits: Vec<String> = (0..*arity)
+                .map(|n| {
+                    format!(
+                        "::serde::Deserialize::from_value(l.get({n}).ok_or_else(|| ::serde::DeError::expected(\"element {n} of {name}\"))?)?"
+                    )
+                })
+                .collect();
+            (
+                name,
+                format!(
+                    "let l = v.as_list().ok_or_else(|| ::serde::DeError::expected(\"list for {name}\"))?;\n\
+                     ::core::result::Result::Ok({name}({}))",
+                    inits.join(", ")
+                ),
+            )
+        }
+        Shape::UnitStruct { name } => {
+            (name, format!("let _ = v; ::core::result::Result::Ok({name})"))
+        }
+        Shape::Enum { name, variants } => {
+            let mut unit_arms = Vec::new();
+            let mut tagged_arms = Vec::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push(format!(
+                        "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}),"
+                    )),
+                    VariantKind::Tuple(1) => tagged_arms.push(format!(
+                        "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(inner)?)),"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|k| {
+                                format!(
+                                    "::serde::Deserialize::from_value(l.get({k}).ok_or_else(|| ::serde::DeError::expected(\"element {k} of {name}::{vn}\"))?)?"
+                                )
+                            })
+                            .collect();
+                        tagged_arms.push(format!(
+                            "\"{vn}\" => {{ let l = inner.as_list().ok_or_else(|| ::serde::DeError::expected(\"list for {name}::{vn}\"))?; ::core::result::Result::Ok({name}::{vn}({})) }}",
+                            inits.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(::serde::map_get(fm, \"{f}\")?)?"
+                                )
+                            })
+                            .collect();
+                        tagged_arms.push(format!(
+                            "\"{vn}\" => {{ let fm = inner.as_map().ok_or_else(|| ::serde::DeError::expected(\"map for {name}::{vn}\"))?; ::core::result::Result::Ok({name}::{vn} {{ {} }}) }}",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            let body = format!(
+                "match v {{\n\
+                     ::serde::Value::Str(s) => match s.as_str() {{\n\
+                         {}\n\
+                         other => ::core::result::Result::Err(::serde::DeError::unknown_variant(\"{name}\", other)),\n\
+                     }},\n\
+                     ::serde::Value::Map(m) if m.len() == 1 => {{\n\
+                         let (tag, inner) = &m[0];\n\
+                         let _ = inner;\n\
+                         match tag.as_str() {{\n\
+                             {}\n\
+                             other => ::core::result::Result::Err(::serde::DeError::unknown_variant(\"{name}\", other)),\n\
+                         }}\n\
+                     }}\n\
+                     _ => ::core::result::Result::Err(::serde::DeError::expected(\"enum value for {name}\")),\n\
+                 }}",
+                unit_arms.join("\n"),
+                tagged_arms.join("\n"),
+            );
+            (name, body)
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}

@@ -57,6 +57,54 @@ fn bench_solver(c: &mut Criterion) {
     });
 }
 
+/// A query workload with the exploration's characteristic shape: a shared
+/// constraint prefix (the path condition so far) plus a per-query suffix.
+fn cache_workload() -> Vec<Vec<Expr>> {
+    let x = Expr::sym(SymId(0), 32);
+    let y = Expr::sym(SymId(1), 32);
+    let prefix = vec![
+        x.mul(&Expr::constant(3, 32)).eq(&Expr::constant(21, 32)),
+        x.ult(&Expr::constant(100, 32)),
+    ];
+    (0..24u64)
+        .map(|i| {
+            let mut q = prefix.clone();
+            q.push(y.eq(&Expr::constant(1000 + i, 32)));
+            q
+        })
+        .collect()
+}
+
+fn bench_query_cache(c: &mut Criterion) {
+    let queries = cache_workload();
+    c.bench_function("solver/query_workload_cold_uncached", |b| {
+        b.iter(|| {
+            let mut s = Solver::uncached();
+            for q in &queries {
+                black_box(s.check(q).is_sat());
+            }
+            black_box(s.stats().full_solves)
+        })
+    });
+    c.bench_function("solver/query_workload_warm_shared_cache", |b| {
+        // Prewarm one shared cache; each iteration is a fresh worker over it
+        // (the steady state of a long exploration).
+        let cache = std::sync::Arc::new(ddt_solver::QueryCache::new());
+        let mut warmer = Solver::with_cache(cache.clone());
+        for q in &queries {
+            warmer.check(q);
+        }
+        b.iter(|| {
+            let mut s = Solver::with_cache(cache.clone());
+            for q in &queries {
+                black_box(s.check(q).is_sat());
+            }
+            assert_eq!(s.stats().full_solves, 0, "warm cache must answer everything");
+            black_box(s.stats().cache_hits)
+        })
+    });
+}
+
 fn bench_vm(c: &mut Criterion) {
     let src = "
         DriverEntry:
@@ -142,6 +190,6 @@ fn bench_asm(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_expr, bench_solver, bench_vm, bench_symvm, bench_asm
+    targets = bench_expr, bench_solver, bench_query_cache, bench_vm, bench_symvm, bench_asm
 }
 criterion_main!(benches);

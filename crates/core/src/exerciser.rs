@@ -29,7 +29,7 @@ use ddt_isa::{analysis, Reg};
 use ddt_kernel::loader::{DeviceDescriptor, LoadPlan, StackLayout};
 use ddt_kernel::state::DEVICE_MMIO_BASE;
 use ddt_kernel::{EntryInvocation, ExecContext, Irql, Kernel, KernelEvent};
-use ddt_solver::Solver;
+use ddt_solver::{QueryCache, Solver};
 use ddt_symvm::{
     step, //
     SymCounter,
@@ -77,6 +77,16 @@ pub struct DdtConfig {
     /// Systematic kernel-API fault injection plan. Disabled by default so
     /// baseline bug counts match the paper's Table 2.
     pub fault_plan: FaultPlan,
+    /// Counterexample-caching solver layer (on by default). Disabling it
+    /// (`--no-query-cache`) makes every worker run the full decision
+    /// procedure on every non-trivial query — the exploration is identical,
+    /// only slower (the cache is semantically invisible by construction).
+    pub use_query_cache: bool,
+    /// Pre-built cache to share across runs (warm-cache benchmarking, or
+    /// one cache spanning several drivers). `None` means each run builds a
+    /// fresh cache shared by all of its workers. Ignored when
+    /// `use_query_cache` is false.
+    pub shared_cache: Option<Arc<QueryCache>>,
     /// Test-only resilience hook: the counter is decremented once per
     /// scheduled quantum, and the quantum that takes it to zero panics
     /// (one-shot). Used to verify that a panicking state is isolated as a
@@ -95,7 +105,29 @@ impl Default for DdtConfig {
             max_invocation_insns: 20_000,
             time_budget_ms: 120_000,
             fault_plan: FaultPlan::disabled(),
+            use_query_cache: true,
+            shared_cache: None,
             panic_hook: None,
+        }
+    }
+}
+
+impl DdtConfig {
+    /// Resolves the query cache for one run: the configured shared handle, a
+    /// fresh per-run cache, or `None` when caching is disabled. All of a
+    /// run's workers share the returned handle.
+    pub fn run_cache(&self) -> Option<Arc<QueryCache>> {
+        if !self.use_query_cache {
+            return None;
+        }
+        Some(self.shared_cache.clone().unwrap_or_default())
+    }
+
+    /// Builds one worker's solver over the run's cache handle.
+    pub(crate) fn solver_for(run_cache: &Option<Arc<QueryCache>>) -> Solver {
+        match run_cache {
+            Some(cache) => Solver::with_cache(cache.clone()),
+            None => Solver::uncached(),
         }
     }
 }
@@ -156,7 +188,8 @@ impl Ddt {
 
     /// Tests one driver binary and produces the bug report (§2).
     pub fn test(&self, dut: &DriverUnderTest) -> Report {
-        let mut solver = Solver::new();
+        let run_cache = self.config.run_cache();
+        let mut solver = DdtConfig::solver_for(&run_cache);
         let analysis = analysis::analyze(&dut.image);
         let mut coverage = Coverage::new(analysis);
         let stack = StackLayout::default();
@@ -242,6 +275,10 @@ impl Ddt {
         stats.solver_queries = solver.stats().queries;
         stats.solver_fast_hits = solver.stats().fast_path_hits;
         stats.solver_full = solver.stats().full_solves;
+        stats.solver_cache_hits = solver.stats().cache_hits;
+        stats.solver_model_reuse = solver.stats().cache_model_reuse;
+        stats.solver_unsat_subset = solver.stats().cache_unsat_subset;
+        stats.cache_evictions = run_cache.as_ref().map_or(0, |c| c.stats().evictions);
         stats.symbols = sym_counter.allocated();
         let insn_exhausted = stats.insns > self.config.max_total_insns;
         let wall_exhausted = stats.wall_ms > self.config.time_budget_ms;

@@ -52,5 +52,5 @@ pub use faults::{FaultInjector, FaultPlan};
 pub use hardware::DdtEnv;
 pub use machine::{Frame, Machine, SymHost};
 pub use parallel::test_parallel;
-pub use replay::{replay_bug, ReplayOutcome};
+pub use replay::{decision_streams, replay_bug, ReplayOutcome};
 pub use report::{Bug, BugClass, Decision, ExploreStats, Report, RunHealth};

@@ -25,10 +25,9 @@ use crossbeam::queue::SegQueue;
 use ddt_isa::analysis;
 use ddt_kernel::loader::StackLayout;
 use ddt_kernel::state::DEVICE_MMIO_BASE;
-use ddt_solver::Solver;
 
 use crate::coverage::Coverage;
-use crate::exerciser::{Ddt, DriverUnderTest};
+use crate::exerciser::{Ddt, DdtConfig, DriverUnderTest};
 use crate::hardware::DdtEnv;
 use crate::machine::Machine;
 use crate::report::{Bug, ExploreStats, Report, RunHealth};
@@ -61,6 +60,10 @@ pub fn test_parallel(ddt: &Ddt, dut: &DriverUnderTest, workers: usize) -> Report
     let root = ddt.make_root_machine(dut);
     queue.push(root);
 
+    // One counterexample cache for the whole worker pool: a constraint set
+    // solved (or refuted) by any worker is a cache hit for every other.
+    let run_cache = ddt.config.run_cache();
+
     let merged: Mutex<HashMap<String, Bug>> = Mutex::new(HashMap::new());
     let all_stats: Mutex<Vec<ExploreStats>> = Mutex::new(Vec::new());
     let started = std::time::Instant::now();
@@ -68,7 +71,7 @@ pub fn test_parallel(ddt: &Ddt, dut: &DriverUnderTest, workers: usize) -> Report
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| {
-                let mut solver = Solver::new();
+                let mut solver = DdtConfig::solver_for(&run_cache);
                 let mut env = DdtEnv::new(
                     DEVICE_MMIO_BASE,
                     dut.descriptor.mmio_len,
@@ -150,6 +153,9 @@ pub fn test_parallel(ddt: &Ddt, dut: &DriverUnderTest, workers: usize) -> Report
                 stats.solver_queries = solver.stats().queries;
                 stats.solver_fast_hits = solver.stats().fast_path_hits;
                 stats.solver_full = solver.stats().full_solves;
+                stats.solver_cache_hits = solver.stats().cache_hits;
+                stats.solver_model_reuse = solver.stats().cache_model_reuse;
+                stats.solver_unsat_subset = solver.stats().cache_unsat_subset;
                 relock(&merged).extend(bugs);
                 relock(&all_stats).push(stats);
             });
@@ -169,6 +175,9 @@ pub fn test_parallel(ddt: &Ddt, dut: &DriverUnderTest, workers: usize) -> Report
         stats.solver_queries += s.solver_queries;
         stats.solver_fast_hits += s.solver_fast_hits;
         stats.solver_full += s.solver_full;
+        stats.solver_cache_hits += s.solver_cache_hits;
+        stats.solver_model_reuse += s.solver_model_reuse;
+        stats.solver_unsat_subset += s.solver_unsat_subset;
         stats.max_cow_depth = stats.max_cow_depth.max(s.max_cow_depth);
         stats.states_dropped += s.states_dropped;
         stats.panics_caught += s.panics_caught;
@@ -179,6 +188,8 @@ pub fn test_parallel(ddt: &Ddt, dut: &DriverUnderTest, workers: usize) -> Report
         stats.faults_registry += s.faults_registry;
     }
     stats.paths_started += 1; // The root.
+    // Evictions are a property of the one shared cache, not per worker.
+    stats.cache_evictions = run_cache.as_ref().map_or(0, |c| c.stats().evictions);
     stats.wall_ms = started.elapsed().as_millis() as u64;
     let insn_exhausted = stats.insns > ddt.config.max_total_insns;
     let wall_exhausted = stats.wall_ms > ddt.config.time_budget_ms;
@@ -224,6 +235,29 @@ mod tests {
         let report = test_parallel(&Ddt::default(), &dut, 4);
         assert!(report.bugs.is_empty());
         assert!(report.relative_coverage() > 0.9);
+    }
+
+    #[test]
+    fn workers_share_one_query_cache() {
+        let spec = ddt_drivers::driver_by_name("rtl8029").expect("bundled");
+        let dut = DriverUnderTest::from_spec(&spec);
+        let cache = std::sync::Arc::new(ddt_solver::QueryCache::new());
+        let mut ddt = Ddt::default();
+        ddt.config.shared_cache = Some(cache.clone());
+        let report = test_parallel(&ddt, &dut, 2);
+        assert!(report.stats.solver_queries > 0);
+        assert!(!cache.is_empty(), "the run's solves must land in the shared cache");
+        // A warm re-run over the same handle answers from the cache.
+        let warm = test_parallel(&ddt, &dut, 2);
+        let warm_hits = warm.stats.solver_cache_hits
+            + warm.stats.solver_model_reuse
+            + warm.stats.solver_unsat_subset;
+        assert!(warm_hits > 0, "warm cache produced no hits");
+        let mut ck: Vec<&str> = report.bugs.iter().map(|b| b.key.as_str()).collect();
+        let mut wk: Vec<&str> = warm.bugs.iter().map(|b| b.key.as_str()).collect();
+        ck.sort_unstable();
+        wk.sort_unstable();
+        assert_eq!(ck, wk, "warm cache changed the bug set");
     }
 
     #[test]

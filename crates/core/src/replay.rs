@@ -547,6 +547,18 @@ impl ConcreteRunner {
 
 }
 
+/// The decision schedules of a bug set, keyed and sorted by dedup key — the
+/// canonical form for differential comparison. Two explorations are
+/// schedule-identical iff their streams are equal: same bugs, and for each
+/// bug the same interrupt injections, forced failures, and backtracks in the
+/// same order. The cached-vs-uncached harness asserts exactly this.
+pub fn decision_streams(bugs: &[Bug]) -> Vec<(String, Vec<Decision>)> {
+    let mut streams: Vec<(String, Vec<Decision>)> =
+        bugs.iter().map(|b| (b.key.clone(), b.decisions.clone())).collect();
+    streams.sort_by(|a, b| a.0.cmp(&b.0));
+    streams
+}
+
 /// Replays a bug concretely and checks the same failure class fires.
 pub fn replay_bug(dut: &DriverUnderTest, bug: &Bug) -> ReplayOutcome {
     // Hardware read values in trace order, from the solved model.

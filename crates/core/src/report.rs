@@ -142,6 +142,14 @@ pub struct ExploreStats {
     pub solver_fast_hits: u64,
     /// Queries requiring full bit-blasting and CDCL search.
     pub solver_full: u64,
+    /// Queries answered by exact-key hits in the shared query cache.
+    pub solver_cache_hits: u64,
+    /// `Sat` verdicts proved by reusing a cached counterexample.
+    pub solver_model_reuse: u64,
+    /// `Unsat` verdicts proved by a cached UNSAT subset.
+    pub solver_unsat_subset: u64,
+    /// Entries evicted from the shared query cache (LRU, per entry).
+    pub cache_evictions: u64,
     /// Exploration wall-clock milliseconds.
     pub wall_ms: u64,
     /// Maximum copy-on-write memory chain depth observed.
@@ -194,8 +202,18 @@ pub struct RunHealth {
     pub states_dropped: u64,
     /// Paths killed by the per-invocation instruction budget.
     pub budget_kills: u64,
-    /// Solver queries that fell back to full bit-blasting + CDCL search.
+    /// Solver queries that fell back to full bit-blasting + CDCL search
+    /// (the query-cache misses, counted after the candidate fast path).
     pub solver_fallbacks: u64,
+    /// Queries answered by exact-key hits in the shared query cache.
+    pub cache_hits: u64,
+    /// `Sat` verdicts proved by reusing a cached counterexample instead of
+    /// blasting (verdict-grade queries only; see DESIGN.md).
+    pub cache_model_reuse: u64,
+    /// `Unsat` verdicts proved by a cached UNSAT subset of the query.
+    pub cache_unsat_subset: u64,
+    /// Query-cache entries evicted (single-entry LRU, never wholesale).
+    pub cache_evictions: u64,
     /// Panicking states caught; each is a lost path, not a lost run.
     pub panics_caught: u64,
     /// Injected pool-allocation faults consumed.
@@ -222,6 +240,10 @@ impl RunHealth {
             states_dropped: stats.states_dropped,
             budget_kills: stats.paths_budget_killed,
             solver_fallbacks: stats.solver_full,
+            cache_hits: stats.solver_cache_hits,
+            cache_model_reuse: stats.solver_model_reuse,
+            cache_unsat_subset: stats.solver_unsat_subset,
+            cache_evictions: stats.cache_evictions,
             panics_caught: stats.panics_caught,
             faults_pool: stats.faults_pool,
             faults_shared: stats.faults_shared,
@@ -257,6 +279,14 @@ impl RunHealth {
         out.push_str(&format!("  states dropped at cap:  {}\n", self.states_dropped));
         out.push_str(&format!("  budget-killed paths:    {}\n", self.budget_kills));
         out.push_str(&format!("  solver full fallbacks:  {}\n", self.solver_fallbacks));
+        out.push_str(&format!(
+            "  query-cache hits:       {} (exact {}, model-reuse {}, unsat-subset {})\n",
+            self.cache_hits + self.cache_model_reuse + self.cache_unsat_subset,
+            self.cache_hits,
+            self.cache_model_reuse,
+            self.cache_unsat_subset
+        ));
+        out.push_str(&format!("  query-cache evictions:  {}\n", self.cache_evictions));
         out.push_str(&format!("  panics caught:          {}\n", self.panics_caught));
         if self.faults_total() > 0 {
             out.push_str(&format!(
@@ -352,6 +382,10 @@ mod tests {
         stats.states_dropped = 3;
         stats.paths_budget_killed = 2;
         stats.solver_full = 7;
+        stats.solver_cache_hits = 4;
+        stats.solver_model_reuse = 2;
+        stats.solver_unsat_subset = 1;
+        stats.cache_evictions = 5;
         stats.panics_caught = 1;
         stats.count_fault(FaultFamily::PoolAlloc);
         stats.count_fault(FaultFamily::Registry);
@@ -360,6 +394,10 @@ mod tests {
         assert_eq!(h.states_dropped, 3);
         assert_eq!(h.budget_kills, 2);
         assert_eq!(h.solver_fallbacks, 7);
+        assert_eq!(h.cache_hits, 4);
+        assert_eq!(h.cache_model_reuse, 2);
+        assert_eq!(h.cache_unsat_subset, 1);
+        assert_eq!(h.cache_evictions, 5);
         assert_eq!(h.panics_caught, 1);
         assert_eq!(h.faults_pool, 1);
         assert_eq!(h.faults_registry, 2);
@@ -369,6 +407,8 @@ mod tests {
         assert!(!h.pristine());
         let text = h.render();
         assert!(text.contains("panics caught"));
+        assert!(text.contains("query-cache hits:       7 (exact 4, model-reuse 2, unsat-subset 1)"));
+        assert!(text.contains("query-cache evictions:  5"));
         assert!(text.contains("registry 2"));
         assert!(text.contains("budget exhausted:       instruction"));
     }

@@ -3,7 +3,7 @@
 //! ```text
 //! ddt test <driver.dxe | bundled-name> [--audio] [--registry K=V]...
 //!          [--no-annotations] [--no-memcheck] [--faults] [--workers N]
-//!          [--json FILE] [--replay] [--health]
+//!          [--no-query-cache] [--json FILE] [--replay] [--health]
 //! ddt asm <source.s> -o <driver.dxe>
 //! ddt disas <driver.dxe>
 //! ddt info <driver.dxe | bundled-name>
@@ -23,8 +23,8 @@ use ddt::isa::image::DxeImage;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  ddt test <driver.dxe|name> [--audio] [--registry K=V]... \
-         [--no-annotations] [--no-memcheck] [--faults] [--workers N] [--json FILE] \
-         [--replay] [--health]\n  \
+         [--no-annotations] [--no-memcheck] [--faults] [--workers N] \
+         [--no-query-cache] [--json FILE] [--replay] [--health]\n  \
          ddt asm <src.s> -o <out.dxe>\n  ddt disas <driver.dxe>\n  \
          ddt info <driver.dxe|name>\n  ddt export <name> -o <out.dxe>\n  ddt list"
     );
@@ -209,6 +209,12 @@ fn main() -> ExitCode {
             }
             if args.iter().any(|a| a == "--faults") {
                 config.fault_plan = ddt::FaultPlan::full();
+            }
+            // Escape hatch: disable the shared counterexample cache. The
+            // exploration is identical (the cache is semantically
+            // invisible); only solver time changes.
+            if args.iter().any(|a| a == "--no-query-cache") {
+                config.use_query_cache = false;
             }
             let tool = ddt::Ddt::new(config);
             let started = std::time::Instant::now();

@@ -30,7 +30,8 @@
 //! | [`sdv`] | `ddt-sdv` | SDV-lite and Driver-Verifier baselines |
 
 pub use ddt_core::{
-    replay_bug, //
+    decision_streams, //
+    replay_bug,
     test_parallel,
     Annotations,
     Bug,

@@ -1,0 +1,114 @@
+//! Canonical constraint-set signatures for solver-layer caching.
+//!
+//! A satisfiability query is a *set* of boolean constraints: conjunction is
+//! commutative, associative, and idempotent, so two queries that differ only
+//! in element order or duplication must map to the same cache entry. The
+//! canonical form is the sorted (by the structural [`Ord`] on [`Expr`]),
+//! deduplicated constraint vector — keys compare by full expression
+//! equality, so hash collisions can never conflate distinct queries.
+
+use crate::node::Expr;
+
+/// Canonicalizes a constraint set into its cache-key form: sorted by the
+/// structural order and deduplicated.
+///
+/// Properties the solver cache relies on (checked by property tests):
+///
+/// - **order-insensitive**: any permutation of `constraints` produces the
+///   same key;
+/// - **duplication-insensitive**: repeating a constraint does not change the
+///   key;
+/// - **collision-free**: structurally distinct constraint sets produce
+///   distinct keys (keys carry the expressions themselves, not hashes).
+pub fn cache_key(constraints: &[Expr]) -> Vec<Expr> {
+    let mut key: Vec<Expr> = constraints.to_vec();
+    key.sort_unstable();
+    key.dedup();
+    key
+}
+
+/// A compact 64-bit superset-filter signature of a canonical key: one hash
+/// bit per constraint, OR-ed together (a Bloom filter with k = 1).
+///
+/// If key `A` is a subset of key `B` then `sig(A) & !sig(B) == 0`; the
+/// converse does not hold, so this is only a cheap pre-filter before the
+/// exact sorted-inclusion check ([`is_subset_sorted`]).
+pub fn subset_signature(key: &[Expr]) -> u64 {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    let mut sig = 0u64;
+    for e in key {
+        let mut h = DefaultHasher::new();
+        e.hash(&mut h);
+        sig |= 1u64 << (h.finish() % 64);
+    }
+    sig
+}
+
+/// Returns true if sorted-deduplicated `a` is a subset of
+/// sorted-deduplicated `b` (both in [`cache_key`] canonical form), by a
+/// linear merge walk.
+pub fn is_subset_sorted(a: &[Expr], b: &[Expr]) -> bool {
+    if a.len() > b.len() {
+        return false;
+    }
+    let mut bi = 0usize;
+    'outer: for x in a {
+        while bi < b.len() {
+            match b[bi].cmp(x) {
+                std::cmp::Ordering::Less => bi += 1,
+                std::cmp::Ordering::Equal => {
+                    bi += 1;
+                    continue 'outer;
+                }
+                std::cmp::Ordering::Greater => return false,
+            }
+        }
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SymId;
+
+    fn c(v: u64) -> Expr {
+        Expr::constant(v, 32)
+    }
+
+    fn s(id: u32) -> Expr {
+        Expr::sym(SymId(id), 32)
+    }
+
+    #[test]
+    fn key_ignores_order_and_duplicates() {
+        let a = s(0).ult(&c(5));
+        let b = c(3).ult(&s(1));
+        let k1 = cache_key(&[a.clone(), b.clone()]);
+        let k2 = cache_key(&[b.clone(), a.clone(), a.clone()]);
+        assert_eq!(k1, k2);
+        assert_eq!(k1.len(), 2);
+    }
+
+    #[test]
+    fn distinct_sets_get_distinct_keys() {
+        let a = s(0).ult(&c(5));
+        let b = s(0).ult(&c(6));
+        assert_ne!(cache_key(std::slice::from_ref(&a)), cache_key(std::slice::from_ref(&b)));
+        assert_ne!(cache_key(std::slice::from_ref(&a)), cache_key(&[a, b]));
+    }
+
+    #[test]
+    fn subset_walk_agrees_with_set_semantics() {
+        let a = cache_key(&[s(0).ult(&c(5))]);
+        let ab = cache_key(&[s(0).ult(&c(5)), c(3).ult(&s(1))]);
+        assert!(is_subset_sorted(&a, &ab));
+        assert!(!is_subset_sorted(&ab, &a));
+        assert!(is_subset_sorted(&ab, &ab));
+        assert!(is_subset_sorted(&[], &a));
+        // The signature filter never rejects a true subset.
+        assert_eq!(subset_signature(&a) & !subset_signature(&ab), 0);
+    }
+}

@@ -25,11 +25,13 @@
 //! assert_eq!(e.width(), 1);
 //! ```
 
+mod canon;
 mod eval;
 mod node;
 mod prop_tests;
 mod visit;
 
+pub use canon::{cache_key, is_subset_sorted, subset_signature};
 pub use eval::Assignment;
 pub use node::{
     fold_bin, //

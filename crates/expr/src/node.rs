@@ -24,7 +24,7 @@ impl fmt::Display for SymId {
 }
 
 /// Binary bitvector operators (operands and result share a width).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum BinOp {
     Add,
     Sub,
@@ -42,7 +42,7 @@ pub enum BinOp {
 }
 
 /// Comparison operators (operands share a width, result is 1 bit).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum CmpOp {
     Eq,
     Ne,
@@ -53,7 +53,12 @@ pub enum CmpOp {
 }
 
 /// The node of a bitvector expression tree.
-#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// The derived [`Ord`] is a total structural order (variant tag, then
+/// fields, recursively). It carries no semantic meaning; its single purpose
+/// is giving constraint sets a canonical element order for cache keys (see
+/// [`crate::cache_key`]), so it must stay consistent with `Eq` and `Hash`.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum ExprNode {
     /// A constant with `width` significant bits (stored masked).
     Const { bits: u64, width: u32 },
@@ -84,7 +89,7 @@ pub enum ExprNode {
 /// Constructed through the associated smart constructors, which constant-fold
 /// and simplify eagerly so that fully concrete computations never allocate
 /// deep trees.
-#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Expr(Arc<ExprNode>);
 
 impl fmt::Debug for Expr {

@@ -10,9 +10,16 @@
 //! - deriving the concrete bug-triggering inputs recorded in traces (§3.5).
 //!
 //! The pipeline is: cheap model guessing (zero / small / all-ones candidate
-//! assignments evaluated directly) → Tseitin bit-blasting ([`blast`]) → CDCL
-//! SAT ([`sat`]). The procedure is complete for the supported widths: every
-//! query gets a definite Sat/Unsat answer.
+//! assignments evaluated directly) → shared [`QueryCache`] (exact
+//! memoization, UNSAT subset subsumption, counterexample reuse — see
+//! [`cache`]) → Tseitin bit-blasting ([`blast`]) → CDCL SAT ([`sat`]). The
+//! procedure is complete for the supported widths: every query gets a
+//! definite Sat/Unsat answer.
+//!
+//! Full solves always assert constraints in *canonical key order* (sorted,
+//! deduplicated), so a solve is a deterministic function of the query set —
+//! the property that lets cached and uncached runs produce bit-identical
+//! explorations.
 //!
 //! # Examples
 //!
@@ -28,13 +35,25 @@
 //!     SatResult::Unsat => panic!("7 * 3 == 21"),
 //! }
 //! ```
+//!
+//! Workers share one cache by construction:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use ddt_solver::{QueryCache, Solver};
+//!
+//! let cache = Arc::new(QueryCache::new());
+//! let worker_a = Solver::with_cache(cache.clone());
+//! let worker_b = Solver::with_cache(cache.clone());
+//! # let _ = (worker_a, worker_b);
+//! ```
 
 pub mod blast;
+pub mod cache;
 pub mod sat;
 
-use std::collections::hash_map::DefaultHasher;
-use std::collections::{BTreeSet, HashMap};
-use std::hash::{Hash, Hasher};
+use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use ddt_expr::{
     collect_syms, //
@@ -42,6 +61,8 @@ use ddt_expr::{
     Expr,
     SymId,
 };
+
+pub use crate::cache::{CacheAnswer, CacheStats, QueryCache, QueryGrade};
 
 use crate::blast::Blaster;
 use crate::sat::{SatOutcome, SatSolver};
@@ -77,8 +98,12 @@ pub struct SolverStats {
     pub queries: u64,
     /// Queries answered by the cheap guessing fast path.
     pub fast_path_hits: u64,
-    /// Queries answered from the query cache.
+    /// Queries answered by exact-key cache memoization.
     pub cache_hits: u64,
+    /// `Sat` verdicts proved by reusing a cached counterexample.
+    pub cache_model_reuse: u64,
+    /// `Unsat` verdicts proved by a cached UNSAT subset.
+    pub cache_unsat_subset: u64,
     /// Queries that required bit-blasting and CDCL.
     pub full_solves: u64,
     /// Total SAT conflicts across full solves.
@@ -90,54 +115,70 @@ pub struct SolverStats {
 /// Each `check` builds a fresh SAT instance (queries in DDT are over
 /// ever-changing path constraint sets, so incrementality buys little and a
 /// fresh instance keeps learned clauses from leaking between unrelated
-/// paths), but results are memoized: sibling paths in an exploration share
-/// long constraint prefixes, so the same conjunctions recur constantly.
-#[derive(Default)]
+/// paths). Results are cached in a [`QueryCache`] that may be *shared*
+/// across solvers/workers: sibling paths in an exploration share long
+/// constraint prefixes, so the same conjunctions — and counterexamples —
+/// recur constantly across the whole worker pool, not just within one
+/// worker.
 pub struct Solver {
     stats: SolverStats,
-    /// Query cache: canonicalized constraint set → result. Keys compare by
-    /// full expression equality, so hash collisions cannot corrupt answers.
-    cache: HashMap<Vec<Expr>, SatResult>,
+    /// Shared (or private) query cache; `None` disables caching entirely
+    /// (the `--no-query-cache` escape hatch).
+    cache: Option<Arc<QueryCache>>,
 }
 
-/// Cache size bound; the cache is cleared wholesale when it fills (the
-/// exploration's locality makes a simple policy adequate).
-const CACHE_CAP: usize = 1 << 16;
+impl Default for Solver {
+    fn default() -> Solver {
+        Solver::new()
+    }
+}
 
 impl Solver {
-    /// Creates a solver.
+    /// Creates a solver with a fresh private cache.
     pub fn new() -> Solver {
-        Solver::default()
+        Solver::with_cache(Arc::new(QueryCache::new()))
     }
 
-    /// Returns accumulated statistics.
+    /// Creates a solver backed by a shared cache handle. All explorer
+    /// workers of one run share a single handle.
+    pub fn with_cache(cache: Arc<QueryCache>) -> Solver {
+        Solver { stats: SolverStats::default(), cache: Some(cache) }
+    }
+
+    /// Creates a solver with caching disabled: every non-trivial query runs
+    /// the full decision procedure.
+    pub fn uncached() -> Solver {
+        Solver { stats: SolverStats::default(), cache: None }
+    }
+
+    /// Returns accumulated per-solver statistics.
     pub fn stats(&self) -> SolverStats {
         self.stats
     }
 
-    /// Canonicalizes a constraint set for cache lookup: sorted by structural
-    /// hash (ties keep relative order — equality is still exact).
-    fn cache_key(live: &[&Expr]) -> Vec<Expr> {
-        let mut key: Vec<Expr> = live.iter().map(|e| (*e).clone()).collect();
-        key.sort_by_key(|e| {
-            let mut h = DefaultHasher::new();
-            e.hash(&mut h);
-            h.finish()
-        });
-        key.dedup();
-        key
+    /// Returns the cache handle, if caching is enabled.
+    pub fn cache(&self) -> Option<&Arc<QueryCache>> {
+        self.cache.as_ref()
     }
 
     /// Decides whether the conjunction of `constraints` is satisfiable.
     ///
     /// Constraints must be 1-bit expressions. On `Sat`, the model assigns
     /// every symbol mentioned in the constraints (unmentioned symbols are
-    /// free; callers default them to zero).
+    /// free; callers default them to zero). The model is a deterministic
+    /// function of the constraint *set*: permuting or duplicating
+    /// constraints cannot change it, and neither can the cache.
     ///
     /// # Panics
     ///
     /// Panics if any constraint is not 1 bit wide.
     pub fn check(&mut self, constraints: &[Expr]) -> SatResult {
+        // Public `check` callers consume the model (concretization, bug
+        // inputs), so only bit-deterministic cache shortcuts are allowed.
+        self.check_graded(constraints, QueryGrade::Model)
+    }
+
+    fn check_graded(&mut self, constraints: &[Expr], grade: QueryGrade) -> SatResult {
         self.stats.queries += 1;
         for c in constraints {
             assert_eq!(c.width(), 1, "constraints must be boolean: {c}");
@@ -154,24 +195,58 @@ impl Solver {
         for c in &live {
             collect_syms(c, &mut syms);
         }
-        // Fast path: try a few cheap candidate assignments.
+        // Verdict-grade queries discard the model, so the shared cache may
+        // answer them even before the fast path: any remembered
+        // counterexample (including past fast-path candidates, deposited
+        // below) that satisfies the key proves Sat without a solve. The
+        // verdict cannot differ from the uncached path — a witness is a
+        // witness — so this reordering stays semantically invisible.
+        let mut key: Option<Vec<Expr>> = None;
+        let mut looked_up = false;
+        if grade == QueryGrade::Verdict && self.cache.is_some() {
+            let k = QueryCache::canonical_key(&live);
+            match self.cache_lookup(&k, grade) {
+                Some(hit) => return hit,
+                None => looked_up = true,
+            }
+            key = Some(k);
+        }
+
+        // Fast path: try a few cheap candidate assignments. Order-insensitive
+        // and cache-independent, so it cannot perturb cached-vs-uncached
+        // equivalence. Winning candidates feed the shared counterexample
+        // ring so later verdict queries can reuse them.
         for candidate in Self::candidate_models(&syms) {
             if live.iter().all(|c| c.eval_bool(&candidate)) {
                 self.stats.fast_path_hits += 1;
+                if let Some(cache) = &self.cache {
+                    // Verdict-grade wins go to the protected ring: they are
+                    // exactly the models future feasibility checks can
+                    // reuse, and must not churn out under full-solve
+                    // deposits. Model-grade wins join the general pool.
+                    if grade == QueryGrade::Verdict {
+                        cache.remember_verdict_model(&candidate);
+                    } else {
+                        cache.remember_model(&candidate);
+                    }
+                }
                 return SatResult::Sat(candidate);
             }
         }
-        // Query cache: sibling paths share constraint prefixes.
-        let key = Self::cache_key(&live);
-        if let Some(hit) = self.cache.get(&key) {
-            self.stats.cache_hits += 1;
-            return hit.clone();
+        // Canonical form: the full solve below asserts constraints in key
+        // order even with the cache disabled, so every mode solves the same
+        // SAT instance for a given constraint set.
+        let key = key.unwrap_or_else(|| QueryCache::canonical_key(&live));
+        if !looked_up && self.cache.is_some() {
+            if let Some(hit) = self.cache_lookup(&key, grade) {
+                return hit;
+            }
         }
-        // Full decision procedure.
+        // Full decision procedure over the canonical key.
         self.stats.full_solves += 1;
         let mut sat = SatSolver::new();
         let mut blaster = Blaster::new(&mut sat);
-        for c in &live {
+        for c in &key {
             blaster.assert_true(&mut sat, c);
         }
         let result = match sat.solve() {
@@ -188,17 +263,37 @@ impl Solver {
                 // The blaster's internal division symbols are filtered out by
                 // only reporting symbols that occur in the input constraints.
                 debug_assert!(
-                    live.iter().all(|c| c.eval_bool(&model)),
+                    key.iter().all(|c| c.eval_bool(&model)),
                     "model does not satisfy constraints"
                 );
                 SatResult::Sat(model)
             }
         };
-        if self.cache.len() >= CACHE_CAP {
-            self.cache.clear();
+        if let Some(cache) = &self.cache {
+            cache.insert(key, result.clone());
         }
-        self.cache.insert(key, result.clone());
         result
+    }
+
+    /// Consults the shared cache and maps the answer onto stats. `None`
+    /// means a miss (the caller must solve).
+    fn cache_lookup(&mut self, key: &[Expr], grade: QueryGrade) -> Option<SatResult> {
+        let answer = self.cache.as_ref()?.lookup(key, grade);
+        match answer {
+            CacheAnswer::Exact(hit) => {
+                self.stats.cache_hits += 1;
+                Some(hit)
+            }
+            CacheAnswer::UnsatSubset => {
+                self.stats.cache_unsat_subset += 1;
+                Some(SatResult::Unsat)
+            }
+            CacheAnswer::ModelReuse(model) => {
+                self.stats.cache_model_reuse += 1;
+                Some(SatResult::Sat(model))
+            }
+            CacheAnswer::Miss => None,
+        }
     }
 
     fn candidate_models(syms: &BTreeSet<SymId>) -> Vec<Assignment> {
@@ -207,8 +302,11 @@ impl Solver {
     }
 
     /// Returns true if the conjunction is satisfiable.
+    ///
+    /// This is a verdict-grade query — the model is discarded — so the cache
+    /// may additionally answer it by counterexample reuse.
     pub fn is_feasible(&mut self, constraints: &[Expr]) -> bool {
-        self.check(constraints).is_sat()
+        self.check_graded(constraints, QueryGrade::Verdict).is_sat()
     }
 
     /// Returns true if `cond` can be true under `constraints`.
@@ -495,5 +593,90 @@ mod tests {
             SatResult::Sat(m) => assert_eq!(m.get_or_zero(SymId(0)) & 0xff, 0x80),
             SatResult::Unsat => panic!(),
         }
+    }
+
+    #[test]
+    fn shared_cache_hits_across_solvers() {
+        // One worker's full solve is another worker's exact hit.
+        let cache = Arc::new(QueryCache::new());
+        let query = [sym(0, 32).eq(&c32(42))]; // Misses the fast-path candidates.
+        let mut a = Solver::with_cache(cache.clone());
+        let ra = a.check(&query);
+        assert_eq!(a.stats().full_solves, 1);
+        let mut b = Solver::with_cache(cache);
+        let rb = b.check(&query);
+        assert_eq!(b.stats().cache_hits, 1);
+        assert_eq!(b.stats().full_solves, 0);
+        assert_eq!(ra, rb, "exact hit must return the memoized result verbatim");
+    }
+
+    #[test]
+    fn verdict_queries_reuse_counterexamples() {
+        let x = sym(0, 32);
+        let mut s = Solver::new();
+        // Seed the model store with x == 42 (misses every fast-path guess).
+        assert!(s.check(&[x.eq(&c32(42))]).is_sat());
+        // A different query the cached model satisfies; fast-path candidates
+        // (0, 1, max, 4, 0x80) all fail on x in (40, 50).
+        let range = [c32(40).ult(&x), x.ult(&c32(50))];
+        assert!(s.is_feasible(&range));
+        assert_eq!(s.stats().cache_model_reuse, 1);
+        assert_eq!(s.stats().full_solves, 1, "the verdict query must not blast");
+        // The same query via model-grade `check` must run the deterministic
+        // solve instead of surfacing the reused model.
+        let mut t = Solver::with_cache(s.cache().unwrap().clone());
+        assert!(t.check(&range).is_sat());
+        assert_eq!(t.stats().cache_model_reuse, 0);
+        assert_eq!(t.stats().full_solves, 1);
+    }
+
+    #[test]
+    fn unsat_subset_subsumes_superset() {
+        let x = sym(0, 32);
+        let y = sym(1, 32);
+        let core = [x.ult(&c32(5)), c32(10).ult(&x)];
+        let mut s = Solver::new();
+        assert_eq!(s.check(&core), SatResult::Unsat);
+        // Any superset is UNSAT without another solve.
+        let superset = [core[0].clone(), y.eq(&c32(7)), core[1].clone()];
+        assert_eq!(s.check(&superset), SatResult::Unsat);
+        assert_eq!(s.stats().cache_unsat_subset, 1);
+        assert_eq!(s.stats().full_solves, 1);
+    }
+
+    #[test]
+    fn uncached_mode_matches_cached_results() {
+        let x = sym(0, 32);
+        let y = sym(1, 32);
+        let queries: Vec<Vec<Expr>> = vec![
+            vec![x.eq(&c32(42))],
+            vec![x.eq(&c32(42))], // Repeat: cached run answers from cache.
+            vec![x.ult(&c32(5)), c32(10).ult(&x)],
+            vec![x.ult(&c32(5)), c32(10).ult(&x), y.eq(&c32(7))],
+            vec![x.mul(&c32(3)).eq(&c32(21)), x.ult(&c32(100))],
+        ];
+        let mut cached = Solver::new();
+        let mut uncached = Solver::uncached();
+        for q in &queries {
+            assert_eq!(
+                cached.check(q),
+                uncached.check(q),
+                "cache changed the result of {q:?}"
+            );
+        }
+        assert_eq!(uncached.stats().cache_hits, 0);
+        assert_eq!(uncached.stats().cache_model_reuse, 0);
+    }
+
+    #[test]
+    fn solve_order_is_canonical_in_every_mode() {
+        // Permuting the constraint list cannot change the returned model,
+        // even without a cache: full solves assert the canonical key.
+        let x = sym(0, 32);
+        let cs = [c32(100).ult(&x), x.ult(&c32(200)), x.urem(&c32(7)).eq(&c32(3))];
+        let forward = Solver::uncached().check(&cs);
+        let reversed: Vec<Expr> = cs.iter().rev().cloned().collect();
+        let backward = Solver::uncached().check(&reversed);
+        assert_eq!(forward, backward);
     }
 }

@@ -1,0 +1,112 @@
+//! Property tests for the counterexample-caching solver layer: for random
+//! constraint sets, a cache-backed solver must agree verdict-for-verdict
+//! with a fresh uncached solver, and every model the cached solver surfaces
+//! must actually satisfy the query it answered.
+
+use std::sync::Arc;
+
+use ddt_expr::{Expr, SymId};
+use ddt_solver::{QueryCache, SatResult, Solver};
+use proptest::prelude::*;
+
+/// Deterministically builds a small boolean constraint over two 32-bit
+/// symbols from a seed. Shapes are chosen so random conjunctions mix Sat and
+/// Unsat outcomes and regularly defeat the candidate-model fast path.
+fn constraint(seed: u32) -> Expr {
+    let x = Expr::sym(SymId(0), 32);
+    let y = Expr::sym(SymId(1), 32);
+    let k = Expr::constant((seed >> 4) as u64 & 0xff, 32);
+    match seed % 8 {
+        0 => x.eq(&k),
+        1 => x.ult(&k),
+        2 => k.ult(&x),
+        3 => x.add(&y).eq(&k),
+        4 => x.urem(&Expr::constant(((seed >> 4) % 7 + 1) as u64, 32)).eq(
+            &Expr::constant(((seed >> 8) % 3) as u64, 32),
+        ),
+        5 => x.ne(&y),
+        6 => y.ult(&k),
+        _ => x.mul(&Expr::constant(2, 32)).eq(&k),
+    }
+}
+
+fn queries_from(seeds: &[Vec<u32>]) -> Vec<Vec<Expr>> {
+    seeds
+        .iter()
+        .map(|q| q.iter().map(|&s| constraint(s)).collect())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A shared-cache solver and a fresh uncached solver agree on every
+    /// query of a random workload — including full results (models), since
+    /// model-grade answers must be bit-deterministic.
+    #[test]
+    fn cached_check_agrees_with_uncached(
+        seeds in prop::collection::vec(prop::collection::vec(any::<u32>(), 1..5), 1..12)
+    ) {
+        let queries = queries_from(&seeds);
+        let cache = Arc::new(QueryCache::new());
+        let mut cached = Solver::with_cache(cache.clone());
+        let mut uncached = Solver::uncached();
+        for q in &queries {
+            let a = cached.check(q);
+            let b = uncached.check(q);
+            prop_assert_eq!(a, b, "cache diverged on {:?}", q);
+        }
+        // A second cached solver replaying the workload (warm cache) still
+        // agrees — this is the path where exact hits dominate.
+        let mut warm = Solver::with_cache(cache);
+        let mut fresh = Solver::uncached();
+        for q in &queries {
+            prop_assert_eq!(warm.check(q), fresh.check(q));
+        }
+    }
+
+    /// Verdict-grade queries agree with an uncached solver's verdicts even
+    /// though the cache may answer them via counterexample reuse.
+    #[test]
+    fn cached_verdicts_agree_with_uncached(
+        seeds in prop::collection::vec(prop::collection::vec(any::<u32>(), 1..5), 1..12)
+    ) {
+        let queries = queries_from(&seeds);
+        let mut cached = Solver::new();
+        let mut uncached = Solver::uncached();
+        for q in &queries {
+            prop_assert_eq!(
+                cached.is_feasible(q),
+                uncached.is_feasible(q),
+                "feasibility verdict diverged on {:?}", q
+            );
+        }
+    }
+
+    /// Every model the cached solver returns genuinely satisfies the query
+    /// it answered — whatever cache mechanism produced it.
+    #[test]
+    fn cached_models_satisfy_their_queries(
+        seeds in prop::collection::vec(prop::collection::vec(any::<u32>(), 1..5), 1..12)
+    ) {
+        let queries = queries_from(&seeds);
+        let mut solver = Solver::new();
+        for q in &queries {
+            if let SatResult::Sat(model) = solver.check(q) {
+                for c in q {
+                    prop_assert!(
+                        c.eval_bool(&model),
+                        "returned model violates {} in {:?}", c, q
+                    );
+                }
+            }
+        }
+        // Replay against the warm cache: exact hits must satisfy too.
+        let mut warm = Solver::with_cache(solver.cache().unwrap().clone());
+        for q in &queries {
+            if let SatResult::Sat(model) = warm.check(q) {
+                prop_assert!(q.iter().all(|c| c.eval_bool(&model)));
+            }
+        }
+    }
+}

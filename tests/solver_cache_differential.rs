@@ -1,0 +1,126 @@
+//! Cached-vs-uncached differential harness for the shared query cache.
+//!
+//! The counterexample cache must be *semantically invisible*: with the cache
+//! on or off (`--no-query-cache`), an exploration must find the same bugs
+//! via the same decision schedules with the same solved inputs and the same
+//! coverage — only solver time may differ. This harness runs every bundled
+//! driver both ways and compares the runs field by field, then replays each
+//! bug to check the reproductions agree too.
+
+use std::collections::HashMap;
+
+use ddt::{decision_streams, replay_bug, Ddt, DdtConfig, DriverUnderTest, Report};
+
+fn run(dut: &DriverUnderTest, use_cache: bool) -> Report {
+    let mut config = DdtConfig::default();
+    config.use_query_cache = use_cache;
+    Ddt::new(config).test(dut)
+}
+
+fn all_duts() -> Vec<DriverUnderTest> {
+    let mut duts: Vec<DriverUnderTest> =
+        ddt::drivers::drivers().iter().map(DriverUnderTest::from_spec).collect();
+    duts.push(DriverUnderTest::from_spec(&ddt::drivers::clean_driver()));
+    duts
+}
+
+#[test]
+fn cache_on_and_off_explorations_are_identical() {
+    for dut in all_duts() {
+        let on = run(&dut, true);
+        let off = run(&dut, false);
+        let name = &dut.image.name;
+
+        // Identical bug sets, by stable dedup key.
+        let mut on_keys: Vec<&str> = on.bugs.iter().map(|b| b.key.as_str()).collect();
+        let mut off_keys: Vec<&str> = off.bugs.iter().map(|b| b.key.as_str()).collect();
+        on_keys.sort_unstable();
+        off_keys.sort_unstable();
+        assert_eq!(on_keys, off_keys, "{name}: bug sets diverged");
+
+        // Identical decision schedules: same interrupt injections, forced
+        // failures, and backtracks, in the same order, per bug.
+        assert_eq!(
+            decision_streams(&on.bugs),
+            decision_streams(&off.bugs),
+            "{name}: decision streams diverged"
+        );
+
+        // Identical solved inputs per bug (models are a deterministic
+        // function of the constraint set in both modes).
+        let off_inputs: HashMap<&str, _> =
+            off.bugs.iter().map(|b| (b.key.as_str(), &b.inputs)).collect();
+        for bug in &on.bugs {
+            assert_eq!(
+                Some(&&bug.inputs),
+                off_inputs.get(bug.key.as_str()),
+                "{name}: solved inputs diverged for bug {}",
+                bug.key
+            );
+        }
+
+        // Identical exploration shape and coverage.
+        assert_eq!(on.total_blocks, off.total_blocks, "{name}: total blocks");
+        assert_eq!(on.covered_blocks, off.covered_blocks, "{name}: coverage diverged");
+        assert_eq!(
+            on.stats.paths_started, off.stats.paths_started,
+            "{name}: path counts diverged"
+        );
+        assert_eq!(on.stats.insns, off.stats.insns, "{name}: instruction counts diverged");
+
+        // The uncached run must really have bypassed the cache.
+        assert_eq!(off.stats.solver_cache_hits, 0, "{name}: uncached run hit the cache");
+        assert_eq!(off.stats.solver_model_reuse, 0);
+        assert_eq!(off.stats.solver_unsat_subset, 0);
+
+        // Replaying each bug reproduces identically in both runs.
+        let off_by_key: HashMap<&str, _> =
+            off.bugs.iter().map(|b| (b.key.as_str(), b)).collect();
+        for bug in &on.bugs {
+            let other = off_by_key[bug.key.as_str()];
+            assert_eq!(
+                replay_bug(&dut, bug),
+                replay_bug(&dut, other),
+                "{name}: replay outcomes diverged for bug {}",
+                bug.key
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_shared_cache_matches_uncached_serial() {
+    for driver in ["pcnet", "ensoniq"] {
+        let spec = ddt::drivers::driver_by_name(driver).expect("bundled");
+        let dut = DriverUnderTest::from_spec(&spec);
+        let serial_off = run(&dut, false);
+        let parallel_on = ddt::test_parallel(&Ddt::default(), &dut, 4);
+        let mut sk: Vec<&str> = serial_off.bugs.iter().map(|b| b.key.as_str()).collect();
+        let mut pk: Vec<&str> = parallel_on.bugs.iter().map(|b| b.key.as_str()).collect();
+        sk.sort_unstable();
+        pk.sort_unstable();
+        assert_eq!(sk, pk, "{driver}: shared-cache parallel diverged from uncached serial");
+        // Decision *streams* are only compared serial-vs-serial: a bug's
+        // dedup key is stable across exploration order, but which equivalent
+        // path first exposes it is scheduler-dependent in a parallel run.
+    }
+}
+
+#[test]
+fn cache_counters_surface_in_stats_and_health() {
+    let spec = ddt::drivers::driver_by_name("rtl8029").expect("bundled");
+    let dut = DriverUnderTest::from_spec(&spec);
+    let on = run(&dut, true);
+    let hits =
+        on.stats.solver_cache_hits + on.stats.solver_model_reuse + on.stats.solver_unsat_subset;
+    assert!(
+        hits > 0,
+        "a multi-path exploration must produce cache activity (stats: {:?})",
+        on.stats
+    );
+    assert_eq!(on.health.cache_hits, on.stats.solver_cache_hits);
+    assert_eq!(on.health.cache_model_reuse, on.stats.solver_model_reuse);
+    assert_eq!(on.health.cache_unsat_subset, on.stats.solver_unsat_subset);
+    assert_eq!(on.health.cache_evictions, on.stats.cache_evictions);
+    assert!(on.health.render().contains("query-cache hits"));
+}

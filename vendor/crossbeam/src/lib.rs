@@ -1,7 +1,10 @@
-//! Offline stand-in for `crossbeam`, providing the one type this workspace
-//! uses: `crossbeam::queue::SegQueue`. The implementation is a mutexed
-//! `VecDeque` rather than a lock-free segmented queue — same API and
-//! semantics (unbounded MPMC, never poisons callers), lower throughput.
+//! Offline stand-in for `crossbeam`, providing the two types this workspace
+//! uses: `crossbeam::queue::SegQueue` and `crossbeam::sync::ShardedLock`.
+//! The queue is a mutexed `VecDeque` rather than a lock-free segmented
+//! queue, and the sharded lock wraps a single `std::sync::RwLock` rather
+//! than per-core shards — same APIs and semantics (unbounded MPMC / a
+//! read-optimized reader-writer lock, neither poisons callers), lower
+//! throughput.
 
 pub mod queue {
     use std::collections::VecDeque;
@@ -79,6 +82,71 @@ pub mod queue {
             }
             let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
             assert_eq!(total, 100);
+        }
+    }
+}
+
+pub mod sync {
+    use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+    /// A reader-writer lock optimized for read-mostly workloads.
+    ///
+    /// The real crossbeam implementation shards the lock per core so
+    /// uncontended reads never touch a shared cache line; this stand-in
+    /// delegates to one `std::sync::RwLock`. Poisoning is absorbed (a
+    /// panicked writer cannot leave guarded data half-updated in the
+    /// workspace's usage — every structure stays internally consistent),
+    /// matching crossbeam's no-poisoning contract.
+    #[derive(Debug, Default)]
+    pub struct ShardedLock<T> {
+        inner: RwLock<T>,
+    }
+
+    impl<T> ShardedLock<T> {
+        /// Creates a lock holding `value`.
+        pub fn new(value: T) -> ShardedLock<T> {
+            ShardedLock { inner: RwLock::new(value) }
+        }
+
+        /// Acquires shared read access.
+        pub fn read(&self) -> RwLockReadGuard<'_, T> {
+            self.inner.read().unwrap_or_else(std::sync::PoisonError::into_inner)
+        }
+
+        /// Acquires exclusive write access.
+        pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+            self.inner.write().unwrap_or_else(std::sync::PoisonError::into_inner)
+        }
+
+        /// Consumes the lock, returning the value.
+        pub fn into_inner(self) -> T {
+            self.inner.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner)
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn concurrent_readers_and_a_writer() {
+            let lock = std::sync::Arc::new(ShardedLock::new(0u64));
+            let mut handles = Vec::new();
+            for _ in 0..4 {
+                let l = lock.clone();
+                handles.push(std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        let _ = *l.read();
+                    }
+                }));
+            }
+            for _ in 0..1000 {
+                *lock.write() += 1;
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(*lock.read(), 1000);
         }
     }
 }

@@ -187,9 +187,87 @@ fn bench_asm(c: &mut Criterion) {
     });
 }
 
+/// A representative event mix for trace benchmarks (mostly Exec, some
+/// memory traffic and branches — the shape real paths produce).
+fn trace_events(n: usize) -> Vec<ddt_symvm::TraceEvent> {
+    use ddt_symvm::TraceEvent;
+    let x = Expr::sym(SymId(0), 32);
+    (0..n)
+        .map(|i| match i % 8 {
+            0 => TraceEvent::MemRead {
+                pc: i as u32,
+                addr: 0x7000_0000 + i as u32,
+                size: 4,
+                value: Some(i as u64),
+            },
+            1 => TraceEvent::Branch {
+                pc: i as u32,
+                taken: i % 2 == 0,
+                forked: i % 16 == 1,
+                constraint: x.ult(&Expr::constant(i as u64, 32)),
+            },
+            _ => TraceEvent::Exec { pc: i as u32 },
+        })
+        .collect()
+}
+
+fn bench_trace(c: &mut Criterion) {
+    use ddt_symvm::Trace;
+
+    // Trace-write overhead: what every symbolic step pays to log itself.
+    c.bench_function("trace/push_4k_events", |b| {
+        let events = trace_events(4096);
+        b.iter(|| {
+            let mut t = Trace::new();
+            for ev in &events {
+                t.push(ev.clone());
+            }
+            black_box(t.len())
+        })
+    });
+
+    // Fork cost: the shared-prefix representation freezes the local tail
+    // once and hands out a parent pointer — no event copying.
+    c.bench_function("trace/fork_after_4k_events", |b| {
+        let mut t = Trace::new();
+        for ev in trace_events(4096) {
+            t.push(ev);
+        }
+        b.iter(|| black_box(t.fork().len()))
+    });
+
+    // Reading the recent past without flattening (checkers do this on every
+    // fault) vs materializing the full log.
+    let mut deep = Trace::new();
+    for chunk in 0..64 {
+        for ev in trace_events(64) {
+            deep.push(ev);
+        }
+        let _ = deep.fork(); // Freeze a segment per chunk: a 64-deep chain.
+        let _ = chunk;
+    }
+    c.bench_function("trace/tail_window_across_segments", |b| {
+        b.iter(|| black_box(deep.tail(32).len()))
+    });
+    c.bench_function("trace/flatten_full_log", |b| {
+        b.iter(|| black_box(deep.events().len()))
+    });
+
+    // Codec throughput: what persisting / loading one artifact costs.
+    let events = trace_events(2048);
+    let encoded = ddt_trace::encode_events(&events);
+    c.bench_function("trace/codec_encode_2k_events", |b| {
+        b.iter(|| black_box(ddt_trace::encode_events(&events).len()))
+    });
+    c.bench_function("trace/codec_decode_2k_events", |b| {
+        b.iter(|| black_box(ddt_trace::decode_events(&encoded).unwrap().len()))
+    });
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_expr, bench_solver, bench_query_cache, bench_vm, bench_symvm, bench_asm
+    targets = bench_expr, bench_solver, bench_query_cache, bench_vm, bench_symvm, bench_asm,
+        bench_trace
 }
 criterion_main!(benches);

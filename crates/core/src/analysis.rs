@@ -57,7 +57,7 @@ pub fn analyze_bug(bug: &Bug) -> BugAnalysis {
     let mut interrupts = Vec::new();
     for (i, ev) in bug.trace.iter().enumerate() {
         match ev {
-            TraceEvent::SymCreate { id, label } => inputs.push(TriggerInput {
+            TraceEvent::SymCreate { id, label, .. } => inputs.push(TriggerInput {
                 label: label.clone(),
                 value: bug.inputs.get_or_zero(*id),
                 created_at: i,

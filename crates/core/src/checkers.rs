@@ -39,6 +39,10 @@ pub struct PendingBug {
     /// constrained) path condition — used by memory-checker violations,
     /// whose paths continue inside the aimed buffer after flagging.
     pub model: Option<ddt_expr::Assignment>,
+    /// Symbols the failing condition depended on, when the checker knows
+    /// them (memory violations carry the symbols of the bad address). The
+    /// provenance roots of these symbols feed the bug's trace signature.
+    pub syms: Vec<ddt_expr::SymId>,
 }
 
 /// The driver pc a fault is attributed to: for fetch faults (wild jumps)
@@ -47,16 +51,8 @@ fn fault_site(m: &Machine, fault_pc: u32, is_fetch: bool) -> u32 {
     if !is_fetch {
         return fault_pc;
     }
-    m.st
-        .trace
-        .events()
-        .iter()
-        .rev()
-        .find_map(|e| match e {
-            TraceEvent::Exec { pc } => Some(*pc),
-            _ => None,
-        })
-        .unwrap_or(fault_pc)
+    // Newest-first scan of the shared-prefix trace; no flattening.
+    m.st.trace.last_exec_pc().unwrap_or(fault_pc)
 }
 
 fn race_context(m: &Machine) -> Option<String> {
@@ -105,6 +101,7 @@ pub fn classify_violation(m: &Machine, v: &AccessViolation) -> PendingBug {
             pc: v.pc,
             key: format!("viol:{:x}:{}:{}", v.pc, m.current_entry(), m.running()),
             model: v.model.clone(),
+            syms: v.syms.clone(),
         };
     }
     let mut origins: Vec<&SymOrigin> =
@@ -149,6 +146,7 @@ pub fn classify_violation(m: &Machine, v: &AccessViolation) -> PendingBug {
         pc: v.pc,
         key: format!("viol:{:x}:{}:{}", v.pc, m.current_entry(), m.running()),
         model: v.model.clone(),
+        syms: v.syms.clone(),
     }
 }
 
@@ -193,6 +191,7 @@ pub fn classify_fault(m: &Machine, fault: &SymFault) -> Option<PendingBug> {
                 pc: site,
                 key: format!("fault:{site:x}:{}:{}", m.running(), m.current_entry()),
                 model: None,
+                syms: Vec::new(),
             }
         }
         SymFault::IllegalInsn { pc } => {
@@ -207,6 +206,7 @@ pub fn classify_fault(m: &Machine, fault: &SymFault) -> Option<PendingBug> {
                 pc: site,
                 key: format!("ill:{site:x}:{}", m.current_entry()),
                 model: None,
+                syms: Vec::new(),
             }
         }
         SymFault::Misaligned { pc, addr } => PendingBug {
@@ -215,6 +215,7 @@ pub fn classify_fault(m: &Machine, fault: &SymFault) -> Option<PendingBug> {
             pc: *pc,
             key: format!("mis:{pc:x}"),
             model: None,
+            syms: Vec::new(),
         },
         SymFault::DivByZero { pc } => PendingBug {
             class: BugClass::SegFault,
@@ -222,6 +223,7 @@ pub fn classify_fault(m: &Machine, fault: &SymFault) -> Option<PendingBug> {
             pc: *pc,
             key: format!("div:{pc:x}"),
             model: None,
+            syms: Vec::new(),
         },
     };
     Some(bug)
@@ -249,6 +251,7 @@ pub fn classify_crash(m: &Machine, crash: &CrashInfo) -> PendingBug {
             pc: site,
             key,
             model: None,
+            syms: Vec::new(),
         },
         None => PendingBug {
             class: if deadlockish { BugClass::KernelHang } else { BugClass::KernelCrash },
@@ -263,6 +266,7 @@ pub fn classify_crash(m: &Machine, crash: &CrashInfo) -> PendingBug {
             pc: site,
             key,
             model: None,
+            syms: Vec::new(),
         },
     }
 }
@@ -291,6 +295,7 @@ pub fn scan_kernel_events(m: &mut Machine) -> Vec<PendingBug> {
                         pc: m.st.cpu.pc,
                         key: format!("lockvariant:{lock:x}:{}", m.running()),
                         model: None,
+                        syms: Vec::new(),
                     });
                 }
                 if let Some(pos) = lock_stack.iter().rposition(|l| l == lock) {
@@ -304,6 +309,7 @@ pub fn scan_kernel_events(m: &mut Machine) -> Vec<PendingBug> {
                             pc: m.st.cpu.pc,
                             key: format!("lockorder:{lock:x}:{}", m.running()),
                             model: None,
+                            syms: Vec::new(),
                         });
                     }
                     lock_stack.remove(pos);
@@ -325,13 +331,14 @@ pub fn scan_kernel_events(m: &mut Machine) -> Vec<PendingBug> {
 /// with symbolic hardware they fork an exit path every iteration, and
 /// whether endless polling is a defect is hardware-model-dependent (§6.1).
 pub fn check_infinite_loop(m: &Machine, window: usize) -> Option<PendingBug> {
-    let events = m.st.trace.events();
-    if events.len() < window {
+    if m.st.trace.len() < window {
         return None;
     }
-    let tail = &events[events.len() - window..];
+    // Only the window's worth of events is materialized; the shared trace
+    // prefix is never flattened.
+    let tail = m.st.trace.tail(window);
     let mut pcs = std::collections::BTreeSet::new();
-    for ev in tail {
+    for ev in &tail {
         match ev {
             TraceEvent::Exec { pc } => {
                 pcs.insert(*pc);
@@ -357,6 +364,7 @@ pub fn check_infinite_loop(m: &Machine, window: usize) -> Option<PendingBug> {
         pc,
         key: format!("loop:{pc:x}:{}", m.running()),
         model: None,
+        syms: Vec::new(),
     })
 }
 
@@ -386,6 +394,7 @@ pub fn on_invocation_return(
                 pc: m.st.cpu.pc,
                 key: format!("heldlock:{lock:x}:{returned}"),
                 model: None,
+                syms: Vec::new(),
             });
         }
     }
@@ -403,6 +412,7 @@ pub fn on_invocation_return(
             pc: m.st.cpu.pc,
             key: format!("cfgleak:{returned}"),
             model: None,
+            syms: Vec::new(),
         });
     }
     // Unchecked-failure rule: Initialize claims success even though a
@@ -424,6 +434,7 @@ pub fn on_invocation_return(
                 pc: m.st.cpu.pc,
                 key: format!("unchecked:{family:?}:{returned}"),
                 model: None,
+                syms: Vec::new(),
             });
         }
     }
@@ -441,6 +452,7 @@ pub fn on_invocation_return(
                 pc: m.st.cpu.pc,
                 key: "memleak:Initialize".to_string(),
                 model: None,
+                syms: Vec::new(),
             });
         }
         let packets = s.live_resources(ResourceKind::Packet);
@@ -456,6 +468,7 @@ pub fn on_invocation_return(
                 pc: m.st.cpu.pc,
                 key: "rsrcleak:Initialize".to_string(),
                 model: None,
+                syms: Vec::new(),
             });
         }
         let dma = s.live_resources(ResourceKind::DmaChannel);
@@ -466,6 +479,7 @@ pub fn on_invocation_return(
                 pc: m.st.cpu.pc,
                 key: "dmaleak:Initialize".to_string(),
                 model: None,
+                syms: Vec::new(),
             });
         }
     }

@@ -92,6 +92,10 @@ pub struct DdtConfig {
     /// (one-shot). Used to verify that a panicking state is isolated as a
     /// [`RunHealth`] incident instead of aborting the run.
     pub panic_hook: Option<Arc<AtomicU64>>,
+    /// When set, every confirmed bug is persisted to this trace store
+    /// directory (binary event log + JSON manifest, §3.5), with its
+    /// decision schedule minimized against the concrete replayer first.
+    pub trace_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for DdtConfig {
@@ -108,6 +112,7 @@ impl Default for DdtConfig {
             use_query_cache: true,
             shared_cache: None,
             panic_hook: None,
+            trace_dir: None,
         }
     }
 }
@@ -282,15 +287,15 @@ impl Ddt {
         stats.symbols = sym_counter.allocated();
         let insn_exhausted = stats.insns > self.config.max_total_insns;
         let wall_exhausted = stats.wall_ms > self.config.time_budget_ms;
-        let mut bug_list: Vec<Bug> = bugs.into_values().collect();
-        bug_list.sort_by_key(|a| (a.entry.clone(), a.pc));
+        let mut health = RunHealth::from_stats(&stats, insn_exhausted, wall_exhausted);
+        let bug_list = self.finalize_bugs(bugs, &mut health, dut);
         Report {
             driver: dut.image.name.clone(),
             bugs: bug_list,
             total_blocks: coverage.total_blocks(),
             covered_blocks: coverage.covered_blocks(),
             coverage_timeline: coverage.timeline().to_vec(),
-            health: RunHealth::from_stats(&stats, insn_exhausted, wall_exhausted),
+            health,
             stats,
         }
     }
@@ -299,6 +304,38 @@ impl Ddt {
     /// explorer).
     pub(crate) fn make_root_machine(&self, dut: &DriverUnderTest) -> Machine {
         self.make_root(dut, &StackLayout::default())
+    }
+
+    /// Finalizes the keyed bug map into the report: fills the dedup
+    /// counters and persists trace artifacts when a store is configured.
+    /// Shared with the parallel explorer so both paths report identically.
+    ///
+    /// The report itself stays key-level (keys are deterministic across
+    /// exploration schedules; a bug's signature depends on which path
+    /// recorded it first, which is not). Keys sharing a signature collapse
+    /// in the store — `TraceStore::persist` merges occurrences under one
+    /// artifact — and in the `bugs_deduped` counter here.
+    pub(crate) fn finalize_bugs(
+        &self,
+        bugs: HashMap<String, Bug>,
+        health: &mut RunHealth,
+        dut: &DriverUnderTest,
+    ) -> Vec<Bug> {
+        let mut bug_list: Vec<Bug> = bugs.into_values().collect();
+        bug_list.sort_by_key(|a| (a.entry.clone(), a.pc));
+        health.bug_occurrences = bug_list.iter().map(|b| b.occurrences).sum();
+        let signatures: std::collections::HashSet<&str> =
+            bug_list.iter().map(|b| b.signature.as_str()).collect();
+        health.bugs_deduped = signatures.len() as u64;
+        if let Some(dir) = &self.config.trace_dir {
+            match crate::tracestore::persist_bugs(dir, &bug_list, dut) {
+                Ok(n) => health.traces_persisted = n,
+                // A store failure must not lose the in-memory report; the
+                // zero counter plus the message is the health signal.
+                Err(e) => eprintln!("ddt: trace store write failed: {e}"),
+            }
+        }
+        bug_list
     }
 
     /// Runs one scheduling quantum of a machine: up to [`QUANTUM`] symbolic
@@ -460,6 +497,12 @@ impl Ddt {
 
     /// Converts a pending bug into a full report entry (trace + solved
     /// inputs + decision schedule, §3.5) and dedups it.
+    ///
+    /// Deduplication is two-level: the checker key collapses repeat
+    /// sightings within this run (counted via [`Bug::occurrences`]), and the
+    /// trace signature (crash pc + frame stack + checker id + provenance
+    /// roots, §3.6) identifies the bug across states and runs once
+    /// persisted.
     fn record_bug(
         &self,
         bugs: &mut HashMap<String, Bug>,
@@ -468,7 +511,8 @@ impl Ddt {
         solver: &mut Solver,
         dut: &DriverUnderTest,
     ) {
-        if bugs.contains_key(&pending.key) {
+        if let Some(existing) = bugs.get_mut(&pending.key) {
+            existing.occurrences += 1;
             return;
         }
         let inputs = match pending.model.clone() {
@@ -482,6 +526,32 @@ impl Ddt {
                 },
             },
         };
+        // The symbols implicated at the bug site: those the checker named,
+        // or — when the checker has none (crashes, hangs) — the symbols of
+        // the last path constraint, which is the decision that steered
+        // execution here.
+        let mut site_syms = pending.syms.clone();
+        if site_syms.is_empty() {
+            if let Some(constraint) = m.st.trace.rfind_map(|ev| match ev {
+                TraceEvent::Branch { constraint, .. } => Some(constraint.clone()),
+                _ => None,
+            }) {
+                let mut set = std::collections::BTreeSet::new();
+                ddt_expr::collect_syms(&constraint, &mut set);
+                site_syms = set.into_iter().collect();
+            }
+        }
+        let trace = m.st.trace.events();
+        let provenance = ddt_trace::provenance_chains(&trace, &site_syms, &inputs);
+        let roots: Vec<String> = provenance.iter().map(|c| c.root()).collect();
+        let stack: Vec<String> =
+            m.frames.iter().map(|f| f.running().to_string()).collect();
+        let signature = ddt_trace::signature(
+            pending.pc,
+            &stack,
+            ddt_trace::checker_id(&pending.key),
+            &roots,
+        );
         let bug = Bug {
             driver: dut.image.name.clone(),
             class: pending.class,
@@ -489,17 +559,23 @@ impl Ddt {
             pc: pending.pc,
             entry: m.current_entry().to_string(),
             interrupted_entry: m.interrupted_entry(),
-            trace: m.st.trace.events(),
+            trace,
             inputs,
             decisions: m.decisions.clone(),
             key: pending.key.clone(),
+            signature,
+            occurrences: 1,
+            stack,
+            provenance,
         };
         bugs.insert(pending.key, bug);
     }
 
     /// One kernel API call: annotations around a native kernel invocation,
     /// plus symbolic-interrupt injection at the boundary (§3.3).
-    #[allow(clippy::too_many_arguments)]
+    // The Err variant is the rare bug path; boxing it would tax the hot
+    // Ok path's callers for nothing.
+    #[allow(clippy::too_many_arguments, clippy::result_large_err)]
     fn handle_kernel_call(
         &self,
         m: &mut Machine,
@@ -623,6 +699,7 @@ impl Ddt {
                     pc: m.st.cpu.pc,
                     key: format!("symlr:{}", m.kernel_calls),
                     model: None,
+                    syms: Vec::new(),
                 });
             }
         }

@@ -43,6 +43,7 @@ pub mod machine;
 pub mod parallel;
 pub mod replay;
 pub mod report;
+pub mod tracestore;
 
 pub use analysis::{analyze_bug, BugAnalysis, DeviceSpec};
 pub use annotations::Annotations;
@@ -54,3 +55,4 @@ pub use machine::{Frame, Machine, SymHost};
 pub use parallel::test_parallel;
 pub use replay::{decision_streams, replay_bug, ReplayOutcome};
 pub use report::{Bug, BugClass, Decision, ExploreStats, Report, RunHealth};
+pub use tracestore::{artifact_from_bug, bug_from_artifact, persist_bugs, replay_artifact};

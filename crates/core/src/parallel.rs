@@ -156,7 +156,20 @@ pub fn test_parallel(ddt: &Ddt, dut: &DriverUnderTest, workers: usize) -> Report
                 stats.solver_cache_hits = solver.stats().cache_hits;
                 stats.solver_model_reuse = solver.stats().cache_model_reuse;
                 stats.solver_unsat_subset = solver.stats().cache_unsat_subset;
-                relock(&merged).extend(bugs);
+                // Merge keyed bugs, summing sightings on key collisions
+                // (plain extend would silently drop a worker's count).
+                let mut g = relock(&merged);
+                for (key, bug) in bugs {
+                    match g.entry(key) {
+                        std::collections::hash_map::Entry::Occupied(mut e) => {
+                            e.get_mut().occurrences += bug.occurrences;
+                        }
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            e.insert(bug);
+                        }
+                    }
+                }
+                drop(g);
                 relock(&all_stats).push(stats);
             });
         }
@@ -193,19 +206,19 @@ pub fn test_parallel(ddt: &Ddt, dut: &DriverUnderTest, workers: usize) -> Report
     stats.wall_ms = started.elapsed().as_millis() as u64;
     let insn_exhausted = stats.insns > ddt.config.max_total_insns;
     let wall_exhausted = stats.wall_ms > ddt.config.time_budget_ms;
-    let mut bug_list: Vec<Bug> = merged
-        .into_inner()
-        .unwrap_or_else(PoisonError::into_inner)
-        .into_values()
-        .collect();
-    bug_list.sort_by_key(|a| (a.entry.clone(), a.pc));
+    let mut health = RunHealth::from_stats(&stats, insn_exhausted, wall_exhausted);
+    let bug_list = ddt.finalize_bugs(
+        merged.into_inner().unwrap_or_else(PoisonError::into_inner),
+        &mut health,
+        dut,
+    );
     Report {
         driver: dut.image.name.clone(),
         bugs: bug_list,
         total_blocks: coverage.total_blocks(),
         covered_blocks: coverage.covered_blocks(),
         coverage_timeline: coverage.timeline().to_vec(),
-        health: RunHealth::from_stats(&stats, insn_exhausted, wall_exhausted),
+        health,
         stats,
     }
 }

@@ -141,7 +141,7 @@ impl InputOverrides {
     pub fn from_bug(bug: &Bug) -> InputOverrides {
         let mut values: HashMap<String, VecDeque<u64>> = HashMap::new();
         for ev in &bug.trace {
-            if let TraceEvent::SymCreate { id, label } = ev {
+            if let TraceEvent::SymCreate { id, label, .. } = ev {
                 values.entry(label.clone()).or_default().push_back(
                     bug.inputs.get_or_zero(*id),
                 );

@@ -12,76 +12,10 @@ use ddt_kernel::FaultFamily;
 use ddt_symvm::TraceEvent;
 use serde::{Deserialize, Serialize};
 
-/// Bug classification, following the "Bug Type" column of Table 2.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-pub enum BugClass {
-    /// A non-memory resource was not released (config handles, packets...).
-    ResourceLeak,
-    /// Pool memory was not freed.
-    MemoryLeak,
-    /// A write/read past the bounds of an owned buffer.
-    MemoryCorruption,
-    /// A crash from a bad pointer (NULL deref, wild jump, unexpected OID).
-    SegFault,
-    /// A crash or corruption that needs a particular interrupt timing.
-    RaceCondition,
-    /// The kernel bug-checked (API misuse: wrong IRQL, bad handles...).
-    KernelCrash,
-    /// The kernel would hang (deadlock, lock held at return, non-LIFO).
-    KernelHang,
-    /// The driver reported success despite a failed mandatory acquisition
-    /// (an injected kernel-API fault whose status it never checked).
-    UncheckedFailure,
-}
-
-impl std::fmt::Display for BugClass {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let s = match self {
-            BugClass::ResourceLeak => "Resource leak",
-            BugClass::MemoryLeak => "Memory leak",
-            BugClass::MemoryCorruption => "Memory corruption",
-            BugClass::SegFault => "Segmentation fault",
-            BugClass::RaceCondition => "Race condition",
-            BugClass::KernelCrash => "Kernel crash",
-            BugClass::KernelHang => "Kernel hang",
-            BugClass::UncheckedFailure => "Unchecked failure",
-        };
-        f.write_str(s)
-    }
-}
-
-/// One scheduling decision DDT made on the buggy path; replay re-applies
-/// these deterministically (§3.5).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
-pub enum Decision {
-    /// A symbolic interrupt was delivered at boundary crossing `boundary`.
-    InjectInterrupt {
-        /// Boundary-crossing index (counted per path).
-        boundary: u64,
-    },
-    /// Kernel allocation call number `kernel_call` was forced to fail (the
-    /// concrete-to-symbolic "NULL alternative" annotation fork).
-    ForceAllocFail {
-        /// Kernel-call index (counted per path).
-        kernel_call: u64,
-    },
-    /// DDT backtracked a concretization at kernel call `kernel_call` and
-    /// re-issued it with a different feasible argument value (§3.2). The
-    /// excluded/selected values are captured by the path constraints, so
-    /// replay needs no special handling beyond the solved inputs.
-    ConcretizationBacktrack {
-        /// Kernel-call index (counted per path).
-        kernel_call: u64,
-    },
-    /// Kernel call number `site` had a `kind`-family fault injected: the
-    /// call ran its failure path instead of granting the resource.
-    InjectFault {
-        /// Kernel-call index (counted per path).
-        site: u64,
-        /// The fault family that failed.
-        kind: FaultFamily,
-    },
-}
+// The classification and decision vocabulary moved to `ddt-trace` so that
+// stored trace artifacts are self-describing; re-exported here under the
+// historical paths.
+pub use ddt_trace::{BugClass, Decision, ProvenanceChain};
 
 /// A found bug with everything needed to understand and replay it.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -108,6 +42,15 @@ pub struct Bug {
     pub decisions: Vec<Decision>,
     /// Dedup key (stable across path enumeration order).
     pub key: String,
+    /// Stable trace signature (crash pc + call-ish stack + checker id +
+    /// provenance roots); identifies the bug across states and runs.
+    pub signature: String,
+    /// How many states/paths reached this bug during the run.
+    pub occurrences: u64,
+    /// Call-ish stack at the failure (outermost first).
+    pub stack: Vec<String>,
+    /// Provenance chains of the symbols the failing condition depended on.
+    pub provenance: Vec<ProvenanceChain>,
 }
 
 impl Bug {
@@ -230,6 +173,14 @@ pub struct RunHealth {
     pub insn_budget_exhausted: bool,
     /// The wall-clock budget ended the run early.
     pub wall_budget_exhausted: bool,
+    /// Raw bug sightings before signature deduplication (every state/path
+    /// that reached some bug).
+    pub bug_occurrences: u64,
+    /// Distinct bugs after signature deduplication.
+    pub bugs_deduped: u64,
+    /// Trace artifacts persisted to the store this run (0 when no store
+    /// was configured).
+    pub traces_persisted: u64,
 }
 
 impl RunHealth {
@@ -252,6 +203,10 @@ impl RunHealth {
             faults_registry: stats.faults_registry,
             insn_budget_exhausted: insn_exhausted,
             wall_budget_exhausted: wall_exhausted,
+            // Filled in by the exerciser once bugs are deduped/persisted.
+            bug_occurrences: 0,
+            bugs_deduped: 0,
+            traces_persisted: 0,
         }
     }
 
@@ -301,6 +256,15 @@ impl RunHealth {
             ));
         } else {
             out.push_str("  faults injected:        0\n");
+        }
+        if self.bug_occurrences > 0 {
+            out.push_str(&format!(
+                "  bugs:                   {} distinct from {} sighting(s)\n",
+                self.bugs_deduped, self.bug_occurrences
+            ));
+        }
+        if self.traces_persisted > 0 {
+            out.push_str(&format!("  trace artifacts:        {}\n", self.traces_persisted));
         }
         let exhausted = match (self.insn_budget_exhausted, self.wall_budget_exhausted) {
             (true, true) => "instruction + wall clock",
@@ -441,10 +405,17 @@ mod tests {
             inputs: Assignment::new(),
             decisions: vec![Decision::InjectInterrupt { boundary: 3 }],
             key: "k".into(),
+            signature: "00000000deadbeef".into(),
+            occurrences: 2,
+            stack: vec!["Initialize".into(), "Isr".into()],
+            provenance: vec![],
         };
         let s = serde_json::to_string(&b).unwrap();
         let back: Bug = serde_json::from_str(&s).unwrap();
         assert_eq!(back.key, "k");
         assert_eq!(back.class, BugClass::RaceCondition);
+        assert_eq!(back.signature, "00000000deadbeef");
+        assert_eq!(back.occurrences, 2);
+        assert_eq!(back.stack.len(), 2);
     }
 }

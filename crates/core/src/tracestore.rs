@@ -1,0 +1,155 @@
+//! Glue between in-memory [`Bug`] report entries and the persistent
+//! `ddt-trace` store (§3.5).
+//!
+//! The exerciser hands finished bugs here; each becomes a
+//! [`TraceArtifact`] — JSON manifest plus binary event log — persisted
+//! under its trace signature. Before persisting, the decision schedule is
+//! minimized against the concrete replayer: any injected interrupt or
+//! forced failure that the verdict does not actually depend on is dropped
+//! from the replay recipe (the full schedule is kept in the manifest for
+//! diagnostics).
+
+use std::io;
+use std::path::Path;
+
+use ddt_trace::{
+    checker_id, //
+    minimize_decisions,
+    BugRecord,
+    TraceArtifact,
+    TraceStore,
+    MANIFEST_VERSION,
+};
+
+use crate::exerciser::DriverUnderTest;
+use crate::replay::{replay_bug, ReplayOutcome};
+use crate::report::Bug;
+
+/// Converts a report bug into a storable artifact (no minimization).
+pub fn artifact_from_bug(bug: &Bug) -> TraceArtifact {
+    TraceArtifact {
+        manifest: BugRecord {
+            version: MANIFEST_VERSION,
+            signature: bug.signature.clone(),
+            driver: bug.driver.clone(),
+            class: bug.class,
+            description: bug.description.clone(),
+            pc: bug.pc,
+            entry: bug.entry.clone(),
+            interrupted_entry: bug.interrupted_entry.clone(),
+            checker: checker_id(&bug.key).to_string(),
+            key: bug.key.clone(),
+            occurrences: bug.occurrences,
+            stack: bug.stack.clone(),
+            inputs: bug.inputs.clone(),
+            decisions: bug.decisions.clone(),
+            minimized_decisions: None,
+            provenance: bug.provenance.clone(),
+            event_count: bug.trace.len(),
+        },
+        events: bug.trace.clone(),
+    }
+}
+
+/// Reconstructs a report [`Bug`] from a stored artifact. The decision
+/// schedule is the artifact's replay schedule (minimized when available),
+/// so the result feeds straight into [`replay_bug`].
+pub fn bug_from_artifact(artifact: &TraceArtifact) -> Bug {
+    let m = &artifact.manifest;
+    Bug {
+        driver: m.driver.clone(),
+        class: m.class,
+        description: m.description.clone(),
+        pc: m.pc,
+        entry: m.entry.clone(),
+        interrupted_entry: m.interrupted_entry.clone(),
+        trace: artifact.events.clone(),
+        inputs: m.inputs.clone(),
+        decisions: m.replay_decisions().to_vec(),
+        key: m.key.clone(),
+        signature: m.signature.clone(),
+        occurrences: m.occurrences,
+        stack: m.stack.clone(),
+        provenance: m.provenance.clone(),
+    }
+}
+
+/// Replays a stored artifact concretely — no exploration, no solver; just
+/// the recorded inputs and (minimized) decision schedule against the
+/// driver binary.
+pub fn replay_artifact(dut: &DriverUnderTest, artifact: &TraceArtifact) -> ReplayOutcome {
+    replay_bug(dut, &bug_from_artifact(artifact))
+}
+
+/// Persists every bug to the store at `dir`, minimizing each decision
+/// schedule against the concrete replayer first. Returns the number of
+/// artifacts written or merged.
+pub fn persist_bugs(dir: &Path, bugs: &[Bug], dut: &DriverUnderTest) -> io::Result<u64> {
+    let store = TraceStore::open(dir)?;
+    let mut persisted = 0;
+    for bug in bugs {
+        let mut artifact = artifact_from_bug(bug);
+        if !bug.decisions.is_empty() {
+            let result = minimize_decisions(&bug.decisions, |candidate| {
+                let mut probe = bug.clone();
+                probe.decisions = candidate.to_vec();
+                matches!(replay_bug(dut, &probe), ReplayOutcome::Reproduced { .. })
+            });
+            // Only a strict trim is worth recording; `minimized` alone just
+            // means the oracle confirmed the full schedule.
+            if result.minimized && result.decisions.len() < bug.decisions.len() {
+                artifact.manifest.minimized_decisions = Some(result.decisions);
+            }
+        }
+        store.persist(&artifact)?;
+        persisted += 1;
+    }
+    Ok(persisted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddt_expr::Assignment;
+    use ddt_trace::{BugClass, Decision};
+
+    fn sample_bug() -> Bug {
+        Bug {
+            driver: "rtl8029".into(),
+            class: BugClass::SegFault,
+            description: "wild store".into(),
+            pc: 0x40_0010,
+            entry: "Initialize".into(),
+            interrupted_entry: None,
+            trace: vec![ddt_symvm::TraceEvent::Exec { pc: 0x40_0010 }],
+            inputs: Assignment::new(),
+            decisions: vec![Decision::InjectInterrupt { boundary: 3 }],
+            key: "viol:0x400010:write".into(),
+            signature: "00deadbeef00cafe".into(),
+            occurrences: 2,
+            stack: vec!["Initialize".into()],
+            provenance: vec![],
+        }
+    }
+
+    #[test]
+    fn bug_artifact_conversion_roundtrips() {
+        let bug = sample_bug();
+        let artifact = artifact_from_bug(&bug);
+        assert_eq!(artifact.manifest.checker, "viol");
+        assert_eq!(artifact.manifest.event_count, 1);
+        let back = bug_from_artifact(&artifact);
+        assert_eq!(back.signature, bug.signature);
+        assert_eq!(back.decisions, bug.decisions);
+        assert_eq!(back.trace, bug.trace);
+    }
+
+    #[test]
+    fn minimized_schedule_wins_on_reconstruction() {
+        let bug = sample_bug();
+        let mut artifact = artifact_from_bug(&bug);
+        artifact.manifest.minimized_decisions = Some(vec![]);
+        let back = bug_from_artifact(&artifact);
+        assert!(back.decisions.is_empty());
+    }
+}

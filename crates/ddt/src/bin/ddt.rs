@@ -4,6 +4,9 @@
 //! ddt test <driver.dxe | bundled-name> [--audio] [--registry K=V]...
 //!          [--no-annotations] [--no-memcheck] [--faults] [--workers N]
 //!          [--no-query-cache] [--json FILE] [--replay] [--health]
+//!          [--trace-dir DIR]
+//! ddt replay --trace <bug-dir | manifest.json | trace.bin> [--driver PATH]
+//! ddt triage <store-dir>
 //! ddt asm <source.s> -o <driver.dxe>
 //! ddt disas <driver.dxe>
 //! ddt info <driver.dxe | bundled-name>
@@ -12,7 +15,10 @@
 //! ```
 //!
 //! `test` is the paper's consumer scenario (§1): point the tool at a binary
-//! driver and get a verdict before loading it.
+//! driver and get a verdict before loading it. With `--trace-dir` every
+//! confirmed bug is persisted as a replayable artifact (§3.5); `replay`
+//! re-executes such an artifact concretely, and `triage` renders the
+//! deduplicated bug inventory of a store.
 
 use std::process::ExitCode;
 
@@ -24,11 +30,34 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  ddt test <driver.dxe|name> [--audio] [--registry K=V]... \
          [--no-annotations] [--no-memcheck] [--faults] [--workers N] \
-         [--no-query-cache] [--json FILE] [--replay] [--health]\n  \
+         [--no-query-cache] [--json FILE] [--replay] [--health] \
+         [--trace-dir DIR]\n  \
+         ddt replay --trace <bug-dir|manifest.json|trace.bin> [--driver PATH]\n  \
+         ddt triage <store-dir>\n  \
          ddt asm <src.s> -o <out.dxe>\n  ddt disas <driver.dxe>\n  \
          ddt info <driver.dxe|name>\n  ddt export <name> -o <out.dxe>\n  ddt list"
     );
     ExitCode::from(2)
+}
+
+/// Builds a [`ddt::DriverUnderTest`] from a bundled name or a `.dxe` path,
+/// with the bundled spec's registry/descriptor defaults when available.
+fn load_dut(target: &str, audio: bool) -> Result<ddt::DriverUnderTest, String> {
+    if let Some(spec) = ddt::drivers::driver_by_name(target) {
+        return Ok(ddt::DriverUnderTest::from_spec(&spec));
+    }
+    if target == "clean_nic" {
+        return Ok(ddt::DriverUnderTest::from_spec(&ddt::drivers::clean_driver()));
+    }
+    let image = load_image(target)?;
+    let class = if audio { DriverClass::Audio } else { DriverClass::Net };
+    Ok(ddt::DriverUnderTest {
+        image,
+        class,
+        registry: Vec::new(),
+        descriptor: Default::default(),
+        workload: workload_for(class),
+    })
 }
 
 fn load_image(arg: &str) -> Result<DxeImage, String> {
@@ -216,6 +245,9 @@ fn main() -> ExitCode {
             if args.iter().any(|a| a == "--no-query-cache") {
                 config.use_query_cache = false;
             }
+            if let Some(dir) = flag_value(&args, "--trace-dir") {
+                config.trace_dir = Some(std::path::PathBuf::from(dir));
+            }
             let tool = ddt::Ddt::new(config);
             let started = std::time::Instant::now();
             let report = match flag_value(&args, "--workers") {
@@ -262,12 +294,79 @@ fn main() -> ExitCode {
                     Err(e) => eprintln!("serialization failed: {e}"),
                 }
             }
+            if let Some(dir) = flag_value(&args, "--trace-dir") {
+                println!(
+                    "trace store: {} artifact(s) persisted to {dir}",
+                    report.health.traces_persisted
+                );
+            }
             if report.bugs.is_empty() {
                 println!("verdict: no defects found");
                 ExitCode::SUCCESS
             } else {
                 println!("verdict: {} defect(s) — do not load this driver", report.bugs.len());
                 ExitCode::FAILURE
+            }
+        }
+        "replay" => {
+            let Some(trace) = flag_value(&args, "--trace") else { return usage() };
+            let artifact = match ddt::trace::load_artifact(std::path::Path::new(&trace)) {
+                Ok(a) => a,
+                Err(e) => {
+                    eprintln!("cannot load trace {trace}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let m = &artifact.manifest;
+            println!(
+                "replaying {} [{}] {} (pc {:#x}, {} event(s), {} decision(s))",
+                m.signature,
+                m.class,
+                m.description,
+                m.pc,
+                artifact.events.len(),
+                m.replay_decisions().len(),
+            );
+            // The artifact names its driver; --driver overrides (e.g. a
+            // .dxe file for a non-bundled binary).
+            let target = flag_value(&args, "--driver").unwrap_or_else(|| m.driver.clone());
+            let audio = args.iter().any(|a| a == "--audio");
+            let dut = match load_dut(&target, audio) {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match ddt::replay_artifact(&dut, &artifact) {
+                ddt::ReplayOutcome::Reproduced { observed } => {
+                    println!("reproduced: {observed}");
+                    ExitCode::SUCCESS
+                }
+                ddt::ReplayOutcome::NotReproduced { observed } => {
+                    println!("NOT reproduced: {observed}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "triage" => {
+            let Some(dir) = args.get(1) else { return usage() };
+            let store = match ddt::trace::TraceStore::open(std::path::Path::new(dir)) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("cannot open trace store {dir}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match ddt::trace::triage(&store) {
+                Ok(summary) => {
+                    print!("{}", summary.render());
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("triage failed: {e}");
+                    ExitCode::FAILURE
+                }
             }
         }
         _ => usage(),

@@ -30,7 +30,11 @@
 //! | [`sdv`] | `ddt-sdv` | SDV-lite and Driver-Verifier baselines |
 
 pub use ddt_core::{
-    decision_streams, //
+    artifact_from_bug, //
+    bug_from_artifact,
+    decision_streams,
+    persist_bugs,
+    replay_artifact,
     replay_bug,
     test_parallel,
     Annotations,
@@ -91,4 +95,10 @@ pub mod core {
 /// Comparison baselines (re-export of `ddt-sdv`).
 pub mod sdv {
     pub use ddt_sdv::*;
+}
+
+/// Persistent trace store, signatures, provenance, triage (re-export of
+/// `ddt-trace`).
+pub mod trace {
+    pub use ddt_trace::*;
 }

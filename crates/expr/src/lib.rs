@@ -42,7 +42,7 @@ pub use node::{
     ExprNode,
     SymId,
 };
-pub use visit::{collect_syms, subst};
+pub use visit::{collect_syms, subst, sym_route};
 
 /// Maximum supported bitvector width.
 pub const MAX_WIDTH: u32 = 64;

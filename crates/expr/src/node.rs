@@ -109,6 +109,16 @@ impl Expr {
         &self.0
     }
 
+    /// Wraps a node verbatim, without smart-constructor simplification.
+    ///
+    /// For codecs (binary trace encoding, serde) that must reproduce an
+    /// expression tree *exactly* as stored: rebuilding through the smart
+    /// constructors could rewrite the tree. The caller is responsible for
+    /// the width invariants the constructors normally enforce.
+    pub fn from_node(node: ExprNode) -> Expr {
+        Expr::new(node)
+    }
+
     /// Builds a constant of the given width; the value is masked.
     ///
     /// # Panics

@@ -46,6 +46,49 @@ impl Expr {
     }
 }
 
+/// The route from the root of `e` to the first (leftmost) occurrence of
+/// symbol `id`: one human-readable step per expression node traversed.
+///
+/// This is the trace-store provenance hook (paper §3.6: traces "identify on
+/// what symbolic values the condition depended ... why they were created"):
+/// a bug artifact records, for every symbol reaching the bug site, the chain
+/// of expression nodes through which the raw input value (hardware read,
+/// registry parameter, entry argument) flowed into the failing condition.
+///
+/// Returns `None` if the expression does not mention `id`.
+pub fn sym_route(e: &Expr, id: SymId) -> Option<Vec<String>> {
+    fn step(label: String, rest: Option<Vec<String>>) -> Option<Vec<String>> {
+        rest.map(|mut route| {
+            route.insert(0, label);
+            route
+        })
+    }
+    match e.node() {
+        ExprNode::Const { .. } => None,
+        ExprNode::Sym { id: here, width } => {
+            (*here == id).then(|| vec![format!("sym {here} ({width} bits)")])
+        }
+        ExprNode::Not(a) => step("not".into(), sym_route(a, id)),
+        ExprNode::Neg(a) => step("neg".into(), sym_route(a, id)),
+        ExprNode::Bin(op, a, b) => sym_route(a, id)
+            .map(|r| step(format!("{op:?}.lhs").to_lowercase(), Some(r)).unwrap())
+            .or_else(|| step(format!("{op:?}.rhs").to_lowercase(), sym_route(b, id))),
+        ExprNode::Cmp(op, a, b) => sym_route(a, id)
+            .map(|r| step(format!("{op:?}.lhs").to_lowercase(), Some(r)).unwrap())
+            .or_else(|| step(format!("{op:?}.rhs").to_lowercase(), sym_route(b, id))),
+        ExprNode::ZExt { e, width } => step(format!("zext{width}"), sym_route(e, id)),
+        ExprNode::SExt { e, width } => step(format!("sext{width}"), sym_route(e, id)),
+        ExprNode::Extract { e, hi, lo } => {
+            step(format!("extract[{hi}:{lo}]"), sym_route(e, id))
+        }
+        ExprNode::Concat { hi, lo } => step("concat.hi".into(), sym_route(hi, id))
+            .or_else(|| step("concat.lo".into(), sym_route(lo, id))),
+        ExprNode::Ite { cond, then, els } => step("ite.cond".into(), sym_route(cond, id))
+            .or_else(|| step("ite.then".into(), sym_route(then, id)))
+            .or_else(|| step("ite.else".into(), sym_route(els, id))),
+    }
+}
+
 /// Substitutes symbols by expressions, rebuilding (and thus re-simplifying)
 /// the tree bottom-up.
 ///

@@ -313,8 +313,8 @@ impl SymState {
     pub fn new_symbol(&mut self, label: impl Into<String>, origin: SymOrigin, width: u32) -> Expr {
         let id = self.counter.next();
         let label = label.into();
-        self.symbols.insert(id, SymbolInfo { label: label.clone(), origin, width });
-        self.trace.push(TraceEvent::SymCreate { id, label });
+        self.symbols.insert(id, SymbolInfo { label: label.clone(), origin: origin.clone(), width });
+        self.trace.push(TraceEvent::SymCreate { id, label, origin, width });
         Expr::sym(id, width)
     }
 

@@ -15,6 +15,8 @@ use std::sync::Arc;
 use ddt_expr::{Expr, SymId};
 use serde::{Deserialize, Serialize};
 
+use crate::state::SymOrigin;
+
 /// One recorded event.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum TraceEvent {
@@ -63,6 +65,11 @@ pub enum TraceEvent {
         id: SymId,
         /// Human-readable provenance label.
         label: String,
+        /// Where the symbol came from (hardware read, entry argument, …) —
+        /// the provenance root recorded in persisted trace artifacts (§3.6).
+        origin: SymOrigin,
+        /// Width of the symbol in bits.
+        width: u32,
     },
     /// A symbolic expression was concretized (at a kernel call or a
     /// symbolic-address access).
@@ -194,6 +201,74 @@ impl Trace {
             })
             .collect()
     }
+
+    /// Visits every event in execution order without flattening the chain
+    /// into a fresh vector (no per-event clones).
+    pub fn for_each(&self, mut f: impl FnMut(&TraceEvent)) {
+        let mut segs = Vec::new();
+        let mut cur = self.frozen.as_ref();
+        while let Some(seg) = cur {
+            segs.push(seg);
+            cur = seg.parent.as_ref();
+        }
+        for seg in segs.into_iter().rev() {
+            for ev in &seg.events {
+                f(ev);
+            }
+        }
+        for ev in &self.local {
+            f(ev);
+        }
+    }
+
+    /// Visits events newest-first, stopping when `f` returns `Some`.
+    ///
+    /// Walks the local tail then the frozen segments backwards, so a query
+    /// answered by recent history (the common case for checkers asking
+    /// "where was the last instruction?") never touches the shared prefix.
+    pub fn rfind_map<T>(&self, mut f: impl FnMut(&TraceEvent) -> Option<T>) -> Option<T> {
+        for ev in self.local.iter().rev() {
+            if let Some(v) = f(ev) {
+                return Some(v);
+            }
+        }
+        let mut cur = self.frozen.as_ref();
+        while let Some(seg) = cur {
+            for ev in seg.events.iter().rev() {
+                if let Some(v) = f(ev) {
+                    return Some(v);
+                }
+            }
+            cur = seg.parent.as_ref();
+        }
+        None
+    }
+
+    /// Program counter of the most recently executed instruction, if any.
+    ///
+    /// O(distance from the tail) — replaces the `events()` full flatten the
+    /// checkers used to do on every fault-site lookup.
+    pub fn last_exec_pc(&self) -> Option<u32> {
+        self.rfind_map(|ev| match ev {
+            TraceEvent::Exec { pc } => Some(*pc),
+            _ => None,
+        })
+    }
+
+    /// The last `n` events in execution order, without flattening the whole
+    /// chain.
+    pub fn tail(&self, n: usize) -> Vec<TraceEvent> {
+        let mut out = Vec::with_capacity(n.min(self.len()));
+        self.rfind_map(|ev| {
+            if out.len() == n {
+                return Some(());
+            }
+            out.push(ev.clone());
+            None
+        });
+        out.reverse();
+        out
+    }
 }
 
 #[cfg(test)]
@@ -230,6 +305,25 @@ mod tests {
         t.push(TraceEvent::Exec { pc: 99 });
         assert_eq!(t.pcs(), vec![0, 1, 2, 3, 4, 99]);
         assert_eq!(t.len(), 6);
+    }
+
+    #[test]
+    fn tail_and_last_exec_cross_fork_boundaries() {
+        let mut t = Trace::new();
+        t.push(TraceEvent::Exec { pc: 1 });
+        t.push(TraceEvent::Exec { pc: 2 });
+        let _child = t.fork(); // freezes [1, 2]
+        t.push(TraceEvent::KernelCall { export_id: 3, name: "x".into() });
+        assert_eq!(t.last_exec_pc(), Some(2));
+        assert_eq!(t.tail(2).len(), 2);
+        assert_eq!(t.tail(10).len(), 3);
+        let mut seen = Vec::new();
+        t.for_each(|ev| {
+            if let TraceEvent::Exec { pc } = ev {
+                seen.push(*pc);
+            }
+        });
+        assert_eq!(seen, vec![1, 2]);
     }
 
     #[test]

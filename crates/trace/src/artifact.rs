@@ -1,0 +1,130 @@
+//! The per-bug trace artifact: manifest + event log.
+//!
+//! One artifact is everything a developer needs to understand and reproduce
+//! one bug without re-running exploration (§3.5): the JSON manifest carries
+//! the classification, signature, solved inputs, decision schedule, and
+//! provenance chains; the binary event log carries the full instruction /
+//! memory-access / fork-marker trace.
+
+use ddt_expr::Assignment;
+use serde::{Deserialize, Serialize};
+
+use crate::bug::{BugClass, Decision};
+use crate::provenance::ProvenanceChain;
+use crate::TraceEvent;
+
+/// Manifest format version, bumped together with any schema change.
+pub const MANIFEST_VERSION: u32 = 1;
+
+/// The JSON manifest of one stored bug (`manifest.json`).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BugRecord {
+    /// Manifest schema version.
+    pub version: u32,
+    /// Stable trace signature (triage identity; also the directory name).
+    pub signature: String,
+    /// Driver under test.
+    pub driver: String,
+    /// Classification (Table 2 "Bug Type").
+    pub class: BugClass,
+    /// One-line description.
+    pub description: String,
+    /// Driver instruction the failure is attributed to.
+    pub pc: u32,
+    /// The entry point whose invocation exposed the bug.
+    pub entry: String,
+    /// If the bug fired inside an injected interrupt handler: the entry
+    /// point that was interrupted.
+    pub interrupted_entry: Option<String>,
+    /// The checker family that fired ("viol", "fault", "lockorder", ...).
+    pub checker: String,
+    /// Exploration-side dedup key (site-precise, kept for diagnostics).
+    pub key: String,
+    /// How many states/paths/runs reached this signature.
+    pub occurrences: u64,
+    /// Call-ish stack at the failure (outermost first).
+    pub stack: Vec<String>,
+    /// Solved concrete inputs that drive the driver down the failing path.
+    pub inputs: Assignment,
+    /// Scheduling decisions to re-apply during replay.
+    pub decisions: Vec<Decision>,
+    /// Minimized decision schedule, when the minimizer ran: the subset of
+    /// `decisions` still sufficient to reproduce the verdict.
+    pub minimized_decisions: Option<Vec<Decision>>,
+    /// Provenance chain for every symbol the failing condition depended on.
+    pub provenance: Vec<ProvenanceChain>,
+    /// Number of events in the companion `trace.bin`.
+    pub event_count: usize,
+}
+
+impl BugRecord {
+    /// The decisions replay should apply: the minimized schedule when
+    /// available, the full schedule otherwise.
+    pub fn replay_decisions(&self) -> &[Decision] {
+        self.minimized_decisions.as_deref().unwrap_or(&self.decisions)
+    }
+
+    /// One summary line for listings.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "{}  {:<10} {:<18} x{:<3} {}",
+            self.signature, self.driver, self.class.to_string(), self.occurrences,
+            self.description
+        )
+    }
+}
+
+/// A complete stored bug: manifest plus the decoded event log.
+#[derive(Clone, Debug)]
+pub struct TraceArtifact {
+    /// The manifest.
+    pub manifest: BugRecord,
+    /// The full event log, in execution order.
+    pub events: Vec<TraceEvent>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> BugRecord {
+        BugRecord {
+            version: MANIFEST_VERSION,
+            signature: "00deadbeef00cafe".into(),
+            driver: "rtl8029".into(),
+            class: BugClass::SegFault,
+            description: "wild store".into(),
+            pc: 0x40_0010,
+            entry: "Initialize".into(),
+            interrupted_entry: None,
+            checker: "viol".into(),
+            key: "viol:0x400010:write".into(),
+            occurrences: 3,
+            stack: vec!["Initialize".into()],
+            inputs: Assignment::new(),
+            decisions: vec![Decision::InjectInterrupt { boundary: 2 }],
+            minimized_decisions: None,
+            provenance: vec![],
+            event_count: 17,
+        }
+    }
+
+    #[test]
+    fn manifest_roundtrips_through_json() {
+        let r = record();
+        let json = serde_json::to_string_pretty(&r).unwrap();
+        let back: BugRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.signature, r.signature);
+        assert_eq!(back.class, r.class);
+        assert_eq!(back.occurrences, 3);
+        assert_eq!(back.decisions, r.decisions);
+    }
+
+    #[test]
+    fn replay_prefers_minimized_decisions() {
+        let mut r = record();
+        assert_eq!(r.replay_decisions(), &r.decisions[..]);
+        r.minimized_decisions = Some(vec![]);
+        assert!(r.replay_decisions().is_empty());
+    }
+}

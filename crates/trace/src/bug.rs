@@ -1,0 +1,101 @@
+//! Bug classification and replay decisions.
+//!
+//! These two types are shared between the exploration side (`ddt-core`
+//! records them as bugs are found) and the persistence side (this crate
+//! stores them in trace artifacts). They live here so that trace artifacts
+//! are self-describing without depending on the exerciser; `ddt-core`
+//! re-exports both under their historical paths.
+
+use ddt_kernel::FaultFamily;
+use serde::{Deserialize, Serialize};
+
+/// Bug classification, following the "Bug Type" column of Table 2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum BugClass {
+    /// A non-memory resource was not released (config handles, packets...).
+    ResourceLeak,
+    /// Pool memory was not freed.
+    MemoryLeak,
+    /// A write/read past the bounds of an owned buffer.
+    MemoryCorruption,
+    /// A crash from a bad pointer (NULL deref, wild jump, unexpected OID).
+    SegFault,
+    /// A crash or corruption that needs a particular interrupt timing.
+    RaceCondition,
+    /// The kernel bug-checked (API misuse: wrong IRQL, bad handles...).
+    KernelCrash,
+    /// The kernel would hang (deadlock, lock held at return, non-LIFO).
+    KernelHang,
+    /// The driver reported success despite a failed mandatory acquisition
+    /// (an injected kernel-API fault whose status it never checked).
+    UncheckedFailure,
+}
+
+impl std::fmt::Display for BugClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            BugClass::ResourceLeak => "Resource leak",
+            BugClass::MemoryLeak => "Memory leak",
+            BugClass::MemoryCorruption => "Memory corruption",
+            BugClass::SegFault => "Segmentation fault",
+            BugClass::RaceCondition => "Race condition",
+            BugClass::KernelCrash => "Kernel crash",
+            BugClass::KernelHang => "Kernel hang",
+            BugClass::UncheckedFailure => "Unchecked failure",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One scheduling decision DDT made on the buggy path; replay re-applies
+/// these deterministically (§3.5).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Decision {
+    /// A symbolic interrupt was delivered at boundary crossing `boundary`.
+    InjectInterrupt {
+        /// Boundary-crossing index (counted per path).
+        boundary: u64,
+    },
+    /// Kernel allocation call number `kernel_call` was forced to fail (the
+    /// concrete-to-symbolic "NULL alternative" annotation fork).
+    ForceAllocFail {
+        /// Kernel-call index (counted per path).
+        kernel_call: u64,
+    },
+    /// DDT backtracked a concretization at kernel call `kernel_call` and
+    /// re-issued it with a different feasible argument value (§3.2). The
+    /// excluded/selected values are captured by the path constraints, so
+    /// replay needs no special handling beyond the solved inputs.
+    ConcretizationBacktrack {
+        /// Kernel-call index (counted per path).
+        kernel_call: u64,
+    },
+    /// Kernel call number `site` had a `kind`-family fault injected: the
+    /// call ran its failure path instead of granting the resource.
+    InjectFault {
+        /// Kernel-call index (counted per path).
+        site: u64,
+        /// The fault family that failed.
+        kind: FaultFamily,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_display_matches_table2_vocabulary() {
+        assert_eq!(BugClass::ResourceLeak.to_string(), "Resource leak");
+        assert_eq!(BugClass::RaceCondition.to_string(), "Race condition");
+        assert_eq!(BugClass::SegFault.to_string(), "Segmentation fault");
+    }
+
+    #[test]
+    fn decision_roundtrips_through_json() {
+        let d = Decision::InjectFault { site: 9, kind: FaultFamily::Registration };
+        let s = serde_json::to_string(&d).unwrap();
+        let back: Decision = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, d);
+    }
+}

@@ -1,0 +1,171 @@
+//! Persistent trace store for DDT bug artifacts (§3.5, §3.6).
+//!
+//! DDT's headline output is a *replayable execution trace per bug*: "DDT
+//! takes as input a binary device driver and outputs a report of found
+//! bugs, along with execution traces for each bug." This crate makes those
+//! traces durable and triageable:
+//!
+//! - [`codec`]: a versioned, compact binary encoding of
+//!   [`TraceEvent`] logs with an interned expression DAG pool,
+//! - [`artifact`]: the per-bug artifact — JSON manifest
+//!   ([`BugRecord`]) plus the binary event log,
+//! - [`provenance`]: chains explaining which raw input (hardware
+//!   register, I/O port, registry parameter, entry argument) each symbolic
+//!   value at the bug site came from, and through which expression nodes
+//!   (§3.6),
+//! - [`signature`]: the stable trace signature (crash pc +
+//!   call-ish stack + checker id + provenance roots) that identifies a bug
+//!   across states and runs,
+//! - [`store`]: the on-disk store (one directory per signature,
+//!   atomic writes, occurrence merging),
+//! - [`minimize`]: a greedy decision-schedule minimizer,
+//! - [`triage`]: the deduplicated inventory `ddt triage` renders.
+//!
+//! [`BugClass`] and [`Decision`] live here (not in `ddt-core`) so that
+//! stored artifacts are self-describing; `ddt-core` re-exports them.
+
+mod artifact;
+mod bug;
+mod codec;
+mod minimize;
+mod provenance;
+mod signature;
+mod store;
+mod triage;
+
+pub use artifact::{BugRecord, TraceArtifact, MANIFEST_VERSION};
+pub use bug::{BugClass, Decision};
+pub use codec::{decode_events, encode_events, DecodeError, TRACE_MAGIC, TRACE_VERSION};
+pub use ddt_symvm::{SymOrigin, TraceEvent};
+pub use minimize::{minimize_decisions, MinimizeResult};
+pub use provenance::{provenance_chains, ProvenanceChain};
+pub use signature::{checker_id, fnv1a64, signature};
+pub use store::{load_artifact, StoreIndex, TraceStore, STORE_VERSION};
+pub use triage::{triage, TriageSummary};
+
+#[cfg(test)]
+mod prop_tests {
+    //! Round-trip property tests (satellite: "serialize→deserialize of
+    //! traces (proptest over event sequences) is lossless").
+
+    use ddt_expr::{Expr, SymId};
+    use proptest::prelude::*;
+
+    use crate::codec::{decode_events, encode_events};
+    use crate::{SymOrigin, TraceEvent};
+
+    /// Deterministically builds an expression from a seed, exercising every
+    /// node kind the codec must encode (including shapes the smart
+    /// constructors would never produce on their own — the raw decoder must
+    /// still reproduce whatever was stored).
+    fn arb_expr(seed: u64) -> Expr {
+        let x = Expr::sym(SymId((seed % 5) as u32), 32);
+        let y = Expr::sym(SymId(7), 32);
+        let k = Expr::constant(seed >> 3, 32);
+        match seed % 11 {
+            0 => k,
+            1 => x.clone(),
+            2 => x.not(),
+            3 => x.neg(),
+            4 => x.add(&k).mul(&y),
+            5 => x.udiv(&k.or(&Expr::constant(1, 32))).xor(&y),
+            6 => Expr::ite(&x.ult(&k), &x, &y),
+            7 => x.zext(64).extract(47, 16),
+            8 => x.sext(48).extract(39, 8),
+            9 => x.extract(15, 0).concat(&y.extract(15, 0)),
+            _ => x.slt(&y).eq(&k.ne(&Expr::constant(0, 32))),
+        }
+    }
+
+    fn arb_origin(seed: u64) -> SymOrigin {
+        match seed % 6 {
+            0 => SymOrigin::HardwareRead { addr: (seed >> 3) as u32 },
+            1 => SymOrigin::PortRead { port: (seed >> 3) as u32 & 0xffff },
+            2 => SymOrigin::EntryArg { entry: format!("Entry{}", seed % 4), index: (seed % 3) as usize },
+            3 => SymOrigin::Annotation { api: format!("NdisApi{}", seed % 7) },
+            4 => SymOrigin::Registry { name: format!("Param{}", seed % 9) },
+            _ => SymOrigin::Other,
+        }
+    }
+
+    /// Deterministically builds one event from a seed, covering all twelve
+    /// variants.
+    fn arb_event(seed: u64) -> TraceEvent {
+        let pc = (seed >> 4) as u32;
+        match seed % 12 {
+            0 => TraceEvent::Exec { pc },
+            1 => TraceEvent::MemRead {
+                pc,
+                addr: (seed >> 9) as u32,
+                size: 1 << (seed % 4),
+                value: seed.is_multiple_of(2).then_some(seed >> 2),
+            },
+            2 => TraceEvent::MemWrite {
+                pc,
+                addr: (seed >> 9) as u32,
+                size: 1 << (seed % 4),
+                value: seed.is_multiple_of(3).then_some(!seed),
+            },
+            3 => TraceEvent::Branch {
+                pc,
+                taken: seed.is_multiple_of(2),
+                forked: seed.is_multiple_of(3),
+                constraint: arb_expr(seed >> 5),
+            },
+            4 => TraceEvent::SymCreate {
+                id: SymId((seed % 64) as u32),
+                label: format!("label-{}", seed % 17),
+                origin: arb_origin(seed >> 6),
+                width: [1u32, 8, 16, 32, 64][(seed % 5) as usize],
+            },
+            5 => TraceEvent::Concretize { pc, expr: arb_expr(seed >> 5), value: seed },
+            6 => TraceEvent::KernelCall {
+                export_id: (seed % 40) as u16,
+                name: format!("Export{}", seed % 40),
+            },
+            7 => TraceEvent::KernelReturn { export_id: (seed % 40) as u16, ret: seed as u32 },
+            8 => TraceEvent::EntryInvoke { name: format!("Entry{}", seed % 6), addr: pc },
+            9 => TraceEvent::Interrupt { line: (seed % 16) as u8, at_pc: pc },
+            10 => TraceEvent::HardwareRead { addr: (seed >> 9) as u32, id: SymId((seed % 64) as u32) },
+            _ => TraceEvent::HardwareWrite {
+                addr: (seed >> 9) as u32,
+                value: (seed % 2 == 1).then_some(seed.rotate_left(17)),
+            },
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// Binary encode → decode is the identity on arbitrary event logs.
+        #[test]
+        fn binary_roundtrip_is_lossless(seeds in prop::collection::vec(any::<u64>(), 0..80)) {
+            let events: Vec<TraceEvent> = seeds.iter().map(|&s| arb_event(s)).collect();
+            let bytes = encode_events(&events);
+            let back = decode_events(&bytes).unwrap();
+            prop_assert_eq!(back, events);
+        }
+
+        /// A second encode of the decoded log is byte-identical — the codec
+        /// is a canonical form, so stored artifacts can be re-written
+        /// without churn.
+        #[test]
+        fn reencoding_is_stable(seeds in prop::collection::vec(any::<u64>(), 0..40)) {
+            let events: Vec<TraceEvent> = seeds.iter().map(|&s| arb_event(s)).collect();
+            let bytes = encode_events(&events);
+            let reencoded = encode_events(&decode_events(&bytes).unwrap());
+            prop_assert_eq!(reencoded, bytes);
+        }
+
+        /// Truncating an encoded log anywhere inside the payload never
+        /// panics and (except at event-count boundaries that happen to
+        /// parse) fails cleanly.
+        #[test]
+        fn truncation_never_panics(seeds in prop::collection::vec(any::<u64>(), 1..20), cut in any::<usize>()) {
+            let events: Vec<TraceEvent> = seeds.iter().map(|&s| arb_event(s)).collect();
+            let bytes = encode_events(&events);
+            let cut = cut % bytes.len();
+            let _ = decode_events(&bytes[..cut]); // Must not panic.
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Decision-schedule minimization.
+//!
+//! A bug's decision schedule accumulates every scheduling choice made on
+//! the path — interrupt injections, forced allocation failures, injected
+//! kernel-API faults — but usually only a subset is load-bearing: an
+//! interrupt injected long before the defect, or a fault the driver
+//! tolerated correctly, can be dropped without losing the verdict. The
+//! minimizer greedily removes one decision at a time (newest first, since
+//! late decisions most often ride along after the die is already cast) and
+//! keeps a removal whenever the caller's oracle still reproduces the bug.
+//!
+//! The oracle is a closure so this crate stays independent of the concrete
+//! replayer; `ddt-core` passes `replay_bug` and the CLI gets minimized
+//! schedules in stored manifests for free.
+
+use crate::bug::Decision;
+
+/// Greedily minimizes `decisions` under `reproduces`.
+///
+/// `reproduces` is called with candidate subsequences (order preserved) and
+/// must return true when the bug still fires under that schedule. The
+/// result is a subsequence that still reproduces; if even the full schedule
+/// does not reproduce (flaky oracle), the full schedule is returned
+/// unchanged and `oracle_calls` reports a single probe.
+pub fn minimize_decisions(
+    decisions: &[Decision],
+    mut reproduces: impl FnMut(&[Decision]) -> bool,
+) -> MinimizeResult {
+    let mut calls = 0u64;
+    let mut probe = |d: &[Decision]| {
+        calls += 1;
+        reproduces(d)
+    };
+    if !probe(decisions) {
+        return MinimizeResult { decisions: decisions.to_vec(), oracle_calls: calls, minimized: false };
+    }
+    let mut kept: Vec<Decision> = decisions.to_vec();
+    // Newest-first: removing index i and retesting; on success the element
+    // is gone for all later probes.
+    let mut i = kept.len();
+    while i > 0 {
+        i -= 1;
+        let mut candidate = kept.clone();
+        candidate.remove(i);
+        if probe(&candidate) {
+            kept = candidate;
+        }
+    }
+    MinimizeResult { decisions: kept, oracle_calls: calls, minimized: true }
+}
+
+/// Outcome of a minimization run.
+#[derive(Clone, Debug)]
+pub struct MinimizeResult {
+    /// The (possibly reduced) schedule.
+    pub decisions: Vec<Decision>,
+    /// How many oracle probes were spent.
+    pub oracle_calls: u64,
+    /// False when the full schedule itself failed to reproduce (the result
+    /// is then the untouched input).
+    pub minimized: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schedule() -> Vec<Decision> {
+        vec![
+            Decision::InjectInterrupt { boundary: 1 },
+            Decision::ForceAllocFail { kernel_call: 2 },
+            Decision::InjectInterrupt { boundary: 7 },
+            Decision::ConcretizationBacktrack { kernel_call: 3 },
+        ]
+    }
+
+    #[test]
+    fn drops_unneeded_decisions() {
+        // Only the ForceAllocFail matters.
+        let needed = Decision::ForceAllocFail { kernel_call: 2 };
+        let r = minimize_decisions(&schedule(), |d| d.contains(&needed));
+        assert!(r.minimized);
+        assert_eq!(r.decisions, vec![needed]);
+    }
+
+    #[test]
+    fn keeps_jointly_required_pairs() {
+        let a = Decision::InjectInterrupt { boundary: 1 };
+        let b = Decision::ConcretizationBacktrack { kernel_call: 3 };
+        let r = minimize_decisions(&schedule(), |d| d.contains(&a) && d.contains(&b));
+        assert_eq!(r.decisions, vec![a, b], "order is preserved");
+    }
+
+    #[test]
+    fn empty_schedule_when_nothing_is_needed() {
+        let r = minimize_decisions(&schedule(), |_| true);
+        assert!(r.decisions.is_empty());
+        // 1 initial probe + one per element.
+        assert_eq!(r.oracle_calls, 5);
+    }
+
+    #[test]
+    fn non_reproducing_schedule_is_returned_unchanged() {
+        let r = minimize_decisions(&schedule(), |_| false);
+        assert!(!r.minimized);
+        assert_eq!(r.decisions, schedule());
+        assert_eq!(r.oracle_calls, 1);
+    }
+}

@@ -1,0 +1,172 @@
+//! Provenance chains: why a symbolic value existed and how it reached the
+//! bug site (§3.6).
+//!
+//! For every symbol involved in a bug's failing condition, the artifact
+//! records where the raw value entered the system (a hardware register
+//! read, an I/O port, an entry-point argument, a registry parameter, an
+//! annotation fork), the expression route it travelled through to the
+//! condition, and the concrete value the solver assigned to it. The chain
+//! is computed from the trace alone, so stored artifacts stay
+//! self-describing.
+
+use ddt_expr::{sym_route, Assignment, Expr, SymId};
+use ddt_symvm::{SymOrigin, TraceEvent};
+use serde::{Deserialize, Serialize};
+
+/// The provenance of one symbol at a bug site.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProvenanceChain {
+    /// The symbol.
+    pub sym: SymId,
+    /// Human-readable creation label ("hw:0x8000", "registry:MaxList").
+    pub label: String,
+    /// Structured origin — the chain's root.
+    pub origin: SymOrigin,
+    /// Symbol width in bits.
+    pub width: u32,
+    /// The concrete value the solver assigned on the failing path.
+    pub value: u64,
+    /// Expression route from the last condition mentioning the symbol down
+    /// to the symbol itself; empty when the symbol reached the site without
+    /// appearing in a recorded branch/concretization.
+    pub route: Vec<String>,
+}
+
+impl ProvenanceChain {
+    /// The stable root string used in trace signatures: origin only, no
+    /// per-path data (values and routes vary between duplicate paths).
+    pub fn root(&self) -> String {
+        match &self.origin {
+            SymOrigin::HardwareRead { addr } => format!("hw:{addr:#x}"),
+            SymOrigin::PortRead { port } => format!("port:{port:#x}"),
+            SymOrigin::EntryArg { entry, index } => format!("arg:{entry}[{index}]"),
+            SymOrigin::Annotation { api } => format!("ann:{api}"),
+            SymOrigin::Registry { name } => format!("reg:{name}"),
+            SymOrigin::Other => "other".into(),
+        }
+    }
+
+    /// One indented paragraph for reports and the `ddt triage` output.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{} ({}, {} bits) = {:#x}",
+            self.label,
+            self.root(),
+            self.width,
+            self.value
+        );
+        if !self.route.is_empty() {
+            out.push_str("\n    via ");
+            out.push_str(&self.route.join(" -> "));
+        }
+        out
+    }
+}
+
+/// Computes provenance chains for `syms` from a recorded event log.
+///
+/// `events` supplies the creation records (label, origin, width) and the
+/// branch/concretization expressions; `inputs` supplies the solved model.
+/// Symbols without a creation record in the log (possible for synthetic
+/// test fixtures) fall back to [`SymOrigin::Other`].
+pub fn provenance_chains(
+    events: &[TraceEvent],
+    syms: &[SymId],
+    inputs: &Assignment,
+) -> Vec<ProvenanceChain> {
+    syms.iter()
+        .map(|&sym| {
+            let mut label = format!("{sym}");
+            let mut origin = SymOrigin::Other;
+            let mut width = 32;
+            // The last expression in the log that mentions the symbol is the
+            // one closest to the bug site — its route explains how the value
+            // reached the failing condition.
+            let mut route: Vec<String> = Vec::new();
+            for ev in events {
+                match ev {
+                    TraceEvent::SymCreate { id, label: l, origin: o, width: w } if *id == sym => {
+                        label = l.clone();
+                        origin = o.clone();
+                        width = *w;
+                    }
+                    TraceEvent::Branch { constraint: e, .. }
+                    | TraceEvent::Concretize { expr: e, .. } => {
+                        if let Some(r) = route_of(e, sym) {
+                            route = r;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            ProvenanceChain {
+                sym,
+                label,
+                origin,
+                width,
+                value: inputs.get_or_zero(sym),
+                route,
+            }
+        })
+        .collect()
+}
+
+fn route_of(e: &Expr, sym: SymId) -> Option<Vec<String>> {
+    sym_route(e, sym)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_resolves_origin_value_and_route() {
+        let x = Expr::sym(SymId(7), 32);
+        let cond = x.add(&Expr::constant(1, 32)).ult(&Expr::constant(10, 32));
+        let events = vec![
+            TraceEvent::SymCreate {
+                id: SymId(7),
+                label: "hw:0x8000".into(),
+                origin: SymOrigin::HardwareRead { addr: 0x8000 },
+                width: 32,
+            },
+            TraceEvent::Branch { pc: 4, taken: true, forked: true, constraint: cond },
+        ];
+        let mut inputs = Assignment::new();
+        inputs.set(SymId(7), 5);
+        let chains = provenance_chains(&events, &[SymId(7)], &inputs);
+        assert_eq!(chains.len(), 1);
+        let c = &chains[0];
+        assert_eq!(c.label, "hw:0x8000");
+        assert_eq!(c.origin, SymOrigin::HardwareRead { addr: 0x8000 });
+        assert_eq!(c.value, 5);
+        assert_eq!(c.root(), "hw:0x8000");
+        assert!(!c.route.is_empty(), "route should trace through the branch condition");
+        assert!(c.route.last().unwrap().contains("sym"), "route ends at the symbol");
+    }
+
+    #[test]
+    fn unknown_symbols_fall_back_to_other() {
+        let chains = provenance_chains(&[], &[SymId(99)], &Assignment::new());
+        assert_eq!(chains[0].origin, SymOrigin::Other);
+        assert_eq!(chains[0].root(), "other");
+        assert!(chains[0].route.is_empty());
+    }
+
+    #[test]
+    fn later_conditions_win_the_route() {
+        let x = Expr::sym(SymId(1), 32);
+        let early = x.ult(&Expr::constant(10, 32));
+        let late = x.add(&Expr::constant(3, 32)).ult(&Expr::constant(20, 32));
+        let events = vec![
+            TraceEvent::Branch { pc: 0, taken: true, forked: false, constraint: early },
+            TraceEvent::Branch { pc: 4, taken: true, forked: false, constraint: late },
+        ];
+        let chains = provenance_chains(&events, &[SymId(1)], &Assignment::new());
+        assert!(
+            chains[0].route.iter().any(|s| s.contains("add")),
+            "route must come from the last condition: {:?}",
+            chains[0].route
+        );
+    }
+}

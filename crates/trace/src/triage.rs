@@ -1,0 +1,139 @@
+//! Store-level triage: the deduplicated bug inventory.
+//!
+//! `ddt triage <store-dir>` renders this summary: one row per signature
+//! with its occurrence count, plus totals showing how much the signature
+//! scheme collapsed (raw sightings vs. distinct bugs).
+
+use std::collections::BTreeMap;
+use std::io;
+
+use crate::artifact::BugRecord;
+use crate::store::TraceStore;
+
+/// The triage summary over one store.
+#[derive(Clone, Debug)]
+pub struct TriageSummary {
+    /// One record per distinct signature, sorted by (driver, pc,
+    /// signature) for stable output.
+    pub records: Vec<BugRecord>,
+    /// Total sightings across all signatures.
+    pub total_occurrences: u64,
+}
+
+impl TriageSummary {
+    /// Distinct bugs.
+    pub fn distinct(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Sightings collapsed away by deduplication.
+    pub fn duplicates_collapsed(&self) -> u64 {
+        self.total_occurrences - self.records.len() as u64
+    }
+
+    /// Renders the human-readable triage table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.records.is_empty() {
+            out.push_str("trace store is empty — no bugs triaged\n");
+            return out;
+        }
+        // Group by driver for readability.
+        let mut by_driver: BTreeMap<&str, Vec<&BugRecord>> = BTreeMap::new();
+        for r in &self.records {
+            by_driver.entry(r.driver.as_str()).or_default().push(r);
+        }
+        for (driver, records) in by_driver {
+            out.push_str(&format!("{driver}:\n"));
+            for r in records {
+                out.push_str(&format!(
+                    "  {}  [{:<18}] pc {:#010x} x{:<4} {}\n",
+                    r.signature, r.class.to_string(), r.pc, r.occurrences, r.description
+                ));
+                for chain in &r.provenance {
+                    out.push_str(&format!("      input {}\n", chain.render().replace('\n', "\n      ")));
+                }
+            }
+        }
+        out.push_str(&format!(
+            "{} distinct bug(s), {} sighting(s) ({} duplicate(s) collapsed)\n",
+            self.distinct(),
+            self.total_occurrences,
+            self.duplicates_collapsed()
+        ));
+        out
+    }
+}
+
+/// Builds the triage summary for a store.
+pub fn triage(store: &TraceStore) -> io::Result<TriageSummary> {
+    let mut records = store.list()?;
+    records.sort_by(|a, b| {
+        (a.driver.as_str(), a.pc, a.signature.as_str())
+            .cmp(&(b.driver.as_str(), b.pc, b.signature.as_str()))
+    });
+    let total_occurrences = records.iter().map(|r| r.occurrences).sum();
+    Ok(TriageSummary { records, total_occurrences })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::{TraceArtifact, MANIFEST_VERSION};
+    use crate::bug::BugClass;
+    use ddt_expr::Assignment;
+
+    fn artifact(sig: &str, driver: &str, occurrences: u64) -> TraceArtifact {
+        TraceArtifact {
+            manifest: BugRecord {
+                version: MANIFEST_VERSION,
+                signature: sig.into(),
+                driver: driver.into(),
+                class: BugClass::KernelCrash,
+                description: "bugcheck".into(),
+                pc: 0x40_0020,
+                entry: "Initialize".into(),
+                interrupted_entry: None,
+                checker: "crash".into(),
+                key: "crash:x".into(),
+                occurrences,
+                stack: vec![],
+                inputs: Assignment::new(),
+                decisions: vec![],
+                minimized_decisions: None,
+                provenance: vec![],
+                event_count: 0,
+            },
+            events: vec![],
+        }
+    }
+
+    #[test]
+    fn summary_counts_and_renders() {
+        let dir = std::env::temp_dir()
+            .join(format!("ddt-triage-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = TraceStore::open(&dir).unwrap();
+        store.persist(&artifact("0000000000000001", "rtl8029", 3)).unwrap();
+        store.persist(&artifact("0000000000000002", "pcnet", 1)).unwrap();
+        let summary = triage(&store).unwrap();
+        assert_eq!(summary.distinct(), 2);
+        assert_eq!(summary.total_occurrences, 4);
+        assert_eq!(summary.duplicates_collapsed(), 2);
+        let text = summary.render();
+        assert!(text.contains("rtl8029:"));
+        assert!(text.contains("x3"));
+        assert!(text.contains("2 distinct bug(s), 4 sighting(s)"));
+    }
+
+    #[test]
+    fn empty_store_renders_cleanly() {
+        let dir = std::env::temp_dir()
+            .join(format!("ddt-triage-empty-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = TraceStore::open(&dir).unwrap();
+        let summary = triage(&store).unwrap();
+        assert_eq!(summary.distinct(), 0);
+        assert!(summary.render().contains("empty"));
+    }
+}

@@ -54,7 +54,7 @@ fn main() {
             .trace
             .iter()
             .filter_map(|ev| match ev {
-                ddt::symvm::TraceEvent::SymCreate { id, label } => {
+                ddt::symvm::TraceEvent::SymCreate { id, label, .. } => {
                     Some(format!("{label} = {:#x}", bug.inputs.get_or_zero(*id)))
                 }
                 _ => None,

@@ -1,0 +1,155 @@
+//! The persistent trace store closes the §3.5 loop: every bug found on a
+//! bundled driver is persisted as a standalone artifact (binary event log +
+//! JSON manifest), and replaying that artifact — loaded back from disk,
+//! with no access to the exploration that produced it — re-triggers the
+//! same checker verdict with the same solved inputs.
+
+use std::path::PathBuf;
+
+use ddt::trace::{load_artifact, TraceStore};
+use ddt::{replay_artifact, Ddt, DdtConfig, DriverUnderTest, ReplayOutcome};
+
+/// A unique scratch directory per test (no tempfile crate in the tree).
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "ddt-store-roundtrip-{}-{tag}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn assert_store_roundtrip(driver: &str) {
+    let spec = ddt::drivers::driver_by_name(driver).unwrap();
+    let dut = DriverUnderTest::from_spec(&spec);
+    let dir = scratch(driver);
+    let config = DdtConfig { trace_dir: Some(dir.clone()), ..Default::default() };
+    let report = Ddt::new(config).test(&dut);
+    assert!(!report.bugs.is_empty(), "{driver} must have bugs to persist");
+    assert_eq!(
+        report.health.traces_persisted,
+        report.bugs.len() as u64,
+        "{driver}: every bug gets a trace artifact"
+    );
+
+    let store = TraceStore::open(&dir).unwrap();
+    let stored = store.list().unwrap();
+    // One artifact per distinct signature (report keys sharing a signature
+    // merge into one stored record).
+    assert_eq!(
+        stored.len() as u64,
+        report.health.bugs_deduped,
+        "{driver}: one artifact per distinct signature"
+    );
+
+    for bug in &report.bugs {
+        // The artifact is loaded back purely from disk.
+        let artifact = store.load(&bug.signature).unwrap_or_else(|e| {
+            panic!("{driver}: artifact for {} missing: {e}", bug.signature)
+        });
+        // Same solved inputs survived the round trip.
+        assert_eq!(artifact.manifest.inputs, bug.inputs, "{driver}: inputs roundtrip");
+        assert_eq!(artifact.events, bug.trace, "{driver}: event log roundtrips");
+        assert_eq!(artifact.manifest.pc, bug.pc);
+        assert_eq!(artifact.manifest.occurrences, bug.occurrences);
+        // Standalone replay reproduces the same checker verdict.
+        match replay_artifact(&dut, &artifact) {
+            ReplayOutcome::Reproduced { .. } => {}
+            ReplayOutcome::NotReproduced { observed } => panic!(
+                "{driver}: stored artifact {} not reproduced: [{}] {} (observed {observed})",
+                bug.signature, bug.class, bug.description
+            ),
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn rtl8029_store_roundtrips_and_replays() {
+    assert_store_roundtrip("rtl8029");
+}
+
+#[test]
+fn pcnet_store_roundtrips_and_replays() {
+    assert_store_roundtrip("pcnet");
+}
+
+#[test]
+fn ensoniq_store_roundtrips_and_replays() {
+    assert_store_roundtrip("ensoniq");
+}
+
+#[test]
+fn ac97_store_roundtrips_and_replays() {
+    assert_store_roundtrip("ac97");
+}
+
+#[test]
+fn clean_driver_persists_nothing() {
+    let dut = DriverUnderTest::from_spec(&ddt::drivers::clean_driver());
+    let dir = scratch("clean");
+    let config = DdtConfig { trace_dir: Some(dir.clone()), ..Default::default() };
+    let report = Ddt::new(config).test(&dut);
+    assert!(report.bugs.is_empty());
+    assert_eq!(report.health.traces_persisted, 0);
+    let store = TraceStore::open(&dir).unwrap();
+    assert!(store.list().unwrap().is_empty(), "clean driver leaves an empty store");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn artifact_loads_from_any_entry_path() {
+    // `ddt replay --trace` accepts the bug directory, the manifest, or the
+    // raw event log; all three resolve to the same artifact.
+    let spec = ddt::drivers::driver_by_name("rtl8029").unwrap();
+    let dut = DriverUnderTest::from_spec(&spec);
+    let dir = scratch("paths");
+    let config = DdtConfig { trace_dir: Some(dir.clone()), ..Default::default() };
+    let report = Ddt::new(config).test(&dut);
+    let sig = &report.bugs[0].signature;
+    let bug_dir = dir.join(format!("bug-{sig}"));
+    let a = load_artifact(&bug_dir).unwrap();
+    let b = load_artifact(bug_dir.join("manifest.json")).unwrap();
+    let c = load_artifact(bug_dir.join("trace.bin")).unwrap();
+    assert_eq!(a.manifest.signature, *sig);
+    assert_eq!(a.events, b.events);
+    assert_eq!(b.events, c.events);
+    assert_eq!(b.manifest.description, c.manifest.description);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn minimized_schedules_still_reproduce() {
+    // The minimizer only keeps a schedule it proved against the concrete
+    // replayer — so whenever a stored artifact carries one, replaying with
+    // it (the default) must reproduce. rtl8029's wild-jump faults don't
+    // actually need the injected fault decision their paths carried, so the
+    // full fault plan produces real trims.
+    let spec = ddt::drivers::driver_by_name("rtl8029").unwrap();
+    let dut = DriverUnderTest::from_spec(&spec);
+    let dir = scratch("minimized");
+    let config = DdtConfig {
+        trace_dir: Some(dir.clone()),
+        fault_plan: ddt::FaultPlan::full(),
+        ..Default::default()
+    };
+    Ddt::new(config).test(&dut);
+    let store = TraceStore::open(&dir).unwrap();
+    let mut minimized_seen = 0;
+    for record in store.list().unwrap() {
+        let artifact = store.load(&record.signature).unwrap();
+        if let Some(min) = &artifact.manifest.minimized_decisions {
+            minimized_seen += 1;
+            assert!(
+                min.len() < artifact.manifest.decisions.len(),
+                "a minimized schedule is strictly smaller"
+            );
+        }
+        assert!(matches!(
+            replay_artifact(&dut, &artifact),
+            ReplayOutcome::Reproduced { .. }
+        ));
+    }
+    assert!(minimized_seen > 0, "the minimizer trimmed at least one schedule");
+    let _ = std::fs::remove_dir_all(&dir);
+}

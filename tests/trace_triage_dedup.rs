@@ -1,0 +1,101 @@
+//! Triage deduplication: a bug reachable along many forked paths is one
+//! triaged bug with N occurrences — not N bugs. The trace signature (crash
+//! pc + frame stack + checker id + provenance roots) is path-invariant, so
+//! it also collapses repeat sightings across runs of the same store.
+
+use std::path::PathBuf;
+
+use ddt::trace::{triage, TraceStore};
+use ddt::{Ddt, DdtConfig, DriverUnderTest};
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "ddt-triage-dedup-{}-{tag}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn multi_path_bug_is_one_record_with_many_occurrences() {
+    // rtl8029's QueryInformation/SetInformation wild jumps are reachable
+    // from every forked oid/hardware path — hundreds of sightings.
+    let spec = ddt::drivers::driver_by_name("rtl8029").unwrap();
+    let dut = DriverUnderTest::from_spec(&spec);
+    let report = Ddt::default().test(&dut);
+    let multi: Vec<_> = report.bugs.iter().filter(|b| b.occurrences > 1).collect();
+    assert!(
+        !multi.is_empty(),
+        "some rtl8029 bug is reached along multiple forked paths"
+    );
+    // Raw sightings strictly exceed distinct bugs, and the report carries
+    // the dedup accounting.
+    assert!(report.health.bug_occurrences > report.bugs.len() as u64);
+    let mut sigs: Vec<&str> = report.bugs.iter().map(|b| b.signature.as_str()).collect();
+    sigs.sort_unstable();
+    sigs.dedup();
+    assert_eq!(
+        report.health.bugs_deduped,
+        sigs.len() as u64,
+        "bugs_deduped counts distinct signatures"
+    );
+}
+
+#[test]
+fn triage_collapses_duplicates_within_a_run() {
+    let spec = ddt::drivers::driver_by_name("rtl8029").unwrap();
+    let dut = DriverUnderTest::from_spec(&spec);
+    let dir = scratch("one-run");
+    let config = DdtConfig { trace_dir: Some(dir.clone()), ..Default::default() };
+    let report = Ddt::new(config).test(&dut);
+
+    let store = TraceStore::open(&dir).unwrap();
+    let summary = triage(&store).unwrap();
+    assert_eq!(summary.distinct() as u64, report.health.bugs_deduped);
+    assert_eq!(summary.total_occurrences, report.health.bug_occurrences);
+    assert!(summary.duplicates_collapsed() > 0, "forked duplicates were collapsed");
+    let rendered = summary.render();
+    assert!(rendered.contains("duplicate(s) collapsed"), "{rendered}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn triage_dedups_across_runs() {
+    // Two identical runs against the same store: the signatures merge, the
+    // occurrence counts double, and no second record appears.
+    let spec = ddt::drivers::driver_by_name("pcnet").unwrap();
+    let dut = DriverUnderTest::from_spec(&spec);
+    let dir = scratch("two-runs");
+
+    let config = DdtConfig { trace_dir: Some(dir.clone()), ..Default::default() };
+    let first = Ddt::new(config.clone()).test(&dut);
+    let store = TraceStore::open(&dir).unwrap();
+    let after_one = triage(&store).unwrap();
+
+    let second = Ddt::new(config).test(&dut);
+    let after_two = triage(&store).unwrap();
+
+    assert_eq!(first.bugs.len(), second.bugs.len(), "deterministic exploration");
+    assert_eq!(
+        after_one.distinct(),
+        after_two.distinct(),
+        "a second run adds sightings, not bugs"
+    );
+    assert_eq!(
+        after_two.total_occurrences,
+        2 * after_one.total_occurrences,
+        "occurrences accumulate across runs"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn empty_store_triages_to_nothing() {
+    let dir = scratch("empty");
+    let store = TraceStore::open(&dir).unwrap();
+    let summary = triage(&store).unwrap();
+    assert_eq!(summary.distinct(), 0);
+    assert!(summary.render().contains("empty"));
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -24,6 +24,11 @@ pub struct Coverage {
     covered: BTreeSet<u32>,
     timeline: Vec<CoverageSample>,
     start: Instant,
+    /// Milliseconds already consumed by earlier segments of a resumed
+    /// campaign. The campaign clock is `base_ms` + this process's elapsed
+    /// time, so a resumed run continues the wall budget instead of
+    /// restarting it.
+    base_ms: u64,
 }
 
 impl Coverage {
@@ -35,7 +40,37 @@ impl Coverage {
             covered: BTreeSet::new(),
             timeline: Vec::new(),
             start: Instant::now(),
+            base_ms: 0,
         }
+    }
+
+    /// Restores a tracker from checkpointed campaign state: per-block hit
+    /// counts (they drive the exploration heuristic), the covered set, the
+    /// timeline so far, and the already-consumed campaign clock.
+    pub fn seeded(
+        analysis: CodeAnalysis,
+        hits: impl IntoIterator<Item = (u32, u64)>,
+        covered: impl IntoIterator<Item = u32>,
+        timeline: Vec<CoverageSample>,
+        base_ms: u64,
+    ) -> Coverage {
+        Coverage {
+            analysis,
+            hits: hits.into_iter().collect(),
+            covered: covered.into_iter().collect(),
+            timeline,
+            start: Instant::now(),
+            base_ms,
+        }
+    }
+
+    /// Exports the checkpointable state: sorted hit counts, sorted covered
+    /// set, timeline.
+    pub fn snapshot(&self) -> (Vec<(u32, u64)>, Vec<u32>, Vec<CoverageSample>) {
+        let mut hits: Vec<(u32, u64)> = self.hits.iter().map(|(&pc, &n)| (pc, n)).collect();
+        hits.sort_unstable();
+        let covered: Vec<u32> = self.covered.iter().copied().collect();
+        (hits, covered, self.timeline.clone())
     }
 
     /// Notes execution of the instruction at `pc`; counts block entries.
@@ -43,7 +78,7 @@ impl Coverage {
         if self.analysis.blocks.contains_key(&pc) {
             *self.hits.entry(pc).or_insert(0) += 1;
             if self.covered.insert(pc) {
-                let ms = self.start.elapsed().as_millis() as u64;
+                let ms = self.elapsed_ms();
                 self.timeline.push((ms, self.covered.len()));
             }
         }
@@ -73,9 +108,10 @@ impl Coverage {
         &self.timeline
     }
 
-    /// Milliseconds since tracking started.
+    /// Milliseconds on the campaign clock: time consumed by earlier
+    /// segments plus time elapsed in this process.
     pub fn elapsed_ms(&self) -> u64 {
-        self.start.elapsed().as_millis() as u64
+        self.base_ms + self.start.elapsed().as_millis() as u64
     }
 }
 
@@ -110,6 +146,29 @@ mod tests {
         cov.on_exec(blocks[0]);
         assert_eq!(cov.covered_blocks(), 2);
         assert_eq!(cov.timeline().len(), 2);
+    }
+
+    #[test]
+    fn seeded_tracker_continues_clock_and_counts() {
+        let (mut cov, blocks) = coverage();
+        cov.on_exec(blocks[0]);
+        cov.on_exec(blocks[1]);
+        let (hits, covered, timeline) = cov.snapshot();
+        assert_eq!(hits.len(), 2);
+        assert_eq!(covered.len(), 2);
+        let analysis = {
+            let (c, _) = coverage();
+            // Re-derive an identical analysis for the seeded tracker.
+            c.analysis
+        };
+        let mut resumed = Coverage::seeded(analysis, hits, covered, timeline, 5000);
+        assert!(resumed.elapsed_ms() >= 5000, "campaign clock continues");
+        assert_eq!(resumed.covered_blocks(), 2);
+        assert_eq!(resumed.priority(blocks[0]), 1, "hit counts survive resume");
+        resumed.on_exec(blocks[0]);
+        assert_eq!(resumed.priority(blocks[0]), 2);
+        // Already-covered block: no new timeline sample.
+        assert_eq!(resumed.timeline().len(), 2);
     }
 
     #[test]

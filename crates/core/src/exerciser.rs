@@ -20,7 +20,7 @@
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use ddt_expr::Expr;
@@ -48,7 +48,10 @@ use crate::checkers::{
     scan_kernel_events,
     PendingBug,
 };
+use crate::checkpoint::{checkpoint_file, CampaignSeed, CampaignWriter, CheckpointPolicy};
 use crate::coverage::Coverage;
+use crate::replay::{ReplayCursor, ReplaySteer};
+use ddt_trace::{JournalRecord, PathStatus, SiteKind};
 use crate::faults::{FaultInjector, FaultPlan};
 use crate::hardware::DdtEnv;
 use crate::machine::{Frame, Machine, SymHost};
@@ -96,6 +99,15 @@ pub struct DdtConfig {
     /// directory (binary event log + JSON manifest, §3.5), with its
     /// decision schedule minimized against the concrete replayer first.
     pub trace_dir: Option<std::path::PathBuf>,
+    /// Durable-campaign policy: when set, the exploration appends a
+    /// write-ahead journal and periodic frontier checkpoints to the
+    /// directory, making the run crash-safe and resumable
+    /// (`ddt test --checkpoint-dir` / `--resume`).
+    pub checkpoint: Option<CheckpointPolicy>,
+    /// Cooperative interruption flag (SIGINT): when it flips to true the
+    /// explorer drains in-flight quanta, writes a final checkpoint (if a
+    /// campaign is active), and returns a partial report.
+    pub stop_flag: Option<Arc<AtomicBool>>,
 }
 
 impl Default for DdtConfig {
@@ -113,6 +125,8 @@ impl Default for DdtConfig {
             shared_cache: None,
             panic_hook: None,
             trace_dir: None,
+            checkpoint: None,
+            stop_flag: None,
         }
     }
 }
@@ -134,6 +148,31 @@ impl DdtConfig {
             Some(cache) => Solver::with_cache(cache.clone()),
             None => Solver::uncached(),
         }
+    }
+
+    /// Fingerprint of everything that steers exploration. A checkpoint
+    /// records it and resume refuses a mismatch: a frontier recorded under
+    /// one configuration will not replay under another. Cache and
+    /// reporting knobs are deliberately excluded — they are semantically
+    /// invisible to path selection.
+    pub fn fingerprint(&self) -> u64 {
+        let desc = format!(
+            "v1:ann={:?}:mem={}:irq={}:states={}:insns={}:per_inv={}:wall={}:faults={:016x}",
+            self.annotations,
+            self.check_memory,
+            self.interrupt_budget,
+            self.max_states,
+            self.max_total_insns,
+            self.max_invocation_insns,
+            self.time_budget_ms,
+            self.fault_plan.fingerprint(),
+        );
+        ddt_trace::fnv1a64(desc.as_bytes())
+    }
+
+    /// True when the cooperative interruption flag has been raised.
+    pub(crate) fn stop_requested(&self) -> bool {
+        self.stop_flag.as_ref().is_some_and(|f| f.load(Ordering::Relaxed))
     }
 }
 
@@ -178,11 +217,70 @@ pub struct Ddt {
 /// Steps per scheduling quantum.
 const QUANTUM: u64 = 256;
 
-enum PathEnd {
+#[derive(Clone, Copy)]
+pub(crate) enum PathEnd {
     Completed,
     Faulted,
     Infeasible,
     BudgetKilled,
+}
+
+impl PathEnd {
+    /// The journal encoding of this terminal status.
+    pub(crate) fn status(self) -> PathStatus {
+        match self {
+            PathEnd::Completed => PathStatus::Completed,
+            PathEnd::Faulted => PathStatus::Faulted,
+            PathEnd::Infeasible => PathStatus::Infeasible,
+            PathEnd::BudgetKilled => PathStatus::BudgetKilled,
+        }
+    }
+}
+
+/// Mutable context threaded through one scheduling quantum: the shared
+/// exploration sinks (worklist, id counter, stats, bug map, coverage pcs),
+/// the per-quantum outputs consumed by the campaign journal, and — during
+/// frontier reconstruction — the cursor that steers every fork site down
+/// the recorded choice log instead of spawning children.
+pub(crate) struct QuantumSinks<'a> {
+    pub worklist: &'a mut Vec<Machine>,
+    pub next_id: &'a mut u64,
+    pub stats: &'a mut ExploreStats,
+    pub bugs: &'a mut HashMap<String, Bug>,
+    pub exec_pcs: &'a mut Vec<u32>,
+    /// Keys first recorded during this quantum (journaled with the path).
+    pub new_bug_keys: &'a mut Vec<String>,
+    /// Fork events `(parent, child, site)` from this quantum (journaled).
+    pub fork_events: &'a mut Vec<(u64, u64, SiteKind)>,
+    /// `Some` puts the quantum in replay mode: no children are spawned, the
+    /// cursor decides at every site whether this machine stays the parent
+    /// or becomes the recorded child.
+    pub replay: Option<&'a mut ReplayCursor>,
+}
+
+impl QuantumSinks<'_> {
+    /// Asks the replay cursor (if any) how to treat a fork site;
+    /// exploration always stays the parent and spawns the child.
+    fn steer(&mut self, kind: SiteKind) -> ReplaySteer {
+        match self.replay.as_deref_mut() {
+            Some(cur) => cur.take(kind),
+            None => ReplaySteer::Stay,
+        }
+    }
+
+    fn replaying(&self) -> bool {
+        self.replay.is_some()
+    }
+}
+
+/// How a kernel-call trap resolved.
+pub(crate) enum CallFlow {
+    /// The call ran; execution resumes at the saved return address.
+    Done,
+    /// Replay steering replaced the machine with a pre-call alternative
+    /// (armed fault or concretization backtrack); the caller must restart
+    /// the loop iteration so the unchanged trap pc re-dispatches.
+    Restarted,
 }
 
 impl Ddt {
@@ -193,10 +291,19 @@ impl Ddt {
 
     /// Tests one driver binary and produces the bug report (§2).
     pub fn test(&self, dut: &DriverUnderTest) -> Report {
+        self.explore_serial(dut, None)
+    }
+
+    /// The serial exploration loop, optionally seeded with the restored
+    /// frontier and aggregates of an interrupted campaign (§4.7).
+    pub(crate) fn explore_serial(
+        &self,
+        dut: &DriverUnderTest,
+        seed: Option<CampaignSeed>,
+    ) -> Report {
         let run_cache = self.config.run_cache();
         let mut solver = DdtConfig::solver_for(&run_cache);
         let analysis = analysis::analyze(&dut.image);
-        let mut coverage = Coverage::new(analysis);
         let stack = StackLayout::default();
         let mut env = DdtEnv::new(
             DEVICE_MMIO_BASE,
@@ -206,18 +313,65 @@ impl Ddt {
         );
         env.check_memory = self.config.check_memory;
 
-        let mut stats = ExploreStats::default();
-        let mut bugs: HashMap<String, Bug> = HashMap::new();
-        let mut next_id: u64 = 1;
+        let (mut coverage, mut stats, mut bugs, mut next_id, mut worklist, first_seq, replays) =
+            match seed {
+                Some(s) => (
+                    Coverage::seeded(
+                        analysis,
+                        s.coverage_hits,
+                        s.coverage_covered,
+                        s.coverage_timeline,
+                        s.base_wall_ms,
+                    ),
+                    s.stats,
+                    s.bugs,
+                    s.next_id,
+                    s.frontier,
+                    s.next_checkpoint_seq,
+                    (s.replayed_ok, s.replay_failed),
+                ),
+                None => {
+                    // Root machine: image + stack mapped, kernel configured,
+                    // DriverEntry invoked (the PnP load of §4.2).
+                    let root = self.make_root(dut, &stack);
+                    let stats = ExploreStats {
+                        symbols: root.st.counter.allocated(),
+                        paths_started: 1,
+                        ..Default::default()
+                    };
+                    (Coverage::new(analysis), stats, HashMap::new(), 1, vec![root], 0, (0, 0))
+                }
+            };
+        // Solver counters restored from a checkpoint are this campaign's
+        // prefix; this process's solver starts at zero, so fold additively.
+        let solver_base = (
+            stats.solver_queries,
+            stats.solver_fast_hits,
+            stats.solver_full,
+            stats.solver_cache_hits,
+            stats.solver_model_reuse,
+            stats.solver_unsat_subset,
+        );
+        let fold_solver = |stats: &mut ExploreStats, solver: &Solver| {
+            stats.solver_queries = solver_base.0 + solver.stats().queries;
+            stats.solver_fast_hits = solver_base.1 + solver.stats().fast_path_hits;
+            stats.solver_full = solver_base.2 + solver.stats().full_solves;
+            stats.solver_cache_hits = solver_base.3 + solver.stats().cache_hits;
+            stats.solver_model_reuse = solver_base.4 + solver.stats().cache_model_reuse;
+            stats.solver_unsat_subset = solver_base.5 + solver.stats().cache_unsat_subset;
+        };
 
-        // Root machine: image + stack mapped, kernel configured, DriverEntry
-        // invoked (the PnP load of §4.2).
-        let root = self.make_root(dut, &stack);
-        let sym_counter = root.st.counter.clone();
-        let mut worklist: Vec<Machine> = vec![root];
-        stats.paths_started = 1;
+        let mut campaign = self.config.checkpoint.as_ref().map(|policy| {
+            CampaignWriter::start(policy, &dut.image.name, self.config.fingerprint(), first_seq)
+        });
+        let mut quanta_since_checkpoint: u64 = 0;
+        let mut interrupted = false;
 
         while !worklist.is_empty() {
+            if self.config.stop_requested() {
+                interrupted = true;
+                break;
+            }
             if stats.insns > self.config.max_total_insns
                 || coverage.elapsed_ms() > self.config.time_budget_ms
             {
@@ -244,50 +398,87 @@ impl Ddt {
             };
             let mut m = worklist.swap_remove(best);
             let mut exec_pcs = Vec::with_capacity(QUANTUM as usize);
+            let mut new_bug_keys = Vec::new();
+            let mut fork_events = Vec::new();
             // Panic isolation: a bug in the harness (or a deliberately
             // induced one, via the test hook) kills only this state, not
             // the run. The incident is counted in the run health section.
             let survived = catch_unwind(AssertUnwindSafe(|| {
-                self.run_quantum(
-                    dut,
-                    &mut m,
-                    &mut env,
-                    &mut solver,
-                    &mut worklist,
-                    &mut next_id,
-                    &mut stats,
-                    &mut bugs,
-                    &mut exec_pcs,
-                )
+                let mut sinks = QuantumSinks {
+                    worklist: &mut worklist,
+                    next_id: &mut next_id,
+                    stats: &mut stats,
+                    bugs: &mut bugs,
+                    exec_pcs: &mut exec_pcs,
+                    new_bug_keys: &mut new_bug_keys,
+                    fork_events: &mut fork_events,
+                    replay: None,
+                };
+                self.run_quantum(dut, &mut m, &mut env, &mut solver, &mut sinks)
             }));
-            let survived = match survived {
-                Ok(alive) => alive,
+            let (alive, status) = match survived {
+                Ok(None) => (true, None),
+                Ok(Some(end)) => (false, Some(end.status())),
                 Err(_) => {
                     stats.panics_caught += 1;
-                    false // The machine's state is suspect; drop it.
+                    // The machine's state is suspect; drop it.
+                    (false, Some(PathStatus::Panicked))
                 }
             };
             for pc in exec_pcs {
                 coverage.on_exec(pc);
             }
-            if survived {
+            if let Some(c) = campaign.as_mut() {
+                for (parent, child, kind) in fork_events.drain(..) {
+                    c.record(&JournalRecord::Forked { parent, child, kind });
+                }
+                if let Some(status) = status {
+                    c.record(&JournalRecord::PathDone {
+                        machine: m.id,
+                        status,
+                        steps: m.steps_total,
+                        new_bugs: std::mem::take(&mut new_bug_keys),
+                    });
+                }
+            }
+            if alive {
                 worklist.push(m);
             }
             stats.peak_states = stats.peak_states.max(worklist.len() + 1);
+            quanta_since_checkpoint += 1;
+            if let Some(c) = campaign.as_mut() {
+                if quanta_since_checkpoint >= c.every_quanta() {
+                    quanta_since_checkpoint = 0;
+                    stats.wall_ms = coverage.elapsed_ms();
+                    fold_solver(&mut stats, &solver);
+                    let ck = checkpoint_file(dut, self, &coverage, &stats, &bugs, next_id, &worklist, false, false);
+                    c.write_checkpoint(ck);
+                }
+            }
         }
 
         stats.wall_ms = coverage.elapsed_ms();
-        stats.solver_queries = solver.stats().queries;
-        stats.solver_fast_hits = solver.stats().fast_path_hits;
-        stats.solver_full = solver.stats().full_solves;
-        stats.solver_cache_hits = solver.stats().cache_hits;
-        stats.solver_model_reuse = solver.stats().cache_model_reuse;
-        stats.solver_unsat_subset = solver.stats().cache_unsat_subset;
+        fold_solver(&mut stats, &solver);
         stats.cache_evictions = run_cache.as_ref().map_or(0, |c| c.stats().evictions);
-        stats.symbols = sym_counter.allocated();
         let insn_exhausted = stats.insns > self.config.max_total_insns;
         let wall_exhausted = stats.wall_ms > self.config.time_budget_ms;
         let mut health = RunHealth::from_stats(&stats, insn_exhausted, wall_exhausted);
+        health.resume_replayed_paths = replays.0;
+        health.resume_replay_failures = replays.1;
+        if let Some(c) = campaign.as_mut() {
+            if interrupted {
+                c.record(&JournalRecord::Interrupted);
+            }
+            let finished = worklist.is_empty();
+            if finished {
+                c.record(&JournalRecord::Finished { distinct_bugs: bugs.len() as u64 });
+            }
+            let ck = checkpoint_file(dut, self, &coverage, &stats, &bugs, next_id, &worklist, finished, interrupted);
+            c.write_checkpoint(ck);
+            c.finish();
+            health.checkpoints_written = c.checkpoints_written;
+            health.journal_records = c.journal_records;
+        }
         let bug_list = self.finalize_bugs(bugs, &mut health, dut);
         Report {
             driver: dut.image.name.clone(),
@@ -340,87 +531,146 @@ impl Ddt {
 
     /// Runs one scheduling quantum of a machine: up to [`QUANTUM`] symbolic
     /// steps with full kernel-call / return / fork handling. Forked states
-    /// are appended to `worklist`; executed pcs are appended to `exec_pcs`
-    /// for coverage accounting. Returns whether the machine is still alive
-    /// (and should be rescheduled).
-    #[allow(clippy::too_many_arguments)]
+    /// are appended to the sink worklist; executed pcs are appended for
+    /// coverage accounting. Returns `None` while the machine is still alive
+    /// (reschedule it) or the terminal status that ended the path.
+    ///
+    /// Every fork *site* — a point where exploration may spawn an
+    /// alternative — fires on conditions that depend only on the machine's
+    /// own state, never on worklist pressure (capacity gates only the
+    /// push). That invariant is what makes a recorded choice log replayable
+    /// under any later worklist population: in replay mode the sites fire
+    /// in the identical order and the cursor steers through them.
     pub(crate) fn run_quantum(
         &self,
         dut: &DriverUnderTest,
         m: &mut Machine,
         env: &mut DdtEnv,
         solver: &mut Solver,
-        worklist: &mut Vec<Machine>,
-        next_id: &mut u64,
-        stats: &mut ExploreStats,
-        bugs: &mut HashMap<String, Bug>,
-        exec_pcs: &mut Vec<u32>,
-    ) -> bool {
-        if let Some(hook) = &self.config.panic_hook {
-            let fired = hook
-                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
-                .ok();
-            if fired == Some(1) {
-                panic!("induced quantum panic (test hook)");
+        sinks: &mut QuantumSinks,
+    ) -> Option<PathEnd> {
+        if sinks.replay.is_none() {
+            if let Some(hook) = &self.config.panic_hook {
+                let fired = hook
+                    .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+                    .ok();
+                if fired == Some(1) {
+                    panic!("induced quantum panic (test hook)");
+                }
             }
         }
+        let syms_before = m.st.counter.allocated();
         let mut end: Option<PathEnd> = None;
         for _ in 0..QUANTUM {
-            exec_pcs.push(m.st.cpu.pc);
+            if let Some(cur) = sinks.replay.as_deref() {
+                // Prefix reconstruction stops exactly at the checkpointed
+                // step count; divergence is checked by the caller.
+                if cur.diverged.is_some() || m.steps_total >= cur.target_steps {
+                    break;
+                }
+            }
+            m.steps_total += 1;
+            sinks.exec_pcs.push(m.st.cpu.pc);
             let outcome = step(&mut m.st, env, solver);
-            stats.insns += 1;
+            sinks.stats.insns += 1;
             m.steps_in_entry += 1;
-            // Multi-way address resolution parks alternatives on the
-            // state; adopt them as full machines.
-            for alt in std::mem::take(&mut m.st.pending_forks) {
-                if worklist.len() < self.config.max_states {
-                    let child = m.adopt(alt, *next_id);
-                    *next_id += 1;
-                    stats.paths_started += 1;
-                    worklist.push(child);
-                } else {
-                    stats.states_dropped += 1;
+            // Multi-way address resolution parks alternatives on the state.
+            // The whole drain is ONE fork site: the parent (pick 0) keeps
+            // its resolution, alternative `i` is pick `i + 1`.
+            let alts = std::mem::take(&mut m.st.pending_forks);
+            if !alts.is_empty() {
+                match sinks.steer(SiteKind::PendingFork) {
+                    ReplaySteer::Stay => {
+                        if !sinks.replaying() {
+                            for (i, alt) in alts.into_iter().enumerate() {
+                                if sinks.worklist.len() < self.config.max_states {
+                                    let mut child = m.adopt(alt, *sinks.next_id);
+                                    *sinks.next_id += 1;
+                                    child.log_pick(SiteKind::PendingFork, (i + 1) as u32);
+                                    sinks.fork_events.push((m.id, child.id, SiteKind::PendingFork));
+                                    sinks.stats.paths_started += 1;
+                                    sinks.worklist.push(child);
+                                } else {
+                                    sinks.stats.states_dropped += 1;
+                                }
+                            }
+                        }
+                        m.note_site();
+                    }
+                    ReplaySteer::Child(pick) => {
+                        let idx = (pick as usize).saturating_sub(1);
+                        match alts.into_iter().nth(idx) {
+                            Some(alt) => {
+                                let mut child = m.adopt(alt, m.id);
+                                child.log_pick(SiteKind::PendingFork, pick);
+                                *m = child;
+                                // The parent's step aftermath (violations,
+                                // outcome) belongs to the path we just left.
+                                let _ = env.drain_violations();
+                                continue;
+                            }
+                            None => {
+                                if let Some(cur) = sinks.replay.as_deref_mut() {
+                                    cur.mark_diverged("pending-fork pick out of range");
+                                }
+                                break;
+                            }
+                        }
+                    }
                 }
             }
             // Survivable memory-checker violations: report, continue.
             for v in env.drain_violations() {
                 let pending = classify_violation(m, &v);
-                self.record_bug(bugs, m, pending, solver, dut);
+                self.record_bug(sinks.bugs, sinks.new_bug_keys, m, pending, solver, dut);
             }
             match outcome {
                 SymStep::Continue => {
                     if m.steps_in_entry > self.config.max_invocation_insns {
                         if let Some(pending) = crate::checkers::check_infinite_loop(m, 64) {
-                            self.record_bug(bugs, m, pending, solver, dut);
+                            self.record_bug(sinks.bugs, sinks.new_bug_keys, m, pending, solver, dut);
                         }
                         end = Some(PathEnd::BudgetKilled);
                         break;
                     }
                 }
                 SymStep::Forked { other } => {
-                    if worklist.len() < self.config.max_states {
-                        let child = m.adopt(*other, *next_id);
-                        *next_id += 1;
-                        stats.paths_started += 1;
-                        worklist.push(child);
-                    } else {
-                        stats.states_dropped += 1;
+                    match sinks.steer(SiteKind::BranchFork) {
+                        ReplaySteer::Stay => {
+                            if !sinks.replaying() {
+                                if sinks.worklist.len() < self.config.max_states {
+                                    let mut child = m.adopt(*other, *sinks.next_id);
+                                    *sinks.next_id += 1;
+                                    child.log_pick(SiteKind::BranchFork, 1);
+                                    sinks.fork_events.push((m.id, child.id, SiteKind::BranchFork));
+                                    sinks.stats.paths_started += 1;
+                                    sinks.worklist.push(child);
+                                } else {
+                                    sinks.stats.states_dropped += 1;
+                                }
+                            }
+                            m.note_site();
+                        }
+                        ReplaySteer::Child(_) => {
+                            let mut child = m.adopt(*other, m.id);
+                            child.log_pick(SiteKind::BranchFork, 1);
+                            *m = child;
+                        }
                     }
                 }
                 SymStep::KernelCall { export_id } => {
-                    match self.handle_kernel_call(
-                        m, export_id, solver, worklist, next_id, stats, bugs, dut,
-                    ) {
-                        Ok(()) => {}
+                    match self.handle_kernel_call(m, export_id, solver, sinks, dut) {
+                        Ok(CallFlow::Done) => {}
+                        Ok(CallFlow::Restarted) => continue,
                         Err(pending) => {
-                            self.record_bug(bugs, m, pending, solver, dut);
+                            self.record_bug(sinks.bugs, sinks.new_bug_keys, m, pending, solver, dut);
                             end = Some(PathEnd::Faulted);
                             break;
                         }
                     }
                 }
                 SymStep::ReturnToKernel => {
-                    match self.handle_return(m, solver, worklist, next_id, stats, bugs, dut) {
+                    match self.handle_return(m, solver, sinks, dut) {
                         ReturnFlow::Continue => {}
                         ReturnFlow::PathDone => {
                             end = Some(PathEnd::Completed);
@@ -436,7 +686,7 @@ impl Ddt {
                     let classified = classify_fault(m, &f);
                     match classified {
                         Some(pending) => {
-                            self.record_bug(bugs, m, pending, solver, dut);
+                            self.record_bug(sinks.bugs, sinks.new_bug_keys, m, pending, solver, dut);
                             end = Some(PathEnd::Faulted);
                         }
                         None => end = Some(PathEnd::Infeasible),
@@ -445,24 +695,59 @@ impl Ddt {
                 }
             }
         }
-        stats.max_cow_depth = stats.max_cow_depth.max(m.st.mem.chain_depth());
+        sinks.stats.max_cow_depth = sinks.stats.max_cow_depth.max(m.st.mem.chain_depth());
+        // Symbol accounting is a per-quantum delta so it sums correctly
+        // across any quantum partition (and across checkpoint/resume).
+        sinks.stats.symbols += m.st.counter.allocated().wrapping_sub(syms_before);
         match end {
-            None => true, // Quantum expired; reschedule.
-            Some(PathEnd::Completed) => {
-                stats.paths_completed += 1;
+            None => None, // Quantum expired; reschedule.
+            Some(e) => {
+                match e {
+                    PathEnd::Completed => sinks.stats.paths_completed += 1,
+                    PathEnd::Faulted => sinks.stats.paths_faulted += 1,
+                    PathEnd::Infeasible => sinks.stats.paths_infeasible += 1,
+                    PathEnd::BudgetKilled => sinks.stats.paths_budget_killed += 1,
+                }
+                Some(e)
+            }
+        }
+    }
+
+    /// One single-alternative fork site. In exploration the child is
+    /// forked, mutated, logged, and pushed (capacity gates only the push —
+    /// the site itself fires unconditionally, keeping choice logs
+    /// replayable under any worklist pressure). During replay the cursor
+    /// steers: `Stay` skips the site; `Child` applies the mutation to the
+    /// machine itself and returns `true` so the caller can re-dispatch.
+    fn fork_site(
+        &self,
+        m: &mut Machine,
+        sinks: &mut QuantumSinks,
+        kind: SiteKind,
+        mutate: impl FnOnce(&mut Machine),
+    ) -> bool {
+        match sinks.steer(kind) {
+            ReplaySteer::Stay => {
+                if !sinks.replaying() {
+                    if sinks.worklist.len() < self.config.max_states {
+                        let mut child = m.fork(*sinks.next_id);
+                        *sinks.next_id += 1;
+                        mutate(&mut child);
+                        child.log_pick(kind, 1);
+                        sinks.fork_events.push((m.id, child.id, kind));
+                        sinks.stats.paths_started += 1;
+                        sinks.worklist.push(child);
+                    } else {
+                        sinks.stats.states_dropped += 1;
+                    }
+                }
+                m.note_site();
                 false
             }
-            Some(PathEnd::Faulted) => {
-                stats.paths_faulted += 1;
-                false
-            }
-            Some(PathEnd::Infeasible) => {
-                stats.paths_infeasible += 1;
-                false
-            }
-            Some(PathEnd::BudgetKilled) => {
-                stats.paths_budget_killed += 1;
-                false
+            ReplaySteer::Child(_) => {
+                mutate(m);
+                m.log_pick(kind, 1);
+                true
             }
         }
     }
@@ -506,6 +791,7 @@ impl Ddt {
     fn record_bug(
         &self,
         bugs: &mut HashMap<String, Bug>,
+        new_keys: &mut Vec<String>,
         m: &Machine,
         pending: PendingBug,
         solver: &mut Solver,
@@ -568,6 +854,7 @@ impl Ddt {
             stack,
             provenance,
         };
+        new_keys.push(pending.key.clone());
         bugs.insert(pending.key, bug);
     }
 
@@ -575,18 +862,15 @@ impl Ddt {
     /// plus symbolic-interrupt injection at the boundary (§3.3).
     // The Err variant is the rare bug path; boxing it would tax the hot
     // Ok path's callers for nothing.
-    #[allow(clippy::too_many_arguments, clippy::result_large_err)]
+    #[allow(clippy::result_large_err)]
     fn handle_kernel_call(
         &self,
         m: &mut Machine,
         export: u16,
         solver: &mut Solver,
-        worklist: &mut Vec<Machine>,
-        next_id: &mut u64,
-        stats: &mut ExploreStats,
-        bugs: &mut HashMap<String, Bug>,
+        sinks: &mut QuantumSinks,
         dut: &DriverUnderTest,
-    ) -> Result<(), PendingBug> {
+    ) -> Result<CallFlow, PendingBug> {
         // Concrete-to-symbolic hint: fork the failed-allocation alternative.
         // One failed acquisition per path, whichever mechanism injects it.
         let has_fault = m
@@ -594,15 +878,14 @@ impl Ddt {
             .iter()
             .any(|d| matches!(d, Decision::ForceAllocFail { .. } | Decision::InjectFault { .. }));
         if self.config.annotations.wants_failure_fork(export) && !has_fault {
-            if worklist.len() < self.config.max_states {
-                let mut fail = m.fork(*next_id);
-                *next_id += 1;
-                fail.kernel.state.force_alloc_failures = 1;
-                fail.decisions.push(Decision::ForceAllocFail { kernel_call: m.kernel_calls });
-                stats.paths_started += 1;
-                worklist.push(fail);
-            } else {
-                stats.states_dropped += 1;
+            let kernel_call = m.kernel_calls;
+            if self.fork_site(m, sinks, SiteKind::AllocFail, |c| {
+                c.kernel.state.force_alloc_failures = 1;
+                c.decisions.push(Decision::ForceAllocFail { kernel_call });
+            }) {
+                // Became the failed-allocation alternative: the trap pc is
+                // unchanged, so re-dispatch consumes the armed fault.
+                return Ok(CallFlow::Restarted);
             }
         }
         // Systematic fault injection (the fault plan's generalization of the
@@ -611,15 +894,12 @@ impl Ddt {
         // armed, so re-dispatch consumes it.
         let injector = FaultInjector::new(self.config.fault_plan.clone());
         if let Some(kind) = injector.should_fork(export, &self.config.annotations, &m.decisions) {
-            if worklist.len() < self.config.max_states {
-                let mut fail = m.fork(*next_id);
-                *next_id += 1;
-                fail.kernel.state.inject_fault = Some(kind);
-                fail.decisions.push(Decision::InjectFault { site: m.kernel_calls, kind });
-                stats.paths_started += 1;
-                worklist.push(fail);
-            } else {
-                stats.states_dropped += 1;
+            let site = m.kernel_calls;
+            if self.fork_site(m, sinks, SiteKind::FaultInject, |c| {
+                c.kernel.state.inject_fault = Some(kind);
+                c.decisions.push(Decision::InjectFault { site, kind });
+            }) {
+                return Ok(CallFlow::Restarted);
             }
         }
         let name = ddt_kernel::export_name(export).unwrap_or("?").to_string();
@@ -633,13 +913,13 @@ impl Ddt {
         // Concretization backtracking (§3.2): if an argument register is
         // symbolic, snapshot the pre-call state so the call can be repeated
         // with a different feasible concrete value. One backtrack per path
-        // keeps the fan-out linear.
+        // keeps the fan-out linear. The condition is deliberately
+        // independent of worklist capacity (see `run_quantum`).
         let may_backtrack = !m
             .decisions
             .iter()
             .any(|d| matches!(d, Decision::ConcretizationBacktrack { .. }))
-            && (0..4).any(|i| !m.st.cpu.regs[i].is_const())
-            && worklist.len() < self.config.max_states;
+            && (0..4).any(|i| !m.st.cpu.regs[i].is_const());
         let arg_exprs: [Expr; 4] = std::array::from_fn(|i| m.st.cpu.regs[i].clone());
         let snapshot = if may_backtrack { Some(m.fork(u64::MAX)) } else { None };
         let mut host = SymHost::new(&mut m.st, solver);
@@ -658,15 +938,41 @@ impl Ddt {
                 let mut cs = snap.st.constraints.clone();
                 cs.push(exclude.clone());
                 if let ddt_solver::SatResult::Sat(model) = solver.check(&cs) {
-                    snap.id = *next_id;
-                    *next_id += 1;
-                    snap.st.add_constraint(exclude);
-                    snap.st.set_model(model);
-                    snap.decisions.push(Decision::ConcretizationBacktrack {
-                        kernel_call: m.kernel_calls - 1,
-                    });
-                    stats.paths_started += 1;
-                    worklist.push(snap);
+                    // A feasible alternative exists: this is a fork site.
+                    let call_idx = m.kernel_calls - 1;
+                    let arm = move |s: &mut Machine| {
+                        s.st.add_constraint(exclude);
+                        s.st.set_model(model);
+                        s.decisions.push(Decision::ConcretizationBacktrack {
+                            kernel_call: call_idx,
+                        });
+                        s.log_pick(SiteKind::Backtrack, 1);
+                    };
+                    match sinks.steer(SiteKind::Backtrack) {
+                        ReplaySteer::Stay => {
+                            if !sinks.replaying() {
+                                if sinks.worklist.len() < self.config.max_states {
+                                    snap.id = *sinks.next_id;
+                                    *sinks.next_id += 1;
+                                    arm(&mut snap);
+                                    sinks.fork_events.push((m.id, snap.id, SiteKind::Backtrack));
+                                    sinks.stats.paths_started += 1;
+                                    sinks.worklist.push(snap);
+                                } else {
+                                    sinks.stats.states_dropped += 1;
+                                }
+                            }
+                            m.note_site();
+                        }
+                        ReplaySteer::Child(_) => {
+                            snap.id = m.id;
+                            arm(&mut snap);
+                            *m = snap;
+                            // The machine is now the pre-call snapshot with
+                            // the exclusion armed; re-dispatch the call.
+                            return Ok(CallFlow::Restarted);
+                        }
+                    }
                 }
                 break;
             }
@@ -678,13 +984,13 @@ impl Ddt {
         let new_events = m.kernel.state.events[events_before..].to_vec();
         for ev in &new_events {
             if let KernelEvent::FaultInjected { family } = ev {
-                stats.count_fault(*family);
+                sinks.stats.count_fault(*family);
                 m.injected_faults.push(*family);
             }
         }
         apply_resource_grants(&mut m.st, &new_events);
         for pending in scan_kernel_events(m) {
-            self.record_bug(bugs, m, pending, solver, dut);
+            self.record_bug(sinks.bugs, sinks.new_bug_keys, m, pending, solver, dut);
         }
         // Resume the driver at the saved link register.
         let ret = m.st.cpu.get(Reg(0)).as_const().unwrap_or(0) as u32;
@@ -705,59 +1011,48 @@ impl Ddt {
         }
         // Boundary crossing: symbolic interrupt injection point.
         m.boundaries += 1;
-        self.maybe_inject_interrupt(m, worklist, next_id, stats);
-        Ok(())
+        // If replay turns the machine into the interrupted alternative, the
+        // next loop iteration simply steps into the ISR — no restart needed.
+        let _ = self.maybe_inject_interrupt(m, sinks);
+        Ok(CallFlow::Done)
     }
 
-    /// Forks a state in which the device interrupt fires right now.
-    fn maybe_inject_interrupt(
-        &self,
-        m: &mut Machine,
-        worklist: &mut Vec<Machine>,
-        next_id: &mut u64,
-        stats: &mut ExploreStats,
-    ) {
+    /// The symbolic-interrupt fork site: an alternative in which the device
+    /// interrupt fires at this boundary. Returns `true` when replay
+    /// steering turned the machine itself into that alternative.
+    fn maybe_inject_interrupt(&self, m: &mut Machine, sinks: &mut QuantumSinks) -> bool {
         if m.interrupt_budget == 0 || m.in_nested_frame() {
-            return;
+            return false;
         }
-        let Some(table) = m.kernel.state.miniport.clone() else { return };
+        let Some(table) = m.kernel.state.miniport.clone() else { return false };
         if m.kernel.state.interrupt.is_none() || table.isr == 0 {
-            return;
+            return false;
         }
-        if worklist.len() >= self.config.max_states {
-            stats.states_dropped += 1;
-            return;
-        }
-        let mut fork = m.fork(*next_id);
-        *next_id += 1;
-        fork.interrupt_budget -= 1;
-        fork.decisions.push(Decision::InjectInterrupt { boundary: m.boundaries });
-        let at_entry = fork.running().to_string();
-        let line = fork.kernel.state.interrupt.as_ref().map(|i| i.line).unwrap_or(0);
-        fork.st.trace.push(TraceEvent::Interrupt { line, at_pc: fork.st.cpu.pc });
-        let saved = fork.save_ctx();
-        let held_at_entry = fork.held_locks();
-        fork.frames.push(Frame::Isr { saved, at_entry, held_at_entry });
-        fork.kernel.state.context = ExecContext::Isr;
-        fork.kernel.state.irql = Irql::Device;
-        let inv = EntryInvocation::new("Isr", table.isr, [0, 0, 0, 0]);
-        fork.apply_invocation(&inv, true);
-        fork.st.trace.push(TraceEvent::EntryInvoke { name: "Isr".into(), addr: table.isr });
-        stats.paths_started += 1;
-        worklist.push(fork);
+        let boundary = m.boundaries;
+        self.fork_site(m, sinks, SiteKind::Interrupt, |c| {
+            c.interrupt_budget -= 1;
+            c.decisions.push(Decision::InjectInterrupt { boundary });
+            let at_entry = c.running().to_string();
+            let line = c.kernel.state.interrupt.as_ref().map(|i| i.line).unwrap_or(0);
+            c.st.trace.push(TraceEvent::Interrupt { line, at_pc: c.st.cpu.pc });
+            let saved = c.save_ctx();
+            let held_at_entry = c.held_locks();
+            c.frames.push(Frame::Isr { saved, at_entry, held_at_entry });
+            c.kernel.state.context = ExecContext::Isr;
+            c.kernel.state.irql = Irql::Device;
+            let inv = EntryInvocation::new("Isr", table.isr, [0, 0, 0, 0]);
+            c.apply_invocation(&inv, true);
+            c.st.trace.push(TraceEvent::EntryInvoke { name: "Isr".into(), addr: table.isr });
+        })
     }
 
     /// Handles a return to the kernel: frame pops, checkers, next workload
     /// operation.
-    #[allow(clippy::too_many_arguments)]
     fn handle_return(
         &self,
         m: &mut Machine,
         solver: &mut Solver,
-        worklist: &mut Vec<Machine>,
-        next_id: &mut u64,
-        stats: &mut ExploreStats,
-        bugs: &mut HashMap<String, Bug>,
+        sinks: &mut QuantumSinks,
         dut: &DriverUnderTest,
     ) -> ReturnFlow {
         let ret_e = m.st.cpu.get(Reg(0));
@@ -781,7 +1076,7 @@ impl Ddt {
         let returned = m.frames.last().expect("checked").running().to_string();
         let held_at_entry = m.frames.last().expect("checked").held_at_entry().to_vec();
         for pending in on_invocation_return(m, &returned, status, &held_at_entry) {
-            self.record_bug(bugs, m, pending, solver, dut);
+            self.record_bug(sinks.bugs, sinks.new_bug_keys, m, pending, solver, dut);
         }
         let frame = m.frames.pop().expect("checked");
         match frame {
@@ -795,7 +1090,7 @@ impl Ddt {
                 if name == "DriverEntry" && m.kernel.state.miniport.is_none() {
                     return ReturnFlow::PathDone;
                 }
-                self.schedule_next_op(m, &dut.workload, worklist, next_id, stats)
+                self.schedule_next_op(m, &dut.workload, sinks)
             }
             Frame::Isr { saved, at_entry, .. } => {
                 let table = m.kernel.state.miniport.clone().unwrap_or_default();
@@ -835,13 +1130,15 @@ impl Ddt {
         &self,
         m: &mut Machine,
         workload: &[WorkloadOp],
-        worklist: &mut Vec<Machine>,
-        next_id: &mut u64,
-        stats: &mut ExploreStats,
+        sinks: &mut QuantumSinks,
     ) -> ReturnFlow {
         // Boundary between entry points: another injection point.
         m.boundaries += 1;
-        self.maybe_inject_interrupt(m, worklist, next_id, stats);
+        if self.maybe_inject_interrupt(m, sinks) {
+            // Replay turned the machine into the interrupted alternative:
+            // run the ISR instead of scheduling the next operation.
+            return ReturnFlow::Continue;
+        }
         loop {
             let Some(op) = workload.get(m.workload_pos).cloned() else {
                 return ReturnFlow::PathDone;

@@ -82,6 +82,17 @@ impl FaultPlan {
         self.enabled && self.families.contains(&family)
     }
 
+    /// Stable fingerprint of the plan, folded into the campaign
+    /// configuration fingerprint: a resumed run must inject the exact same
+    /// fault alternatives, or checkpointed choice logs would not replay.
+    pub fn fingerprint(&self) -> u64 {
+        let mut desc = format!("v1:enabled={}:max={}", self.enabled, self.max_faults_per_path);
+        for f in &self.families {
+            desc.push_str(&format!(":{f:?}"));
+        }
+        ddt_trace::fnv1a64(desc.as_bytes())
+    }
+
     /// Families whose failure a correct driver must propagate: returning
     /// success from `Initialize` after one of these failed is a bug.
     /// Registry parameters are excluded — drivers legitimately fall back to
@@ -206,6 +217,16 @@ mod tests {
         let ann = Annotations::defaults();
         assert_eq!(inj.should_fork(32, &ann, &[]), Some(FaultFamily::Registration));
         assert_eq!(inj.should_fork(40, &ann, &[]), None, "SharedMemory not in plan");
+    }
+
+    #[test]
+    fn fingerprint_separates_plans() {
+        assert_eq!(FaultPlan::disabled().fingerprint(), FaultPlan::disabled().fingerprint());
+        assert_ne!(FaultPlan::disabled().fingerprint(), FaultPlan::full().fingerprint());
+        assert_ne!(
+            FaultPlan::for_families(&[FaultFamily::Registry]).fingerprint(),
+            FaultPlan::for_families(&[FaultFamily::PoolAlloc]).fingerprint()
+        );
     }
 
     #[test]

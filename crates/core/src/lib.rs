@@ -35,6 +35,7 @@
 pub mod analysis;
 pub mod annotations;
 pub mod checkers;
+pub mod checkpoint;
 pub mod coverage;
 pub mod exerciser;
 pub mod faults;
@@ -47,12 +48,13 @@ pub mod tracestore;
 
 pub use analysis::{analyze_bug, BugAnalysis, DeviceSpec};
 pub use annotations::Annotations;
+pub use checkpoint::{load_latest, CampaignError, CampaignSeed, CheckpointPolicy};
 pub use ddt_kernel::FaultFamily;
 pub use exerciser::{Ddt, DdtConfig, DriverUnderTest};
 pub use faults::{FaultInjector, FaultPlan};
 pub use hardware::DdtEnv;
 pub use machine::{Frame, Machine, SymHost};
-pub use parallel::test_parallel;
+pub use parallel::{resume_parallel, test_parallel};
 pub use replay::{decision_streams, replay_bug, ReplayOutcome};
 pub use report::{Bug, BugClass, Decision, ExploreStats, Report, RunHealth};
 pub use tracestore::{artifact_from_bug, bug_from_artifact, persist_bugs, replay_artifact};

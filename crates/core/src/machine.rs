@@ -18,8 +18,10 @@ use ddt_kernel::{
 };
 use ddt_solver::Solver;
 use ddt_symvm::{SymOrigin, SymState};
+use ddt_trace::{fnv1a64, MachineFingerprint, PathPick, SiteKind};
 
 use crate::report::Decision;
+use std::sync::Arc;
 
 /// Saved CPU + kernel execution context for nested invocations (interrupt
 /// and timer delivery).
@@ -108,6 +110,29 @@ impl Frame {
     }
 }
 
+/// One materialized node of a machine's choice log (a persistent cons
+/// list, shared structurally between a parent and its forked children).
+///
+/// The exploration loop visits a sequence of *nondeterministic fork sites*
+/// on every path. At each site the parent continues as alternative 0 and
+/// each child takes a 1-based alternative. A machine's identity is exactly
+/// its pick at every site, so the log below — run-lengths of "stayed
+/// parent" punctuated by materialized child picks — is a complete recipe
+/// for rebuilding the machine by steered re-execution from the root.
+/// Staying parent is O(1) and allocation-free (`trailing_skips` bump);
+/// only taking a child allocates a node.
+#[derive(Debug)]
+pub struct PathPicks {
+    /// The log up to the previous materialized pick.
+    pub base: Option<Arc<PathPicks>>,
+    /// Sites at which the ancestor stayed parent since `base`.
+    pub skips: u64,
+    /// The site kind at which a child alternative was taken.
+    pub kind: SiteKind,
+    /// Which alternative was taken (1-based).
+    pub pick: u32,
+}
+
 /// Base address of the exerciser's scratch window (packets, OID buffers).
 pub const SCRATCH_BASE: u32 = 0x0300_0000;
 /// Size of the scratch window.
@@ -144,6 +169,14 @@ pub struct Machine {
     /// Fault families actually consumed on this path (the unchecked-failure
     /// checker compares these against the entry's return status).
     pub injected_faults: Vec<FaultFamily>,
+    /// Choice log up to the last materialized child pick (shared tail).
+    pub picks: Option<Arc<PathPicks>>,
+    /// Fork sites at which this machine stayed parent since the last
+    /// materialized pick.
+    pub trailing_skips: u64,
+    /// Exploration-loop steps executed on this machine (the replay stop
+    /// point when the machine is reconstructed from a checkpoint).
+    pub steps_total: u64,
     /// Unique id (diagnostics).
     pub id: u64,
 }
@@ -165,6 +198,9 @@ impl Machine {
             steps_in_entry: 0,
             reported_held_locks: std::collections::BTreeSet::new(),
             injected_faults: Vec::new(),
+            picks: None,
+            trailing_skips: 0,
+            steps_total: 0,
             id: 0,
         }
     }
@@ -185,6 +221,9 @@ impl Machine {
             steps_in_entry: self.steps_in_entry,
             reported_held_locks: self.reported_held_locks.clone(),
             injected_faults: self.injected_faults.clone(),
+            picks: self.picks.clone(),
+            trailing_skips: self.trailing_skips,
+            steps_total: self.steps_total,
             id: new_id,
         }
     }
@@ -206,7 +245,58 @@ impl Machine {
             steps_in_entry: self.steps_in_entry,
             reported_held_locks: self.reported_held_locks.clone(),
             injected_faults: self.injected_faults.clone(),
+            picks: self.picks.clone(),
+            trailing_skips: self.trailing_skips,
+            steps_total: self.steps_total,
             id: new_id,
+        }
+    }
+
+    /// Records that this machine stayed on the parent side of a fork site.
+    /// O(1), allocation-free — called at *every* site a path visits.
+    pub fn note_site(&mut self) {
+        self.trailing_skips += 1;
+    }
+
+    /// Records that this machine took child alternative `pick` at a fork
+    /// site of the given kind. Call on the freshly forked child *before*
+    /// the parent's [`Machine::note_site`], so the child's skip run-length
+    /// reflects the parent's count at the site.
+    pub fn log_pick(&mut self, kind: SiteKind, pick: u32) {
+        self.picks = Some(Arc::new(PathPicks {
+            base: self.picks.take(),
+            skips: self.trailing_skips,
+            kind,
+            pick,
+        }));
+        self.trailing_skips = 0;
+    }
+
+    /// Flattens the choice log into root-most-first wire records.
+    pub fn picks_vec(&self) -> Vec<PathPick> {
+        let mut out = Vec::new();
+        let mut node = self.picks.as_deref();
+        while let Some(n) = node {
+            out.push(PathPick { skips: n.skips, kind: n.kind, pick: n.pick });
+            node = n.base.as_deref();
+        }
+        out.reverse();
+        out
+    }
+
+    /// Validation fingerprint for checkpointed frontier records: replaying
+    /// this machine's choice log from the root must land exactly here.
+    pub fn fingerprint(&self) -> MachineFingerprint {
+        let decisions_json =
+            serde_json::to_vec(&self.decisions).expect("decision schedule serializes");
+        MachineFingerprint {
+            pc: self.st.cpu.pc,
+            kernel_calls: self.kernel_calls,
+            boundaries: self.boundaries,
+            workload_pos: self.workload_pos as u64,
+            interrupt_budget: self.interrupt_budget,
+            frames: self.frames.len() as u32,
+            decisions_fnv: fnv1a64(&decisions_json),
         }
     }
 
@@ -410,6 +500,49 @@ mod tests {
         assert_eq!(a.kernel.state.registry["X"], 1);
         assert!(a.decisions.is_empty());
         assert_eq!(b.kernel.state.registry["X"], 2);
+    }
+
+    #[test]
+    fn choice_log_compresses_and_flattens_in_order() {
+        let mut parent = machine();
+        parent.note_site();
+        parent.note_site();
+        // Fork at the third site: child takes alternative 1.
+        let mut child = parent.fork(1);
+        child.log_pick(SiteKind::BranchFork, 1);
+        parent.note_site();
+        // Child then stays parent at one site and forks a grandchild.
+        child.note_site();
+        let mut grand = child.fork(2);
+        grand.log_pick(SiteKind::Interrupt, 2);
+        child.note_site();
+        assert_eq!(parent.picks_vec(), vec![]);
+        assert_eq!(parent.trailing_skips, 3);
+        assert_eq!(
+            child.picks_vec(),
+            vec![PathPick { skips: 2, kind: SiteKind::BranchFork, pick: 1 }]
+        );
+        assert_eq!(child.trailing_skips, 2);
+        assert_eq!(
+            grand.picks_vec(),
+            vec![
+                PathPick { skips: 2, kind: SiteKind::BranchFork, pick: 1 },
+                PathPick { skips: 1, kind: SiteKind::Interrupt, pick: 2 },
+            ]
+        );
+        assert_eq!(grand.trailing_skips, 0);
+    }
+
+    #[test]
+    fn fingerprint_tracks_state_and_schedule() {
+        let mut m = machine();
+        let fp0 = m.fingerprint();
+        m.st.cpu.pc = 0x40;
+        m.decisions.push(Decision::InjectInterrupt { boundary: 3 });
+        let fp1 = m.fingerprint();
+        assert_ne!(fp0, fp1);
+        assert_eq!(fp1.pc, 0x40);
+        assert_eq!(m.fingerprint(), fp1, "fingerprint is deterministic");
     }
 
     #[test]

@@ -13,21 +13,31 @@
 //! - state selection is FIFO per worker rather than the global min-hit
 //!   heuristic (a distributed searcher trades heuristic fidelity for
 //!   throughput, as Cloud9 does); coverage is still tracked, in batches;
-//! - bug deduplication merges per-worker maps at the end — keys are stable
-//!   across exploration order, so the final set matches the serial run.
+//! - bug deduplication merges per-quantum maps into one shared keyed map —
+//!   keys are stable across exploration order, so the final set matches
+//!   the serial run.
+//!
+//! Durable campaigns (§4.7) are supported here too: workers append their
+//! quantum outcomes to the shared write-ahead journal, and a frontier
+//! checkpoint is taken at a *quiescent cut* — one worker elects itself
+//! writer, the others park between quanta, in-flight work drains, and the
+//! queue is snapshotted in FIFO order before everyone resumes.
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use crossbeam::queue::SegQueue;
 use ddt_isa::analysis;
 use ddt_kernel::loader::StackLayout;
 use ddt_kernel::state::DEVICE_MMIO_BASE;
+use ddt_trace::{JournalRecord, PathStatus};
 
+use crate::checkpoint::{checkpoint_file, CampaignError, CampaignSeed, CampaignWriter};
 use crate::coverage::Coverage;
-use crate::exerciser::{Ddt, DdtConfig, DriverUnderTest};
+use crate::exerciser::{Ddt, DdtConfig, DriverUnderTest, QuantumSinks};
 use crate::hardware::DdtEnv;
 use crate::machine::Machine;
 use crate::report::{Bug, ExploreStats, Report, RunHealth};
@@ -48,24 +58,130 @@ const QUANTUM_ID_BLOCK: u64 = 1 << 12;
 /// Produces the same bug set as [`Ddt::test`] (dedup keys are stable), with
 /// merged statistics. `workers == 1` degenerates to a serial FIFO run.
 pub fn test_parallel(ddt: &Ddt, dut: &DriverUnderTest, workers: usize) -> Report {
+    explore_parallel(ddt, dut, workers, None)
+}
+
+/// Resumes an interrupted campaign from `dir` across `workers` threads.
+/// The counterpart of [`Ddt::resume`] for the parallel explorer.
+pub fn resume_parallel(
+    ddt: &Ddt,
+    dut: &DriverUnderTest,
+    workers: usize,
+    dir: &Path,
+) -> Result<Report, CampaignError> {
+    let (ck, stats, bugs) = ddt.load_for_resume(dut, dir)?;
+    if ck.finished {
+        return Ok(ddt.rebuild_finished_report(dut, &ck, stats, bugs));
+    }
+    let seed = ddt.rebuild_seed(dut, ck, stats, bugs);
+    let continued = ddt.with_campaign_dir(dir);
+    Ok(explore_parallel(&continued, dut, workers, Some(seed)))
+}
+
+/// Cumulative solver counters already folded into the shared stats; each
+/// worker's solver is monotone, so per-quantum deltas sum exactly.
+#[derive(Clone, Copy, Default)]
+struct SolverSnap {
+    queries: u64,
+    fast: u64,
+    full: u64,
+    hits: u64,
+    reuse: u64,
+    unsat: u64,
+}
+
+/// Adds one quantum's counter deltas into the shared aggregate.
+fn merge_stats(agg: &mut ExploreStats, local: &ExploreStats) {
+    agg.paths_started += local.paths_started;
+    agg.paths_completed += local.paths_completed;
+    agg.paths_faulted += local.paths_faulted;
+    agg.paths_infeasible += local.paths_infeasible;
+    agg.paths_budget_killed += local.paths_budget_killed;
+    agg.insns += local.insns;
+    agg.symbols += local.symbols;
+    agg.peak_states = agg.peak_states.max(local.peak_states);
+    agg.max_cow_depth = agg.max_cow_depth.max(local.max_cow_depth);
+    agg.states_dropped += local.states_dropped;
+    agg.panics_caught += local.panics_caught;
+    agg.faults_pool += local.faults_pool;
+    agg.faults_shared += local.faults_shared;
+    agg.faults_map += local.faults_map;
+    agg.faults_registration += local.faults_registration;
+    agg.faults_registry += local.faults_registry;
+}
+
+/// The parallel exploration loop, optionally seeded with the restored
+/// state of an interrupted campaign.
+pub(crate) fn explore_parallel(
+    ddt: &Ddt,
+    dut: &DriverUnderTest,
+    workers: usize,
+    seed: Option<CampaignSeed>,
+) -> Report {
     let workers = workers.max(1);
     let analysis = analysis::analyze(&dut.image);
-    let coverage = Mutex::new(Coverage::new(analysis));
-    let queue: SegQueue<Machine> = SegQueue::new();
-    let in_flight = AtomicUsize::new(0);
-    let total_insns = AtomicU64::new(0);
-    let next_id = AtomicU64::new(1);
     let stack = StackLayout::default();
-
-    let root = ddt.make_root_machine(dut);
-    queue.push(root);
+    let queue: SegQueue<Machine> = SegQueue::new();
 
     // One counterexample cache for the whole worker pool: a constraint set
     // solved (or refuted) by any worker is a cache hit for every other.
     let run_cache = ddt.config.run_cache();
 
-    let merged: Mutex<HashMap<String, Bug>> = Mutex::new(HashMap::new());
-    let all_stats: Mutex<Vec<ExploreStats>> = Mutex::new(Vec::new());
+    let (coverage, agg_init, bugs_init, first_id, first_seq, base_ms, replays) = match seed {
+        Some(s) => {
+            for m in s.frontier {
+                queue.push(m);
+            }
+            (
+                Coverage::seeded(
+                    analysis,
+                    s.coverage_hits,
+                    s.coverage_covered,
+                    s.coverage_timeline,
+                    s.base_wall_ms,
+                ),
+                s.stats,
+                s.bugs,
+                s.next_id,
+                s.next_checkpoint_seq,
+                s.base_wall_ms,
+                (s.replayed_ok, s.replay_failed),
+            )
+        }
+        None => {
+            let root = ddt.make_root_machine(dut);
+            let stats = ExploreStats {
+                symbols: root.st.counter.allocated(),
+                paths_started: 1, // The root.
+                ..Default::default()
+            };
+            queue.push(root);
+            (Coverage::new(analysis), stats, HashMap::new(), 1, 0, 0, (0, 0))
+        }
+    };
+    let coverage = Mutex::new(coverage);
+    let agg_stats: Mutex<ExploreStats> = Mutex::new(agg_init);
+    let merged: Mutex<HashMap<String, Bug>> = Mutex::new(bugs_init);
+    let campaign: Option<Mutex<CampaignWriter>> = ddt.config.checkpoint.as_ref().map(|policy| {
+        Mutex::new(CampaignWriter::start(
+            policy,
+            &dut.image.name,
+            ddt.config.fingerprint(),
+            first_seq,
+        ))
+    });
+
+    let in_flight = AtomicUsize::new(0);
+    let total_insns = AtomicU64::new(agg_init_insns(&agg_stats));
+    let next_id = AtomicU64::new(first_id);
+    let quanta = AtomicU64::new(0);
+    // Checkpoint cut coordination: `want_cut` parks every worker between
+    // quanta; the electing writer waits for `parked + exited` to cover the
+    // rest of the pool and `in_flight` to drain before snapshotting.
+    let want_cut = AtomicBool::new(false);
+    let parked = AtomicUsize::new(0);
+    let exited = AtomicUsize::new(0);
+    let interrupted = AtomicBool::new(false);
     let started = std::time::Instant::now();
 
     std::thread::scope(|scope| {
@@ -79,12 +195,25 @@ pub fn test_parallel(ddt: &Ddt, dut: &DriverUnderTest, workers: usize) -> Report
                     stack.initial_sp(),
                 );
                 env.check_memory = ddt.config.check_memory;
-                let mut stats = ExploreStats::default();
-                let mut bugs: HashMap<String, Bug> = HashMap::new();
+                let mut prev_solver = SolverSnap::default();
                 let mut idle_spins = 0u32;
                 loop {
+                    if ddt.config.stop_requested() {
+                        interrupted.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                    if want_cut.load(Ordering::Acquire) {
+                        // A checkpoint cut is forming: park between quanta.
+                        parked.fetch_add(1, Ordering::AcqRel);
+                        while want_cut.load(Ordering::Acquire) && !ddt.config.stop_requested() {
+                            std::thread::yield_now();
+                        }
+                        parked.fetch_sub(1, Ordering::AcqRel);
+                        continue;
+                    }
                     if total_insns.load(Ordering::Relaxed) > ddt.config.max_total_insns
-                        || started.elapsed().as_millis() as u64 > ddt.config.time_budget_ms
+                        || base_ms + started.elapsed().as_millis() as u64
+                            > ddt.config.time_budget_ms
                     {
                         break;
                     }
@@ -96,7 +225,7 @@ pub fn test_parallel(ddt: &Ddt, dut: &DriverUnderTest, workers: usize) -> Report
                     in_flight.fetch_add(1, Ordering::AcqRel);
                     let Some(mut m) = queue.pop() else {
                         let before = in_flight.fetch_sub(1, Ordering::AcqRel);
-                        if before == 1 && queue.is_empty() {
+                        if before == 1 && queue.is_empty() && !want_cut.load(Ordering::Acquire) {
                             break; // Global quiescence: no work anywhere.
                         }
                         idle_spins += 1;
@@ -111,27 +240,35 @@ pub fn test_parallel(ddt: &Ddt, dut: &DriverUnderTest, workers: usize) -> Report
                     // diagnostics; uniqueness suffices).
                     let mut local_id = next_id.fetch_add(QUANTUM_ID_BLOCK, Ordering::Relaxed);
                     let mut exec_pcs: Vec<u32> = Vec::with_capacity(256);
+                    // Per-quantum sinks: deltas merged into the shared
+                    // aggregates below, so a checkpoint cut always sees a
+                    // consistent whole-campaign view.
+                    let mut local_stats = ExploreStats::default();
+                    let mut local_bugs: HashMap<String, Bug> = HashMap::new();
+                    let mut new_bug_keys: Vec<String> = Vec::new();
+                    let mut fork_events = Vec::new();
                     // Panic isolation, as in the serial explorer: a panicking
                     // quantum costs one state, not the whole worker (and with
                     // it the thread-join panic that would sink the run).
                     let survived = catch_unwind(AssertUnwindSafe(|| {
-                        ddt.run_quantum(
-                            dut,
-                            &mut m,
-                            &mut env,
-                            &mut solver,
-                            &mut local_forks,
-                            &mut local_id,
-                            &mut stats,
-                            &mut bugs,
-                            &mut exec_pcs,
-                        )
+                        let mut sinks = QuantumSinks {
+                            worklist: &mut local_forks,
+                            next_id: &mut local_id,
+                            stats: &mut local_stats,
+                            bugs: &mut local_bugs,
+                            exec_pcs: &mut exec_pcs,
+                            new_bug_keys: &mut new_bug_keys,
+                            fork_events: &mut fork_events,
+                            replay: None,
+                        };
+                        ddt.run_quantum(dut, &mut m, &mut env, &mut solver, &mut sinks)
                     }));
-                    let survived = match survived {
-                        Ok(alive) => alive,
+                    let (alive, status) = match survived {
+                        Ok(None) => (true, None),
+                        Ok(Some(end)) => (false, Some(end.status())),
                         Err(_) => {
-                            stats.panics_caught += 1;
-                            false
+                            local_stats.panics_caught += 1;
+                            (false, Some(PathStatus::Panicked))
                         }
                     };
                     total_insns.fetch_add(exec_pcs.len() as u64, Ordering::Relaxed);
@@ -141,77 +278,163 @@ pub fn test_parallel(ddt: &Ddt, dut: &DriverUnderTest, workers: usize) -> Report
                             cov.on_exec(pc);
                         }
                     }
-                    stats.peak_states = stats.peak_states.max(queue.len() + 1);
+                    local_stats.peak_states = local_stats.peak_states.max(queue.len() + 1);
+                    {
+                        let mut agg = relock(&agg_stats);
+                        merge_stats(&mut agg, &local_stats);
+                        let s = solver.stats();
+                        agg.solver_queries += s.queries - prev_solver.queries;
+                        agg.solver_fast_hits += s.fast_path_hits - prev_solver.fast;
+                        agg.solver_full += s.full_solves - prev_solver.full;
+                        agg.solver_cache_hits += s.cache_hits - prev_solver.hits;
+                        agg.solver_model_reuse += s.cache_model_reuse - prev_solver.reuse;
+                        agg.solver_unsat_subset += s.cache_unsat_subset - prev_solver.unsat;
+                        prev_solver = SolverSnap {
+                            queries: s.queries,
+                            fast: s.fast_path_hits,
+                            full: s.full_solves,
+                            hits: s.cache_hits,
+                            reuse: s.cache_model_reuse,
+                            unsat: s.cache_unsat_subset,
+                        };
+                    }
+                    if !local_bugs.is_empty() {
+                        // Merge keyed bugs, summing sightings on collisions
+                        // (plain extend would silently drop counts).
+                        let mut g = relock(&merged);
+                        for (key, bug) in local_bugs {
+                            match g.entry(key) {
+                                std::collections::hash_map::Entry::Occupied(mut e) => {
+                                    e.get_mut().occurrences += bug.occurrences;
+                                }
+                                std::collections::hash_map::Entry::Vacant(e) => {
+                                    e.insert(bug);
+                                }
+                            }
+                        }
+                    }
+                    if let Some(c) = &campaign {
+                        let mut w = relock(c);
+                        for (parent, child, kind) in fork_events.drain(..) {
+                            w.record(&JournalRecord::Forked { parent, child, kind });
+                        }
+                        if let Some(status) = status {
+                            w.record(&JournalRecord::PathDone {
+                                machine: m.id,
+                                status,
+                                steps: m.steps_total,
+                                new_bugs: std::mem::take(&mut new_bug_keys),
+                            });
+                        }
+                    }
                     for fork in local_forks {
                         queue.push(fork);
                     }
-                    if survived {
+                    if alive {
                         queue.push(m);
                     }
                     in_flight.fetch_sub(1, Ordering::AcqRel);
-                }
-                stats.solver_queries = solver.stats().queries;
-                stats.solver_fast_hits = solver.stats().fast_path_hits;
-                stats.solver_full = solver.stats().full_solves;
-                stats.solver_cache_hits = solver.stats().cache_hits;
-                stats.solver_model_reuse = solver.stats().cache_model_reuse;
-                stats.solver_unsat_subset = solver.stats().cache_unsat_subset;
-                // Merge keyed bugs, summing sightings on key collisions
-                // (plain extend would silently drop a worker's count).
-                let mut g = relock(&merged);
-                for (key, bug) in bugs {
-                    match g.entry(key) {
-                        std::collections::hash_map::Entry::Occupied(mut e) => {
-                            e.get_mut().occurrences += bug.occurrences;
-                        }
-                        std::collections::hash_map::Entry::Vacant(e) => {
-                            e.insert(bug);
+                    if let Some(c) = &campaign {
+                        let every = relock(c).every_quanta();
+                        let q = quanta.fetch_add(1, Ordering::AcqRel) + 1;
+                        let elect = q.is_multiple_of(every)
+                            && want_cut
+                                .compare_exchange(
+                                    false,
+                                    true,
+                                    Ordering::AcqRel,
+                                    Ordering::Acquire,
+                                )
+                                .is_ok();
+                        if elect {
+                            // Quiescent cut: wait until every other worker is
+                            // parked or gone and no machine is in flight.
+                            while in_flight.load(Ordering::Acquire) > 0
+                                || parked.load(Ordering::Acquire)
+                                    + exited.load(Ordering::Acquire)
+                                    < workers - 1
+                            {
+                                std::thread::yield_now();
+                            }
+                            let mut frontier = Vec::new();
+                            while let Some(mm) = queue.pop() {
+                                frontier.push(mm);
+                            }
+                            {
+                                let mut snap = relock(&agg_stats).clone();
+                                snap.wall_ms = base_ms + started.elapsed().as_millis() as u64;
+                                let bugs_snap = relock(&merged);
+                                let cov = relock(&coverage);
+                                let ck = checkpoint_file(
+                                    dut,
+                                    ddt,
+                                    &cov,
+                                    &snap,
+                                    &bugs_snap,
+                                    next_id.load(Ordering::Relaxed),
+                                    &frontier,
+                                    false,
+                                    false,
+                                );
+                                drop(cov);
+                                drop(bugs_snap);
+                                relock(c).write_checkpoint(ck);
+                            }
+                            // FIFO order preserved: drained front first.
+                            for mm in frontier {
+                                queue.push(mm);
+                            }
+                            want_cut.store(false, Ordering::Release);
                         }
                     }
                 }
-                drop(g);
-                relock(&all_stats).push(stats);
+                exited.fetch_add(1, Ordering::AcqRel);
             });
         }
     });
 
     let coverage = coverage.into_inner().unwrap_or_else(PoisonError::into_inner);
-    let mut stats = ExploreStats::default();
-    for s in all_stats.into_inner().unwrap_or_else(PoisonError::into_inner) {
-        stats.paths_started += s.paths_started;
-        stats.paths_completed += s.paths_completed;
-        stats.paths_faulted += s.paths_faulted;
-        stats.paths_infeasible += s.paths_infeasible;
-        stats.paths_budget_killed += s.paths_budget_killed;
-        stats.insns += s.insns;
-        stats.peak_states = stats.peak_states.max(s.peak_states);
-        stats.solver_queries += s.solver_queries;
-        stats.solver_fast_hits += s.solver_fast_hits;
-        stats.solver_full += s.solver_full;
-        stats.solver_cache_hits += s.solver_cache_hits;
-        stats.solver_model_reuse += s.solver_model_reuse;
-        stats.solver_unsat_subset += s.solver_unsat_subset;
-        stats.max_cow_depth = stats.max_cow_depth.max(s.max_cow_depth);
-        stats.states_dropped += s.states_dropped;
-        stats.panics_caught += s.panics_caught;
-        stats.faults_pool += s.faults_pool;
-        stats.faults_shared += s.faults_shared;
-        stats.faults_map += s.faults_map;
-        stats.faults_registration += s.faults_registration;
-        stats.faults_registry += s.faults_registry;
-    }
-    stats.paths_started += 1; // The root.
+    let mut stats = agg_stats.into_inner().unwrap_or_else(PoisonError::into_inner);
     // Evictions are a property of the one shared cache, not per worker.
     stats.cache_evictions = run_cache.as_ref().map_or(0, |c| c.stats().evictions);
-    stats.wall_ms = started.elapsed().as_millis() as u64;
+    stats.wall_ms = base_ms + started.elapsed().as_millis() as u64;
+    let bugs_map = merged.into_inner().unwrap_or_else(PoisonError::into_inner);
+    let was_interrupted = interrupted.load(Ordering::Relaxed);
     let insn_exhausted = stats.insns > ddt.config.max_total_insns;
     let wall_exhausted = stats.wall_ms > ddt.config.time_budget_ms;
     let mut health = RunHealth::from_stats(&stats, insn_exhausted, wall_exhausted);
-    let bug_list = ddt.finalize_bugs(
-        merged.into_inner().unwrap_or_else(PoisonError::into_inner),
-        &mut health,
-        dut,
-    );
+    health.resume_replayed_paths = replays.0;
+    health.resume_replay_failures = replays.1;
+    if let Some(c) = campaign {
+        let mut w = c.into_inner().unwrap_or_else(PoisonError::into_inner);
+        let mut frontier = Vec::new();
+        while let Some(m) = queue.pop() {
+            frontier.push(m);
+        }
+        if was_interrupted {
+            w.record(&JournalRecord::Interrupted);
+        }
+        let finished = frontier.is_empty();
+        if finished {
+            w.record(&JournalRecord::Finished { distinct_bugs: bugs_map.len() as u64 });
+        }
+        let ck = checkpoint_file(
+            dut,
+            ddt,
+            &coverage,
+            &stats,
+            &bugs_map,
+            next_id.load(Ordering::Relaxed),
+            &frontier,
+            finished,
+            was_interrupted,
+        );
+        w.write_checkpoint(ck);
+        w.finish();
+        health.checkpoints_written = w.checkpoints_written;
+        health.journal_records = w.journal_records;
+    }
+    let bug_list = ddt.finalize_bugs(bugs_map, &mut health, dut);
     Report {
         driver: dut.image.name.clone(),
         bugs: bug_list,
@@ -221,6 +444,12 @@ pub fn test_parallel(ddt: &Ddt, dut: &DriverUnderTest, workers: usize) -> Report
         health,
         stats,
     }
+}
+
+/// The restored instruction count: the shared budget counter continues the
+/// campaign's consumption instead of restarting it.
+fn agg_init_insns(agg: &Mutex<ExploreStats>) -> u64 {
+    relock(agg).insns
 }
 
 #[cfg(test)]

@@ -39,6 +39,82 @@ use crate::exerciser::DriverUnderTest;
 use crate::report::{Bug, BugClass, Decision};
 use ddt_symvm::TraceEvent;
 
+/// How a fork site resolves during choice-log replay (§4.7).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum ReplaySteer {
+    /// Remain the parent: skip this site without forking.
+    Stay,
+    /// Become the recorded child alternative (1-based pick).
+    Child(u32),
+}
+
+/// Steers a machine down a checkpointed choice log: a sequence of
+/// `(skips, kind, pick)` entries — "stay the parent at `skips` sites, then
+/// become child `pick` of the next site, which must be of `kind`" —
+/// followed by `trailing` more stay-sites, up to `target_steps` executed
+/// instructions. Exploration is deterministic given the schedule, so a
+/// faithful re-execution encounters exactly the recorded sites in the
+/// recorded order; anything else is a divergence, flagged (never panicked)
+/// so resume can degrade gracefully by dropping the path.
+pub(crate) struct ReplayCursor {
+    entries: Vec<ddt_trace::PathPick>,
+    idx: usize,
+    skips_left: u64,
+    trailing_left: u64,
+    /// Stop replaying once the machine has executed this many steps.
+    pub target_steps: u64,
+    /// Set on the first mismatch between the log and the re-execution.
+    pub diverged: Option<String>,
+}
+
+impl ReplayCursor {
+    /// A cursor over a frontier record's choice log.
+    pub fn new(entries: Vec<ddt_trace::PathPick>, trailing: u64, target_steps: u64) -> ReplayCursor {
+        let skips_left = entries.first().map(|p| p.skips).unwrap_or(0);
+        ReplayCursor { entries, idx: 0, skips_left, trailing_left: trailing, target_steps, diverged: None }
+    }
+
+    /// Resolves the fork site the machine just hit.
+    pub fn take(&mut self, kind: ddt_trace::SiteKind) -> ReplaySteer {
+        if self.diverged.is_some() {
+            return ReplaySteer::Stay;
+        }
+        if self.idx < self.entries.len() {
+            if self.skips_left > 0 {
+                self.skips_left -= 1;
+                return ReplaySteer::Stay;
+            }
+            let entry = self.entries[self.idx];
+            if entry.kind != kind {
+                self.diverged =
+                    Some(format!("expected {:?} site, re-execution hit {kind:?}", entry.kind));
+                return ReplaySteer::Stay;
+            }
+            self.idx += 1;
+            self.skips_left = self.entries.get(self.idx).map(|p| p.skips).unwrap_or(0);
+            ReplaySteer::Child(entry.pick)
+        } else if self.trailing_left > 0 {
+            self.trailing_left -= 1;
+            ReplaySteer::Stay
+        } else {
+            self.diverged = Some(format!("unrecorded {kind:?} site beyond the choice log"));
+            ReplaySteer::Stay
+        }
+    }
+
+    /// True once every recorded entry and trailing skip has been consumed.
+    pub fn exhausted(&self) -> bool {
+        self.idx >= self.entries.len() && self.trailing_left == 0
+    }
+
+    /// Flags a divergence detected by the caller (first flag wins).
+    pub fn mark_diverged(&mut self, why: &str) {
+        if self.diverged.is_none() {
+            self.diverged = Some(why.to_string());
+        }
+    }
+}
+
 /// Outcome of a concrete run.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ConcreteOutcome {

@@ -181,6 +181,17 @@ pub struct RunHealth {
     /// Trace artifacts persisted to the store this run (0 when no store
     /// was configured).
     pub traces_persisted: u64,
+    /// Frontier checkpoints written by this process (0 when no checkpoint
+    /// directory was configured).
+    pub checkpoints_written: u64,
+    /// Write-ahead journal records appended by this process.
+    pub journal_records: u64,
+    /// Frontier machines successfully reconstructed by schedule replay at
+    /// the start of a resumed run.
+    pub resume_replayed_paths: u64,
+    /// Frontier machines whose reconstruction diverged or failed its
+    /// fingerprint check; each is a lost pending path, not a lost run.
+    pub resume_replay_failures: u64,
 }
 
 impl RunHealth {
@@ -207,6 +218,12 @@ impl RunHealth {
             bug_occurrences: 0,
             bugs_deduped: 0,
             traces_persisted: 0,
+            // Filled in by the campaign layer when checkpointing/resume is
+            // active.
+            checkpoints_written: 0,
+            journal_records: 0,
+            resume_replayed_paths: 0,
+            resume_replay_failures: 0,
         }
     }
 
@@ -265,6 +282,18 @@ impl RunHealth {
         }
         if self.traces_persisted > 0 {
             out.push_str(&format!("  trace artifacts:        {}\n", self.traces_persisted));
+        }
+        if self.checkpoints_written > 0
+            || self.journal_records > 0
+            || self.resume_replayed_paths > 0
+            || self.resume_replay_failures > 0
+        {
+            out.push_str(&format!("  checkpoints written:    {}\n", self.checkpoints_written));
+            out.push_str(&format!("  journal records:        {}\n", self.journal_records));
+            out.push_str(&format!(
+                "  resume replays:         {} ok, {} failed\n",
+                self.resume_replayed_paths, self.resume_replay_failures
+            ));
         }
         let exhausted = match (self.insn_budget_exhausted, self.wall_budget_exhausted) {
             (true, true) => "instruction + wall clock",
@@ -375,6 +404,20 @@ mod tests {
         assert!(text.contains("query-cache evictions:  5"));
         assert!(text.contains("registry 2"));
         assert!(text.contains("budget exhausted:       instruction"));
+    }
+
+    #[test]
+    fn health_renders_campaign_counters_when_active() {
+        let mut h = RunHealth::default();
+        assert!(!h.render().contains("checkpoints written"), "hidden when inactive");
+        h.checkpoints_written = 3;
+        h.journal_records = 120;
+        h.resume_replayed_paths = 7;
+        h.resume_replay_failures = 1;
+        let text = h.render();
+        assert!(text.contains("checkpoints written:    3"));
+        assert!(text.contains("journal records:        120"));
+        assert!(text.contains("resume replays:         7 ok, 1 failed"));
     }
 
     #[test]

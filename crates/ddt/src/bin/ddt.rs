@@ -4,7 +4,8 @@
 //! ddt test <driver.dxe | bundled-name> [--audio] [--registry K=V]...
 //!          [--no-annotations] [--no-memcheck] [--faults] [--workers N]
 //!          [--no-query-cache] [--json FILE] [--replay] [--health]
-//!          [--trace-dir DIR]
+//!          [--trace-dir DIR] [--checkpoint-dir DIR] [--checkpoint-every N]
+//!          [--resume DIR]
 //! ddt replay --trace <bug-dir | manifest.json | trace.bin> [--driver PATH]
 //! ddt triage <store-dir>
 //! ddt asm <source.s> -o <driver.dxe>
@@ -19,8 +20,51 @@
 //! confirmed bug is persisted as a replayable artifact (§3.5); `replay`
 //! re-executes such an artifact concretely, and `triage` renders the
 //! deduplicated bug inventory of a store.
+//!
+//! `--checkpoint-dir` makes the campaign durable (§4.7): a write-ahead
+//! journal plus periodic frontier checkpoints, crash-safe at any instant.
+//! `--resume` picks an interrupted campaign back up from that directory
+//! and runs it to the same report the uninterrupted run would have
+//! produced. With a campaign active, the first SIGINT drains in-flight
+//! work and checkpoints before exiting (code 130); a second SIGINT exits
+//! immediately.
 
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// The graceful-interruption flag shared with the explorer. The handler
+/// performs one atomic swap (async-signal-safe); everything else — the
+/// drain, the final checkpoint, the partial report — happens on the
+/// exploration threads when they observe the flag.
+static STOP: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+
+extern "C" {
+    fn signal(signum: i32, handler: usize) -> usize;
+    #[link_name = "_exit"]
+    fn raw_exit(code: i32) -> !;
+}
+
+const SIGINT: i32 = 2;
+
+extern "C" fn on_sigint(_sig: i32) {
+    if let Some(flag) = STOP.get() {
+        if flag.swap(true, Ordering::SeqCst) {
+            // Second ^C: the user wants out *now*.
+            unsafe { raw_exit(130) }
+        }
+    }
+}
+
+/// Installs the SIGINT handler and returns the stop flag to hand to
+/// [`ddt::DdtConfig::stop_flag`].
+fn install_sigint_flag() -> Arc<AtomicBool> {
+    let flag = STOP.get_or_init(|| Arc::new(AtomicBool::new(false))).clone();
+    unsafe {
+        signal(SIGINT, on_sigint as extern "C" fn(i32) as *const () as usize);
+    }
+    flag
+}
 
 use ddt::drivers::workload::workload_for;
 use ddt::drivers::DriverClass;
@@ -31,7 +75,8 @@ fn usage() -> ExitCode {
         "usage:\n  ddt test <driver.dxe|name> [--audio] [--registry K=V]... \
          [--no-annotations] [--no-memcheck] [--faults] [--workers N] \
          [--no-query-cache] [--json FILE] [--replay] [--health] \
-         [--trace-dir DIR]\n  \
+         [--trace-dir DIR] [--checkpoint-dir DIR] [--checkpoint-every N] \
+         [--resume DIR]\n  \
          ddt replay --trace <bug-dir|manifest.json|trace.bin> [--driver PATH]\n  \
          ddt triage <store-dir>\n  \
          ddt asm <src.s> -o <out.dxe>\n  ddt disas <driver.dxe>\n  \
@@ -248,14 +293,51 @@ fn main() -> ExitCode {
             if let Some(dir) = flag_value(&args, "--trace-dir") {
                 config.trace_dir = Some(std::path::PathBuf::from(dir));
             }
+            let checkpoint_dir = flag_value(&args, "--checkpoint-dir");
+            let resume_dir = flag_value(&args, "--resume");
+            if let Some(dir) = &checkpoint_dir {
+                let mut policy = ddt::CheckpointPolicy::new(std::path::PathBuf::from(dir));
+                if let Some(n) = flag_value(&args, "--checkpoint-every") {
+                    match n.parse() {
+                        Ok(q) if q > 0 => policy.every_quanta = q,
+                        _ => {
+                            eprintln!("bad --checkpoint-every value {n:?}");
+                            return ExitCode::from(2);
+                        }
+                    }
+                }
+                config.checkpoint = Some(policy);
+            }
+            // Graceful interruption only matters when there is a durable
+            // campaign to leave behind.
+            let stop_flag = if checkpoint_dir.is_some() || resume_dir.is_some() {
+                let flag = install_sigint_flag();
+                config.stop_flag = Some(flag.clone());
+                Some(flag)
+            } else {
+                None
+            };
             let tool = ddt::Ddt::new(config);
             let started = std::time::Instant::now();
-            let report = match flag_value(&args, "--workers") {
-                Some(n) => {
-                    let workers: usize = n.parse().unwrap_or(1);
-                    ddt::test_parallel(&tool, &dut, workers)
+            let workers: Option<usize> =
+                flag_value(&args, "--workers").map(|n| n.parse().unwrap_or(1));
+            let report = match (&resume_dir, workers) {
+                (Some(dir), w) => {
+                    let dir = std::path::Path::new(dir);
+                    let resumed = match w {
+                        Some(n) => ddt::resume_parallel(&tool, &dut, n, dir),
+                        None => tool.resume(&dut, dir),
+                    };
+                    match resumed {
+                        Ok(r) => r,
+                        Err(e) => {
+                            eprintln!("cannot resume campaign: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
                 }
-                None => tool.test(&dut),
+                (None, Some(n)) => ddt::test_parallel(&tool, &dut, n),
+                (None, None) => tool.test(&dut),
             };
             println!(
                 "tested '{}': {} paths, {}/{} blocks ({:.0}%), {:.2?}",
@@ -299,6 +381,14 @@ fn main() -> ExitCode {
                     "trace store: {} artifact(s) persisted to {dir}",
                     report.health.traces_persisted
                 );
+            }
+            if stop_flag.is_some_and(|f| f.load(Ordering::SeqCst)) {
+                let dir = resume_dir.or(checkpoint_dir).unwrap_or_default();
+                println!(
+                    "interrupted: partial report above; campaign checkpointed — \
+                     continue with `ddt test {target} --resume {dir}`"
+                );
+                return ExitCode::from(130);
             }
             if report.bugs.is_empty() {
                 println!("verdict: no defects found");

@@ -36,10 +36,13 @@ pub use ddt_core::{
     persist_bugs,
     replay_artifact,
     replay_bug,
+    resume_parallel,
     test_parallel,
     Annotations,
     Bug,
     BugClass,
+    CampaignError,
+    CheckpointPolicy,
     Ddt,
     DdtConfig,
     DriverUnderTest,

@@ -1,8 +1,6 @@
 //! Symbolic execution states.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU32, Ordering};
-use std::sync::Arc;
 
 use ddt_expr::{Assignment, Expr, SymId};
 use ddt_isa::Reg;
@@ -11,12 +9,19 @@ use serde::{Deserialize, Serialize};
 use crate::mem::SymMemory;
 use crate::trace::{Trace, TraceEvent};
 
-/// Shared allocator of globally unique symbol ids.
+/// Per-path allocator of symbol ids.
 ///
-/// All states forked from one exploration share the counter so that models
-/// from different paths never alias symbols.
+/// Forking copies the counter by value, so every path numbers its symbols
+/// by its own creation order. Two sibling paths may therefore use the same
+/// `SymId` for different symbols — that is safe because nothing ever mixes
+/// expressions across paths: constraints, models, and traces are all
+/// per-state, and the solver layer (including the shared query cache) is
+/// purely structural. What the per-path numbering buys is determinism: a
+/// path replayed from its decision schedule allocates byte-identical ids,
+/// which is what makes checkpointed frontier states reconstructible and
+/// resumed reports bit-equal to uninterrupted ones.
 #[derive(Clone, Debug, Default)]
-pub struct SymCounter(Arc<AtomicU32>);
+pub struct SymCounter(u32);
 
 impl SymCounter {
     /// Creates a counter starting at zero.
@@ -25,13 +30,16 @@ impl SymCounter {
     }
 
     /// Allocates the next id.
-    pub fn next(&self) -> SymId {
-        SymId(self.0.fetch_add(1, Ordering::Relaxed))
+    #[allow(clippy::should_implement_trait)] // Not an iterator: an id well.
+    pub fn next(&mut self) -> SymId {
+        let id = SymId(self.0);
+        self.0 += 1;
+        id
     }
 
-    /// Number of ids allocated so far.
+    /// Number of ids allocated so far on this path.
     pub fn allocated(&self) -> u32 {
-        self.0.load(Ordering::Relaxed)
+        self.0
     }
 }
 
@@ -252,7 +260,7 @@ pub struct SymState {
     pub grants: GrantSet,
     /// Execution trace.
     pub trace: Trace,
-    /// Shared symbol id allocator.
+    /// Per-path symbol id allocator (copied by value on fork).
     pub counter: SymCounter,
     /// Instructions executed on this path.
     pub insns_retired: u64,
@@ -372,12 +380,20 @@ mod tests {
     use super::*;
 
     #[test]
-    fn counter_is_shared_across_forks() {
+    fn counter_is_per_path_and_deterministic() {
+        // Sibling paths allocate ids independently: each numbers symbols by
+        // its own creation order, so a replayed path reproduces the exact
+        // ids of the original. Aliasing across siblings is harmless —
+        // constraints, models, and traces never mix across states.
         let mut a = SymState::new(SymCounter::new());
+        let before = a.counter.allocated();
         let mut b = a.fork();
         let s1 = a.new_symbol("a", SymOrigin::Other, 32);
         let s2 = b.new_symbol("b", SymOrigin::Other, 32);
-        assert_ne!(s1, s2, "forked states must not alias symbol ids");
+        assert_eq!(s1, Expr::sym(SymId(before), 32));
+        assert_eq!(s2, Expr::sym(SymId(before), 32), "sibling numbering is independent");
+        assert_eq!(a.counter.allocated(), before + 1);
+        assert_eq!(b.counter.allocated(), before + 1);
     }
 
     #[test]

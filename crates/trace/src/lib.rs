@@ -26,6 +26,7 @@
 
 mod artifact;
 mod bug;
+mod campaign;
 mod codec;
 mod minimize;
 mod provenance;
@@ -35,6 +36,12 @@ mod triage;
 
 pub use artifact::{BugRecord, TraceArtifact, MANIFEST_VERSION};
 pub use bug::{BugClass, Decision};
+pub use campaign::{
+    decode_checkpoint, decode_journal, encode_checkpoint, encode_journal_header,
+    encode_journal_record, CheckpointFile, CoverageRecord, FrontierRecord, JournalRecord,
+    JournalReplay, MachineFingerprint, PathPick, PathStatus, SiteKind, CAMPAIGN_VERSION,
+    CHECKPOINT_MAGIC, JOURNAL_MAGIC,
+};
 pub use codec::{decode_events, encode_events, DecodeError, TRACE_MAGIC, TRACE_VERSION};
 pub use ddt_symvm::{SymOrigin, TraceEvent};
 pub use minimize::{minimize_decisions, MinimizeResult};
@@ -166,6 +173,178 @@ mod prop_tests {
             let bytes = encode_events(&events);
             let cut = cut % bytes.len();
             let _ = decode_events(&bytes[..cut]); // Must not panic.
+        }
+    }
+}
+
+#[cfg(test)]
+mod campaign_prop_tests {
+    //! Round-trip property tests for the campaign (checkpoint + journal)
+    //! codec: lossless decode, canonical re-encode, torn-tail detection
+    //! with complete-prefix recovery.
+
+    use proptest::prelude::*;
+
+    use crate::campaign::{
+        decode_checkpoint, decode_journal, encode_checkpoint, encode_journal_header,
+        encode_journal_record, CheckpointFile, CoverageRecord, FrontierRecord, JournalRecord,
+        MachineFingerprint, PathPick, PathStatus, SiteKind,
+    };
+
+    fn arb_site_kind(seed: u64) -> SiteKind {
+        SiteKind::from_u8((seed % 6) as u8).expect("kinds 0..6 exist")
+    }
+
+    fn arb_pick(seed: u64) -> PathPick {
+        PathPick {
+            skips: (seed >> 8) % 1000,
+            kind: arb_site_kind(seed),
+            pick: 1 + (seed % 3) as u32,
+        }
+    }
+
+    fn arb_frontier_record(seed: u64) -> FrontierRecord {
+        FrontierRecord {
+            id: seed % 4096,
+            steps_total: seed.rotate_left(13) % 1_000_000,
+            trailing_skips: seed % 77,
+            picks: (0..(seed % 6)).map(|i| arb_pick(seed.wrapping_mul(31).wrapping_add(i))).collect(),
+            fp: MachineFingerprint {
+                pc: (seed >> 3) as u32,
+                kernel_calls: seed % 999,
+                boundaries: seed % 333,
+                workload_pos: seed % 11,
+                interrupt_budget: (seed % 3) as u32,
+                frames: (seed % 5) as u32,
+                decisions_fnv: seed.rotate_right(29),
+            },
+        }
+    }
+
+    fn arb_checkpoint(seed: u64, frontier_seeds: &[u64]) -> CheckpointFile {
+        let mut hits: Vec<(u32, u64)> =
+            (0..(seed % 9)).map(|i| ((seed >> 4) as u32 ^ (i as u32) << 8, 1 + seed % 50)).collect();
+        hits.sort_unstable();
+        hits.dedup_by_key(|h| h.0);
+        let covered: Vec<u32> = hits.iter().map(|h| h.0).collect();
+        CheckpointFile {
+            seq: seed % 100,
+            driver: format!("driver-{}", seed % 4),
+            config_fp: seed.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            wall_ms: seed % 1_000_000,
+            insns: seed.rotate_left(7),
+            next_id: seed % 10_000,
+            finished: seed.is_multiple_of(5),
+            interrupted: seed.is_multiple_of(7),
+            stats_json: format!("{{\"paths_started\":{}}}", seed % 100).into_bytes(),
+            bugs_json: if seed.is_multiple_of(2) {
+                b"[]".to_vec()
+            } else {
+                format!("[{{\"key\":\"k{}\"}}]", seed % 9).into_bytes()
+            },
+            coverage: CoverageRecord {
+                hits,
+                covered,
+                timeline: (0..(seed % 5)).map(|i| (i * 100, i + 1)).collect(),
+            },
+            frontier: frontier_seeds.iter().map(|&s| arb_frontier_record(s)).collect(),
+        }
+    }
+
+    fn arb_journal_record(seed: u64) -> JournalRecord {
+        match seed % 6 {
+            0 => JournalRecord::Started {
+                driver: format!("drv{}", seed % 5),
+                config_fp: seed.rotate_left(11),
+            },
+            1 => JournalRecord::PathDone {
+                machine: seed % 8192,
+                status: PathStatus::Completed,
+                steps: seed % 100_000,
+                new_bugs: (0..(seed % 4)).map(|i| format!("bug-{}-{}", seed % 13, i)).collect(),
+            },
+            2 => JournalRecord::Forked {
+                parent: seed % 8192,
+                child: (seed >> 5) % 8192,
+                kind: arb_site_kind(seed >> 2),
+            },
+            3 => JournalRecord::Checkpoint { seq: seed % 64, frontier: seed % 512 },
+            4 => JournalRecord::Interrupted,
+            _ => JournalRecord::Finished { distinct_bugs: seed % 40 },
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// Checkpoint encode → decode is the identity, and re-encoding the
+        /// decoded value is byte-identical (the format is canonical).
+        #[test]
+        fn checkpoint_roundtrip_lossless_and_canonical(
+            seed in any::<u64>(),
+            frontier_seeds in prop::collection::vec(any::<u64>(), 0..12),
+        ) {
+            let ck = arb_checkpoint(seed, &frontier_seeds);
+            let bytes = encode_checkpoint(&ck);
+            let back = decode_checkpoint(&bytes).unwrap();
+            prop_assert_eq!(&back, &ck);
+            prop_assert_eq!(encode_checkpoint(&back), bytes);
+        }
+
+        /// Any strict truncation of a checkpoint is rejected — the
+        /// whole-file checksum makes torn checkpoint writes detectable.
+        #[test]
+        fn checkpoint_truncation_is_detected(
+            seed in any::<u64>(),
+            frontier_seeds in prop::collection::vec(any::<u64>(), 0..6),
+            cut in any::<usize>(),
+        ) {
+            let bytes = encode_checkpoint(&arb_checkpoint(seed, &frontier_seeds));
+            let cut = cut % bytes.len();
+            prop_assert!(decode_checkpoint(&bytes[..cut]).is_err());
+        }
+
+        /// Journal encode → decode is the identity on arbitrary record
+        /// sequences, and the replay is reported clean.
+        #[test]
+        fn journal_roundtrip_is_lossless(seeds in prop::collection::vec(any::<u64>(), 0..60)) {
+            let records: Vec<JournalRecord> = seeds.iter().map(|&s| arb_journal_record(s)).collect();
+            let mut bytes = encode_journal_header();
+            for r in &records {
+                bytes.extend_from_slice(&encode_journal_record(r));
+            }
+            let replay = decode_journal(&bytes).unwrap();
+            prop_assert!(replay.clean);
+            prop_assert_eq!(replay.records, records);
+        }
+
+        /// Truncating a journal inside its record stream never panics,
+        /// never loses a complete record, and is flagged unclean whenever
+        /// bytes were actually torn off a record.
+        #[test]
+        fn journal_torn_tail_recovers_complete_prefix(
+            seeds in prop::collection::vec(any::<u64>(), 1..30),
+            cut in any::<usize>(),
+        ) {
+            let records: Vec<JournalRecord> = seeds.iter().map(|&s| arb_journal_record(s)).collect();
+            let header = encode_journal_header();
+            let mut bytes = header.clone();
+            // Remember where each record's frame ends so we know how many
+            // complete records a cut point preserves.
+            let mut ends = Vec::with_capacity(records.len());
+            for r in &records {
+                bytes.extend_from_slice(&encode_journal_record(r));
+                ends.push(bytes.len());
+            }
+            let cut = header.len() + cut % (bytes.len() - header.len());
+            let complete = ends.iter().take_while(|&&e| e <= cut).count();
+            let replay = decode_journal(&bytes[..cut]).unwrap();
+            prop_assert_eq!(replay.records.len(), complete);
+            prop_assert_eq!(&replay.records[..], &records[..complete]);
+            // Clean iff the cut lands exactly on a frame boundary (or keeps
+            // only the header) — anything else tore a record.
+            let on_boundary = cut == header.len() || (complete > 0 && cut == ends[complete - 1]);
+            prop_assert_eq!(replay.clean, on_boundary);
         }
     }
 }

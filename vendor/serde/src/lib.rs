@@ -387,15 +387,63 @@ impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
 
 /// Maps serialize as a list of `[key, value]` pairs so that non-string keys
 /// (e.g. newtype symbol ids) round-trip without a string-key convention.
+/// Pairs are sorted by serialized key, making the encoding canonical: the
+/// same map renders to the same bytes in every process regardless of hash
+/// iteration order (hashed containers randomize per process).
 fn map_to_value<'a, K, V, I>(entries: I) -> Value
 where
     K: Serialize + 'a,
     V: Serialize + 'a,
     I: Iterator<Item = (&'a K, &'a V)>,
 {
-    Value::List(
-        entries.map(|(k, v)| Value::List(vec![k.to_value(), v.to_value()])).collect(),
-    )
+    let mut pairs: Vec<(Value, Value)> =
+        entries.map(|(k, v)| (k.to_value(), v.to_value())).collect();
+    pairs.sort_by(|(a, _), (b, _)| value_cmp(a, b));
+    Value::List(pairs.into_iter().map(|(k, v)| Value::List(vec![k, v])).collect())
+}
+
+/// A total structural order over [`Value`] trees (variant rank, then
+/// contents), used only to canonicalize map-pair output order.
+fn value_cmp(a: &Value, b: &Value) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    fn rank(v: &Value) -> u8 {
+        match v {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::U64(_) => 2,
+            Value::I64(_) => 3,
+            Value::F64(_) => 4,
+            Value::Str(_) => 5,
+            Value::List(_) => 6,
+            Value::Map(_) => 7,
+        }
+    }
+    match (a, b) {
+        (Value::Bool(x), Value::Bool(y)) => x.cmp(y),
+        (Value::U64(x), Value::U64(y)) => x.cmp(y),
+        (Value::I64(x), Value::I64(y)) => x.cmp(y),
+        (Value::F64(x), Value::F64(y)) => x.total_cmp(y),
+        (Value::Str(x), Value::Str(y)) => x.cmp(y),
+        (Value::List(x), Value::List(y)) => {
+            for (xi, yi) in x.iter().zip(y.iter()) {
+                match value_cmp(xi, yi) {
+                    Ordering::Equal => {}
+                    other => return other,
+                }
+            }
+            x.len().cmp(&y.len())
+        }
+        (Value::Map(x), Value::Map(y)) => {
+            for ((xk, xv), (yk, yv)) in x.iter().zip(y.iter()) {
+                match xk.cmp(yk).then_with(|| value_cmp(xv, yv)) {
+                    Ordering::Equal => {}
+                    other => return other,
+                }
+            }
+            x.len().cmp(&y.len())
+        }
+        _ => rank(a).cmp(&rank(b)),
+    }
 }
 
 fn map_from_value<K: Deserialize, V: Deserialize>(v: &Value) -> Result<Vec<(K, V)>, DeError> {

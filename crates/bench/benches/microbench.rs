@@ -136,6 +136,7 @@ fn sym_state_for(a: &ddt_isa::asm::Assembled) -> SymState {
     let img = &a.image;
     st.mem.map(img.load_base, img.image_end() - img.load_base);
     st.mem.seed_bytes(img.load_base, &img.text);
+    st.mem.set_code_region(img.load_base, img.text.len() as u32);
     st.mem.map(0x7000_0000, 0x10_0000);
     st.cpu.set_u32(ddt_isa::Reg::SP, 0x7010_0000);
     st.cpu.set_u32(ddt_isa::Reg::LR, ddt_isa::RETURN_TRAP);

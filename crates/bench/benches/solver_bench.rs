@@ -1,0 +1,193 @@
+//! Benchmarks for the verdict-query optimization layer: hash-consed
+//! interning, independence slicing, and incremental solver sessions.
+//!
+//! The headline measurement is the explorer's hot pattern — a *deep-path
+//! query stream*, where each branch decision re-decides a constraint prefix
+//! that grew by one conjunct. A plain solver re-blasts the whole prefix per
+//! query (quadratic in depth); the optimized solver slices off independent
+//! components and answers on a persistent incremental core (linear-ish).
+//! The run asserts the optimized stream is at least 2x faster and that both
+//! modes produce identical verdicts, then writes a `BENCH_solver.json`
+//! trajectory point at the repo root, alongside per-stage criterion
+//! timings and a bundled-driver end-to-end sample.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use criterion::Criterion;
+use ddt_core::{Ddt, DdtConfig, DriverUnderTest};
+use ddt_expr::{cache_key, partition_independent, Expr, SymId};
+use ddt_solver::Solver;
+
+/// Growing constraint prefixes over three symbol families, mimicking a
+/// path that alternates branching on unrelated inputs (registry values,
+/// device registers, entry arguments). Every prefix is satisfiable by
+/// construction — each conjunct equates a blast-heavy term with its value
+/// under a fixed per-family witness — but those witnesses are nontrivial,
+/// so the solver's cheap candidate models (all-zero, all-ones, ...) never
+/// apply and every query pays for real decision work. That is the
+/// deep-path cost profile: a fresh solver re-lowers the whole prefix per
+/// query (quadratic in depth), the session lowers each conjunct once.
+fn deep_path_prefixes(depth: usize) -> Vec<Vec<Expr>> {
+    const W: u32 = 16;
+    let mut prefix = Vec::new();
+    let mut stream = Vec::with_capacity(depth);
+    for i in 0..depth as u64 {
+        let fam = (i % 3) * 2;
+        let x = Expr::sym(SymId(fam as u32), W);
+        let y = Expr::sym(SymId(fam as u32 + 1), W);
+        // Per-family witness, deliberately outside the fast path's uniform
+        // candidate set and distinct across families.
+        let witness: ddt_expr::Assignment =
+            [(SymId(fam as u32), 11 + fam * 13), (SymId(fam as u32 + 1), 7 + fam * 5)]
+                .into_iter()
+                .collect();
+        let t = x
+            .mul(&y.add(&Expr::constant(i * 7 + 1, W)))
+            .mul(&x.xor(&Expr::constant(i | 1, W)))
+            .add(&y.mul(&x.add(&Expr::constant(i * 3 + 2, W))));
+        // Pinning the blast-heavy term to its witness value (instead of
+        // pinning x and y directly) keeps real CDCL search in every query:
+        // that is the regime where the session wins, by reusing learned
+        // clauses and the lowered circuit across the whole stream, while a
+        // fresh solver restarts from nothing each time.
+        prefix.push(t.eq(&Expr::constant(t.eval(&witness), W)));
+        stream.push(prefix.clone());
+    }
+    stream
+}
+
+fn solver_with(slicing: bool, incremental: bool) -> Solver {
+    // Uncached on purpose: the point is the cost of *deciding*, not of
+    // remembering — the query cache is measured by `cache_bench`.
+    let mut s = Solver::uncached();
+    s.set_slicing(slicing);
+    s.set_incremental(incremental);
+    s
+}
+
+/// Decides every prefix in the stream, returning the SAT count (all of
+/// them, for this workload — the count guards against dead-code folding).
+fn run_stream(s: &mut Solver, stream: &[Vec<Expr>]) -> usize {
+    stream.iter().filter(|p| s.is_feasible(p)).count()
+}
+
+/// Mean milliseconds per run of `f` over `iters` runs.
+fn measure_ms(iters: u32, mut f: impl FnMut() -> usize) -> f64 {
+    let start = Instant::now();
+    let mut acc = 0;
+    for _ in 0..iters {
+        acc += f();
+    }
+    black_box(acc);
+    start.elapsed().as_secs_f64() * 1e3 / iters as f64
+}
+
+fn bench_stages(c: &mut Criterion, stream: &[Vec<Expr>]) {
+    let deepest = stream.last().expect("non-empty stream");
+
+    // Interner-backed canonicalization: cache_key over a deep prefix is
+    // mostly pointer work when every node is hash-consed.
+    c.bench_function("interner/cache_key_deep_prefix", |b| {
+        b.iter(|| black_box(cache_key(deepest)).len())
+    });
+
+    // Union-find partition of the deepest prefix into its three families.
+    let key = cache_key(deepest);
+    c.bench_function("slicing/partition_independent", |b| {
+        b.iter(|| black_box(partition_independent(&key)).len())
+    });
+
+    c.bench_function("solver/deep_path_stream_plain", |b| {
+        b.iter(|| run_stream(&mut solver_with(false, false), stream))
+    });
+    c.bench_function("solver/deep_path_stream_optimized", |b| {
+        b.iter(|| run_stream(&mut solver_with(true, true), stream))
+    });
+}
+
+fn main() {
+    let stream = deep_path_prefixes(40);
+
+    // Correctness gate before timing anything: all modes agree on every
+    // prefix of the workload.
+    let plain_sat = run_stream(&mut solver_with(false, false), &stream);
+    for (slicing, incremental) in [(true, false), (false, true), (true, true)] {
+        let sat = run_stream(&mut solver_with(slicing, incremental), &stream);
+        assert_eq!(
+            sat, plain_sat,
+            "verdicts diverged (slicing={slicing}, incremental={incremental})"
+        );
+    }
+    let mut c = Criterion::default().configure_from_args().sample_size(3);
+    bench_stages(&mut c, &stream);
+
+    // The headline number, measured outside criterion so it can gate and
+    // be serialized: plain vs fully optimized over the same stream.
+    let iters = 3;
+    let plain_ms = measure_ms(iters, || run_stream(&mut solver_with(false, false), &stream));
+    let opt_ms = measure_ms(iters, || run_stream(&mut solver_with(true, true), &stream));
+    let speedup = plain_ms / opt_ms.max(1e-9);
+    println!("deep-path stream: plain {plain_ms:.2} ms, optimized {opt_ms:.2} ms ({speedup:.1}x)");
+    assert!(
+        speedup >= 2.0,
+        "optimized deep-path stream must be at least 2x faster \
+         (plain {plain_ms:.2} ms vs optimized {opt_ms:.2} ms = {speedup:.2}x)"
+    );
+
+    // One bundled driver end to end, optimizations on vs off, as the
+    // macro-level sample for the trajectory point.
+    let spec = ddt_drivers::driver_by_name("rtl8029").expect("bundled driver");
+    let dut = DriverUnderTest::from_spec(&spec);
+    let run_campaign = |slicing: bool, incremental: bool| {
+        let config =
+            DdtConfig { use_slicing: slicing, use_incremental: incremental, ..DdtConfig::default() };
+        Ddt::new(config).test(&dut)
+    };
+    let campaign_off = run_campaign(false, false);
+    let campaign_on = run_campaign(true, true);
+    assert_eq!(campaign_on.bugs.len(), campaign_off.bugs.len(), "optimizations changed bugs");
+    println!(
+        "rtl8029 campaign: baseline {} ms, optimized {} ms \
+         ({} session probes, {} sliced queries)",
+        campaign_off.stats.wall_ms,
+        campaign_on.stats.wall_ms,
+        campaign_on.stats.solver_session_probes,
+        campaign_on.stats.solver_sliced,
+    );
+
+    let (interner_hits, interner_misses) = ddt_expr::intern_stats();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"solver\",\n",
+            "  \"deep_path_depth\": {},\n",
+            "  \"deep_path_plain_ms\": {:.3},\n",
+            "  \"deep_path_optimized_ms\": {:.3},\n",
+            "  \"deep_path_speedup\": {:.2},\n",
+            "  \"campaign_driver\": \"rtl8029\",\n",
+            "  \"campaign_baseline_ms\": {},\n",
+            "  \"campaign_optimized_ms\": {},\n",
+            "  \"campaign_session_probes\": {},\n",
+            "  \"campaign_sliced_queries\": {},\n",
+            "  \"interner_hits\": {},\n",
+            "  \"interner_misses\": {}\n",
+            "}}\n"
+        ),
+        stream.len(),
+        plain_ms,
+        opt_ms,
+        speedup,
+        campaign_off.stats.wall_ms,
+        campaign_on.stats.wall_ms,
+        campaign_on.stats.solver_session_probes,
+        campaign_on.stats.solver_sliced,
+        interner_hits,
+        interner_misses,
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_solver.json");
+    match std::fs::write(out, &json) {
+        Ok(()) => println!("wrote {out}"),
+        Err(e) => eprintln!("cannot write {out}: {e}"),
+    }
+}

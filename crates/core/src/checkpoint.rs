@@ -46,7 +46,7 @@ use ddt_trace::{
 };
 
 use crate::coverage::Coverage;
-use crate::exerciser::{Ddt, DdtConfig, DriverUnderTest, QuantumSinks};
+use crate::exerciser::{Ddt, DriverUnderTest, QuantumSinks};
 use crate::hardware::DdtEnv;
 use crate::machine::Machine;
 use crate::replay::ReplayCursor;
@@ -446,6 +446,8 @@ impl Ddt {
             ck.coverage.timeline.iter().map(|&(ms, n)| (ms, n as usize)).collect(),
             ck.wall_ms,
         );
+        let mut stats = stats;
+        stats.sample_interner();
         let insn_exhausted = stats.insns > self.config.max_total_insns;
         let wall_exhausted = stats.wall_ms > self.config.time_budget_ms;
         let mut health = RunHealth::from_stats(&stats, insn_exhausted, wall_exhausted);
@@ -473,7 +475,7 @@ impl Ddt {
         bugs: HashMap<String, Bug>,
     ) -> CampaignSeed {
         let run_cache = self.config.run_cache();
-        let mut solver = DdtConfig::solver_for(&run_cache);
+        let mut solver = self.config.solver_for(&run_cache);
         let stack = StackLayout::default();
         let mut env = DdtEnv::new(
             DEVICE_MMIO_BASE,

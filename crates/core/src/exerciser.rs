@@ -85,6 +85,15 @@ pub struct DdtConfig {
     /// procedure on every non-trivial query — the exploration is identical,
     /// only slower (the cache is semantically invisible by construction).
     pub use_query_cache: bool,
+    /// Independence slicing of verdict-grade solver queries (on by default;
+    /// `--no-slicing` escape hatch). Like the cache, semantically invisible:
+    /// verdicts are properties of the constraint set, and model-consuming
+    /// queries never take the sliced path.
+    pub use_slicing: bool,
+    /// Persistent incremental solver sessions for verdict-grade queries (on
+    /// by default; `--no-incremental` escape hatch). Also semantically
+    /// invisible.
+    pub use_incremental: bool,
     /// Pre-built cache to share across runs (warm-cache benchmarking, or
     /// one cache spanning several drivers). `None` means each run builds a
     /// fresh cache shared by all of its workers. Ignored when
@@ -122,6 +131,8 @@ impl Default for DdtConfig {
             time_budget_ms: 120_000,
             fault_plan: FaultPlan::disabled(),
             use_query_cache: true,
+            use_slicing: true,
+            use_incremental: true,
             shared_cache: None,
             panic_hook: None,
             trace_dir: None,
@@ -142,12 +153,16 @@ impl DdtConfig {
         Some(self.shared_cache.clone().unwrap_or_default())
     }
 
-    /// Builds one worker's solver over the run's cache handle.
-    pub(crate) fn solver_for(run_cache: &Option<Arc<QueryCache>>) -> Solver {
-        match run_cache {
+    /// Builds one worker's solver over the run's cache handle, applying the
+    /// run's optimization switches.
+    pub(crate) fn solver_for(&self, run_cache: &Option<Arc<QueryCache>>) -> Solver {
+        let mut solver = match run_cache {
             Some(cache) => Solver::with_cache(cache.clone()),
             None => Solver::uncached(),
-        }
+        };
+        solver.set_slicing(self.use_slicing);
+        solver.set_incremental(self.use_incremental);
+        solver
     }
 
     /// Fingerprint of everything that steers exploration. A checkpoint
@@ -302,7 +317,7 @@ impl Ddt {
         seed: Option<CampaignSeed>,
     ) -> Report {
         let run_cache = self.config.run_cache();
-        let mut solver = DdtConfig::solver_for(&run_cache);
+        let mut solver = self.config.solver_for(&run_cache);
         let analysis = analysis::analyze(&dut.image);
         let stack = StackLayout::default();
         let mut env = DdtEnv::new(
@@ -351,6 +366,10 @@ impl Ddt {
             stats.solver_cache_hits,
             stats.solver_model_reuse,
             stats.solver_unsat_subset,
+            stats.solver_sliced,
+            stats.solver_slice_components,
+            stats.solver_session_probes,
+            stats.solver_session_resets,
         );
         let fold_solver = |stats: &mut ExploreStats, solver: &Solver| {
             stats.solver_queries = solver_base.0 + solver.stats().queries;
@@ -359,6 +378,10 @@ impl Ddt {
             stats.solver_cache_hits = solver_base.3 + solver.stats().cache_hits;
             stats.solver_model_reuse = solver_base.4 + solver.stats().cache_model_reuse;
             stats.solver_unsat_subset = solver_base.5 + solver.stats().cache_unsat_subset;
+            stats.solver_sliced = solver_base.6 + solver.stats().sliced_queries;
+            stats.solver_slice_components = solver_base.7 + solver.stats().slice_components;
+            stats.solver_session_probes = solver_base.8 + solver.stats().session_probes;
+            stats.solver_session_resets = solver_base.9 + solver.stats().session_resets;
         };
 
         let mut campaign = self.config.checkpoint.as_ref().map(|policy| {
@@ -460,6 +483,7 @@ impl Ddt {
         stats.wall_ms = coverage.elapsed_ms();
         fold_solver(&mut stats, &solver);
         stats.cache_evictions = run_cache.as_ref().map_or(0, |c| c.stats().evictions);
+        stats.sample_interner();
         let insn_exhausted = stats.insns > self.config.max_total_insns;
         let wall_exhausted = stats.wall_ms > self.config.time_budget_ms;
         let mut health = RunHealth::from_stats(&stats, insn_exhausted, wall_exhausted);
@@ -760,6 +784,7 @@ impl Ddt {
         }
         st.mem.seed_bytes(dut.image.load_base, &dut.image.text);
         st.mem.seed_bytes(dut.image.data_base(), &dut.image.data);
+        st.mem.set_code_region(dut.image.load_base, dut.image.text.len() as u32);
         st.grants.grant(
             dut.image.load_base,
             dut.image.image_end() - dut.image.load_base,

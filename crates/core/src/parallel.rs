@@ -37,7 +37,7 @@ use ddt_trace::{JournalRecord, PathStatus};
 
 use crate::checkpoint::{checkpoint_file, CampaignError, CampaignSeed, CampaignWriter};
 use crate::coverage::Coverage;
-use crate::exerciser::{Ddt, DdtConfig, DriverUnderTest, QuantumSinks};
+use crate::exerciser::{Ddt, DriverUnderTest, QuantumSinks};
 use crate::hardware::DdtEnv;
 use crate::machine::Machine;
 use crate::report::{Bug, ExploreStats, Report, RunHealth};
@@ -88,6 +88,10 @@ struct SolverSnap {
     hits: u64,
     reuse: u64,
     unsat: u64,
+    sliced: u64,
+    slice_parts: u64,
+    probes: u64,
+    resets: u64,
 }
 
 /// Adds one quantum's counter deltas into the shared aggregate.
@@ -187,7 +191,7 @@ pub(crate) fn explore_parallel(
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| {
-                let mut solver = DdtConfig::solver_for(&run_cache);
+                let mut solver = ddt.config.solver_for(&run_cache);
                 let mut env = DdtEnv::new(
                     DEVICE_MMIO_BASE,
                     dut.descriptor.mmio_len,
@@ -289,6 +293,10 @@ pub(crate) fn explore_parallel(
                         agg.solver_cache_hits += s.cache_hits - prev_solver.hits;
                         agg.solver_model_reuse += s.cache_model_reuse - prev_solver.reuse;
                         agg.solver_unsat_subset += s.cache_unsat_subset - prev_solver.unsat;
+                        agg.solver_sliced += s.sliced_queries - prev_solver.sliced;
+                        agg.solver_slice_components += s.slice_components - prev_solver.slice_parts;
+                        agg.solver_session_probes += s.session_probes - prev_solver.probes;
+                        agg.solver_session_resets += s.session_resets - prev_solver.resets;
                         prev_solver = SolverSnap {
                             queries: s.queries,
                             fast: s.fast_path_hits,
@@ -296,6 +304,10 @@ pub(crate) fn explore_parallel(
                             hits: s.cache_hits,
                             reuse: s.cache_model_reuse,
                             unsat: s.cache_unsat_subset,
+                            sliced: s.sliced_queries,
+                            slice_parts: s.slice_components,
+                            probes: s.session_probes,
+                            resets: s.session_resets,
                         };
                     }
                     if !local_bugs.is_empty() {
@@ -397,6 +409,7 @@ pub(crate) fn explore_parallel(
     let mut stats = agg_stats.into_inner().unwrap_or_else(PoisonError::into_inner);
     // Evictions are a property of the one shared cache, not per worker.
     stats.cache_evictions = run_cache.as_ref().map_or(0, |c| c.stats().evictions);
+    stats.sample_interner();
     stats.wall_ms = base_ms + started.elapsed().as_millis() as u64;
     let bugs_map = merged.into_inner().unwrap_or_else(PoisonError::into_inner);
     let was_interrupted = interrupted.load(Ordering::Relaxed);

@@ -91,6 +91,23 @@ pub struct ExploreStats {
     pub solver_model_reuse: u64,
     /// `Unsat` verdicts proved by a cached UNSAT subset.
     pub solver_unsat_subset: u64,
+    /// Verdict-grade queries decided by independence slicing (split into
+    /// two or more symbol-disjoint components).
+    pub solver_sliced: u64,
+    /// Total components produced across all sliced queries.
+    pub solver_slice_components: u64,
+    /// Verdict-grade component queries answered on a persistent
+    /// incremental solver session instead of a fresh core.
+    pub solver_session_probes: u64,
+    /// Incremental-session core rebuilds (size caps or symbol-width
+    /// conflicts between sibling paths).
+    pub solver_session_resets: u64,
+    /// Hash-consing interner hits (process-global, sampled at report
+    /// assembly; on a resumed campaign this covers the final process only).
+    pub interner_hits: u64,
+    /// Hash-consing interner misses — distinct expression nodes allocated
+    /// (process-global, sampled at report assembly).
+    pub interner_misses: u64,
     /// Entries evicted from the shared query cache (LRU, per entry).
     pub cache_evictions: u64,
     /// Exploration wall-clock milliseconds.
@@ -134,6 +151,15 @@ impl ExploreStats {
             + self.faults_registration
             + self.faults_registry
     }
+
+    /// Samples the process-global expression-interner counters into this
+    /// stats block. Called once at report assembly; the counters are
+    /// cumulative for the process, so this is an assignment, not a fold.
+    pub fn sample_interner(&mut self) {
+        let (hits, misses) = ddt_expr::intern_stats();
+        self.interner_hits = hits;
+        self.interner_misses = misses;
+    }
 }
 
 /// Harness-health summary for one run: everything that silently degraded
@@ -155,6 +181,18 @@ pub struct RunHealth {
     pub cache_model_reuse: u64,
     /// `Unsat` verdicts proved by a cached UNSAT subset of the query.
     pub cache_unsat_subset: u64,
+    /// Verdict-grade queries decided by independence slicing.
+    pub solver_sliced: u64,
+    /// Total symbol-disjoint components across sliced queries.
+    pub solver_slice_components: u64,
+    /// Component queries answered on a persistent incremental session.
+    pub session_probes: u64,
+    /// Incremental-session core rebuilds.
+    pub session_resets: u64,
+    /// Expression-interner hits (process-global sample).
+    pub interner_hits: u64,
+    /// Expression-interner misses (process-global sample).
+    pub interner_misses: u64,
     /// Query-cache entries evicted (single-entry LRU, never wholesale).
     pub cache_evictions: u64,
     /// Panicking states caught; each is a lost path, not a lost run.
@@ -205,6 +243,12 @@ impl RunHealth {
             cache_hits: stats.solver_cache_hits,
             cache_model_reuse: stats.solver_model_reuse,
             cache_unsat_subset: stats.solver_unsat_subset,
+            solver_sliced: stats.solver_sliced,
+            solver_slice_components: stats.solver_slice_components,
+            session_probes: stats.solver_session_probes,
+            session_resets: stats.solver_session_resets,
+            interner_hits: stats.interner_hits,
+            interner_misses: stats.interner_misses,
             cache_evictions: stats.cache_evictions,
             panics_caught: stats.panics_caught,
             faults_pool: stats.faults_pool,
@@ -259,6 +303,23 @@ impl RunHealth {
             self.cache_unsat_subset
         ));
         out.push_str(&format!("  query-cache evictions:  {}\n", self.cache_evictions));
+        out.push_str(&format!(
+            "  sliced verdicts:        {} ({} components)\n",
+            self.solver_sliced, self.solver_slice_components
+        ));
+        out.push_str(&format!(
+            "  session probes:         {} ({} core resets)\n",
+            self.session_probes, self.session_resets
+        ));
+        let intern_lookups = self.interner_hits + self.interner_misses;
+        if intern_lookups > 0 {
+            out.push_str(&format!(
+                "  interner hit rate:      {:.1}% ({} of {} lookups)\n",
+                100.0 * self.interner_hits as f64 / intern_lookups as f64,
+                self.interner_hits,
+                intern_lookups
+            ));
+        }
         out.push_str(&format!("  panics caught:          {}\n", self.panics_caught));
         if self.faults_total() > 0 {
             out.push_str(&format!(
@@ -378,6 +439,12 @@ mod tests {
         stats.solver_cache_hits = 4;
         stats.solver_model_reuse = 2;
         stats.solver_unsat_subset = 1;
+        stats.solver_sliced = 3;
+        stats.solver_slice_components = 8;
+        stats.solver_session_probes = 12;
+        stats.solver_session_resets = 1;
+        stats.interner_hits = 900;
+        stats.interner_misses = 100;
         stats.cache_evictions = 5;
         stats.panics_caught = 1;
         stats.count_fault(FaultFamily::PoolAlloc);
@@ -390,6 +457,12 @@ mod tests {
         assert_eq!(h.cache_hits, 4);
         assert_eq!(h.cache_model_reuse, 2);
         assert_eq!(h.cache_unsat_subset, 1);
+        assert_eq!(h.solver_sliced, 3);
+        assert_eq!(h.solver_slice_components, 8);
+        assert_eq!(h.session_probes, 12);
+        assert_eq!(h.session_resets, 1);
+        assert_eq!(h.interner_hits, 900);
+        assert_eq!(h.interner_misses, 100);
         assert_eq!(h.cache_evictions, 5);
         assert_eq!(h.panics_caught, 1);
         assert_eq!(h.faults_pool, 1);
@@ -402,6 +475,9 @@ mod tests {
         assert!(text.contains("panics caught"));
         assert!(text.contains("query-cache hits:       7 (exact 4, model-reuse 2, unsat-subset 1)"));
         assert!(text.contains("query-cache evictions:  5"));
+        assert!(text.contains("sliced verdicts:        3 (8 components)"));
+        assert!(text.contains("session probes:         12 (1 core resets)"));
+        assert!(text.contains("interner hit rate:      90.0% (900 of 1000 lookups)"));
         assert!(text.contains("registry 2"));
         assert!(text.contains("budget exhausted:       instruction"));
     }
@@ -410,6 +486,7 @@ mod tests {
     fn health_renders_campaign_counters_when_active() {
         let mut h = RunHealth::default();
         assert!(!h.render().contains("checkpoints written"), "hidden when inactive");
+        assert!(!h.render().contains("interner hit rate"), "hidden with zero lookups");
         h.checkpoints_written = 3;
         h.journal_records = 120;
         h.resume_replayed_paths = 7;

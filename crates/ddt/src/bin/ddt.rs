@@ -3,7 +3,8 @@
 //! ```text
 //! ddt test <driver.dxe | bundled-name> [--audio] [--registry K=V]...
 //!          [--no-annotations] [--no-memcheck] [--faults] [--workers N]
-//!          [--no-query-cache] [--json FILE] [--replay] [--health]
+//!          [--no-query-cache] [--no-slicing] [--no-incremental]
+//!          [--json FILE] [--replay] [--health]
 //!          [--trace-dir DIR] [--checkpoint-dir DIR] [--checkpoint-every N]
 //!          [--resume DIR]
 //! ddt replay --trace <bug-dir | manifest.json | trace.bin> [--driver PATH]
@@ -74,7 +75,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  ddt test <driver.dxe|name> [--audio] [--registry K=V]... \
          [--no-annotations] [--no-memcheck] [--faults] [--workers N] \
-         [--no-query-cache] [--json FILE] [--replay] [--health] \
+         [--no-query-cache] [--no-slicing] [--no-incremental] \
+         [--json FILE] [--replay] [--health] \
          [--trace-dir DIR] [--checkpoint-dir DIR] [--checkpoint-every N] \
          [--resume DIR]\n  \
          ddt replay --trace <bug-dir|manifest.json|trace.bin> [--driver PATH]\n  \
@@ -289,6 +291,15 @@ fn main() -> ExitCode {
             // invisible); only solver time changes.
             if args.iter().any(|a| a == "--no-query-cache") {
                 config.use_query_cache = false;
+            }
+            // Same contract for the verdict-query optimizations: slicing
+            // and incremental sessions change solver time, never verdicts,
+            // so these hatches exist purely for field bisection.
+            if args.iter().any(|a| a == "--no-slicing") {
+                config.use_slicing = false;
+            }
+            if args.iter().any(|a| a == "--no-incremental") {
+                config.use_incremental = false;
             }
             if let Some(dir) = flag_value(&args, "--trace-dir") {
                 config.trace_dir = Some(std::path::PathBuf::from(dir));

@@ -27,11 +27,13 @@
 
 mod canon;
 mod eval;
+mod intern;
 mod node;
 mod prop_tests;
 mod visit;
 
-pub use canon::{cache_key, is_subset_sorted, subset_signature};
+pub use canon::{cache_key, is_subset_sorted, partition_independent, subset_signature};
+pub use intern::intern_stats;
 pub use eval::Assignment;
 pub use node::{
     fold_bin, //
@@ -42,7 +44,7 @@ pub use node::{
     ExprNode,
     SymId,
 };
-pub use visit::{collect_syms, subst, sym_route};
+pub use visit::{collect_sym_widths, collect_syms, subst, sym_route};
 
 /// Maximum supported bitvector width.
 pub const MAX_WIDTH: u32 = 64;

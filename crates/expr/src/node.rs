@@ -58,6 +58,12 @@ pub enum CmpOp {
 /// fields, recursively). It carries no semantic meaning; its single purpose
 /// is giving constraint sets a canonical element order for cache keys (see
 /// [`crate::cache_key`]), so it must stay consistent with `Eq` and `Hash`.
+///
+/// Because child `Expr`s are hash-consed (see [`crate::intern`]), the
+/// derived `PartialEq`/`Hash` here are *shallow*: children compare by
+/// pointer and hash by their precomputed structural hash. Under the
+/// interning invariant (every live `Expr` is interned) shallow equality
+/// coincides with deep structural equality.
 #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum ExprNode {
     /// A constant with `width` significant bits (stored masked).
@@ -84,13 +90,78 @@ pub enum ExprNode {
     Ite { cond: Expr, then: Expr, els: Expr },
 }
 
+/// The interned payload behind an [`Expr`]: the node plus its precomputed
+/// structural hash and width, filled in once at intern time so that
+/// `Expr::hash` and `Expr::width` are O(1) forever after.
+pub(crate) struct Interned {
+    pub(crate) hash: u64,
+    pub(crate) width: u32,
+    pub(crate) node: ExprNode,
+}
+
 /// An immutable, cheaply clonable bitvector expression.
 ///
 /// Constructed through the associated smart constructors, which constant-fold
 /// and simplify eagerly so that fully concrete computations never allocate
 /// deep trees.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-pub struct Expr(Arc<ExprNode>);
+///
+/// Expressions are **hash-consed**: identical subtrees share one allocation
+/// (see [`crate::intern`]), so `==` is a pointer comparison, `Hash` writes a
+/// precomputed word, and `width` is a stored field. The structural [`Ord`]
+/// keeps its deep total order (with a pointer fast path at every level) —
+/// canonical cache keys depend on it being a pure function of structure.
+#[derive(Clone)]
+pub struct Expr(Arc<Interned>);
+
+impl PartialEq for Expr {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        // Interning makes structural equality and pointer equality coincide.
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+impl Eq for Expr {}
+
+impl std::hash::Hash for Expr {
+    #[inline]
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        state.write_u64(self.0.hash);
+    }
+}
+
+impl PartialOrd for Expr {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Expr {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if Arc::ptr_eq(&self.0, &other.0) {
+            return std::cmp::Ordering::Equal;
+        }
+        // Deep structural order; recursion re-enters this fast path at
+        // every shared subtree.
+        self.0.node.cmp(&other.0.node)
+    }
+}
+
+impl Serialize for Expr {
+    fn to_value(&self) -> serde::Value {
+        // Same wire shape as the historical derived newtype impl: the node.
+        self.node().to_value()
+    }
+}
+
+impl Deserialize for Expr {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        // Re-intern on the way in so the process-wide invariant (every live
+        // Expr is interned) survives deserialization.
+        ExprNode::from_value(v).map(Expr::from_node)
+    }
+}
 
 impl fmt::Debug for Expr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -100,21 +171,53 @@ impl fmt::Debug for Expr {
 
 impl Expr {
     fn new(node: ExprNode) -> Self {
-        Expr(Arc::new(node))
+        crate::intern::intern(node)
+    }
+
+    /// Wraps an interned payload (interner internal).
+    #[inline]
+    pub(crate) fn from_interned(arc: Arc<Interned>) -> Self {
+        Expr(arc)
+    }
+
+    /// Allocates the interned payload for a node, computing its width from
+    /// the (already interned, hence O(1)-width) children.
+    pub(crate) fn alloc_interned(hash: u64, node: ExprNode) -> Arc<Interned> {
+        let width = match &node {
+            ExprNode::Const { width, .. } | ExprNode::Sym { width, .. } => *width,
+            ExprNode::Not(e) | ExprNode::Neg(e) => e.width(),
+            ExprNode::Bin(_, a, _) => a.width(),
+            ExprNode::Cmp(..) => 1,
+            ExprNode::ZExt { width, .. } | ExprNode::SExt { width, .. } => *width,
+            ExprNode::Extract { hi, lo, .. } => hi - lo + 1,
+            ExprNode::Concat { hi, lo } => hi.width() + lo.width(),
+            ExprNode::Ite { then, .. } => then.width(),
+        };
+        Arc::new(Interned { hash, width, node })
+    }
+
+    /// True when both handles point at the same interned allocation (under
+    /// the interning invariant, equivalent to `==`; exposed for tests and
+    /// diagnostics that want to assert the sharing itself).
+    #[inline]
+    pub fn ptr_eq(a: &Expr, b: &Expr) -> bool {
+        Arc::ptr_eq(&a.0, &b.0)
     }
 
     /// Returns the underlying node.
     #[inline]
     pub fn node(&self) -> &ExprNode {
-        &self.0
+        &self.0.node
     }
 
     /// Wraps a node verbatim, without smart-constructor simplification.
     ///
     /// For codecs (binary trace encoding, serde) that must reproduce an
     /// expression tree *exactly* as stored: rebuilding through the smart
-    /// constructors could rewrite the tree. The caller is responsible for
-    /// the width invariants the constructors normally enforce.
+    /// constructors could rewrite the tree. The node is still interned, so
+    /// decoded trees share allocations with live ones. The caller is
+    /// responsible for the width invariants the constructors normally
+    /// enforce.
     pub fn from_node(node: ExprNode) -> Expr {
         Expr::new(node)
     }
@@ -144,18 +247,11 @@ impl Expr {
         Expr::new(ExprNode::Sym { id, width })
     }
 
-    /// Returns the width in bits of this expression.
+    /// Returns the width in bits of this expression (precomputed at intern
+    /// time; O(1) even for deep trees).
+    #[inline]
     pub fn width(&self) -> u32 {
-        match self.node() {
-            ExprNode::Const { width, .. } | ExprNode::Sym { width, .. } => *width,
-            ExprNode::Not(e) | ExprNode::Neg(e) => e.width(),
-            ExprNode::Bin(_, a, _) => a.width(),
-            ExprNode::Cmp(..) => 1,
-            ExprNode::ZExt { width, .. } | ExprNode::SExt { width, .. } => *width,
-            ExprNode::Extract { hi, lo, .. } => hi - lo + 1,
-            ExprNode::Concat { hi, lo } => hi.width() + lo.width(),
-            ExprNode::Ite { then, .. } => then.width(),
-        }
+        self.0.width
     }
 
     /// Returns the constant value if this expression is a constant.

@@ -12,9 +12,11 @@
 //! The pipeline is: cheap model guessing (zero / small / all-ones candidate
 //! assignments evaluated directly) → shared [`QueryCache`] (exact
 //! memoization, UNSAT subset subsumption, counterexample reuse — see
-//! [`cache`]) → Tseitin bit-blasting ([`blast`]) → CDCL SAT ([`sat`]). The
-//! procedure is complete for the supported widths: every query gets a
-//! definite Sat/Unsat answer.
+//! [`cache`]) → independence slicing + incremental session solving for
+//! verdict-grade queries (symbol-disjoint components decided separately,
+//! on a persistent assumption-based SAT core) → Tseitin bit-blasting
+//! ([`blast`]) → CDCL SAT ([`sat`]). The procedure is complete for the
+//! supported widths: every query gets a definite Sat/Unsat answer.
 //!
 //! Full solves always assert constraints in *canonical key order* (sorted,
 //! deduplicated), so a solve is a deterministic function of the query set —
@@ -51,12 +53,14 @@
 pub mod blast;
 pub mod cache;
 pub mod sat;
+mod session;
 
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use ddt_expr::{
     collect_syms, //
+    partition_independent,
     Assignment,
     Expr,
     SymId,
@@ -66,6 +70,7 @@ pub use crate::cache::{CacheAnswer, CacheStats, QueryCache, QueryGrade};
 
 use crate::blast::Blaster;
 use crate::sat::{SatOutcome, SatSolver};
+use crate::session::{ProbeAnswer, Session};
 
 /// Outcome of a satisfiability query.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -108,23 +113,53 @@ pub struct SolverStats {
     pub full_solves: u64,
     /// Total SAT conflicts across full solves.
     pub sat_conflicts: u64,
+    /// Verdict-grade queries that sliced into more than one independence
+    /// component.
+    pub sliced_queries: u64,
+    /// Total components produced by sliced queries (average components per
+    /// sliced query = `slice_components / sliced_queries`).
+    pub slice_components: u64,
+    /// Queries (or query components) decided on the persistent incremental
+    /// session core instead of a fresh blast.
+    pub session_probes: u64,
+    /// Times the session core was rebuilt (size caps, symbol-width reuse
+    /// conflicts, or defensive recovery).
+    pub session_resets: u64,
 }
 
 /// The bitvector solver.
 ///
-/// Each `check` builds a fresh SAT instance (queries in DDT are over
-/// ever-changing path constraint sets, so incrementality buys little and a
-/// fresh instance keeps learned clauses from leaking between unrelated
-/// paths). Results are cached in a [`QueryCache`] that may be *shared*
-/// across solvers/workers: sibling paths in an exploration share long
-/// constraint prefixes, so the same conjunctions — and counterexamples —
-/// recur constantly across the whole worker pool, not just within one
-/// worker.
+/// Model-consuming queries (`check`) build a fresh SAT instance over the
+/// canonical key, so their results are pure functions of the query.
+/// Verdict-grade queries (`is_feasible` and friends) additionally go
+/// through two default-on optimizations, each with an escape hatch:
+///
+/// - **independence slicing** ([`Self::set_slicing`]): the query partitions
+///   into symbol-disjoint components that are decided separately and cached
+///   under their own (smaller) keys;
+/// - **incremental sessions** ([`Self::set_incremental`]): components are
+///   decided on a persistent SAT core via assumption literals, so repeated
+///   conjuncts along a deepening path never re-blast and learned clauses
+///   accumulate across queries.
+///
+/// Results are cached in a [`QueryCache`] that may be *shared* across
+/// solvers/workers: sibling paths in an exploration share long constraint
+/// prefixes, so the same conjunctions — and counterexamples — recur
+/// constantly across the whole worker pool, not just within one worker.
 pub struct Solver {
     stats: SolverStats,
     /// Shared (or private) query cache; `None` disables caching entirely
     /// (the `--no-query-cache` escape hatch).
     cache: Option<Arc<QueryCache>>,
+    /// Independence slicing for verdict-grade queries (`--no-slicing` off
+    /// switch). Model-grade queries always run the canonical monolithic
+    /// solve, so slicing cannot perturb any model a caller consumes.
+    use_slicing: bool,
+    /// Incremental session solving for verdict-grade queries
+    /// (`--no-incremental` off switch).
+    use_incremental: bool,
+    /// The persistent incremental core, created lazily on first use.
+    session: Option<Session>,
 }
 
 impl Default for Solver {
@@ -142,13 +177,42 @@ impl Solver {
     /// Creates a solver backed by a shared cache handle. All explorer
     /// workers of one run share a single handle.
     pub fn with_cache(cache: Arc<QueryCache>) -> Solver {
-        Solver { stats: SolverStats::default(), cache: Some(cache) }
+        Solver {
+            stats: SolverStats::default(),
+            cache: Some(cache),
+            use_slicing: true,
+            use_incremental: true,
+            session: None,
+        }
     }
 
     /// Creates a solver with caching disabled: every non-trivial query runs
     /// the full decision procedure.
     pub fn uncached() -> Solver {
-        Solver { stats: SolverStats::default(), cache: None }
+        Solver {
+            stats: SolverStats::default(),
+            cache: None,
+            use_slicing: true,
+            use_incremental: true,
+            session: None,
+        }
+    }
+
+    /// Enables or disables independence slicing of verdict-grade queries
+    /// (`--no-slicing` escape hatch; default on). Purely a performance
+    /// toggle: verdicts are semantic properties of the query, and
+    /// model-consuming queries never take the sliced path.
+    pub fn set_slicing(&mut self, on: bool) {
+        self.use_slicing = on;
+    }
+
+    /// Enables or disables the persistent incremental session for
+    /// verdict-grade queries (`--no-incremental` escape hatch; default on).
+    pub fn set_incremental(&mut self, on: bool) {
+        self.use_incremental = on;
+        if !on {
+            self.session = None;
+        }
     }
 
     /// Returns accumulated per-solver statistics.
@@ -242,7 +306,24 @@ impl Solver {
                 return hit;
             }
         }
+        // Verdict-grade queries may take the optimized pipeline —
+        // independence slicing and/or the persistent incremental session.
+        // Both are verdict-sound (Sat/Unsat is a semantic property of the
+        // constraint set), and neither ever feeds a non-canonical model into
+        // the exact cache map, so model-grade queries behave byte-identically
+        // whether or not the optimizations are enabled.
+        if grade == QueryGrade::Verdict && (self.use_slicing || self.use_incremental) {
+            return self.solve_verdict_optimized(key);
+        }
         // Full decision procedure over the canonical key.
+        self.full_solve(key, &syms)
+    }
+
+    /// Canonical monolithic solve: blasts `key` in canonical order on a
+    /// fresh core. The result — verdict *and* model — is a deterministic
+    /// pure function of the key, which is what makes it safe to memoize
+    /// under the key and replay to model-consuming callers.
+    fn full_solve(&mut self, key: Vec<Expr>, syms: &BTreeSet<SymId>) -> SatResult {
         self.stats.full_solves += 1;
         let mut sat = SatSolver::new();
         let mut blaster = Blaster::new(&mut sat);
@@ -257,7 +338,7 @@ impl Solver {
             SatOutcome::Sat => {
                 self.stats.sat_conflicts += sat.conflicts;
                 let mut model = Assignment::new();
-                for id in &syms {
+                for id in syms {
                     model.set(*id, blaster.sym_model(&sat, *id).unwrap_or(0));
                 }
                 // The blaster's internal division symbols are filtered out by
@@ -273,6 +354,96 @@ impl Solver {
             cache.insert(key, result.clone());
         }
         result
+    }
+
+    /// The verdict-grade optimized pipeline: partition the canonical key
+    /// into symbol-disjoint independence components, decide each component
+    /// separately — preferring component-granular cache answers and the
+    /// persistent incremental session — and compose a model of the whole
+    /// query from the per-component models. The conjunction is `Sat` iff
+    /// every component is, and symbol-disjointness makes the union of
+    /// component models a model of the conjunction.
+    fn solve_verdict_optimized(&mut self, key: Vec<Expr>) -> SatResult {
+        let parts: Vec<Vec<Expr>> = if self.use_slicing {
+            partition_independent(&key)
+        } else {
+            vec![key.clone()]
+        };
+        let multi = parts.len() > 1;
+        if multi {
+            self.stats.sliced_queries += 1;
+            self.stats.slice_components += parts.len() as u64;
+        }
+        let mut composed = Assignment::new();
+        for part in &parts {
+            let mut part_syms = BTreeSet::new();
+            for c in part {
+                collect_syms(c, &mut part_syms);
+            }
+            // Component-granular cache consultation. The whole key already
+            // missed; a strict component is a smaller key with strictly
+            // better hit odds (this is where slicing compounds with the
+            // shared cache: one worker's solved component answers every
+            // sibling query that embeds it).
+            if multi {
+                if let Some(hit) = self.cache_lookup(part, QueryGrade::Verdict) {
+                    match hit {
+                        SatResult::Unsat => return SatResult::Unsat,
+                        SatResult::Sat(m) => {
+                            merge_for(&mut composed, &m, &part_syms);
+                            continue;
+                        }
+                    }
+                }
+            }
+            match self.solve_component(part, &part_syms) {
+                SatResult::Unsat => return SatResult::Unsat,
+                SatResult::Sat(m) => merge_for(&mut composed, &m, &part_syms),
+            }
+        }
+        debug_assert!(
+            key.iter().all(|c| c.eval_bool(&composed)),
+            "composed model does not satisfy the query"
+        );
+        if let Some(cache) = &self.cache {
+            // Composed and session models are composition/history dependent
+            // (not the canonical monolithic model), so they go to the
+            // verdict-reuse ring only — never the exact map, which
+            // model-grade callers read.
+            cache.remember_verdict_model(&composed);
+        }
+        SatResult::Sat(composed)
+    }
+
+    /// Decides one verdict-grade component: a session probe when
+    /// incremental solving is on (with a fresh canonical solve as the
+    /// fallback whenever the session cannot answer), a fresh canonical
+    /// solve otherwise. Fresh solves are canonical for the component key
+    /// and get memoized by `full_solve`; session `Unsat` answers are
+    /// memoized here too (`Unsat` carries no model to corrupt), while
+    /// session `Sat` models never reach the exact map.
+    fn solve_component(&mut self, part: &[Expr], part_syms: &BTreeSet<SymId>) -> SatResult {
+        if self.use_incremental {
+            let session = self.session.get_or_insert_with(Session::new);
+            let before = session.conflicts();
+            let answer = session.probe(part, part_syms);
+            let (probes, resets) = (session.probes, session.resets);
+            let conflicts = session.conflicts().saturating_sub(before);
+            self.stats.sat_conflicts += conflicts;
+            self.stats.session_probes = probes;
+            self.stats.session_resets = resets;
+            match answer {
+                Some(ProbeAnswer::Unsat) => {
+                    if let Some(cache) = &self.cache {
+                        cache.insert(part.to_vec(), SatResult::Unsat);
+                    }
+                    return SatResult::Unsat;
+                }
+                Some(ProbeAnswer::Sat(m)) => return SatResult::Sat(m),
+                None => {} // Defensive fallback: fresh solve below.
+            }
+        }
+        self.full_solve(part.to_vec(), part_syms)
     }
 
     /// Consults the shared cache and maps the answer onto stats. `None`
@@ -356,6 +527,18 @@ impl Solver {
             }
         }
         found
+    }
+}
+
+/// Merges into `into` the values `from` assigns to the symbols in `syms`.
+/// Restricting to the component's own symbols matters: a reused ring model
+/// may assign symbols belonging to *other* components (whatever its
+/// original query mentioned), and those values must not override the models
+/// those components produce for themselves. Symbols the source model leaves
+/// unassigned default to zero, exactly as `eval` treats them.
+fn merge_for(into: &mut Assignment, from: &Assignment, syms: &BTreeSet<SymId>) {
+    for id in syms {
+        into.set(*id, from.get_or_zero(*id));
     }
 }
 
@@ -666,6 +849,155 @@ mod tests {
         }
         assert_eq!(uncached.stats().cache_hits, 0);
         assert_eq!(uncached.stats().cache_model_reuse, 0);
+    }
+
+    /// A solver with both verdict-grade optimizations disabled (the
+    /// `--no-slicing --no-incremental` escape hatches).
+    fn plain_solver() -> Solver {
+        let mut s = Solver::new();
+        s.set_slicing(false);
+        s.set_incremental(false);
+        s
+    }
+
+    #[test]
+    fn sliced_verdicts_agree_with_plain_solver() {
+        let x = sym(0, 32);
+        let y = sym(1, 32);
+        let z = sym(2, 32);
+        let queries: Vec<Vec<Expr>> = vec![
+            // Three independent components, all satisfiable.
+            vec![x.eq(&c32(42)), y.ult(&c32(9)), z.urem(&c32(3)).eq(&c32(2))],
+            // One unsat component among satisfiable ones.
+            vec![x.eq(&c32(42)), y.ult(&c32(5)), c32(10).ult(&y)],
+            // Entangled: single component.
+            vec![x.add(&y).eq(&c32(7)), y.ult(&c32(3)), x.ult(&c32(100))],
+        ];
+        for q in &queries {
+            let mut optimized = Solver::new();
+            let mut plain = plain_solver();
+            assert_eq!(
+                optimized.is_feasible(q),
+                plain.is_feasible(q),
+                "optimized pipeline changed the verdict of {q:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn slicing_counts_components_and_composes_a_valid_model() {
+        let x = sym(0, 32);
+        let y = sym(1, 32);
+        // Two independent components that defeat the fast-path candidates.
+        let q = [x.eq(&c32(42)), y.mul(&c32(3)).eq(&c32(21))];
+        let mut s = Solver::new();
+        s.set_incremental(false);
+        let r = s.check_graded(&q, QueryGrade::Verdict);
+        match r {
+            SatResult::Sat(m) => {
+                assert!(q.iter().all(|c| c.eval_bool(&m)), "composed model invalid");
+                assert_eq!(m.get_or_zero(SymId(0)), 42);
+                assert_eq!(m.get_or_zero(SymId(1)) & 0xffff_ffff, 7);
+            }
+            SatResult::Unsat => panic!("both components are satisfiable"),
+        }
+        assert_eq!(s.stats().sliced_queries, 1);
+        assert_eq!(s.stats().slice_components, 2);
+    }
+
+    #[test]
+    fn component_results_are_cached_under_component_keys() {
+        let cache = Arc::new(QueryCache::new());
+        let x = sym(0, 32);
+        let y = sym(1, 32);
+        let mut a = Solver::with_cache(cache.clone());
+        a.set_incremental(false);
+        // Sliced verdict query: each component solved and memoized alone.
+        assert!(a.is_feasible(&[x.eq(&c32(42)), y.eq(&c32(17))]));
+        // A later *model-grade* query equal to one component is an exact hit
+        // on the canonical per-component result.
+        let mut b = Solver::with_cache(cache);
+        match b.check(&[x.eq(&c32(42))]) {
+            SatResult::Sat(m) => assert_eq!(m.get_or_zero(SymId(0)), 42),
+            SatResult::Unsat => panic!(),
+        }
+        assert_eq!(b.stats().cache_hits, 1, "component key must hit exactly");
+        assert_eq!(b.stats().full_solves, 0);
+    }
+
+    #[test]
+    fn unsat_component_core_subsumes_model_grade_supersets() {
+        let cache = Arc::new(QueryCache::new());
+        let x = sym(0, 32);
+        let y = sym(1, 32);
+        let mut a = Solver::with_cache(cache.clone());
+        // Verdict query whose unsat component is two constraints wide.
+        let contradiction = [x.ult(&c32(5)), c32(10).ult(&x)];
+        assert!(!a.is_feasible(&[contradiction[0].clone(), y.eq(&c32(3)), contradiction[1].clone()]));
+        // The small component core now proves any superset UNSAT for
+        // model-grade callers through the existing subsumption path.
+        let mut b = Solver::with_cache(cache);
+        let superset =
+            [contradiction[0].clone(), contradiction[1].clone(), y.ult(&c32(100))];
+        assert_eq!(b.check(&superset), SatResult::Unsat);
+        assert_eq!(b.stats().cache_unsat_subset, 1);
+        assert_eq!(b.stats().full_solves, 0);
+    }
+
+    #[test]
+    fn incremental_session_is_exercised_and_agrees() {
+        let x = sym(0, 32);
+        let mut s = Solver::uncached(); // No cache: every query must solve.
+        let mut plain = plain_solver();
+        // A deepening path: x != 0, x != 1, ... plus a range, as the
+        // explorer's branch-feasibility stream would issue.
+        let mut cs = vec![x.ult(&c32(50))];
+        for i in 0..6u64 {
+            cs.push(x.ne(&c32(i)));
+            assert_eq!(s.is_feasible(&cs), plain.is_feasible(&cs));
+        }
+        assert!(s.stats().session_probes > 0, "session never engaged");
+        assert_eq!(s.stats().full_solves, 0, "session path must not re-blast");
+        assert!(plain.stats().full_solves > 0);
+    }
+
+    #[test]
+    fn incremental_unsat_matches_plain() {
+        let x = sym(0, 32);
+        let mut s = Solver::uncached();
+        let q = [x.ult(&c32(5)), c32(10).ult(&x)];
+        assert!(!s.is_feasible(&q));
+        // And satisfiable again afterwards on the same core.
+        assert!(s.is_feasible(&[x.ult(&c32(5)), x.ne(&c32(0))]));
+    }
+
+    #[test]
+    fn escape_hatches_restore_baseline_counters() {
+        let x = sym(0, 32);
+        let mut s = plain_solver();
+        assert!(s.is_feasible(&[x.eq(&c32(42))]));
+        assert_eq!(s.stats().sliced_queries, 0);
+        assert_eq!(s.stats().session_probes, 0);
+        assert_eq!(s.stats().full_solves, 1);
+    }
+
+    #[test]
+    fn model_grade_checks_never_use_session_or_slicing() {
+        let x = sym(0, 32);
+        let y = sym(1, 32);
+        let mut s = Solver::new();
+        // Two independent components; model grade must still run the
+        // canonical monolithic solve.
+        match s.check(&[x.eq(&c32(42)), y.eq(&c32(17))]) {
+            SatResult::Sat(m) => {
+                assert_eq!(m.get_or_zero(SymId(0)), 42);
+                assert_eq!(m.get_or_zero(SymId(1)), 17);
+            }
+            SatResult::Unsat => panic!(),
+        }
+        assert_eq!(s.stats().sliced_queries, 0);
+        assert_eq!(s.stats().session_probes, 0);
+        assert_eq!(s.stats().full_solves, 1);
     }
 
     #[test]

@@ -138,7 +138,16 @@ pub struct SatSolver {
     pub propagations: u64,
     /// Scratch marks used by conflict analysis.
     seen: Vec<bool>,
+    /// Max-heap of candidate decision variables, ordered by activity.
+    /// Long-lived cores (the incremental session) grow to hundreds of
+    /// thousands of variables; a linear argmax scan per decision would make
+    /// every probe pay O(vars · decisions), so decisions must be O(log n).
+    heap: Vec<u32>,
+    /// Position of each variable in `heap`, or `HEAP_ABSENT`.
+    heap_pos: Vec<u32>,
 }
+
+const HEAP_ABSENT: u32 = u32::MAX;
 
 impl Default for SatSolver {
     fn default() -> Self {
@@ -166,6 +175,8 @@ impl SatSolver {
             decisions: 0,
             propagations: 0,
             seen: Vec::new(),
+            heap: Vec::new(),
+            heap_pos: Vec::new(),
         }
     }
 
@@ -180,7 +191,81 @@ impl SatSolver {
         self.seen.push(false);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
+        self.heap_pos.push(HEAP_ABSENT);
+        self.heap_insert(v.0);
         v
+    }
+
+    /// Decision order: higher activity first, lower variable index on ties.
+    /// The tie-break makes the heap a *total* order, so `decide` returns
+    /// exactly the variable a full argmax scan would — the heap changes
+    /// complexity, never the search trajectory.
+    #[inline]
+    fn heap_better(&self, a: u32, b: u32) -> bool {
+        let (aa, ab) = (self.activity[a as usize], self.activity[b as usize]);
+        aa > ab || (aa == ab && a < b)
+    }
+
+    fn heap_sift_up(&mut self, mut i: usize) {
+        let v = self.heap[i];
+        while i > 0 {
+            let p = (i - 1) / 2;
+            let pv = self.heap[p];
+            if !self.heap_better(v, pv) {
+                break;
+            }
+            self.heap[i] = pv;
+            self.heap_pos[pv as usize] = i as u32;
+            i = p;
+        }
+        self.heap[i] = v;
+        self.heap_pos[v as usize] = i as u32;
+    }
+
+    fn heap_sift_down(&mut self, mut i: usize) {
+        let v = self.heap[i];
+        loop {
+            let l = 2 * i + 1;
+            if l >= self.heap.len() {
+                break;
+            }
+            let r = l + 1;
+            let c = if r < self.heap.len() && self.heap_better(self.heap[r], self.heap[l]) {
+                r
+            } else {
+                l
+            };
+            let cv = self.heap[c];
+            if !self.heap_better(cv, v) {
+                break;
+            }
+            self.heap[i] = cv;
+            self.heap_pos[cv as usize] = i as u32;
+            i = c;
+        }
+        self.heap[i] = v;
+        self.heap_pos[v as usize] = i as u32;
+    }
+
+    fn heap_insert(&mut self, v: u32) {
+        if self.heap_pos[v as usize] != HEAP_ABSENT {
+            return;
+        }
+        self.heap_pos[v as usize] = self.heap.len() as u32;
+        self.heap.push(v);
+        self.heap_sift_up(self.heap.len() - 1);
+    }
+
+    fn heap_pop(&mut self) -> Option<u32> {
+        let top = *self.heap.first()?;
+        self.heap_pos[top as usize] = HEAP_ABSENT;
+        let last = self.heap.pop().expect("non-empty");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.heap_pos[last as usize] = 0;
+            self.heap_sift_down(0);
+        }
+        Some(top)
     }
 
     /// Number of allocated variables.
@@ -191,6 +276,15 @@ impl SatSolver {
     /// Number of clauses (problem + learned).
     pub fn num_clauses(&self) -> usize {
         self.clauses.len()
+    }
+
+    /// True once the clause database itself is unsatisfiable (an empty or
+    /// level-0-conflicting clause was added). A dead solver answers every
+    /// `solve` with `Unsat`, so long-lived users (the incremental session)
+    /// check this to distinguish "unsat under assumptions" from "core gone
+    /// bad" before trusting an answer.
+    pub fn is_dead(&self) -> bool {
+        self.dead
     }
 
     #[inline]
@@ -335,10 +429,16 @@ impl SatSolver {
         let a = &mut self.activity[v.0 as usize];
         *a += self.var_inc;
         if *a > 1e100 {
+            // Uniform rescale preserves relative order, so the heap
+            // invariant survives without a rebuild.
             for x in &mut self.activity {
                 *x *= 1e-100;
             }
             self.var_inc *= 1e-100;
+        }
+        let pos = self.heap_pos[v.0 as usize];
+        if pos != HEAP_ABSENT {
+            self.heap_sift_up(pos as usize);
         }
     }
 
@@ -416,22 +516,23 @@ impl SatSolver {
                 let v = l.var().0 as usize;
                 self.assigns[v] = LBool::Undef;
                 self.reason[v] = REASON_NONE;
+                self.heap_insert(v as u32);
             }
         }
         self.qhead = self.trail.len();
     }
 
     fn decide(&mut self) -> Option<Lit> {
-        // Pick the unassigned variable with the highest activity.
-        let mut choice: Option<usize> = None;
-        let mut best_act = f64::NEG_INFINITY;
-        for v in 0..self.num_vars() {
-            if self.assigns[v] == LBool::Undef && self.activity[v] > best_act {
-                best_act = self.activity[v];
-                choice = Some(v);
+        // Pop until an unassigned variable surfaces. Assigned entries are
+        // stale (lazy deletion); dropping them is safe because every
+        // variable is re-inserted the moment `cancel_until` unassigns it,
+        // so the heap always contains every unassigned variable.
+        while let Some(v) = self.heap_pop() {
+            if self.assigns[v as usize] == LBool::Undef {
+                return Some(Lit::new(Var(v), self.phase[v as usize]));
             }
         }
-        choice.map(|v| Lit::new(Var(v as u32), self.phase[v]))
+        None
     }
 
     /// Decides satisfiability of the current clause set.

@@ -8,6 +8,10 @@
 //! delegated to a [`SymEnv`] implementation — `ddt-core` plugs symbolic
 //! hardware and the memory-access checker in through this trait.
 
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
 use ddt_expr::Expr;
 use ddt_isa::{
     decode, //
@@ -22,6 +26,53 @@ use ddt_solver::Solver;
 
 use crate::state::SymState;
 use crate::trace::TraceEvent;
+
+/// Decoded-instruction cache keyed by pc, shared by every state forked from
+/// one root (the handle clones as an `Arc`).
+///
+/// Driver text is immutable in practice, but the memory model does not
+/// forbid writes to it, so the cache is consulted only for pcs the state's
+/// memory vouches for ([`crate::SymMemory::code_bytes_stable`]): inside the
+/// declared code region on a path that never wrote to that region. States
+/// with no declared code region — or self-modifying lineages — fall back to
+/// the fetch-and-decode path byte for byte.
+///
+/// `None` entries record undecodable opcodes, so repeatedly faulting pcs
+/// are as cheap as valid ones.
+#[derive(Clone, Debug, Default)]
+pub struct DecodeCache {
+    inner: Arc<DecodeCacheInner>,
+}
+
+#[derive(Debug, Default)]
+struct DecodeCacheInner {
+    map: Mutex<HashMap<u32, Option<Insn>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl DecodeCache {
+    /// Looks up the decode result for `pc`. The outer `Option` is presence
+    /// in the cache; the inner one is decodability.
+    fn get(&self, pc: u32) -> Option<Option<Insn>> {
+        let got =
+            self.inner.map.lock().unwrap_or_else(PoisonError::into_inner).get(&pc).copied();
+        match got {
+            Some(_) => self.inner.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.inner.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        got
+    }
+
+    fn put(&self, pc: u32, insn: Option<Insn>) {
+        self.inner.map.lock().unwrap_or_else(PoisonError::into_inner).insert(pc, insn);
+    }
+
+    /// (hits, misses) over the cache's lifetime.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.inner.hits.load(Ordering::Relaxed), self.inner.misses.load(Ordering::Relaxed))
+    }
+}
 
 /// A fault detected during symbolic execution.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -408,10 +459,21 @@ pub fn step(st: &mut SymState, env: &mut dyn SymEnv, solver: &mut Solver) -> Sym
     if !st.mem.is_range_mapped(pc, INSN_SIZE) {
         return SymStep::Fault(SymFault::BadAccess { pc, addr: pc, kind: AccessKind::Fetch });
     }
-    let Some(raw) = st.mem.read_concrete_bytes(pc, INSN_SIZE) else {
-        return SymStep::Fault(SymFault::IllegalInsn { pc });
+    let cacheable = st.mem.code_bytes_stable(pc, INSN_SIZE);
+    let decoded = match cacheable.then(|| st.decode_cache.get(pc)).flatten() {
+        Some(cached) => cached,
+        None => {
+            let Some(raw) = st.mem.read_concrete_bytes(pc, INSN_SIZE) else {
+                return SymStep::Fault(SymFault::IllegalInsn { pc });
+            };
+            let d = decode(raw.as_slice().try_into().expect("8 bytes"));
+            if cacheable {
+                st.decode_cache.put(pc, d);
+            }
+            d
+        }
     };
-    let Some(insn) = decode(raw.as_slice().try_into().expect("8 bytes")) else {
+    let Some(insn) = decoded else {
         return SymStep::Fault(SymFault::IllegalInsn { pc });
     };
     st.insns_retired += 1;
@@ -719,11 +781,73 @@ mod tests {
         st.mem.map(img.load_base, img.image_end() - img.load_base);
         st.mem.seed_bytes(img.load_base, &img.text);
         st.mem.seed_bytes(img.data_base(), &img.data);
+        st.mem.set_code_region(img.load_base, img.text.len() as u32);
         st.mem.map(0x7000_0000, 0x10_0000);
         st.cpu.set_u32(Reg::SP, 0x7010_0000);
         st.cpu.set_u32(Reg::LR, RETURN_TRAP);
         st.cpu.pc = img.entry;
         (st, img.entry)
+    }
+
+    /// Runs a single-path state until it returns to the kernel.
+    fn run_to_return(mut st: SymState) -> SymState {
+        let mut solver = Solver::new();
+        loop {
+            match step(&mut st, &mut NullEnv, &mut solver) {
+                SymStep::Continue => {}
+                SymStep::ReturnToKernel => return st,
+                other => panic!("unexpected outcome: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn decode_cache_serves_repeat_fetches() {
+        let (st, _) = make_state(
+            "DriverEntry:
+                mov r0, 1
+                mov r1, 2
+                ret",
+        );
+        let cache = st.decode_cache.clone();
+        run_to_return(st.clone());
+        let (h1, m1) = cache.stats();
+        assert_eq!(h1, 0, "first pass decodes everything");
+        assert!(m1 >= 3, "every fetch consulted the cache");
+        // A sibling sharing the root's cache replays the same pcs for free.
+        run_to_return(st.clone());
+        let (h2, m2) = cache.stats();
+        assert_eq!(m2, m1, "no new decodes on the second pass");
+        assert!(h2 >= 3, "second pass served from the cache");
+    }
+
+    #[test]
+    fn code_writes_bypass_the_decode_cache() {
+        let src_a = "DriverEntry:
+                mov r1, 1
+                mov r2, 2
+                ret";
+        let src_b = "DriverEntry:
+                mov r1, 1
+                mov r2, 99
+                ret";
+        let (st, entry) = make_state(src_a);
+        let patched = assemble(src_b, &ExportMap::new()).expect("asm").image.text;
+        // Populate the cache with the original second instruction.
+        let clean = run_to_return(st.clone());
+        assert_eq!(clean.cpu.get(Reg(2)).as_const(), Some(2));
+        // A lineage that rewrites its own text must execute the new bytes,
+        // not the cached decode of the old ones.
+        let mut dirty = st.clone();
+        let off = INSN_SIZE as usize;
+        dirty
+            .mem
+            .write_concrete_bytes(entry + INSN_SIZE, &patched[off..off + INSN_SIZE as usize]);
+        let dirty = run_to_return(dirty);
+        assert_eq!(dirty.cpu.get(Reg(2)).as_const(), Some(99), "patched code must run");
+        // Clean siblings are unaffected and keep using the cache.
+        let clean2 = run_to_return(st.clone());
+        assert_eq!(clean2.cpu.get(Reg(2)).as_const(), Some(2));
     }
 
     #[test]
@@ -1047,6 +1171,7 @@ mod more_interp_tests {
         st.mem.map(img.load_base, img.image_end() - img.load_base);
         st.mem.seed_bytes(img.load_base, &img.text);
         st.mem.seed_bytes(img.data_base(), &img.data);
+        st.mem.set_code_region(img.load_base, img.text.len() as u32);
         st.mem.map(0x7000_0000, 0x10_0000);
         st.cpu.set_u32(Reg::SP, 0x7010_0000);
         st.cpu.set_u32(Reg::LR, RETURN_TRAP);

@@ -25,7 +25,7 @@ pub mod mem;
 pub mod state;
 pub mod trace;
 
-pub use interp::{step, SymEnv, SymFault, SymStep};
+pub use interp::{step, DecodeCache, SymEnv, SymFault, SymStep};
 pub use mem::SymMemory;
 pub use state::{
     GrantRegion, //

@@ -15,6 +15,11 @@ use std::sync::Arc;
 
 use ddt_expr::Expr;
 
+/// Chain depth past which [`SymMemory::fork`] compacts the frozen layers
+/// into one. Deep chains make every uncached read an O(depth) pointer walk;
+/// 32 keeps the walk short while amortizing the merge cost over many forks.
+const COMPACT_DEPTH: usize = 32;
+
 /// One frozen copy-on-write layer.
 #[derive(Debug)]
 struct MemLayer {
@@ -43,6 +48,11 @@ pub struct SymMemory {
     root: Arc<RootMem>,
     /// Number of layers below `local` (diagnostics / §5.2 stats).
     depth: usize,
+    /// Declared driver-text range backing the decoded-instruction cache.
+    code_region: Option<(u32, u32)>,
+    /// Writes that landed inside `code_region` on this path (self-modifying
+    /// code); any such write disables decode caching for this lineage.
+    code_writes: u64,
 }
 
 impl Default for SymMemory {
@@ -61,6 +71,29 @@ impl SymMemory {
             cache: HashMap::new(),
             root: Arc::new(RootMem::default()),
             depth: 0,
+            code_region: None,
+            code_writes: 0,
+        }
+    }
+
+    /// Declares `[start, start+len)` as the driver's code region. Decoded
+    /// instructions at pcs inside it may be cached for as long as no write
+    /// targets the region (see [`Self::code_bytes_stable`]).
+    pub fn set_code_region(&mut self, start: u32, len: u32) {
+        self.code_region = (len > 0).then(|| (start, start.checked_add(len).expect("code region wraps")));
+    }
+
+    /// True when all of `[addr, addr+len)` lies inside the declared code
+    /// region and no write has ever targeted the region on this path —
+    /// i.e. a decode of those bytes can be cached by pc alone.
+    pub fn code_bytes_stable(&self, addr: u32, len: u32) -> bool {
+        match self.code_region {
+            Some((s, e)) => {
+                self.code_writes == 0
+                    && addr >= s
+                    && addr.checked_add(len).is_some_and(|end| end <= e)
+            }
+            None => false,
         }
     }
 
@@ -157,6 +190,32 @@ impl SymMemory {
         self.depth
     }
 
+    /// Squashes the frozen parent chain into a single merged layer.
+    ///
+    /// "Quick forking can lead to deep state hierarchies" (§4.1.3): past a
+    /// point, every cache-miss read pays an O(depth) walk, so the leaf
+    /// periodically folds its view of the chain into one layer. Leaf-most
+    /// writes win (the same resolution order the walk uses), so reads are
+    /// unchanged. Sibling states still hold `Arc`s to the old layers; only
+    /// this state and its future children see (and pay for) the merge.
+    fn compact_chain(&mut self) {
+        let mut merged: HashMap<u32, Expr> = HashMap::new();
+        let mut cur = self.node.as_ref();
+        while let Some(layer) = cur {
+            for (addr, e) in &layer.writes {
+                merged.entry(*addr).or_insert_with(|| e.clone());
+            }
+            cur = layer.parent.as_ref();
+        }
+        if merged.is_empty() {
+            self.node = None;
+            self.depth = 0;
+        } else {
+            self.node = Some(Arc::new(MemLayer { parent: None, writes: merged }));
+            self.depth = 1;
+        }
+    }
+
     /// Forks the memory: both this state and the returned copy see the
     /// current contents; subsequent writes diverge.
     pub fn fork(&mut self) -> SymMemory {
@@ -166,6 +225,9 @@ impl SymMemory {
             self.node = Some(Arc::new(layer));
             self.depth += 1;
         }
+        if self.depth > COMPACT_DEPTH {
+            self.compact_chain();
+        }
         SymMemory {
             regions: self.regions.clone(),
             node: self.node.clone(),
@@ -173,6 +235,8 @@ impl SymMemory {
             cache: HashMap::new(),
             root: self.root.clone(),
             depth: self.depth,
+            code_region: self.code_region,
+            code_writes: self.code_writes,
         }
     }
 
@@ -205,6 +269,11 @@ impl SymMemory {
     /// Writes one byte.
     pub fn write_byte(&mut self, addr: u32, value: Expr) {
         debug_assert_eq!(value.width(), 8, "byte writes take 8-bit values");
+        if let Some((s, e)) = self.code_region {
+            if addr >= s && addr < e {
+                self.code_writes += 1;
+            }
+        }
         self.cache.remove(&addr);
         self.local.insert(addr, value);
     }
@@ -330,6 +399,47 @@ mod tests {
         let _a = m.fork();
         let _b = m.fork(); // No writes between forks: depth must not grow.
         assert_eq!(m.chain_depth(), d0);
+    }
+
+    #[test]
+    fn chain_compaction_preserves_reads_and_caps_depth() {
+        let mut m = SymMemory::new();
+        m.map(0, 0x10000);
+        m.seed_bytes(0x100, &[0xaa, 0xbb]);
+        let x = Expr::sym(SymId(9), 8);
+        m.write_byte(0x200, x.clone());
+        // Drive the chain far past the compaction threshold; each layer
+        // overwrites one shared slot and adds one private slot.
+        let rounds = 2 * COMPACT_DEPTH;
+        let mut sibling = None;
+        let mut cur = m;
+        for i in 0..rounds {
+            cur.write(0x300, 4, &Expr::constant(i as u64, 32));
+            cur.write(0x400 + 4 * i as u32, 4, &Expr::constant(i as u64 + 1, 32));
+            let next = cur.fork();
+            if i == 3 {
+                // A sibling pinned before compaction happens.
+                sibling = Some(cur.fork());
+            }
+            cur = next;
+        }
+        assert!(
+            cur.chain_depth() <= COMPACT_DEPTH + 1,
+            "compaction must cap the chain, got depth {}",
+            cur.chain_depth()
+        );
+        // Leaf-most write wins across the merge...
+        assert_eq!(cur.read(0x300, 4).as_const(), Some(rounds as u64 - 1));
+        // ...every layer's private slot is still visible...
+        for i in 0..rounds {
+            assert_eq!(cur.read(0x400 + 4 * i as u32, 4).as_const(), Some(i as u64 + 1));
+        }
+        // ...root bytes and symbolic bytes survive...
+        assert_eq!(cur.read(0x100, 2).as_const(), Some(0xbbaa));
+        assert_eq!(cur.read_byte(0x200), x);
+        // ...and a sibling forked pre-compaction keeps its own view.
+        let mut sib = sibling.unwrap();
+        assert_eq!(sib.read(0x300, 4).as_const(), Some(3));
     }
 
     #[test]

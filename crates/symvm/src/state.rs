@@ -275,6 +275,9 @@ pub struct SymState {
     /// Invariant: when `Some`, the model (with absent symbols read as 0)
     /// satisfies every constraint in `constraints`.
     pub last_model: Option<Assignment>,
+    /// Decoded-instruction cache shared by every state forked from one
+    /// root (an `Arc` handle; see [`crate::interp::DecodeCache`]).
+    pub decode_cache: crate::interp::DecodeCache,
 }
 
 impl SymState {
@@ -294,6 +297,7 @@ impl SymState {
             pending_forks: Vec::new(),
             // The empty model satisfies the empty path condition.
             last_model: Some(Assignment::new()),
+            decode_cache: crate::interp::DecodeCache::default(),
         }
     }
 
@@ -314,6 +318,7 @@ impl SymState {
             // Pending alternatives stay with the parent path.
             pending_forks: Vec::new(),
             last_model: self.last_model.clone(),
+            decode_cache: self.decode_cache.clone(),
         }
     }
 

@@ -1,0 +1,115 @@
+//! Differential harness for the verdict-query optimizations: independence
+//! slicing and incremental solver sessions.
+//!
+//! Both are pure solver-time optimizations and must be *semantically
+//! invisible*, exactly like the query cache: an exploration with them on,
+//! off, or in any mixture must find the same bugs via the same decision
+//! schedules with the same solved inputs and the same coverage. This
+//! harness runs bundled drivers across the flag matrix and compares the
+//! reports field by field (semantic fields only — solver counters
+//! legitimately differ between modes).
+
+use std::collections::HashMap;
+
+use ddt::{decision_streams, Ddt, DdtConfig, DriverUnderTest, Report};
+
+fn run(dut: &DriverUnderTest, slicing: bool, incremental: bool, cache: bool) -> Report {
+    let mut config = DdtConfig::default();
+    config.use_slicing = slicing;
+    config.use_incremental = incremental;
+    config.use_query_cache = cache;
+    Ddt::new(config).test(dut)
+}
+
+/// Asserts that two reports describe the same exploration: same bugs (by
+/// stable key), same decision schedules, same solved inputs, same coverage
+/// and path/instruction counts. Solver/cache counters are deliberately not
+/// compared.
+fn assert_semantically_equal(a: &Report, b: &Report, label: &str) {
+    let mut ak: Vec<&str> = a.bugs.iter().map(|x| x.key.as_str()).collect();
+    let mut bk: Vec<&str> = b.bugs.iter().map(|x| x.key.as_str()).collect();
+    ak.sort_unstable();
+    bk.sort_unstable();
+    assert_eq!(ak, bk, "{label}: bug sets diverged");
+    assert_eq!(
+        decision_streams(&a.bugs),
+        decision_streams(&b.bugs),
+        "{label}: decision streams diverged"
+    );
+    let b_inputs: HashMap<&str, _> = b.bugs.iter().map(|x| (x.key.as_str(), &x.inputs)).collect();
+    for bug in &a.bugs {
+        assert_eq!(
+            Some(&&bug.inputs),
+            b_inputs.get(bug.key.as_str()),
+            "{label}: solved inputs diverged for bug {}",
+            bug.key
+        );
+    }
+    assert_eq!(a.total_blocks, b.total_blocks, "{label}: total blocks");
+    assert_eq!(a.covered_blocks, b.covered_blocks, "{label}: coverage diverged");
+    assert_eq!(a.stats.paths_started, b.stats.paths_started, "{label}: path counts diverged");
+    assert_eq!(a.stats.insns, b.stats.insns, "{label}: instruction counts diverged");
+}
+
+#[test]
+fn optimization_flag_matrix_is_semantically_invisible() {
+    for driver in ["rtl8029", "pcnet"] {
+        let spec = ddt::drivers::driver_by_name(driver).expect("bundled");
+        let dut = DriverUnderTest::from_spec(&spec);
+        let baseline = run(&dut, true, true, true); // Everything on (default).
+        for (slicing, incremental, cache) in [
+            (false, true, true),   // --no-slicing
+            (true, false, true),   // --no-incremental
+            (false, false, true),  // both hatches
+            (true, true, false),   // --no-query-cache, optimizations on
+            (false, false, false), // the PR-before-this-one baseline
+        ] {
+            let other = run(&dut, slicing, incremental, cache);
+            let label = format!(
+                "{driver} (slicing={slicing}, incremental={incremental}, cache={cache})"
+            );
+            assert_semantically_equal(&baseline, &other, &label);
+        }
+    }
+}
+
+#[test]
+fn escape_hatches_really_disable_the_machinery() {
+    let spec = ddt::drivers::driver_by_name("rtl8029").expect("bundled");
+    let dut = DriverUnderTest::from_spec(&spec);
+
+    let no_slicing = run(&dut, false, true, true);
+    assert_eq!(no_slicing.stats.solver_sliced, 0, "--no-slicing still sliced");
+    assert_eq!(no_slicing.stats.solver_slice_components, 0);
+
+    let no_incremental = run(&dut, true, false, true);
+    assert_eq!(no_incremental.stats.solver_session_probes, 0, "--no-incremental still probed");
+    assert_eq!(no_incremental.stats.solver_session_resets, 0);
+}
+
+#[test]
+fn optimization_counters_surface_in_stats_and_health() {
+    let spec = ddt::drivers::driver_by_name("rtl8029").expect("bundled");
+    let dut = DriverUnderTest::from_spec(&spec);
+    let on = run(&dut, true, true, true);
+
+    // The incremental session must actually carry verdict traffic.
+    assert!(
+        on.stats.solver_session_probes > 0,
+        "a multi-path exploration must probe the session (stats: {:?})",
+        on.stats
+    );
+    // Slicing counters are structurally consistent: every sliced query has
+    // at least two components.
+    assert!(on.stats.solver_slice_components >= 2 * on.stats.solver_sliced);
+    // The interner is process-global and exploration allocates expressions.
+    assert!(on.stats.interner_hits + on.stats.interner_misses > 0);
+
+    assert_eq!(on.health.solver_sliced, on.stats.solver_sliced);
+    assert_eq!(on.health.solver_slice_components, on.stats.solver_slice_components);
+    assert_eq!(on.health.session_probes, on.stats.solver_session_probes);
+    assert_eq!(on.health.session_resets, on.stats.solver_session_resets);
+    assert_eq!(on.health.interner_hits, on.stats.interner_hits);
+    assert_eq!(on.health.interner_misses, on.stats.interner_misses);
+    assert!(on.health.render().contains("session probes"));
+}

@@ -360,16 +360,19 @@ pub(crate) fn checkpoint_file(
             covered,
             timeline: timeline.into_iter().map(|(ms, n)| (ms, n as u64)).collect(),
         },
-        frontier: frontier
-            .iter()
-            .map(|m| FrontierRecord {
-                id: m.id,
-                steps_total: m.steps_total,
-                trailing_skips: m.trailing_skips,
-                picks: m.picks_vec(),
-                fp: m.fingerprint(),
-            })
-            .collect(),
+        frontier: frontier.iter().map(frontier_record).collect(),
+    }
+}
+
+/// Snapshots one live machine as its portable decision-prefix record — the
+/// unit a checkpoint stores and a fleet supervisor leases out.
+pub(crate) fn frontier_record(m: &Machine) -> FrontierRecord {
+    FrontierRecord {
+        id: m.id,
+        steps_total: m.steps_total,
+        trailing_skips: m.trailing_skips,
+        picks: m.picks_vec(),
+        fp: m.fingerprint(),
     }
 }
 
@@ -523,7 +526,7 @@ impl Ddt {
     /// the result against the recorded fingerprint. All exploration side
     /// effects go to scratch sinks: the checkpoint's aggregates already
     /// account for everything the prefix did the first time.
-    fn replay_prefix(
+    pub(crate) fn replay_prefix(
         &self,
         dut: &DriverUnderTest,
         rec: &FrontierRecord,

@@ -84,6 +84,22 @@ impl Coverage {
         }
     }
 
+    /// Folds a remote worker's coverage delta into this tracker: hit
+    /// counts add, the covered set unions. No timeline samples are taken —
+    /// remote deltas arrive in batches whose internal timing is unknown, so
+    /// the merged timeline only reflects blocks this tracker saw directly.
+    /// Additive and order-independent, like the stats merges.
+    pub fn absorb(
+        &mut self,
+        hits: impl IntoIterator<Item = (u32, u64)>,
+        covered: impl IntoIterator<Item = u32>,
+    ) {
+        for (pc, n) in hits {
+            *self.hits.entry(pc).or_insert(0) += n;
+        }
+        self.covered.extend(covered);
+    }
+
     /// Hit count of the block containing `pc` (the EXE-style priority:
     /// smaller is more interesting).
     pub fn priority(&self, pc: u32) -> u64 {

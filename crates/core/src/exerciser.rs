@@ -75,6 +75,11 @@ pub struct DdtConfig {
     pub max_total_insns: u64,
     /// Per-invocation instruction budget (kills polling-loop paths).
     pub max_invocation_insns: u64,
+    /// Whole-path step budget: a path that executes this many instructions
+    /// across all invocations is terminated as a potential driver hang
+    /// (`PathBudgetExceeded` health event) instead of spinning until the
+    /// run-level budgets drain. `u64::MAX` disables the watchdog.
+    pub max_path_insns: u64,
     /// Wall-clock budget in milliseconds.
     pub time_budget_ms: u64,
     /// Systematic kernel-API fault injection plan. Disabled by default so
@@ -128,6 +133,7 @@ impl Default for DdtConfig {
             max_states: 4096,
             max_total_insns: 3_000_000,
             max_invocation_insns: 20_000,
+            max_path_insns: u64::MAX,
             time_budget_ms: 120_000,
             fault_plan: FaultPlan::disabled(),
             use_query_cache: true,
@@ -172,13 +178,14 @@ impl DdtConfig {
     /// invisible to path selection.
     pub fn fingerprint(&self) -> u64 {
         let desc = format!(
-            "v1:ann={:?}:mem={}:irq={}:states={}:insns={}:per_inv={}:wall={}:faults={:016x}",
+            "v1:ann={:?}:mem={}:irq={}:states={}:insns={}:per_inv={}:path={}:wall={}:faults={:016x}",
             self.annotations,
             self.check_memory,
             self.interrupt_budget,
             self.max_states,
             self.max_total_insns,
             self.max_invocation_insns,
+            self.max_path_insns,
             self.time_budget_ms,
             self.fault_plan.fingerprint(),
         );
@@ -238,6 +245,7 @@ pub(crate) enum PathEnd {
     Faulted,
     Infeasible,
     BudgetKilled,
+    StepBudget,
 }
 
 impl PathEnd {
@@ -248,6 +256,7 @@ impl PathEnd {
             PathEnd::Faulted => PathStatus::Faulted,
             PathEnd::Infeasible => PathStatus::Infeasible,
             PathEnd::BudgetKilled => PathStatus::BudgetKilled,
+            PathEnd::StepBudget => PathStatus::StepBudgetExceeded,
         }
     }
 }
@@ -537,7 +546,10 @@ impl Ddt {
         dut: &DriverUnderTest,
     ) -> Vec<Bug> {
         let mut bug_list: Vec<Bug> = bugs.into_values().collect();
-        bug_list.sort_by_key(|a| (a.entry.clone(), a.pc));
+        // The key tie-breaks bugs sharing an (entry, pc): without it the
+        // order falls back to hash-map iteration, which differs across
+        // processes — and fleet reports must diff clean against serial.
+        bug_list.sort_by_key(|a| (a.entry.clone(), a.pc, a.key.clone()));
         health.bug_occurrences = bug_list.iter().map(|b| b.occurrences).sum();
         let signatures: std::collections::HashSet<&str> =
             bug_list.iter().map(|b| b.signature.as_str()).collect();
@@ -592,6 +604,15 @@ impl Ddt {
                 if cur.diverged.is_some() || m.steps_total >= cur.target_steps {
                     break;
                 }
+            }
+            // Whole-path step watchdog: a path that has executed this many
+            // instructions without terminating is a potential driver hang
+            // (e.g. a polling loop the per-invocation budget keeps resetting
+            // across entry points). Not checked during prefix replay — a
+            // path over budget can never have entered a frontier.
+            if sinks.replay.is_none() && m.steps_total >= self.config.max_path_insns {
+                end = Some(PathEnd::StepBudget);
+                break;
             }
             m.steps_total += 1;
             sinks.exec_pcs.push(m.st.cpu.pc);
@@ -731,6 +752,7 @@ impl Ddt {
                     PathEnd::Faulted => sinks.stats.paths_faulted += 1,
                     PathEnd::Infeasible => sinks.stats.paths_infeasible += 1,
                     PathEnd::BudgetKilled => sinks.stats.paths_budget_killed += 1,
+                    PathEnd::StepBudget => sinks.stats.paths_step_budget_killed += 1,
                 }
                 Some(e)
             }
@@ -1348,4 +1370,54 @@ fn m_class_of(op: &WorkloadOp) -> DriverClass {
 enum ReturnFlow {
     Continue,
     PathDone,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The per-path step budget is the hang watchdog: a driver spinning in
+    /// a polling loop forever must be killed, counted as a *potential hang*
+    /// in RunHealth, and must not take the campaign down with it.
+    #[test]
+    fn step_budget_watchdog_kills_and_counts_runaway_paths() {
+        let spec = ddt_drivers::driver_by_name("pcnet").expect("bundled driver");
+        let dut = DriverUnderTest::from_spec(&spec);
+
+        let baseline = Ddt::default().test(&dut);
+        assert_eq!(
+            baseline.stats.paths_step_budget_killed, 0,
+            "an unlimited budget kills nothing"
+        );
+
+        let mut ddt = Ddt::default();
+        ddt.config.max_path_insns = 60;
+        let report = ddt.test(&dut);
+        assert!(
+            report.stats.paths_step_budget_killed > 0,
+            "a 60-instruction path budget must trip on real paths"
+        );
+        assert_eq!(
+            report.health.path_step_budget_kills,
+            report.stats.paths_step_budget_killed
+        );
+        assert!(!report.health.pristine(), "step-budget kills degrade health");
+        assert!(
+            report.health.render().contains("step-budget kills"),
+            "the health report names the watchdog: {}",
+            report.health.render()
+        );
+        // The campaign itself still completes and reports.
+        assert!(report.stats.paths_started > 0);
+    }
+
+    /// The step budget is part of the config fingerprint: a checkpoint
+    /// taken under one budget must not resume under another.
+    #[test]
+    fn step_budget_is_fingerprinted() {
+        let a = DdtConfig::default();
+        let mut b = DdtConfig::default();
+        b.max_path_insns = 1000;
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
 }

@@ -39,6 +39,7 @@ pub mod checkpoint;
 pub mod coverage;
 pub mod exerciser;
 pub mod faults;
+pub mod fleet;
 pub mod hardware;
 pub mod machine;
 pub mod parallel;
@@ -52,6 +53,10 @@ pub use checkpoint::{load_latest, CampaignError, CampaignSeed, CheckpointPolicy}
 pub use ddt_kernel::FaultFamily;
 pub use exerciser::{Ddt, DdtConfig, DriverUnderTest};
 pub use faults::{FaultInjector, FaultPlan};
+pub use fleet::{
+    pump_frames, run_worker, serve, FleetConfig, FleetEvent, WorkerHandle, WorkerLauncher,
+    WorkerOpts,
+};
 pub use hardware::DdtEnv;
 pub use machine::{Frame, Machine, SymHost};
 pub use parallel::{resume_parallel, test_parallel};

@@ -96,22 +96,10 @@ struct SolverSnap {
 
 /// Adds one quantum's counter deltas into the shared aggregate.
 fn merge_stats(agg: &mut ExploreStats, local: &ExploreStats) {
-    agg.paths_started += local.paths_started;
-    agg.paths_completed += local.paths_completed;
-    agg.paths_faulted += local.paths_faulted;
-    agg.paths_infeasible += local.paths_infeasible;
-    agg.paths_budget_killed += local.paths_budget_killed;
-    agg.insns += local.insns;
-    agg.symbols += local.symbols;
-    agg.peak_states = agg.peak_states.max(local.peak_states);
-    agg.max_cow_depth = agg.max_cow_depth.max(local.max_cow_depth);
-    agg.states_dropped += local.states_dropped;
-    agg.panics_caught += local.panics_caught;
-    agg.faults_pool += local.faults_pool;
-    agg.faults_shared += local.faults_shared;
-    agg.faults_map += local.faults_map;
-    agg.faults_registration += local.faults_registration;
-    agg.faults_registry += local.faults_registry;
+    // Worker-local stats never carry solver/interner/wall fields (those are
+    // folded separately from solver snapshots), so the full additive merge
+    // the fleet also uses is exact here.
+    agg.merge_add(local);
 }
 
 /// The parallel exploration loop, optionally seeded with the restored

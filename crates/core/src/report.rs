@@ -61,7 +61,7 @@ impl Bug {
 }
 
 /// Exploration statistics (the §5.2 scalability numbers).
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ExploreStats {
     /// Total paths started.
     pub paths_started: u64,
@@ -73,6 +73,9 @@ pub struct ExploreStats {
     pub paths_infeasible: u64,
     /// Paths killed by the per-path budget.
     pub paths_budget_killed: u64,
+    /// Paths killed by the whole-path step budget (potential driver hangs:
+    /// the path executed `max_path_insns` instructions without finishing).
+    pub paths_step_budget_killed: u64,
     /// Total instructions executed symbolically.
     pub insns: u64,
     /// Peak simultaneous states in the worklist.
@@ -160,6 +163,44 @@ impl ExploreStats {
         self.interner_hits = hits;
         self.interner_misses = misses;
     }
+
+    /// Folds another stats block into this one. Every counter is additive;
+    /// the two high-water marks take the max; `wall_ms` is left alone
+    /// (workers overlap in time, so their wall clocks must not be summed —
+    /// the caller keeps its own). Commutative and associative over the
+    /// summed fields, which is what makes fleet merges order-independent.
+    pub fn merge_add(&mut self, other: &ExploreStats) {
+        self.paths_started += other.paths_started;
+        self.paths_completed += other.paths_completed;
+        self.paths_faulted += other.paths_faulted;
+        self.paths_infeasible += other.paths_infeasible;
+        self.paths_budget_killed += other.paths_budget_killed;
+        self.paths_step_budget_killed += other.paths_step_budget_killed;
+        self.insns += other.insns;
+        self.peak_states = self.peak_states.max(other.peak_states);
+        self.symbols += other.symbols;
+        self.solver_queries += other.solver_queries;
+        self.solver_fast_hits += other.solver_fast_hits;
+        self.solver_full += other.solver_full;
+        self.solver_cache_hits += other.solver_cache_hits;
+        self.solver_model_reuse += other.solver_model_reuse;
+        self.solver_unsat_subset += other.solver_unsat_subset;
+        self.solver_sliced += other.solver_sliced;
+        self.solver_slice_components += other.solver_slice_components;
+        self.solver_session_probes += other.solver_session_probes;
+        self.solver_session_resets += other.solver_session_resets;
+        self.interner_hits += other.interner_hits;
+        self.interner_misses += other.interner_misses;
+        self.cache_evictions += other.cache_evictions;
+        self.max_cow_depth = self.max_cow_depth.max(other.max_cow_depth);
+        self.states_dropped += other.states_dropped;
+        self.panics_caught += other.panics_caught;
+        self.faults_pool += other.faults_pool;
+        self.faults_shared += other.faults_shared;
+        self.faults_map += other.faults_map;
+        self.faults_registration += other.faults_registration;
+        self.faults_registry += other.faults_registry;
+    }
 }
 
 /// Harness-health summary for one run: everything that silently degraded
@@ -171,6 +212,9 @@ pub struct RunHealth {
     pub states_dropped: u64,
     /// Paths killed by the per-invocation instruction budget.
     pub budget_kills: u64,
+    /// Paths killed by the whole-path step budget — each one is a
+    /// potential driver hang worth triaging, not just lost coverage.
+    pub path_step_budget_kills: u64,
     /// Solver queries that fell back to full bit-blasting + CDCL search
     /// (the query-cache misses, counted after the candidate fast path).
     pub solver_fallbacks: u64,
@@ -230,6 +274,20 @@ pub struct RunHealth {
     /// Frontier machines whose reconstruction diverged or failed its
     /// fingerprint check; each is a lost pending path, not a lost run.
     pub resume_replay_failures: u64,
+    /// Fleet mode: worker processes spawned over the campaign (initial
+    /// spawns plus respawns after crashes).
+    pub fleet_workers_spawned: u64,
+    /// Fleet mode: workers lost to crashes, broken pipes, or the hang
+    /// watchdog.
+    pub fleet_workers_lost: u64,
+    /// Fleet mode: shard leases reassigned after a worker was lost.
+    pub fleet_leases_reassigned: u64,
+    /// Fleet mode: shards stolen back from laggards and rebalanced.
+    pub fleet_shards_stolen: u64,
+    /// Fleet mode: shards quarantined into the trace store after
+    /// exhausting their retry budget; each is a lost subtree, not a lost
+    /// campaign.
+    pub fleet_shards_quarantined: u64,
 }
 
 impl RunHealth {
@@ -239,6 +297,7 @@ impl RunHealth {
         RunHealth {
             states_dropped: stats.states_dropped,
             budget_kills: stats.paths_budget_killed,
+            path_step_budget_kills: stats.paths_step_budget_killed,
             solver_fallbacks: stats.solver_full,
             cache_hits: stats.solver_cache_hits,
             cache_model_reuse: stats.solver_model_reuse,
@@ -268,7 +327,53 @@ impl RunHealth {
             journal_records: 0,
             resume_replayed_paths: 0,
             resume_replay_failures: 0,
+            // Filled in by the fleet supervisor.
+            fleet_workers_spawned: 0,
+            fleet_workers_lost: 0,
+            fleet_leases_reassigned: 0,
+            fleet_shards_stolen: 0,
+            fleet_shards_quarantined: 0,
         }
+    }
+
+    /// Folds another health block into this one: counters sum, the
+    /// budget-exhaustion flags OR. Commutative and associative, so fleet
+    /// merges are order-independent regardless of worker completion order.
+    pub fn merge_add(&mut self, other: &RunHealth) {
+        self.states_dropped += other.states_dropped;
+        self.budget_kills += other.budget_kills;
+        self.path_step_budget_kills += other.path_step_budget_kills;
+        self.solver_fallbacks += other.solver_fallbacks;
+        self.cache_hits += other.cache_hits;
+        self.cache_model_reuse += other.cache_model_reuse;
+        self.cache_unsat_subset += other.cache_unsat_subset;
+        self.solver_sliced += other.solver_sliced;
+        self.solver_slice_components += other.solver_slice_components;
+        self.session_probes += other.session_probes;
+        self.session_resets += other.session_resets;
+        self.interner_hits += other.interner_hits;
+        self.interner_misses += other.interner_misses;
+        self.cache_evictions += other.cache_evictions;
+        self.panics_caught += other.panics_caught;
+        self.faults_pool += other.faults_pool;
+        self.faults_shared += other.faults_shared;
+        self.faults_map += other.faults_map;
+        self.faults_registration += other.faults_registration;
+        self.faults_registry += other.faults_registry;
+        self.insn_budget_exhausted |= other.insn_budget_exhausted;
+        self.wall_budget_exhausted |= other.wall_budget_exhausted;
+        self.bug_occurrences += other.bug_occurrences;
+        self.bugs_deduped += other.bugs_deduped;
+        self.traces_persisted += other.traces_persisted;
+        self.checkpoints_written += other.checkpoints_written;
+        self.journal_records += other.journal_records;
+        self.resume_replayed_paths += other.resume_replayed_paths;
+        self.resume_replay_failures += other.resume_replay_failures;
+        self.fleet_workers_spawned += other.fleet_workers_spawned;
+        self.fleet_workers_lost += other.fleet_workers_lost;
+        self.fleet_leases_reassigned += other.fleet_leases_reassigned;
+        self.fleet_shards_stolen += other.fleet_shards_stolen;
+        self.fleet_shards_quarantined += other.fleet_shards_quarantined;
     }
 
     /// Total injected faults consumed across all families.
@@ -284,9 +389,12 @@ impl RunHealth {
     pub fn pristine(&self) -> bool {
         self.states_dropped == 0
             && self.budget_kills == 0
+            && self.path_step_budget_kills == 0
             && self.panics_caught == 0
             && !self.insn_budget_exhausted
             && !self.wall_budget_exhausted
+            && self.fleet_workers_lost == 0
+            && self.fleet_shards_quarantined == 0
     }
 
     /// Renders the human-readable health section of the report.
@@ -294,6 +402,12 @@ impl RunHealth {
         let mut out = String::from("run health:\n");
         out.push_str(&format!("  states dropped at cap:  {}\n", self.states_dropped));
         out.push_str(&format!("  budget-killed paths:    {}\n", self.budget_kills));
+        if self.path_step_budget_kills > 0 {
+            out.push_str(&format!(
+                "  step-budget kills:      {} (potential driver hangs)\n",
+                self.path_step_budget_kills
+            ));
+        }
         out.push_str(&format!("  solver full fallbacks:  {}\n", self.solver_fallbacks));
         out.push_str(&format!(
             "  query-cache hits:       {} (exact {}, model-reuse {}, unsat-subset {})\n",
@@ -354,6 +468,18 @@ impl RunHealth {
             out.push_str(&format!(
                 "  resume replays:         {} ok, {} failed\n",
                 self.resume_replayed_paths, self.resume_replay_failures
+            ));
+        }
+        if self.fleet_workers_spawned > 0 {
+            out.push_str(&format!(
+                "  fleet workers:          {} spawned, {} lost\n",
+                self.fleet_workers_spawned, self.fleet_workers_lost
+            ));
+            out.push_str(&format!(
+                "  fleet leases:           {} reassigned, {} stolen, {} quarantined\n",
+                self.fleet_leases_reassigned,
+                self.fleet_shards_stolen,
+                self.fleet_shards_quarantined
             ));
         }
         let exhausted = match (self.insn_budget_exhausted, self.wall_budget_exhausted) {

@@ -7,6 +7,10 @@
 //!          [--json FILE] [--replay] [--health]
 //!          [--trace-dir DIR] [--checkpoint-dir DIR] [--checkpoint-every N]
 //!          [--resume DIR]
+//! ddt serve <driver.dxe | bundled-name> [--workers N] [--lease-timeout MS]
+//!          [--max-retries N] [--heartbeat-ms MS] [--status-file FILE]
+//!          [--chaos-kill N] [--shard-factor N] [...shared test flags]
+//! ddt worker <driver.dxe | bundled-name> --worker-id N [...shared test flags]
 //! ddt replay --trace <bug-dir | manifest.json | trace.bin> [--driver PATH]
 //! ddt triage <store-dir>
 //! ddt asm <source.s> -o <driver.dxe>
@@ -29,6 +33,15 @@
 //! produced. With a campaign active, the first SIGINT drains in-flight
 //! work and checkpoints before exiting (code 130); a second SIGINT exits
 //! immediately.
+//!
+//! `serve` runs the same campaign as a fault-tolerant **fleet**: the
+//! supervisor shards the frontier across `--workers` `ddt worker`
+//! subprocesses (spawned from this same binary, speaking length-prefixed
+//! frames over stdin/stdout), leases shards with progress deadlines, kills
+//! and replaces crashed or hung workers, retries their leases with
+//! exponential backoff, and quarantines shards that keep failing. The final
+//! report is the same one `ddt test` would have produced. `worker` is the
+//! subprocess end of that protocol — not intended for interactive use.
 
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -78,7 +91,10 @@ fn usage() -> ExitCode {
          [--no-query-cache] [--no-slicing] [--no-incremental] \
          [--json FILE] [--replay] [--health] \
          [--trace-dir DIR] [--checkpoint-dir DIR] [--checkpoint-every N] \
-         [--resume DIR]\n  \
+         [--resume DIR] [--max-path-insns N]\n  \
+         ddt serve <driver.dxe|name> [--workers N] [--lease-timeout MS] \
+         [--max-retries N] [--heartbeat-ms MS] [--status-file FILE] \
+         [--chaos-kill N] [--shard-factor N] [...shared test flags]\n  \
          ddt replay --trace <bug-dir|manifest.json|trace.bin> [--driver PATH]\n  \
          ddt triage <store-dir>\n  \
          ddt asm <src.s> -o <out.dxe>\n  ddt disas <driver.dxe>\n  \
@@ -116,6 +132,186 @@ fn load_image(arg: &str) -> Result<DxeImage, String> {
     }
     let bytes = std::fs::read(arg).map_err(|e| format!("cannot read {arg}: {e}"))?;
     DxeImage::from_bytes(&bytes).map_err(|e| format!("{arg}: {e}"))
+}
+
+/// Builds the driver under test from `args[1]` plus the shared flags
+/// (`--audio`, `--registry`). `test`, `serve`, and `worker` all go through
+/// here — supervisor and workers must agree on the exact same DUT.
+fn parse_target(args: &[String]) -> Result<ddt::DriverUnderTest, String> {
+    let Some(target) = args.get(1) else {
+        return Err("missing driver target".to_string());
+    };
+    let image = load_image(target)?;
+    // Bundled drivers bring their registry/descriptor defaults.
+    let bundled = ddt::drivers::driver_by_name(target);
+    let class = if args.iter().any(|a| a == "--audio")
+        || bundled.as_ref().is_some_and(|b| b.class == DriverClass::Audio)
+    {
+        DriverClass::Audio
+    } else {
+        DriverClass::Net
+    };
+    let mut registry: Vec<(String, u32)> = bundled
+        .as_ref()
+        .map(|b| b.registry.iter().map(|&(k, v)| (k.to_string(), v)).collect())
+        .unwrap_or_default();
+    for kv in flag_values(args, "--registry") {
+        match kv.split_once('=') {
+            Some((k, v)) => {
+                let parsed = if let Some(hex) = v.strip_prefix("0x") {
+                    u32::from_str_radix(hex, 16)
+                } else {
+                    v.parse()
+                };
+                match parsed {
+                    Ok(n) => registry.push((k.to_string(), n)),
+                    Err(_) => return Err(format!("bad --registry value {kv:?}")),
+                }
+            }
+            None => return Err(format!("--registry expects K=V, got {kv:?}")),
+        }
+    }
+    let descriptor = bundled.map(|b| b.descriptor).unwrap_or_default();
+    Ok(ddt::DriverUnderTest {
+        image,
+        class,
+        registry,
+        descriptor,
+        workload: workload_for(class),
+    })
+}
+
+/// Parses the shared configuration flags. The fleet handshake compares
+/// config fingerprints between supervisor and workers, so every
+/// fingerprinted knob must be parsed identically by `test`, `serve`, and
+/// `worker`.
+fn parse_config(args: &[String]) -> Result<ddt::DdtConfig, String> {
+    let mut config = ddt::DdtConfig::default();
+    if args.iter().any(|a| a == "--no-annotations") {
+        config.annotations = ddt::Annotations::disabled();
+    }
+    if args.iter().any(|a| a == "--no-memcheck") {
+        config.check_memory = false;
+    }
+    if args.iter().any(|a| a == "--faults") {
+        config.fault_plan = ddt::FaultPlan::full();
+    }
+    // Escape hatches: disable the shared counterexample cache, verdict
+    // slicing, or incremental sessions. The exploration is identical (all
+    // three are semantically invisible); only solver time changes. They
+    // exist purely for field bisection.
+    if args.iter().any(|a| a == "--no-query-cache") {
+        config.use_query_cache = false;
+    }
+    if args.iter().any(|a| a == "--no-slicing") {
+        config.use_slicing = false;
+    }
+    if args.iter().any(|a| a == "--no-incremental") {
+        config.use_incremental = false;
+    }
+    // The per-path step budget: the hang watchdog for drivers stuck in
+    // polling loops (counted as potential hangs in the health report).
+    if let Some(n) = flag_value(args, "--max-path-insns") {
+        match n.parse() {
+            Ok(v) if v > 0 => config.max_path_insns = v,
+            _ => return Err(format!("bad --max-path-insns value {n:?}")),
+        }
+    }
+    if let Some(dir) = flag_value(args, "--trace-dir") {
+        config.trace_dir = Some(std::path::PathBuf::from(dir));
+    }
+    Ok(config)
+}
+
+/// Projects a `serve` argv onto the argv for its `ddt worker` subprocesses:
+/// the target and every shared flag survive; supervisor-only flags are
+/// dropped (workers must not persist traces or reports themselves).
+fn worker_args_from(args: &[String]) -> Vec<String> {
+    const SUPERVISOR_VALUED: &[&str] = &[
+        "--workers",
+        "--lease-timeout",
+        "--max-retries",
+        "--status-file",
+        "--chaos-kill",
+        "--shard-factor",
+        "--max-respawns",
+        "--json",
+        "--trace-dir",
+    ];
+    const SUPERVISOR_BARE: &[&str] = &["--health", "--replay"];
+    let mut out = vec!["worker".to_string()];
+    let mut i = 1; // args[0] is "serve"
+    while i < args.len() {
+        let a = args[i].as_str();
+        if SUPERVISOR_VALUED.contains(&a) {
+            i += 2;
+            continue;
+        }
+        if SUPERVISOR_BARE.contains(&a) {
+            i += 1;
+            continue;
+        }
+        out.push(args[i].clone());
+        i += 1;
+    }
+    out
+}
+
+/// Launches `ddt worker` subprocesses for the fleet supervisor: stdin is
+/// the control pipe, stdout the frame stream (pumped to the event channel
+/// on a thread), and `kill` is a real SIGKILL — the supervisor's recovery
+/// path is exercised against actual process death, exactly what the chaos
+/// harness relies on.
+struct ProcessLauncher {
+    exe: std::path::PathBuf,
+    worker_args: Vec<String>,
+}
+
+struct ProcessHandle {
+    child: std::process::Child,
+    stdin: Option<std::process::ChildStdin>,
+}
+
+impl ddt::core::WorkerHandle for ProcessHandle {
+    fn send(&mut self, frame: &ddt::trace::FleetFrame) -> std::io::Result<()> {
+        use std::io::Write;
+        let closed =
+            || std::io::Error::new(std::io::ErrorKind::BrokenPipe, "worker stdin closed");
+        let stdin = self.stdin.as_mut().ok_or_else(closed)?;
+        stdin.write_all(&ddt::trace::encode_frame(frame))?;
+        stdin.flush()
+    }
+    fn kill(&mut self) {
+        self.stdin = None;
+        let _ = self.child.kill();
+        let _ = self.child.wait(); // Reap immediately: no zombies.
+    }
+}
+
+impl Drop for ProcessHandle {
+    fn drop(&mut self) {
+        ddt::core::WorkerHandle::kill(self);
+    }
+}
+
+impl ddt::core::WorkerLauncher for ProcessLauncher {
+    fn spawn(
+        &mut self,
+        worker: u64,
+        events: std::sync::mpsc::Sender<ddt::core::FleetEvent>,
+    ) -> std::io::Result<Box<dyn ddt::core::WorkerHandle>> {
+        let mut child = std::process::Command::new(&self.exe)
+            .args(&self.worker_args)
+            .arg("--worker-id")
+            .arg(worker.to_string())
+            .stdin(std::process::Stdio::piped())
+            .stdout(std::process::Stdio::piped())
+            .spawn()?;
+        let stdin = child.stdin.take();
+        let stdout = child.stdout.take().expect("stdout was piped");
+        std::thread::spawn(move || ddt::core::pump_frames(worker, stdout, events));
+        Ok(Box::new(ProcessHandle { child, stdin }))
+    }
 }
 
 fn main() -> ExitCode {
@@ -226,84 +422,20 @@ fn main() -> ExitCode {
         }
         "test" => {
             let Some(target) = args.get(1) else { return usage() };
-            let image = match load_image(target) {
-                Ok(i) => i,
+            let dut = match parse_target(&args) {
+                Ok(d) => d,
                 Err(e) => {
                     eprintln!("{e}");
                     return ExitCode::FAILURE;
                 }
             };
-            // Bundled drivers bring their registry/descriptor defaults.
-            let bundled = ddt::drivers::driver_by_name(target);
-            let class = if args.iter().any(|a| a == "--audio")
-                || bundled.as_ref().is_some_and(|b| b.class == DriverClass::Audio)
-            {
-                DriverClass::Audio
-            } else {
-                DriverClass::Net
-            };
-            let mut registry: Vec<(String, u32)> = bundled
-                .as_ref()
-                .map(|b| b.registry.iter().map(|&(k, v)| (k.to_string(), v)).collect())
-                .unwrap_or_default();
-            for kv in flag_values(&args, "--registry") {
-                match kv.split_once('=') {
-                    Some((k, v)) => {
-                        let parsed = if let Some(hex) = v.strip_prefix("0x") {
-                            u32::from_str_radix(hex, 16)
-                        } else {
-                            v.parse()
-                        };
-                        match parsed {
-                            Ok(n) => registry.push((k.to_string(), n)),
-                            Err(_) => {
-                                eprintln!("bad --registry value {kv:?}");
-                                return ExitCode::from(2);
-                            }
-                        }
-                    }
-                    None => {
-                        eprintln!("--registry expects K=V, got {kv:?}");
-                        return ExitCode::from(2);
-                    }
+            let mut config = match parse_config(&args) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::from(2);
                 }
-            }
-            let descriptor = bundled.map(|b| b.descriptor).unwrap_or_default();
-            let dut = ddt::DriverUnderTest {
-                image,
-                class,
-                registry,
-                descriptor,
-                workload: workload_for(class),
             };
-            let mut config = ddt::DdtConfig::default();
-            if args.iter().any(|a| a == "--no-annotations") {
-                config.annotations = ddt::Annotations::disabled();
-            }
-            if args.iter().any(|a| a == "--no-memcheck") {
-                config.check_memory = false;
-            }
-            if args.iter().any(|a| a == "--faults") {
-                config.fault_plan = ddt::FaultPlan::full();
-            }
-            // Escape hatch: disable the shared counterexample cache. The
-            // exploration is identical (the cache is semantically
-            // invisible); only solver time changes.
-            if args.iter().any(|a| a == "--no-query-cache") {
-                config.use_query_cache = false;
-            }
-            // Same contract for the verdict-query optimizations: slicing
-            // and incremental sessions change solver time, never verdicts,
-            // so these hatches exist purely for field bisection.
-            if args.iter().any(|a| a == "--no-slicing") {
-                config.use_slicing = false;
-            }
-            if args.iter().any(|a| a == "--no-incremental") {
-                config.use_incremental = false;
-            }
-            if let Some(dir) = flag_value(&args, "--trace-dir") {
-                config.trace_dir = Some(std::path::PathBuf::from(dir));
-            }
             let checkpoint_dir = flag_value(&args, "--checkpoint-dir");
             let resume_dir = flag_value(&args, "--resume");
             if let Some(dir) = &checkpoint_dir {
@@ -350,48 +482,8 @@ fn main() -> ExitCode {
                 (None, Some(n)) => ddt::test_parallel(&tool, &dut, n),
                 (None, None) => tool.test(&dut),
             };
-            println!(
-                "tested '{}': {} paths, {}/{} blocks ({:.0}%), {:.2?}",
-                report.driver,
-                report.stats.paths_started,
-                report.covered_blocks,
-                report.total_blocks,
-                100.0 * report.relative_coverage(),
-                started.elapsed()
-            );
-            for bug in &report.bugs {
-                println!("  [{}] {}", bug.class, bug.description);
-                if args.iter().any(|a| a == "--replay") {
-                    match ddt::replay_bug(&dut, bug) {
-                        ddt::ReplayOutcome::Reproduced { observed } => {
-                            println!("      replayed: {observed}");
-                        }
-                        ddt::ReplayOutcome::NotReproduced { observed } => {
-                            println!("      REPLAY FAILED: {observed}");
-                        }
-                    }
-                }
-            }
-            if args.iter().any(|a| a == "--health") || !report.health.pristine() {
-                print!("{}", report.health.render());
-            }
-            if let Some(path) = flag_value(&args, "--json") {
-                match serde_json::to_vec_pretty(&report) {
-                    Ok(j) => {
-                        if let Err(e) = std::fs::write(&path, j) {
-                            eprintln!("cannot write {path}: {e}");
-                            return ExitCode::FAILURE;
-                        }
-                        println!("report written to {path}");
-                    }
-                    Err(e) => eprintln!("serialization failed: {e}"),
-                }
-            }
-            if let Some(dir) = flag_value(&args, "--trace-dir") {
-                println!(
-                    "trace store: {} artifact(s) persisted to {dir}",
-                    report.health.traces_persisted
-                );
+            if let Some(code) = print_report(&args, &dut, &report, started) {
+                return code;
             }
             if stop_flag.is_some_and(|f| f.load(Ordering::SeqCst)) {
                 let dir = resume_dir.or(checkpoint_dir).unwrap_or_default();
@@ -401,12 +493,128 @@ fn main() -> ExitCode {
                 );
                 return ExitCode::from(130);
             }
-            if report.bugs.is_empty() {
-                println!("verdict: no defects found");
-                ExitCode::SUCCESS
-            } else {
-                println!("verdict: {} defect(s) — do not load this driver", report.bugs.len());
-                ExitCode::FAILURE
+            verdict_code(&report)
+        }
+        "serve" => {
+            let dut = match parse_target(&args) {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let mut config = match parse_config(&args) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let mut fc = ddt::FleetConfig::default();
+            let numeric = |flag: &str, min: u64| -> Result<Option<u64>, String> {
+                match flag_value(&args, flag) {
+                    None => Ok(None),
+                    Some(v) => match v.parse::<u64>() {
+                        Ok(n) if n >= min => Ok(Some(n)),
+                        _ => Err(format!("bad {flag} value {v:?}")),
+                    },
+                }
+            };
+            let parsed = (|| -> Result<(), String> {
+                if let Some(n) = numeric("--workers", 1)? {
+                    fc.workers = n as usize;
+                }
+                if let Some(n) = numeric("--lease-timeout", 1)? {
+                    fc.lease_timeout_ms = n;
+                }
+                if let Some(n) = numeric("--max-retries", 0)? {
+                    fc.max_retries = n as u32;
+                }
+                if let Some(n) = numeric("--heartbeat-ms", 1)? {
+                    fc.heartbeat_ms = n;
+                }
+                if let Some(n) = numeric("--chaos-kill", 0)? {
+                    fc.chaos_kills = n as u32;
+                }
+                if let Some(n) = numeric("--shard-factor", 1)? {
+                    fc.shard_factor = n as usize;
+                }
+                if let Some(n) = numeric("--max-respawns", 0)? {
+                    fc.max_respawns = n as u32;
+                }
+                Ok(())
+            })();
+            if let Err(e) = parsed {
+                eprintln!("{e}");
+                return ExitCode::from(2);
+            }
+            if let Some(path) = flag_value(&args, "--status-file") {
+                fc.status_file = Some(std::path::PathBuf::from(path));
+            }
+            let exe = match std::env::current_exe() {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("cannot locate own executable for worker spawn: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let mut launcher =
+                ProcessLauncher { exe, worker_args: worker_args_from(&args) };
+            // First ^C drains: the fleet stops granting, reports completed
+            // shards; a second ^C exits immediately.
+            let stop_flag = install_sigint_flag();
+            config.stop_flag = Some(stop_flag.clone());
+            let tool = ddt::Ddt::new(config);
+            let started = std::time::Instant::now();
+            let report = ddt::core::serve(&tool, &dut, &mut launcher, &fc);
+            if let Some(code) = print_report(&args, &dut, &report, started) {
+                return code;
+            }
+            if stop_flag.load(Ordering::SeqCst) {
+                println!("interrupted: partial report above (completed shards only)");
+                return ExitCode::from(130);
+            }
+            verdict_code(&report)
+        }
+        "worker" => {
+            // The subprocess end of `ddt serve`: frames in on stdin, frames
+            // out on stdout, human noise only on stderr.
+            let dut = match parse_target(&args) {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("ddt worker: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let config = match parse_config(&args) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("ddt worker: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let env_u64 = |k: &str| std::env::var(k).ok().and_then(|v| v.parse::<u64>().ok());
+            let opts = ddt::WorkerOpts {
+                worker_id: flag_value(&args, "--worker-id")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(0),
+                heartbeat_ms: flag_value(&args, "--heartbeat-ms")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(0),
+                // Fault-injection hooks for exercising the supervisor's
+                // recovery paths from the command line.
+                die_after_shards: env_u64("DDT_FLEET_TEST_DIE_AFTER"),
+                fail_shard: env_u64("DDT_FLEET_TEST_FAIL_SHARD"),
+                hang_on_first_shard: env_u64("DDT_FLEET_TEST_HANG").is_some(),
+            };
+            let tool = ddt::Ddt::new(config);
+            match ddt::core::run_worker(&tool, &dut, std::io::stdin(), std::io::stdout(), opts)
+            {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("ddt worker: {e}");
+                    ExitCode::FAILURE
+                }
             }
         }
         "replay" => {
@@ -471,6 +679,71 @@ fn main() -> ExitCode {
             }
         }
         _ => usage(),
+    }
+}
+
+/// Prints the human-facing report (summary line, bugs with optional
+/// replay, health, `--json` export, trace-store note). Returns an exit code
+/// only when an export failed; `None` means keep going to the verdict.
+fn print_report(
+    args: &[String],
+    dut: &ddt::DriverUnderTest,
+    report: &ddt::Report,
+    started: std::time::Instant,
+) -> Option<ExitCode> {
+    println!(
+        "tested '{}': {} paths, {}/{} blocks ({:.0}%), {:.2?}",
+        report.driver,
+        report.stats.paths_started,
+        report.covered_blocks,
+        report.total_blocks,
+        100.0 * report.relative_coverage(),
+        started.elapsed()
+    );
+    for bug in &report.bugs {
+        println!("  [{}] {}", bug.class, bug.description);
+        if args.iter().any(|a| a == "--replay") {
+            match ddt::replay_bug(dut, bug) {
+                ddt::ReplayOutcome::Reproduced { observed } => {
+                    println!("      replayed: {observed}");
+                }
+                ddt::ReplayOutcome::NotReproduced { observed } => {
+                    println!("      REPLAY FAILED: {observed}");
+                }
+            }
+        }
+    }
+    if args.iter().any(|a| a == "--health") || !report.health.pristine() {
+        print!("{}", report.health.render());
+    }
+    if let Some(path) = flag_value(args, "--json") {
+        match serde_json::to_vec_pretty(report) {
+            Ok(j) => {
+                if let Err(e) = std::fs::write(&path, j) {
+                    eprintln!("cannot write {path}: {e}");
+                    return Some(ExitCode::FAILURE);
+                }
+                println!("report written to {path}");
+            }
+            Err(e) => eprintln!("serialization failed: {e}"),
+        }
+    }
+    if let Some(dir) = flag_value(args, "--trace-dir") {
+        println!(
+            "trace store: {} artifact(s) persisted to {dir}",
+            report.health.traces_persisted
+        );
+    }
+    None
+}
+
+fn verdict_code(report: &ddt::Report) -> ExitCode {
+    if report.bugs.is_empty() {
+        println!("verdict: no defects found");
+        ExitCode::SUCCESS
+    } else {
+        println!("verdict: {} defect(s) — do not load this driver", report.bugs.len());
+        ExitCode::FAILURE
     }
 }
 

@@ -50,6 +50,8 @@ pub use ddt_core::{
     FaultFamily,
     FaultInjector,
     FaultPlan,
+    FleetConfig,
+    WorkerOpts,
     Report,
     ReplayOutcome,
     RunHealth,

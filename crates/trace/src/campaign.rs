@@ -182,6 +182,8 @@ pub enum PathStatus {
     BudgetKilled = 3,
     /// The quantum panicked; the state was discarded (run health incident).
     Panicked = 4,
+    /// Killed by the whole-path step budget (a potential driver hang).
+    StepBudgetExceeded = 5,
 }
 
 impl PathStatus {
@@ -192,6 +194,7 @@ impl PathStatus {
             2 => PathStatus::Infeasible,
             3 => PathStatus::BudgetKilled,
             4 => PathStatus::Panicked,
+            5 => PathStatus::StepBudgetExceeded,
             _ => return None,
         })
     }
@@ -244,9 +247,11 @@ pub enum JournalRecord {
 }
 
 // ---------------------------------------------------------------------------
-// Primitive wire helpers (LEB128 varints, as in the `DDTT` codec).
+// Primitive wire helpers (LEB128 varints, as in the `DDTT` codec). Shared
+// with the fleet protocol (`fleet.rs`), which frames its messages the same
+// way the journal frames its records.
 
-fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+pub(crate) fn put_varint(out: &mut Vec<u8>, mut v: u64) {
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;
@@ -258,30 +263,30 @@ fn put_varint(out: &mut Vec<u8>, mut v: u64) {
     }
 }
 
-fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+pub(crate) fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
     put_varint(out, b.len() as u64);
     out.extend_from_slice(b);
 }
 
-fn put_str(out: &mut Vec<u8>, s: &str) {
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
     put_bytes(out, s.as_bytes());
 }
 
-struct Cursor<'a> {
+pub(crate) struct Cursor<'a> {
     data: &'a [u8],
-    pos: usize,
+    pub(crate) pos: usize,
 }
 
 impl<'a> Cursor<'a> {
-    fn new(data: &'a [u8]) -> Cursor<'a> {
+    pub(crate) fn new(data: &'a [u8]) -> Cursor<'a> {
         Cursor { data, pos: 0 }
     }
 
-    fn err<T>(&self, message: impl Into<String>) -> Result<T, DecodeError> {
+    pub(crate) fn err<T>(&self, message: impl Into<String>) -> Result<T, DecodeError> {
         Err(DecodeError { offset: self.pos, message: message.into() })
     }
 
-    fn byte(&mut self) -> Result<u8, DecodeError> {
+    pub(crate) fn byte(&mut self) -> Result<u8, DecodeError> {
         match self.data.get(self.pos) {
             Some(&b) => {
                 self.pos += 1;
@@ -291,7 +296,7 @@ impl<'a> Cursor<'a> {
         }
     }
 
-    fn varint(&mut self) -> Result<u64, DecodeError> {
+    pub(crate) fn varint(&mut self) -> Result<u64, DecodeError> {
         let mut v = 0u64;
         let mut shift = 0u32;
         loop {
@@ -307,7 +312,7 @@ impl<'a> Cursor<'a> {
         }
     }
 
-    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
         if self.data.len() - self.pos < n {
             return self.err(format!("need {n} bytes, have {}", self.data.len() - self.pos));
         }
@@ -316,12 +321,12 @@ impl<'a> Cursor<'a> {
         Ok(s)
     }
 
-    fn bytes(&mut self) -> Result<Vec<u8>, DecodeError> {
+    pub(crate) fn bytes(&mut self) -> Result<Vec<u8>, DecodeError> {
         let n = self.varint()? as usize;
         Ok(self.take(n)?.to_vec())
     }
 
-    fn string(&mut self) -> Result<String, DecodeError> {
+    pub(crate) fn string(&mut self) -> Result<String, DecodeError> {
         let b = self.bytes()?;
         String::from_utf8(b).map_err(|_| DecodeError {
             offset: self.pos,
@@ -329,14 +334,108 @@ impl<'a> Cursor<'a> {
         })
     }
 
-    fn u64_le(&mut self) -> Result<u64, DecodeError> {
+    pub(crate) fn u64_le(&mut self) -> Result<u64, DecodeError> {
         let b = self.take(8)?;
         Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
     }
 
-    fn done(&self) -> bool {
+    pub(crate) fn done(&self) -> bool {
         self.pos == self.data.len()
     }
+}
+
+// ---------------------------------------------------------------------------
+// Shared sub-codecs: frontier records and coverage travel both inside
+// checkpoints and inside fleet protocol frames.
+
+/// Encodes one frontier record (choice-log prefix + fingerprint).
+pub(crate) fn put_frontier_record(out: &mut Vec<u8>, rec: &FrontierRecord) {
+    put_varint(out, rec.id);
+    put_varint(out, rec.steps_total);
+    put_varint(out, rec.trailing_skips);
+    put_varint(out, rec.picks.len() as u64);
+    for p in &rec.picks {
+        put_varint(out, p.skips);
+        out.push(p.kind as u8);
+        put_varint(out, p.pick as u64);
+    }
+    put_varint(out, rec.fp.pc as u64);
+    put_varint(out, rec.fp.kernel_calls);
+    put_varint(out, rec.fp.boundaries);
+    put_varint(out, rec.fp.workload_pos);
+    put_varint(out, rec.fp.interrupt_budget as u64);
+    put_varint(out, rec.fp.frames as u64);
+    out.extend_from_slice(&rec.fp.decisions_fnv.to_le_bytes());
+}
+
+/// Decodes one frontier record.
+pub(crate) fn read_frontier_record(c: &mut Cursor<'_>) -> Result<FrontierRecord, DecodeError> {
+    let id = c.varint()?;
+    let steps_total = c.varint()?;
+    let trailing_skips = c.varint()?;
+    let npicks = c.varint()? as usize;
+    let mut picks = Vec::with_capacity(npicks.min(1 << 16));
+    for _ in 0..npicks {
+        let skips = c.varint()?;
+        let kb = c.byte()?;
+        let Some(kind) = SiteKind::from_u8(kb) else {
+            return c.err(format!("unknown site kind {kb}"));
+        };
+        let pick = c.varint()? as u32;
+        picks.push(PathPick { skips, kind, pick });
+    }
+    let fp = MachineFingerprint {
+        pc: c.varint()? as u32,
+        kernel_calls: c.varint()?,
+        boundaries: c.varint()?,
+        workload_pos: c.varint()?,
+        interrupt_budget: c.varint()? as u32,
+        frames: c.varint()? as u32,
+        decisions_fnv: c.u64_le()?,
+    };
+    Ok(FrontierRecord { id, steps_total, trailing_skips, picks, fp })
+}
+
+/// Encodes a coverage record (hits + covered set + timeline).
+pub(crate) fn put_coverage(out: &mut Vec<u8>, cov: &CoverageRecord) {
+    put_varint(out, cov.hits.len() as u64);
+    for &(pc, n) in &cov.hits {
+        put_varint(out, pc as u64);
+        put_varint(out, n);
+    }
+    put_varint(out, cov.covered.len() as u64);
+    for &pc in &cov.covered {
+        put_varint(out, pc as u64);
+    }
+    put_varint(out, cov.timeline.len() as u64);
+    for &(ms, blocks) in &cov.timeline {
+        put_varint(out, ms);
+        put_varint(out, blocks);
+    }
+}
+
+/// Decodes a coverage record.
+pub(crate) fn read_coverage(c: &mut Cursor<'_>) -> Result<CoverageRecord, DecodeError> {
+    let nhits = c.varint()? as usize;
+    let mut hits = Vec::with_capacity(nhits.min(1 << 16));
+    for _ in 0..nhits {
+        let pc = c.varint()? as u32;
+        let n = c.varint()?;
+        hits.push((pc, n));
+    }
+    let ncov = c.varint()? as usize;
+    let mut covered = Vec::with_capacity(ncov.min(1 << 16));
+    for _ in 0..ncov {
+        covered.push(c.varint()? as u32);
+    }
+    let ntl = c.varint()? as usize;
+    let mut timeline = Vec::with_capacity(ntl.min(1 << 16));
+    for _ in 0..ntl {
+        let ms = c.varint()?;
+        let blocks = c.varint()?;
+        timeline.push((ms, blocks));
+    }
+    Ok(CoverageRecord { hits, covered, timeline })
 }
 
 // ---------------------------------------------------------------------------
@@ -356,38 +455,10 @@ pub fn encode_checkpoint(ck: &CheckpointFile) -> Vec<u8> {
     out.push(u8::from(ck.finished) | (u8::from(ck.interrupted) << 1));
     put_bytes(&mut out, &ck.stats_json);
     put_bytes(&mut out, &ck.bugs_json);
-    put_varint(&mut out, ck.coverage.hits.len() as u64);
-    for &(pc, n) in &ck.coverage.hits {
-        put_varint(&mut out, pc as u64);
-        put_varint(&mut out, n);
-    }
-    put_varint(&mut out, ck.coverage.covered.len() as u64);
-    for &pc in &ck.coverage.covered {
-        put_varint(&mut out, pc as u64);
-    }
-    put_varint(&mut out, ck.coverage.timeline.len() as u64);
-    for &(ms, blocks) in &ck.coverage.timeline {
-        put_varint(&mut out, ms);
-        put_varint(&mut out, blocks);
-    }
+    put_coverage(&mut out, &ck.coverage);
     put_varint(&mut out, ck.frontier.len() as u64);
     for rec in &ck.frontier {
-        put_varint(&mut out, rec.id);
-        put_varint(&mut out, rec.steps_total);
-        put_varint(&mut out, rec.trailing_skips);
-        put_varint(&mut out, rec.picks.len() as u64);
-        for p in &rec.picks {
-            put_varint(&mut out, p.skips);
-            out.push(p.kind as u8);
-            put_varint(&mut out, p.pick as u64);
-        }
-        put_varint(&mut out, rec.fp.pc as u64);
-        put_varint(&mut out, rec.fp.kernel_calls);
-        put_varint(&mut out, rec.fp.boundaries);
-        put_varint(&mut out, rec.fp.workload_pos);
-        put_varint(&mut out, rec.fp.interrupt_budget as u64);
-        put_varint(&mut out, rec.fp.frames as u64);
-        out.extend_from_slice(&rec.fp.decisions_fnv.to_le_bytes());
+        put_frontier_record(&mut out, rec);
     }
     let sum = fnv1a64(&out);
     out.extend_from_slice(&sum.to_le_bytes());
@@ -425,52 +496,11 @@ pub fn decode_checkpoint(data: &[u8]) -> Result<CheckpointFile, DecodeError> {
     let flags = c.byte()?;
     let stats_json = c.bytes()?;
     let bugs_json = c.bytes()?;
-    let nhits = c.varint()? as usize;
-    let mut hits = Vec::with_capacity(nhits.min(1 << 16));
-    for _ in 0..nhits {
-        let pc = c.varint()? as u32;
-        let n = c.varint()?;
-        hits.push((pc, n));
-    }
-    let ncov = c.varint()? as usize;
-    let mut covered = Vec::with_capacity(ncov.min(1 << 16));
-    for _ in 0..ncov {
-        covered.push(c.varint()? as u32);
-    }
-    let ntl = c.varint()? as usize;
-    let mut timeline = Vec::with_capacity(ntl.min(1 << 16));
-    for _ in 0..ntl {
-        let ms = c.varint()?;
-        let blocks = c.varint()?;
-        timeline.push((ms, blocks));
-    }
+    let coverage = read_coverage(&mut c)?;
     let nfront = c.varint()? as usize;
     let mut frontier = Vec::with_capacity(nfront.min(1 << 16));
     for _ in 0..nfront {
-        let id = c.varint()?;
-        let steps_total = c.varint()?;
-        let trailing_skips = c.varint()?;
-        let npicks = c.varint()? as usize;
-        let mut picks = Vec::with_capacity(npicks.min(1 << 16));
-        for _ in 0..npicks {
-            let skips = c.varint()?;
-            let kb = c.byte()?;
-            let Some(kind) = SiteKind::from_u8(kb) else {
-                return c.err(format!("unknown site kind {kb}"));
-            };
-            let pick = c.varint()? as u32;
-            picks.push(PathPick { skips, kind, pick });
-        }
-        let fp = MachineFingerprint {
-            pc: c.varint()? as u32,
-            kernel_calls: c.varint()?,
-            boundaries: c.varint()?,
-            workload_pos: c.varint()?,
-            interrupt_budget: c.varint()? as u32,
-            frames: c.varint()? as u32,
-            decisions_fnv: c.u64_le()?,
-        };
-        frontier.push(FrontierRecord { id, steps_total, trailing_skips, picks, fp });
+        frontier.push(read_frontier_record(&mut c)?);
     }
     if !c.done() {
         return c.err("trailing bytes after checkpoint body");
@@ -486,7 +516,7 @@ pub fn decode_checkpoint(data: &[u8]) -> Result<CheckpointFile, DecodeError> {
         interrupted: flags & 2 != 0,
         stats_json,
         bugs_json,
-        coverage: CoverageRecord { hits, covered, timeline },
+        coverage,
         frontier,
     })
 }

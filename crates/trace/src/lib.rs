@@ -28,6 +28,7 @@ mod artifact;
 mod bug;
 mod campaign;
 mod codec;
+mod fleet;
 mod minimize;
 mod provenance;
 mod signature;
@@ -43,6 +44,10 @@ pub use campaign::{
     CHECKPOINT_MAGIC, JOURNAL_MAGIC,
 };
 pub use codec::{decode_events, encode_events, DecodeError, TRACE_MAGIC, TRACE_VERSION};
+pub use fleet::{
+    decode_frame, decode_quarantine, encode_frame, encode_quarantine, read_frame, FleetFrame,
+    QuarantineRecord, FLEET_VERSION, QUARANTINE_MAGIC,
+};
 pub use ddt_symvm::{SymOrigin, TraceEvent};
 pub use minimize::{minimize_decisions, MinimizeResult};
 pub use provenance::{provenance_chains, ProvenanceChain};

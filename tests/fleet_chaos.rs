@@ -1,0 +1,227 @@
+//! End-to-end chaos test for the campaign fleet (`ddt serve`).
+//!
+//! Spawns the real binary: a supervisor sharding the frontier across real
+//! worker subprocesses, with the built-in chaos harness SIGKILL-ing workers
+//! mid-campaign. The acceptance property is the strong one from the fleet
+//! design: the final report's schedule-independent census — bugs (keys,
+//! classes, occurrences), coverage, path counts, instructions, symbols —
+//! is **identical** to a single-process `ddt test` run, and the supervisor
+//! log shows lease reassignment with backoff rather than an abort.
+
+#![cfg(unix)]
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use serde::Value;
+
+fn ddt() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ddt"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("ddt-fleet-chaos-{}-{name}", std::process::id()))
+}
+
+/// The workspace's offline `serde` stand-in exposes reports as a
+/// [`Value`] tree; this wrapper lets `from_slice` hand the tree back raw.
+struct Raw(Value);
+
+impl serde::Deserialize for Raw {
+    fn from_value(v: &Value) -> Result<Self, serde::DeError> {
+        Ok(Raw(v.clone()))
+    }
+}
+
+fn get<'a>(v: &'a Value, key: &str) -> &'a Value {
+    match v {
+        Value::Map(entries) => entries
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .unwrap_or_else(|| panic!("field {key:?} missing")),
+        other => panic!("expected a map for {key:?}, got {other:?}"),
+    }
+}
+
+fn as_u64(v: &Value) -> u64 {
+    match v {
+        Value::U64(n) => *n,
+        Value::I64(n) => *n as u64,
+        other => panic!("expected an integer, got {other:?}"),
+    }
+}
+
+fn load_json(path: &Path) -> Value {
+    let bytes =
+        std::fs::read(path).unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let raw: Raw = serde_json::from_slice(&bytes).expect("valid report JSON");
+    raw.0
+}
+
+/// The schedule-independent slice of a JSON report: bugs, coverage, path
+/// census, instructions, symbols, faults. Solver/cache counters are
+/// deliberately excluded — they depend on which worker explored which
+/// shard with how warm a cache.
+fn census(report: &Value) -> (Vec<(String, String, u64)>, Vec<u64>) {
+    let Value::List(bug_list) = get(report, "bugs") else { panic!("bugs not a list") };
+    let mut bugs: Vec<(String, String, u64)> = bug_list
+        .iter()
+        .map(|b| {
+            (
+                get(b, "key").as_str().expect("key").to_string(),
+                get(b, "class").as_str().expect("class").to_string(),
+                as_u64(get(b, "occurrences")),
+            )
+        })
+        .collect();
+    bugs.sort();
+    let s = get(report, "stats");
+    let scalars = [
+        as_u64(get(report, "covered_blocks")),
+        as_u64(get(report, "total_blocks")),
+        as_u64(get(s, "paths_started")),
+        as_u64(get(s, "paths_completed")),
+        as_u64(get(s, "paths_faulted")),
+        as_u64(get(s, "paths_infeasible")),
+        as_u64(get(s, "paths_budget_killed")),
+        as_u64(get(s, "paths_step_budget_killed")),
+        as_u64(get(s, "insns")),
+        as_u64(get(s, "symbols")),
+        as_u64(get(s, "faults_pool")),
+        as_u64(get(s, "faults_shared")),
+        as_u64(get(s, "faults_map")),
+        as_u64(get(s, "faults_registration")),
+        as_u64(get(s, "faults_registry")),
+    ];
+    (bugs, scalars.to_vec())
+}
+
+/// A clean driver surviving two worker SIGKILLs still gets a clean verdict
+/// (exit 0) — degraded infrastructure must never fabricate or hide bugs.
+#[test]
+fn chaos_fleet_on_clean_driver_exits_zero() {
+    let status_file = tmp("clean-status.json");
+    let out = ddt()
+        .args(["serve", "clean_nic", "--workers", "4", "--chaos-kill", "2", "--status-file"])
+        .arg(&status_file)
+        .output()
+        .expect("ddt serve runs");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "clean driver under chaos must exit 0\nstderr:\n{stderr}");
+    assert!(
+        stderr.contains("chaos harness killing worker"),
+        "the chaos kills actually happened:\n{stderr}"
+    );
+    // The live status file survives to the end and is valid JSON with the
+    // lease table and per-worker telemetry.
+    let status = load_json(&status_file);
+    assert!(as_u64(get(&status, "shards_total")) > 0);
+    assert_eq!(as_u64(get(&status, "shards_pending")), 0, "campaign drained");
+    let Value::List(workers) = get(&status, "workers") else { panic!("workers not a list") };
+    assert!(workers.len() >= 4, "at least the initial fleet is listed");
+    get(&workers[0], "states_per_sec"); // Per-worker rate is present.
+    let _ = std::fs::remove_file(&status_file);
+}
+
+/// The acceptance criterion: with a buggy driver, SIGKILL-ing workers
+/// mid-campaign changes nothing about the final report. The supervisor log
+/// must show reassignment with backoff, not an abort.
+#[test]
+fn chaos_fleet_report_matches_serial_baseline() {
+    let serial_json = tmp("serial.json");
+    let chaos_json = tmp("chaos.json");
+
+    let serial = ddt()
+        .args(["test", "pcnet", "--json"])
+        .arg(&serial_json)
+        .output()
+        .expect("ddt test runs");
+    assert_eq!(serial.status.code(), Some(1), "pcnet has bugs");
+
+    let chaos = ddt()
+        .args([
+            "serve",
+            "pcnet",
+            "--workers",
+            "4",
+            "--shard-factor",
+            "6",
+            "--chaos-kill",
+            "2",
+            "--json",
+        ])
+        .arg(&chaos_json)
+        .output()
+        .expect("ddt serve runs");
+    let stderr = String::from_utf8_lossy(&chaos.stderr);
+    assert_eq!(
+        chaos.status.code(),
+        Some(1),
+        "fleet reaches the same buggy verdict\nstderr:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("chaos harness killing worker"),
+        "chaos kills happened:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("backoff"),
+        "lost leases are reassigned with backoff, not dropped:\n{stderr}"
+    );
+    assert!(
+        !stderr.contains("quarantined"),
+        "transient worker death must not quarantine shards:\n{stderr}"
+    );
+
+    let baseline = census(&load_json(&serial_json));
+    let chaos_report = load_json(&chaos_json);
+    assert_eq!(
+        baseline,
+        census(&chaos_report),
+        "the chaos fleet report must be identical to the serial baseline"
+    );
+
+    let health = get(&chaos_report, "health");
+    assert!(as_u64(get(health, "fleet_workers_lost")) >= 2);
+    assert_eq!(as_u64(get(health, "fleet_shards_quarantined")), 0);
+
+    let _ = std::fs::remove_file(&serial_json);
+    let _ = std::fs::remove_file(&chaos_json);
+}
+
+/// A poisoned shard (every attempt fails, on every worker) is quarantined
+/// to the trace store after bounded retries; the rest of the campaign
+/// completes and the quarantine record is on disk.
+#[test]
+fn poisoned_shard_is_quarantined_not_fatal() {
+    let trace_dir = tmp("quarantine-store");
+    let _ = std::fs::remove_dir_all(&trace_dir);
+    let out = ddt()
+        .args(["serve", "pcnet", "--workers", "2", "--max-retries", "1", "--trace-dir"])
+        .arg(&trace_dir)
+        .env("DDT_FLEET_TEST_FAIL_SHARD", "0")
+        .output()
+        .expect("ddt serve runs");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    // The campaign completes with a verdict (0 or 1 depending on which
+    // shards survived) — a poisoned shard must not abort the run.
+    assert!(
+        matches!(out.status.code(), Some(0) | Some(1)),
+        "fleet degrades gracefully\nstderr:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("quarantined after"),
+        "the poisoned shard was quarantined:\n{stderr}"
+    );
+    let qdir = trace_dir.join("quarantine");
+    let records: Vec<_> = std::fs::read_dir(&qdir)
+        .expect("quarantine directory exists")
+        .map(|e| e.unwrap().path())
+        .collect();
+    assert!(!records.is_empty(), "quarantine record persisted");
+    let bytes = std::fs::read(&records[0]).unwrap();
+    let q = ddt::trace::decode_quarantine(&bytes).expect("record decodes");
+    assert_eq!(q.driver, "pcnet");
+    assert!(q.attempts >= 2, "initial attempt plus retries");
+    let _ = std::fs::remove_dir_all(&trace_dir);
+}

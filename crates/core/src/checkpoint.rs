@@ -533,6 +533,23 @@ impl Ddt {
         env: &mut DdtEnv,
         solver: &mut Solver,
     ) -> Result<Machine, String> {
+        self.replay_prefix_observed(dut, rec, env, solver, &mut |_| {})
+    }
+
+    /// [`Ddt::replay_prefix`] with a progress observer: `on_quantum` is
+    /// called after every replayed quantum with the number of steps it
+    /// advanced. Replay of a deep prefix is real work that can outlast a
+    /// watchdog deadline, so callers with a supervisor (the fleet worker)
+    /// use the observer to keep heartbeating while the scratch sinks hide
+    /// the replay from every aggregate.
+    pub(crate) fn replay_prefix_observed(
+        &self,
+        dut: &DriverUnderTest,
+        rec: &FrontierRecord,
+        env: &mut DdtEnv,
+        solver: &mut Solver,
+        on_quantum: &mut dyn FnMut(u64),
+    ) -> Result<Machine, String> {
         let mut m = self.make_root_machine(dut);
         let mut cursor = ReplayCursor::new(rec.picks.clone(), rec.trailing_skips, rec.steps_total);
         let mut scratch_worklist = Vec::new();
@@ -570,6 +587,7 @@ impl Ddt {
             if m.steps_total == before {
                 return Err("replay made no progress".to_string());
             }
+            on_quantum(m.steps_total - before);
         }
         if !cursor.exhausted() {
             return Err("choice log not fully consumed at target step count".to_string());

@@ -434,7 +434,12 @@ enum ShardOutcome {
 /// Replays one leased prefix and explores its subtree to exhaustion,
 /// heartbeating and draining control between quanta. All counters are
 /// shard-local deltas; the prefix replay itself goes to scratch sinks (its
-/// work was already accounted when the bootstrap originally executed it).
+/// work was already accounted when the bootstrap originally executed it),
+/// but each replayed quantum still bumps the worker's `quanta` heartbeat
+/// counter: a deep prefix can legitimately take longer than the lease
+/// timeout to replay, and the supervisor's watchdog must see that as
+/// progress, not a hang. `insns` stays exploration-only so the
+/// supervisor's live budget estimate never double-counts replayed work.
 #[allow(clippy::too_many_arguments)]
 fn explore_shard<W: Write>(
     ddt: &Ddt,
@@ -450,7 +455,24 @@ fn explore_shard<W: Write>(
     send: &impl Fn(&mut W, &FleetFrame) -> io::Result<()>,
     heartbeat: Duration,
 ) -> io::Result<ShardOutcome> {
-    let root = match ddt.replay_prefix(dut, rec, env, solver) {
+    let replayed = {
+        let mut hb_err: Option<io::Error> = None;
+        let st = &mut *st;
+        let mut on_quantum = |_steps: u64| {
+            st.quanta += 1;
+            if hb_err.is_none() {
+                if let Err(e) = st.maybe_heartbeat(output, send, heartbeat, Some(shard), false) {
+                    hb_err = Some(e);
+                }
+            }
+        };
+        let replayed = ddt.replay_prefix_observed(dut, rec, env, solver, &mut on_quantum);
+        if let Some(e) = hb_err {
+            return Err(e);
+        }
+        replayed
+    };
+    let root = match replayed {
         Ok(m) => m,
         Err(why) => return Ok(ShardOutcome::Failed(format!("prefix replay: {why}"))),
     };
@@ -553,6 +575,10 @@ struct WorkerSlot {
     last_progress: Instant,
     last_insns: u64,
     last_quanta: u64,
+    /// Instructions credited by this worker's accepted `ShardDone` reports.
+    /// `last_insns - insns_completed` estimates its in-flight work for the
+    /// supervisor's live budget accounting.
+    insns_completed: u64,
     /// Most recent states/sec estimate (for the status file).
     rate: f64,
     prev_beat: Option<(Instant, u64)>,
@@ -624,6 +650,12 @@ struct Supervisor<'a> {
     chaos_left: u32,
     health_extra: RunHealth,
     interrupted: bool,
+    /// Which campaign budget ("instruction" / "wall-clock") stopped the
+    /// fleet early, if any. The stop is judged from the live estimate
+    /// (completed shards plus heartbeat deltas), which can exceed the
+    /// budget before the folded stats do — the flag keeps the final
+    /// health section truthful about why the run ended.
+    budget_stop: Option<&'static str>,
 }
 
 impl<'a> Supervisor<'a> {
@@ -731,12 +763,67 @@ impl<'a> Supervisor<'a> {
             chaos_left: fc.chaos_kills,
             health_extra: RunHealth::default(),
             interrupted,
+            budget_stop: None,
+        }
+    }
+
+    /// Live campaign-wide instruction estimate: bootstrap work, completed
+    /// shards (exact, from their reported stats), and each live worker's
+    /// in-flight progress (heartbeat counter minus its completed credit).
+    /// Heartbeat `insns` counts exploration only — replayed prefixes bump
+    /// `quanta` instead — so nothing here is double-counted.
+    fn insns_estimate(&self) -> u64 {
+        let done = self.stats.insns
+            + self.results.values().map(|r| r.stats.insns).sum::<u64>();
+        let in_flight: u64 = self
+            .workers
+            .values()
+            .filter(|s| s.alive)
+            .map(|s| s.last_insns.saturating_sub(s.insns_completed))
+            .sum();
+        done + in_flight
+    }
+
+    /// The serial explorer checks its budgets every quantum
+    /// (`Ddt::explore`); the fleet checks the same budgets every
+    /// supervision tick against the live estimate, so `ddt serve` stops
+    /// where `ddt test` would instead of running unbounded.
+    fn budget_exceeded(&self) -> Option<&'static str> {
+        if self.insns_estimate() > self.ddt.config.max_total_insns {
+            Some("instruction")
+        } else if self.coverage.elapsed_ms() > self.ddt.config.time_budget_ms {
+            Some("wall-clock")
+        } else {
+            None
+        }
+    }
+
+    /// Stops the fleet on budget exhaustion: outstanding leases are
+    /// abandoned exactly like the serial explorer abandons its worklist
+    /// (not quarantined — the shards are healthy, the campaign is over).
+    fn stop_on_budget(&mut self, which: &'static str) {
+        self.budget_stop = Some(which);
+        eprintln!(
+            "ddt: fleet: {which} budget exhausted; stopping with {} of {} shard(s) done",
+            self.results.len(),
+            self.leases.len()
+        );
+        for slot in self.workers.values_mut() {
+            if slot.alive {
+                slot.alive = false;
+                slot.handle.kill();
+            }
         }
     }
 
     /// The supervision event loop: spawn the fleet, grant leases, watch
     /// progress, survive deaths, until every lease is Done or Quarantined.
     fn run(&mut self, launcher: &mut dyn WorkerLauncher) {
+        if let Some(which) = self.budget_exceeded() {
+            // The bootstrap alone ate the budget; never spawn the fleet.
+            self.stop_on_budget(which);
+            return;
+        }
         let (events_tx, events) = mpsc::channel::<FleetEvent>();
         for _ in 0..self.fc.workers.max(1) {
             self.spawn_worker(launcher, &events_tx);
@@ -746,6 +833,10 @@ impl<'a> Supervisor<'a> {
         while !self.settled() {
             if self.ddt.config.stop_requested() {
                 self.interrupted = true;
+                break;
+            }
+            if let Some(which) = self.budget_exceeded() {
+                self.stop_on_budget(which);
                 break;
             }
             if self.workers.values().all(|w| !w.alive) {
@@ -802,6 +893,7 @@ impl<'a> Supervisor<'a> {
                     last_progress: Instant::now(),
                     last_insns: 0,
                     last_quanta: 0,
+                    insns_completed: 0,
                     rate: 0.0,
                     prev_beat: None,
                     done: 0,
@@ -944,6 +1036,11 @@ impl<'a> Supervisor<'a> {
                 return;
             }
         };
+        if let Some(slot) = self.workers.get_mut(&w) {
+            // Budget accounting: this shard's instructions move from the
+            // worker's in-flight estimate to the exact completed tally.
+            slot.insns_completed = slot.insns_completed.saturating_add(stats.insns);
+        }
         lease.state = LeaseState::Done;
         self.results.insert(shard, ShardResult { stats, bugs, coverage });
     }
@@ -1071,6 +1168,13 @@ impl<'a> Supervisor<'a> {
             if slot.handle.send(&frame).is_ok() {
                 lease.state = LeaseState::Leased { worker: w, attempt };
                 slot.granted.push_back(shard as u64);
+                // The hang timer starts at grant time. An idle worker's
+                // heartbeats carry frozen counters (deliberately: frozen
+                // counters must not look like progress), so a worker that
+                // sat idle past the lease timeout would otherwise be
+                // killed on the next watchdog tick before it could report
+                // any progress on the lease it just received.
+                slot.last_progress = Instant::now();
             }
             // A failed send means the pipe just died; the Closed event is
             // already in flight and will requeue the lease properly.
@@ -1246,8 +1350,13 @@ impl<'a> Supervisor<'a> {
         // workers send zeros, so this overwrite only ever reflects the
         // supervisor process (bootstrap + its own replays).
         self.stats.sample_interner();
-        let insn_exhausted = self.stats.insns > self.ddt.config.max_total_insns;
-        let wall_exhausted = self.stats.wall_ms > self.ddt.config.time_budget_ms;
+        // Folded stats can sit under the budget even when the live
+        // estimate stopped the run (an in-flight shard's work dies with
+        // its worker); the recorded stop keeps the flags truthful.
+        let insn_exhausted = self.stats.insns > self.ddt.config.max_total_insns
+            || self.budget_stop == Some("instruction");
+        let wall_exhausted = self.stats.wall_ms > self.ddt.config.time_budget_ms
+            || self.budget_stop == Some("wall-clock");
         let mut health = RunHealth::from_stats(&self.stats, insn_exhausted, wall_exhausted);
         health.fleet_workers_spawned = self.health_extra.fleet_workers_spawned;
         health.fleet_workers_lost = self.health_extra.fleet_workers_lost;
@@ -1479,6 +1588,65 @@ mod tests {
         assert!(fleet.health.fleet_workers_lost >= 1, "the hang was detected");
         assert!(fleet.health.fleet_leases_reassigned >= 1, "leases were reassigned");
         assert_eq!(fleet.health.fleet_shards_quarantined, 0);
+    }
+
+    #[test]
+    fn fleet_stops_when_bootstrap_exhausts_budget() {
+        let dut = dut("ensoniq");
+        let mut ddt = Ddt::default();
+        // A budget the bootstrap alone exhausts: the fleet must stop
+        // before spawning a single worker, and the report must say why.
+        ddt.config.max_total_insns = 1;
+        let mut launcher = ThreadLauncher {
+            config: ddt.config.clone(),
+            dut: dut.clone(),
+            opts_for: Box::new(|_| WorkerOpts::default()),
+        };
+        let fc = FleetConfig {
+            workers: 2,
+            shard_factor: 3,
+            heartbeat_ms: 50,
+            ..Default::default()
+        };
+        let fleet = serve(&ddt, &dut, &mut launcher, &fc);
+        assert!(fleet.health.insn_budget_exhausted, "budget stop must be reported");
+        assert_eq!(
+            fleet.health.fleet_workers_spawned, 0,
+            "a budget-dead campaign must not spawn a fleet"
+        );
+        assert_eq!(
+            fleet.health.fleet_shards_quarantined, 0,
+            "budget exhaustion is not a shard fault"
+        );
+    }
+
+    #[test]
+    fn fleet_enforces_instruction_budget_mid_campaign() {
+        let dut = dut("ensoniq");
+        let serial_insns = Ddt::default().test(&dut).stats.insns;
+        let mut ddt = Ddt::default();
+        // Half the campaign's instructions: wherever the supervisor is
+        // when the live estimate crosses the line (granting, draining,
+        // folding), `ddt serve` must stop like `ddt test` would instead
+        // of exploring every shard to exhaustion.
+        ddt.config.max_total_insns = serial_insns / 2;
+        let mut launcher = ThreadLauncher {
+            config: ddt.config.clone(),
+            dut: dut.clone(),
+            opts_for: Box::new(|_| WorkerOpts::default()),
+        };
+        let fc = FleetConfig {
+            workers: 2,
+            shard_factor: 2,
+            heartbeat_ms: 20,
+            ..Default::default()
+        };
+        let fleet = serve(&ddt, &dut, &mut launcher, &fc);
+        assert!(fleet.health.insn_budget_exhausted, "budget stop must be reported");
+        assert_eq!(
+            fleet.health.fleet_shards_quarantined, 0,
+            "abandoned shards are dropped like a serial worklist, not quarantined"
+        );
     }
 
     #[test]

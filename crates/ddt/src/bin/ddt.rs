@@ -520,27 +520,36 @@ fn main() -> ExitCode {
                     },
                 }
             };
+            // Checked narrowing: an out-of-range value is a parse error,
+            // never an `as`-cast truncation that silently configures
+            // something else.
+            let narrow_u32 = |flag: &str, n: u64| -> Result<u32, String> {
+                u32::try_from(n).map_err(|_| format!("bad {flag} value {n}: out of range"))
+            };
+            let narrow_usize = |flag: &str, n: u64| -> Result<usize, String> {
+                usize::try_from(n).map_err(|_| format!("bad {flag} value {n}: out of range"))
+            };
             let parsed = (|| -> Result<(), String> {
                 if let Some(n) = numeric("--workers", 1)? {
-                    fc.workers = n as usize;
+                    fc.workers = narrow_usize("--workers", n)?;
                 }
                 if let Some(n) = numeric("--lease-timeout", 1)? {
                     fc.lease_timeout_ms = n;
                 }
                 if let Some(n) = numeric("--max-retries", 0)? {
-                    fc.max_retries = n as u32;
+                    fc.max_retries = narrow_u32("--max-retries", n)?;
                 }
                 if let Some(n) = numeric("--heartbeat-ms", 1)? {
                     fc.heartbeat_ms = n;
                 }
                 if let Some(n) = numeric("--chaos-kill", 0)? {
-                    fc.chaos_kills = n as u32;
+                    fc.chaos_kills = narrow_u32("--chaos-kill", n)?;
                 }
                 if let Some(n) = numeric("--shard-factor", 1)? {
-                    fc.shard_factor = n as usize;
+                    fc.shard_factor = narrow_usize("--shard-factor", n)?;
                 }
                 if let Some(n) = numeric("--max-respawns", 0)? {
-                    fc.max_respawns = n as u32;
+                    fc.max_respawns = narrow_u32("--max-respawns", n)?;
                 }
                 Ok(())
             })();

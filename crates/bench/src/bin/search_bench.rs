@@ -1,0 +1,205 @@
+//! Search-strategy benchmark: what does coverage guidance buy?
+//!
+//! Runs the pro1000 and pcnet drivers under every [`Strategy`] (serial,
+//! pruning off so the comparison is pure ordering) and reports states
+//! expanded to the first bug and to the last new covered block — the two
+//! quantities a guided search is supposed to shrink. FIFO is the
+//! report-identity baseline: same bugs, same coverage, only the order (and
+//! therefore the quanta-to-X counters) may differ.
+//!
+//! Acceptance gate: on each driver, at least one guided strategy must
+//! strictly beat FIFO on states-expanded-to-first-bug or on
+//! states-expanded-to-full-coverage, and FIFO itself must land the Table 2
+//! bug count. A separate pruning column shows how many duplicate states
+//! `--prune` drops without changing the bug set.
+//!
+//! `--smoke` runs the pcnet subset for CI and still writes the JSON.
+
+use ddt_core::{Ddt, DdtConfig, DriverUnderTest, Report, Strategy};
+use serde::Deserialize;
+
+// Mirror of the emitted JSON, deserialized back as the well-formedness
+// check (the vendored serde has no free-form `Value` parser).
+#[derive(Deserialize)]
+#[allow(dead_code)]
+struct BenchFile {
+    bench: String,
+    smoke: bool,
+    drivers: Vec<BenchDriver>,
+}
+
+#[derive(Deserialize)]
+#[allow(dead_code)]
+struct BenchDriver {
+    driver: String,
+    table2_bugs: u64,
+    guided_winner: String,
+    strategies: Vec<BenchRow>,
+}
+
+#[derive(Deserialize)]
+#[allow(dead_code)]
+struct BenchRow {
+    strategy: String,
+    wall_ms: u64,
+    quanta: u64,
+    quanta_to_first_bug: u64,
+    quanta_to_last_cover: u64,
+    bugs: u64,
+    covered_blocks: u64,
+    states_pruned_with_prune: u64,
+}
+
+struct Row {
+    strategy: &'static str,
+    wall_ms: u64,
+    quanta: u64,
+    first_bug: u64,
+    last_cover: u64,
+    bugs: usize,
+    covered: u64,
+    pruned_with_prune: u64,
+}
+
+fn run(dut: &DriverUnderTest, strategy: Strategy, prune: bool) -> Report {
+    let config = DdtConfig { strategy, prune, ..DdtConfig::default() };
+    Ddt::new(config).test(dut)
+}
+
+fn bench_driver(name: &str, table2_bugs: usize) -> Vec<Row> {
+    let spec = ddt_drivers::driver_by_name(name).expect("bundled driver");
+    let dut = DriverUnderTest::from_spec(&spec);
+    let mut rows = Vec::new();
+    for &strategy in Strategy::ALL.iter() {
+        let report = run(&dut, strategy, false);
+        let pruned = run(&dut, strategy, true);
+        assert_eq!(
+            report.bugs.len(),
+            table2_bugs,
+            "{name}/{}: strategy changed the Table 2 bug count",
+            strategy.name()
+        );
+        assert_eq!(
+            pruned.bugs.len(),
+            table2_bugs,
+            "{name}/{}: pruning changed the Table 2 bug count",
+            strategy.name()
+        );
+        rows.push(Row {
+            strategy: strategy.name(),
+            wall_ms: report.stats.wall_ms,
+            quanta: report.stats.quanta_executed,
+            first_bug: report.stats.quanta_to_first_bug,
+            last_cover: report.stats.quanta_to_last_cover,
+            bugs: report.bugs.len(),
+            covered: report.covered_blocks as u64,
+            pruned_with_prune: pruned.stats.states_pruned,
+        });
+    }
+    rows
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let drivers: &[(&str, usize)] =
+        if smoke { &[("pcnet", 2)] } else { &[("pro1000", 1), ("pcnet", 2)] };
+
+    println!("Search strategies vs FIFO (serial, prune off; pruned column from a --prune run)");
+    println!();
+    let mut driver_blobs = Vec::new();
+    for &(name, table2_bugs) in drivers {
+        let rows = bench_driver(name, table2_bugs);
+        println!("{name} (Table 2: {table2_bugs} bugs)");
+        println!(
+            "  {:<18} {:>8} {:>8} {:>10} {:>11} {:>8} {:>8}",
+            "Strategy", "Wall ms", "Quanta", "->1st bug", "->last cov", "Covered", "Pruned"
+        );
+        for r in &rows {
+            println!(
+                "  {:<18} {:>8} {:>8} {:>10} {:>11} {:>8} {:>8}",
+                r.strategy, r.wall_ms, r.quanta, r.first_bug, r.last_cover, r.covered, r.pruned_with_prune
+            );
+        }
+        println!();
+
+        let fifo = &rows[0];
+        assert_eq!(fifo.strategy, "fifo", "FIFO must be the baseline row");
+        // Every strategy reaches the same coverage and bug set; guidance
+        // only changes *when*. That is what the gate below measures.
+        for r in &rows[1..] {
+            assert_eq!(r.covered, fifo.covered, "{name}/{}: coverage diverged", r.strategy);
+            assert_eq!(r.bugs, fifo.bugs, "{name}/{}: bug count diverged", r.strategy);
+        }
+        let beats = |r: &Row| {
+            (r.first_bug != 0 && fifo.first_bug != 0 && r.first_bug < fifo.first_bug)
+                || r.last_cover < fifo.last_cover
+        };
+        let winner = rows[1..].iter().find(|r| beats(r));
+        assert!(
+            winner.is_some(),
+            "{name}: no guided strategy beat FIFO on states-to-first-bug \
+             ({}) or states-to-full-coverage ({})",
+            fifo.first_bug,
+            fifo.last_cover
+        );
+        println!(
+            "  gate: {} beats fifo (first bug {} vs {}, last cover {} vs {})",
+            winner.unwrap().strategy,
+            winner.unwrap().first_bug,
+            fifo.first_bug,
+            winner.unwrap().last_cover,
+            fifo.last_cover
+        );
+        println!();
+
+        let strategy_json: Vec<String> = rows
+            .iter()
+            .map(|r| {
+                format!(
+                    concat!(
+                        "      {{\"strategy\": \"{}\", \"wall_ms\": {}, \"quanta\": {}, ",
+                        "\"quanta_to_first_bug\": {}, \"quanta_to_last_cover\": {}, ",
+                        "\"bugs\": {}, \"covered_blocks\": {}, \"states_pruned_with_prune\": {}}}"
+                    ),
+                    r.strategy,
+                    r.wall_ms,
+                    r.quanta,
+                    r.first_bug,
+                    r.last_cover,
+                    r.bugs,
+                    r.covered,
+                    r.pruned_with_prune
+                )
+            })
+            .collect();
+        driver_blobs.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"driver\": \"{}\",\n",
+                "      \"table2_bugs\": {},\n",
+                "      \"guided_winner\": \"{}\",\n",
+                "      \"strategies\": [\n{}\n      ]\n",
+                "    }}"
+            ),
+            name,
+            table2_bugs,
+            winner.unwrap().strategy,
+            strategy_json.join(",\n")
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"search\",\n  \"smoke\": {},\n  \"drivers\": [\n{}\n  ]\n}}\n",
+        smoke,
+        driver_blobs.join(",\n")
+    );
+    // Well-formedness check before writing: the CI job parses this file.
+    let parsed: BenchFile = serde_json::from_str(&json).expect("bench JSON is well-formed");
+    assert_eq!(parsed.bench, "search");
+    assert_eq!(parsed.drivers.len(), drivers.len());
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_search.json");
+    match std::fs::write(out, &json) {
+        Ok(()) => println!("wrote {out}"),
+        Err(e) => eprintln!("cannot write {out}: {e}"),
+    }
+}

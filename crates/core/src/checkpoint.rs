@@ -132,6 +132,10 @@ pub struct CampaignSeed {
     pub replayed_ok: u64,
     /// Frontier paths dropped on divergence (run-health counter).
     pub replay_failed: u64,
+    /// Structural-fingerprint prune set snapshot (`--prune` campaigns):
+    /// (fingerprint hash, covered-block count at last sighting). Empty when
+    /// pruning was off.
+    pub prune_seen: Vec<(u64, u64)>,
 }
 
 /// Appends the write-ahead journal and publishes frontier checkpoints.
@@ -336,6 +340,7 @@ pub(crate) fn checkpoint_file(
     bugs: &HashMap<String, Bug>,
     next_id: u64,
     frontier: &[Machine],
+    prune_seen: Vec<(u64, u64)>,
     finished: bool,
     interrupted: bool,
 ) -> CheckpointFile {
@@ -361,6 +366,7 @@ pub(crate) fn checkpoint_file(
             timeline: timeline.into_iter().map(|(ms, n)| (ms, n as u64)).collect(),
         },
         frontier: frontier.iter().map(frontier_record).collect(),
+        prune_seen,
     }
 }
 
@@ -373,6 +379,8 @@ pub(crate) fn frontier_record(m: &Machine) -> FrontierRecord {
         trailing_skips: m.trailing_skips,
         picks: m.picks_vec(),
         fp: m.fingerprint(),
+        cov_fresh: m.cov_fresh,
+        cov_stamp: m.cov_stamp,
     }
 }
 
@@ -519,6 +527,7 @@ impl Ddt {
             next_checkpoint_seq: ck.seq + 1,
             replayed_ok,
             replay_failed,
+            prune_seen: ck.prune_seen,
         }
     }
 
@@ -600,6 +609,12 @@ impl Ddt {
             ));
         }
         m.id = rec.id;
+        // Search metadata is not derivable from the choice log (it depends
+        // on global coverage at fork time), so restore it from the record —
+        // guided strategies rank a resumed frontier exactly like the
+        // uninterrupted run would.
+        m.cov_fresh = rec.cov_fresh;
+        m.cov_stamp = rec.cov_stamp;
         Ok(m)
     }
 }

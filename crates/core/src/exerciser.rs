@@ -56,6 +56,7 @@ use crate::faults::{FaultInjector, FaultPlan};
 use crate::hardware::DdtEnv;
 use crate::machine::{Frame, Machine, SymHost};
 use crate::report::{Bug, Decision, ExploreStats, Report, RunHealth};
+use crate::search::{Frontier, PruneSet, Strategy};
 use ddt_drivers::workload::{WorkloadOp, OID_BASE};
 use ddt_drivers::DriverClass;
 
@@ -122,6 +123,15 @@ pub struct DdtConfig {
     /// explorer drains in-flight quanta, writes a final checkpoint (if a
     /// campaign is active), and returns a partial report.
     pub stop_flag: Option<Arc<AtomicBool>>,
+    /// Frontier search strategy (`--strategy`). The default `fifo` is the
+    /// report-identity baseline; the guided strategies reorder expansion
+    /// only, so all of them find the same bug set (the
+    /// `search_differential` harness pins this).
+    pub strategy: Strategy,
+    /// Opt-in structural-fingerprint pruning (`--prune` / `--no-prune`):
+    /// drop a forked state whose [`Machine::fingerprint`] already appeared
+    /// at the same pc with no coverage delta since.
+    pub prune: bool,
 }
 
 impl Default for DdtConfig {
@@ -144,6 +154,8 @@ impl Default for DdtConfig {
             trace_dir: None,
             checkpoint: None,
             stop_flag: None,
+            strategy: Strategy::Fifo,
+            prune: false,
         }
     }
 }
@@ -178,7 +190,7 @@ impl DdtConfig {
     /// invisible to path selection.
     pub fn fingerprint(&self) -> u64 {
         let desc = format!(
-            "v1:ann={:?}:mem={}:irq={}:states={}:insns={}:per_inv={}:path={}:wall={}:faults={:016x}",
+            "v1:ann={:?}:mem={}:irq={}:states={}:insns={}:per_inv={}:path={}:wall={}:faults={:016x}:strat={}:prune={}",
             self.annotations,
             self.check_memory,
             self.interrupt_budget,
@@ -188,6 +200,8 @@ impl DdtConfig {
             self.max_path_insns,
             self.time_budget_ms,
             self.fault_plan.fingerprint(),
+            self.strategy.name(),
+            self.prune,
         );
         ddt_trace::fnv1a64(desc.as_bytes())
     }
@@ -328,6 +342,9 @@ impl Ddt {
         let run_cache = self.config.run_cache();
         let mut solver = self.config.solver_for(&run_cache);
         let analysis = analysis::analyze(&dut.image);
+        // Built before `analysis` moves into the coverage tracker:
+        // bug-directed precomputes its CFG distance map here.
+        let strategy_rt = self.config.strategy.runtime(&analysis);
         let stack = StackLayout::default();
         let mut env = DdtEnv::new(
             DEVICE_MMIO_BASE,
@@ -337,7 +354,7 @@ impl Ddt {
         );
         env.check_memory = self.config.check_memory;
 
-        let (mut coverage, mut stats, mut bugs, mut next_id, mut worklist, first_seq, replays) =
+        let (mut coverage, mut stats, mut bugs, mut next_id, worklist, first_seq, replays, seen) =
             match seed {
                 Some(s) => (
                     Coverage::seeded(
@@ -353,6 +370,7 @@ impl Ddt {
                     s.frontier,
                     s.next_checkpoint_seq,
                     (s.replayed_ok, s.replay_failed),
+                    s.prune_seen,
                 ),
                 None => {
                     // Root machine: image + stack mapped, kernel configured,
@@ -363,9 +381,20 @@ impl Ddt {
                         paths_started: 1,
                         ..Default::default()
                     };
-                    (Coverage::new(analysis), stats, HashMap::new(), 1, vec![root], 0, (0, 0))
+                    (
+                        Coverage::new(analysis),
+                        stats,
+                        HashMap::new(),
+                        1,
+                        vec![root],
+                        0,
+                        (0, 0),
+                        Vec::new(),
+                    )
                 }
             };
+        let mut frontier = Frontier::new(strategy_rt, worklist);
+        let mut prune = self.config.prune.then(|| PruneSet::seeded(seen));
         // Solver counters restored from a checkpoint are this campaign's
         // prefix; this process's solver starts at zero, so fold additively.
         let solver_base = (
@@ -399,7 +428,7 @@ impl Ddt {
         let mut quanta_since_checkpoint: u64 = 0;
         let mut interrupted = false;
 
-        while !worklist.is_empty() {
+        while !frontier.is_empty() {
             if self.config.stop_requested() {
                 interrupted = true;
                 break;
@@ -409,26 +438,11 @@ impl Ddt {
             {
                 break;
             }
-            // EXE-style heuristic: pick the state whose next block is the
-            // least executed (§4.3). For large worklists the scan samples a
-            // deterministic stride — an O(1)-ish approximation that keeps
-            // the cold-block bias without a full O(n) pass per quantum.
-            const SCAN_LIMIT: usize = 64;
-            let best = if worklist.len() <= SCAN_LIMIT {
-                worklist
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, m)| coverage.priority(m.st.cpu.pc))
-                    .map(|(i, _)| i)
-                    .expect("worklist non-empty")
-            } else {
-                let stride = worklist.len() / SCAN_LIMIT;
-                (0..SCAN_LIMIT)
-                    .map(|k| (k * stride) % worklist.len())
-                    .min_by_key(|&i| coverage.priority(worklist[i].st.cpu.pc))
-                    .expect("worklist non-empty")
-            };
-            let mut m = worklist.swap_remove(best);
+            // Pick the state the strategy ranks first (the default `fifo`
+            // reproduces the historic EXE-style min-block-hit scan, §4.3).
+            let mut m = frontier.pop(&coverage).expect("frontier non-empty");
+            let n_before = frontier.len();
+            let covered_before = coverage.covered_blocks();
             let mut exec_pcs = Vec::with_capacity(QUANTUM as usize);
             let mut new_bug_keys = Vec::new();
             let mut fork_events = Vec::new();
@@ -437,7 +451,7 @@ impl Ddt {
             // the run. The incident is counted in the run health section.
             let survived = catch_unwind(AssertUnwindSafe(|| {
                 let mut sinks = QuantumSinks {
-                    worklist: &mut worklist,
+                    worklist: frontier.storage_mut(),
                     next_id: &mut next_id,
                     stats: &mut stats,
                     bugs: &mut bugs,
@@ -460,6 +474,43 @@ impl Ddt {
             for pc in exec_pcs {
                 coverage.on_exec(pc);
             }
+            // Search bookkeeping: quantum ordinal, coverage delta, and the
+            // per-state metadata the guided strategies rank by.
+            stats.quanta_executed += 1;
+            let stamp = stats.quanta_executed;
+            let covered_now = coverage.covered_blocks();
+            let fresh = (covered_now - covered_before) as u64;
+            if fresh > 0 {
+                stats.quanta_to_last_cover = stamp;
+            }
+            if stats.quanta_to_first_bug == 0 && !bugs.is_empty() {
+                stats.quanta_to_first_bug = stamp;
+            }
+            m.cov_fresh = fresh;
+            m.cov_stamp = stamp;
+            {
+                let storage = frontier.storage_mut();
+                for child in storage[n_before..].iter_mut() {
+                    child.cov_fresh = fresh;
+                    child.cov_stamp = stamp;
+                }
+                // Opt-in pruning: drop children whose structural fingerprint
+                // already appeared with no coverage delta since. Only this
+                // quantum's forks are candidates — never the parent, never
+                // states restored from a checkpoint.
+                if let Some(p) = prune.as_mut() {
+                    let mut i = n_before;
+                    while i < storage.len() {
+                        let h = PruneSet::fp_hash(&storage[i].fingerprint());
+                        if p.check(h, covered_now as u64) {
+                            storage.swap_remove(i);
+                            stats.states_pruned += 1;
+                        } else {
+                            i += 1;
+                        }
+                    }
+                }
+            }
             if let Some(c) = campaign.as_mut() {
                 for (parent, child, kind) in fork_events.drain(..) {
                     c.record(&JournalRecord::Forked { parent, child, kind });
@@ -474,16 +525,17 @@ impl Ddt {
                 }
             }
             if alive {
-                worklist.push(m);
+                frontier.push(m);
             }
-            stats.peak_states = stats.peak_states.max(worklist.len() + 1);
+            stats.peak_states = stats.peak_states.max(frontier.len() + 1);
             quanta_since_checkpoint += 1;
             if let Some(c) = campaign.as_mut() {
                 if quanta_since_checkpoint >= c.every_quanta() {
                     quanta_since_checkpoint = 0;
                     stats.wall_ms = coverage.elapsed_ms();
                     fold_solver(&mut stats, &solver);
-                    let ck = checkpoint_file(dut, self, &coverage, &stats, &bugs, next_id, &worklist, false, false);
+                    let seen = prune.as_ref().map(|p| p.snapshot()).unwrap_or_default();
+                    let ck = checkpoint_file(dut, self, &coverage, &stats, &bugs, next_id, frontier.as_slice(), seen, false, false);
                     c.write_checkpoint(ck);
                 }
             }
@@ -502,11 +554,12 @@ impl Ddt {
             if interrupted {
                 c.record(&JournalRecord::Interrupted);
             }
-            let finished = worklist.is_empty();
+            let finished = frontier.is_empty();
             if finished {
                 c.record(&JournalRecord::Finished { distinct_bugs: bugs.len() as u64 });
             }
-            let ck = checkpoint_file(dut, self, &coverage, &stats, &bugs, next_id, &worklist, finished, interrupted);
+            let seen = prune.as_ref().map(|p| p.snapshot()).unwrap_or_default();
+            let ck = checkpoint_file(dut, self, &coverage, &stats, &bugs, next_id, frontier.as_slice(), seen, finished, interrupted);
             c.write_checkpoint(ck);
             c.finish();
             health.checkpoints_written = c.checkpoints_written;

@@ -52,6 +52,7 @@ use crate::coverage::Coverage;
 use crate::exerciser::{Ddt, DriverUnderTest, QuantumSinks};
 use crate::hardware::DdtEnv;
 use crate::report::{Bug, ExploreStats, Report, RunHealth};
+use crate::search::{PruneSet, Strategy};
 
 /// Fleet supervisor configuration.
 #[derive(Clone, Debug)]
@@ -484,8 +485,33 @@ fn explore_shard<W: Write>(
     let mut hits: HashMap<u32, u64> = HashMap::new();
     let mut covered: BTreeSet<u32> = BTreeSet::new();
     let mut since_control: u64 = 0;
+    // Guided strategies rank against a shard-local coverage census (the
+    // supervisor's merged view is not visible from here); Fifo keeps the
+    // historic LIFO pop. Pruning is likewise shard-local.
+    let mut guided = (!matches!(ddt.config.strategy, Strategy::Fifo)).then(|| {
+        (
+            ddt.config.strategy.runtime(analysis),
+            Coverage::new(analysis.clone()),
+        )
+    });
+    let mut prune = ddt.config.prune.then(PruneSet::new);
 
-    while let Some(mut m) = worklist.pop() {
+    loop {
+        let mut m = match &mut guided {
+            None => match worklist.pop() {
+                Some(m) => m,
+                None => break,
+            },
+            Some((strategy, cov)) => {
+                if worklist.is_empty() {
+                    break;
+                }
+                let i = strategy.select(&worklist, cov);
+                worklist.swap_remove(i)
+            }
+        };
+        let n_before = worklist.len();
+        let covered_before = covered.len();
         let mut exec_pcs = Vec::new();
         let mut new_bug_keys = Vec::new();
         let mut fork_events = Vec::new();
@@ -515,6 +541,37 @@ fn explore_shard<W: Write>(
                 *hits.entry(pc).or_insert(0) += 1;
                 covered.insert(pc);
                 st.covered.insert(pc);
+            }
+            if let Some((_, cov)) = guided.as_mut() {
+                cov.on_exec(pc);
+            }
+        }
+        stats.quanta_executed += 1;
+        let stamp = stats.quanta_executed;
+        let covered_now = covered.len();
+        let fresh = (covered_now - covered_before) as u64;
+        if fresh > 0 {
+            stats.quanta_to_last_cover = stamp;
+        }
+        if stats.quanta_to_first_bug == 0 && !bugs.is_empty() {
+            stats.quanta_to_first_bug = stamp;
+        }
+        m.cov_fresh = fresh;
+        m.cov_stamp = stamp;
+        for child in worklist[n_before..].iter_mut() {
+            child.cov_fresh = fresh;
+            child.cov_stamp = stamp;
+        }
+        if let Some(p) = prune.as_mut() {
+            let mut i = n_before;
+            while i < worklist.len() {
+                let h = PruneSet::fp_hash(&worklist[i].fingerprint());
+                if p.check(h, covered_now as u64) {
+                    worklist.swap_remove(i);
+                    stats.states_pruned += 1;
+                } else {
+                    i += 1;
+                }
             }
         }
         if alive {
@@ -675,6 +732,11 @@ impl<'a> Supervisor<'a> {
             stack.initial_sp(),
         );
         env.check_memory = ddt.config.check_memory;
+        // Guided strategies need the runtime built while `analysis` is still
+        // ours; Fifo keeps the historic full cold-block scan below.
+        let strategy_rt = (!matches!(ddt.config.strategy, Strategy::Fifo))
+            .then(|| ddt.config.strategy.runtime(&analysis));
+        let mut prune = ddt.config.prune.then(PruneSet::new);
         let mut coverage = Coverage::new(analysis);
         let root = ddt.make_root_machine(dut);
         let mut stats = ExploreStats {
@@ -699,13 +761,19 @@ impl<'a> Supervisor<'a> {
             }
             // Same cold-block selection as the serial explorer; the census
             // is order-independent, this just keeps bootstrap efficient.
-            let best = worklist
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, m)| coverage.priority(m.st.cpu.pc))
-                .map(|(i, _)| i)
-                .expect("worklist non-empty");
+            // Guided strategies supply their own selector instead.
+            let best = match &strategy_rt {
+                Some(s) => s.select(&worklist, &coverage),
+                None => worklist
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, m)| coverage.priority(m.st.cpu.pc))
+                    .map(|(i, _)| i)
+                    .expect("worklist non-empty"),
+            };
             let mut m = worklist.swap_remove(best);
+            let n_before = worklist.len();
+            let covered_before = coverage.covered_blocks();
             let mut exec_pcs = Vec::new();
             let mut new_bug_keys = Vec::new();
             let mut fork_events = Vec::new();
@@ -731,6 +799,34 @@ impl<'a> Supervisor<'a> {
             };
             for pc in exec_pcs {
                 coverage.on_exec(pc);
+            }
+            stats.quanta_executed += 1;
+            let stamp = stats.quanta_executed;
+            let covered_now = coverage.covered_blocks();
+            let fresh = (covered_now - covered_before) as u64;
+            if fresh > 0 {
+                stats.quanta_to_last_cover = stamp;
+            }
+            if stats.quanta_to_first_bug == 0 && !bugs.is_empty() {
+                stats.quanta_to_first_bug = stamp;
+            }
+            m.cov_fresh = fresh;
+            m.cov_stamp = stamp;
+            for child in worklist[n_before..].iter_mut() {
+                child.cov_fresh = fresh;
+                child.cov_stamp = stamp;
+            }
+            if let Some(p) = prune.as_mut() {
+                let mut i = n_before;
+                while i < worklist.len() {
+                    let h = PruneSet::fp_hash(&worklist[i].fingerprint());
+                    if p.check(h, covered_now as u64) {
+                        worklist.swap_remove(i);
+                        stats.states_pruned += 1;
+                    } else {
+                        i += 1;
+                    }
+                }
             }
             if alive {
                 worklist.push(m);

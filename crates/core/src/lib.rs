@@ -45,6 +45,7 @@ pub mod machine;
 pub mod parallel;
 pub mod replay;
 pub mod report;
+pub mod search;
 pub mod tracestore;
 
 pub use analysis::{analyze_bug, BugAnalysis, DeviceSpec};
@@ -62,4 +63,5 @@ pub use machine::{Frame, Machine, SymHost};
 pub use parallel::{resume_parallel, test_parallel};
 pub use replay::{decision_streams, replay_bug, ReplayOutcome};
 pub use report::{Bug, BugClass, Decision, ExploreStats, Report, RunHealth};
+pub use search::{Frontier, PruneSet, SearchStrategy, Strategy};
 pub use tracestore::{artifact_from_bug, bug_from_artifact, persist_bugs, replay_artifact};

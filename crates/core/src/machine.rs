@@ -177,6 +177,13 @@ pub struct Machine {
     /// Exploration-loop steps executed on this machine (the replay stop
     /// point when the machine is reconstructed from a checkpoint).
     pub steps_total: u64,
+    /// Blocks newly covered by this machine's most recent quantum (search
+    /// metadata for the coverage-new-first strategy; not part of the
+    /// machine's identity and excluded from [`Machine::fingerprint`]).
+    pub cov_fresh: u64,
+    /// Quantum sequence number at which `cov_fresh` was recorded (newer
+    /// discoveries outrank stale ones).
+    pub cov_stamp: u64,
     /// Unique id (diagnostics).
     pub id: u64,
 }
@@ -201,6 +208,8 @@ impl Machine {
             picks: None,
             trailing_skips: 0,
             steps_total: 0,
+            cov_fresh: 0,
+            cov_stamp: 0,
             id: 0,
         }
     }
@@ -224,6 +233,8 @@ impl Machine {
             picks: self.picks.clone(),
             trailing_skips: self.trailing_skips,
             steps_total: self.steps_total,
+            cov_fresh: self.cov_fresh,
+            cov_stamp: self.cov_stamp,
             id: new_id,
         }
     }
@@ -248,6 +259,8 @@ impl Machine {
             picks: self.picks.clone(),
             trailing_skips: self.trailing_skips,
             steps_total: self.steps_total,
+            cov_fresh: self.cov_fresh,
+            cov_stamp: self.cov_stamp,
             id: new_id,
         }
     }

@@ -41,6 +41,7 @@ use crate::exerciser::{Ddt, DriverUnderTest, QuantumSinks};
 use crate::hardware::DdtEnv;
 use crate::machine::Machine;
 use crate::report::{Bug, ExploreStats, Report, RunHealth};
+use crate::search::{PruneSet, SearchStrategy, Strategy};
 
 /// Poison-tolerant lock: a worker that panicked mid-update may leave the
 /// mutex poisoned, but every guarded structure here (coverage counters, bug
@@ -52,6 +53,73 @@ fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 
 /// Ids reserved per quantum (a quantum forks far fewer states than this).
 const QUANTUM_ID_BLOCK: u64 = 1 << 12;
+
+/// The workers' shared frontier. The `fifo` strategy keeps the historic
+/// lock-free queue (per-worker FIFO, byte-identical to the pre-strategy
+/// explorer); guided strategies trade it for a small mutex-guarded vector
+/// so every pop can rank the whole frontier against live coverage.
+enum SharedFrontier {
+    /// Lock-free FIFO (the Cloud9-style throughput default).
+    Fifo(SegQueue<Machine>),
+    /// Strategy-ranked frontier. Lock order is frontier → coverage (pop is
+    /// the only place both are held; nothing acquires them the other way).
+    Guided { items: Mutex<Vec<Machine>>, strategy: Box<dyn SearchStrategy> },
+}
+
+impl SharedFrontier {
+    fn push(&self, m: Machine) {
+        match self {
+            SharedFrontier::Fifo(q) => q.push(m),
+            SharedFrontier::Guided { items, .. } => relock(items).push(m),
+        }
+    }
+
+    fn pop(&self, coverage: &Mutex<Coverage>) -> Option<Machine> {
+        match self {
+            SharedFrontier::Fifo(q) => q.pop(),
+            SharedFrontier::Guided { items, strategy } => {
+                let mut v = relock(items);
+                if v.is_empty() {
+                    return None;
+                }
+                let i = {
+                    let cov = relock(coverage);
+                    strategy.select(&v, &cov)
+                };
+                Some(v.swap_remove(i))
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            SharedFrontier::Fifo(q) => q.len(),
+            SharedFrontier::Guided { items, .. } => relock(items).len(),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        match self {
+            SharedFrontier::Fifo(q) => q.is_empty(),
+            SharedFrontier::Guided { items, .. } => relock(items).is_empty(),
+        }
+    }
+
+    /// Removes every pending machine (checkpoint cuts and the final
+    /// snapshot). Order is preserved on re-push.
+    fn drain(&self) -> Vec<Machine> {
+        match self {
+            SharedFrontier::Fifo(q) => {
+                let mut v = Vec::new();
+                while let Some(m) = q.pop() {
+                    v.push(m);
+                }
+                v
+            }
+            SharedFrontier::Guided { items, .. } => std::mem::take(&mut *relock(items)),
+        }
+    }
+}
 
 /// Runs the exploration across `workers` threads.
 ///
@@ -113,13 +181,20 @@ pub(crate) fn explore_parallel(
     let workers = workers.max(1);
     let analysis = analysis::analyze(&dut.image);
     let stack = StackLayout::default();
-    let queue: SegQueue<Machine> = SegQueue::new();
+    let queue = match ddt.config.strategy {
+        Strategy::Fifo => SharedFrontier::Fifo(SegQueue::new()),
+        s => SharedFrontier::Guided {
+            items: Mutex::new(Vec::new()),
+            strategy: s.runtime(&analysis),
+        },
+    };
 
     // One counterexample cache for the whole worker pool: a constraint set
     // solved (or refuted) by any worker is a cache hit for every other.
     let run_cache = ddt.config.run_cache();
 
-    let (coverage, agg_init, bugs_init, first_id, first_seq, base_ms, replays) = match seed {
+    let (coverage, agg_init, bugs_init, first_id, first_seq, base_ms, replays, seen) = match seed
+    {
         Some(s) => {
             for m in s.frontier {
                 queue.push(m);
@@ -138,6 +213,7 @@ pub(crate) fn explore_parallel(
                 s.next_checkpoint_seq,
                 s.base_wall_ms,
                 (s.replayed_ok, s.replay_failed),
+                s.prune_seen,
             )
         }
         None => {
@@ -148,9 +224,11 @@ pub(crate) fn explore_parallel(
                 ..Default::default()
             };
             queue.push(root);
-            (Coverage::new(analysis), stats, HashMap::new(), 1, 0, 0, (0, 0))
+            (Coverage::new(analysis), stats, HashMap::new(), 1, 0, 0, (0, 0), Vec::new())
         }
     };
+    let prune: Option<Mutex<PruneSet>> =
+        ddt.config.prune.then(|| Mutex::new(PruneSet::seeded(seen)));
     let coverage = Mutex::new(coverage);
     let agg_stats: Mutex<ExploreStats> = Mutex::new(agg_init);
     let merged: Mutex<HashMap<String, Bug>> = Mutex::new(bugs_init);
@@ -215,7 +293,7 @@ pub(crate) fn explore_parallel(
                     // the "queue empty + nothing in flight" conclusion while
                     // work is still materializing (premature quiescence).
                     in_flight.fetch_add(1, Ordering::AcqRel);
-                    let Some(mut m) = queue.pop() else {
+                    let Some(mut m) = queue.pop(&coverage) else {
                         let before = in_flight.fetch_sub(1, Ordering::AcqRel);
                         if before == 1 && queue.is_empty() && !want_cut.load(Ordering::Acquire) {
                             break; // Global quiescence: no work anywhere.
@@ -264,16 +342,42 @@ pub(crate) fn explore_parallel(
                         }
                     };
                     total_insns.fetch_add(exec_pcs.len() as u64, Ordering::Relaxed);
-                    {
+                    let (fresh, covered_now) = {
                         let mut cov = relock(&coverage);
+                        let before = cov.covered_blocks();
                         for pc in exec_pcs {
                             cov.on_exec(pc);
                         }
+                        let now = cov.covered_blocks();
+                        ((now - before) as u64, now as u64)
+                    };
+                    // Opt-in structural pruning: drop this quantum's forks
+                    // whose fingerprint repeats with no coverage delta. The
+                    // shared seen-set makes the decision global, like the
+                    // serial explorer's.
+                    if let Some(p) = &prune {
+                        let mut ps = relock(p);
+                        local_forks.retain(|f| {
+                            if ps.check(PruneSet::fp_hash(&f.fingerprint()), covered_now) {
+                                local_stats.states_pruned += 1;
+                                false
+                            } else {
+                                true
+                            }
+                        });
                     }
                     local_stats.peak_states = local_stats.peak_states.max(queue.len() + 1);
-                    {
+                    let stamp = {
                         let mut agg = relock(&agg_stats);
                         merge_stats(&mut agg, &local_stats);
+                        agg.quanta_executed += 1;
+                        let stamp = agg.quanta_executed;
+                        if fresh > 0 {
+                            agg.quanta_to_last_cover = agg.quanta_to_last_cover.max(stamp);
+                        }
+                        if agg.quanta_to_first_bug == 0 && !local_bugs.is_empty() {
+                            agg.quanta_to_first_bug = stamp;
+                        }
                         let s = solver.stats();
                         agg.solver_queries += s.queries - prev_solver.queries;
                         agg.solver_fast_hits += s.fast_path_hits - prev_solver.fast;
@@ -297,7 +401,8 @@ pub(crate) fn explore_parallel(
                             probes: s.session_probes,
                             resets: s.session_resets,
                         };
-                    }
+                        stamp
+                    };
                     if !local_bugs.is_empty() {
                         // Merge keyed bugs, summing sightings on collisions
                         // (plain extend would silently drop counts).
@@ -327,10 +432,14 @@ pub(crate) fn explore_parallel(
                             });
                         }
                     }
-                    for fork in local_forks {
+                    for mut fork in local_forks {
+                        fork.cov_fresh = fresh;
+                        fork.cov_stamp = stamp;
                         queue.push(fork);
                     }
                     if alive {
+                        m.cov_fresh = fresh;
+                        m.cov_stamp = stamp;
                         queue.push(m);
                     }
                     in_flight.fetch_sub(1, Ordering::AcqRel);
@@ -356,15 +465,16 @@ pub(crate) fn explore_parallel(
                             {
                                 std::thread::yield_now();
                             }
-                            let mut frontier = Vec::new();
-                            while let Some(mm) = queue.pop() {
-                                frontier.push(mm);
-                            }
+                            let frontier = queue.drain();
                             {
                                 let mut snap = relock(&agg_stats).clone();
                                 snap.wall_ms = base_ms + started.elapsed().as_millis() as u64;
                                 let bugs_snap = relock(&merged);
                                 let cov = relock(&coverage);
+                                let seen = prune
+                                    .as_ref()
+                                    .map(|p| relock(p).snapshot())
+                                    .unwrap_or_default();
                                 let ck = checkpoint_file(
                                     dut,
                                     ddt,
@@ -373,6 +483,7 @@ pub(crate) fn explore_parallel(
                                     &bugs_snap,
                                     next_id.load(Ordering::Relaxed),
                                     &frontier,
+                                    seen,
                                     false,
                                     false,
                                 );
@@ -380,7 +491,7 @@ pub(crate) fn explore_parallel(
                                 drop(bugs_snap);
                                 relock(c).write_checkpoint(ck);
                             }
-                            // FIFO order preserved: drained front first.
+                            // Order preserved: drained front first.
                             for mm in frontier {
                                 queue.push(mm);
                             }
@@ -408,10 +519,7 @@ pub(crate) fn explore_parallel(
     health.resume_replay_failures = replays.1;
     if let Some(c) = campaign {
         let mut w = c.into_inner().unwrap_or_else(PoisonError::into_inner);
-        let mut frontier = Vec::new();
-        while let Some(m) = queue.pop() {
-            frontier.push(m);
-        }
+        let frontier = queue.drain();
         if was_interrupted {
             w.record(&JournalRecord::Interrupted);
         }
@@ -419,6 +527,7 @@ pub(crate) fn explore_parallel(
         if finished {
             w.record(&JournalRecord::Finished { distinct_bugs: bugs_map.len() as u64 });
         }
+        let seen = prune.as_ref().map(|p| relock(p).snapshot()).unwrap_or_default();
         let ck = checkpoint_file(
             dut,
             ddt,
@@ -427,6 +536,7 @@ pub(crate) fn explore_parallel(
             &bugs_map,
             next_id.load(Ordering::Relaxed),
             &frontier,
+            seen,
             finished,
             was_interrupted,
         );

@@ -89,6 +89,8 @@ fn usage() -> ExitCode {
         "usage:\n  ddt test <driver.dxe|name> [--audio] [--registry K=V]... \
          [--no-annotations] [--no-memcheck] [--faults] [--workers N] \
          [--no-query-cache] [--no-slicing] [--no-incremental] \
+         [--strategy fifo|coverage-new-first|rarest-branch|bug-directed] \
+         [--prune] [--no-prune] \
          [--json FILE] [--replay] [--health] \
          [--trace-dir DIR] [--checkpoint-dir DIR] [--checkpoint-every N] \
          [--resume DIR] [--max-path-insns N]\n  \
@@ -208,6 +210,21 @@ fn parse_config(args: &[String]) -> Result<ddt::DdtConfig, String> {
     }
     if args.iter().any(|a| a == "--no-incremental") {
         config.use_incremental = false;
+    }
+    // Search strategy and fingerprint pruning. Both are fingerprinted, so
+    // supervisor and workers agree, and a resume refuses a mismatched
+    // strategy. `--no-prune` is the escape hatch that wins over `--prune`.
+    if let Some(name) = flag_value(args, "--strategy") {
+        match ddt::Strategy::parse(&name) {
+            Some(s) => config.strategy = s,
+            None => return Err(format!("bad --strategy value {name:?}")),
+        }
+    }
+    if args.iter().any(|a| a == "--prune") {
+        config.prune = true;
+    }
+    if args.iter().any(|a| a == "--no-prune") {
+        config.prune = false;
     }
     // The per-path step budget: the hang watchdog for drivers stuck in
     // polling loops (counted as potential hangs in the health report).

@@ -55,6 +55,7 @@ pub use ddt_core::{
     Report,
     ReplayOutcome,
     RunHealth,
+    Strategy,
 };
 
 /// Symbolic expressions (re-export of `ddt-expr`).

@@ -34,7 +34,11 @@ pub const CHECKPOINT_MAGIC: [u8; 4] = *b"DDTC";
 /// Magic prefix of a journal file.
 pub const JOURNAL_MAGIC: [u8; 4] = *b"DDTJ";
 /// Current campaign format version (shared by both artifacts).
-pub const CAMPAIGN_VERSION: u64 = 1;
+///
+/// v2: frontier records carry the search metadata (`cov_fresh`,
+/// `cov_stamp`) guided strategies rank by, and checkpoints carry the
+/// structural-fingerprint prune set.
+pub const CAMPAIGN_VERSION: u64 = 2;
 
 /// The kinds of nondeterministic fork sites the exploration visits, in the
 /// vocabulary of the choice log. Every site is machine-local (its firing
@@ -122,6 +126,11 @@ pub struct FrontierRecord {
     pub picks: Vec<PathPick>,
     /// Validation fingerprint.
     pub fp: MachineFingerprint,
+    /// New blocks the machine's minting quantum opened (search metadata;
+    /// guided strategies rank by it, replay cannot re-derive it).
+    pub cov_fresh: u64,
+    /// Quantum ordinal that stamped `cov_fresh`.
+    pub cov_stamp: u64,
 }
 
 /// Serialized coverage state (hit counts drive the exploration heuristic,
@@ -166,6 +175,9 @@ pub struct CheckpointFile {
     pub coverage: CoverageRecord,
     /// Every pending machine as its decision-schedule prefix.
     pub frontier: Vec<FrontierRecord>,
+    /// Structural-fingerprint prune set: (fingerprint hash, covered-block
+    /// count at last sighting), sorted. Empty when pruning is off.
+    pub prune_seen: Vec<(u64, u64)>,
 }
 
 /// Terminal status of one explored path, as journaled.
@@ -366,6 +378,8 @@ pub(crate) fn put_frontier_record(out: &mut Vec<u8>, rec: &FrontierRecord) {
     put_varint(out, rec.fp.interrupt_budget as u64);
     put_varint(out, rec.fp.frames as u64);
     out.extend_from_slice(&rec.fp.decisions_fnv.to_le_bytes());
+    put_varint(out, rec.cov_fresh);
+    put_varint(out, rec.cov_stamp);
 }
 
 /// Decodes one frontier record.
@@ -393,7 +407,9 @@ pub(crate) fn read_frontier_record(c: &mut Cursor<'_>) -> Result<FrontierRecord,
         frames: c.varint()? as u32,
         decisions_fnv: c.u64_le()?,
     };
-    Ok(FrontierRecord { id, steps_total, trailing_skips, picks, fp })
+    let cov_fresh = c.varint()?;
+    let cov_stamp = c.varint()?;
+    Ok(FrontierRecord { id, steps_total, trailing_skips, picks, fp, cov_fresh, cov_stamp })
 }
 
 /// Encodes a coverage record (hits + covered set + timeline).
@@ -460,6 +476,11 @@ pub fn encode_checkpoint(ck: &CheckpointFile) -> Vec<u8> {
     for rec in &ck.frontier {
         put_frontier_record(&mut out, rec);
     }
+    put_varint(&mut out, ck.prune_seen.len() as u64);
+    for &(h, n) in &ck.prune_seen {
+        out.extend_from_slice(&h.to_le_bytes());
+        put_varint(&mut out, n);
+    }
     let sum = fnv1a64(&out);
     out.extend_from_slice(&sum.to_le_bytes());
     out
@@ -502,6 +523,13 @@ pub fn decode_checkpoint(data: &[u8]) -> Result<CheckpointFile, DecodeError> {
     for _ in 0..nfront {
         frontier.push(read_frontier_record(&mut c)?);
     }
+    let nseen = c.varint()? as usize;
+    let mut prune_seen = Vec::with_capacity(nseen.min(1 << 16));
+    for _ in 0..nseen {
+        let h = c.u64_le()?;
+        let n = c.varint()?;
+        prune_seen.push((h, n));
+    }
     if !c.done() {
         return c.err("trailing bytes after checkpoint body");
     }
@@ -518,6 +546,7 @@ pub fn decode_checkpoint(data: &[u8]) -> Result<CheckpointFile, DecodeError> {
         bugs_json,
         coverage,
         frontier,
+        prune_seen,
     })
 }
 
@@ -713,7 +742,10 @@ mod tests {
                     frames: 1,
                     decisions_fnv: 0x1122_3344_5566_7788,
                 },
+                cov_fresh: 2,
+                cov_stamp: 17,
             }],
+            prune_seen: vec![(0xaaaa_bbbb, 12), (0xcccc_dddd, 13)],
         }
     }
 

@@ -421,6 +421,8 @@ mod tests {
                 frames: 1,
                 decisions_fnv: 0xfeed_f00d,
             },
+            cov_fresh: 1,
+            cov_stamp: 40,
         }
     }
 

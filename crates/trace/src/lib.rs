@@ -223,6 +223,8 @@ mod campaign_prop_tests {
                 frames: (seed % 5) as u32,
                 decisions_fnv: seed.rotate_right(29),
             },
+            cov_fresh: seed % 17,
+            cov_stamp: seed % 5_000,
         }
     }
 
@@ -253,6 +255,9 @@ mod campaign_prop_tests {
                 timeline: (0..(seed % 5)).map(|i| (i * 100, i + 1)).collect(),
             },
             frontier: frontier_seeds.iter().map(|&s| arb_frontier_record(s)).collect(),
+            prune_seen: (0..(seed % 6))
+                .map(|i| (seed.rotate_left(i as u32) ^ i, seed % 900))
+                .collect(),
         }
     }
 

@@ -213,6 +213,61 @@ fn sigkill_resume_across_bundled_drivers() {
     }
 }
 
+/// Strategy state survives the checkpoint: a campaign killed under each
+/// guided strategy (with pruning, the harder case — the prune set and the
+/// per-state coverage stamps must round-trip through the store) resumes
+/// with `--strategy`/`--prune` to the same report as the uninterrupted
+/// run under the same flags.
+#[test]
+fn sigkill_resume_round_trips_every_strategy() {
+    for strategy in ["fifo", "coverage-new-first", "rarest-branch", "bug-directed"] {
+        let flags = ["--strategy", strategy, "--prune"];
+        let reference = run_json(
+            &[&["test", "pcnet", "--faults"][..], &flags[..]].concat(),
+            &format!("strat-{strategy}-ref"),
+        );
+        let dir = tmp(&format!("strat-{strategy}-kill"));
+        kill_mid_campaign(&dir, &flags);
+        let resumed = run_json(
+            &[
+                &["test", "pcnet", "--faults", "--resume", dir.to_str().unwrap()],
+                &flags[..],
+            ]
+            .concat(),
+            &format!("strat-{strategy}-res"),
+        );
+        assert_eq!(
+            essence(&resumed),
+            essence(&reference),
+            "{strategy}: resume diverged from the uninterrupted run"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// A checkpoint taken under one strategy refuses to resume under another:
+/// the config fingerprint covers `--strategy` and `--prune`.
+#[test]
+fn resume_refuses_a_strategy_mismatch() {
+    let dir = tmp("strat-mismatch");
+    let _ = run_json(
+        &["test", "clean_nic", "--strategy", "rarest-branch", "--checkpoint-dir",
+          dir.to_str().unwrap()],
+        "strat-mismatch-full",
+    );
+    let out = Command::new(ddt_bin())
+        .args(["test", "clean_nic", "--strategy", "fifo", "--resume", dir.to_str().unwrap()])
+        .output()
+        .expect("spawn ddt");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(1), "expected a clean failure");
+    assert!(
+        stderr.contains("cannot resume campaign"),
+        "missing diagnostic, stderr: {stderr}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn resume_after_clean_finish_is_a_noop() {
     let dir = tmp("finish");

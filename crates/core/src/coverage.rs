@@ -100,6 +100,28 @@ impl Coverage {
         self.covered.extend(covered);
     }
 
+    /// Folds a concrete-executor block trace into this tracker. The fast
+    /// executor reports every superblock entry pc it dispatched; entries
+    /// that are real blocks of the driver count exactly like symbolic
+    /// `on_exec` hits — same `hits` map, same `covered` set — so a block
+    /// reached by both modes is one covered block, not two. Returns how
+    /// many blocks were covered for the first time by this trace (the
+    /// hybrid "concrete found it first" census).
+    pub fn absorb_concrete(&mut self, block_trace: impl IntoIterator<Item = u32>) -> u64 {
+        let mut new_blocks = 0;
+        for pc in block_trace {
+            if self.analysis.blocks.contains_key(&pc) {
+                *self.hits.entry(pc).or_insert(0) += 1;
+                if self.covered.insert(pc) {
+                    new_blocks += 1;
+                    let ms = self.elapsed_ms();
+                    self.timeline.push((ms, self.covered.len()));
+                }
+            }
+        }
+        new_blocks
+    }
+
     /// Hit count of the block containing `pc` (the EXE-style priority:
     /// smaller is more interesting).
     pub fn priority(&self, pc: u32) -> u64 {
@@ -265,5 +287,27 @@ mod tests {
             assert_eq!(fwd.priority(b), rev.priority(b));
         }
         assert_eq!(fwd.rarity(blocks[0]), 5, "additive: 3+2 on the hot arm");
+    }
+
+    /// Satellite: the concrete edge map and the symbolic tracker share one
+    /// covered set, so a block reached in both modes is censused once.
+    #[test]
+    fn concrete_absorb_does_not_double_count_shared_blocks() {
+        let (mut cov, blocks) = coverage();
+        // Symbolic execution reaches the entry block first.
+        cov.on_exec(blocks[0]);
+        assert_eq!(cov.covered_blocks(), 1);
+        // A concrete fuzz run retraces the entry block, then breaks into
+        // both arms; interior pcs and kernel pcs in the trace are ignored.
+        let trace = vec![blocks[0], blocks[1], blocks[1] + 8, blocks[2], 0xdead_0000];
+        let new_blocks = cov.absorb_concrete(trace);
+        assert_eq!(new_blocks, 2, "only the two arms are new");
+        assert_eq!(cov.covered_blocks(), 3, "entry block censused once");
+        assert_eq!(cov.priority(blocks[0]), 2, "hit counts still add across modes");
+        // Symbolic execution later reaching a concretely-found block adds
+        // heat but no new coverage.
+        cov.on_exec(blocks[2]);
+        assert_eq!(cov.covered_blocks(), 3);
+        assert_eq!(cov.timeline().len(), 3, "one sample per first sighting");
     }
 }

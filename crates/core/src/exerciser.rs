@@ -55,7 +55,7 @@ use ddt_trace::{JournalRecord, PathStatus, SiteKind};
 use crate::faults::{FaultInjector, FaultPlan};
 use crate::hardware::DdtEnv;
 use crate::machine::{Frame, Machine, SymHost};
-use crate::report::{Bug, Decision, ExploreStats, Report, RunHealth};
+use crate::report::{Bug, BugOrigin, Decision, ExploreStats, Report, RunHealth};
 use crate::search::{Frontier, PruneSet, Strategy};
 use ddt_drivers::workload::{WorkloadOp, OID_BASE};
 use ddt_drivers::DriverClass;
@@ -941,6 +941,7 @@ impl Ddt {
         let bug = Bug {
             driver: dut.image.name.clone(),
             class: pending.class,
+            origin: BugOrigin::Symbolic,
             description: pending.description,
             pc: pending.pc,
             entry: m.current_entry().to_string(),

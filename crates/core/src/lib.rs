@@ -41,6 +41,7 @@ pub mod exerciser;
 pub mod faults;
 pub mod fleet;
 pub mod hardware;
+pub mod hybrid;
 pub mod machine;
 pub mod parallel;
 pub mod replay;
@@ -59,9 +60,10 @@ pub use fleet::{
     WorkerOpts,
 };
 pub use hardware::DdtEnv;
+pub use hybrid::{run_hybrid, FuzzConfig};
 pub use machine::{Frame, Machine, SymHost};
 pub use parallel::{resume_parallel, test_parallel};
 pub use replay::{decision_streams, replay_bug, ReplayOutcome};
-pub use report::{Bug, BugClass, Decision, ExploreStats, Report, RunHealth};
+pub use report::{Bug, BugClass, BugOrigin, Decision, ExploreStats, Report, RunHealth};
 pub use search::{Frontier, PruneSet, SearchStrategy, Strategy};
 pub use tracestore::{artifact_from_bug, bug_from_artifact, persist_bugs, replay_artifact};

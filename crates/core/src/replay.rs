@@ -31,9 +31,10 @@ use ddt_kernel::{
     KernelEvent,
     ResourceKind,
 };
-use ddt_vm::{Fault, ScriptedDevice, StepEvent, Vm};
+use ddt_vm::{BlockCache, Fault, ScriptedDevice, StepEvent, Vm};
 
 use ddt_drivers::workload::WorkloadOp;
+use ddt_fuzz::FuzzInput;
 
 use crate::exerciser::DriverUnderTest;
 use crate::report::{Bug, BugClass, Decision};
@@ -167,6 +168,31 @@ enum FrameKind {
     Timer,
 }
 
+/// Detects a stuck run loop: too many consecutive VM events with no
+/// instruction retiring means the harness is cycling through traps without
+/// the driver making progress — classified as a hang rather than looping
+/// forever.
+struct SpinGuard {
+    last_retired: u64,
+    spins: u32,
+}
+
+impl SpinGuard {
+    fn new(retired: u64) -> SpinGuard {
+        SpinGuard { last_retired: retired, spins: 0 }
+    }
+
+    fn stuck(&mut self, retired: u64) -> bool {
+        if retired != self.last_retired {
+            self.last_retired = retired;
+            self.spins = 0;
+            return false;
+        }
+        self.spins += 1;
+        self.spins > 10_000
+    }
+}
+
 /// Host over the concrete VM.
 struct VmHost<'a> {
     vm: &'a mut Vm,
@@ -252,33 +278,52 @@ pub struct ConcreteRunner {
     boundaries: u64,
     overrides: InputOverrides,
     insn_budget: u64,
+    /// Index of the scripted device on the bus (for served-value readback).
+    dev: usize,
     /// Index of the first kernel event not yet examined by a caller.
     pub events_cursor: usize,
+    /// Snapshot of (cpu, memory) taken right after image load, before the
+    /// entry invocation: [`reset`](Self::reset) restores from here instead
+    /// of rebuilding the VM. Memory is demand-paged, so the clone copies
+    /// only the pages the image actually touched.
+    pristine: (ddt_vm::Cpu, ddt_vm::Memory),
+    /// The cached DriverEntry invocation (re-derived load plans are the
+    /// other rebuild cost reset avoids).
+    entry: EntryInvocation,
+}
+
+/// Builds the concrete VM for one run: mapped load plan, loaded image,
+/// scratch region, and a scripted device over the MMIO window and the
+/// whole port space. Returns the VM and the device's bus index.
+fn build_vm(dut: &DriverUnderTest, hw_values: Vec<u32>) -> (Vm, usize) {
+    let mut vm = Vm::new();
+    let plan = LoadPlan::new(dut.image.clone());
+    for (start, len) in plan.regions() {
+        vm.mem.map(start, len);
+    }
+    vm.load_image(&dut.image);
+    vm.mem.map(crate::machine::SCRATCH_BASE, crate::machine::SCRATCH_SIZE);
+    let dev = vm.bus.add_device(Box::new(ScriptedDevice::new(hw_values)));
+    vm.bus.map_mmio(
+        ddt_kernel::state::DEVICE_MMIO_BASE,
+        dut.descriptor.mmio_len,
+        dev,
+    );
+    vm.bus.map_ports(0, 0x1_0000, dev);
+    (vm, dev)
 }
 
 impl ConcreteRunner {
     /// Builds a runner for a driver with scripted hardware read values.
     pub fn new(dut: &DriverUnderTest, hw_values: Vec<u32>) -> ConcreteRunner {
-        let mut vm = Vm::new();
-        let plan = LoadPlan::new(dut.image.clone());
-        for (start, len) in plan.regions() {
-            vm.mem.map(start, len);
-        }
-        vm.load_image(&dut.image);
-        vm.mem.map(crate::machine::SCRATCH_BASE, crate::machine::SCRATCH_SIZE);
-        let dev = vm.bus.add_device(Box::new(ScriptedDevice::new(hw_values)));
-        vm.bus.map_mmio(
-            ddt_kernel::state::DEVICE_MMIO_BASE,
-            dut.descriptor.mmio_len,
-            dev,
-        );
-        vm.bus.map_ports(0, 0x1_0000, dev);
+        let (vm, dev) = build_vm(dut, hw_values);
         let mut kernel = Kernel::new();
         for (k, v) in &dut.registry {
             kernel.state.registry.insert(k.clone(), *v);
         }
         kernel.state.device = dut.descriptor.clone();
-        let entry = plan.driver_entry();
+        let entry = LoadPlan::new(dut.image.clone()).driver_entry();
+        let pristine = (vm.cpu.clone(), vm.mem.clone());
         let mut runner = ConcreteRunner {
             vm,
             kernel,
@@ -293,10 +338,82 @@ impl ConcreteRunner {
             boundaries: 0,
             overrides: InputOverrides::default(),
             insn_budget: 2_000_000,
+            dev,
             events_cursor: 0,
+            pristine,
+            entry,
         };
+        let entry = runner.entry.clone();
         runner.invoke(&entry, FrameKind::Entry, false);
         runner
+    }
+
+    /// Re-arms the runner for a fresh execution of the same driver.
+    /// Snapshot-reset: cpu and memory restore from the pristine post-load
+    /// clone, the scripted device is re-armed in place, and the kernel's
+    /// run state resets (configuration — registry and device descriptor —
+    /// survives via `KernelState::reset_for_run`). No allocation-heavy VM
+    /// rebuild; this is what makes the fuzz loop's per-execution cost the
+    /// execution itself.
+    pub fn reset(&mut self, _dut: &DriverUnderTest, hw_values: Vec<u32>) {
+        self.vm.cpu = self.pristine.0.clone();
+        self.vm.mem = self.pristine.1.clone();
+        self.vm.insns_retired = 0;
+        if let Some(d) = self
+            .vm
+            .bus
+            .device_mut(self.dev)
+            .as_any_mut()
+            .and_then(|a| a.downcast_mut::<ScriptedDevice>())
+        {
+            d.rescript(hw_values);
+        }
+        self.kernel.state.reset_for_run();
+        self.workload_pos = 0;
+        self.frames.clear();
+        self.scratch = crate::machine::SCRATCH_BASE;
+        self.inject_at.clear();
+        self.fail_at.clear();
+        self.fault_at.clear();
+        self.kernel_calls = 0;
+        self.boundaries = 0;
+        self.overrides = InputOverrides::default();
+        self.events_cursor = 0;
+        let entry = self.entry.clone();
+        self.invoke(&entry, FrameKind::Entry, false);
+    }
+
+    /// Applies a fuzz input: interrupt boundaries, forced allocation
+    /// failures, and per-label value queues (hardware read values were
+    /// already scripted into the device at construction/reset).
+    pub fn apply_fuzz_input(&mut self, input: &FuzzInput) {
+        self.inject_at = input.inject_at.clone();
+        self.fail_at = input.fail_at.clone();
+        let mut values: HashMap<String, VecDeque<u64>> = HashMap::new();
+        for (label, v) in &input.labels {
+            values.entry(label.clone()).or_default().push_back(*v);
+        }
+        for (label, q) in &values {
+            if let Some(name) = label.strip_prefix("registry:") {
+                if let Some(&v) = q.front() {
+                    self.kernel.state.registry.insert(name.to_string(), v as u32);
+                }
+            }
+        }
+        self.overrides = InputOverrides { values };
+    }
+
+    /// The hardware reads the scripted device actually served this run:
+    /// `(addr, size, value)` in order. The escalation bridge replays these
+    /// as symbol pins so the lifted state starts on the concrete path.
+    pub fn hardware_served(&mut self) -> Vec<(u32, u8, u32)> {
+        self.vm
+            .bus
+            .device_mut(self.dev)
+            .as_any_mut()
+            .and_then(|a| a.downcast_mut::<ScriptedDevice>())
+            .map(|d| d.served.clone())
+            .unwrap_or_default()
     }
 
     /// Applies a bug's decision schedule and solved inputs.
@@ -367,51 +484,95 @@ impl ConcreteRunner {
         self.invoke(&inv, FrameKind::Isr, true);
     }
 
-    /// Runs to a terminal outcome.
+    /// Handles one VM event; `Some` is a terminal outcome.
+    fn dispatch(&mut self, event: StepEvent) -> Option<ConcreteOutcome> {
+        match event {
+            StepEvent::Continue => None,
+            StepEvent::Halted => Some(ConcreteOutcome::Completed),
+            StepEvent::Faulted(f) => {
+                let in_interrupt = self.frames.len() > 1;
+                Some(ConcreteOutcome::Faulted { fault: f, in_interrupt })
+            }
+            StepEvent::KernelCall { export_id, return_to } => {
+                if self.fail_at.contains(&self.kernel_calls) {
+                    self.kernel.state.force_alloc_failures = 1;
+                }
+                if let Some(&(_, kind)) =
+                    self.fault_at.iter().find(|(s, _)| *s == self.kernel_calls)
+                {
+                    self.kernel.state.inject_fault = Some(kind);
+                }
+                self.kernel_calls += 1;
+                let r = {
+                    let mut host = VmHost { vm: &mut self.vm };
+                    self.kernel.invoke(export_id, &mut host)
+                };
+                if let Err(crash) = r {
+                    return Some(ConcreteOutcome::Crashed(crash));
+                }
+                self.vm.cpu.pc = return_to;
+                self.maybe_inject();
+                None
+            }
+            StepEvent::ReturnToKernel => self.handle_return(),
+        }
+    }
+
+    /// Runs to a terminal outcome, one instruction at a time.
     pub fn run(&mut self) -> ConcreteOutcome {
+        let mut spin = SpinGuard::new(self.vm.insns_retired);
         loop {
             if self.vm.insns_retired > self.insn_budget {
                 return ConcreteOutcome::Hung;
             }
-            match self.vm.step() {
-                StepEvent::Continue => {}
-                StepEvent::Halted => return ConcreteOutcome::Completed,
-                StepEvent::Faulted(f) => {
-                    let in_interrupt = self.frames.len() > 1;
-                    return ConcreteOutcome::Faulted { fault: f, in_interrupt };
-                }
-                StepEvent::KernelCall { export_id, return_to } => {
-                    if self.fail_at.contains(&self.kernel_calls) {
-                        self.kernel.state.force_alloc_failures = 1;
-                    }
-                    if let Some(&(_, kind)) =
-                        self.fault_at.iter().find(|(s, _)| *s == self.kernel_calls)
-                    {
-                        self.kernel.state.inject_fault = Some(kind);
-                    }
-                    self.kernel_calls += 1;
-                    let r = {
-                        let mut host = VmHost { vm: &mut self.vm };
-                        self.kernel.invoke(export_id, &mut host)
-                    };
-                    if let Err(crash) = r {
-                        return ConcreteOutcome::Crashed(crash);
-                    }
-                    self.vm.cpu.pc = return_to;
-                    self.maybe_inject();
-                }
-                StepEvent::ReturnToKernel => {
-                    if let Some(outcome) = self.handle_return() {
-                        return outcome;
-                    }
-                }
+            let event = self.vm.step();
+            if let Some(outcome) = self.dispatch(event) {
+                return outcome;
+            }
+            if spin.stuck(self.vm.insns_retired) {
+                return ConcreteOutcome::Hung;
+            }
+        }
+    }
+
+    /// Runs to a terminal outcome on the translated superblock executor.
+    /// Same semantics as [`run`](Self::run) — the kernel boundary, the
+    /// injection schedule, and the outcome classification are shared — but
+    /// driver code executes through `cache`d pre-decoded blocks, and every
+    /// dispatched block entry pc is appended to `block_trace` (the concrete
+    /// coverage feed). The cache is only valid across runs of the same
+    /// driver image.
+    pub fn run_fast(
+        &mut self,
+        cache: &mut BlockCache,
+        block_trace: &mut Vec<u32>,
+    ) -> ConcreteOutcome {
+        let mut spin = SpinGuard::new(self.vm.insns_retired);
+        loop {
+            if self.vm.insns_retired > self.insn_budget {
+                return ConcreteOutcome::Hung;
+            }
+            let slice = self.insn_budget - self.vm.insns_retired + 1;
+            let event = self.vm.run_fast(slice, cache, block_trace);
+            if let Some(outcome) = self.dispatch(event) {
+                return outcome;
+            }
+            if spin.stuck(self.vm.insns_retired) {
+                return ConcreteOutcome::Hung;
             }
         }
     }
 
     fn handle_return(&mut self) -> Option<ConcreteOutcome> {
         let status = self.vm.cpu.regs[0];
-        let frame = self.frames.pop()?;
+        let Some(frame) = self.frames.pop() else {
+            // A deferred callback (timer/DPC) fired at a workload boundary:
+            // the entry it interrupted had already returned, so the restored
+            // pc is the return trap and the frame stack is empty. Resume the
+            // workload — without this the trap re-fires forever with no
+            // instructions retiring.
+            return self.schedule_next_op();
+        };
         match frame.kind {
             FrameKind::Entry => {
                 if frame.name == "Initialize" && status != 0 {
@@ -614,6 +775,22 @@ impl ConcreteRunner {
         }
     }
 
+    /// Name of the innermost driver frame currently executing (the entry
+    /// a terminal outcome is attributed to). "DriverEntry" when the frame
+    /// stack has unwound.
+    pub fn current_entry(&self) -> String {
+        self.frames
+            .last()
+            .map(|f| f.name.clone())
+            .unwrap_or_else(|| "DriverEntry".to_string())
+    }
+
+    /// The interrupted entry point, when an ISR/DPC/timer frame is active
+    /// on top of it.
+    pub fn interrupted_entry(&self) -> Option<String> {
+        (self.frames.len() > 1).then(|| self.frames[0].name.clone())
+    }
+
     /// Kernel events appended since the last call (for usage checkers).
     pub fn new_events(&mut self) -> Vec<KernelEvent> {
         let evs = self.kernel.state.events[self.events_cursor..].to_vec();
@@ -750,6 +927,69 @@ mod tests {
             }
             other => panic!("expected the timer crash, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn fast_runner_matches_the_interpreter() {
+        let spec = ddt_drivers::driver_by_name("rtl8029").expect("bundled");
+        let dut = DriverUnderTest::from_spec(&spec);
+        let mut slow = ConcreteRunner::new(&dut, vec![1, 1, 1, 1]);
+        slow.inject_at = (1..16).collect();
+        let slow_out = slow.run();
+        let mut fast = ConcreteRunner::new(&dut, vec![1, 1, 1, 1]);
+        fast.inject_at = (1..16).collect();
+        let mut cache = BlockCache::new();
+        let mut trace = Vec::new();
+        let fast_out = fast.run_fast(&mut cache, &mut trace);
+        assert_eq!(fast_out, slow_out, "same outcome on both executors");
+        assert_eq!(
+            fast.vm.insns_retired, slow.vm.insns_retired,
+            "same path, instruction for instruction"
+        );
+        assert!(!cache.is_empty(), "superblocks were translated");
+        assert!(!trace.is_empty(), "block entries were traced");
+    }
+
+    #[test]
+    fn recycled_runner_reproduces_fresh_behavior() {
+        let spec = ddt_drivers::driver_by_name("pcnet").expect("bundled");
+        let dut = DriverUnderTest::from_spec(&spec);
+        let mut runner = ConcreteRunner::new(&dut, vec![]);
+        runner.fail_at = vec![8];
+        let first = runner.run();
+        assert!(matches!(first, ConcreteOutcome::InitFailureLeak { .. }));
+        // Reset without the failure schedule: the driver completes.
+        runner.reset(&dut, vec![]);
+        assert_eq!(runner.run(), ConcreteOutcome::Completed);
+        // Reset with it again: same outcome as the fresh runner.
+        runner.reset(&dut, vec![]);
+        runner.fail_at = vec![8];
+        assert_eq!(runner.run(), first);
+    }
+
+    #[test]
+    fn fuzz_input_drives_the_runner_and_serves_back_values() {
+        let spec = ddt_drivers::driver_by_name("rtl8029").expect("bundled");
+        let dut = DriverUnderTest::from_spec(&spec);
+        let input = FuzzInput {
+            hw: vec![1, 1, 1, 1],
+            labels: vec![],
+            inject_at: (1..16).collect(),
+            fail_at: vec![],
+        };
+        let mut runner = ConcreteRunner::new(&dut, input.hw.clone());
+        runner.apply_fuzz_input(&input);
+        let mut cache = BlockCache::new();
+        let mut trace = Vec::new();
+        match runner.run_fast(&mut cache, &mut trace) {
+            ConcreteOutcome::Crashed(c) => {
+                assert!(c.message.contains("uninitialized timer"), "{c:?}");
+            }
+            other => panic!("expected the timer crash, got {other:?}"),
+        }
+        let served = runner.hardware_served();
+        assert!(!served.is_empty(), "the device recorded what it served");
+        assert_eq!(served[0].2, 1, "first read served the scripted value");
     }
 
     #[test]

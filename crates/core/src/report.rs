@@ -15,7 +15,7 @@ use serde::{Deserialize, Serialize};
 // The classification and decision vocabulary moved to `ddt-trace` so that
 // stored trace artifacts are self-describing; re-exported here under the
 // historical paths.
-pub use ddt_trace::{BugClass, Decision, ProvenanceChain};
+pub use ddt_trace::{BugClass, BugOrigin, Decision, ProvenanceChain};
 
 /// A found bug with everything needed to understand and replay it.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -24,6 +24,9 @@ pub struct Bug {
     pub driver: String,
     /// Classification (Table 2 "Bug Type").
     pub class: BugClass,
+    /// Which execution mode first found the bug (symbolic exploration,
+    /// pure concrete fuzzing, or a fuzz state escalated to symbolic).
+    pub origin: BugOrigin,
     /// One-line description (Table 2 "Description").
     pub description: String,
     /// Driver instruction the failure is attributed to.
@@ -145,6 +148,21 @@ pub struct ExploreStats {
     /// `Machine::fingerprint()` had already been seen at the same pc with
     /// no coverage delta since.
     pub states_pruned: u64,
+    /// Hybrid mode: concrete fuzz executions completed.
+    pub fuzz_execs: u64,
+    /// Hybrid mode: instructions retired by the concrete fast executor.
+    pub fuzz_insns: u64,
+    /// Hybrid mode: wall-clock milliseconds spent inside concrete fuzz
+    /// batches (disjoint from symbolic quanta, so the concrete
+    /// instructions-per-second rate is `fuzz_insns / fuzz_wall_ms`).
+    pub fuzz_wall_ms: u64,
+    /// Hybrid mode: fuzz inputs escalated into symbolic states.
+    pub escalations: u64,
+    /// Hybrid mode: distinct driver blocks first reached by the concrete
+    /// executor (before any symbolic path touched them).
+    pub concrete_blocks: u64,
+    /// Hybrid mode: bugs first sighted by a pure concrete execution.
+    pub concrete_bugs: u64,
 }
 
 impl ExploreStats {
@@ -224,6 +242,12 @@ impl ExploreStats {
         }
         self.quanta_to_last_cover = self.quanta_to_last_cover.max(other.quanta_to_last_cover);
         self.states_pruned += other.states_pruned;
+        self.fuzz_execs += other.fuzz_execs;
+        self.fuzz_insns += other.fuzz_insns;
+        self.fuzz_wall_ms += other.fuzz_wall_ms;
+        self.escalations += other.escalations;
+        self.concrete_blocks += other.concrete_blocks;
+        self.concrete_bugs += other.concrete_bugs;
     }
 }
 
@@ -709,6 +733,7 @@ mod tests {
         let b = Bug {
             driver: "rtl8029".into(),
             class: BugClass::RaceCondition,
+            origin: BugOrigin::Symbolic,
             description: "test".into(),
             pc: 0x40_0000,
             entry: "Initialize".into(),

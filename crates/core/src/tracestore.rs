@@ -33,6 +33,7 @@ pub fn artifact_from_bug(bug: &Bug) -> TraceArtifact {
             signature: bug.signature.clone(),
             driver: bug.driver.clone(),
             class: bug.class,
+            origin: bug.origin,
             description: bug.description.clone(),
             pc: bug.pc,
             entry: bug.entry.clone(),
@@ -59,6 +60,7 @@ pub fn bug_from_artifact(artifact: &TraceArtifact) -> Bug {
     Bug {
         driver: m.driver.clone(),
         class: m.class,
+        origin: m.origin,
         description: m.description.clone(),
         pc: m.pc,
         entry: m.entry.clone(),
@@ -111,12 +113,13 @@ pub fn persist_bugs(dir: &Path, bugs: &[Bug], dut: &DriverUnderTest) -> io::Resu
 mod tests {
     use super::*;
     use ddt_expr::Assignment;
-    use ddt_trace::{BugClass, Decision};
+    use ddt_trace::{BugClass, BugOrigin, Decision};
 
     fn sample_bug() -> Bug {
         Bug {
             driver: "rtl8029".into(),
             class: BugClass::SegFault,
+            origin: BugOrigin::Concrete,
             description: "wild store".into(),
             pc: 0x40_0010,
             entry: "Initialize".into(),
@@ -142,6 +145,7 @@ mod tests {
         assert_eq!(back.signature, bug.signature);
         assert_eq!(back.decisions, bug.decisions);
         assert_eq!(back.trace, bug.trace);
+        assert_eq!(back.origin, BugOrigin::Concrete, "origin survives the round trip");
     }
 
     #[test]

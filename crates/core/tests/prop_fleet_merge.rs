@@ -64,6 +64,12 @@ fn arb_stats(seed: u64) -> ExploreStats {
         quanta_to_first_bug: m.next(),
         quanta_to_last_cover: m.next(),
         states_pruned: m.next(),
+        fuzz_execs: m.next(),
+        fuzz_insns: m.next(),
+        fuzz_wall_ms: m.next(),
+        escalations: m.next(),
+        concrete_blocks: m.next(),
+        concrete_bugs: m.next(),
     }
 }
 
@@ -134,6 +140,8 @@ proptest! {
         prop_assert_eq!(fwd.solver_queries, sum(|s| s.solver_queries));
         prop_assert_eq!(fwd.paths_step_budget_killed, sum(|s| s.paths_step_budget_killed));
         prop_assert_eq!(fwd.states_dropped, sum(|s| s.states_dropped));
+        prop_assert_eq!(fwd.fuzz_execs, sum(|s| s.fuzz_execs));
+        prop_assert_eq!(fwd.escalations, sum(|s| s.escalations));
         prop_assert_eq!(
             fwd.peak_states,
             parts.iter().map(|s| s.peak_states).max().unwrap_or(0),

@@ -7,6 +7,9 @@
 //!          [--json FILE] [--replay] [--health]
 //!          [--trace-dir DIR] [--checkpoint-dir DIR] [--checkpoint-every N]
 //!          [--resume DIR]
+//! ddt fuzz <driver.dxe | bundled-name> [--seed N] [--batches N]
+//!          [--batch-size N] [--no-escalate] [--quanta-per-batch N]
+//!          [--no-drain] [...shared test flags]
 //! ddt serve <driver.dxe | bundled-name> [--workers N] [--lease-timeout MS]
 //!          [--max-retries N] [--heartbeat-ms MS] [--status-file FILE]
 //!          [--chaos-kill N] [--shard-factor N] [...shared test flags]
@@ -25,6 +28,12 @@
 //! confirmed bug is persisted as a replayable artifact (§3.5); `replay`
 //! re-executes such an artifact concretely, and `triage` renders the
 //! deduplicated bug inventory of a store.
+//!
+//! `fuzz` runs the hybrid concolic/fuzzing pipeline (§4.10): deterministic
+//! mutational fuzzing on the fast concrete executor, with interesting
+//! executions escalated into the symbolic frontier and the frontier drained
+//! symbolically at the end. Same report shape and exit codes as `test`;
+//! with `--trace-dir`, a pre-existing store seeds the fuzz corpus.
 //!
 //! `--checkpoint-dir` makes the campaign durable (§4.7): a write-ahead
 //! journal plus periodic frontier checkpoints, crash-safe at any instant.
@@ -94,6 +103,8 @@ fn usage() -> ExitCode {
          [--json FILE] [--replay] [--health] \
          [--trace-dir DIR] [--checkpoint-dir DIR] [--checkpoint-every N] \
          [--resume DIR] [--max-path-insns N]\n  \
+         ddt fuzz <driver.dxe|name> [--seed N] [--batches N] [--batch-size N] \
+         [--no-escalate] [--quanta-per-batch N] [--no-drain] [...shared test flags]\n  \
          ddt serve <driver.dxe|name> [--workers N] [--lease-timeout MS] \
          [--max-retries N] [--heartbeat-ms MS] [--status-file FILE] \
          [--chaos-kill N] [--shard-factor N] [...shared test flags]\n  \
@@ -509,6 +520,81 @@ fn main() -> ExitCode {
                      continue with `ddt test {target} --resume {dir}`"
                 );
                 return ExitCode::from(130);
+            }
+            verdict_code(&report)
+        }
+        "fuzz" => {
+            let dut = match parse_target(&args) {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let config = match parse_config(&args) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let mut fz = ddt::FuzzConfig::default();
+            let numeric = |flag: &str, min: u64| -> Result<Option<u64>, String> {
+                match flag_value(&args, flag) {
+                    None => Ok(None),
+                    Some(v) => {
+                        let parsed = if let Some(hex) = v.strip_prefix("0x") {
+                            u64::from_str_radix(hex, 16)
+                        } else {
+                            v.parse()
+                        };
+                        match parsed {
+                            Ok(n) if n >= min => Ok(Some(n)),
+                            _ => Err(format!("bad {flag} value {v:?}")),
+                        }
+                    }
+                }
+            };
+            let parsed = (|| -> Result<(), String> {
+                if let Some(n) = numeric("--seed", 0)? {
+                    fz.seed = n;
+                }
+                if let Some(n) = numeric("--batches", 1)? {
+                    fz.batches = n;
+                }
+                if let Some(n) = numeric("--batch-size", 1)? {
+                    fz.batch_size = n;
+                }
+                if let Some(n) = numeric("--quanta-per-batch", 0)? {
+                    fz.quanta_per_batch = n;
+                }
+                Ok(())
+            })();
+            if let Err(e) = parsed {
+                eprintln!("{e}");
+                return ExitCode::from(2);
+            }
+            if args.iter().any(|a| a == "--no-escalate") {
+                fz.escalate = false;
+            }
+            if args.iter().any(|a| a == "--no-drain") {
+                fz.drain_frontier = false;
+            }
+            let tool = ddt::Ddt::new(config);
+            let started = std::time::Instant::now();
+            let report = ddt::run_hybrid(&tool, &dut, &fz);
+            println!(
+                "fuzz: {} concrete exec(s), {} insns in {} ms; {} escalation(s), \
+                 {} concrete-first block(s), {} concrete-first bug(s)",
+                report.stats.fuzz_execs,
+                report.stats.fuzz_insns,
+                report.stats.fuzz_wall_ms,
+                report.stats.escalations,
+                report.stats.concrete_blocks,
+                report.stats.concrete_bugs,
+            );
+            if let Some(code) = print_report(&args, &dut, &report, started) {
+                return code;
             }
             verdict_code(&report)
         }

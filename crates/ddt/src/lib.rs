@@ -36,6 +36,7 @@ pub use ddt_core::{
     persist_bugs,
     replay_artifact,
     replay_bug,
+    run_hybrid,
     resume_parallel,
     test_parallel,
     Annotations,
@@ -51,6 +52,7 @@ pub use ddt_core::{
     FaultInjector,
     FaultPlan,
     FleetConfig,
+    FuzzConfig,
     WorkerOpts,
     Report,
     ReplayOutcome,

@@ -1,0 +1,155 @@
+//! Mutation operators over [`FuzzInput`].
+//!
+//! Classic byte/word fuzzing operators specialized to the driver input
+//! surface: hardware read values dominate (that is where VIA-style
+//! device-interface bugs live), kernel-boundary label values cover packet
+//! bytes and OIDs, and two schedule operators toggle interrupt injection
+//! and forced allocation failure. All choices come from the caller's
+//! [`Rng`], so a fixed seed yields a fixed mutant.
+
+use crate::{FuzzInput, Rng};
+
+/// Values that historically flush out edge cases in register parsing.
+const INTERESTING: &[u32] = &[
+    0,
+    1,
+    2,
+    0x7f,
+    0x80,
+    0xff,
+    0x100,
+    0x7fff,
+    0x8000,
+    0xffff,
+    0x1_0000,
+    0x7fff_ffff,
+    0x8000_0000,
+    0xffff_fffe,
+    0xffff_ffff,
+];
+
+/// Upper bound on hardware values a mutant may grow to; keeps runs bounded.
+const MAX_HW: usize = 64;
+/// Boundaries eligible for interrupt injection (1-based, matching replay).
+const MAX_BOUNDARY: u64 = 24;
+/// Kernel-call indices eligible for forced allocation failure (1-based).
+const MAX_FAIL_INDEX: u64 = 40;
+
+fn mutate_word(v: u32, rng: &mut Rng) -> u32 {
+    match rng.below(4) {
+        0 => v ^ (1 << rng.below(32)),
+        1 => INTERESTING[rng.below(INTERESTING.len() as u64) as usize],
+        2 => v.wrapping_add(1),
+        _ => rng.next_u32(),
+    }
+}
+
+fn toggle(list: &mut Vec<u64>, candidate: u64) {
+    match list.iter().position(|&x| x == candidate) {
+        Some(i) => {
+            list.swap_remove(i);
+            list.sort_unstable();
+        }
+        None => {
+            list.push(candidate);
+            list.sort_unstable();
+        }
+    }
+}
+
+/// Applies `1..=max_ops` random operators to a copy of `input`.
+///
+/// Deterministic in `(input, rng state, max_ops)`. The result may equal the
+/// input (an operator can undo another); callers dedup via
+/// [`FuzzInput::hash`].
+pub fn mutate(input: &FuzzInput, rng: &mut Rng, max_ops: u64) -> FuzzInput {
+    let mut out = input.clone();
+    let ops = 1 + rng.below(max_ops.max(1));
+    for _ in 0..ops {
+        match rng.below(8) {
+            // Hardware value tweaks get half the mass: the device-read
+            // stream is the richest input surface.
+            0..=2 => {
+                if out.hw.is_empty() {
+                    out.hw.push(rng.next_u32());
+                } else {
+                    let i = rng.below(out.hw.len() as u64) as usize;
+                    out.hw[i] = mutate_word(out.hw[i], rng);
+                }
+            }
+            3 => {
+                if out.hw.len() < MAX_HW {
+                    out.hw.push(INTERESTING[rng.below(INTERESTING.len() as u64) as usize]);
+                }
+            }
+            4 => {
+                if !out.hw.is_empty() {
+                    let i = rng.below(out.hw.len() as u64) as usize;
+                    out.hw.remove(i);
+                }
+            }
+            5 => {
+                // Labels are never invented here — they enter via seeds
+                // (solved models from the trace store) and only their
+                // values mutate.
+                if !out.labels.is_empty() {
+                    let i = rng.below(out.labels.len() as u64) as usize;
+                    let v = out.labels[i].1;
+                    out.labels[i].1 = mutate_word(v as u32, rng) as u64;
+                }
+            }
+            6 => toggle(&mut out.inject_at, 1 + rng.below(MAX_BOUNDARY)),
+            _ => toggle(&mut out.fail_at, 1 + rng.below(MAX_FAIL_INDEX)),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutation_is_deterministic_per_seed() {
+        let seed = FuzzInput {
+            hw: vec![0xcafe, 0],
+            labels: vec![("packet_len".into(), 64)],
+            ..FuzzInput::default()
+        };
+        let run = |s: u64| {
+            let mut rng = Rng::new(s);
+            (0..32).map(|_| mutate(&seed, &mut rng, 4)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10), "seed changes the mutant stream");
+    }
+
+    #[test]
+    fn mutants_eventually_cover_every_operator_family() {
+        let seed = FuzzInput { hw: vec![5], labels: vec![("x".into(), 0)], ..Default::default() };
+        let mut rng = Rng::new(1);
+        let mutants: Vec<FuzzInput> = (0..400).map(|_| mutate(&seed, &mut rng, 3)).collect();
+        assert!(mutants.iter().any(|m| m.hw != seed.hw));
+        assert!(mutants.iter().any(|m| !m.inject_at.is_empty()));
+        assert!(mutants.iter().any(|m| !m.fail_at.is_empty()));
+        assert!(mutants.iter().any(|m| m.labels[0].1 != 0));
+        assert!(mutants.iter().all(|m| m.hw.len() <= MAX_HW));
+        assert!(
+            mutants.iter().all(|m| m.labels.len() == 1 && m.labels[0].0 == "x"),
+            "mutation never invents or drops labels"
+        );
+    }
+
+    #[test]
+    fn schedule_lists_stay_sorted_and_duplicate_free() {
+        let mut rng = Rng::new(3);
+        let mut cur = FuzzInput::default();
+        for _ in 0..200 {
+            cur = mutate(&cur, &mut rng, 5);
+            assert!(cur.inject_at.windows(2).all(|w| w[0] < w[1]));
+            assert!(cur.fail_at.windows(2).all(|w| w[0] < w[1]));
+            assert!(cur.inject_at.iter().all(|&b| (1..=MAX_BOUNDARY).contains(&b)));
+            assert!(cur.fail_at.iter().all(|&b| (1..=MAX_FAIL_INDEX).contains(&b)));
+        }
+    }
+}

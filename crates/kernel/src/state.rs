@@ -448,6 +448,19 @@ impl KernelState {
         }
     }
 
+    /// Resets to a fresh-boot state while keeping the configuration that
+    /// outlives one run: the registry and the device descriptor. This is the
+    /// concrete-mode recycling shim — the hybrid fuzzer re-runs thousands of
+    /// workloads against one loaded image, and rebuilding only the kernel
+    /// side (not the VM or the image) is what keeps iterations cheap.
+    pub fn reset_for_run(&mut self) {
+        let registry = std::mem::take(&mut self.registry);
+        let device = self.device.clone();
+        *self = KernelState::new();
+        self.registry = registry;
+        self.device = device;
+    }
+
     /// Records an event.
     pub fn log(&mut self, ev: KernelEvent) {
         self.events.push(ev);
@@ -605,5 +618,27 @@ mod tests {
         assert!(Irql::Passive < Irql::Dispatch);
         assert!(Irql::Dispatch < Irql::Device);
         assert_eq!(Irql::Dispatch.level(), 2);
+    }
+
+    #[test]
+    fn reset_for_run_keeps_configuration_only() {
+        let mut s = KernelState::new();
+        s.registry.insert("MaximumMulticastList".into(), 8);
+        s.device.vendor_id = 0x8086;
+        // Dirty the run-scoped state.
+        s.heap_alloc(64).unwrap();
+        s.bug_check(0xdead, "boom");
+        s.force_alloc_failures = 3;
+        s.indicated_packets = 9;
+        s.now_us = 1234;
+        s.reset_for_run();
+        assert_eq!(s.registry.get("MaximumMulticastList"), Some(&8));
+        assert_eq!(s.device.vendor_id, 0x8086);
+        assert_eq!(s.heap_cursor, HEAP_BASE);
+        assert!(s.crash.is_none());
+        assert!(s.events.is_empty());
+        assert_eq!(s.force_alloc_failures, 0);
+        assert_eq!(s.indicated_packets, 0);
+        assert_eq!(s.now_us, 0);
     }
 }

@@ -1,6 +1,6 @@
 //! Symbolic execution states.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 use ddt_expr::{Assignment, Expr, SymId};
 use ddt_isa::Reg;
@@ -278,6 +278,15 @@ pub struct SymState {
     /// Decoded-instruction cache shared by every state forked from one
     /// root (an `Arc` handle; see [`crate::interp::DecodeCache`]).
     pub decode_cache: crate::interp::DecodeCache,
+    /// Escalation-lift pins for hardware reads (hybrid fuzzing): each
+    /// hardware symbol created while this queue is non-empty is immediately
+    /// constrained equal to the popped value, so the symbolic path retraces
+    /// a concrete fuzz execution up to the lift point and explores freely
+    /// beyond it. Remaining pins propagate to forks.
+    pub hw_pins: VecDeque<u64>,
+    /// Escalation-lift pins for labeled kernel-boundary symbols (packet
+    /// bytes, OIDs, registry values), consumed per-label in order.
+    pub label_pins: HashMap<String, VecDeque<u64>>,
 }
 
 impl SymState {
@@ -298,6 +307,8 @@ impl SymState {
             // The empty model satisfies the empty path condition.
             last_model: Some(Assignment::new()),
             decode_cache: crate::interp::DecodeCache::default(),
+            hw_pins: VecDeque::new(),
+            label_pins: HashMap::new(),
         }
     }
 
@@ -319,16 +330,39 @@ impl SymState {
             pending_forks: Vec::new(),
             last_model: self.last_model.clone(),
             decode_cache: self.decode_cache.clone(),
+            hw_pins: self.hw_pins.clone(),
+            label_pins: self.label_pins.clone(),
         }
     }
 
     /// Creates a fresh symbol with provenance, recording the trace event.
+    ///
+    /// If an escalation pin is queued for this symbol's source (hardware
+    /// queue for MMIO/port reads, per-label queue otherwise), the symbol is
+    /// constrained equal to the pinned concrete value at creation.
     pub fn new_symbol(&mut self, label: impl Into<String>, origin: SymOrigin, width: u32) -> Expr {
         let id = self.counter.next();
         let label = label.into();
+        let pin = match origin {
+            SymOrigin::HardwareRead { .. } | SymOrigin::PortRead { .. } => {
+                self.hw_pins.pop_front()
+            }
+            _ => self.label_pins.get_mut(&label).and_then(|q| q.pop_front()),
+        };
         self.symbols.insert(id, SymbolInfo { label: label.clone(), origin: origin.clone(), width });
         self.trace.push(TraceEvent::SymCreate { id, label, origin, width });
-        Expr::sym(id, width)
+        let e = Expr::sym(id, width);
+        if let Some(v) = pin {
+            let v = if width >= 64 { v } else { v & ((1u64 << width) - 1) };
+            // A brand-new symbol cannot appear in older constraints, so
+            // extending the cached model keeps it satisfying — no solver
+            // round-trip during an escalation replay.
+            if let Some(m) = &mut self.last_model {
+                m.set(id, v);
+            }
+            self.add_constraint(e.eq(&Expr::constant(v, width)));
+        }
+        e
     }
 
     /// Adds a path constraint, keeping the cached model honest: if the
@@ -383,6 +417,30 @@ impl SymState {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn escalation_pins_constrain_new_symbols() {
+        let mut st = SymState::new(SymCounter::new());
+        st.hw_pins.extend([0xabcd, 0x1]);
+        st.label_pins.insert("packet_len".into(), [60u64].into());
+        let h1 = st.new_symbol("hw:mmio[0x0]", SymOrigin::HardwareRead { addr: 0 }, 32);
+        let h2 = st.new_symbol("hw:port[0x10]", SymOrigin::PortRead { port: 0x10 }, 32);
+        let pl = st.new_symbol("packet_len", SymOrigin::Annotation { api: "x".into() }, 32);
+        // Unpinned: no matching label queue, hardware queue drained.
+        let free = st.new_symbol("hw:mmio[0x4]", SymOrigin::HardwareRead { addr: 4 }, 32);
+        assert_eq!(st.constraints.len(), 3, "three pins, three equality constraints");
+        let m = st.last_model.clone().expect("pinned constraints are satisfiable");
+        assert_eq!(h1.eval(&m), 0xabcd);
+        assert_eq!(h2.eval(&m), 0x1);
+        assert_eq!(pl.eval(&m), 60);
+        assert_eq!(free.eval(&m), 0, "unpinned symbol is unconstrained");
+        // Pins survive forks: a child created mid-lift keeps the queues.
+        let mut parent = SymState::new(SymCounter::new());
+        parent.hw_pins.push_back(7);
+        let mut child = parent.fork();
+        let c = child.new_symbol("hw:mmio[0x0]", SymOrigin::HardwareRead { addr: 0 }, 32);
+        assert_eq!(child.model_eval(&c), Some(7));
+    }
 
     #[test]
     fn counter_is_per_path_and_deterministic() {

@@ -7,17 +7,22 @@
 //! memory-access / fork-marker trace.
 
 use ddt_expr::Assignment;
-use serde::{Deserialize, Serialize};
+use serde::Serialize;
 
-use crate::bug::{BugClass, Decision};
+use crate::bug::{BugClass, BugOrigin, Decision};
 use crate::provenance::ProvenanceChain;
 use crate::TraceEvent;
 
 /// Manifest format version, bumped together with any schema change.
-pub const MANIFEST_VERSION: u32 = 1;
+/// Version history: 1 = initial; 2 = added `origin`.
+pub const MANIFEST_VERSION: u32 = 2;
 
 /// The JSON manifest of one stored bug (`manifest.json`).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+///
+/// `Deserialize` is hand-written (the vendored serde derive errors on
+/// missing fields): version-1 manifests lack `origin` and read as
+/// [`BugOrigin::Symbolic`].
+#[derive(Clone, Debug, Serialize)]
 pub struct BugRecord {
     /// Manifest schema version.
     pub version: u32,
@@ -27,6 +32,9 @@ pub struct BugRecord {
     pub driver: String,
     /// Classification (Table 2 "Bug Type").
     pub class: BugClass,
+    /// Which execution mode first found the bug (v2+; older manifests read
+    /// as symbolic).
+    pub origin: BugOrigin,
     /// One-line description.
     pub description: String,
     /// Driver instruction the failure is attributed to.
@@ -57,6 +65,42 @@ pub struct BugRecord {
     pub event_count: usize,
 }
 
+impl serde::Deserialize for BugRecord {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let m = v.as_map().ok_or_else(|| serde::DeError::expected("map for BugRecord"))?;
+        fn req<T: serde::Deserialize>(
+            m: &[(String, serde::Value)],
+            key: &str,
+        ) -> Result<T, serde::DeError> {
+            serde::Deserialize::from_value(serde::map_get(m, key)?)
+        }
+        Ok(BugRecord {
+            version: req(m, "version")?,
+            signature: req(m, "signature")?,
+            driver: req(m, "driver")?,
+            class: req(m, "class")?,
+            // The one versioned field: absent in v1 manifests.
+            origin: match serde::map_get(m, "origin") {
+                Ok(v) => serde::Deserialize::from_value(v)?,
+                Err(_) => BugOrigin::Symbolic,
+            },
+            description: req(m, "description")?,
+            pc: req(m, "pc")?,
+            entry: req(m, "entry")?,
+            interrupted_entry: req(m, "interrupted_entry")?,
+            checker: req(m, "checker")?,
+            key: req(m, "key")?,
+            occurrences: req(m, "occurrences")?,
+            stack: req(m, "stack")?,
+            inputs: req(m, "inputs")?,
+            decisions: req(m, "decisions")?,
+            minimized_decisions: req(m, "minimized_decisions")?,
+            provenance: req(m, "provenance")?,
+            event_count: req(m, "event_count")?,
+        })
+    }
+}
+
 impl BugRecord {
     /// The decisions replay should apply: the minimized schedule when
     /// available, the full schedule otherwise.
@@ -67,8 +111,12 @@ impl BugRecord {
     /// One summary line for listings.
     pub fn summary_line(&self) -> String {
         format!(
-            "{}  {:<10} {:<18} x{:<3} {}",
-            self.signature, self.driver, self.class.to_string(), self.occurrences,
+            "{}  {:<10} {:<18} {:<9} x{:<3} {}",
+            self.signature,
+            self.driver,
+            self.class.to_string(),
+            self.origin.to_string(),
+            self.occurrences,
             self.description
         )
     }
@@ -93,6 +141,7 @@ mod tests {
             signature: "00deadbeef00cafe".into(),
             driver: "rtl8029".into(),
             class: BugClass::SegFault,
+            origin: BugOrigin::Symbolic,
             description: "wild store".into(),
             pc: 0x40_0010,
             entry: "Initialize".into(),
@@ -111,13 +160,38 @@ mod tests {
 
     #[test]
     fn manifest_roundtrips_through_json() {
-        let r = record();
+        let mut r = record();
+        r.origin = BugOrigin::Escalated;
         let json = serde_json::to_string_pretty(&r).unwrap();
         let back: BugRecord = serde_json::from_str(&json).unwrap();
         assert_eq!(back.signature, r.signature);
         assert_eq!(back.class, r.class);
+        assert_eq!(back.origin, BugOrigin::Escalated);
         assert_eq!(back.occurrences, 3);
         assert_eq!(back.decisions, r.decisions);
+    }
+
+    #[test]
+    fn version1_manifest_without_origin_reads_as_symbolic() {
+        let r = record();
+        let json = serde_json::to_string_pretty(&r).unwrap();
+        // Strip the origin key to forge a pre-v2 manifest.
+        let legacy: String = json
+            .lines()
+            .filter(|l| !l.contains("\"origin\""))
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert_ne!(legacy, json, "forgery actually removed the field");
+        let back: BugRecord = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back.origin, BugOrigin::Symbolic);
+        assert_eq!(back.signature, r.signature);
+    }
+
+    #[test]
+    fn summary_line_carries_the_origin() {
+        let mut r = record();
+        r.origin = BugOrigin::Concrete;
+        assert!(r.summary_line().contains("concrete"));
     }
 
     #[test]

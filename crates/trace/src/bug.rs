@@ -47,6 +47,33 @@ impl std::fmt::Display for BugClass {
     }
 }
 
+/// Which execution mode first found a bug (hybrid fuzzing provenance).
+///
+/// Versioned into the manifest as of `MANIFEST_VERSION` 2; manifests
+/// written before the field existed deserialize as [`BugOrigin::Symbolic`],
+/// which is what they were.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BugOrigin {
+    /// Found by symbolic exploration.
+    #[default]
+    Symbolic,
+    /// Found by pure concrete fuzzing.
+    Concrete,
+    /// Found by symbolic exploration escalated from an interesting concrete
+    /// fuzz state.
+    Escalated,
+}
+
+impl std::fmt::Display for BugOrigin {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            BugOrigin::Symbolic => "symbolic",
+            BugOrigin::Concrete => "concrete",
+            BugOrigin::Escalated => "escalated",
+        })
+    }
+}
+
 /// One scheduling decision DDT made on the buggy path; replay re-applies
 /// these deterministically (§3.5).
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]

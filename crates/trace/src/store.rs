@@ -174,7 +174,7 @@ fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
 mod tests {
     use super::*;
     use crate::artifact::MANIFEST_VERSION;
-    use crate::bug::BugClass;
+    use crate::bug::{BugClass, BugOrigin};
     use crate::TraceEvent;
     use ddt_expr::Assignment;
 
@@ -196,6 +196,7 @@ mod tests {
                 signature: sig.into(),
                 driver: "rtl8029".into(),
                 class: BugClass::SegFault,
+                origin: BugOrigin::Symbolic,
                 description: "wild store".into(),
                 pc: 0x40_0010,
                 entry: "Initialize".into(),

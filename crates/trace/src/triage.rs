@@ -47,8 +47,13 @@ impl TriageSummary {
             out.push_str(&format!("{driver}:\n"));
             for r in records {
                 out.push_str(&format!(
-                    "  {}  [{:<18}] pc {:#010x} x{:<4} {}\n",
-                    r.signature, r.class.to_string(), r.pc, r.occurrences, r.description
+                    "  {}  [{:<18}] {:<9} pc {:#010x} x{:<4} {}\n",
+                    r.signature,
+                    r.class.to_string(),
+                    r.origin.to_string(),
+                    r.pc,
+                    r.occurrences,
+                    r.description
                 ));
                 for chain in &r.provenance {
                     out.push_str(&format!("      input {}\n", chain.render().replace('\n', "\n      ")));
@@ -80,7 +85,7 @@ pub fn triage(store: &TraceStore) -> io::Result<TriageSummary> {
 mod tests {
     use super::*;
     use crate::artifact::{TraceArtifact, MANIFEST_VERSION};
-    use crate::bug::BugClass;
+    use crate::bug::{BugClass, BugOrigin};
     use ddt_expr::Assignment;
 
     fn artifact(sig: &str, driver: &str, occurrences: u64) -> TraceArtifact {
@@ -90,6 +95,7 @@ mod tests {
                 signature: sig.into(),
                 driver: driver.into(),
                 class: BugClass::KernelCrash,
+                origin: BugOrigin::Concrete,
                 description: "bugcheck".into(),
                 pc: 0x40_0020,
                 entry: "Initialize".into(),
@@ -123,6 +129,7 @@ mod tests {
         let text = summary.render();
         assert!(text.contains("rtl8029:"));
         assert!(text.contains("x3"));
+        assert!(text.contains("concrete"), "triage rows show the bug origin");
         assert!(text.contains("2 distinct bug(s), 4 sighting(s)"));
     }
 

@@ -27,6 +27,13 @@ pub trait Device {
     fn port_write(&mut self, port: u32, value: u32) {
         let _ = (port, value);
     }
+
+    /// Downcast hook: devices that want post-run inspection (the fuzzer
+    /// reads back which values a [`ScriptedDevice`] actually served) return
+    /// `Some(self)`; the default is opaque.
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        None
+    }
 }
 
 /// A device that ignores writes and reads as zero.
@@ -68,6 +75,16 @@ impl ScriptedDevice {
     pub fn remaining(&self) -> usize {
         self.values.len().saturating_sub(self.next)
     }
+
+    /// Re-arms the device with a fresh script, clearing the serve/write
+    /// logs — the cheap path for run-to-run reuse (snapshot-reset fuzzing)
+    /// without reconstructing the bus.
+    pub fn rescript(&mut self, values: Vec<u32>) {
+        self.values = values;
+        self.next = 0;
+        self.served.clear();
+        self.writes.clear();
+    }
 }
 
 impl Device for ScriptedDevice {
@@ -88,6 +105,10 @@ impl Device for ScriptedDevice {
 
     fn port_write(&mut self, port: u32, value: u32) {
         self.writes.push((port, value));
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
     }
 }
 
@@ -313,6 +334,21 @@ mod more_bus_tests {
         assert_eq!(irq.pending(), Some(31));
         let r = std::panic::catch_unwind(move || irq.assert_line(32));
         assert!(r.is_err(), "line 32 is out of range");
+    }
+
+    #[test]
+    fn scripted_device_downcasts_through_the_bus() {
+        let mut bus = Bus::new();
+        let d = bus.add_device(Box::new(ScriptedDevice::new(vec![5])));
+        bus.map_mmio(0x1000, 0x100, d);
+        bus.mmio_read(0x1004, 4);
+        let dev = bus
+            .device_mut(d)
+            .as_any_mut()
+            .and_then(|a| a.downcast_mut::<ScriptedDevice>())
+            .expect("scripted device is inspectable");
+        assert_eq!(dev.served, vec![(4, 4, 5)]);
+        assert!(NullDevice.as_any_mut().is_none(), "opaque by default");
     }
 
     #[test]

@@ -106,11 +106,15 @@ impl Vm {
     }
 
     /// Loads a driver image into guest memory (maps and copies sections).
+    ///
+    /// The text section is declared as the code region so later writes to it
+    /// (self-modifying code) invalidate any [`BlockCache`].
     pub fn load_image(&mut self, image: &ddt_isa::image::DxeImage) {
         let total = image.image_end() - image.load_base;
         self.mem.map(image.load_base, total);
         self.mem.write_bytes(image.load_base, &image.text).expect("text fits mapping");
         self.mem.write_bytes(image.data_base(), &image.data).expect("data fits mapping");
+        self.mem.set_code_region(image.load_base, image.text.len() as u32);
     }
 
     fn read_mem(&mut self, pc: u32, addr: u32, size: u8) -> Result<u32, Fault> {
@@ -406,6 +410,150 @@ impl Vm {
         }
         StepEvent::Continue
     }
+
+    /// Pre-decodes the straight-line superblock starting at `pc`.
+    ///
+    /// The block ends at the first control-flow instruction (inclusive), at
+    /// the first undecodable/unfetchable slot (exclusive — dispatching there
+    /// falls back to [`Vm::step`] for exact fault semantics), or at
+    /// [`MAX_SUPERBLOCK`] instructions.
+    fn decode_block(&mut self, pc: u32) -> SuperBlock {
+        let mut insns = Vec::new();
+        let mut cur = pc;
+        while insns.len() < MAX_SUPERBLOCK {
+            let mut raw = [0u8; 8];
+            let mut ok = true;
+            for (i, b) in raw.iter_mut().enumerate() {
+                match self.mem.read_u8(cur.wrapping_add(i as u32), AccessKind::Fetch) {
+                    Ok(v) => *b = v,
+                    Err(_) => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if !ok {
+                break;
+            }
+            let Some(insn) = decode(&raw) else { break };
+            let terminal = insn.is_terminator();
+            insns.push((cur, insn));
+            if terminal {
+                break;
+            }
+            cur = cur.wrapping_add(INSN_SIZE);
+        }
+        SuperBlock { insns }
+    }
+
+    /// Threaded-dispatch interpreter: like [`Vm::run`] but executes
+    /// pre-decoded superblocks back-to-back with no per-instruction fetch or
+    /// decode. Every superblock entry pc is appended to `block_trace` (the
+    /// cheap concrete edge map consumed by the fuzzer's coverage feedback).
+    ///
+    /// Semantically identical to a [`Vm::step`] loop: the cache is keyed by
+    /// the memory's code generation, so self-modifying code — even a store
+    /// that patches a later instruction of the *current* block — re-decodes
+    /// before the stale copy can execute.
+    pub fn run_fast(
+        &mut self,
+        max_insns: u64,
+        cache: &mut BlockCache,
+        block_trace: &mut Vec<u32>,
+    ) -> StepEvent {
+        let mut budget = max_insns;
+        'dispatch: loop {
+            let gen = self.mem.code_generation();
+            if cache.generation != gen {
+                cache.blocks.clear();
+                cache.generation = gen;
+            }
+            let pc = self.cpu.pc;
+            if pc == RETURN_TRAP {
+                return StepEvent::ReturnToKernel;
+            }
+            if let Some(export_id) = trap_export_id(pc) {
+                return StepEvent::KernelCall { export_id, return_to: self.cpu.get(Reg::LR) };
+            }
+            if let std::collections::hash_map::Entry::Vacant(slot) = cache.blocks.entry(pc) {
+                let b = self.decode_block(pc);
+                if b.insns.is_empty() {
+                    // Unfetchable or undecodable right at the entry: one slow
+                    // step produces the exact fault.
+                    if budget == 0 {
+                        return StepEvent::Continue;
+                    }
+                    match self.step() {
+                        StepEvent::Continue => {
+                            budget -= 1;
+                            continue 'dispatch;
+                        }
+                        ev => return ev,
+                    }
+                }
+                slot.insert(b);
+            }
+            let block = &cache.blocks[&pc];
+            block_trace.push(pc);
+            for &(ipc, insn) in &block.insns {
+                if budget == 0 {
+                    return StepEvent::Continue;
+                }
+                self.insns_retired += 1;
+                budget -= 1;
+                match self.exec(ipc, insn) {
+                    Ok(StepEvent::Continue) => {}
+                    Ok(ev) => return ev,
+                    Err(f) => return StepEvent::Faulted(f),
+                }
+                if self.mem.code_generation() != gen {
+                    // A store hit the code region; the rest of this block may
+                    // be stale. Re-dispatch (which rebuilds the cache).
+                    continue 'dispatch;
+                }
+            }
+        }
+    }
+}
+
+/// Maximum pre-decoded instructions per superblock.
+const MAX_SUPERBLOCK: usize = 64;
+
+/// A straight-line run of pre-decoded instructions.
+#[derive(Clone, Debug)]
+struct SuperBlock {
+    /// `(pc, insn)` pairs; only the last may be control flow.
+    insns: Vec<(u32, Insn)>,
+}
+
+/// Cache of pre-decoded superblocks keyed by entry pc.
+///
+/// Owned by the caller (not the [`Vm`]) so one warm cache can be reused
+/// across many fuzz executions of the *same image* (generations only order
+/// writes within one image's lifetime, so reuse across different images
+/// must start from a fresh cache). It self-invalidates whenever the
+/// memory's code generation moves.
+#[derive(Debug, Default)]
+pub struct BlockCache {
+    blocks: std::collections::HashMap<u32, SuperBlock>,
+    generation: u64,
+}
+
+impl BlockCache {
+    /// Creates an empty cache.
+    pub fn new() -> BlockCache {
+        BlockCache::default()
+    }
+
+    /// Number of cached superblocks (diagnostics).
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// True if no blocks are cached.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
 }
 
 #[cfg(test)]
@@ -613,5 +761,127 @@ mod tests {
         let (mut vm, _) = vm_with("DriverEntry:\nspin: jmp spin");
         assert_eq!(vm.run(50), StepEvent::Continue, "budget exhausted mid-loop");
         assert_eq!(vm.insns_retired, 50);
+    }
+
+    #[test]
+    fn run_fast_matches_step_loop() {
+        let src = "DriverEntry:
+                push lr
+                mov r0, 0
+                mov r1, 0
+            loop:
+                add r0, r0, 1
+                call body
+                bltu r0, 200, loop
+                pop lr
+                ret
+            body:
+                add r1, r1, r0
+                ret";
+        let (mut slow, _) = vm_with(src);
+        let ev_slow = slow.run(1_000_000);
+        let (mut fast, _) = vm_with(src);
+        let mut cache = BlockCache::new();
+        let mut trace = Vec::new();
+        let ev_fast = fast.run_fast(1_000_000, &mut cache, &mut trace);
+        assert_eq!(ev_slow, ev_fast);
+        assert_eq!(slow.cpu, fast.cpu);
+        assert_eq!(slow.insns_retired, fast.insns_retired);
+        assert_eq!(fast.cpu.get(Reg(1)), (1..=200u32).sum::<u32>());
+        assert!(cache.len() >= 3, "loop body, call target, tail all cached");
+        assert!(trace.len() as u64 <= fast.insns_retired);
+        // Superblock entries start at the function's real block boundaries.
+        assert!(trace.iter().all(|pc| *pc >= 0x0010_0000), "entries are code addresses");
+    }
+
+    #[test]
+    fn run_fast_reuses_a_warm_cache_across_vms() {
+        let src = "DriverEntry:
+                mov r0, 0
+            loop:
+                add r0, r0, 1
+                bltu r0, 50, loop
+                ret";
+        let (mut a, _) = vm_with(src);
+        let mut cache = BlockCache::new();
+        let mut trace = Vec::new();
+        assert_eq!(a.run_fast(10_000, &mut cache, &mut trace), StepEvent::ReturnToKernel);
+        let warm = cache.len();
+        assert!(warm > 0);
+        // Same image in a fresh VM: the decoded blocks survive.
+        let (mut b, _) = vm_with(src);
+        trace.clear();
+        assert_eq!(b.run_fast(10_000, &mut cache, &mut trace), StepEvent::ReturnToKernel);
+        assert_eq!(cache.len(), warm, "no re-decode on the warm path");
+        assert_eq!(b.cpu.get(Reg(0)), 50);
+    }
+
+    #[test]
+    fn run_fast_invalidates_on_self_modifying_code() {
+        // The stores patch an instruction *later in the same superblock*:
+        // the 8-byte encoding of `mov r0, 2` (at src) is copied over
+        // `mov r0, 1` (at patch) before control reaches it. A step() loop
+        // naturally executes the new bytes; run_fast must re-decode.
+        let src = "DriverEntry:
+                lea r1, src
+                lea r2, patch
+                ldw r3, [r1]
+                stw [r2], r3
+                ldw r3, [r1+4]
+                stw [r2+4], r3
+            patch:
+                mov r0, 1
+                ret
+            src:
+                mov r0, 2
+                ret";
+        let (mut slow, _) = vm_with(src);
+        assert_eq!(slow.run(100), StepEvent::ReturnToKernel);
+        assert_eq!(slow.cpu.get(Reg(0)), 2, "step loop sees the patched insn");
+        let (mut fast, _) = vm_with(src);
+        let mut cache = BlockCache::new();
+        let mut trace = Vec::new();
+        assert_eq!(fast.run_fast(100, &mut cache, &mut trace), StepEvent::ReturnToKernel);
+        assert_eq!(fast.cpu.get(Reg(0)), 2, "superblock cache must re-decode after the store");
+        assert_eq!(slow.insns_retired, fast.insns_retired);
+    }
+
+    #[test]
+    fn run_fast_budget_is_resumable() {
+        let (mut vm, _) = vm_with("DriverEntry:\nspin: jmp spin");
+        let mut cache = BlockCache::new();
+        let mut trace = Vec::new();
+        assert_eq!(vm.run_fast(50, &mut cache, &mut trace), StepEvent::Continue);
+        assert_eq!(vm.insns_retired, 50);
+        assert_eq!(vm.run_fast(25, &mut cache, &mut trace), StepEvent::Continue);
+        assert_eq!(vm.insns_retired, 75);
+    }
+
+    #[test]
+    fn run_fast_traps_and_faults_match_step() {
+        let src = "DriverEntry:
+                push lr
+                mov r0, 5
+                call @KeFoo
+                pop lr
+                mov r1, 0x12340000
+                ldw r2, [r1]
+                ret";
+        let (mut vm, _) = vm_with(src);
+        let mut cache = BlockCache::new();
+        let mut trace = Vec::new();
+        match vm.run_fast(100, &mut cache, &mut trace) {
+            StepEvent::KernelCall { export_id, .. } => assert_eq!(export_id, 3),
+            ev => panic!("expected kernel call, got {ev:?}"),
+        }
+        vm.cpu.set(Reg(0), 0);
+        vm.cpu.pc = vm.cpu.get(Reg::LR);
+        match vm.run_fast(100, &mut cache, &mut trace) {
+            StepEvent::Faulted(Fault::BadAccess { addr, kind, .. }) => {
+                assert_eq!(addr, 0x1234_0000);
+                assert_eq!(kind, AccessKind::Read);
+            }
+            ev => panic!("expected fault, got {ev:?}"),
+        }
     }
 }

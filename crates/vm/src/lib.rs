@@ -22,5 +22,5 @@ pub mod cpu;
 pub mod mem;
 
 pub use bus::{Bus, Device, IrqController, NullDevice, ScriptedDevice};
-pub use cpu::{Cpu, Fault, StepEvent, Vm};
+pub use cpu::{BlockCache, Cpu, Fault, StepEvent, Vm};
 pub use mem::{AccessKind, MemError, Memory};

@@ -30,6 +30,13 @@ pub struct Memory {
     regions: BTreeMap<u32, u32>,
     /// Demand-allocated pages keyed by page base address.
     pages: HashMap<u32, Box<[u8; PAGE_SIZE as usize]>>,
+    /// Declared code region `[start, end)`, if any. Writes landing inside it
+    /// bump `code_generation`, which is the concrete analog of the symbolic
+    /// interpreter's `code_bytes_stable` guard: the superblock cache is
+    /// valid exactly while the generation it was decoded under is current.
+    code_region: Option<(u32, u32)>,
+    /// Bumped on every write that touches the code region.
+    code_generation: u64,
 }
 
 impl Memory {
@@ -137,9 +144,29 @@ impl Memory {
         if !self.is_mapped(addr) {
             return Err(MemError { addr, kind: AccessKind::Write });
         }
+        if let Some((s, e)) = self.code_region {
+            if addr >= s && addr < e {
+                self.code_generation += 1;
+            }
+        }
         let base = addr & !(PAGE_SIZE - 1);
         self.page(addr)[(addr - base) as usize] = v;
         Ok(())
+    }
+
+    /// Declares `[start, start+len)` as the code region whose writes
+    /// invalidate pre-decoded instruction caches (self-modifying code or a
+    /// reloaded image). Replaces any earlier declaration and bumps the
+    /// generation so stale caches built before the declaration also miss.
+    pub fn set_code_region(&mut self, start: u32, len: u32) {
+        self.code_region = Some((start, start.saturating_add(len)));
+        self.code_generation += 1;
+    }
+
+    /// Current code-region write generation. A decoded-block cache records
+    /// the generation it decoded under and must be discarded on mismatch.
+    pub fn code_generation(&self) -> u64 {
+        self.code_generation
     }
 
     /// Reads a little-endian value of `size` bytes (1, 2, 4, or 8).
@@ -254,6 +281,25 @@ mod tests {
         m.write_bytes(0x100, b"hello").unwrap();
         assert_eq!(m.read_bytes(0x100, 5).unwrap(), b"hello");
         assert!(m.write_bytes(0x1fd, b"xyzw").is_err(), "tail crosses the boundary");
+    }
+
+    #[test]
+    fn code_region_writes_bump_the_generation() {
+        let mut m = Memory::new();
+        m.map(0x1000, 0x2000);
+        let g0 = m.code_generation();
+        m.write_u8(0x1004, 1).unwrap(); // No region declared yet: no bump.
+        assert_eq!(m.code_generation(), g0);
+        m.set_code_region(0x1000, 0x1000);
+        let g1 = m.code_generation();
+        assert!(g1 > g0, "declaring the region invalidates older caches");
+        m.write_u8(0x2800, 0xff).unwrap(); // Data write: stable.
+        assert_eq!(m.code_generation(), g1);
+        m.write_u8(0x1ffc, 0xff).unwrap(); // Code write: invalidates.
+        assert!(m.code_generation() > g1);
+        let g2 = m.code_generation();
+        m.write(0x1ffe, 4, 0).unwrap(); // Straddles the region boundary.
+        assert_eq!(m.code_generation(), g2 + 2, "two of four bytes land inside");
     }
 
     #[test]

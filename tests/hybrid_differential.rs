@@ -1,0 +1,156 @@
+//! Hybrid-vs-symbolic differential harness.
+//!
+//! The hybrid pipeline (`ddt fuzz`) must be a strict superset of the pure
+//! symbolic engine: fuzzing and escalation may *add* findings, but the final
+//! frontier drain guarantees every symbolic path is still explored. Over the
+//! bundled drivers that means Table 2 is fully reproduced — every signature
+//! the symbolic baseline reports appears in the hybrid report too — with
+//! deterministic seeded fuzzing on top.
+
+use std::collections::BTreeSet;
+
+use ddt::{BugClass, Ddt, DriverUnderTest, FuzzConfig, Report};
+
+fn hybrid_config() -> FuzzConfig {
+    FuzzConfig {
+        // Small batches keep the harness fast; the superset guarantee comes
+        // from the frontier drain, not from fuzzing volume.
+        batches: 2,
+        batch_size: 12,
+        ..FuzzConfig::default()
+    }
+}
+
+fn signatures(report: &Report) -> BTreeSet<String> {
+    report.bugs.iter().map(|b| b.signature.clone()).collect()
+}
+
+fn keys(report: &Report) -> Vec<(String, String)> {
+    report.bugs.iter().map(|b| (b.key.clone(), b.signature.clone())).collect()
+}
+
+/// Every bundled driver: the symbolic baseline reproduces its Table 2 row,
+/// and the hybrid run finds a superset of the baseline's signatures.
+#[test]
+fn hybrid_is_a_superset_of_symbolic_on_every_bundled_driver() {
+    for spec in ddt::drivers::drivers() {
+        let dut = DriverUnderTest::from_spec(&spec);
+        let tool = Ddt::default();
+        let baseline = tool.test(&dut);
+        assert_eq!(
+            baseline.bugs.len(),
+            spec.expected_bugs,
+            "driver {}: symbolic baseline must match Table 2: {:#?}",
+            spec.name,
+            baseline.bugs
+        );
+        let hybrid = ddt::run_hybrid(&tool, &dut, &hybrid_config());
+        let base_sigs = signatures(&baseline);
+        let hybrid_sigs = signatures(&hybrid);
+        let missing: Vec<&String> = base_sigs.difference(&hybrid_sigs).collect();
+        assert!(
+            missing.is_empty(),
+            "driver {}: hybrid run lost symbolic findings {missing:?}\n\
+             baseline: {:#?}\nhybrid: {:#?}",
+            spec.name,
+            baseline.bugs,
+            hybrid.bugs
+        );
+        assert!(
+            hybrid.covered_blocks >= baseline.covered_blocks,
+            "driver {}: hybrid coverage regressed ({} < {})",
+            spec.name,
+            hybrid.covered_blocks,
+            baseline.covered_blocks
+        );
+    }
+}
+
+/// Same seed, same driver, same report: the fuzzing phase is deterministic
+/// end to end (SplitMix64 corpus scheduling plus a deterministic VM), so two
+/// hybrid runs agree bug-for-bug.
+#[test]
+fn seeded_hybrid_runs_are_deterministic() {
+    let spec = ddt::drivers::driver_by_name("rtl8029").unwrap();
+    let dut = DriverUnderTest::from_spec(&spec);
+    let tool = Ddt::default();
+    let a = ddt::run_hybrid(&tool, &dut, &hybrid_config());
+    let b = ddt::run_hybrid(&tool, &dut, &hybrid_config());
+    assert_eq!(keys(&a), keys(&b), "bug sets must match key-for-key");
+    assert_eq!(a.stats.fuzz_execs, b.stats.fuzz_execs);
+    assert_eq!(a.stats.fuzz_insns, b.stats.fuzz_insns);
+    assert_eq!(a.stats.escalations, b.stats.escalations);
+    assert_eq!(a.covered_blocks, b.covered_blocks);
+    // A different seed may schedule differently but must preserve the
+    // symbolic superset (drain still runs).
+    let other = ddt::run_hybrid(
+        &tool,
+        &dut,
+        &FuzzConfig { seed: 0x5EED_CAFE, ..hybrid_config() },
+    );
+    let base = signatures(&tool.test(&dut));
+    let other_sigs = signatures(&other);
+    let missing: Vec<&String> = base.difference(&other_sigs).collect();
+    assert!(missing.is_empty(), "reseeded hybrid lost {missing:?}");
+}
+
+/// A concretely-found bug carries a synthesized trace + decision schedule
+/// good enough for the standard replayer: persist it to a trace store, load
+/// it back, and reproduce the same verdict concretely.
+#[test]
+fn concrete_bug_persists_and_replays_to_the_same_verdict() {
+    let dir = std::env::temp_dir()
+        .join(format!("ddt-hybrid-diff-{}-replay", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let spec = ddt::drivers::driver_by_name("rtl8029").unwrap();
+    let dut = DriverUnderTest::from_spec(&spec);
+    let mut config = ddt::DdtConfig::default();
+    config.trace_dir = Some(dir.clone());
+    let tool = Ddt::new(config);
+    // Fuzz-only: everything this run reports was found concretely.
+    let fz = FuzzConfig {
+        escalate: false,
+        quanta_per_batch: 0,
+        drain_frontier: false,
+        ..hybrid_config()
+    };
+    let report = ddt::run_hybrid(&tool, &dut, &fz);
+    let crash = report
+        .bugs
+        .iter()
+        .find(|b| b.class == BugClass::KernelCrash)
+        .expect("the canned interrupt seed finds the timer crash concretely");
+    assert_eq!(crash.origin, ddt::core::BugOrigin::Concrete);
+    let store = ddt::trace::TraceStore::open(&dir).unwrap();
+    let artifact = store.load(&crash.signature).expect("concrete bug was persisted");
+    assert_eq!(artifact.manifest.origin, ddt::trace::BugOrigin::Concrete);
+    match ddt::replay_artifact(&dut, &artifact) {
+        ddt::ReplayOutcome::Reproduced { .. } => {}
+        ddt::ReplayOutcome::NotReproduced { observed } => {
+            panic!("concrete bug failed to replay: {observed}")
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Escalated findings are attributed: when fuzzing seeds the frontier, bugs
+/// found on lifted states are tagged `Escalated`, never mislabeled as plain
+/// symbolic discoveries of a fuzz-free run.
+#[test]
+fn escalation_attributes_origins_and_interleaves_quanta() {
+    let spec = ddt::drivers::driver_by_name("rtl8029").unwrap();
+    let dut = DriverUnderTest::from_spec(&spec);
+    let tool = Ddt::default();
+    let report = ddt::run_hybrid(&tool, &dut, &hybrid_config());
+    assert!(report.stats.escalations > 0, "fuzzing found interesting inputs");
+    assert!(report.stats.quanta_executed > 0, "symbolic quanta ran");
+    assert!(report.stats.fuzz_execs > 0);
+    // Every origin value is well-formed and at least one bug is non-symbolic
+    // (the canned seeds find the timer crash and the config-handle leak
+    // concretely before the drain re-finds their symbolic twins).
+    assert!(
+        report.bugs.iter().any(|b| b.origin != ddt::core::BugOrigin::Symbolic),
+        "{:#?}",
+        report.bugs
+    );
+}

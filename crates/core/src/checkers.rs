@@ -70,6 +70,9 @@ fn fault_path_note(m: &Machine) -> Option<String> {
         Decision::InjectFault { kind, .. } => {
             Some(format!("a path where {} failed", kind.describe()))
         }
+        Decision::LifecycleEvent { event, .. } => {
+            Some(format!("a path where the device saw a {event}"))
+        }
         _ => None,
     })
 }
@@ -366,6 +369,74 @@ pub fn check_infinite_loop(m: &Machine, window: usize) -> Option<PendingBug> {
         model: None,
         syms: Vec::new(),
     })
+}
+
+/// Device-lifecycle checkers, run at every invocation return while the
+/// returning frame is still on the stack:
+///
+/// - **touch-after-remove**: any hardware access recorded after the device
+///   was surprise-removed is a use of a device that no longer exists (on
+///   real hardware the bus returns all-ones or the write is silently
+///   dropped; either way the driver is confused). Reported once per path,
+///   at the first offending access.
+/// - **resume-without-restore**: a `PnpSetPowerD0` handler that returns
+///   without a single hardware write has not reprogrammed the device — the
+///   registers lost their contents in D3, so the device comes back dead.
+pub fn check_lifecycle(m: &mut Machine) -> Vec<PendingBug> {
+    let mut bugs = Vec::new();
+    if let Some(mark) = m.removed_trace_mark {
+        if !m.touch_after_remove_reported {
+            let tail = m.st.trace.tail(m.st.trace.len().saturating_sub(mark));
+            let mut last_pc = m.st.cpu.pc;
+            for ev in &tail {
+                let touched = match ev {
+                    TraceEvent::Exec { pc } => {
+                        last_pc = *pc;
+                        None
+                    }
+                    TraceEvent::HardwareRead { addr, .. } => Some(("reads", *addr)),
+                    TraceEvent::HardwareWrite { addr, .. } => Some(("writes", *addr)),
+                    _ => None,
+                };
+                if let Some((verb, addr)) = touched {
+                    m.touch_after_remove_reported = true;
+                    bugs.push(PendingBug {
+                        class: BugClass::LifecycleViolation,
+                        description: format!(
+                            "{} {verb} device register {addr:#x} after the device \
+                             was surprise-removed",
+                            m.running()
+                        ),
+                        pc: last_pc,
+                        key: format!("touchremove:{last_pc:x}:{}", m.running()),
+                        model: None,
+                        syms: Vec::new(),
+                    });
+                    break;
+                }
+            }
+        }
+    }
+    if let Some(crate::machine::Frame::Pnp { event, trace_mark, .. }) = m.frames.last() {
+        if *event == crate::report::LifecycleEvent::Resume {
+            let tail = m.st.trace.tail(m.st.trace.len().saturating_sub(*trace_mark));
+            let restored =
+                tail.iter().any(|ev| matches!(ev, TraceEvent::HardwareWrite { .. }));
+            if !restored {
+                bugs.push(PendingBug {
+                    class: BugClass::LifecycleViolation,
+                    description: "driver resumes to D0 without reprogramming the device \
+                                  (the power handler performed no hardware writes)"
+                        .to_string(),
+                    pc: m.st.cpu.pc,
+                    key: format!("noreprog:{}", m.current_entry()),
+                    model: None,
+                    syms: Vec::new(),
+                });
+            }
+        }
+    }
+    bugs
 }
 
 /// Leak and lock checks when an invocation returns to the kernel.
@@ -697,6 +768,76 @@ mod tests {
         let bug = classify_fault(&m, &f).unwrap();
         assert_eq!(bug.class, BugClass::SegFault);
         assert!(bug.description.contains("shared memory allocation failed"));
+    }
+
+    #[test]
+    fn touch_after_remove_reports_first_access_once() {
+        let mut m = machine();
+        m.st.trace.push(TraceEvent::Exec { pc: 0x40_0010 });
+        m.removed_trace_mark = Some(m.st.trace.len());
+        m.st.trace.push(TraceEvent::Exec { pc: 0x40_0020 });
+        m.st.trace.push(TraceEvent::HardwareWrite { addr: 0x12, value: Some(0xff) });
+        m.st.trace.push(TraceEvent::HardwareWrite { addr: 0x13, value: Some(0x1) });
+        let bugs = check_lifecycle(&mut m);
+        assert_eq!(bugs.len(), 1, "first offending access only");
+        assert_eq!(bugs[0].class, BugClass::LifecycleViolation);
+        assert_eq!(bugs[0].pc, 0x40_0020, "attributed to the access instruction");
+        assert!(bugs[0].description.contains("after the device was surprise-removed"));
+        assert!(check_lifecycle(&mut m).is_empty(), "reported once per path");
+    }
+    #[test]
+    fn accesses_before_removal_are_clean() {
+        let mut m = machine();
+        m.st.trace.push(TraceEvent::HardwareWrite { addr: 0x12, value: Some(0xff) });
+        m.removed_trace_mark = Some(m.st.trace.len());
+        assert!(check_lifecycle(&mut m).is_empty());
+    }
+
+    #[test]
+    fn resume_without_hardware_writes_is_a_violation() {
+        let mut m = machine();
+        m.st.trace.push(TraceEvent::HardwareWrite { addr: 0x11, value: Some(1) });
+        let trace_mark = m.st.trace.len();
+        m.frames.push(crate::machine::Frame::Pnp {
+            event: crate::report::LifecycleEvent::Resume,
+            saved: m.save_ctx(),
+            at_entry: "Send".into(),
+            held_at_entry: vec![],
+            trace_mark,
+        });
+        let bugs = check_lifecycle(&mut m);
+        assert_eq!(bugs.len(), 1);
+        assert_eq!(bugs[0].class, BugClass::LifecycleViolation);
+        assert!(bugs[0].description.contains("without reprogramming"));
+        // A handler that does reprogram the device is clean.
+        m.st.trace.push(TraceEvent::HardwareWrite { addr: 0x11, value: Some(1) });
+        assert!(check_lifecycle(&mut m).is_empty());
+    }
+
+    #[test]
+    fn suspend_handler_needs_no_hardware_writes() {
+        let mut m = machine();
+        m.frames.push(crate::machine::Frame::Pnp {
+            event: crate::report::LifecycleEvent::Suspend,
+            saved: m.save_ctx(),
+            at_entry: "Send".into(),
+            held_at_entry: vec![],
+            trace_mark: 0,
+        });
+        assert!(check_lifecycle(&mut m).is_empty());
+    }
+
+    #[test]
+    fn lifecycle_path_note_shows_up_in_crash_descriptions() {
+        let mut m = machine();
+        m.decisions.push(Decision::LifecycleEvent {
+            boundary: 2,
+            event: crate::report::LifecycleEvent::SurpriseRemove,
+        });
+        let crash = CrashInfo { code: 0x7e, message: "freeing invalid pool pointer 0x100".into() };
+        let bug = classify_crash(&m, &crash);
+        assert_eq!(bug.class, BugClass::KernelCrash);
+        assert!(bug.description.contains("a path where the device saw a surprise removal"));
     }
 
     #[test]

@@ -28,7 +28,9 @@ use ddt_isa::image::DxeImage;
 use ddt_isa::{analysis, Reg};
 use ddt_kernel::loader::{DeviceDescriptor, LoadPlan, StackLayout};
 use ddt_kernel::state::DEVICE_MMIO_BASE;
-use ddt_kernel::{EntryInvocation, ExecContext, Irql, Kernel, KernelEvent};
+use ddt_kernel::{
+    DevicePowerState, EntryInvocation, ExecContext, FaultFamily, Irql, Kernel, KernelEvent,
+};
 use ddt_solver::{QueryCache, Solver};
 use ddt_symvm::{
     step, //
@@ -41,7 +43,8 @@ use ddt_symvm::{
 
 use crate::annotations::{apply_resource_grants, post_kernel_call, Annotations};
 use crate::checkers::{
-    classify_crash, //
+    check_lifecycle, //
+    classify_crash,
     classify_fault,
     classify_violation,
     on_invocation_return,
@@ -55,7 +58,7 @@ use ddt_trace::{JournalRecord, PathStatus, SiteKind};
 use crate::faults::{FaultInjector, FaultPlan};
 use crate::hardware::DdtEnv;
 use crate::machine::{Frame, Machine, SymHost};
-use crate::report::{Bug, BugOrigin, Decision, ExploreStats, Report, RunHealth};
+use crate::report::{Bug, BugOrigin, Decision, ExploreStats, LifecycleEvent, Report, RunHealth};
 use crate::search::{Frontier, PruneSet, Strategy};
 use ddt_drivers::workload::{WorkloadOp, OID_BASE};
 use ddt_drivers::DriverClass;
@@ -545,6 +548,10 @@ impl Ddt {
         fold_solver(&mut stats, &solver);
         stats.cache_evictions = run_cache.as_ref().map_or(0, |c| c.stats().evictions);
         stats.sample_interner();
+        stats.lifecycle_bugs = bugs
+            .values()
+            .filter(|b| b.class == crate::report::BugClass::LifecycleViolation)
+            .count() as u64;
         let insn_exhausted = stats.insns > self.config.max_total_insns;
         let wall_exhausted = stats.wall_ms > self.config.time_budget_ms;
         let mut health = RunHealth::from_stats(&stats, insn_exhausted, wall_exhausted);
@@ -607,6 +614,10 @@ impl Ddt {
         let signatures: std::collections::HashSet<&str> =
             bug_list.iter().map(|b| b.signature.as_str()).collect();
         health.bugs_deduped = signatures.len() as u64;
+        health.lifecycle_bugs = bug_list
+            .iter()
+            .filter(|b| b.class == crate::report::BugClass::LifecycleViolation)
+            .count() as u64;
         if let Some(dir) = &self.config.trace_dir {
             match crate::tracestore::persist_bugs(dir, &bug_list, dut) {
                 Ok(n) => health.traces_persisted = n,
@@ -1114,7 +1125,11 @@ impl Ddt {
         m.boundaries += 1;
         // If replay turns the machine into the interrupted alternative, the
         // next loop iteration simply steps into the ISR — no restart needed.
-        let _ = self.maybe_inject_interrupt(m, sinks);
+        if !self.maybe_inject_interrupt(m, sinks) {
+            // Same for the lifecycle alternatives: the next iteration steps
+            // into the PnP handler.
+            let _ = self.maybe_inject_lifecycle(m, sinks);
+        }
         Ok(CallFlow::Done)
     }
 
@@ -1123,6 +1138,10 @@ impl Ddt {
     /// steering turned the machine itself into that alternative.
     fn maybe_inject_interrupt(&self, m: &mut Machine, sinks: &mut QuantumSinks) -> bool {
         if m.interrupt_budget == 0 || m.in_nested_frame() {
+            return false;
+        }
+        // A removed or powered-down device raises no interrupts.
+        if !m.kernel.state.device_present || m.kernel.state.power != DevicePowerState::D0 {
             return false;
         }
         let Some(table) = m.kernel.state.miniport.clone() else { return false };
@@ -1145,6 +1164,62 @@ impl Ddt {
             c.apply_invocation(&inv, true);
             c.st.trace.push(TraceEvent::EntryInvoke { name: "Isr".into(), addr: table.isr });
         })
+    }
+
+    /// The device-lifecycle fork sites: up to two alternatives per boundary
+    /// in which a power transition (suspend from D0, resume from D3) or a
+    /// surprise removal hits the device and the driver's PnP handler runs.
+    /// Returns `true` when replay steering turned the machine itself into
+    /// one of those alternatives.
+    fn maybe_inject_lifecycle(&self, m: &mut Machine, sinks: &mut QuantumSinks) -> bool {
+        if !self.config.fault_plan.wants(FaultFamily::Lifecycle) {
+            return false;
+        }
+        if m.lifecycle_budget == 0 || m.in_nested_frame() {
+            return false;
+        }
+        let s = &m.kernel.state;
+        // No handler, no events; a removed device emits nothing further;
+        // PnP notifications arrive at passive level only.
+        if s.pnp_handler == 0 || !s.device_present || s.irql != Irql::Passive {
+            return false;
+        }
+        let boundary = m.boundaries;
+        // Power site: the direction depends on the current power state, so
+        // a suspend alternative can later fork its own resume alternative.
+        let power_event = match s.power {
+            DevicePowerState::D0 => LifecycleEvent::Suspend,
+            DevicePowerState::D3 => LifecycleEvent::Resume,
+        };
+        if !sinks.replaying() {
+            sinks.stats.count_fault(FaultFamily::Lifecycle);
+        }
+        if self.fork_site(m, sinks, SiteKind::Lifecycle, |c| {
+            c.lifecycle_budget -= 1;
+            c.decisions.push(Decision::LifecycleEvent { boundary, event: power_event });
+            deliver_lifecycle(c, power_event, true);
+        }) {
+            return true;
+        }
+        // Removal site: only a powered-up device can be surprise-removed
+        // (a D3 device's removal surfaces at the resume that never works —
+        // a different path family, explored from the resume alternative).
+        if m.kernel.state.power == DevicePowerState::D0 {
+            if !sinks.replaying() {
+                sinks.stats.count_fault(FaultFamily::Lifecycle);
+            }
+            if self.fork_site(m, sinks, SiteKind::Lifecycle, |c| {
+                c.lifecycle_budget -= 1;
+                c.decisions.push(Decision::LifecycleEvent {
+                    boundary,
+                    event: LifecycleEvent::SurpriseRemove,
+                });
+                deliver_lifecycle(c, LifecycleEvent::SurpriseRemove, true);
+            }) {
+                return true;
+            }
+        }
+        false
     }
 
     /// Handles a return to the kernel: frame pops, checkers, next workload
@@ -1177,6 +1252,11 @@ impl Ddt {
         let returned = m.frames.last().expect("checked").running().to_string();
         let held_at_entry = m.frames.last().expect("checked").held_at_entry().to_vec();
         for pending in on_invocation_return(m, &returned, status, &held_at_entry) {
+            self.record_bug(sinks.bugs, sinks.new_bug_keys, m, pending, solver, dut);
+        }
+        // Lifecycle checkers need the returning frame still on the stack
+        // (the resume-without-restore rule reads its trace mark).
+        for pending in check_lifecycle(m) {
             self.record_bug(sinks.bugs, sinks.new_bug_keys, m, pending, solver, dut);
         }
         let frame = m.frames.pop().expect("checked");
@@ -1222,6 +1302,17 @@ impl Ddt {
                 m.restore_ctx(&saved);
                 ReturnFlow::Continue
             }
+            Frame::Pnp { saved, .. } => {
+                if m.frames.is_empty() {
+                    // Workload-level delivery: the handler ran between entry
+                    // points, so resume the workload, not a saved context.
+                    self.schedule_next_op(m, &dut.workload, sinks)
+                } else {
+                    // Mid-quantum injection: resume the interrupted entry.
+                    m.restore_ctx(&saved);
+                    ReturnFlow::Continue
+                }
+            }
         }
     }
 
@@ -1238,6 +1329,10 @@ impl Ddt {
         if self.maybe_inject_interrupt(m, sinks) {
             // Replay turned the machine into the interrupted alternative:
             // run the ISR instead of scheduling the next operation.
+            return ReturnFlow::Continue;
+        }
+        if self.maybe_inject_lifecycle(m, sinks) {
+            // Same: run the PnP handler instead of the next operation.
             return ReturnFlow::Continue;
         }
         loop {
@@ -1380,6 +1475,24 @@ impl Ddt {
                     }
                     EntryInvocation::new("Halt", table.halt, [handle, 0, 0, 0])
                 }
+                WorkloadOp::SurpriseRemove | WorkloadOp::Suspend | WorkloadOp::Resume => {
+                    // Deterministic workload-level delivery (no fork, no
+                    // decision): drivers without a PnP handler skip these,
+                    // and a removed device sees no further events.
+                    if m.kernel.state.pnp_handler == 0 || !m.kernel.state.device_present {
+                        continue;
+                    }
+                    let event = match op {
+                        WorkloadOp::SurpriseRemove => LifecycleEvent::SurpriseRemove,
+                        WorkloadOp::Suspend => LifecycleEvent::Suspend,
+                        _ => LifecycleEvent::Resume,
+                    };
+                    if !sinks.replaying() {
+                        sinks.stats.count_fault(FaultFamily::Lifecycle);
+                    }
+                    deliver_lifecycle(m, event, false);
+                    return ReturnFlow::Continue;
+                }
             };
             m.frames.push(Frame::Entry { name: inv.name.clone(), held_at_entry: m.held_locks() });
             m.apply_invocation(&inv, false);
@@ -1409,6 +1522,38 @@ impl Ddt {
         }
     }
 
+}
+
+/// Delivers one device-lifecycle event: advances the presence/power state
+/// machine *before* the handler runs (a surprise-removed device is gone the
+/// moment the notification fires), then invokes the driver's registered PnP
+/// callback as `handler(context, event_code, 0, 0)` on a [`Frame::Pnp`].
+/// `keep_sp` follows the ISR/timer convention: mid-quantum injections run
+/// on the interrupted stack, workload-level deliveries on a fresh one.
+fn deliver_lifecycle(m: &mut Machine, event: LifecycleEvent, keep_sp: bool) {
+    match event {
+        LifecycleEvent::SurpriseRemove => {
+            m.kernel.state.surprise_remove();
+            if m.removed_trace_mark.is_none() {
+                m.removed_trace_mark = Some(m.st.trace.len());
+            }
+        }
+        LifecycleEvent::Suspend => m.kernel.state.set_power(DevicePowerState::D3),
+        LifecycleEvent::Resume => m.kernel.state.set_power(DevicePowerState::D0),
+    }
+    let at_entry = m.running().to_string();
+    let saved = m.save_ctx();
+    let held_at_entry = m.held_locks();
+    let trace_mark = m.st.trace.len();
+    m.frames.push(Frame::Pnp { event, saved, at_entry, held_at_entry, trace_mark });
+    m.kernel.state.context = ExecContext::Passive;
+    m.kernel.state.irql = Irql::Passive;
+    let handler = m.kernel.state.pnp_handler;
+    let context = m.kernel.state.pnp_context;
+    let name = event.invocation_name();
+    let inv = EntryInvocation::new(name, handler, [context, event.code(), 0, 0]);
+    m.apply_invocation(&inv, keep_sp);
+    m.st.trace.push(TraceEvent::EntryInvoke { name: name.into(), addr: handler });
 }
 
 /// Crude class recovery from the op shape (audio uses property ids near 0).

@@ -96,9 +96,11 @@ impl FaultPlan {
     /// Families whose failure a correct driver must propagate: returning
     /// success from `Initialize` after one of these failed is a bug.
     /// Registry parameters are excluded — drivers legitimately fall back to
-    /// defaults when a configuration read fails.
+    /// defaults when a configuration read fails — and Lifecycle is excluded
+    /// because lifecycle events are not acquisitions: they carry no status
+    /// for the driver to check.
     pub fn mandatory(family: FaultFamily) -> bool {
-        !matches!(family, FaultFamily::Registry)
+        !matches!(family, FaultFamily::Registry | FaultFamily::Lifecycle)
     }
 }
 
@@ -230,11 +232,23 @@ mod tests {
     }
 
     #[test]
-    fn registry_is_the_only_optional_family() {
-        assert!(!FaultPlan::mandatory(FaultFamily::Registry));
-        assert!(FaultPlan::mandatory(FaultFamily::PoolAlloc));
-        assert!(FaultPlan::mandatory(FaultFamily::Registration));
-        assert!(FaultPlan::mandatory(FaultFamily::SharedMemory));
-        assert!(FaultPlan::mandatory(FaultFamily::MapRegisters));
+    fn registry_and_lifecycle_are_the_only_optional_families() {
+        for family in FaultFamily::ALL {
+            let optional = matches!(family, FaultFamily::Registry | FaultFamily::Lifecycle);
+            assert_eq!(FaultPlan::mandatory(family), !optional, "{family:?}");
+        }
+    }
+
+    #[test]
+    fn lifecycle_family_never_forks_at_kernel_call_sites() {
+        // Lifecycle events inject at execution boundaries, not at kernel
+        // calls; no export maps to the family, so the call-site oracle must
+        // stay inert even under the full plan.
+        let inj = FaultInjector::new(FaultPlan::full());
+        let ann = Annotations::defaults();
+        for export in 0..128u16 {
+            assert_ne!(inj.should_fork(export, &ann, &[]), Some(FaultFamily::Lifecycle));
+        }
+        assert!(FaultPlan::full().wants(FaultFamily::Lifecycle));
     }
 }

@@ -51,7 +51,7 @@ use crate::checkpoint::frontier_record;
 use crate::coverage::Coverage;
 use crate::exerciser::{Ddt, DriverUnderTest, QuantumSinks};
 use crate::hardware::DdtEnv;
-use crate::report::{Bug, ExploreStats, Report, RunHealth};
+use crate::report::{Bug, BugClass, ExploreStats, Report, RunHealth};
 use crate::search::{PruneSet, Strategy};
 
 /// Fleet supervisor configuration.
@@ -666,6 +666,8 @@ struct StatusFile {
     shards_quarantined: usize,
     bugs: Vec<String>,
     covered_blocks: usize,
+    lifecycle_injected: u64,
+    lifecycle_bugs: u64,
 }
 
 /// One shard's reported results, buffered until the final fold.
@@ -1409,6 +1411,23 @@ impl<'a> Supervisor<'a> {
                 }
                 covered.len()
             },
+            lifecycle_injected: self.stats.faults_lifecycle
+                + self.results.values().map(|r| r.stats.faults_lifecycle).sum::<u64>(),
+            lifecycle_bugs: {
+                let lifecycle = |b: &Bug| b.class == BugClass::LifecycleViolation;
+                let mut keys: BTreeSet<String> = self
+                    .bugs
+                    .values()
+                    .filter(|b| lifecycle(b))
+                    .map(|b| b.key.clone())
+                    .collect();
+                for r in self.results.values() {
+                    keys.extend(
+                        r.bugs.iter().filter(|b| lifecycle(b)).map(|b| b.key.clone()),
+                    );
+                }
+                keys.len() as u64
+            },
         };
         let json = match serde_json::to_vec_pretty(&status) {
             Ok(j) => j,
@@ -1634,6 +1653,10 @@ mod tests {
         let text = std::fs::read_to_string(&status).expect("status file written");
         assert!(text.contains("\"shards_done\""), "status JSON has the lease table: {text}");
         assert!(text.contains("\"states_per_sec\""), "status JSON has worker rates");
+        assert!(
+            text.contains("\"lifecycle_injected\"") && text.contains("\"lifecycle_bugs\""),
+            "status JSON has the lifecycle counters: {text}"
+        );
         let _ = std::fs::remove_file(&status);
     }
 

@@ -46,7 +46,9 @@ use crate::exerciser::{Ddt, DriverUnderTest, QuantumSinks};
 use crate::hardware::DdtEnv;
 use crate::machine::Machine;
 use crate::replay::{ConcreteOutcome, ConcreteRunner};
-use crate::report::{Bug, BugClass, BugOrigin, Decision, ExploreStats, Report, RunHealth};
+use crate::report::{
+    Bug, BugClass, BugOrigin, Decision, ExploreStats, LifecycleEvent, Report, RunHealth,
+};
 use crate::search::Frontier;
 
 /// Escalation dedup key: the hardware values an execution was served plus
@@ -113,6 +115,16 @@ fn canned_seeds(corpus: &mut Corpus) {
     for k in 0..12 {
         corpus.add(FuzzInput { fail_at: vec![k], ..FuzzInput::default() }, 2);
     }
+    // Lifecycle trouble spots: a suspend/resume cycle early in the workload
+    // and a surprise removal mid-workload (codes 2/3/1, no-ops for drivers
+    // without a PnP handler).
+    corpus.add(
+        FuzzInput { lifecycle: vec![(6, 2), (8, 3)], ..FuzzInput::default() },
+        2,
+    );
+    for b in [4, 8, 12] {
+        corpus.add(FuzzInput { lifecycle: vec![(b, 1)], ..FuzzInput::default() }, 2);
+    }
 }
 
 /// Seeds the corpus from solved models in the trace store: every persisted
@@ -144,6 +156,9 @@ fn seed_from_store(dir: &std::path::Path, driver: &str, corpus: &mut Corpus) {
         for d in rec.replay_decisions() {
             match d {
                 Decision::InjectInterrupt { boundary } => input.inject_at.push(*boundary),
+                Decision::LifecycleEvent { boundary, event } => {
+                    input.lifecycle.push((*boundary, event.code() as u8))
+                }
                 Decision::ForceAllocFail { kernel_call } => input.fail_at.push(*kernel_call),
                 Decision::InjectFault { site, .. } => input.fail_at.push(*site),
                 Decision::ConcretizationBacktrack { .. } => {}
@@ -153,6 +168,8 @@ fn seed_from_store(dir: &std::path::Path, driver: &str, corpus: &mut Corpus) {
         input.inject_at.dedup();
         input.fail_at.sort_unstable();
         input.fail_at.dedup();
+        input.lifecycle.sort_unstable();
+        input.lifecycle.dedup();
         corpus.add(input, 10);
     }
 }
@@ -176,8 +193,22 @@ fn synthesize_bug(
     input: &FuzzInput,
     outcome: &ConcreteOutcome,
 ) -> Option<Bug> {
+    // A run can complete "cleanly" while still violating the lifecycle
+    // rules — the violation evidence lives in the device access log.
+    let lifecycle_violation = if runner.hw_touched_after_remove() {
+        Some("driver touched device registers after surprise removal")
+    } else if runner.resume_without_writes {
+        Some("driver resumed to D0 without reprogramming the device")
+    } else {
+        None
+    };
     let (class, description, pc) = match outcome {
-        ConcreteOutcome::Completed => return None,
+        ConcreteOutcome::Completed => match lifecycle_violation {
+            Some(desc) => {
+                (BugClass::LifecycleViolation, desc.to_string(), runner.vm.cpu.pc)
+            }
+            None => return None,
+        },
         ConcreteOutcome::Faulted { fault, .. } => (
             BugClass::SegFault,
             format!("concrete execution faulted: {fault:?}"),
@@ -229,6 +260,11 @@ fn synthesize_bug(
     let mut decisions: Vec<Decision> = Vec::new();
     for &boundary in &input.inject_at {
         decisions.push(Decision::InjectInterrupt { boundary });
+    }
+    for &(boundary, code) in &input.lifecycle {
+        if let Some(event) = LifecycleEvent::from_code(code as u32) {
+            decisions.push(Decision::LifecycleEvent { boundary, event });
+        }
     }
     for &kernel_call in &input.fail_at {
         decisions.push(Decision::ForceAllocFail { kernel_call });
@@ -584,10 +620,12 @@ mod tests {
         let crash = report
             .bugs
             .iter()
-            .find(|b| b.class == BugClass::KernelCrash)
+            .find(|b| {
+                b.class == BugClass::KernelCrash
+                    && b.description.contains("uninitialized timer")
+            })
             .expect("the canned live-status seed triggers the timer crash");
         assert_eq!(crash.origin, BugOrigin::Concrete);
-        assert!(crash.description.contains("uninitialized timer"));
         assert!(!crash.trace.is_empty(), "synthesized trace carries hardware reads");
         assert!(!crash.decisions.is_empty(), "interrupt schedule recorded");
     }

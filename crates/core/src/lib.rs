@@ -64,6 +64,8 @@ pub use hybrid::{run_hybrid, FuzzConfig};
 pub use machine::{Frame, Machine, SymHost};
 pub use parallel::{resume_parallel, test_parallel};
 pub use replay::{decision_streams, replay_bug, ReplayOutcome};
-pub use report::{Bug, BugClass, BugOrigin, Decision, ExploreStats, Report, RunHealth};
+pub use report::{
+    Bug, BugClass, BugOrigin, Decision, ExploreStats, LifecycleEvent, Report, RunHealth,
+};
 pub use search::{Frontier, PruneSet, SearchStrategy, Strategy};
 pub use tracestore::{artifact_from_bug, bug_from_artifact, persist_bugs, replay_artifact};

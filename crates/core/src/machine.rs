@@ -76,6 +76,22 @@ pub enum Frame {
         /// Locks held when the callback started.
         held_at_entry: Vec<u32>,
     },
+    /// The driver's PnP-notification callback is running (an injected
+    /// device-lifecycle event: surprise removal or a power transition).
+    Pnp {
+        /// Which lifecycle event is being delivered.
+        event: crate::report::LifecycleEvent,
+        /// Context to restore afterwards.
+        saved: SavedCtx,
+        /// The entry point that was interrupted (or the entry name for
+        /// workload-level delivery).
+        at_entry: String,
+        /// Locks held when the callback started.
+        held_at_entry: Vec<u32>,
+        /// Symbolic-trace length at handler entry; the resume-without-
+        /// restore checker counts hardware writes from here.
+        trace_mark: usize,
+    },
 }
 
 impl Frame {
@@ -86,6 +102,7 @@ impl Frame {
             Frame::Isr { .. } => "Isr",
             Frame::Dpc { .. } => "HandleInterrupt",
             Frame::Timer { .. } => "TimerCallback",
+            Frame::Pnp { event, .. } => event.invocation_name(),
         }
     }
 
@@ -95,7 +112,8 @@ impl Frame {
             Frame::Entry { held_at_entry, .. }
             | Frame::Isr { held_at_entry, .. }
             | Frame::Dpc { held_at_entry, .. }
-            | Frame::Timer { held_at_entry, .. } => held_at_entry,
+            | Frame::Timer { held_at_entry, .. }
+            | Frame::Pnp { held_at_entry, .. } => held_at_entry,
         }
     }
 
@@ -105,7 +123,8 @@ impl Frame {
             Frame::Entry { .. } => None,
             Frame::Isr { at_entry, .. }
             | Frame::Dpc { at_entry, .. }
-            | Frame::Timer { at_entry, .. } => Some(at_entry),
+            | Frame::Timer { at_entry, .. }
+            | Frame::Pnp { at_entry, .. } => Some(at_entry),
         }
     }
 }
@@ -151,6 +170,15 @@ pub struct Machine {
     pub workload_pos: usize,
     /// Remaining symbolic-interrupt injections allowed on this path.
     pub interrupt_budget: u32,
+    /// Remaining device-lifecycle injections allowed on this path (two, so
+    /// a suspend→resume chain fits).
+    pub lifecycle_budget: u32,
+    /// Symbolic-trace length when the device was surprise-removed; the
+    /// touch-after-remove checker scans hardware accesses from here.
+    pub removed_trace_mark: Option<usize>,
+    /// True once touch-after-remove was reported on this path (report the
+    /// first offending access only).
+    pub touch_after_remove_reported: bool,
     /// Kernel calls made on this path (decision indexing).
     pub kernel_calls: u64,
     /// Kernel/driver boundary crossings on this path (decision indexing).
@@ -197,6 +225,9 @@ impl Machine {
             frames: Vec::new(),
             workload_pos: 0,
             interrupt_budget: 1,
+            lifecycle_budget: 2,
+            removed_trace_mark: None,
+            touch_after_remove_reported: false,
             kernel_calls: 0,
             boundaries: 0,
             decisions: Vec::new(),
@@ -222,6 +253,9 @@ impl Machine {
             frames: self.frames.clone(),
             workload_pos: self.workload_pos,
             interrupt_budget: self.interrupt_budget,
+            lifecycle_budget: self.lifecycle_budget,
+            removed_trace_mark: self.removed_trace_mark,
+            touch_after_remove_reported: self.touch_after_remove_reported,
             kernel_calls: self.kernel_calls,
             boundaries: self.boundaries,
             decisions: self.decisions.clone(),
@@ -248,6 +282,9 @@ impl Machine {
             frames: self.frames.clone(),
             workload_pos: self.workload_pos,
             interrupt_budget: self.interrupt_budget,
+            lifecycle_budget: self.lifecycle_budget,
+            removed_trace_mark: self.removed_trace_mark,
+            touch_after_remove_reported: self.touch_after_remove_reported,
             kernel_calls: self.kernel_calls,
             boundaries: self.boundaries,
             decisions: self.decisions.clone(),

@@ -584,9 +584,17 @@ mod tests {
 
     #[test]
     fn parallel_clean_driver_stays_clean() {
-        let dut = DriverUnderTest::from_spec(&ddt_drivers::clean_driver());
-        let report = test_parallel(&Ddt::default(), &dut, 4);
-        assert!(report.bugs.is_empty());
+        // Lifecycle injection on and the lifecycle workload in place: the
+        // clean driver must stay clean even across surprise removal and
+        // power transitions, and its PnP handler counts toward coverage.
+        let spec = ddt_drivers::clean_driver();
+        let mut dut = DriverUnderTest::from_spec(&spec);
+        dut.workload = ddt_drivers::workload::lifecycle_workload_for(spec.class);
+        let mut ddt = Ddt::default();
+        ddt.config.fault_plan =
+            crate::faults::FaultPlan::for_families(&[ddt_kernel::FaultFamily::Lifecycle]);
+        let report = test_parallel(&ddt, &dut, 4);
+        assert!(report.bugs.is_empty(), "clean driver must stay clean: {:?}", report.bugs);
         assert!(report.relative_coverage() > 0.9);
     }
 

@@ -21,6 +21,7 @@ use ddt_isa::Reg;
 use ddt_kernel::loader::LoadPlan;
 use ddt_kernel::{
     CrashInfo, //
+    DevicePowerState,
     EntryInvocation,
     ExecContext,
     FaultFamily,
@@ -37,7 +38,7 @@ use ddt_drivers::workload::WorkloadOp;
 use ddt_fuzz::FuzzInput;
 
 use crate::exerciser::DriverUnderTest;
-use crate::report::{Bug, BugClass, Decision};
+use crate::report::{Bug, BugClass, Decision, LifecycleEvent};
 use ddt_symvm::TraceEvent;
 
 /// How a fork site resolves during choice-log replay (§4.7).
@@ -166,6 +167,7 @@ enum FrameKind {
     Isr,
     Dpc,
     Timer,
+    Pnp(LifecycleEvent),
 }
 
 /// Detects a stuck run loop: too many consecutive VM events with no
@@ -270,6 +272,8 @@ pub struct ConcreteRunner {
     scratch: u32,
     /// Interrupt boundaries at which to deliver an interrupt.
     inject_at: Vec<u64>,
+    /// Boundaries at which a device-lifecycle event must be delivered.
+    lifecycle_at: Vec<(u64, LifecycleEvent)>,
     /// Kernel-call indexes at which allocation must fail.
     fail_at: Vec<u64>,
     /// Kernel-call indexes at which a planned fault must be armed.
@@ -282,6 +286,13 @@ pub struct ConcreteRunner {
     dev: usize,
     /// Index of the first kernel event not yet examined by a caller.
     pub events_cursor: usize,
+    /// `(served, writes)` device-access counts at the surprise removal, if
+    /// one was delivered: any growth afterwards is a touch-after-remove.
+    removal_marks: Option<(usize, usize)>,
+    /// Device-write count at PnP handler entry (resume-without-restore).
+    pnp_writes_mark: usize,
+    /// Set when a resume handler returned without a single hardware write.
+    pub resume_without_writes: bool,
     /// Snapshot of (cpu, memory) taken right after image load, before the
     /// entry invocation: [`reset`](Self::reset) restores from here instead
     /// of rebuilding the VM. Memory is demand-paged, so the clone copies
@@ -332,6 +343,7 @@ impl ConcreteRunner {
             frames: Vec::new(),
             scratch: crate::machine::SCRATCH_BASE,
             inject_at: Vec::new(),
+            lifecycle_at: Vec::new(),
             fail_at: Vec::new(),
             fault_at: Vec::new(),
             kernel_calls: 0,
@@ -340,6 +352,9 @@ impl ConcreteRunner {
             insn_budget: 2_000_000,
             dev,
             events_cursor: 0,
+            removal_marks: None,
+            pnp_writes_mark: 0,
+            resume_without_writes: false,
             pristine,
             entry,
         };
@@ -373,12 +388,16 @@ impl ConcreteRunner {
         self.frames.clear();
         self.scratch = crate::machine::SCRATCH_BASE;
         self.inject_at.clear();
+        self.lifecycle_at.clear();
         self.fail_at.clear();
         self.fault_at.clear();
         self.kernel_calls = 0;
         self.boundaries = 0;
         self.overrides = InputOverrides::default();
         self.events_cursor = 0;
+        self.removal_marks = None;
+        self.pnp_writes_mark = 0;
+        self.resume_without_writes = false;
         let entry = self.entry.clone();
         self.invoke(&entry, FrameKind::Entry, false);
     }
@@ -388,6 +407,13 @@ impl ConcreteRunner {
     /// already scripted into the device at construction/reset).
     pub fn apply_fuzz_input(&mut self, input: &FuzzInput) {
         self.inject_at = input.inject_at.clone();
+        self.lifecycle_at = input
+            .lifecycle
+            .iter()
+            .filter_map(|&(b, code)| {
+                LifecycleEvent::from_code(code as u32).map(|ev| (b, ev))
+            })
+            .collect();
         self.fail_at = input.fail_at.clone();
         let mut values: HashMap<String, VecDeque<u64>> = HashMap::new();
         for (label, v) in &input.labels {
@@ -421,6 +447,9 @@ impl ConcreteRunner {
         for d in &bug.decisions {
             match d {
                 Decision::InjectInterrupt { boundary } => self.inject_at.push(*boundary),
+                Decision::LifecycleEvent { boundary, event } => {
+                    self.lifecycle_at.push((*boundary, *event))
+                }
                 Decision::ForceAllocFail { kernel_call } => self.fail_at.push(*kernel_call),
                 Decision::InjectFault { site, kind } => self.fault_at.push((*site, *kind)),
                 // Backtracked concretizations are fully captured by the
@@ -467,21 +496,99 @@ impl ConcreteRunner {
         self.frames.push(CFrame { kind, saved, name: inv.name.clone() });
     }
 
-    fn maybe_inject(&mut self) {
+    /// Returns `true` when an injected callback frame now owns the pc; the
+    /// caller must not redirect execution (e.g. to the next workload op)
+    /// until that frame pops.
+    fn maybe_inject(&mut self) -> bool {
         self.boundaries += 1;
-        // The symbolic exerciser records the post-increment index.
+        // The symbolic exerciser records the post-increment index; and like
+        // it, a boundary delivers at most one event — interrupt first.
         let b = self.boundaries;
-        if !self.inject_at.contains(&b) || self.frames.len() != 1 {
-            return;
+        if self.inject_interrupt(b) {
+            return true;
         }
-        let Some(table) = self.kernel.state.miniport.clone() else { return };
+        self.inject_lifecycle(b)
+    }
+
+    fn inject_interrupt(&mut self, b: u64) -> bool {
+        if !self.inject_at.contains(&b) || self.frames.len() != 1 {
+            return false;
+        }
+        // A removed or powered-down device raises no interrupts.
+        if !self.kernel.state.device_present
+            || self.kernel.state.power != DevicePowerState::D0
+        {
+            return false;
+        }
+        let Some(table) = self.kernel.state.miniport.clone() else { return false };
         if table.isr == 0 || self.kernel.state.interrupt.is_none() {
-            return;
+            return false;
         }
         self.kernel.state.context = ExecContext::Isr;
         self.kernel.state.irql = Irql::Device;
         let inv = EntryInvocation::new("Isr", table.isr, [0; 4]);
         self.invoke(&inv, FrameKind::Isr, true);
+        true
+    }
+
+    fn inject_lifecycle(&mut self, b: u64) -> bool {
+        let Some(&(_, event)) = self.lifecycle_at.iter().find(|(at, _)| *at == b) else {
+            return false;
+        };
+        if self.frames.len() > 1 {
+            return false;
+        }
+        let s = &self.kernel.state;
+        if s.pnp_handler == 0 || !s.device_present || s.irql != Irql::Passive {
+            return false;
+        }
+        self.deliver_lifecycle(event, true);
+        true
+    }
+
+    /// Counts of `(reads served, writes observed)` on the scripted device.
+    fn device_counters(&mut self) -> (usize, usize) {
+        self.vm
+            .bus
+            .device_mut(self.dev)
+            .as_any_mut()
+            .and_then(|a| a.downcast_mut::<ScriptedDevice>())
+            .map(|d| (d.served.len(), d.writes.len()))
+            .unwrap_or((0, 0))
+    }
+
+    /// True when any hardware access happened after a surprise removal.
+    pub fn hw_touched_after_remove(&mut self) -> bool {
+        let Some((reads, writes)) = self.removal_marks else { return false };
+        let (now_reads, now_writes) = self.device_counters();
+        now_reads > reads || now_writes > writes
+    }
+
+    /// Delivers a lifecycle event: the presence/power state machine advances
+    /// first, then the driver's PnP-notification handler runs at passive
+    /// level. Mirrors the symbolic executor's `deliver_lifecycle`.
+    fn deliver_lifecycle(&mut self, event: LifecycleEvent, keep_sp: bool) {
+        match event {
+            LifecycleEvent::SurpriseRemove => {
+                self.kernel.state.surprise_remove();
+                if self.removal_marks.is_none() {
+                    self.removal_marks = Some(self.device_counters());
+                }
+            }
+            LifecycleEvent::Suspend => self.kernel.state.set_power(DevicePowerState::D3),
+            LifecycleEvent::Resume => self.kernel.state.set_power(DevicePowerState::D0),
+        }
+        self.pnp_writes_mark = self.device_counters().1;
+        self.kernel.state.context = ExecContext::Passive;
+        self.kernel.state.irql = Irql::Passive;
+        let handler = self.kernel.state.pnp_handler;
+        let context = self.kernel.state.pnp_context;
+        let inv = EntryInvocation::new(
+            event.invocation_name(),
+            handler,
+            [context, event.code(), 0, 0],
+        );
+        self.invoke(&inv, FrameKind::Pnp(event), keep_sp);
     }
 
     /// Handles one VM event; `Some` is a terminal outcome.
@@ -598,7 +705,11 @@ impl ConcreteRunner {
                 if frame.name == "DriverEntry" && self.kernel.state.miniport.is_none() {
                     return Some(ConcreteOutcome::Completed);
                 }
-                self.maybe_inject();
+                if self.maybe_inject() {
+                    // The injected callback runs first; the workload resumes
+                    // when its frame pops.
+                    return None;
+                }
                 self.schedule_next_op()
             }
             FrameKind::Isr => {
@@ -631,6 +742,26 @@ impl ConcreteRunner {
                 let (regs, pc, irql, ctx) = frame.saved.expect("nested frame saves");
                 self.restore(regs, pc, irql, ctx);
                 None
+            }
+            FrameKind::Pnp(event) => {
+                if event == LifecycleEvent::Resume
+                    && self.device_counters().1 == self.pnp_writes_mark
+                {
+                    self.resume_without_writes = true;
+                }
+                if self.frames.is_empty() {
+                    // Workload-level delivery: the handler ran between entry
+                    // points, so resume the workload.
+                    if self.maybe_inject() {
+                        return None;
+                    }
+                    self.schedule_next_op()
+                } else {
+                    // Mid-quantum injection: resume the interrupted entry.
+                    let (regs, pc, irql, ctx) = frame.saved.expect("nested frame saves");
+                    self.restore(regs, pc, irql, ctx);
+                    None
+                }
             }
         }
     }
@@ -769,6 +900,20 @@ impl ConcreteRunner {
                     }
                     EntryInvocation::new("Halt", table.halt, [handle, 0, 0, 0])
                 }
+                WorkloadOp::SurpriseRemove | WorkloadOp::Suspend | WorkloadOp::Resume => {
+                    if self.kernel.state.pnp_handler == 0
+                        || !self.kernel.state.device_present
+                    {
+                        continue;
+                    }
+                    let event = match op {
+                        WorkloadOp::SurpriseRemove => LifecycleEvent::SurpriseRemove,
+                        WorkloadOp::Suspend => LifecycleEvent::Suspend,
+                        _ => LifecycleEvent::Resume,
+                    };
+                    self.deliver_lifecycle(event, false);
+                    return None;
+                }
             };
             self.invoke(&inv, FrameKind::Entry, false);
             return None;
@@ -839,6 +984,13 @@ pub fn replay_bug(dut: &DriverUnderTest, bug: &Bug) -> ReplayOutcome {
         .iter()
         .any(|e| matches!(e, KernelEvent::FaultInjected { .. }));
     let observed = format!("{outcome:?}");
+    let touched_after_remove = runner.hw_touched_after_remove();
+    let removed = runner
+        .kernel
+        .state
+        .events
+        .iter()
+        .any(|e| matches!(e, KernelEvent::DeviceSurpriseRemoved));
     let reproduced = match bug.class {
         BugClass::SegFault | BugClass::MemoryCorruption => {
             matches!(outcome, ConcreteOutcome::Faulted { .. })
@@ -871,6 +1023,20 @@ pub fn replay_bug(dut: &DriverUnderTest, bug: &Bug) -> ReplayOutcome {
                         | ConcreteOutcome::Faulted { .. }
                         | ConcreteOutcome::Crashed(_)
                 )
+        }
+        // The evidence for a lifecycle violation is the same misbehavior
+        // observed concretely: hardware touched after the device vanished,
+        // or a resume handler that reprogrammed nothing. A downstream
+        // fault/crash on the removed device also counts — concretely the
+        // stale access often escalates.
+        BugClass::LifecycleViolation => {
+            (removed && touched_after_remove)
+                || runner.resume_without_writes
+                || (removed
+                    && matches!(
+                        outcome,
+                        ConcreteOutcome::Faulted { .. } | ConcreteOutcome::Crashed(_)
+                    ))
         }
     };
     if reproduced {
@@ -976,6 +1142,7 @@ mod tests {
             labels: vec![],
             inject_at: (1..16).collect(),
             fail_at: vec![],
+            lifecycle: vec![],
         };
         let mut runner = ConcreteRunner::new(&dut, input.hw.clone());
         runner.apply_fuzz_input(&input);

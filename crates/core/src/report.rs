@@ -15,7 +15,7 @@ use serde::{Deserialize, Serialize};
 // The classification and decision vocabulary moved to `ddt-trace` so that
 // stored trace artifacts are self-describing; re-exported here under the
 // historical paths.
-pub use ddt_trace::{BugClass, BugOrigin, Decision, ProvenanceChain};
+pub use ddt_trace::{BugClass, BugOrigin, Decision, LifecycleEvent, ProvenanceChain};
 
 /// A found bug with everything needed to understand and replay it.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -135,6 +135,11 @@ pub struct ExploreStats {
     pub faults_registration: u64,
     /// Injected registry-read faults consumed.
     pub faults_registry: u64,
+    /// Device-lifecycle events injected (surprise removals and power
+    /// transitions delivered to the driver's PnP handler).
+    pub faults_lifecycle: u64,
+    /// Distinct lifecycle-violation bugs recorded this run.
+    pub lifecycle_bugs: u64,
     /// Scheduler quanta executed (one frontier pop + run per quantum).
     pub quanta_executed: u64,
     /// Quantum ordinal at which the first bug was recorded (0 = no bug).
@@ -174,6 +179,7 @@ impl ExploreStats {
             FaultFamily::MapRegisters => self.faults_map += 1,
             FaultFamily::Registration => self.faults_registration += 1,
             FaultFamily::Registry => self.faults_registry += 1,
+            FaultFamily::Lifecycle => self.faults_lifecycle += 1,
         }
     }
 
@@ -184,6 +190,7 @@ impl ExploreStats {
             + self.faults_map
             + self.faults_registration
             + self.faults_registry
+            + self.faults_lifecycle
     }
 
     /// Samples the process-global expression-interner counters into this
@@ -231,6 +238,8 @@ impl ExploreStats {
         self.faults_map += other.faults_map;
         self.faults_registration += other.faults_registration;
         self.faults_registry += other.faults_registry;
+        self.faults_lifecycle += other.faults_lifecycle;
+        self.lifecycle_bugs += other.lifecycle_bugs;
         self.quanta_executed += other.quanta_executed;
         // First-bug ordinal: the earliest nonzero wins (0 means "never").
         if other.quanta_to_first_bug != 0 {
@@ -304,6 +313,11 @@ pub struct RunHealth {
     pub faults_registration: u64,
     /// Injected registry-read faults consumed.
     pub faults_registry: u64,
+    /// Device-lifecycle events injected (surprise removals, suspends,
+    /// resumes delivered to the PnP handler).
+    pub lifecycle_injected: u64,
+    /// Distinct lifecycle-violation bugs found.
+    pub lifecycle_bugs: u64,
     /// The total-instruction budget ended the run early.
     pub insn_budget_exhausted: bool,
     /// The wall-clock budget ended the run early.
@@ -369,6 +383,8 @@ impl RunHealth {
             faults_map: stats.faults_map,
             faults_registration: stats.faults_registration,
             faults_registry: stats.faults_registry,
+            lifecycle_injected: stats.faults_lifecycle,
+            lifecycle_bugs: stats.lifecycle_bugs,
             insn_budget_exhausted: insn_exhausted,
             wall_budget_exhausted: wall_exhausted,
             // Filled in by the exerciser once bugs are deduped/persisted.
@@ -415,6 +431,8 @@ impl RunHealth {
         self.faults_map += other.faults_map;
         self.faults_registration += other.faults_registration;
         self.faults_registry += other.faults_registry;
+        self.lifecycle_injected += other.lifecycle_injected;
+        self.lifecycle_bugs += other.lifecycle_bugs;
         self.insn_budget_exhausted |= other.insn_budget_exhausted;
         self.wall_budget_exhausted |= other.wall_budget_exhausted;
         self.bug_occurrences += other.bug_occurrences;
@@ -438,6 +456,7 @@ impl RunHealth {
             + self.faults_map
             + self.faults_registration
             + self.faults_registry
+            + self.lifecycle_injected
     }
 
     /// True when nothing degraded: no drops, kills, panics, or early exits.
@@ -499,16 +518,23 @@ impl RunHealth {
         if self.faults_total() > 0 {
             out.push_str(&format!(
                 "  faults injected:        {} (pool {}, shared {}, map {}, \
-                 registration {}, registry {})\n",
+                 registration {}, registry {}, lifecycle {})\n",
                 self.faults_total(),
                 self.faults_pool,
                 self.faults_shared,
                 self.faults_map,
                 self.faults_registration,
-                self.faults_registry
+                self.faults_registry,
+                self.lifecycle_injected
             ));
         } else {
             out.push_str("  faults injected:        0\n");
+        }
+        if self.lifecycle_injected > 0 || self.lifecycle_bugs > 0 {
+            out.push_str(&format!(
+                "  lifecycle events:       {} injected, {} violation(s) found\n",
+                self.lifecycle_injected, self.lifecycle_bugs
+            ));
         }
         if self.bug_occurrences > 0 {
             out.push_str(&format!(
@@ -637,6 +663,8 @@ mod tests {
         stats.count_fault(FaultFamily::PoolAlloc);
         stats.count_fault(FaultFamily::Registry);
         stats.count_fault(FaultFamily::Registry);
+        stats.count_fault(FaultFamily::Lifecycle);
+        stats.lifecycle_bugs = 1;
         let h = RunHealth::from_stats(&stats, true, false);
         assert_eq!(h.states_dropped, 3);
         assert_eq!(h.budget_kills, 2);
@@ -654,7 +682,9 @@ mod tests {
         assert_eq!(h.panics_caught, 1);
         assert_eq!(h.faults_pool, 1);
         assert_eq!(h.faults_registry, 2);
-        assert_eq!(h.faults_total(), 3);
+        assert_eq!(h.lifecycle_injected, 1);
+        assert_eq!(h.lifecycle_bugs, 1);
+        assert_eq!(h.faults_total(), 4);
         assert!(h.insn_budget_exhausted);
         assert!(!h.wall_budget_exhausted);
         assert!(!h.pristine());
@@ -666,6 +696,8 @@ mod tests {
         assert!(text.contains("session probes:         12 (1 core resets)"));
         assert!(text.contains("interner hit rate:      90.0% (900 of 1000 lookups)"));
         assert!(text.contains("registry 2"));
+        assert!(text.contains("lifecycle 1"));
+        assert!(text.contains("lifecycle events:       1 injected, 1 violation(s) found"));
         assert!(text.contains("budget exhausted:       instruction"));
     }
 

@@ -60,6 +60,8 @@ fn arb_stats(seed: u64) -> ExploreStats {
         faults_map: m.next(),
         faults_registration: m.next(),
         faults_registry: m.next(),
+        faults_lifecycle: m.next(),
+        lifecycle_bugs: m.next(),
         quanta_executed: m.next(),
         quanta_to_first_bug: m.next(),
         quanta_to_last_cover: m.next(),

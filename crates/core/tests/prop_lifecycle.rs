@@ -1,0 +1,147 @@
+//! Property tests for device-lifecycle fault injection (§4.11).
+//!
+//! Lifecycle events are replay-deterministic inputs: a schedule of
+//! `(boundary, event)` pairs must drive the concrete runner to the exact
+//! same trace — kernel event stream, outcome, instruction count, and
+//! checker verdicts — every time it is executed. That determinism is what
+//! lets a lifecycle bug found symbolically be confirmed concretely, and a
+//! fuzz-found schedule be escalated symbolically, without either side
+//! chasing a moving target.
+
+use ddt_core::replay::{ConcreteOutcome, ConcreteRunner};
+use ddt_core::DriverUnderTest;
+use ddt_fuzz::FuzzInput;
+use proptest::prelude::*;
+
+fn dut(name: &str) -> DriverUnderTest {
+    if name == "clean_nic" {
+        return DriverUnderTest::from_spec(&ddt_drivers::clean_driver());
+    }
+    DriverUnderTest::from_spec(&ddt_drivers::driver_by_name(name).expect("bundled"))
+}
+
+/// Normalizes raw generator output into a valid, sorted lifecycle schedule
+/// (mirrors what the mutator maintains as an invariant).
+fn schedule_from(raw: Vec<(u8, u8)>) -> Vec<(u64, u8)> {
+    let mut out: Vec<(u64, u8)> = raw
+        .into_iter()
+        .map(|(b, c)| (1 + (b as u64) % 24, 1 + c % 3))
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// One full concrete execution under a lifecycle schedule, reduced to the
+/// comparable essence.
+fn execute(
+    dut: &DriverUnderTest,
+    hw: &[u32],
+    schedule: &[(u64, u8)],
+    interrupts: &[u64],
+) -> (ConcreteOutcome, Vec<String>, u64, bool, bool) {
+    let input = FuzzInput {
+        hw: hw.to_vec(),
+        inject_at: interrupts.to_vec(),
+        lifecycle: schedule.to_vec(),
+        ..FuzzInput::default()
+    };
+    let mut runner = ConcreteRunner::new(dut, input.hw.clone());
+    runner.apply_fuzz_input(&input);
+    let outcome = runner.run();
+    let events: Vec<String> = runner.new_events().iter().map(|e| format!("{e:?}")).collect();
+    let insns = runner.vm.insns_retired;
+    let touched = runner.hw_touched_after_remove();
+    let resume_bad = runner.resume_without_writes;
+    (outcome, events, insns, touched, resume_bad)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The same schedule executes to the same trace, twice, on a seeded
+    /// driver: outcome, kernel event stream, instruction count, and both
+    /// lifecycle checker verdicts.
+    #[test]
+    fn lifecycle_schedules_replay_identically_on_rtl8029(
+        raw in prop::collection::vec((any::<u8>(), any::<u8>()), 0..6),
+        hw in prop::collection::vec(any::<u32>(), 0..8),
+        irq in prop::collection::vec(any::<u8>(), 0..3),
+    ) {
+        let dut = dut("rtl8029");
+        let schedule = schedule_from(raw);
+        let mut interrupts: Vec<u64> = irq.iter().map(|&b| 1 + b as u64 % 24).collect();
+        interrupts.sort_unstable();
+        interrupts.dedup();
+        let a = execute(&dut, &hw, &schedule, &interrupts);
+        let b = execute(&dut, &hw, &schedule, &interrupts);
+        prop_assert_eq!(a, b, "schedule {:?} diverged between runs", schedule);
+    }
+
+    /// Same property on the audio driver, whose resume-without-restore
+    /// checker exercises the power-transition half of the schedule space.
+    #[test]
+    fn lifecycle_schedules_replay_identically_on_ac97(
+        raw in prop::collection::vec((any::<u8>(), any::<u8>()), 0..6),
+        hw in prop::collection::vec(any::<u32>(), 0..8),
+    ) {
+        let dut = dut("ac97");
+        let schedule = schedule_from(raw);
+        let a = execute(&dut, &hw, &schedule, &[]);
+        let b = execute(&dut, &hw, &schedule, &[]);
+        prop_assert_eq!(a, b, "schedule {:?} diverged between runs", schedule);
+    }
+
+    /// The clean driver is lifecycle-correct under *every* schedule: no
+    /// schedule of removals and power transitions makes it touch vanished
+    /// hardware, resume without reprogramming, or crash.
+    #[test]
+    fn no_lifecycle_schedule_breaks_the_clean_driver(
+        raw in prop::collection::vec((any::<u8>(), any::<u8>()), 0..8),
+        hw in prop::collection::vec(any::<u32>(), 0..8),
+        irq in prop::collection::vec(any::<u8>(), 0..3),
+    ) {
+        let dut = dut("clean_nic");
+        let schedule = schedule_from(raw);
+        let mut interrupts: Vec<u64> = irq.iter().map(|&b| 1 + b as u64 % 24).collect();
+        interrupts.sort_unstable();
+        interrupts.dedup();
+        let (outcome, _, _, touched, resume_bad) =
+            execute(&dut, &hw, &schedule, &interrupts);
+        prop_assert!(
+            matches!(outcome, ConcreteOutcome::Completed),
+            "clean driver must complete under {:?}: {:?}", schedule, outcome
+        );
+        prop_assert!(!touched, "clean driver touched hardware after removal: {:?}", schedule);
+        prop_assert!(!resume_bad, "clean driver resumed without restore: {:?}", schedule);
+    }
+}
+
+/// Every bug the symbolic explorer finds under lifecycle injection carries
+/// a decision log that replays: the signature is backed by a reproducible
+/// schedule, not a one-off exploration artifact.
+#[test]
+fn symbolically_found_lifecycle_bugs_replay_from_their_decisions() {
+    let spec = ddt_drivers::driver_by_name("ac97").expect("bundled");
+    let mut dut = DriverUnderTest::from_spec(&spec);
+    dut.workload = ddt_drivers::workload::lifecycle_workload_for(dut.class);
+    let mut config = ddt_core::DdtConfig::default();
+    config.fault_plan =
+        ddt_core::FaultPlan::for_families(&[ddt_core::FaultFamily::Lifecycle]);
+    let report = ddt_core::Ddt::new(config).test(&dut);
+    let lifecycle_bugs: Vec<_> = report
+        .bugs
+        .iter()
+        .filter(|b| b.class == ddt_core::BugClass::LifecycleViolation)
+        .collect();
+    assert!(!lifecycle_bugs.is_empty(), "the seeded ac97 lifecycle bugs were not found");
+    for bug in &report.bugs {
+        match ddt_core::replay_bug(&dut, bug) {
+            ddt_core::ReplayOutcome::Reproduced { .. } => {}
+            ddt_core::ReplayOutcome::NotReproduced { observed } => panic!(
+                "[{}] {} did not replay (observed: {observed})",
+                bug.class, bug.description
+            ),
+        }
+    }
+}

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! ddt test <driver.dxe | bundled-name> [--audio] [--registry K=V]...
-//!          [--no-annotations] [--no-memcheck] [--faults] [--workers N]
+//!          [--no-annotations] [--no-memcheck] [--faults] [--lifecycle]
+//!          [--workers N]
 //!          [--no-query-cache] [--no-slicing] [--no-incremental]
 //!          [--json FILE] [--replay] [--health]
 //!          [--trace-dir DIR] [--checkpoint-dir DIR] [--checkpoint-every N]
@@ -42,6 +43,13 @@
 //! produced. With a campaign active, the first SIGINT drains in-flight
 //! work and checkpoints before exiting (code 130); a second SIGINT exits
 //! immediately.
+//!
+//! `--lifecycle` turns device-lifecycle events into fault-injectable
+//! inputs (§4.11): PnP surprise removal and D0/D3 power transitions are
+//! delivered both as workload operations and mid-quantum at exploration
+//! boundaries, with checkers for touch-after-remove and
+//! resume-without-restore. Like every fingerprinted knob it is shared by
+//! `test`, `fuzz`, `serve`, and `worker`.
 //!
 //! `serve` runs the same campaign as a fault-tolerant **fleet**: the
 //! supervisor shards the frontier across `--workers` `ddt worker`
@@ -89,20 +97,20 @@ fn install_sigint_flag() -> Arc<AtomicBool> {
     flag
 }
 
-use ddt::drivers::workload::workload_for;
+use ddt::drivers::workload::{lifecycle_workload_for, workload_for};
 use ddt::drivers::DriverClass;
 use ddt::isa::image::DxeImage;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  ddt test <driver.dxe|name> [--audio] [--registry K=V]... \
-         [--no-annotations] [--no-memcheck] [--faults] [--workers N] \
+         [--no-annotations] [--no-memcheck] [--faults] [--lifecycle] [--workers N] \
          [--no-query-cache] [--no-slicing] [--no-incremental] \
          [--strategy fifo|coverage-new-first|rarest-branch|bug-directed] \
          [--prune] [--no-prune] \
          [--json FILE] [--replay] [--health] \
          [--trace-dir DIR] [--checkpoint-dir DIR] [--checkpoint-every N] \
-         [--resume DIR] [--max-path-insns N]\n  \
+         [--resume DIR] [--max-path-insns N] [--max-insns N]\n  \
          ddt fuzz <driver.dxe|name> [--seed N] [--batches N] [--batch-size N] \
          [--no-escalate] [--quanta-per-batch N] [--no-drain] [...shared test flags]\n  \
          ddt serve <driver.dxe|name> [--workers N] [--lease-timeout MS] \
@@ -118,22 +126,29 @@ fn usage() -> ExitCode {
 
 /// Builds a [`ddt::DriverUnderTest`] from a bundled name or a `.dxe` path,
 /// with the bundled spec's registry/descriptor defaults when available.
-fn load_dut(target: &str, audio: bool) -> Result<ddt::DriverUnderTest, String> {
-    if let Some(spec) = ddt::drivers::driver_by_name(target) {
-        return Ok(ddt::DriverUnderTest::from_spec(&spec));
+/// `lifecycle` selects the lifecycle workload (suspend/resume/surprise
+/// removal spliced in before Halt) — required to replay bugs found with
+/// `--lifecycle`.
+fn load_dut(target: &str, audio: bool, lifecycle: bool) -> Result<ddt::DriverUnderTest, String> {
+    let mut dut = if let Some(spec) = ddt::drivers::driver_by_name(target) {
+        ddt::DriverUnderTest::from_spec(&spec)
+    } else if target == "clean_nic" {
+        ddt::DriverUnderTest::from_spec(&ddt::drivers::clean_driver())
+    } else {
+        let image = load_image(target)?;
+        let class = if audio { DriverClass::Audio } else { DriverClass::Net };
+        ddt::DriverUnderTest {
+            image,
+            class,
+            registry: Vec::new(),
+            descriptor: Default::default(),
+            workload: workload_for(class),
+        }
+    };
+    if lifecycle {
+        dut.workload = lifecycle_workload_for(dut.class);
     }
-    if target == "clean_nic" {
-        return Ok(ddt::DriverUnderTest::from_spec(&ddt::drivers::clean_driver()));
-    }
-    let image = load_image(target)?;
-    let class = if audio { DriverClass::Audio } else { DriverClass::Net };
-    Ok(ddt::DriverUnderTest {
-        image,
-        class,
-        registry: Vec::new(),
-        descriptor: Default::default(),
-        workload: workload_for(class),
-    })
+    Ok(dut)
 }
 
 fn load_image(arg: &str) -> Result<DxeImage, String> {
@@ -185,13 +200,14 @@ fn parse_target(args: &[String]) -> Result<ddt::DriverUnderTest, String> {
         }
     }
     let descriptor = bundled.map(|b| b.descriptor).unwrap_or_default();
-    Ok(ddt::DriverUnderTest {
-        image,
-        class,
-        registry,
-        descriptor,
-        workload: workload_for(class),
-    })
+    // The lifecycle workload is part of the shared target definition:
+    // supervisor and workers must drive the exact same operation sequence.
+    let workload = if args.iter().any(|a| a == "--lifecycle") {
+        lifecycle_workload_for(class)
+    } else {
+        workload_for(class)
+    };
+    Ok(ddt::DriverUnderTest { image, class, registry, descriptor, workload })
 }
 
 /// Parses the shared configuration flags. The fleet handshake compares
@@ -208,6 +224,14 @@ fn parse_config(args: &[String]) -> Result<ddt::DdtConfig, String> {
     }
     if args.iter().any(|a| a == "--faults") {
         config.fault_plan = ddt::FaultPlan::full();
+    }
+    // `--lifecycle` adds the lifecycle family on top of whatever plan is in
+    // force: alone it enables exactly that family, with `--faults` the full
+    // plan already contains it.
+    if args.iter().any(|a| a == "--lifecycle") && !config.fault_plan.wants(ddt::FaultFamily::Lifecycle)
+    {
+        config.fault_plan.enabled = true;
+        config.fault_plan.families.insert(ddt::FaultFamily::Lifecycle);
     }
     // Escape hatches: disable the shared counterexample cache, verdict
     // slicing, or incremental sessions. The exploration is identical (all
@@ -243,6 +267,17 @@ fn parse_config(args: &[String]) -> Result<ddt::DdtConfig, String> {
         match n.parse() {
             Ok(v) if v > 0 => config.max_path_insns = v,
             _ => return Err(format!("bad --max-path-insns value {n:?}")),
+        }
+    }
+    // The campaign-wide instruction budget. Lifecycle injection multiplies
+    // the path count, so exhaustive runs over large drivers need headroom
+    // beyond the default; exploration order under an exhausted budget is
+    // mode-dependent, so differential comparisons raise this until the
+    // campaign completes.
+    if let Some(n) = flag_value(args, "--max-insns") {
+        match n.parse() {
+            Ok(v) if v > 0 => config.max_total_insns = v,
+            _ => return Err(format!("bad --max-insns value {n:?}")),
         }
     }
     if let Some(dir) = flag_value(args, "--trace-dir") {
@@ -752,7 +787,8 @@ fn main() -> ExitCode {
             // .dxe file for a non-bundled binary).
             let target = flag_value(&args, "--driver").unwrap_or_else(|| m.driver.clone());
             let audio = args.iter().any(|a| a == "--audio");
-            let dut = match load_dut(&target, audio) {
+            let lifecycle = args.iter().any(|a| a == "--lifecycle");
+            let dut = match load_dut(&target, audio, lifecycle) {
                 Ok(d) => d,
                 Err(e) => {
                     eprintln!("{e}");

@@ -7,6 +7,12 @@
 ;       arriving in that window makes the ISR dereference the cleared
 ;       stream pointer — BSOD during playback.
 ;
+; Lifecycle defect (PR 9, not in Table 2):
+;   L2. the power handler's D0 arm flips the ready flag back on without
+;       reprogramming the engine (ring pointers, control register): after
+;       a suspend/resume cycle the hardware is running stale state
+;       (resume-without-restore).
+;
 ; Initialization is fully correct (contrast with the Ensoniq driver):
 ; allocation failures are handled properly and the interrupt object
 ; status is checked.
@@ -90,6 +96,12 @@ codec_ready:
     lea  r1, ready
     mov  r2, 1
     stw  [r1], r2
+    ; Subscribe to PnP surprise-removal and power notifications. Registered
+    ; last so the callback owns the driver state from the moment it is live.
+    lea  r0, PnpNotify
+    lea  r1, adapter
+    ldw  r1, [r1]
+    call @IoRegisterPlugPlayNotification
     mov  r0, SUCCESS
     pop  lr, r5, r4
     ret
@@ -260,6 +272,50 @@ halt_no_ext:
 
 CheckForHang:
     mov  r0, 0
+    ret
+
+; --------------------------------------------------------------------------
+; PnpNotify(r0 = ctx, r1 = event): 1 = surprise removal, 2 = enter D3,
+; 3 = back to D0.
+PnpNotify:
+    push lr
+    beq  r1, 1, pnp_remove
+    beq  r1, 2, pnp_d3
+    beq  r1, 3, pnp_d0
+    mov  r0, 0
+    pop  lr
+    ret
+pnp_remove:
+    ; Correct: quiesce in software only; the hardware is gone.
+    lea  r1, playing
+    mov  r2, 0
+    stw  [r1], r2
+    lea  r1, stream
+    stw  [r1], r2
+    lea  r1, ready
+    stw  [r1], r2
+    mov  r0, 0
+    pop  lr
+    ret
+pnp_d3:
+    ; Correct: stop the engine before the device powers down.
+    lea  r1, playing
+    mov  r2, 0
+    stw  [r1], r2
+    out  PORT_CTRL, r2
+    lea  r1, ready
+    stw  [r1], r2
+    mov  r0, 0
+    pop  lr
+    ret
+pnp_d0:
+    ; Defect L2: accepts work again without reprogramming the engine —
+    ; no control-register write, no ring-pointer restore.
+    lea  r1, ready
+    mov  r2, 1
+    stw  [r1], r2
+    mov  r0, 0
+    pop  lr
     ret
 
 .data

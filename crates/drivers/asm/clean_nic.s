@@ -2,7 +2,9 @@
 ;
 ; Used to validate that DDT reports zero false positives (the paper reports
 ; none across the whole evaluation, §5.1), and as the base template for the
-; SDV-comparison variants.
+; SDV-comparison variants. Also clean under device-lifecycle fault injection:
+; the PnP handler quiesces in software only, every hardware touch is gated on
+; the ready flag, and the ring free is clear-before-free on all paths.
 
 .name clean_nic
 .equ TAG,          0x434c4e31       ; 'CLN1'
@@ -107,6 +109,15 @@ cfg_done:
     lea  r1, ready
     mov  r2, 1
     stw  [r1], r2
+
+    ; Subscribe to PnP surprise-removal and power notifications. Registered
+    ; *last*: once the callback is live it owns the ready flag and the ring,
+    ; so Initialize publishes no state after this point (a removal delivered
+    ; at the registration boundary would otherwise be silently undone).
+    lea  r0, PnpNotify
+    lea  r1, adapter
+    ldw  r1, [r1]
+    call @IoRegisterPlugPlayNotification
     mov  r0, NDIS_SUCCESS
     pop  lr, r5, r4
     ret
@@ -221,15 +232,25 @@ HandleInterrupt:
 
 TimerFn:
     push lr
+    ; A surprise removal may have landed between the timer being set and
+    ; firing: never touch the hardware once ready has been cleared.
+    lea  r1, ready
+    ldw  r1, [r1]
+    beq  r1, 0, timer_done
     in   r1, PORT_STATUS
+timer_done:
     mov  r0, 0
     pop  lr
     ret
 
 Reset:
     push lr
+    lea  r1, ready
+    ldw  r1, [r1]
+    beq  r1, 0, reset_done
     mov  r1, 1
     out  PORT_IACK, r1
+reset_done:
     mov  r0, NDIS_SUCCESS
     pop  lr
     ret
@@ -241,6 +262,11 @@ Halt:
     lea  r0, ring_block
     ldw  r0, [r0]
     beq  r0, 0, halt_done
+    ; Clear the pointer *before* freeing so a removal notification arriving
+    ; at the free boundary cannot observe a stale pointer and free it again.
+    lea  r1, ring_block
+    mov  r2, 0
+    stw  [r1], r2
     mov  r1, 256
     mov  r2, 0
     call @NdisFreeMemory
@@ -254,6 +280,60 @@ halt_done:
 
 CheckForHang:
     mov  r0, 0
+    ret
+
+; --------------------------------------------------------------------------
+; PnpNotify(r0 = ctx, r1 = event): 1 = surprise removal, 2 = enter D3,
+; 3 = back to D0. Fully correct lifecycle handling — no hardware access
+; after removal, clear-before-free on the ring, full reprogramming on
+; resume (contrast with rtl8029 defect L1 and ac97 defect L2).
+PnpNotify:
+    push lr
+    beq  r1, 1, pnp_remove
+    beq  r1, 2, pnp_d3
+    beq  r1, 3, pnp_d0
+    mov  r0, 0
+    pop  lr
+    ret
+pnp_remove:
+    ; Software-only quiesce: the hardware is gone, so don't touch it.
+    lea  r1, ready
+    mov  r2, 0
+    stw  [r1], r2
+    ; Release the ring here; clear the pointer first so Halt (or a second
+    ; notification) skips its own free.
+    lea  r0, ring_block
+    ldw  r0, [r0]
+    beq  r0, 0, pnp_remove_done
+    lea  r1, ring_block
+    mov  r2, 0
+    stw  [r1], r2
+    mov  r1, 256
+    mov  r2, 0
+    call @NdisFreeMemory
+pnp_remove_done:
+    mov  r0, 0
+    pop  lr
+    ret
+pnp_d3:
+    ; Stop accepting work before the device powers down; nothing to save
+    ; beyond the software state that already lives in memory.
+    lea  r1, ready
+    mov  r2, 0
+    stw  [r1], r2
+    mov  r0, 0
+    pop  lr
+    ret
+pnp_d0:
+    ; Reprogram the device before accepting work again: the power-up left
+    ; the interrupt-acknowledge latch in an unknown state.
+    mov  r1, 1
+    out  PORT_IACK, r1
+    lea  r1, ready
+    mov  r2, 1
+    stw  [r1], r2
+    mov  r0, 0
+    pop  lr
     ret
 
 .data

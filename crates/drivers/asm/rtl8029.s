@@ -9,6 +9,11 @@
 ;   4. QueryInformation: unchecked OID jump-table index
 ;   5. SetInformation: same defect
 ;
+; Lifecycle defects (PR 9, not in Table 2):
+;   L1. the surprise-removal handler pokes the reset port after the device
+;       is gone (touch-after-remove), and frees the multicast table without
+;       clearing the pointer, so a later Halt double-frees it
+;
 ; Everything else is deliberately correct, mirroring a mature driver.
 
 .name rtl8029
@@ -109,6 +114,13 @@ Initialize:
     lea  r0, cfg_handle
     ldw  r0, [r0]
     call @NdisCloseConfiguration
+
+    ; Subscribe to PnP surprise-removal and power notifications. Registered
+    ; last so the callback owns the driver state from the moment it is live.
+    lea  r0, PnpNotify
+    lea  r1, adapter
+    ldw  r1, [r1]
+    call @IoRegisterPlugPlayNotification
     mov  r0, NDIS_SUCCESS
     pop  lr, r6, r5, r4
     ret
@@ -334,6 +346,56 @@ halt_nofree:
 ; CheckForHang(r0 = handle) -> bool
 CheckForHang:
     mov  r0, 0
+    ret
+
+; --------------------------------------------------------------------------
+; PnpNotify(r0 = ctx, r1 = event): 1 = surprise removal, 2 = enter D3,
+; 3 = back to D0.
+PnpNotify:
+    push lr
+    beq  r1, 1, pnp_remove
+    beq  r1, 2, pnp_d3
+    beq  r1, 3, pnp_d0
+    mov  r0, 0
+    pop  lr
+    ret
+pnp_remove:
+    lea  r1, ready
+    mov  r2, 0
+    stw  [r1], r2
+    ; Defect L1: "stop" the card via the reset port — but the card is
+    ; already gone (touch-after-remove).
+    mov  r1, 1
+    out  PORT_RESET, r1
+    ; Defect L1: frees the multicast table but leaves the stale pointer
+    ; behind; the eventual Halt frees it a second time.
+    lea  r0, mcast_buf
+    ldw  r0, [r0]
+    beq  r0, 0, pnp_done
+    mov  r1, 128
+    mov  r2, 0
+    call @NdisFreeMemory
+pnp_done:
+    mov  r0, 0
+    pop  lr
+    ret
+pnp_d3:
+    ; Correct: quiesce without touching the (sleeping) hardware.
+    lea  r1, ready
+    mov  r2, 0
+    stw  [r1], r2
+    mov  r0, 0
+    pop  lr
+    ret
+pnp_d0:
+    ; Correct: reprogram the device before accepting work again.
+    mov  r1, 0
+    out  PORT_RESET, r1
+    lea  r1, ready
+    mov  r2, 1
+    stw  [r1], r2
+    mov  r0, 0
+    pop  lr
     ret
 
 .data

@@ -51,6 +51,16 @@ pub enum WorkloadOp {
     Aux,
     /// Invoke `Halt` (teardown).
     Halt,
+    /// Surprise-remove the device and deliver the PnP notification (the
+    /// driver's registered handler sees event code 1). Skipped for drivers
+    /// that never registered a PnP handler.
+    SurpriseRemove,
+    /// Transition the device to D3 and deliver the power notification
+    /// (event code 2).
+    Suspend,
+    /// Transition the device back to D0 and deliver the power notification
+    /// (event code 3).
+    Resume,
 }
 
 impl WorkloadOp {
@@ -66,6 +76,9 @@ impl WorkloadOp {
             WorkloadOp::CheckForHang => "CheckForHang",
             WorkloadOp::Aux => "Aux",
             WorkloadOp::Halt => "Halt",
+            WorkloadOp::SurpriseRemove => "PnpSurpriseRemove",
+            WorkloadOp::Suspend => "PnpSetPowerD3",
+            WorkloadOp::Resume => "PnpSetPowerD0",
         }
     }
 }
@@ -102,6 +115,24 @@ pub fn smoke_workload() -> Vec<WorkloadOp> {
     vec![WorkloadOp::Initialize, WorkloadOp::Halt]
 }
 
+/// The standard workload with device-lifecycle events spliced in: a
+/// suspend/resume cycle after the steady-state operations, then a surprise
+/// removal right before teardown. Drivers without a registered PnP handler
+/// skip the lifecycle operations, so this degenerates to the standard
+/// workload for them.
+pub fn lifecycle_workload_for(class: DriverClass) -> Vec<WorkloadOp> {
+    let mut ops = workload_for(class);
+    let halt = ops
+        .iter()
+        .position(|op| matches!(op, WorkloadOp::Halt))
+        .expect("every workload ends with Halt");
+    ops.splice(
+        halt..halt,
+        [WorkloadOp::Suspend, WorkloadOp::Resume, WorkloadOp::SurpriseRemove],
+    );
+    ops
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -126,5 +157,19 @@ mod tests {
     fn audio_workload_plays_and_stops() {
         let w = workload_for(DriverClass::Audio);
         assert!(w.contains(&WorkloadOp::Aux), "playback must be stopped");
+    }
+
+    #[test]
+    fn lifecycle_workload_cycles_power_then_removes_before_halt() {
+        for class in [DriverClass::Net, DriverClass::Audio] {
+            let w = lifecycle_workload_for(class);
+            let suspend = w.iter().position(|o| *o == WorkloadOp::Suspend).unwrap();
+            let resume = w.iter().position(|o| *o == WorkloadOp::Resume).unwrap();
+            let remove = w.iter().position(|o| *o == WorkloadOp::SurpriseRemove).unwrap();
+            let halt = w.iter().position(|o| *o == WorkloadOp::Halt).unwrap();
+            assert!(suspend < resume && resume < remove && remove < halt);
+            assert_eq!(w[0], WorkloadOp::Initialize);
+            assert_eq!(w.len(), workload_for(class).len() + 3);
+        }
     }
 }

@@ -90,6 +90,10 @@ pub struct FuzzInput {
     pub inject_at: Vec<u64>,
     /// Kernel-call indices (1-based) whose allocation is forced to fail.
     pub fail_at: Vec<u64>,
+    /// Device-lifecycle events `(boundary, event_code)` injected at entry
+    /// boundaries: 1 = surprise removal, 2 = suspend (D0→D3), 3 = resume
+    /// (D3→D0). Codes match the PnP-notification callback argument.
+    pub lifecycle: Vec<(u64, u8)>,
 }
 
 impl FuzzInput {
@@ -127,6 +131,11 @@ impl FuzzInput {
         eat64(&mut h, self.fail_at.len() as u64);
         for &b in &self.fail_at {
             eat64(&mut h, b);
+        }
+        eat64(&mut h, self.lifecycle.len() as u64);
+        for &(b, code) in &self.lifecycle {
+            eat64(&mut h, b);
+            eat(&mut h, code);
         }
         h
     }
@@ -176,5 +185,8 @@ mod tests {
             FuzzInput { labels: vec![("packet_len".into(), 64)], ..FuzzInput::default() };
         assert_ne!(base.hash(), with_label.hash());
         assert_eq!(with_label.id().len(), 16);
+        let with_lifecycle =
+            FuzzInput { lifecycle: vec![(3, 1)], ..FuzzInput::default() };
+        assert_ne!(FuzzInput::default().hash(), with_lifecycle.hash());
     }
 }

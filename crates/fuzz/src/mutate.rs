@@ -66,7 +66,7 @@ pub fn mutate(input: &FuzzInput, rng: &mut Rng, max_ops: u64) -> FuzzInput {
     let mut out = input.clone();
     let ops = 1 + rng.below(max_ops.max(1));
     for _ in 0..ops {
-        match rng.below(8) {
+        match rng.below(9) {
             // Hardware value tweaks get half the mass: the device-read
             // stream is the richest input surface.
             0..=2 => {
@@ -99,7 +99,19 @@ pub fn mutate(input: &FuzzInput, rng: &mut Rng, max_ops: u64) -> FuzzInput {
                 }
             }
             6 => toggle(&mut out.inject_at, 1 + rng.below(MAX_BOUNDARY)),
-            _ => toggle(&mut out.fail_at, 1 + rng.below(MAX_FAIL_INDEX)),
+            7 => toggle(&mut out.fail_at, 1 + rng.below(MAX_FAIL_INDEX)),
+            _ => {
+                // Toggle a lifecycle event (codes 1..=3: removal, suspend,
+                // resume) at a random boundary.
+                let candidate = (1 + rng.below(MAX_BOUNDARY), 1 + rng.below(3) as u8);
+                match out.lifecycle.iter().position(|&e| e == candidate) {
+                    Some(i) => {
+                        out.lifecycle.swap_remove(i);
+                    }
+                    None => out.lifecycle.push(candidate),
+                }
+                out.lifecycle.sort_unstable();
+            }
         }
     }
     out
@@ -132,6 +144,7 @@ mod tests {
         assert!(mutants.iter().any(|m| m.hw != seed.hw));
         assert!(mutants.iter().any(|m| !m.inject_at.is_empty()));
         assert!(mutants.iter().any(|m| !m.fail_at.is_empty()));
+        assert!(mutants.iter().any(|m| !m.lifecycle.is_empty()));
         assert!(mutants.iter().any(|m| m.labels[0].1 != 0));
         assert!(mutants.iter().all(|m| m.hw.len() <= MAX_HW));
         assert!(
@@ -150,6 +163,11 @@ mod tests {
             assert!(cur.fail_at.windows(2).all(|w| w[0] < w[1]));
             assert!(cur.inject_at.iter().all(|&b| (1..=MAX_BOUNDARY).contains(&b)));
             assert!(cur.fail_at.iter().all(|&b| (1..=MAX_FAIL_INDEX).contains(&b)));
+            assert!(cur.lifecycle.windows(2).all(|w| w[0] < w[1]));
+            assert!(cur
+                .lifecycle
+                .iter()
+                .all(|&(b, c)| (1..=MAX_BOUNDARY).contains(&b) && (1..=3).contains(&c)));
         }
     }
 }

@@ -22,6 +22,7 @@ fn input_from(hw: Vec<u32>, labels: Vec<(u8, u64)>, inject: Vec<u8>, fail: Vec<u
             .collect(),
         inject_at,
         fail_at,
+        lifecycle: Vec::new(),
     }
 }
 

@@ -147,6 +147,23 @@ fn call(k: &mut Kernel, export: u16, host: &mut dyn Host) -> Result<(), HostErro
             host.set_ret(STATUS_SUCCESS);
             Ok(())
         }
+        67 => io_register_plug_play_notification(s, host),
+        68 => {
+            // IoGetDevicePowerState(out_ptr): writes 0 for D0, 3 for D3.
+            let out = host.arg(0);
+            let v = match s.power {
+                crate::state::DevicePowerState::D0 => 0,
+                crate::state::DevicePowerState::D3 => 3,
+            };
+            host.write_u32(out, v)?;
+            host.set_ret(STATUS_SUCCESS);
+            Ok(())
+        }
+        69 => {
+            // IoIsDeviceRemoved(): TRUE once the device is gone.
+            host.set_ret(!s.device_present as u32);
+            Ok(())
+        }
         other => {
             s.bug_check(BUGCHECK_FAULT, format!("call to unknown kernel export {other}"));
             Ok(())
@@ -890,6 +907,28 @@ fn ndis_read_network_address(s: &mut KernelState, host: &mut dyn Host) -> Result
     Ok(())
 }
 
+// ---- WDM PnP / power -------------------------------------------------------
+
+fn io_register_plug_play_notification(
+    s: &mut KernelState,
+    host: &mut dyn Host,
+) -> Result<(), HostError> {
+    // IoRegisterPlugPlayNotification(callback, context): the kernel invokes
+    // `callback(context, event_code)` on surprise removal (1) and power
+    // transitions (2 = enter D3, 3 = re-enter D0). Delivery itself is
+    // orchestrated by the executor, like interrupt injection.
+    let callback = host.arg(0);
+    let context = host.arg(1);
+    if callback == 0 {
+        s.bug_check(BUGCHECK_FAULT, "IoRegisterPlugPlayNotification with NULL callback");
+        return Ok(());
+    }
+    s.pnp_handler = callback;
+    s.pnp_context = context;
+    host.set_ret(STATUS_SUCCESS);
+    Ok(())
+}
+
 // ---- Port-class audio ------------------------------------------------------
 
 fn pc_new_interrupt_sync(s: &mut KernelState, host: &mut dyn Host) -> Result<(), HostError> {
@@ -1518,6 +1557,41 @@ mod more_tests {
             matches!(e, KernelEvent::FaultInjected { family: FaultFamily::Registration })
         });
         assert!(injected, "consumption is logged");
+    }
+
+    #[test]
+    fn pnp_notification_registration_and_removal_query() {
+        let mut k = Kernel::new();
+        let mut h = MockHost::new(64);
+        // Register a PnP callback.
+        h.args = [0x40_0200, 0x40_3000, 0, 0];
+        k.invoke(67, &mut h).unwrap();
+        assert_eq!(k.state.pnp_handler, 0x40_0200);
+        assert_eq!(k.state.pnp_context, 0x40_3000);
+        // Device still present: IoIsDeviceRemoved reports FALSE.
+        k.invoke(69, &mut h).unwrap();
+        assert_eq!(h.ret, 0);
+        k.state.surprise_remove();
+        k.invoke(69, &mut h).unwrap();
+        assert_eq!(h.ret, 1);
+        // NULL callback bug-checks.
+        let mut k2 = Kernel::new();
+        h.args = [0, 0, 0, 0];
+        assert!(k2.invoke(67, &mut h).is_err());
+    }
+
+    #[test]
+    fn power_state_query_tracks_transitions() {
+        use crate::state::DevicePowerState;
+        let mut k = Kernel::new();
+        let mut h = MockHost::new(64);
+        h.args = [MockHost::BASE, 0, 0, 0];
+        k.invoke(68, &mut h).unwrap();
+        assert_eq!(h.mem_read(MockHost::BASE, 4).unwrap(), 0, "D0");
+        k.state.set_power(DevicePowerState::D3);
+        h.args = [MockHost::BASE, 0, 0, 0];
+        k.invoke(68, &mut h).unwrap();
+        assert_eq!(h.mem_read(MockHost::BASE, 4).unwrap(), 3, "D3");
     }
 
     #[test]

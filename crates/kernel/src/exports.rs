@@ -75,6 +75,10 @@ pub const EXPORTS: &[Export] = &[
     Export { id: 64, name: "PcUnregisterSubdevice" },
     Export { id: 65, name: "PcFreeDmaChannel" },
     Export { id: 66, name: "PcDisconnectInterrupt" },
+    // --- WDM PnP / power (67–69) ---
+    Export { id: 67, name: "IoRegisterPlugPlayNotification" },
+    Export { id: 68, name: "IoGetDevicePowerState" },
+    Export { id: 69, name: "IoIsDeviceRemoved" },
 ];
 
 /// Returns the export name for an id, if known.

@@ -41,6 +41,7 @@ pub use loader::{DeviceDescriptor, EntryInvocation, StackLayout};
 pub use state::{
     fault_family, //
     CrashInfo,
+    DevicePowerState,
     ExecContext,
     FaultFamily,
     Irql,

@@ -63,16 +63,21 @@ pub enum FaultFamily {
     Registration,
     /// Registry/configuration reads.
     Registry,
+    /// Device-lifecycle events: PnP surprise removal and D0/D3 power
+    /// transitions. Unlike the acquisition families, these do not fail a
+    /// kernel call — they inject a lifecycle event at an execution boundary.
+    Lifecycle,
 }
 
 impl FaultFamily {
     /// All injectable families.
-    pub const ALL: [FaultFamily; 5] = [
+    pub const ALL: [FaultFamily; 6] = [
         FaultFamily::PoolAlloc,
         FaultFamily::SharedMemory,
         FaultFamily::MapRegisters,
         FaultFamily::Registration,
         FaultFamily::Registry,
+        FaultFamily::Lifecycle,
     ];
 
     /// Human-readable family name for reports.
@@ -83,6 +88,7 @@ impl FaultFamily {
             FaultFamily::MapRegisters => "I/O mapping",
             FaultFamily::Registration => "interrupt/timer registration",
             FaultFamily::Registry => "registry read",
+            FaultFamily::Lifecycle => "device lifecycle",
         }
     }
 }
@@ -115,6 +121,17 @@ pub fn fault_family(export: u16) -> Option<FaultFamily> {
         21 | 22 | 53 => Some(FaultFamily::Registry),
         _ => None,
     }
+}
+
+/// Device power states (simplified ACPI model: fully on or fully off).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum DevicePowerState {
+    /// Fully powered: registers live, DMA engines may run.
+    #[default]
+    D0,
+    /// Off: register contents are lost; the driver must reprogram the
+    /// device on the next D0 transition.
+    D3,
 }
 
 /// Kinds of driver-held resources the kernel accounts for (leak checking).
@@ -342,6 +359,17 @@ pub enum KernelEvent {
         /// The family the fault belonged to.
         family: FaultFamily,
     },
+    /// The device was surprise-removed: it is physically gone, every
+    /// register read returns all-ones, and the driver must stop touching
+    /// hardware.
+    DeviceSurpriseRemoved,
+    /// The device changed power state.
+    PowerTransition {
+        /// Previous power state.
+        from: DevicePowerState,
+        /// New power state.
+        to: DevicePowerState,
+    },
     /// The kernel crashed.
     Crash(CrashInfo),
 }
@@ -401,6 +429,15 @@ pub struct KernelState {
     pub device_mmio_base: u32,
     /// Adapter handle value handed to the driver.
     pub adapter_handle: u32,
+    /// False once the device has been surprise-removed.
+    pub device_present: bool,
+    /// Current device power state.
+    pub power: DevicePowerState,
+    /// Driver PnP-notification callback registered via
+    /// `IoRegisterPlugPlayNotification` (0 = none).
+    pub pnp_handler: u32,
+    /// Context argument for the PnP-notification callback.
+    pub pnp_context: u32,
 }
 
 /// Kernel heap region start.
@@ -445,6 +482,28 @@ impl KernelState {
             device: crate::loader::DeviceDescriptor::default(),
             device_mmio_base: DEVICE_MMIO_BASE,
             adapter_handle: 0xAD4A_0000,
+            device_present: true,
+            power: DevicePowerState::D0,
+            pnp_handler: 0,
+            pnp_context: 0,
+        }
+    }
+
+    /// Marks the device surprise-removed (idempotent; logs on the first
+    /// removal only).
+    pub fn surprise_remove(&mut self) {
+        if self.device_present {
+            self.device_present = false;
+            self.log(KernelEvent::DeviceSurpriseRemoved);
+        }
+    }
+
+    /// Transitions the device power state (no-op when already there).
+    pub fn set_power(&mut self, to: DevicePowerState) {
+        if self.power != to {
+            let from = self.power;
+            self.power = to;
+            self.log(KernelEvent::PowerTransition { from, to });
         }
     }
 
@@ -618,6 +677,58 @@ mod tests {
         assert!(Irql::Passive < Irql::Dispatch);
         assert!(Irql::Dispatch < Irql::Device);
         assert_eq!(Irql::Dispatch.level(), 2);
+    }
+
+    #[test]
+    fn surprise_remove_is_idempotent_and_logged_once() {
+        let mut s = KernelState::new();
+        assert!(s.device_present);
+        s.surprise_remove();
+        s.surprise_remove();
+        assert!(!s.device_present);
+        let removals = s
+            .events
+            .iter()
+            .filter(|e| matches!(e, KernelEvent::DeviceSurpriseRemoved))
+            .count();
+        assert_eq!(removals, 1);
+    }
+
+    #[test]
+    fn power_transitions_log_edges_only() {
+        let mut s = KernelState::new();
+        assert_eq!(s.power, DevicePowerState::D0);
+        s.set_power(DevicePowerState::D0); // Already there: silent.
+        assert!(s.events.is_empty());
+        s.set_power(DevicePowerState::D3);
+        s.set_power(DevicePowerState::D0);
+        assert_eq!(s.events.len(), 2);
+        assert!(matches!(
+            s.events[1],
+            KernelEvent::PowerTransition { from: DevicePowerState::D3, to: DevicePowerState::D0 }
+        ));
+    }
+
+    #[test]
+    fn lifecycle_family_is_in_all_and_maps_to_no_export() {
+        assert!(FaultFamily::ALL.contains(&FaultFamily::Lifecycle));
+        for export in 0..128u16 {
+            assert_ne!(fault_family(export), Some(FaultFamily::Lifecycle));
+        }
+    }
+
+    #[test]
+    fn reset_for_run_restores_device_presence_and_power() {
+        let mut s = KernelState::new();
+        s.surprise_remove();
+        s.set_power(DevicePowerState::D3);
+        s.pnp_handler = 0x4000;
+        s.pnp_context = 7;
+        s.reset_for_run();
+        assert!(s.device_present);
+        assert_eq!(s.power, DevicePowerState::D0);
+        assert_eq!(s.pnp_handler, 0);
+        assert_eq!(s.pnp_context, 0);
     }
 
     #[test]

@@ -29,6 +29,10 @@ pub enum BugClass {
     /// The driver reported success despite a failed mandatory acquisition
     /// (an injected kernel-API fault whose status it never checked).
     UncheckedFailure,
+    /// The driver mishandled a device-lifecycle event: it touched hardware
+    /// after a surprise removal, or re-entered D0 without reprogramming
+    /// the device.
+    LifecycleViolation,
 }
 
 impl std::fmt::Display for BugClass {
@@ -42,6 +46,7 @@ impl std::fmt::Display for BugClass {
             BugClass::KernelCrash => "Kernel crash",
             BugClass::KernelHang => "Kernel hang",
             BugClass::UncheckedFailure => "Unchecked failure",
+            BugClass::LifecycleViolation => "Lifecycle violation",
         };
         f.write_str(s)
     }
@@ -70,6 +75,57 @@ impl std::fmt::Display for BugOrigin {
             BugOrigin::Symbolic => "symbolic",
             BugOrigin::Concrete => "concrete",
             BugOrigin::Escalated => "escalated",
+        })
+    }
+}
+
+/// A device-lifecycle event DDT can inject at an execution boundary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum LifecycleEvent {
+    /// The device vanishes: surprise removal mid-workload.
+    SurpriseRemove,
+    /// The device powers down to D3 (the PnP handler sees event code 2).
+    Suspend,
+    /// The device powers back up to D0 (the PnP handler sees event code 3).
+    Resume,
+}
+
+impl LifecycleEvent {
+    /// The event code passed to the driver's PnP-notification callback.
+    pub fn code(self) -> u32 {
+        match self {
+            LifecycleEvent::SurpriseRemove => 1,
+            LifecycleEvent::Suspend => 2,
+            LifecycleEvent::Resume => 3,
+        }
+    }
+
+    /// Decodes an event code (the inverse of [`LifecycleEvent::code`]).
+    pub fn from_code(code: u32) -> Option<LifecycleEvent> {
+        match code {
+            1 => Some(LifecycleEvent::SurpriseRemove),
+            2 => Some(LifecycleEvent::Suspend),
+            3 => Some(LifecycleEvent::Resume),
+            _ => None,
+        }
+    }
+
+    /// The invocation name the executor uses for the handler frame.
+    pub fn invocation_name(self) -> &'static str {
+        match self {
+            LifecycleEvent::SurpriseRemove => "PnpSurpriseRemove",
+            LifecycleEvent::Suspend => "PnpSetPowerD3",
+            LifecycleEvent::Resume => "PnpSetPowerD0",
+        }
+    }
+}
+
+impl std::fmt::Display for LifecycleEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            LifecycleEvent::SurpriseRemove => "surprise removal",
+            LifecycleEvent::Suspend => "suspend (D0->D3)",
+            LifecycleEvent::Resume => "resume (D3->D0)",
         })
     }
 }
@@ -105,6 +161,15 @@ pub enum Decision {
         /// The fault family that failed.
         kind: FaultFamily,
     },
+    /// A device-lifecycle event was injected at boundary crossing
+    /// `boundary`: the PnP handler ran and the device presence/power state
+    /// machine advanced.
+    LifecycleEvent {
+        /// Boundary-crossing index (counted per path).
+        boundary: u64,
+        /// Which lifecycle event fired.
+        event: LifecycleEvent,
+    },
 }
 
 #[cfg(test)]
@@ -124,5 +189,19 @@ mod tests {
         let s = serde_json::to_string(&d).unwrap();
         let back: Decision = serde_json::from_str(&s).unwrap();
         assert_eq!(back, d);
+        let d = Decision::LifecycleEvent { boundary: 4, event: LifecycleEvent::SurpriseRemove };
+        let s = serde_json::to_string(&d).unwrap();
+        let back: Decision = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn lifecycle_event_codes_roundtrip() {
+        for ev in [LifecycleEvent::SurpriseRemove, LifecycleEvent::Suspend, LifecycleEvent::Resume]
+        {
+            assert_eq!(LifecycleEvent::from_code(ev.code()), Some(ev));
+        }
+        assert_eq!(LifecycleEvent::from_code(0), None);
+        assert_eq!(LifecycleEvent::from_code(9), None);
     }
 }

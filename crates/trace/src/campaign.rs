@@ -59,6 +59,8 @@ pub enum SiteKind {
     Backtrack = 4,
     /// A symbolic interrupt fires at this kernel/driver boundary.
     Interrupt = 5,
+    /// A device-lifecycle event (removal/power) fires at this boundary.
+    Lifecycle = 6,
 }
 
 impl SiteKind {
@@ -71,6 +73,7 @@ impl SiteKind {
             3 => SiteKind::FaultInject,
             4 => SiteKind::Backtrack,
             5 => SiteKind::Interrupt,
+            6 => SiteKind::Lifecycle,
             _ => return None,
         })
     }

@@ -36,7 +36,7 @@ mod store;
 mod triage;
 
 pub use artifact::{BugRecord, TraceArtifact, MANIFEST_VERSION};
-pub use bug::{BugClass, BugOrigin, Decision};
+pub use bug::{BugClass, BugOrigin, Decision, LifecycleEvent};
 pub use campaign::{
     decode_checkpoint, decode_journal, encode_checkpoint, encode_journal_header,
     encode_journal_record, CheckpointFile, CoverageRecord, FrontierRecord, JournalRecord,

@@ -2,12 +2,19 @@
 //! imagines (§1: the "Test Now" button): run DDT on each network driver
 //! before "installing" it, then decide.
 //!
+//! The audit runs in two passes. The first is the paper's baseline
+//! workload. The second replays the workload under device-lifecycle fault
+//! injection (§4.11) — surprise removals and D0/D3 power transitions
+//! delivered to the driver's PnP notification handler — and persists a
+//! replayable triage artifact for every touch-after-remove finding, so the
+//! evidence survives the audit process itself.
+//!
 //! ```text
 //! cargo run --release --example network_driver_audit
 //! ```
 
 use ddt::drivers::DriverClass;
-use ddt::BugClass;
+use ddt::{BugClass, FaultFamily, FaultPlan};
 
 fn main() {
     println!("Network driver pre-installation audit\n");
@@ -44,7 +51,64 @@ fn main() {
         verdicts.push((spec.name, report.bugs.len(), verdict));
     }
     println!("Summary:");
-    for (name, bugs, verdict) in verdicts {
+    for (name, bugs, verdict) in &verdicts {
         println!("  {name:<10} {bugs} bug(s) — {verdict}");
+    }
+
+    // Second pass: surprise-removal injection. A driver that survives the
+    // baseline can still poke vanished hardware from its removal path — the
+    // class of defect that only a lifecycle schedule exposes.
+    println!("\nLifecycle audit (surprise removal + power transitions)\n");
+    let triage_dir = std::env::temp_dir().join("ddt-lifecycle-audit");
+    let mut lifecycle_verdicts = Vec::new();
+    for spec in ddt::drivers::drivers().into_iter().filter(|d| d.class == DriverClass::Net) {
+        let mut dut = ddt::DriverUnderTest::from_spec(&spec);
+        dut.workload = ddt::drivers::workload::lifecycle_workload_for(dut.class);
+        let config = ddt::DdtConfig {
+            fault_plan: FaultPlan::for_families(&[FaultFamily::Lifecycle]),
+            ..ddt::DdtConfig::default()
+        };
+        let report = ddt::Ddt::new(config).test(&dut);
+        let lifecycle: Vec<&ddt::Bug> = report
+            .bugs
+            .iter()
+            .filter(|b| b.class == BugClass::LifecycleViolation)
+            .collect();
+        println!(
+            "--- {} --- {} lifecycle event(s) injected, {} violation(s)",
+            spec.name,
+            report.health.lifecycle_injected,
+            lifecycle.len()
+        );
+        for b in &lifecycle {
+            println!("  [{}] {}", b.key, b.description);
+        }
+        // Touch-after-remove findings become replayable triage artifacts:
+        // the minimized decision schedule plus the hardware trace, enough to
+        // reproduce the violation without rerunning the exploration.
+        let touch: Vec<ddt::Bug> = lifecycle
+            .iter()
+            .filter(|b| b.key.starts_with("touchremove:"))
+            .map(|b| (*b).clone())
+            .collect();
+        if !touch.is_empty() {
+            match ddt::persist_bugs(&triage_dir, &touch, &dut) {
+                Ok(n) => println!(
+                    "  persisted {n} touch-after-remove artifact(s) to {}",
+                    triage_dir.display()
+                ),
+                Err(e) => println!("  could not persist triage artifacts: {e}"),
+            }
+        }
+        lifecycle_verdicts.push((spec.name, lifecycle.len()));
+    }
+    println!("\nLifecycle summary:");
+    for (name, violations) in lifecycle_verdicts {
+        let verdict = if violations > 0 {
+            "mishandles removal/power events"
+        } else {
+            "lifecycle-clean"
+        };
+        println!("  {name:<10} {violations} violation(s) — {verdict}");
     }
 }

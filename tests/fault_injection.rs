@@ -155,6 +155,64 @@ fn parallel_run_survives_a_panicking_state() {
     assert!(report.stats.paths_completed > 5);
 }
 
+/// Every fault family injects in isolation: a plan restricted to one
+/// family moves only that family's health counter. The one structural
+/// exception is `MapRegisters` — no bundled driver maps I/O registers
+/// through the faultable exports — so its single-family run must inject
+/// nothing at all (the plan is a no-op without call sites, not an error).
+#[test]
+fn every_fault_family_injects_in_isolation() {
+    use ddt::{FaultFamily, RunHealth};
+
+    fn counter(h: &RunHealth, family: FaultFamily) -> u64 {
+        match family {
+            FaultFamily::PoolAlloc => h.faults_pool,
+            FaultFamily::SharedMemory => h.faults_shared,
+            FaultFamily::MapRegisters => h.faults_map,
+            FaultFamily::Registration => h.faults_registration,
+            FaultFamily::Registry => h.faults_registry,
+            FaultFamily::Lifecycle => h.lifecycle_injected,
+        }
+    }
+
+    for family in FaultFamily::ALL {
+        // pcnet owns the shared-memory (and would-be map-register) sites;
+        // rtl8029 covers pool, registration, registry, and — through its
+        // PnP notification handler — lifecycle.
+        let driver = match family {
+            FaultFamily::SharedMemory | FaultFamily::MapRegisters => "pcnet",
+            _ => "rtl8029",
+        };
+        let dut = nic_dut(driver);
+        let mut config = DdtConfig {
+            fault_plan: FaultPlan::for_families(&[family]),
+            ..DdtConfig::default()
+        };
+        if family == FaultFamily::PoolAlloc {
+            // Pool sites are annotation-owned by default (the NULL
+            // alternative); hand them to the injector so the family's own
+            // counter moves.
+            config.annotations = ddt::Annotations::disabled();
+        }
+        let report = Ddt::new(config).test(&dut);
+        let hit = counter(&report.health, family);
+        if family == FaultFamily::MapRegisters {
+            assert_eq!(
+                report.health.faults_total(),
+                0,
+                "no bundled driver maps registers; the plan must be a no-op"
+            );
+        } else {
+            assert!(hit > 0, "{family:?} plan on {driver} injected nothing");
+            assert_eq!(
+                report.health.faults_total(),
+                hit,
+                "{family:?} plan leaked into other families"
+            );
+        }
+    }
+}
+
 #[test]
 fn run_health_is_pristine_on_an_uneventful_run() {
     let dut = DriverUnderTest::from_spec(&ddt::drivers::clean_driver());

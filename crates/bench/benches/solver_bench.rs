@@ -5,11 +5,15 @@
 //! query stream*, where each branch decision re-decides a constraint prefix
 //! that grew by one conjunct. A plain solver re-blasts the whole prefix per
 //! query (quadratic in depth); the optimized solver slices off independent
-//! components and answers on a persistent incremental core (linear-ish).
-//! The run asserts the optimized stream is at least 2x faster and that both
-//! modes produce identical verdicts, then writes a `BENCH_solver.json`
-//! trajectory point at the repo root, alongside per-stage criterion
-//! timings and a bundled-driver end-to-end sample.
+//! components and answers on a persistent incremental core (linear-ish);
+//! the **batched lane** hands the whole stream to
+//! [`Solver::solve_obligations`] as one deferred-feasibility flush, where
+//! witness subsumption collapses the prefix chains to a handful of real
+//! solves. The run asserts the optimized stream is at least 2x and the
+//! batched flush at least 5x faster than plain, with identical verdicts in
+//! every mode, then appends a history entry (keyed by git revision + date)
+//! to the `BENCH_solver.json` trajectory at the repo root, alongside
+//! per-stage criterion timings and a bundled-driver end-to-end sample.
 
 use std::hint::black_box;
 use std::time::Instant;
@@ -18,6 +22,7 @@ use criterion::Criterion;
 use ddt_core::{Ddt, DdtConfig, DriverUnderTest};
 use ddt_expr::{cache_key, partition_independent, Expr, SymId};
 use ddt_solver::Solver;
+use serde::Value;
 
 /// Growing constraint prefixes over three symbol families, mimicking a
 /// path that alternates branching on unrelated inputs (registry values,
@@ -106,8 +111,19 @@ fn bench_stages(c: &mut Criterion, stream: &[Vec<Expr>]) {
     });
 }
 
+/// One batched deferred-feasibility flush over the whole stream, as
+/// `flush_pending` would issue it for a frontier of pending siblings.
+/// Returns the SAT count (guards dead-code folding and the correctness
+/// gate below).
+fn run_batched(s: &mut Solver, stream: &[Vec<Expr>]) -> usize {
+    s.solve_obligations(stream).iter().filter(|v| **v).count()
+}
+
 fn main() {
     let stream = deep_path_prefixes(40);
+    // The batched lane measures a frontier-sized flush: 120 obligation keys
+    // (the same three families, 40 prefixes each).
+    let batch_stream = deep_path_prefixes(120);
 
     // Correctness gate before timing anything: all modes agree on every
     // prefix of the workload.
@@ -119,11 +135,20 @@ fn main() {
             "verdicts diverged (slicing={slicing}, incremental={incremental})"
         );
     }
+    // The batched flush must reproduce the per-query verdicts positionally.
+    let batch_plain: Vec<bool> = {
+        let mut s = solver_with(false, false);
+        batch_stream.iter().map(|p| s.is_feasible(p)).collect()
+    };
+    let batch_verdicts = solver_with(false, false).solve_obligations(&batch_stream);
+    assert_eq!(batch_verdicts, batch_plain, "batched verdicts diverged from per-query");
+
     let mut c = Criterion::default().configure_from_args().sample_size(3);
     bench_stages(&mut c, &stream);
 
-    // The headline number, measured outside criterion so it can gate and
-    // be serialized: plain vs fully optimized over the same stream.
+    // The headline numbers, measured outside criterion so they can gate and
+    // be serialized: plain vs fully optimized over the 40-deep stream, and
+    // plain per-query vs one batched flush over the 120-key stream.
     let iters = 3;
     let plain_ms = measure_ms(iters, || run_stream(&mut solver_with(false, false), &stream));
     let opt_ms = measure_ms(iters, || run_stream(&mut solver_with(true, true), &stream));
@@ -133,6 +158,25 @@ fn main() {
         speedup >= 2.0,
         "optimized deep-path stream must be at least 2x faster \
          (plain {plain_ms:.2} ms vs optimized {opt_ms:.2} ms = {speedup:.2}x)"
+    );
+
+    let batch_plain_ms = measure_ms(iters, || {
+        let mut s = solver_with(false, false);
+        batch_stream.iter().filter(|p| s.is_feasible(p)).count()
+    });
+    let mut witness_solver = solver_with(false, false);
+    let batched_ms = measure_ms(iters, || run_batched(&mut witness_solver, &batch_stream));
+    let witness_hits = witness_solver.stats().batch_witness_hits / iters as u64;
+    let batched_speedup = batch_plain_ms / batched_ms.max(1e-9);
+    println!(
+        "deep-path flush ({} keys): plain {batch_plain_ms:.2} ms, \
+         batched {batched_ms:.2} ms ({batched_speedup:.1}x, {witness_hits} witness hits/flush)",
+        batch_stream.len()
+    );
+    assert!(
+        batched_speedup >= 5.0,
+        "a batched obligation flush must be at least 5x faster than per-query \
+         (plain {batch_plain_ms:.2} ms vs batched {batched_ms:.2} ms = {batched_speedup:.2}x)"
     );
 
     // One bundled driver end to end, optimizations on vs off, as the
@@ -157,37 +201,116 @@ fn main() {
     );
 
     let (interner_hits, interner_misses) = ddt_expr::intern_stats();
-    let json = format!(
-        concat!(
-            "{{\n",
-            "  \"bench\": \"solver\",\n",
-            "  \"deep_path_depth\": {},\n",
-            "  \"deep_path_plain_ms\": {:.3},\n",
-            "  \"deep_path_optimized_ms\": {:.3},\n",
-            "  \"deep_path_speedup\": {:.2},\n",
-            "  \"campaign_driver\": \"rtl8029\",\n",
-            "  \"campaign_baseline_ms\": {},\n",
-            "  \"campaign_optimized_ms\": {},\n",
-            "  \"campaign_session_probes\": {},\n",
-            "  \"campaign_sliced_queries\": {},\n",
-            "  \"interner_hits\": {},\n",
-            "  \"interner_misses\": {}\n",
-            "}}\n"
-        ),
-        stream.len(),
-        plain_ms,
-        opt_ms,
-        speedup,
-        campaign_off.stats.wall_ms,
-        campaign_on.stats.wall_ms,
-        campaign_on.stats.solver_session_probes,
-        campaign_on.stats.solver_sliced,
-        interner_hits,
-        interner_misses,
-    );
+    let str_v = |v: String| Value::Str(v);
+    let entry = Value::Map(vec![
+        ("rev".into(), str_v(cmd_line("git", &["rev-parse", "--short", "HEAD"]))),
+        ("date".into(), str_v(cmd_line("date", &["+%F"]))),
+        ("deep_path_depth".into(), Value::U64(stream.len() as u64)),
+        ("deep_path_plain_ms".into(), Value::F64(round3(plain_ms))),
+        ("deep_path_optimized_ms".into(), Value::F64(round3(opt_ms))),
+        ("deep_path_speedup".into(), Value::F64(round2(speedup))),
+        ("batch_keys".into(), Value::U64(batch_stream.len() as u64)),
+        ("batch_plain_ms".into(), Value::F64(round3(batch_plain_ms))),
+        ("batch_flush_ms".into(), Value::F64(round3(batched_ms))),
+        ("batch_speedup".into(), Value::F64(round2(batched_speedup))),
+        ("batch_witness_hits".into(), Value::U64(witness_hits)),
+        ("campaign_driver".into(), str_v("rtl8029".into())),
+        ("campaign_baseline_ms".into(), Value::U64(campaign_off.stats.wall_ms)),
+        ("campaign_optimized_ms".into(), Value::U64(campaign_on.stats.wall_ms)),
+        ("campaign_session_probes".into(), Value::U64(campaign_on.stats.solver_session_probes)),
+        ("campaign_sliced_queries".into(), Value::U64(campaign_on.stats.solver_sliced)),
+        ("interner_hits".into(), Value::U64(interner_hits)),
+        ("interner_misses".into(), Value::U64(interner_misses)),
+    ]);
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_solver.json");
+    let json = trajectory_with(std::fs::read_to_string(out).ok().as_deref(), entry);
     match std::fs::write(out, &json) {
         Ok(()) => println!("wrote {out}"),
         Err(e) => eprintln!("cannot write {out}: {e}"),
     }
+}
+
+/// Runs `cmd args...` and returns its first output line (trimmed), or
+/// `"unknown"` when unavailable — bench results must not depend on the
+/// environment cooperating.
+fn cmd_line(cmd: &str, args: &[&str]) -> String {
+    std::process::Command::new(cmd)
+        .args(args)
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.lines().next().unwrap_or("").trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn round3(v: f64) -> f64 {
+    (v * 1e3).round() / 1e3
+}
+
+fn round2(v: f64) -> f64 {
+    (v * 1e2).round() / 1e2
+}
+
+/// The workspace's offline `serde` stand-in has no blanket impls for its
+/// [`Value`] model; this wrapper moves a raw tree through `from_str` /
+/// `to_string_pretty` unchanged.
+struct Raw(Value);
+
+impl serde::Deserialize for Raw {
+    fn from_value(v: &Value) -> Result<Self, serde::DeError> {
+        Ok(Raw(v.clone()))
+    }
+}
+
+impl serde::Serialize for Raw {
+    fn to_value(&self) -> Value {
+        self.0.clone()
+    }
+}
+
+/// Map-field lookup on a raw value tree.
+fn field<'a>(v: &'a Value, key: &str) -> Option<&'a Value> {
+    v.as_map()?.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Builds the trajectory document: `summary` mirrors the newest entry and
+/// `history` accumulates one entry per (rev, date), newest last. A
+/// pre-trajectory scalar file (the old single-point format) is migrated as
+/// the oldest history entry; re-running on the same rev+date replaces that
+/// entry instead of duplicating it.
+fn trajectory_with(existing: Option<&str>, entry: Value) -> String {
+    let mut history: Vec<Value> = Vec::new();
+    if let Some(Raw(prev)) = existing.and_then(|s| serde_json::from_str::<Raw>(s).ok()) {
+        match field(&prev, "history").and_then(Value::as_list) {
+            Some(entries) => history = entries.to_vec(),
+            // Old scalar format: keep the measurement as the first point.
+            None => {
+                if let Value::Map(mut fields) = prev {
+                    fields.retain(|(k, _)| k != "bench");
+                    if !fields.iter().any(|(k, _)| k == "rev") {
+                        fields.insert(0, ("rev".into(), Value::Str("pre-trajectory".into())));
+                    }
+                    if !fields.iter().any(|(k, _)| k == "date") {
+                        fields.insert(1, ("date".into(), Value::Str("unknown".into())));
+                    }
+                    history.push(Value::Map(fields));
+                }
+            }
+        }
+    }
+    history.retain(|e| {
+        !(field(e, "rev") == field(&entry, "rev") && field(e, "date") == field(&entry, "date"))
+    });
+    history.push(entry.clone());
+    let doc = Value::Map(vec![
+        ("bench".into(), Value::Str("solver".into())),
+        ("format".into(), Value::Str("trajectory-v1".into())),
+        ("summary".into(), entry),
+        ("history".into(), Value::List(history)),
+    ]);
+    let mut s = serde_json::to_string_pretty(&Raw(doc)).expect("trajectory serializes");
+    s.push('\n');
+    s
 }

@@ -381,6 +381,7 @@ pub(crate) fn frontier_record(m: &Machine) -> FrontierRecord {
         fp: m.fingerprint(),
         cov_fresh: m.cov_fresh,
         cov_stamp: m.cov_stamp,
+        pending: m.st.verdict_pending,
     }
 }
 
@@ -615,6 +616,10 @@ impl Ddt {
         // uninterrupted run would.
         m.cov_fresh = rec.cov_fresh;
         m.cov_stamp = rec.cov_stamp;
+        // Replay never settles verdicts (the obligation belongs to the
+        // exploration loop, not the reconstruction); the record says whether
+        // this machine still owes one.
+        m.st.verdict_pending = rec.pending;
         Ok(m)
     }
 }

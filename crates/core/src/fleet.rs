@@ -187,7 +187,7 @@ pub struct WorkerOpts {
 
 /// Snapshot of the cumulative solver counters, used to compute exact
 /// per-shard deltas from a worker's long-lived solver.
-fn solver_tuple(solver: &Solver) -> [u64; 10] {
+fn solver_tuple(solver: &Solver) -> [u64; 18] {
     let s = solver.stats();
     [
         s.queries,
@@ -200,10 +200,18 @@ fn solver_tuple(solver: &Solver) -> [u64; 10] {
         s.slice_components,
         s.session_probes,
         s.session_resets,
+        s.batch_flushes,
+        s.batched_verdicts,
+        s.batch_witness_hits,
+        s.portfolio_races,
+        s.portfolio_session_wins,
+        s.portfolio_fresh_wins,
+        s.portfolio_probe_wins,
+        s.rewrite_reductions,
     ]
 }
 
-fn apply_solver_delta(stats: &mut ExploreStats, before: [u64; 10], after: [u64; 10]) {
+fn apply_solver_delta(stats: &mut ExploreStats, before: [u64; 18], after: [u64; 18]) {
     stats.solver_queries += after[0] - before[0];
     stats.solver_fast_hits += after[1] - before[1];
     stats.solver_full += after[2] - before[2];
@@ -214,6 +222,14 @@ fn apply_solver_delta(stats: &mut ExploreStats, before: [u64; 10], after: [u64; 
     stats.solver_slice_components += after[7] - before[7];
     stats.solver_session_probes += after[8] - before[8];
     stats.solver_session_resets += after[9] - before[9];
+    stats.solver_batch_flushes += after[10] - before[10];
+    stats.solver_batched_verdicts += after[11] - before[11];
+    stats.solver_batch_witness_hits += after[12] - before[12];
+    stats.solver_portfolio_races += after[13] - before[13];
+    stats.solver_portfolio_session_wins += after[14] - before[14];
+    stats.solver_portfolio_fresh_wins += after[15] - before[15];
+    stats.solver_portfolio_probe_wins += after[16] - before[16];
+    stats.solver_rewrite_reductions += after[17] - before[17];
 }
 
 /// Runs the worker side of the fleet protocol: `Hello`, then a loop of
@@ -497,6 +513,11 @@ fn explore_shard<W: Write>(
     let mut prune = ddt.config.prune.then(PruneSet::new);
 
     loop {
+        // Settle deferred obligations before selection — the leased root
+        // itself may have been checkpointed mid-obligation (rec.pending), in
+        // which case an infeasible verdict retires the whole shard here,
+        // before it executes anything.
+        Ddt::flush_pending(&mut worklist, solver, &mut stats);
         let mut m = match &mut guided {
             None => match worklist.pop() {
                 Some(m) => m,
@@ -561,6 +582,10 @@ fn explore_shard<W: Write>(
         for child in worklist[n_before..].iter_mut() {
             child.cov_fresh = fresh;
             child.cov_stamp = stamp;
+        }
+        if prune.is_some() {
+            // Zombies must not deposit fingerprints in the seen-set.
+            Ddt::flush_pending(&mut worklist, solver, &mut stats);
         }
         if let Some(p) = prune.as_mut() {
             let mut i = n_before;
@@ -761,6 +786,12 @@ impl<'a> Supervisor<'a> {
             {
                 break;
             }
+            // Settle deferred branch-feasibility obligations before
+            // selection, exactly like the serial explorer's loop-top flush.
+            Ddt::flush_pending(&mut worklist, &mut solver, &mut stats);
+            if worklist.is_empty() {
+                break; // The flush retired the whole worklist.
+            }
             // Same cold-block selection as the serial explorer; the census
             // is order-independent, this just keeps bootstrap efficient.
             // Guided strategies supply their own selector instead.
@@ -817,6 +848,10 @@ impl<'a> Supervisor<'a> {
             for child in worklist[n_before..].iter_mut() {
                 child.cov_fresh = fresh;
                 child.cov_stamp = stamp;
+            }
+            if prune.is_some() {
+                // Zombies must not deposit fingerprints in the seen-set.
+                Ddt::flush_pending(&mut worklist, &mut solver, &mut stats);
             }
             if let Some(p) = prune.as_mut() {
                 let mut i = n_before;

@@ -343,7 +343,12 @@ fn run_quanta(
         {
             break;
         }
-        let mut m = frontier.pop(coverage).expect("frontier non-empty");
+        // Settle deferred branch-feasibility obligations before selection
+        // (same loop-top flush as the serial explorer).
+        Ddt::flush_pending(frontier.storage_mut(), solver, stats);
+        let Some(mut m) = frontier.pop(coverage) else {
+            break; // The flush retired the whole frontier.
+        };
         let n_before = frontier.len();
         let covered_before = coverage.covered_blocks();
         let mut exec_pcs = Vec::new();

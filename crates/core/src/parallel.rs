@@ -160,6 +160,14 @@ struct SolverSnap {
     slice_parts: u64,
     probes: u64,
     resets: u64,
+    flushes: u64,
+    batched: u64,
+    witness: u64,
+    races: u64,
+    race_session: u64,
+    race_fresh: u64,
+    race_probe: u64,
+    rewrites: u64,
 }
 
 /// Adds one quantum's counter deltas into the shared aggregate.
@@ -305,6 +313,20 @@ pub(crate) fn explore_parallel(
                         continue;
                     };
                     idle_spins = 0;
+                    // A machine restored from a batch-mode checkpoint may
+                    // still owe its branch-feasibility verdict (the shared
+                    // queue otherwise only holds settled machines — workers
+                    // flush their forks before pushing). Settle it before it
+                    // executes anything.
+                    if m.st.verdict_pending {
+                        if solver.is_feasible_obligation(&m.st.constraints) {
+                            m.st.verdict_pending = false;
+                            relock(&agg_stats).paths_started += 1;
+                        } else {
+                            in_flight.fetch_sub(1, Ordering::AcqRel);
+                            continue;
+                        }
+                    }
                     let mut local_forks: Vec<Machine> = Vec::new();
                     // Reserve a block of ids for this quantum (ids are
                     // diagnostics; uniqueness suffices).
@@ -351,6 +373,12 @@ pub(crate) fn explore_parallel(
                         let now = cov.covered_blocks();
                         ((now - before) as u64, now as u64)
                     };
+                    // Settle this quantum's deferred-verdict forks in one
+                    // batched pass before they become globally schedulable:
+                    // the shared queue must only ever hold settled machines,
+                    // and an infeasible zombie must never reach the prune
+                    // seen-set below.
+                    Ddt::flush_pending(&mut local_forks, &mut solver, &mut local_stats);
                     // Opt-in structural pruning: drop this quantum's forks
                     // whose fingerprint repeats with no coverage delta. The
                     // shared seen-set makes the decision global, like the
@@ -389,6 +417,19 @@ pub(crate) fn explore_parallel(
                         agg.solver_slice_components += s.slice_components - prev_solver.slice_parts;
                         agg.solver_session_probes += s.session_probes - prev_solver.probes;
                         agg.solver_session_resets += s.session_resets - prev_solver.resets;
+                        agg.solver_batch_flushes += s.batch_flushes - prev_solver.flushes;
+                        agg.solver_batched_verdicts += s.batched_verdicts - prev_solver.batched;
+                        agg.solver_batch_witness_hits +=
+                            s.batch_witness_hits - prev_solver.witness;
+                        agg.solver_portfolio_races += s.portfolio_races - prev_solver.races;
+                        agg.solver_portfolio_session_wins +=
+                            s.portfolio_session_wins - prev_solver.race_session;
+                        agg.solver_portfolio_fresh_wins +=
+                            s.portfolio_fresh_wins - prev_solver.race_fresh;
+                        agg.solver_portfolio_probe_wins +=
+                            s.portfolio_probe_wins - prev_solver.race_probe;
+                        agg.solver_rewrite_reductions +=
+                            s.rewrite_reductions - prev_solver.rewrites;
                         prev_solver = SolverSnap {
                             queries: s.queries,
                             fast: s.fast_path_hits,
@@ -400,6 +441,14 @@ pub(crate) fn explore_parallel(
                             slice_parts: s.slice_components,
                             probes: s.session_probes,
                             resets: s.session_resets,
+                            flushes: s.batch_flushes,
+                            batched: s.batched_verdicts,
+                            witness: s.batch_witness_hits,
+                            races: s.portfolio_races,
+                            race_session: s.portfolio_session_wins,
+                            race_fresh: s.portfolio_fresh_wins,
+                            race_probe: s.portfolio_probe_wins,
+                            rewrites: s.rewrite_reductions,
                         };
                         stamp
                     };

@@ -108,6 +108,24 @@ pub struct ExploreStats {
     /// Incremental-session core rebuilds (size caps or symbol-width
     /// conflicts between sibling paths).
     pub solver_session_resets: u64,
+    /// Deferred-obligation batches flushed (lazy batched feasibility).
+    pub solver_batch_flushes: u64,
+    /// Branch-feasibility verdicts delivered through batched flushes.
+    pub solver_batched_verdicts: u64,
+    /// Batched obligations discharged by evaluating a sibling's model
+    /// instead of solving (witness subsumption).
+    pub solver_batch_witness_hits: u64,
+    /// Hard verdict queries raced across the solver portfolio.
+    pub solver_portfolio_races: u64,
+    /// Portfolio races won by the incremental-session lane.
+    pub solver_portfolio_session_wins: u64,
+    /// Portfolio races won by the fresh canonical-blast lane.
+    pub solver_portfolio_fresh_wins: u64,
+    /// Portfolio races won by the cached-answer probe lane.
+    pub solver_portfolio_probe_wins: u64,
+    /// Interned DAG nodes eliminated by the algebraic pre-blast rewriter
+    /// (summed over rewritten verdict queries).
+    pub solver_rewrite_reductions: u64,
     /// Hash-consing interner hits (process-global, sampled at report
     /// assembly; on a resumed campaign this covers the final process only).
     pub interner_hits: u64,
@@ -227,6 +245,14 @@ impl ExploreStats {
         self.solver_slice_components += other.solver_slice_components;
         self.solver_session_probes += other.solver_session_probes;
         self.solver_session_resets += other.solver_session_resets;
+        self.solver_batch_flushes += other.solver_batch_flushes;
+        self.solver_batched_verdicts += other.solver_batched_verdicts;
+        self.solver_batch_witness_hits += other.solver_batch_witness_hits;
+        self.solver_portfolio_races += other.solver_portfolio_races;
+        self.solver_portfolio_session_wins += other.solver_portfolio_session_wins;
+        self.solver_portfolio_fresh_wins += other.solver_portfolio_fresh_wins;
+        self.solver_portfolio_probe_wins += other.solver_portfolio_probe_wins;
+        self.solver_rewrite_reductions += other.solver_rewrite_reductions;
         self.interner_hits += other.interner_hits;
         self.interner_misses += other.interner_misses;
         self.cache_evictions += other.cache_evictions;
@@ -295,6 +321,24 @@ pub struct RunHealth {
     pub session_probes: u64,
     /// Incremental-session core rebuilds.
     pub session_resets: u64,
+    /// Deferred-obligation batches flushed to the solver.
+    pub batch_flushes: u64,
+    /// Individual feasibility verdicts settled inside those batches.
+    pub batched_verdicts: u64,
+    /// Batched obligations discharged by evaluating a pooled witness model
+    /// instead of a fresh solve.
+    pub batch_witness_hits: u64,
+    /// Verdict-grade queries raced across the solver portfolio.
+    pub portfolio_races: u64,
+    /// Portfolio races won by the incremental-session lane.
+    pub portfolio_session_wins: u64,
+    /// Portfolio races won by the fresh-blast lane.
+    pub portfolio_fresh_wins: u64,
+    /// Portfolio races won by the cache-probe lane.
+    pub portfolio_probe_wins: u64,
+    /// Nodes removed from verdict queries by the algebraic pre-blast
+    /// rewriter.
+    pub rewrite_reductions: u64,
     /// Expression-interner hits (process-global sample).
     pub interner_hits: u64,
     /// Expression-interner misses (process-global sample).
@@ -374,6 +418,14 @@ impl RunHealth {
             solver_slice_components: stats.solver_slice_components,
             session_probes: stats.solver_session_probes,
             session_resets: stats.solver_session_resets,
+            batch_flushes: stats.solver_batch_flushes,
+            batched_verdicts: stats.solver_batched_verdicts,
+            batch_witness_hits: stats.solver_batch_witness_hits,
+            portfolio_races: stats.solver_portfolio_races,
+            portfolio_session_wins: stats.solver_portfolio_session_wins,
+            portfolio_fresh_wins: stats.solver_portfolio_fresh_wins,
+            portfolio_probe_wins: stats.solver_portfolio_probe_wins,
+            rewrite_reductions: stats.solver_rewrite_reductions,
             interner_hits: stats.interner_hits,
             interner_misses: stats.interner_misses,
             cache_evictions: stats.cache_evictions,
@@ -422,6 +474,14 @@ impl RunHealth {
         self.solver_slice_components += other.solver_slice_components;
         self.session_probes += other.session_probes;
         self.session_resets += other.session_resets;
+        self.batch_flushes += other.batch_flushes;
+        self.batched_verdicts += other.batched_verdicts;
+        self.batch_witness_hits += other.batch_witness_hits;
+        self.portfolio_races += other.portfolio_races;
+        self.portfolio_session_wins += other.portfolio_session_wins;
+        self.portfolio_fresh_wins += other.portfolio_fresh_wins;
+        self.portfolio_probe_wins += other.portfolio_probe_wins;
+        self.rewrite_reductions += other.rewrite_reductions;
         self.interner_hits += other.interner_hits;
         self.interner_misses += other.interner_misses;
         self.cache_evictions += other.cache_evictions;
@@ -505,6 +565,27 @@ impl RunHealth {
             "  session probes:         {} ({} core resets)\n",
             self.session_probes, self.session_resets
         ));
+        if self.batch_flushes > 0 {
+            out.push_str(&format!(
+                "  batched verdicts:       {} in {} flush(es), {} by witness reuse\n",
+                self.batched_verdicts, self.batch_flushes, self.batch_witness_hits
+            ));
+        }
+        if self.portfolio_races > 0 {
+            out.push_str(&format!(
+                "  portfolio races:        {} (session {}, fresh {}, probe {})\n",
+                self.portfolio_races,
+                self.portfolio_session_wins,
+                self.portfolio_fresh_wins,
+                self.portfolio_probe_wins
+            ));
+        }
+        if self.rewrite_reductions > 0 {
+            out.push_str(&format!(
+                "  rewriter reductions:    {} node(s) eliminated pre-blast\n",
+                self.rewrite_reductions
+            ));
+        }
         let intern_lookups = self.interner_hits + self.interner_misses;
         if intern_lookups > 0 {
             out.push_str(&format!(

@@ -48,6 +48,14 @@ fn arb_stats(seed: u64) -> ExploreStats {
         solver_slice_components: m.next(),
         solver_session_probes: m.next(),
         solver_session_resets: m.next(),
+        solver_batch_flushes: m.next(),
+        solver_batched_verdicts: m.next(),
+        solver_batch_witness_hits: m.next(),
+        solver_portfolio_races: m.next(),
+        solver_portfolio_session_wins: m.next(),
+        solver_portfolio_fresh_wins: m.next(),
+        solver_portfolio_probe_wins: m.next(),
+        solver_rewrite_reductions: m.next(),
         interner_hits: m.next(),
         interner_misses: m.next(),
         cache_evictions: m.next(),
@@ -144,6 +152,9 @@ proptest! {
         prop_assert_eq!(fwd.states_dropped, sum(|s| s.states_dropped));
         prop_assert_eq!(fwd.fuzz_execs, sum(|s| s.fuzz_execs));
         prop_assert_eq!(fwd.escalations, sum(|s| s.escalations));
+        prop_assert_eq!(fwd.solver_batched_verdicts, sum(|s| s.solver_batched_verdicts));
+        prop_assert_eq!(fwd.solver_portfolio_races, sum(|s| s.solver_portfolio_races));
+        prop_assert_eq!(fwd.solver_rewrite_reductions, sum(|s| s.solver_rewrite_reductions));
         prop_assert_eq!(
             fwd.peak_states,
             parts.iter().map(|s| s.peak_states).max().unwrap_or(0),
@@ -175,6 +186,9 @@ proptest! {
         prop_assert_eq!(fwd.fleet_workers_lost, sum(|h| h.fleet_workers_lost));
         prop_assert_eq!(fwd.fleet_shards_quarantined, sum(|h| h.fleet_shards_quarantined));
         prop_assert_eq!(fwd.bug_occurrences, sum(|h| h.bug_occurrences));
+        prop_assert_eq!(fwd.batched_verdicts, sum(|h| h.batched_verdicts));
+        prop_assert_eq!(fwd.portfolio_races, sum(|h| h.portfolio_races));
+        prop_assert_eq!(fwd.rewrite_reductions, sum(|h| h.rewrite_reductions));
         prop_assert_eq!(
             fwd.insn_budget_exhausted,
             parts.iter().any(|h| h.insn_budget_exhausted),

@@ -5,6 +5,7 @@
 //!          [--no-annotations] [--no-memcheck] [--faults] [--lifecycle]
 //!          [--workers N]
 //!          [--no-query-cache] [--no-slicing] [--no-incremental]
+//!          [--no-batch] [--no-portfolio] [--no-rewrite]
 //!          [--json FILE] [--replay] [--health]
 //!          [--trace-dir DIR] [--checkpoint-dir DIR] [--checkpoint-every N]
 //!          [--resume DIR]
@@ -106,6 +107,7 @@ fn usage() -> ExitCode {
         "usage:\n  ddt test <driver.dxe|name> [--audio] [--registry K=V]... \
          [--no-annotations] [--no-memcheck] [--faults] [--lifecycle] [--workers N] \
          [--no-query-cache] [--no-slicing] [--no-incremental] \
+         [--no-batch] [--no-portfolio] [--no-rewrite] \
          [--strategy fifo|coverage-new-first|rarest-branch|bug-directed] \
          [--prune] [--no-prune] \
          [--json FILE] [--replay] [--health] \
@@ -245,6 +247,20 @@ fn parse_config(args: &[String]) -> Result<ddt::DdtConfig, String> {
     }
     if args.iter().any(|a| a == "--no-incremental") {
         config.use_incremental = false;
+    }
+    // Same contract for the lazy-feasibility machinery (ISSUE 10):
+    // `--no-batch` settles every fork's verdict eagerly at the fork site,
+    // `--no-portfolio` pins hard verdict components to the single-lane
+    // pipeline, `--no-rewrite` skips algebraic pre-blast simplification.
+    // All three are report-invisible.
+    if args.iter().any(|a| a == "--no-batch") {
+        config.use_batch = false;
+    }
+    if args.iter().any(|a| a == "--no-portfolio") {
+        config.use_portfolio = false;
+    }
+    if args.iter().any(|a| a == "--no-rewrite") {
+        config.use_rewrite = false;
     }
     // Search strategy and fingerprint pruning. Both are fingerprinted, so
     // supervisor and workers agree, and a resume refuses a mismatched

@@ -30,11 +30,13 @@ mod eval;
 mod intern;
 mod node;
 mod prop_tests;
+mod rewrite;
 mod visit;
 
 pub use canon::{cache_key, is_subset_sorted, partition_independent, subset_signature};
 pub use intern::intern_stats;
 pub use eval::Assignment;
+pub use rewrite::{dag_node_count, rewrite, rewrite_all};
 pub use node::{
     fold_bin, //
     fold_cmp,

@@ -1,0 +1,585 @@
+//! Algebraic pre-blast rewriting: a fixpoint simplifier over the interned
+//! expression DAG, run ahead of bit-blasting (DESIGN.md §4.12).
+//!
+//! The smart constructors in [`crate::node`] already fold constants and apply
+//! local identities *at build time*. This pass goes further, with context the
+//! constructors cannot see at a single node:
+//!
+//! - **known-bits propagation**: a dataflow over the DAG tracking which bits
+//!   of every subterm are provably zero or provably one, collapsing
+//!   fully-determined terms to constants and absorbing masked `And`/`Or`
+//!   operands;
+//! - **bit-width narrowing**: comparisons of zero-extended operands (the
+//!   shape every sub-word hardware read produces) are narrowed back to the
+//!   original width, and low-bit extracts distribute into the operands of
+//!   width-local operators — smaller widths mean fewer Tseitin variables;
+//! - **ite collapse**: nested if-then-else on one condition drops the
+//!   unreachable arm;
+//! - **concat/constant equality splitting**: `concat(hi, lo) == c` becomes a
+//!   conjunction of narrower equalities, which also feeds independence
+//!   slicing downstream.
+//!
+//! Every rule is *evaluation-preserving*: for every assignment, the
+//! rewritten expression evaluates bit-identically to the original (pinned by
+//! the property tests in [`crate::prop_tests`]). That is the contract that
+//! makes the pass verdict-sound in the solver: a model of a rewritten key is
+//! a model of the original key and vice versa. Rewriting is also idempotent —
+//! `rewrite(rewrite(e)) == rewrite(e)` — because replacements are themselves
+//! rewritten to fixpoint before being returned.
+
+use std::collections::HashMap;
+
+use crate::node::{BinOp, CmpOp, Expr, ExprNode};
+use crate::{mask, MAX_WIDTH};
+
+/// Per-call rewrite context: the rewrite memo and the known-bits memo, both
+/// keyed by interned identity so shared subtrees are processed once.
+#[derive(Default)]
+struct Rewriter {
+    memo: HashMap<Expr, Expr>,
+    bits: HashMap<Expr, KnownBits>,
+}
+
+/// Which bits of a term are statically determined. `zeros` has a 1 for every
+/// bit provably 0; `ones` has a 1 for every bit provably 1. Both are subsets
+/// of the width mask and never overlap.
+#[derive(Clone, Copy, Debug, Default)]
+struct KnownBits {
+    zeros: u64,
+    ones: u64,
+}
+
+impl KnownBits {
+    fn unknown() -> KnownBits {
+        KnownBits::default()
+    }
+
+    fn of_const(bits: u64, w: u32) -> KnownBits {
+        KnownBits { zeros: mask(!bits, w), ones: mask(bits, w) }
+    }
+
+    /// True when every bit in `w` is determined.
+    fn fully_known(&self, w: u32) -> bool {
+        self.zeros | self.ones == mask(u64::MAX, w)
+    }
+
+    /// Largest value the term can take (all undetermined bits set).
+    fn max(&self, w: u32) -> u64 {
+        mask(!self.zeros, w)
+    }
+
+    /// Smallest value the term can take (only the known ones set).
+    fn min(&self) -> u64 {
+        self.ones
+    }
+}
+
+/// Rewrites one expression to its simplified fixpoint form.
+pub fn rewrite(e: &Expr) -> Expr {
+    let mut rw = Rewriter::default();
+    rw.go(e)
+}
+
+/// Rewrites a batch of expressions sharing one memo, so common subtrees
+/// across the constraints of a query key are processed once.
+pub fn rewrite_all(exprs: &[Expr]) -> Vec<Expr> {
+    let mut rw = Rewriter::default();
+    exprs.iter().map(|e| rw.go(e)).collect()
+}
+
+/// Counts distinct DAG nodes reachable from `roots` (shared subtrees counted
+/// once) — the size metric behind the `rewrite_reductions` counter.
+pub fn dag_node_count(roots: &[Expr]) -> usize {
+    fn walk(e: &Expr, seen: &mut std::collections::HashSet<Expr>) {
+        if !seen.insert(e.clone()) {
+            return;
+        }
+        match e.node() {
+            ExprNode::Const { .. } | ExprNode::Sym { .. } => {}
+            ExprNode::Not(a) | ExprNode::Neg(a) => walk(a, seen),
+            ExprNode::Bin(_, a, b) | ExprNode::Cmp(_, a, b) => {
+                walk(a, seen);
+                walk(b, seen);
+            }
+            ExprNode::ZExt { e: a, .. }
+            | ExprNode::SExt { e: a, .. }
+            | ExprNode::Extract { e: a, .. } => walk(a, seen),
+            ExprNode::Concat { hi, lo } => {
+                walk(hi, seen);
+                walk(lo, seen);
+            }
+            ExprNode::Ite { cond, then, els } => {
+                walk(cond, seen);
+                walk(then, seen);
+                walk(els, seen);
+            }
+        }
+    }
+    let mut seen = std::collections::HashSet::new();
+    for r in roots {
+        walk(r, &mut seen);
+    }
+    seen.len()
+}
+
+impl Rewriter {
+    fn go(&mut self, e: &Expr) -> Expr {
+        if let Some(r) = self.memo.get(e) {
+            return r.clone();
+        }
+        let rebuilt = self.rebuild(e);
+        let out = self.apply_rules(&rebuilt);
+        self.memo.insert(e.clone(), out.clone());
+        // The result is its own fixpoint: replacements are rewritten before
+        // being returned, so `rewrite` is idempotent by construction.
+        self.memo.insert(out.clone(), out.clone());
+        out
+    }
+
+    /// Rewrites the children and rebuilds the node through the smart
+    /// constructors (which re-apply their build-time simplifications to the
+    /// now-simpler children).
+    fn rebuild(&mut self, e: &Expr) -> Expr {
+        match e.node() {
+            ExprNode::Const { .. } | ExprNode::Sym { .. } => e.clone(),
+            ExprNode::Not(a) => self.go(a).not(),
+            ExprNode::Neg(a) => self.go(a).neg(),
+            ExprNode::Bin(op, a, b) => Expr::bin(*op, &self.go(a), &self.go(b)),
+            ExprNode::Cmp(op, a, b) => Expr::cmp(*op, &self.go(a), &self.go(b)),
+            ExprNode::ZExt { e: a, width } => self.go(a).zext(*width),
+            ExprNode::SExt { e: a, width } => self.go(a).sext(*width),
+            ExprNode::Extract { e: a, hi, lo } => self.go(a).extract(*hi, *lo),
+            ExprNode::Concat { hi, lo } => self.go(hi).concat(&self.go(lo)),
+            ExprNode::Ite { cond, then, els } => {
+                Expr::ite(&self.go(cond), &self.go(then), &self.go(els))
+            }
+        }
+    }
+
+    /// Applies the cross-node rules to an already-rebuilt node. Whenever a
+    /// rule fires, the replacement is itself rewritten to fixpoint.
+    fn apply_rules(&mut self, e: &Expr) -> Expr {
+        let w = e.width();
+        match e.node() {
+            ExprNode::Cmp(op, a, b) => {
+                // Bit-width narrowing: zext(a) ⋈ zext(b) over equal source
+                // widths decides at the source width (unsigned orders and
+                // equality only — sign-dependent orders do not narrow).
+                if let (ExprNode::ZExt { e: na, .. }, ExprNode::ZExt { e: nb, .. }) =
+                    (a.node(), b.node())
+                {
+                    if na.width() == nb.width() && zext_narrowable(*op) {
+                        return self.go(&Expr::cmp(*op, na, nb));
+                    }
+                }
+                // zext(a) ⋈ constant: decide statically when the constant is
+                // out of the source range, else narrow to the source width.
+                if let (ExprNode::ZExt { e: na, .. }, Some(c)) = (a.node(), b.as_const()) {
+                    if let Some(r) = self.narrow_zext_const(*op, na, c, false) {
+                        return r;
+                    }
+                }
+                if let (Some(c), ExprNode::ZExt { e: nb, .. }) = (a.as_const(), b.node()) {
+                    if let Some(r) = self.narrow_zext_const(*op, nb, c, true) {
+                        return r;
+                    }
+                }
+                // concat(hi, lo) ==/!= constant splits into independent
+                // narrower comparisons (feeding independence slicing).
+                if matches!(op, CmpOp::Eq | CmpOp::Ne) {
+                    let split = match (a.node(), b.as_const()) {
+                        (ExprNode::Concat { hi, lo }, Some(c)) => Some((hi, lo, c)),
+                        _ => match (a.as_const(), b.node()) {
+                            (Some(c), ExprNode::Concat { hi, lo }) => Some((hi, lo, c)),
+                            _ => None,
+                        },
+                    };
+                    if let Some((hi, lo, c)) = split {
+                        let ch = Expr::constant(c >> lo.width(), hi.width());
+                        let cl = Expr::constant(c, lo.width());
+                        let r = match op {
+                            CmpOp::Eq => hi.eq(&ch).and(&lo.eq(&cl)),
+                            _ => hi.ne(&ch).or(&lo.ne(&cl)),
+                        };
+                        return self.go(&r);
+                    }
+                }
+                // Unsigned range rules from known bits: a ⋈ c decided when
+                // the known-bits envelope of `a` excludes (or forces) it.
+                if let Some(c) = b.as_const() {
+                    if let Some(r) = self.known_bits_cmp(*op, a, c, false) {
+                        return r;
+                    }
+                }
+                if let Some(c) = a.as_const() {
+                    if let Some(r) = self.known_bits_cmp(*op, b, c, true) {
+                        return r;
+                    }
+                }
+                e.clone()
+            }
+            ExprNode::Ite { cond, then, els } => {
+                // Nested ite on one condition drops the unreachable arm.
+                if let ExprNode::Ite { cond: c2, then: t2, .. } = then.node() {
+                    if c2 == cond {
+                        return self.go(&Expr::ite(cond, t2, els));
+                    }
+                }
+                if let ExprNode::Ite { cond: c2, els: e2, .. } = els.node() {
+                    if c2 == cond {
+                        return self.go(&Expr::ite(cond, then, e2));
+                    }
+                }
+                e.clone()
+            }
+            ExprNode::Extract { e: inner, hi, lo } => {
+                // Low-bit extracts distribute into width-local operators:
+                // the low `hi+1` bits of add/sub/mul depend only on the low
+                // bits of the operands, and bitwise ops are bit-local at any
+                // slice. Narrower operands blast to fewer variables.
+                match inner.node() {
+                    ExprNode::Bin(op, a, b)
+                        if *lo == 0 && matches!(op, BinOp::Add | BinOp::Sub | BinOp::Mul) =>
+                    {
+                        let r = Expr::bin(*op, &a.extract(*hi, 0), &b.extract(*hi, 0));
+                        self.go(&r)
+                    }
+                    ExprNode::Bin(op, a, b)
+                        if matches!(op, BinOp::And | BinOp::Or | BinOp::Xor) =>
+                    {
+                        let r = Expr::bin(*op, &a.extract(*hi, *lo), &b.extract(*hi, *lo));
+                        self.go(&r)
+                    }
+                    ExprNode::Not(a) => self.go(&a.extract(*hi, *lo).not()),
+                    _ => self.fold_known(e, w),
+                }
+            }
+            ExprNode::Bin(op, a, b) if matches!(op, BinOp::And | BinOp::Or) => {
+                let ka = self.known(a);
+                let kb = self.known(b);
+                let full = mask(u64::MAX, w);
+                let (pa, pb) = (full & !ka.zeros, full & !kb.zeros);
+                match op {
+                    BinOp::And => {
+                        // Disjoint possible-ones: the conjunction is zero.
+                        if pa & pb == 0 {
+                            return Expr::constant(0, w);
+                        }
+                        // Absorption: every possibly-one bit of one side is
+                        // known-one on the other, so the mask is a no-op.
+                        if pa & !kb.ones == 0 {
+                            return a.clone();
+                        }
+                        if pb & !ka.ones == 0 {
+                            return b.clone();
+                        }
+                    }
+                    BinOp::Or => {
+                        if pa & !kb.ones == 0 {
+                            return b.clone();
+                        }
+                        if pb & !ka.ones == 0 {
+                            return a.clone();
+                        }
+                    }
+                    _ => unreachable!(),
+                }
+                self.fold_known(e, w)
+            }
+            _ => self.fold_known(e, w),
+        }
+    }
+
+    /// Collapses `e` to a constant when known-bits fully determine it.
+    fn fold_known(&mut self, e: &Expr, w: u32) -> Expr {
+        if e.is_const() {
+            return e.clone();
+        }
+        let k = self.known(e);
+        if k.fully_known(w) {
+            return Expr::constant(k.ones, w);
+        }
+        e.clone()
+    }
+
+    /// Narrows `zext(a) ⋈ c` (or `c ⋈ zext(a)` when `flipped`). Returns
+    /// `None` when the comparison is signed (not narrowable under zext).
+    fn narrow_zext_const(&mut self, op: CmpOp, a: &Expr, c: u64, flipped: bool) -> Option<Expr> {
+        if !zext_narrowable(op) {
+            return None;
+        }
+        let aw = a.width();
+        let amax = mask(u64::MAX, aw); // zext(a) ranges over [0, amax].
+        let cv = Expr::constant(c.min(amax), aw);
+        let r = match (op, flipped) {
+            (CmpOp::Eq, _) if c > amax => Expr::false_(),
+            (CmpOp::Eq, _) => Expr::cmp(CmpOp::Eq, a, &cv),
+            (CmpOp::Ne, _) if c > amax => Expr::true_(),
+            (CmpOp::Ne, _) => Expr::cmp(CmpOp::Ne, a, &cv),
+            // zext(a) <u c
+            (CmpOp::Ult, false) if c > amax => Expr::true_(),
+            (CmpOp::Ult, false) => Expr::cmp(CmpOp::Ult, a, &cv),
+            // zext(a) <=u c
+            (CmpOp::Ule, false) if c >= amax => Expr::true_(),
+            (CmpOp::Ule, false) => Expr::cmp(CmpOp::Ule, a, &cv),
+            // c <u zext(a)
+            (CmpOp::Ult, true) if c >= amax => Expr::false_(),
+            (CmpOp::Ult, true) => Expr::cmp(CmpOp::Ult, &cv, a),
+            // c <=u zext(a)
+            (CmpOp::Ule, true) if c > amax => Expr::false_(),
+            (CmpOp::Ule, true) => Expr::cmp(CmpOp::Ule, &cv, a),
+            (CmpOp::Slt | CmpOp::Sle, _) => return None,
+        };
+        Some(self.go(&r))
+    }
+
+    /// Decides `a ⋈ c` (or `c ⋈ a` when `flipped`) from the known-bits
+    /// envelope `[min, max]` of `a`, for the unsigned orders and equality.
+    fn known_bits_cmp(&mut self, op: CmpOp, a: &Expr, c: u64, flipped: bool) -> Option<Expr> {
+        let w = a.width();
+        let k = self.known(a);
+        if k.zeros == 0 && k.ones == 0 {
+            return None; // Nothing known; skip the arithmetic.
+        }
+        let (min, max) = (k.min(), k.max(w));
+        match op {
+            // Bit-level contradiction: c sets a known-zero bit or clears a
+            // known-one bit of a.
+            CmpOp::Eq if (c & k.zeros) != 0 || (!c & k.ones) != 0 => Some(Expr::false_()),
+            CmpOp::Ne if (c & k.zeros) != 0 || (!c & k.ones) != 0 => Some(Expr::true_()),
+            CmpOp::Ult if !flipped && max < c => Some(Expr::true_()), // a <u c
+            CmpOp::Ult if !flipped && min >= c => Some(Expr::false_()),
+            CmpOp::Ult if flipped && c < min => Some(Expr::true_()), // c <u a
+            CmpOp::Ult if flipped && c >= max => Some(Expr::false_()),
+            CmpOp::Ule if !flipped && max <= c => Some(Expr::true_()), // a <=u c
+            CmpOp::Ule if !flipped && min > c => Some(Expr::false_()),
+            CmpOp::Ule if flipped && c <= min => Some(Expr::true_()), // c <=u a
+            CmpOp::Ule if flipped && c > max => Some(Expr::false_()),
+            _ => None,
+        }
+    }
+
+    /// Known-bits dataflow, memoized over the DAG.
+    fn known(&mut self, e: &Expr) -> KnownBits {
+        if let Some(k) = self.bits.get(e) {
+            return *k;
+        }
+        let w = e.width();
+        let full = mask(u64::MAX, w);
+        let k = match e.node() {
+            ExprNode::Const { bits, width } => KnownBits::of_const(*bits, *width),
+            ExprNode::Sym { .. } => KnownBits::unknown(),
+            ExprNode::Not(a) => {
+                let ka = self.known(a);
+                KnownBits { zeros: ka.ones, ones: ka.zeros }
+            }
+            ExprNode::Bin(op, a, b) => {
+                let ka = self.known(a);
+                let kb = self.known(b);
+                match op {
+                    BinOp::And => KnownBits {
+                        zeros: (ka.zeros | kb.zeros) & full,
+                        ones: ka.ones & kb.ones,
+                    },
+                    BinOp::Or => KnownBits {
+                        zeros: ka.zeros & kb.zeros,
+                        ones: (ka.ones | kb.ones) & full,
+                    },
+                    BinOp::Xor => KnownBits {
+                        zeros: (ka.zeros & kb.zeros) | (ka.ones & kb.ones),
+                        ones: (ka.zeros & kb.ones) | (ka.ones & kb.zeros),
+                    },
+                    BinOp::Shl => match b.as_const() {
+                        Some(c) if c >= w as u64 => KnownBits::of_const(0, w),
+                        Some(c) => {
+                            // The c vacated low bits are known zero.
+                            let low = (1u64 << c) - 1;
+                            KnownBits {
+                                zeros: ((ka.zeros << c) | low) & full,
+                                ones: (ka.ones << c) & full,
+                            }
+                        }
+                        None => KnownBits::unknown(),
+                    },
+                    BinOp::LShr => match b.as_const() {
+                        Some(c) if c >= w as u64 => KnownBits::of_const(0, w),
+                        Some(c) => KnownBits {
+                            zeros: ((ka.zeros >> c) | !(full >> c)) & full,
+                            ones: (ka.ones & full) >> c,
+                        },
+                        None => KnownBits::unknown(),
+                    },
+                    _ => KnownBits::unknown(),
+                }
+            }
+            ExprNode::Cmp(..) => KnownBits::unknown(),
+            ExprNode::ZExt { e: a, .. } => {
+                let ka = self.known(a);
+                let aw = a.width();
+                // The extension bits are known zero.
+                KnownBits { zeros: ka.zeros | (full & !mask(u64::MAX, aw)), ones: ka.ones }
+            }
+            ExprNode::SExt { e: a, .. } => {
+                let ka = self.known(a);
+                let aw = a.width();
+                let sign = 1u64 << (aw - 1);
+                let ext = full & !mask(u64::MAX, aw);
+                if ka.ones & sign != 0 {
+                    KnownBits { zeros: ka.zeros, ones: ka.ones | ext }
+                } else if ka.zeros & sign != 0 {
+                    KnownBits { zeros: ka.zeros | ext, ones: ka.ones }
+                } else {
+                    KnownBits { zeros: ka.zeros, ones: ka.ones }
+                }
+            }
+            ExprNode::Extract { e: a, hi: _, lo } => {
+                let ka = self.known(a);
+                KnownBits { zeros: (ka.zeros >> lo) & full, ones: (ka.ones >> lo) & full }
+            }
+            ExprNode::Concat { hi, lo } => {
+                let kh = self.known(hi);
+                let kl = self.known(lo);
+                let lw = lo.width();
+                KnownBits {
+                    zeros: (kh.zeros << lw) | kl.zeros,
+                    ones: (kh.ones << lw) | kl.ones,
+                }
+            }
+            ExprNode::Ite { then, els, .. } => {
+                let kt = self.known(then);
+                let ke = self.known(els);
+                KnownBits { zeros: kt.zeros & ke.zeros, ones: kt.ones & ke.ones }
+            }
+            ExprNode::Neg(_) => KnownBits::unknown(),
+        };
+        debug_assert_eq!(k.zeros & k.ones, 0, "known-bits sets overlap for {e}");
+        debug_assert_eq!(k.zeros & !full, 0, "known zeros exceed width of {e}");
+        debug_assert_eq!(k.ones & !full, 0, "known ones exceed width of {e}");
+        self.bits.insert(e.clone(), k);
+        k
+    }
+}
+
+fn zext_narrowable(op: CmpOp) -> bool {
+    matches!(op, CmpOp::Eq | CmpOp::Ne | CmpOp::Ult | CmpOp::Ule)
+}
+
+// Keep MAX_WIDTH referenced for the doc invariant even in release builds.
+const _: () = assert!(MAX_WIDTH == 64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SymId;
+
+    fn s(id: u32, w: u32) -> Expr {
+        Expr::sym(SymId(id), w)
+    }
+
+    fn c(v: u64, w: u32) -> Expr {
+        Expr::constant(v, w)
+    }
+
+    #[test]
+    fn narrows_zext_cmp_pairs() {
+        let a = s(0, 8);
+        let b = s(1, 8);
+        let e = a.zext(32).ult(&b.zext(32));
+        assert_eq!(rewrite(&e), a.ult(&b));
+    }
+
+    #[test]
+    fn narrows_zext_cmp_const_in_range() {
+        let a = s(0, 8);
+        let e = a.zext(32).eq(&c(0x42, 32));
+        assert_eq!(rewrite(&e), a.eq(&c(0x42, 8)));
+    }
+
+    #[test]
+    fn decides_zext_cmp_const_out_of_range() {
+        let a = s(0, 8);
+        assert!(rewrite(&a.zext(32).eq(&c(0x1234, 32))).is_false());
+        assert!(rewrite(&a.zext(32).ne(&c(0x1234, 32))).is_true());
+        assert!(rewrite(&a.zext(32).ult(&c(0x100, 32))).is_true());
+        assert!(rewrite(&c(0x100, 32).ult(&a.zext(32))).is_false());
+    }
+
+    #[test]
+    fn splits_concat_const_equality() {
+        let hi = s(0, 8);
+        let lo = s(1, 8);
+        let e = hi.concat(&lo).eq(&c(0xcdab, 16));
+        let expect = hi.eq(&c(0xcd, 8)).and(&lo.eq(&c(0xab, 8)));
+        assert_eq!(rewrite(&e), expect);
+    }
+
+    #[test]
+    fn collapses_nested_ite_on_one_condition() {
+        let cond = s(0, 32).ult(&c(5, 32));
+        let x = s(1, 32);
+        let y = s(2, 32);
+        let z = s(3, 32);
+        let e = Expr::ite(&cond, &Expr::ite(&cond, &x, &y), &z);
+        assert_eq!(rewrite(&e), Expr::ite(&cond, &x, &z));
+    }
+
+    #[test]
+    fn known_bits_collapse_masked_and() {
+        // (x | 0xff00) & 0xff00 is fully determined: 0xff00.
+        let x = s(0, 32);
+        let e = x.or(&c(0xff00, 32)).and(&c(0xff00, 32));
+        assert_eq!(rewrite(&e).as_const(), Some(0xff00));
+    }
+
+    #[test]
+    fn known_bits_absorb_covering_mask() {
+        // zext(x:8) & 0xff keeps every possibly-one bit: the mask is a no-op.
+        let x = s(0, 8);
+        let e = x.zext(32).and(&c(0xff, 32));
+        assert_eq!(rewrite(&e), x.zext(32));
+    }
+
+    #[test]
+    fn known_bits_decide_range_cmp() {
+        // zext(x:8) << 1 is even and <= 0x1fe, so <u 0x200 is always true.
+        let x = s(0, 8);
+        let shifted = x.zext(32).shl(&c(1, 32));
+        assert!(rewrite(&shifted.ult(&c(0x200, 32))).is_true());
+        // And == 0x201 (odd, in-range bit pattern conflict) is false.
+        assert!(rewrite(&shifted.eq(&c(0x201, 32))).is_false());
+    }
+
+    #[test]
+    fn extract_distributes_into_add() {
+        let x = s(0, 32);
+        let y = s(1, 32);
+        let e = x.add(&y).extract(7, 0);
+        assert_eq!(rewrite(&e), x.extract(7, 0).add(&y.extract(7, 0)));
+    }
+
+    #[test]
+    fn rewrite_is_idempotent_on_examples() {
+        let x = s(0, 8);
+        let y = s(1, 8);
+        let exprs = [
+            x.zext(32).ult(&y.zext(32)),
+            x.concat(&y).eq(&c(0x1234, 16)),
+            x.zext(32).and(&c(0xf0, 32)).or(&c(0x0f, 32)),
+            x.zext(16).add(&y.zext(16)).extract(7, 0),
+        ];
+        for e in &exprs {
+            let once = rewrite(e);
+            assert_eq!(rewrite(&once), once, "not idempotent on {e}");
+        }
+    }
+
+    #[test]
+    fn dag_node_count_shares_subtrees() {
+        let x = s(0, 32);
+        let shared = x.add(&c(1, 32));
+        let e1 = shared.ult(&c(10, 32));
+        let e2 = shared.ult(&c(20, 32));
+        // x, 1, x+1, 10, 20, cmp1, cmp2 = 7 distinct nodes.
+        assert_eq!(dag_node_count(&[e1, e2]), 7);
+    }
+}

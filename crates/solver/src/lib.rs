@@ -52,6 +52,7 @@
 
 pub mod blast;
 pub mod cache;
+mod portfolio;
 pub mod sat;
 mod session;
 
@@ -71,6 +72,12 @@ pub use crate::cache::{CacheAnswer, CacheStats, QueryCache, QueryGrade};
 use crate::blast::Blaster;
 use crate::sat::{SatOutcome, SatSolver};
 use crate::session::{ProbeAnswer, Session};
+
+/// Default portfolio engagement threshold: components whose expression DAG
+/// has fewer distinct nodes than this are decided single-lane (a race's
+/// thread-spawn cost would dwarf the solve). Sized so only the heavy tail
+/// of branch queries races.
+const PORTFOLIO_MIN_NODES: usize = 256;
 
 /// Outcome of a satisfiability query.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -125,6 +132,23 @@ pub struct SolverStats {
     /// Times the session core was rebuilt (size caps, symbol-width reuse
     /// conflicts, or defensive recovery).
     pub session_resets: u64,
+    /// Deferred-obligation batches flushed through [`Solver::solve_obligations`].
+    pub batch_flushes: u64,
+    /// Branch-feasibility verdicts resolved inside batched flushes.
+    pub batched_verdicts: u64,
+    /// Batched verdicts proved `Sat` by a sibling obligation's model from
+    /// the same flush (witness subsumption — no solver call at all).
+    pub batch_witness_hits: u64,
+    /// Hard verdict components raced on the solver portfolio.
+    pub portfolio_races: u64,
+    /// Portfolio races won by the incremental-session lane.
+    pub portfolio_session_wins: u64,
+    /// Portfolio races won by the fresh-blast lane.
+    pub portfolio_fresh_wins: u64,
+    /// Portfolio races won by the cached-probe lane.
+    pub portfolio_probe_wins: u64,
+    /// Expression-DAG nodes eliminated by pre-blast algebraic rewriting.
+    pub rewrite_reductions: u64,
 }
 
 /// The bitvector solver.
@@ -158,6 +182,15 @@ pub struct Solver {
     /// Incremental session solving for verdict-grade queries
     /// (`--no-incremental` off switch).
     use_incremental: bool,
+    /// Algebraic pre-blast rewriting of verdict-grade keys
+    /// (`--no-rewrite` off switch).
+    use_rewrite: bool,
+    /// Racing solver portfolio for hard verdict components
+    /// (`--no-portfolio` off switch).
+    use_portfolio: bool,
+    /// Minimum component DAG size (distinct nodes) before a race is worth
+    /// its thread-spawn cost; tests lower it to force engagement.
+    portfolio_min_nodes: usize,
     /// The persistent incremental core, created lazily on first use.
     session: Option<Session>,
 }
@@ -182,6 +215,9 @@ impl Solver {
             cache: Some(cache),
             use_slicing: true,
             use_incremental: true,
+            use_rewrite: true,
+            use_portfolio: true,
+            portfolio_min_nodes: PORTFOLIO_MIN_NODES,
             session: None,
         }
     }
@@ -194,6 +230,9 @@ impl Solver {
             cache: None,
             use_slicing: true,
             use_incremental: true,
+            use_rewrite: true,
+            use_portfolio: true,
+            portfolio_min_nodes: PORTFOLIO_MIN_NODES,
             session: None,
         }
     }
@@ -213,6 +252,28 @@ impl Solver {
         if !on {
             self.session = None;
         }
+    }
+
+    /// Enables or disables algebraic pre-blast rewriting of verdict-grade
+    /// keys (`--no-rewrite` escape hatch; default on). Rewriting is
+    /// evaluation-preserving (pinned by the `ddt-expr` property suite), so
+    /// this is purely a performance toggle: verdicts cannot change.
+    pub fn set_rewrite(&mut self, on: bool) {
+        self.use_rewrite = on;
+    }
+
+    /// Enables or disables the racing solver portfolio for hard verdict
+    /// components (`--no-portfolio` escape hatch; default on). Every lane
+    /// decides the same semantic property, so whichever lane wins, the
+    /// verdict — and therefore the campaign report — is identical.
+    pub fn set_portfolio(&mut self, on: bool) {
+        self.use_portfolio = on;
+    }
+
+    /// Overrides the minimum component DAG size (distinct nodes) at which
+    /// the portfolio engages. Tests set 0 to force races on small queries.
+    pub fn set_portfolio_min_nodes(&mut self, nodes: usize) {
+        self.portfolio_min_nodes = nodes;
     }
 
     /// Returns accumulated per-solver statistics.
@@ -364,6 +425,21 @@ impl Solver {
     /// every component is, and symbol-disjointness makes the union of
     /// component models a model of the conjunction.
     fn solve_verdict_optimized(&mut self, key: Vec<Expr>) -> SatResult {
+        // Algebraic pre-blast rewriting. Sound for verdicts because every
+        // rule preserves evaluation under all assignments: the rewritten key
+        // is equisatisfiable with (indeed, pointwise equivalent to) the
+        // original. Downstream cache entries are made under the *rewritten*
+        // keys, which is safe for the same reason — an Unsat rewritten
+        // component is genuinely Unsat, and ring models are always
+        // re-evaluated against the key they are asked to witness.
+        let key = if self.use_rewrite {
+            match self.rewrite_verdict_key(key) {
+                Ok(k) => k,
+                Err(decided) => return decided,
+            }
+        } else {
+            key
+        };
         let parts: Vec<Vec<Expr>> = if self.use_slicing {
             partition_independent(&key)
         } else {
@@ -415,6 +491,39 @@ impl Solver {
         SatResult::Sat(composed)
     }
 
+    /// Rewrites a verdict-grade key to its simplified fixpoint form,
+    /// re-canonicalizes, and re-consults the cache under the smaller key.
+    /// Returns `Err` when rewriting (or the re-lookup) decides the query
+    /// outright.
+    fn rewrite_verdict_key(&mut self, key: Vec<Expr>) -> Result<Vec<Expr>, SatResult> {
+        let rewritten = ddt_expr::rewrite_all(&key);
+        if rewritten.iter().any(|c| c.is_false()) {
+            // A constraint simplified to a contradiction. Memoize under the
+            // original key so siblings short-circuit before rewriting.
+            if let Some(cache) = &self.cache {
+                cache.insert(key, SatResult::Unsat);
+            }
+            return Err(SatResult::Unsat);
+        }
+        let live: Vec<&Expr> = rewritten.iter().filter(|c| !c.is_true()).collect();
+        if live.is_empty() {
+            return Err(SatResult::Sat(Assignment::new()));
+        }
+        let new_key = QueryCache::canonical_key(&live);
+        if new_key == key {
+            return Ok(key);
+        }
+        let before = ddt_expr::dag_node_count(&key);
+        let after = ddt_expr::dag_node_count(&new_key);
+        self.stats.rewrite_reductions += before.saturating_sub(after) as u64;
+        // The original key already missed; the rewritten key is a different
+        // (smaller) entry that siblings may have populated.
+        if let Some(hit) = self.cache_lookup(&new_key, QueryGrade::Verdict) {
+            return Err(hit);
+        }
+        Ok(new_key)
+    }
+
     /// Decides one verdict-grade component: a session probe when
     /// incremental solving is on (with a fresh canonical solve as the
     /// fallback whenever the session cannot answer), a fresh canonical
@@ -422,7 +531,13 @@ impl Solver {
     /// and get memoized by `full_solve`; session `Unsat` answers are
     /// memoized here too (`Unsat` carries no model to corrupt), while
     /// session `Sat` models never reach the exact map.
+    ///
+    /// Components whose DAG clears the portfolio threshold are raced
+    /// across solver lanes instead (see [`portfolio`]).
     fn solve_component(&mut self, part: &[Expr], part_syms: &BTreeSet<SymId>) -> SatResult {
+        if self.use_portfolio && ddt_expr::dag_node_count(part) >= self.portfolio_min_nodes {
+            return self.race_component(part, part_syms);
+        }
         if self.use_incremental {
             let session = self.session.get_or_insert_with(Session::new);
             let before = session.conflicts();
@@ -444,6 +559,153 @@ impl Solver {
             }
         }
         self.full_solve(part.to_vec(), part_syms)
+    }
+
+    /// Races one hard verdict component across the portfolio lanes
+    /// (incremental session, fresh canonical blast, cached-model probe) with
+    /// first-answer-wins cancellation, then routes the winner's result into
+    /// the cache exactly as the single-lane paths would have.
+    fn race_component(&mut self, part: &[Expr], part_syms: &BTreeSet<SymId>) -> SatResult {
+        self.stats.portfolio_races += 1;
+        let session =
+            if self.use_incremental { Some(self.session.get_or_insert_with(Session::new)) } else { None };
+        let out = portfolio::race(part, part_syms, session, self.cache.as_ref());
+        if let Some(s) = &self.session {
+            self.stats.session_probes = s.probes;
+            self.stats.session_resets = s.resets;
+        }
+        self.stats.sat_conflicts += out.conflicts;
+        match out.winner {
+            portfolio::Lane::Session => self.stats.portfolio_session_wins += 1,
+            portfolio::Lane::Fresh => self.stats.portfolio_fresh_wins += 1,
+            portfolio::Lane::Probe => self.stats.portfolio_probe_wins += 1,
+        }
+        if let Some(cache) = &self.cache {
+            match (&out.result, out.winner) {
+                // A probe win came *from* the cache; nothing new to deposit.
+                (_, portfolio::Lane::Probe) => {}
+                // Unsat is model-free and safe to memoize whatever lane
+                // proved it (matching the session-Unsat insert above).
+                (SatResult::Unsat, _) => cache.insert(part.to_vec(), SatResult::Unsat),
+                // The fresh lane's model is the canonical one for this key;
+                // session models are history-dependent and go to the
+                // verdict-reuse ring only.
+                (SatResult::Sat(_), portfolio::Lane::Fresh) => {
+                    cache.insert(part.to_vec(), out.result.clone())
+                }
+                (SatResult::Sat(m), portfolio::Lane::Session) => cache.remember_verdict_model(m),
+            }
+        }
+        out.result
+    }
+
+    /// Resolves a batch of deferred branch-feasibility obligations in one
+    /// pass. `keys[i]` holds the full constraint set of one pending machine;
+    /// the returned vector gives each machine's feasibility, positionally.
+    ///
+    /// Verdict-equivalent to calling [`Self::is_feasible`] once per entry —
+    /// feasibility is a semantic property of each constraint set, and every
+    /// shortcut below proves (never guesses) its answer. The batching win is
+    /// **witness subsumption**: obligations are solved deepest-first and
+    /// each `Sat` model joins a batch-local witness pool; any later
+    /// obligation the model satisfies is discharged by evaluation instead
+    /// of a solve. Frontier siblings share long constraint prefixes, so one
+    /// deep model routinely discharges most of a flush.
+    pub fn solve_obligations(&mut self, keys: &[Vec<Expr>]) -> Vec<bool> {
+        if keys.is_empty() {
+            return Vec::new();
+        }
+        self.stats.batch_flushes += 1;
+        self.stats.batched_verdicts += keys.len() as u64;
+        // Deepest-first, stable on ties: a model of a longer key satisfies
+        // every key whose constraints it happens to imply, and prefix
+        // chains make that the common case.
+        let mut order: Vec<usize> = (0..keys.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(keys[i].len()));
+        let mut verdicts = vec![false; keys.len()];
+        let mut pool: Vec<Assignment> = Vec::new();
+        for &i in &order {
+            let cs = &keys[i];
+            if pool.iter().any(|m| cs.iter().all(|c| c.eval_bool(m))) {
+                self.stats.batch_witness_hits += 1;
+                verdicts[i] = true;
+                continue;
+            }
+            match self.check_obligation(cs) {
+                SatResult::Sat(m) => {
+                    verdicts[i] = true;
+                    pool.push(m);
+                }
+                SatResult::Unsat => {}
+            }
+        }
+        verdicts
+    }
+
+    /// Decides one deferred-obligation key that the witness pool missed.
+    ///
+    /// Obligation traffic is dominated by branch-feasibility keys — each a
+    /// known-feasible parent set plus one negated condition — arriving at
+    /// fork rate, far more often than any other verdict stream. The cheap
+    /// proofs (trivial cases, cached verdicts, candidate models) do nearly
+    /// all the work; the residue runs the rewriter + slicing pipeline with
+    /// the **incremental session suppressed**: on a long-lived session core
+    /// each probe costs proportionally to the whole accumulated core, and at
+    /// obligation volume that is a measured net loss large enough to blow
+    /// wall budgets, while fresh per-component solves are flat and still
+    /// feed the shared cache via `full_solve`'s memoization. Outsized
+    /// components still race the (sessionless) portfolio.
+    fn check_obligation(&mut self, constraints: &[Expr]) -> SatResult {
+        self.stats.queries += 1;
+        for c in constraints {
+            assert_eq!(c.width(), 1, "constraints must be boolean: {c}");
+        }
+        if constraints.iter().any(|c| c.is_false()) {
+            return SatResult::Unsat;
+        }
+        let live: Vec<&Expr> = constraints.iter().filter(|c| !c.is_true()).collect();
+        if live.is_empty() {
+            return SatResult::Sat(Assignment::new());
+        }
+        let mut syms = BTreeSet::new();
+        for c in &live {
+            collect_syms(c, &mut syms);
+        }
+        let key = QueryCache::canonical_key(&live);
+        if self.cache.is_some() {
+            if let Some(hit) = self.cache_lookup(&key, QueryGrade::Verdict) {
+                return hit;
+            }
+        }
+        for candidate in Self::candidate_models(&syms) {
+            if live.iter().all(|c| c.eval_bool(&candidate)) {
+                self.stats.fast_path_hits += 1;
+                if let Some(cache) = &self.cache {
+                    cache.remember_verdict_model(&candidate);
+                }
+                return SatResult::Sat(candidate);
+            }
+        }
+        // Slicing still pays for obligations (smaller fresh component solves,
+        // component-granular cache sharing across sibling keys); only the
+        // session is suppressed, for this query alone.
+        let saved = self.use_incremental;
+        self.use_incremental = false;
+        let result = if self.use_slicing || self.use_rewrite {
+            self.solve_verdict_optimized(key)
+        } else {
+            self.full_solve(key, &syms)
+        };
+        self.use_incremental = saved;
+        result
+    }
+
+    /// Eagerly settles one deferred obligation (`--no-batch` and pop-time
+    /// resolution of machines restored from batch-mode checkpoints).
+    /// Verdict-equivalent to [`Self::is_feasible`], but routed exactly like
+    /// a batch-pool miss so the two schedules differ only in batching.
+    pub fn is_feasible_obligation(&mut self, constraints: &[Expr]) -> bool {
+        self.check_obligation(constraints).is_sat()
     }
 
     /// Consults the shared cache and maps the answer onto stats. `None`
@@ -1010,5 +1272,74 @@ mod tests {
         let reversed: Vec<Expr> = cs.iter().rev().cloned().collect();
         let backward = Solver::uncached().check(&reversed);
         assert_eq!(forward, backward);
+    }
+
+    /// A prefix-chain batch like a flush produces: deepening constraints on
+    /// one path plus an infeasible sibling and an unrelated shallow key.
+    fn obligation_batch() -> Vec<Vec<Expr>> {
+        let x = sym(0, 32);
+        let y = sym(1, 32);
+        let mut chain = vec![c32(10).ult(&x)];
+        let mut keys = vec![chain.clone()];
+        for i in 0..6u64 {
+            chain.push(x.ne(&c32(i)));
+            keys.push(chain.clone());
+        }
+        // Infeasible sibling of the deepest prefix.
+        let mut dead = chain.clone();
+        dead.push(x.ule(&c32(5)));
+        keys.push(dead);
+        // Unrelated shallow key on another symbol.
+        keys.push(vec![y.eq(&c32(9))]);
+        keys
+    }
+
+    #[test]
+    fn solve_obligations_matches_per_query_feasibility() {
+        let keys = obligation_batch();
+        let mut batched = Solver::uncached();
+        let got = batched.solve_obligations(&keys);
+        let mut plain = Solver::uncached();
+        plain.set_portfolio(false);
+        plain.set_rewrite(false);
+        let want: Vec<bool> = keys.iter().map(|k| plain.is_feasible(k)).collect();
+        assert_eq!(got, want);
+        let st = batched.stats();
+        assert_eq!(st.batch_flushes, 1);
+        assert_eq!(st.batched_verdicts, keys.len() as u64);
+    }
+
+    #[test]
+    fn witness_subsumption_discharges_prefixes_without_solving() {
+        let keys = obligation_batch();
+        let mut s = Solver::uncached();
+        s.solve_obligations(&keys);
+        let st = s.stats();
+        // The deepest chain key is solved first; its model satisfies every
+        // shorter prefix, so those are discharged by evaluation.
+        assert!(
+            st.batch_witness_hits >= 6,
+            "expected the prefix chain to be witness-subsumed: {st:?}"
+        );
+    }
+
+    #[test]
+    fn empty_flush_is_free() {
+        let mut s = Solver::new();
+        assert!(s.solve_obligations(&[]).is_empty());
+        assert_eq!(s.stats().batch_flushes, 0);
+    }
+
+    #[test]
+    fn rewrite_escape_hatch_preserves_verdicts() {
+        let x = sym(0, 8);
+        let wide = Expr::zext(&x, 32);
+        // Narrowable comparison plus a range constraint — rewriter territory.
+        let cs = [wide.ult(&c32(200)), wide.ne(&c32(0))];
+        let mut on = Solver::uncached();
+        let mut off = Solver::uncached();
+        off.set_rewrite(false);
+        assert_eq!(on.is_feasible(&cs), off.is_feasible(&cs));
+        assert_eq!(off.stats().rewrite_reductions, 0);
     }
 }

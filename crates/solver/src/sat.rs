@@ -91,6 +91,11 @@ pub enum SatOutcome {
 const REASON_NONE: u32 = u32::MAX;
 const REASON_DECISION: u32 = u32::MAX - 1;
 
+/// Conflicts between polls of the cooperative cancellation flag — frequent
+/// enough to stop a losing portfolio lane quickly, rare enough that the
+/// atomic load never shows up in propagation-bound profiles.
+pub const CANCEL_POLL_CONFLICTS: u64 = 64;
+
 /// The CDCL solver.
 ///
 /// # Examples
@@ -145,6 +150,13 @@ pub struct SatSolver {
     heap: Vec<u32>,
     /// Position of each variable in `heap`, or `HEAP_ABSENT`.
     heap_pos: Vec<u32>,
+    /// Cooperative cancellation flag, polled between conflicts (the
+    /// portfolio's first-answer-wins kill switch). `None` = never cancel.
+    cancel: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
+    /// True when the last `solve` returned early because `cancel` was set.
+    /// An aborted solve reports `Unsat` as a placeholder; callers that use
+    /// cancellation must check this flag and discard the outcome.
+    aborted: bool,
 }
 
 const HEAP_ABSENT: u32 = u32::MAX;
@@ -177,6 +189,35 @@ impl SatSolver {
             seen: Vec::new(),
             heap: Vec::new(),
             heap_pos: Vec::new(),
+            cancel: None,
+            aborted: false,
+        }
+    }
+
+    /// Installs a cooperative cancellation flag. While set, `solve` polls it
+    /// every [`CANCEL_POLL_CONFLICTS`] conflicts and returns early (with
+    /// [`Self::aborted`] raised) once it reads true. Used by the racing
+    /// portfolio to stop losing lanes after the first answer arrives.
+    pub fn set_cancel(&mut self, flag: std::sync::Arc<std::sync::atomic::AtomicBool>) {
+        self.cancel = Some(flag);
+    }
+
+    /// Removes the cancellation flag; subsequent solves run to completion.
+    pub fn clear_cancel(&mut self) {
+        self.cancel = None;
+    }
+
+    /// True when the last `solve` was cancelled rather than decided. The
+    /// reported outcome is meaningless in that case.
+    pub fn aborted(&self) -> bool {
+        self.aborted
+    }
+
+    #[inline]
+    fn cancelled(&self) -> bool {
+        match &self.cancel {
+            Some(f) => f.load(std::sync::atomic::Ordering::Relaxed),
+            None => false,
         }
     }
 
@@ -550,6 +591,7 @@ impl SatSolver {
     /// Assumptions are treated as decisions at the outermost levels; they do
     /// not persist after the call.
     pub fn solve_assuming(&mut self, assumptions: &[Lit]) -> SatOutcome {
+        self.aborted = false;
         if self.dead {
             return SatOutcome::Unsat;
         }
@@ -594,6 +636,10 @@ impl SatSolver {
                 if let Some(confl) = self.propagate() {
                     self.conflicts += 1;
                     conflicts_here += 1;
+                    if conflicts_here % CANCEL_POLL_CONFLICTS == 0 && self.cancelled() {
+                        self.aborted = true;
+                        break 'outer false;
+                    }
                     if self.trail_lim.len() as u32 <= assumption_level {
                         // Conflict at or below the assumption levels.
                         if assumption_level == 0 {

@@ -188,6 +188,29 @@ impl Session {
             }
         })
     }
+
+    /// [`Self::probe`] as a portfolio lane: the solve aborts (returning
+    /// `None`) once `cancel` reads true. A defensive mid-probe reset swaps
+    /// in a core without the flag — that probe then runs to completion,
+    /// which is safe (its answer is genuine) if not promptly cancellable.
+    pub fn probe_cancellable(
+        &mut self,
+        key: &[Expr],
+        syms: &BTreeSet<SymId>,
+        cancel: &std::sync::Arc<std::sync::atomic::AtomicBool>,
+    ) -> Option<ProbeAnswer> {
+        self.sat.set_cancel(cancel.clone());
+        let answer = self.probe(key, syms);
+        // `self.sat` after `probe` is the core that ran the final solve (a
+        // reset installs the replacement before solving), so `aborted` is
+        // about this probe.
+        let aborted = self.sat.aborted();
+        self.sat.clear_cancel();
+        if aborted {
+            return None;
+        }
+        answer
+    }
 }
 
 fn fresh_core() -> (SatSolver, Blaster) {

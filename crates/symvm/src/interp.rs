@@ -337,108 +337,135 @@ fn branch(
         return Ok(None);
     }
     let not_cond = cond.lnot();
-    // Model reuse: the cached model decides one side for free; a single
-    // solver call (which also yields the other side's model) decides the
-    // rest. A live path has a satisfiable condition, so at least one side
-    // is feasible.
+    // Lazy feasibility (ISSUE 10): when the cached model proves the taken
+    // side live, the untaken side is forked *optimistically* — no solver
+    // call here at all. The child carries `verdict_pending` and is decided
+    // later, either immediately after the quantum (`--no-batch`) or in a
+    // batched flush with its frontier siblings, before it ever executes.
+    // A live path always has a satisfiable condition, so `st` itself never
+    // needs a verdict when the model decides its side.
     let model_side = st.model_eval(&cond).map(|v| v != 0);
-    let (may_true, may_false, other_model) = match model_side {
+    match model_side {
         Some(true) => {
-            let mut cs = st.constraints.clone();
-            cs.push(not_cond.clone());
-            match solver.check(&cs) {
-                ddt_solver::SatResult::Sat(m) => (true, true, Some(m)),
-                ddt_solver::SatResult::Unsat => (true, false, None),
-            }
-        }
-        Some(false) => {
-            let mut cs = st.constraints.clone();
-            cs.push(cond.clone());
-            match solver.check(&cs) {
-                ddt_solver::SatResult::Sat(m) => (true, true, Some(m)),
-                ddt_solver::SatResult::Unsat => (false, true, None),
-            }
-        }
-        None => {
-            // No cached model: decide both sides with up to two calls.
-            let mut cs = st.constraints.clone();
-            cs.push(cond.clone());
-            let t = solver.check(&cs);
-            cs.pop();
-            cs.push(not_cond.clone());
-            let f = solver.check(&cs);
-            match (t, f) {
-                (ddt_solver::SatResult::Sat(mt), ddt_solver::SatResult::Sat(mf)) => {
-                    st.set_model(mt);
-                    // Note: `st` takes the true side below; mf is the
-                    // partner's model.
-                    (true, true, Some(mf))
-                }
-                (ddt_solver::SatResult::Sat(mt), ddt_solver::SatResult::Unsat) => {
-                    st.set_model(mt);
-                    (true, false, None)
-                }
-                (ddt_solver::SatResult::Unsat, ddt_solver::SatResult::Sat(mf)) => {
-                    st.set_model(mf);
-                    (false, true, None)
-                }
-                (ddt_solver::SatResult::Unsat, ddt_solver::SatResult::Unsat) => {
-                    return Err(SymFault::Infeasible)
-                }
-            }
-        }
-    };
-    match (may_true, may_false) {
-        (true, true) => {
-            // Fork. The side consistent with the cached model keeps it; the
-            // other side installs the model from the deciding query. `st`
-            // takes the branch-taken side.
+            // `st`'s true side is witnessed by the model; defer the ¬cond
+            // child's verdict. `add_constraint` drops the inherited model
+            // (it satisfies cond), leaving the child model-less until it is
+            // either witnessed at flush or first needs a concretization.
             let mut other = st.fork();
             other.add_constraint(not_cond.clone());
+            other.verdict_pending = true;
             other.trace.push(TraceEvent::Branch {
                 pc,
                 taken: false,
                 forked: true,
-                constraint: not_cond.clone(),
+                constraint: not_cond,
             });
             other.cpu.pc = fallthrough;
             st.add_constraint(cond.clone());
             st.trace.push(TraceEvent::Branch { pc, taken: true, forked: true, constraint: cond });
             st.cpu.pc = target;
-            if let Some(m) = other_model {
-                match model_side {
-                    Some(true) | None => other.set_model(m),
-                    Some(false) => {
-                        // The cached model satisfied !cond: it belongs to
-                        // `other`; the fresh model satisfies cond and goes
-                        // to `st`.
-                        if let Some(parent_model) = st.last_model.take() {
-                            other.set_model(parent_model);
+            Ok(Some(Box::new(other)))
+        }
+        Some(false) => {
+            // The model witnesses the untaken side. `st` follows its model
+            // (¬cond) only if the taken side is infeasible; otherwise `st`
+            // takes the branch (canonical taken-side priority) with the
+            // fresh model, and the partner inherits the parent model. This
+            // side keeps the synchronous model-grade check: the verdict
+            // decides which side `st` itself executes *this* instruction,
+            // so it cannot be deferred.
+            let mut cs = st.constraints.clone();
+            cs.push(cond.clone());
+            match solver.check(&cs) {
+                ddt_solver::SatResult::Sat(m) => {
+                    let mut other = st.fork();
+                    other.add_constraint(not_cond.clone());
+                    other.trace.push(TraceEvent::Branch {
+                        pc,
+                        taken: false,
+                        forked: true,
+                        constraint: not_cond,
+                    });
+                    other.cpu.pc = fallthrough;
+                    st.add_constraint(cond.clone());
+                    st.trace.push(TraceEvent::Branch {
+                        pc,
+                        taken: true,
+                        forked: true,
+                        constraint: cond,
+                    });
+                    st.cpu.pc = target;
+                    // The parent model satisfied !cond: it belongs to
+                    // `other`; the fresh model satisfies cond, goes to `st`.
+                    if let Some(parent_model) = st.last_model.take() {
+                        other.set_model(parent_model);
+                    }
+                    st.set_model(m);
+                    Ok(Some(Box::new(other)))
+                }
+                ddt_solver::SatResult::Unsat => {
+                    st.add_constraint(not_cond.clone());
+                    st.trace.push(TraceEvent::Branch {
+                        pc,
+                        taken: false,
+                        forked: false,
+                        constraint: not_cond,
+                    });
+                    st.cpu.pc = fallthrough;
+                    Ok(None)
+                }
+            }
+        }
+        None => {
+            // No cached model: one model-grade call decides the taken side;
+            // if it is live, `st` takes it and the ¬cond child's verdict is
+            // deferred exactly as in the model-witnessed case.
+            let mut cs = st.constraints.clone();
+            cs.push(cond.clone());
+            match solver.check(&cs) {
+                ddt_solver::SatResult::Sat(mt) => {
+                    st.set_model(mt);
+                    let mut other = st.fork();
+                    other.add_constraint(not_cond.clone());
+                    other.verdict_pending = true;
+                    other.trace.push(TraceEvent::Branch {
+                        pc,
+                        taken: false,
+                        forked: true,
+                        constraint: not_cond,
+                    });
+                    other.cpu.pc = fallthrough;
+                    st.add_constraint(cond.clone());
+                    st.trace.push(TraceEvent::Branch {
+                        pc,
+                        taken: true,
+                        forked: true,
+                        constraint: cond,
+                    });
+                    st.cpu.pc = target;
+                    Ok(Some(Box::new(other)))
+                }
+                ddt_solver::SatResult::Unsat => {
+                    cs.pop();
+                    cs.push(not_cond.clone());
+                    match solver.check(&cs) {
+                        ddt_solver::SatResult::Sat(mf) => {
+                            st.set_model(mf);
+                            st.add_constraint(not_cond.clone());
+                            st.trace.push(TraceEvent::Branch {
+                                pc,
+                                taken: false,
+                                forked: false,
+                                constraint: not_cond,
+                            });
+                            st.cpu.pc = fallthrough;
+                            Ok(None)
                         }
-                        st.set_model(m);
+                        ddt_solver::SatResult::Unsat => Err(SymFault::Infeasible),
                     }
                 }
             }
-            Ok(Some(Box::new(other)))
         }
-        (true, false) => {
-            st.add_constraint(cond.clone());
-            st.trace.push(TraceEvent::Branch { pc, taken: true, forked: false, constraint: cond });
-            st.cpu.pc = target;
-            Ok(None)
-        }
-        (false, true) => {
-            st.add_constraint(not_cond.clone());
-            st.trace.push(TraceEvent::Branch {
-                pc,
-                taken: false,
-                forked: false,
-                constraint: not_cond,
-            });
-            st.cpu.pc = fallthrough;
-            Ok(None)
-        }
-        (false, false) => unreachable!("handled above"),
     }
 }
 
@@ -752,14 +779,28 @@ mod tests {
         let mut work = vec![root.clone()];
         let mut done = Vec::new();
         root.cpu.pc = 0; // Unused; root cloned above.
+        // Branch forks are optimistic (the ¬cond child defers its verdict);
+        // this harness resolves each one eagerly, exactly like the core
+        // driver's `--no-batch` mode.
+        let admit = |mut child: SymState, work: &mut Vec<SymState>, solver: &mut Solver| {
+            if child.verdict_pending {
+                if !solver.is_feasible_obligation(&child.constraints) {
+                    return;
+                }
+                child.verdict_pending = false;
+            }
+            work.push(child);
+        };
         while let Some(mut st) = work.pop() {
             loop {
                 let outcome = step(&mut st, env, &mut solver);
-                work.append(&mut st.pending_forks);
+                for fork in st.pending_forks.drain(..) {
+                    admit(fork, &mut work, &mut solver);
+                }
                 match outcome {
                     SymStep::Continue => continue,
                     SymStep::Forked { other } => {
-                        work.push(*other);
+                        admit(*other, &mut work, &mut solver);
                         continue;
                     }
                     terminal => {

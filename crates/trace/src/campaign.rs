@@ -38,7 +38,13 @@ pub const JOURNAL_MAGIC: [u8; 4] = *b"DDTJ";
 /// v2: frontier records carry the search metadata (`cov_fresh`,
 /// `cov_stamp`) guided strategies rank by, and checkpoints carry the
 /// structural-fingerprint prune set.
-pub const CAMPAIGN_VERSION: u64 = 2;
+///
+/// v3: frontier records carry the deferred-obligation flag (`pending`).
+/// Lazy batched feasibility stages branch-fork children whose verdict the
+/// solver has not yet confirmed; a checkpoint written between fork and
+/// flush must preserve that obligation so the resumed run settles it before
+/// selection, exactly where the uninterrupted run would have.
+pub const CAMPAIGN_VERSION: u64 = 3;
 
 /// The kinds of nondeterministic fork sites the exploration visits, in the
 /// vocabulary of the choice log. Every site is machine-local (its firing
@@ -134,6 +140,10 @@ pub struct FrontierRecord {
     pub cov_fresh: u64,
     /// Quantum ordinal that stamped `cov_fresh`.
     pub cov_stamp: u64,
+    /// True when the machine's branch-feasibility verdict is still deferred
+    /// (lazy batching forked it optimistically and no flush has run since);
+    /// the resumed exploration must settle it before first selection.
+    pub pending: bool,
 }
 
 /// Serialized coverage state (hit counts drive the exploration heuristic,
@@ -383,6 +393,7 @@ pub(crate) fn put_frontier_record(out: &mut Vec<u8>, rec: &FrontierRecord) {
     out.extend_from_slice(&rec.fp.decisions_fnv.to_le_bytes());
     put_varint(out, rec.cov_fresh);
     put_varint(out, rec.cov_stamp);
+    out.push(rec.pending as u8);
 }
 
 /// Decodes one frontier record.
@@ -412,7 +423,12 @@ pub(crate) fn read_frontier_record(c: &mut Cursor<'_>) -> Result<FrontierRecord,
     };
     let cov_fresh = c.varint()?;
     let cov_stamp = c.varint()?;
-    Ok(FrontierRecord { id, steps_total, trailing_skips, picks, fp, cov_fresh, cov_stamp })
+    let pending = match c.byte()? {
+        0 => false,
+        1 => true,
+        b => return c.err(format!("bad pending flag {b}")),
+    };
+    Ok(FrontierRecord { id, steps_total, trailing_skips, picks, fp, cov_fresh, cov_stamp, pending })
 }
 
 /// Encodes a coverage record (hits + covered set + timeline).
@@ -747,6 +763,7 @@ mod tests {
                 },
                 cov_fresh: 2,
                 cov_stamp: 17,
+                pending: true,
             }],
             prune_seen: vec![(0xaaaa_bbbb, 12), (0xcccc_dddd, 13)],
         }

@@ -27,7 +27,10 @@ use crate::signature::fnv1a64;
 /// Magic prefix of a quarantine record file.
 pub const QUARANTINE_MAGIC: [u8; 4] = *b"DDTQ";
 /// Fleet protocol version (refused on mismatch at `Hello`).
-pub const FLEET_VERSION: u64 = 1;
+///
+/// v2: lease and result frames carry frontier records with the
+/// deferred-obligation flag (campaign format v3).
+pub const FLEET_VERSION: u64 = 2;
 
 /// One message of the supervisor↔worker pipe protocol.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -423,6 +426,7 @@ mod tests {
             },
             cov_fresh: 1,
             cov_stamp: 40,
+            pending: true,
         }
     }
 
